@@ -1,0 +1,17 @@
+//! `cargo bench` entry point that regenerates every paper table and figure
+//! at quick scale (set `SVR_SCALE=full` for the EXPERIMENTS.md numbers).
+//!
+//! This is intentionally a plain (harness = false) target: the experiments
+//! are whole-workload measurements with their own cost model, not
+//! statistical microbenchmarks — those live in `benches/micro.rs`.
+
+use svr_bench::experiments::Bench;
+use svr_bench::{CostModel, Scale};
+
+fn main() {
+    // Under `cargo bench` cargo passes `--bench`; ignore extra flags.
+    let bench = Bench::new(Scale::from_env(), CostModel::default());
+    for report in bench.run_all() {
+        println!("{}", report.render());
+    }
+}

@@ -1,0 +1,63 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p svr-bench --bin paper_experiments            # all
+//! cargo run --release -p svr-bench --bin paper_experiments -- fig7   # one
+//! SVR_SCALE=full cargo run --release -p svr-bench --bin paper_experiments
+//! ```
+//!
+//! Results are printed as text tables and written as JSON to
+//! `bench_results/experiments-<scale>.json` for EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use svr_bench::experiments::Bench;
+use svr_bench::{CostModel, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env();
+    let bench = Bench::new(scale, CostModel::default());
+
+    let ids: Vec<&str> = if args.is_empty() {
+        Bench::all_ids().to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    println!("scale: {scale:?} (set SVR_SCALE=full for the EXPERIMENTS.md numbers)\n");
+    let mut reports = Vec::new();
+    for id in ids {
+        let t0 = Instant::now();
+        match bench.run(id) {
+            Some(report) => {
+                println!("{}", report.render());
+                println!("[{} took {:.1}s]\n", id, t0.elapsed().as_secs_f64());
+                reports.push(report);
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment '{id}'; available: {}",
+                    Bench::all_ids().join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let out_dir = std::path::Path::new("bench_results");
+    if std::fs::create_dir_all(out_dir).is_ok() {
+        let path = out_dir.join(format!(
+            "experiments-{}.json",
+            if scale == Scale::Full { "full" } else { "quick" }
+        ));
+        match serde_json::to_string_pretty(&reports) {
+            Ok(json) => {
+                if std::fs::write(&path, json).is_ok() {
+                    println!("wrote {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("could not serialize results: {e}"),
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # svr-bench
+//!
+//! The evaluation harness: infrastructure to measure update / query costs
+//! the way the paper does (§5.1–5.2), plus one experiment per table and
+//! figure (see [`experiments`]).
+//!
+//! ## Cost model
+//!
+//! The paper measures wall-clock on a 2.8 GHz Pentium IV with cold
+//! BerkeleyDB caches for the long inverted lists. Our storage engine is an
+//! in-memory simulation with exact page-I/O accounting, so every number is
+//! reported as a **modeled time**: `wall_time + pages_read × page_cost`,
+//! with the per-page cost defaulting to a 2005-era sequential 4 KiB read
+//! (~100 µs). Absolute values are not comparable to the paper's; the
+//! *relations* between methods (who wins, by what factor, where crossovers
+//! happen) are — see EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod measure;
+pub mod report;
+
+pub use measure::{CostModel, OpCost};
+pub use report::{ExperimentReport, Scale};

@@ -1,0 +1,125 @@
+//! Experiment result tables and the experiment scale knob.
+
+use serde::{Deserialize, Serialize};
+
+/// How big to run the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Seconds per experiment; used by `cargo bench` and CI.
+    Quick,
+    /// Minutes for the full suite; the numbers recorded in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Parse from the `SVR_SCALE` environment variable (default `quick`).
+    pub fn from_env() -> Scale {
+        match std::env::var("SVR_SCALE").as_deref() {
+            Ok("full" | "FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Scale a quick-mode count up for full mode.
+    pub fn pick(&self, quick: usize, full: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// A rendered experiment: one paper table or figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Paper artifact id, e.g. "table2" or "fig8".
+    pub id: String,
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// What the paper reports and what to compare.
+    pub notes: String,
+}
+
+impl ExperimentReport {
+    /// Render as a fixed-width text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        if !self.notes.is_empty() {
+            out.push_str(&format!("note: {}\n", self.notes));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let report = ExperimentReport {
+            id: "table9".into(),
+            title: "demo".into(),
+            columns: vec!["method".into(), "ms".into()],
+            rows: vec![
+                vec!["ID".into(), "114.0".into()],
+                vec!["Chunk".into(), "35.4".into()],
+            ],
+            notes: "shape".into(),
+        };
+        let text = report.render();
+        assert!(text.contains("table9"));
+        assert!(text.contains("Chunk"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(10, 100), 10);
+        assert_eq!(Scale::Full.pick(10, 100), 100);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let report = ExperimentReport {
+            id: "t".into(),
+            title: "t".into(),
+            columns: vec!["a".into()],
+            rows: vec![vec!["1".into()]],
+            notes: String::new(),
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, "t");
+        assert_eq!(back.rows.len(), 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Chunk assignment for the Chunk / Chunk-TermScore methods.
+//!
+//! "Set chunk boundaries so that for two adjacent chunks i+1 and i, the
+//! ratio of the lowest score in i+1 to the lowest score in i is a constant c
+//! (c > 1)... we also set a minimum size of a chunk so that each chunk has
+//! at least 100 documents" (§4.3.2).
+//!
+//! Chunks are numbered 1..=N ascending by score; long-list postings are laid
+//! out in *descending* chunk order. `thresholdValueOf(cid) = cid + 1`, so a
+//! document's short-list postings move only when its score crosses two chunk
+//! boundaries, and the query scans one extra chunk to compensate.
+
+use crate::types::{ChunkId, Score};
+
+/// Immutable chunk boundary table, built from the score distribution at
+/// index-build (or offline-merge) time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkMap {
+    /// `lower[i]` is the lowest score of chunk `i + 1`; `lower[0] == 0.0`.
+    /// Ascending. Chunk `N` is unbounded above.
+    lower: Vec<Score>,
+}
+
+impl ChunkMap {
+    /// Build from the live score distribution.
+    ///
+    /// Boundaries are derived from the maximum score downwards in factors of
+    /// `ratio`; adjacent chunks holding fewer than `min_docs` documents are
+    /// merged ("under very skewed score distributions, some chunks have only
+    /// a few documents in them").
+    pub fn from_scores(scores: &[Score], ratio: f64, min_docs: usize) -> ChunkMap {
+        assert!(ratio > 1.0, "chunk ratio must be > 1");
+        let max = scores.iter().copied().fold(0.0_f64, f64::max);
+        let min_pos = scores
+            .iter()
+            .copied()
+            .filter(|&s| s > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        if scores.is_empty() || max <= 0.0 || !min_pos.is_finite() {
+            return ChunkMap { lower: vec![0.0] };
+        }
+        // Candidate boundaries: max/ratio, max/ratio^2, ... down to the
+        // smallest positive score.
+        let mut bounds = Vec::new();
+        let mut b = max / ratio;
+        while b > min_pos {
+            bounds.push(b);
+            b /= ratio;
+        }
+        bounds.reverse(); // ascending
+        let mut lower = vec![0.0];
+        lower.extend(bounds);
+
+        // Enforce the minimum chunk size by dropping boundaries whose chunk
+        // (the docs between the previous kept boundary and this one) is too
+        // small, merging it into the chunk below.
+        if min_docs > 1 {
+            let mut sorted: Vec<Score> = scores.to_vec();
+            sorted.sort_by(f64::total_cmp);
+            let mut kept = vec![0.0];
+            let mut last_idx = 0usize; // docs strictly below the last kept boundary
+            for &bound in &lower[1..] {
+                let idx = sorted.partition_point(|&s| s < bound);
+                if idx - last_idx >= min_docs {
+                    kept.push(bound);
+                    last_idx = idx;
+                }
+            }
+            // The top chunk must also hold at least min_docs; drop boundaries
+            // from the top until it does.
+            while kept.len() > 1 {
+                let top_lb = *kept.last().expect("non-empty");
+                let top_count = sorted.len() - sorted.partition_point(|&s| s < top_lb);
+                if top_count >= min_docs {
+                    break;
+                }
+                kept.pop();
+            }
+            lower = kept;
+        }
+        ChunkMap { lower }
+    }
+
+    /// Number of chunks (>= 1).
+    pub fn num_chunks(&self) -> ChunkId {
+        self.lower.len() as ChunkId
+    }
+
+    /// Chunk id (1-based) for a score.
+    pub fn chunk_of(&self, score: Score) -> ChunkId {
+        // Last boundary <= score. lower[0] = 0 guarantees a match for any
+        // non-negative score.
+        self.lower.partition_point(|&b| b <= score).max(1) as ChunkId
+    }
+
+    /// Lowest score belonging to `chunk` (1-based). `None` when the chunk id
+    /// exceeds the number of chunks.
+    pub fn lower_bound(&self, chunk: ChunkId) -> Option<Score> {
+        if chunk == 0 {
+            return None;
+        }
+        self.lower.get(chunk as usize - 1).copied()
+    }
+
+    /// Exclusive upper bound on the *current* score of any document whose
+    /// list chunk is at most `list_chunk`: a posting moves to the short list
+    /// only when the score crosses two boundaries, so the score stays below
+    /// the lower bound of chunk `list_chunk + 2` — i.e. below
+    /// `upper_bound_after(list_chunk) = lower_bound(list_chunk + 1)`'s next
+    /// boundary. Returns `f64::INFINITY` when unbounded.
+    pub fn max_possible_score(&self, list_chunk: ChunkId) -> Score {
+        self.lower_bound(list_chunk + 2).unwrap_or(f64::INFINITY)
+    }
+
+    /// Upper boundary of `chunk` (the lower bound of the next chunk), or
+    /// infinity for the top chunk.
+    pub fn upper_bound(&self, chunk: ChunkId) -> Score {
+        self.lower_bound(chunk + 1).unwrap_or(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_chunk_for_empty_or_zero_scores() {
+        let m = ChunkMap::from_scores(&[], 6.12, 1);
+        assert_eq!(m.num_chunks(), 1);
+        assert_eq!(m.chunk_of(123.0), 1);
+        let m = ChunkMap::from_scores(&[0.0, 0.0], 6.12, 1);
+        assert_eq!(m.num_chunks(), 1);
+    }
+
+    #[test]
+    fn ratio_spacing() {
+        // Scores spread over [1, 1000] with ratio 10: boundaries at 100, 10.
+        let scores: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let m = ChunkMap::from_scores(&scores, 10.0, 1);
+        assert_eq!(m.num_chunks(), 3);
+        assert_eq!(m.lower_bound(1), Some(0.0));
+        assert!((m.lower_bound(2).unwrap() - 10.0).abs() < 1e-9);
+        assert!((m.lower_bound(3).unwrap() - 100.0).abs() < 1e-9);
+        assert_eq!(m.chunk_of(5.0), 1);
+        assert_eq!(m.chunk_of(50.0), 2);
+        assert_eq!(m.chunk_of(500.0), 3);
+        assert_eq!(m.chunk_of(1e9), 3);
+        // Adjacent lower bounds are in the configured ratio.
+        let r = m.lower_bound(3).unwrap() / m.lower_bound(2).unwrap();
+        assert!((r - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunk_of_zero_score() {
+        let scores = vec![1.0, 10.0, 100.0];
+        let m = ChunkMap::from_scores(&scores, 3.0, 1);
+        assert_eq!(m.chunk_of(0.0), 1);
+    }
+
+    #[test]
+    fn min_docs_merges_sparse_chunks() {
+        // Extremely skewed: one huge score, many small ones. Without the
+        // min-size rule the top chunks would hold a single document.
+        let mut scores = vec![1.0; 1000];
+        scores.push(1e9);
+        let strict = ChunkMap::from_scores(&scores, 10.0, 1);
+        let merged = ChunkMap::from_scores(&scores, 10.0, 100);
+        assert!(merged.num_chunks() < strict.num_chunks());
+        // Every chunk in the merged map has >= min_docs docs (the top chunk
+        // absorbs the lone outlier into a bigger chunk).
+        for c in 1..=merged.num_chunks() {
+            let lb = merged.lower_bound(c).unwrap();
+            let ub = merged.upper_bound(c);
+            let count = scores.iter().filter(|&&s| s >= lb && s < ub).count();
+            assert!(count >= 100 || count == 0, "chunk {c} has {count} docs");
+        }
+    }
+
+    #[test]
+    fn max_possible_score_two_chunk_rule() {
+        let scores: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let m = ChunkMap::from_scores(&scores, 10.0, 1);
+        // A doc listed in chunk 1 can have drifted anywhere below the lower
+        // bound of chunk 3 without its postings moving.
+        assert_eq!(m.max_possible_score(1), m.lower_bound(3).unwrap());
+        // Top chunks are unbounded.
+        assert_eq!(m.max_possible_score(2), f64::INFINITY);
+        assert_eq!(m.max_possible_score(3), f64::INFINITY);
+    }
+
+    #[test]
+    fn boundaries_ascending() {
+        let scores: Vec<f64> = (0..5000).map(|i| (i as f64 * 37.0) % 100_000.0).collect();
+        let m = ChunkMap::from_scores(&scores, 2.5, 50);
+        for c in 1..m.num_chunks() {
+            assert!(m.lower_bound(c).unwrap() < m.lower_bound(c + 1).unwrap());
+        }
+    }
+}

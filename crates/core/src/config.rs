@@ -1,0 +1,102 @@
+//! Configuration knobs for the index methods.
+
+/// Tunable parameters shared by the index builders.
+///
+/// The two knobs the paper's evaluation revolves around are
+/// [`threshold_ratio`](IndexConfig::threshold_ratio) (Score-Threshold) and
+/// [`chunk_ratio`](IndexConfig::chunk_ratio) (Chunk): both trade update time
+/// for query time. Defaults are the paper's chosen operating points (§5.3.1:
+/// "we fix chunk ratio at 6.12 and the threshold ratio at 11.24").
+#[derive(Debug, Clone)]
+pub struct IndexConfig {
+    /// `thresholdValueOf(score) = threshold_ratio * score` for the
+    /// Score-Threshold method. Must be > 1.
+    pub threshold_ratio: f64,
+    /// Ratio between the lowest scores of adjacent chunks for the Chunk
+    /// methods. Must be > 1.
+    pub chunk_ratio: f64,
+    /// Minimum number of documents per chunk ("we also set a minimum size of
+    /// a chunk so that each chunk has at least 100 documents").
+    pub min_chunk_docs: usize,
+    /// Number of postings in each term's fancy list (Chunk-TermScore).
+    pub fancy_size: usize,
+    /// Weight of the term-score component in the combined scoring function
+    /// `f(svr, ts) = svr + term_weight * ts` (§4.3.3). The paper's `f` is a
+    /// plain sum; the weight lets workloads put the two components on
+    /// comparable scales.
+    pub term_weight: f64,
+    /// Storage page size in bytes. The paper's BerkeleyDB deployment uses
+    /// 4 KiB pages; scaled-down experiments use smaller pages so that page
+    /// counts (the unit of the cost model) stay discriminating on short
+    /// posting lists.
+    pub page_size: usize,
+    /// Buffer-pool pages for the long-inverted-list store.
+    pub long_cache_pages: usize,
+    /// Buffer-pool pages for each small structure (Score table, short lists,
+    /// ListScore/ListChunk, doc store). These are "easily maintained in the
+    /// database cache" (§5.3.1), so the default is generous.
+    pub small_cache_pages: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            threshold_ratio: 11.24,
+            chunk_ratio: 6.12,
+            min_chunk_docs: 100,
+            fancy_size: 64,
+            term_weight: 1.0,
+            page_size: svr_storage::DEFAULT_PAGE_SIZE,
+            long_cache_pages: 4096,
+            small_cache_pages: 16384,
+        }
+    }
+}
+
+impl IndexConfig {
+    /// Validate invariants; panics on nonsensical settings (these are
+    /// programmer-supplied constants, not runtime data).
+    pub fn validated(self) -> Self {
+        assert!(self.page_size >= 256, "page size must be at least 256 bytes");
+        assert!(self.threshold_ratio > 1.0, "threshold ratio must be > 1");
+        assert!(self.chunk_ratio > 1.0, "chunk ratio must be > 1");
+        assert!(self.fancy_size > 0, "fancy list size must be positive");
+        assert!(self.term_weight >= 0.0, "term weight must be non-negative");
+        self
+    }
+
+    /// `thresholdValueOf` for the Score-Threshold method.
+    #[inline]
+    pub fn threshold_value_of(&self, score: f64) -> f64 {
+        self.threshold_ratio * score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_operating_points() {
+        let c = IndexConfig::default().validated();
+        assert_eq!(c.threshold_ratio, 11.24);
+        assert_eq!(c.chunk_ratio, 6.12);
+        assert_eq!(c.min_chunk_docs, 100);
+    }
+
+    #[test]
+    fn threshold_value_of_scales() {
+        let c = IndexConfig { threshold_ratio: 2.0, ..IndexConfig::default() };
+        assert_eq!(c.threshold_value_of(50.0), 100.0);
+        // thresholdValueOf(score) >= score is required for correctness.
+        for s in [0.0, 1.0, 87.13, 1e6] {
+            assert!(c.threshold_value_of(s) >= s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk ratio")]
+    fn bad_chunk_ratio_panics() {
+        let _ = IndexConfig { chunk_ratio: 0.9, ..IndexConfig::default() }.validated();
+    }
+}

@@ -1,0 +1,203 @@
+//! Forward index: `doc id -> [(term, tf)]`.
+//!
+//! The paper's update algorithms need `Content(id)` — the distinct terms of
+//! the updated document (Algorithm 1 lines 20-26) — which in a relational
+//! deployment comes from the indexed text column itself. We persist the
+//! tokenized form in a B+-tree so updates pay a realistic lookup.
+
+use std::sync::Arc;
+
+use svr_storage::codec::{read_varint, write_varint};
+use svr_storage::{BTree, Store};
+
+use crate::error::{CoreError, Result};
+use crate::types::{DocId, Document, TermId};
+
+/// B+-tree-backed forward index.
+pub struct DocStore {
+    tree: BTree,
+}
+
+impl DocStore {
+    /// Create an empty store.
+    pub fn create(store: Arc<Store>) -> Result<DocStore> {
+        Ok(DocStore { tree: BTree::create(store)? })
+    }
+
+    fn key(doc: DocId) -> [u8; 4] {
+        doc.0.to_be_bytes()
+    }
+
+    fn encode(terms: &[(TermId, u32)]) -> Vec<u8> {
+        debug_assert!(terms.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut out = Vec::with_capacity(terms.len() * 3);
+        write_varint(&mut out, terms.len() as u64);
+        let mut prev = 0u32;
+        for (i, &(t, tf)) in terms.iter().enumerate() {
+            let delta = if i == 0 { t.0 } else { t.0 - prev - 1 };
+            write_varint(&mut out, u64::from(delta));
+            write_varint(&mut out, u64::from(tf));
+            prev = t.0;
+        }
+        out
+    }
+
+    fn decode(raw: &[u8]) -> Result<Vec<(TermId, u32)>> {
+        let mut pos = 0;
+        let corrupt = || CoreError::Storage(svr_storage::StorageError::Corrupt("doc row"));
+        let n = read_varint(raw, &mut pos).ok_or_else(corrupt)? as usize;
+        let mut terms = Vec::with_capacity(n);
+        let mut prev = 0u32;
+        for i in 0..n {
+            let delta = read_varint(raw, &mut pos).ok_or_else(corrupt)? as u32;
+            let term = if i == 0 { delta } else { prev + delta + 1 };
+            let tf = read_varint(raw, &mut pos).ok_or_else(corrupt)? as u32;
+            terms.push((TermId(term), tf));
+            prev = term;
+        }
+        Ok(terms)
+    }
+
+    /// Store (or replace) a document's terms. Documents whose encoded form
+    /// exceeds a quarter page are split across continuation rows keyed
+    /// `(doc, seq)` — long documents (the paper's default is 2000 terms) far
+    /// exceed a single B+-tree entry.
+    pub fn put(&self, doc: &Document) -> Result<()> {
+        self.put_terms(doc.id, &doc.terms)
+    }
+
+    /// Store `(term, tf)` pairs (must be sorted, distinct) for `doc`.
+    pub fn put_terms(&self, doc: DocId, terms: &[(TermId, u32)]) -> Result<()> {
+        // Remove any previous continuation rows first.
+        self.delete(doc)?;
+        let encoded = Self::encode(terms);
+        let max = self.tree.max_entry_size() - 16;
+        if encoded.len() <= max {
+            self.tree.put(&Self::key(doc), &encoded)?;
+            return Ok(());
+        }
+        // Chunk the raw encoding; each row gets a sequence number.
+        for (seq, chunk) in encoded.chunks(max).enumerate() {
+            let mut key = Self::key(doc).to_vec();
+            key.extend_from_slice(&(seq as u32 + 1).to_be_bytes());
+            self.tree.put(&key, chunk)?;
+        }
+        // Row 0 marks "chunked" with the number of chunks.
+        let n_chunks = encoded.len().div_ceil(max) as u32;
+        let mut marker = vec![0xffu8];
+        marker.extend_from_slice(&n_chunks.to_be_bytes());
+        self.tree.put(&Self::key(doc), &marker)?;
+        Ok(())
+    }
+
+    /// Fetch a document's `(term, tf)` pairs.
+    pub fn get(&self, doc: DocId) -> Result<Option<Vec<(TermId, u32)>>> {
+        let Some(row) = self.tree.get(&Self::key(doc))? else {
+            return Ok(None);
+        };
+        if row.first() != Some(&0xff) {
+            return Ok(Some(Self::decode(&row)?));
+        }
+        let n_chunks = u32::from_be_bytes(
+            row[1..5]
+                .try_into()
+                .map_err(|_| CoreError::Storage(svr_storage::StorageError::Corrupt("doc marker")))?,
+        );
+        let mut encoded = Vec::new();
+        for seq in 1..=n_chunks {
+            let mut key = Self::key(doc).to_vec();
+            key.extend_from_slice(&seq.to_be_bytes());
+            let chunk = self
+                .tree
+                .get(&key)?
+                .ok_or(CoreError::Storage(svr_storage::StorageError::Corrupt("doc chunk")))?;
+            encoded.extend_from_slice(&chunk);
+        }
+        Ok(Some(Self::decode(&encoded)?))
+    }
+
+    /// Remove a document. Returns true if it existed.
+    pub fn delete(&self, doc: DocId) -> Result<bool> {
+        let Some(row) = self.tree.get(&Self::key(doc))? else {
+            return Ok(false);
+        };
+        if row.first() == Some(&0xff) {
+            let n_chunks = u32::from_be_bytes(row[1..5].try_into().unwrap_or([0; 4]));
+            for seq in 1..=n_chunks {
+                let mut key = Self::key(doc).to_vec();
+                key.extend_from_slice(&seq.to_be_bytes());
+                self.tree.delete(&key)?;
+            }
+        }
+        self.tree.delete(&Self::key(doc))?;
+        Ok(true)
+    }
+
+    /// Distinct term ids of a document (convenience over [`DocStore::get`]).
+    pub fn term_ids(&self, doc: DocId) -> Result<Vec<TermId>> {
+        Ok(self
+            .get(doc)?
+            .ok_or(CoreError::UnknownDocument(doc))?
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svr_storage::MemDisk;
+
+    fn store() -> DocStore {
+        let s = Arc::new(Store::new(Arc::new(MemDisk::new(4096)), 256));
+        DocStore::create(s).unwrap()
+    }
+
+    fn doc(id: u32, terms: &[(u32, u32)]) -> Document {
+        Document::from_term_freqs(DocId(id), terms.iter().map(|&(t, f)| (TermId(t), f)))
+    }
+
+    #[test]
+    fn roundtrip_small_doc() {
+        let ds = store();
+        let d = doc(7, &[(1, 3), (5, 1), (900, 2)]);
+        ds.put(&d).unwrap();
+        assert_eq!(ds.get(DocId(7)).unwrap().unwrap(), d.terms);
+        assert_eq!(ds.term_ids(DocId(7)).unwrap(), vec![TermId(1), TermId(5), TermId(900)]);
+        assert_eq!(ds.get(DocId(8)).unwrap(), None);
+    }
+
+    #[test]
+    fn roundtrip_large_doc_spans_rows() {
+        let ds = store();
+        // 3000 distinct terms: far beyond one 4K page entry.
+        let terms: Vec<(u32, u32)> = (0..3000u32).map(|t| (t * 7, 1 + t % 9)).collect();
+        let d = doc(42, &terms);
+        ds.put(&d).unwrap();
+        assert_eq!(ds.get(DocId(42)).unwrap().unwrap(), d.terms);
+        // Replacing with a small doc cleans up continuation rows.
+        let small = doc(42, &[(3, 1)]);
+        ds.put(&small).unwrap();
+        assert_eq!(ds.get(DocId(42)).unwrap().unwrap(), small.terms);
+    }
+
+    #[test]
+    fn delete_removes_all_rows() {
+        let ds = store();
+        let terms: Vec<(u32, u32)> = (0..3000u32).map(|t| (t, 1)).collect();
+        ds.put(&doc(1, &terms)).unwrap();
+        assert!(ds.delete(DocId(1)).unwrap());
+        assert_eq!(ds.get(DocId(1)).unwrap(), None);
+        assert!(!ds.delete(DocId(1)).unwrap());
+        assert!(ds.term_ids(DocId(1)).is_err());
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let ds = store();
+        ds.put(&doc(1, &[(1, 1)])).unwrap();
+        ds.put(&doc(1, &[(2, 5)])).unwrap();
+        assert_eq!(ds.get(DocId(1)).unwrap().unwrap(), vec![(TermId(2), 5)]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Bounded top-k result heap.
+//!
+//! "Since users are usually only interested in the top-k results, a result
+//! heap is used to keep track of the top-k results during the scan"
+//! (§4.2.1). A min-heap of size k; ties broken by ascending doc id so every
+//! method (and the test oracle) ranks deterministically.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::types::{DocId, Score, SearchHit};
+
+/// Heap element ordered so the *worst* hit is at the top of the
+/// `BinaryHeap`: lower score first, then higher doc id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Worst(SearchHit);
+
+impl Eq for Worst {}
+
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Scores are validated finite; total_cmp keeps this a total order.
+        // "Greater" means *worse*: lower score, then higher doc id.
+        other
+            .0
+            .score
+            .total_cmp(&self.0.score)
+            .then_with(|| self.0.doc.0.cmp(&other.0.doc.0))
+    }
+}
+
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// True when `a` ranks strictly better than `b` (higher score, doc id as
+/// tiebreak).
+#[inline]
+pub fn ranks_above(a: &SearchHit, b: &SearchHit) -> bool {
+    match a.score.total_cmp(&b.score) {
+        Ordering::Greater => true,
+        Ordering::Less => false,
+        Ordering::Equal => a.doc.0 < b.doc.0,
+    }
+}
+
+/// A bounded top-k heap.
+pub struct TopKHeap {
+    k: usize,
+    heap: BinaryHeap<Worst>,
+}
+
+impl TopKHeap {
+    /// Heap keeping the best `k` hits.
+    pub fn new(k: usize) -> TopKHeap {
+        TopKHeap { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offer a hit; keeps only the best k. Returns true if the hit was
+    /// retained.
+    pub fn add(&mut self, doc: DocId, score: Score) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        let hit = SearchHit { doc, score };
+        if self.heap.len() < self.k {
+            self.heap.push(Worst(hit));
+            return true;
+        }
+        let worst = self.heap.peek().expect("non-empty full heap").0;
+        if ranks_above(&hit, &worst) {
+            self.heap.pop();
+            self.heap.push(Worst(hit));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True once k hits are held.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Number of hits currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no hits are held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Score of the current k-th (worst retained) hit, or `None` while the
+    /// heap is not full. This is `resultHeap.minScore(k)` in Algorithm 3.
+    pub fn min_score(&self) -> Option<Score> {
+        if self.is_full() {
+            self.heap.peek().map(|w| w.0.score)
+        } else {
+            None
+        }
+    }
+
+    /// Consume the heap, returning hits ranked best-first.
+    pub fn into_ranked(self) -> Vec<SearchHit> {
+        let mut hits: Vec<SearchHit> = self.heap.into_iter().map(|w| w.0).collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.doc.0.cmp(&b.doc.0))
+        });
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let mut h = TopKHeap::new(3);
+        for (doc, score) in [(1, 10.0), (2, 50.0), (3, 30.0), (4, 40.0), (5, 5.0)] {
+            h.add(DocId(doc), score);
+        }
+        let ranked = h.into_ranked();
+        assert_eq!(
+            ranked.iter().map(|h| h.doc.0).collect::<Vec<_>>(),
+            vec![2, 4, 3]
+        );
+        assert_eq!(ranked[0].score, 50.0);
+    }
+
+    #[test]
+    fn min_score_only_when_full() {
+        let mut h = TopKHeap::new(2);
+        h.add(DocId(1), 10.0);
+        assert_eq!(h.min_score(), None);
+        h.add(DocId(2), 20.0);
+        assert_eq!(h.min_score(), Some(10.0));
+        h.add(DocId(3), 15.0);
+        assert_eq!(h.min_score(), Some(15.0));
+    }
+
+    #[test]
+    fn ties_break_by_doc_id() {
+        let mut h = TopKHeap::new(2);
+        h.add(DocId(9), 10.0);
+        h.add(DocId(1), 10.0);
+        h.add(DocId(5), 10.0);
+        let ranked = h.into_ranked();
+        assert_eq!(ranked.iter().map(|h| h.doc.0).collect::<Vec<_>>(), vec![1, 5]);
+    }
+
+    #[test]
+    fn zero_k() {
+        let mut h = TopKHeap::new(0);
+        assert!(!h.add(DocId(1), 1.0));
+        assert!(h.is_full());
+        assert!(h.into_ranked().is_empty());
+    }
+
+    #[test]
+    fn rejects_worse_than_kth() {
+        let mut h = TopKHeap::new(1);
+        assert!(h.add(DocId(1), 10.0));
+        assert!(!h.add(DocId(2), 9.0));
+        assert!(h.add(DocId(3), 11.0));
+        assert_eq!(h.into_ranked()[0].doc, DocId(3));
+    }
+
+    #[test]
+    fn ranks_above_total() {
+        let a = SearchHit { doc: DocId(1), score: 5.0 };
+        let b = SearchHit { doc: DocId(2), score: 5.0 };
+        assert!(ranks_above(&a, &b));
+        assert!(!ranks_above(&b, &a));
+        assert!(!ranks_above(&a, &a));
+    }
+}

@@ -1,0 +1,65 @@
+//! # svr-core
+//!
+//! The primary contribution of *"Efficient Inverted Lists and Query
+//! Algorithms for Structured Value Ranking in Update-Intensive Relational
+//! Databases"* (Guo, Shanmugasundaram, Beyer, Shekita — ICDE 2005): a family
+//! of inverted-list indexes and top-k query algorithms that stay fast when
+//! document scores change frequently.
+//!
+//! The six methods (behind the [`SearchIndex`] trait):
+//!
+//! * [`methods::IdMethod`] — classic ID-ordered lists; O(1) score updates,
+//!   full-scan queries;
+//! * [`methods::ScoreMethod`] — score-ordered lists; early-terminating
+//!   queries, ruinous updates;
+//! * [`methods::ScoreThresholdMethod`] — score-ordered long + short lists
+//!   with a threshold ratio trading update for query time (Algorithms 1-2);
+//! * [`methods::ChunkMethod`] — the paper's headline index: chunked,
+//!   score-free long lists with a chunk-ratio knob;
+//! * [`methods::IdTermMethod`] / [`methods::ChunkTermMethod`] — the
+//!   combined SVR + term-score variants (Algorithm 3, fancy lists).
+//!
+//! ```
+//! use std::collections::HashMap;
+//! use svr_core::{build_index, IndexConfig, MethodKind, Query};
+//! use svr_core::types::{DocId, Document, TermId};
+//!
+//! let docs = vec![
+//!     Document::from_term_freqs(DocId(1), [(TermId(1), 1), (TermId(2), 1)]),
+//!     Document::from_term_freqs(DocId(2), [(TermId(1), 2)]),
+//! ];
+//! let scores = HashMap::from([(DocId(1), 10.0), (DocId(2), 90.0)]);
+//! let index = build_index(MethodKind::Chunk, &docs, &scores, &IndexConfig::default()).unwrap();
+//!
+//! // Doc 2 wins on its structured-value score...
+//! let hits = index.query(&Query::conjunctive([TermId(1)], 1)).unwrap();
+//! assert_eq!(hits[0].doc, DocId(2));
+//!
+//! // ...until doc 1's popularity explodes.
+//! index.update_score(DocId(1), 5000.0).unwrap();
+//! let hits = index.query(&Query::conjunctive([TermId(1)], 1)).unwrap();
+//! assert_eq!(hits[0].doc, DocId(1));
+//! ```
+
+pub mod aux_table;
+pub mod byte_stream;
+pub mod chunk_map;
+pub mod config;
+pub mod doc_store;
+pub mod error;
+pub mod heap;
+pub mod long_list;
+pub mod maintenance;
+pub mod merge;
+pub mod methods;
+pub mod oracle;
+pub mod score_table;
+pub mod short_list;
+pub mod types;
+
+pub use chunk_map::ChunkMap;
+pub use config::IndexConfig;
+pub use error::{CoreError, Result};
+pub use methods::{build_index, store_names, MethodKind, ScoreMap, SearchIndex};
+pub use oracle::Oracle;
+pub use types::{Query, QueryMode, SearchHit};

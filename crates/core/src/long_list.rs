@@ -1,0 +1,354 @@
+//! Long (immutable) inverted lists in the blob store, plus streaming
+//! cursors and corpus inversion helpers.
+//!
+//! Formats are the ones defined in [`svr_text::postings`]; here they are
+//! decoded *incrementally*, page by page, so early-terminating queries only
+//! pay for the prefix of the list they actually visit.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use svr_storage::{BlobHandle, BlobStore, Store};
+use svr_text::postings::TermScoredPosting;
+use svr_text::{normalized_tf, quantize_term_score};
+
+use crate::byte_stream::ByteStream;
+use crate::error::Result;
+use crate::short_list::PostingPos;
+use crate::types::{DocId, Document, TermId};
+
+/// Long-list layout used by a method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListFormat {
+    /// Doc-id order, delta+varint (ID, ID-TermScore; also fancy lists).
+    Id { with_scores: bool },
+    /// Chunk groups descending, doc ids ascending within (Chunk, Chunk-TS).
+    Chunked { with_scores: bool },
+    /// `(score, doc)` fixed width, score descending (Score-Threshold).
+    Score { with_scores: bool },
+}
+
+/// One decoded long-list posting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LongPosting {
+    pub pos: PostingPos,
+    pub doc: DocId,
+    pub tscore: u16,
+}
+
+/// Immutable per-term lists in one blob store with an in-memory directory.
+///
+/// A production deployment would keep the directory (term -> blob handle) in
+/// a small B+-tree; it is a few entries per term and always cached, so we
+/// hold it in memory to keep the I/O counters focused on what the paper
+/// measures (the lists themselves).
+pub struct LongListStore {
+    blobs: BlobStore,
+    format: ListFormat,
+    directory: RwLock<HashMap<TermId, BlobHandle>>,
+    total_bytes: AtomicU64,
+}
+
+impl LongListStore {
+    /// Create an empty list store.
+    pub fn new(store: Arc<Store>, format: ListFormat) -> LongListStore {
+        LongListStore {
+            blobs: BlobStore::new(store),
+            format,
+            directory: RwLock::new(HashMap::new()),
+            total_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Layout of the stored lists.
+    pub fn format(&self) -> ListFormat {
+        self.format
+    }
+
+    /// Store (replacing any previous) the encoded list for `term`.
+    pub fn set_list(&self, term: TermId, encoded: &[u8]) -> Result<()> {
+        let handle = self.blobs.put(encoded)?;
+        let mut dir = self.directory.write();
+        if let Some(old) = dir.insert(term, handle) {
+            self.blobs.free(old)?;
+            self.total_bytes.fetch_sub(old.len, Ordering::Relaxed);
+        }
+        self.total_bytes.fetch_add(encoded.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Raw bytes of a term's list (offline merge / tests).
+    pub fn raw_list(&self, term: TermId) -> Result<Option<Vec<u8>>> {
+        let handle = self.directory.read().get(&term).copied();
+        match handle {
+            Some(h) => Ok(Some(self.blobs.read_all(h)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Streaming cursor over a term's list (empty cursor for unknown terms).
+    pub fn cursor(&self, term: TermId) -> LongCursor<'_> {
+        let handle = self.directory.read().get(&term).copied();
+        match handle {
+            None => LongCursor::Empty,
+            Some(h) => {
+                let stream = ByteStream::new(self.blobs.reader(h));
+                match self.format {
+                    ListFormat::Id { with_scores } => LongCursor::Id(IdCursorState {
+                        stream,
+                        with_scores,
+                        prev: None,
+                    }),
+                    ListFormat::Chunked { with_scores } => LongCursor::Chunked(ChunkCursorState {
+                        stream,
+                        with_scores,
+                        current_cid: 0,
+                        remaining: 0,
+                        prev: None,
+                    }),
+                    ListFormat::Score { with_scores } => {
+                        LongCursor::Score(ScoreCursorState { stream, with_scores })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total encoded bytes across every term (the paper's Table 1 metric).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of terms with lists.
+    pub fn num_terms(&self) -> usize {
+        self.directory.read().len()
+    }
+
+    /// Terms with stored lists (unsorted).
+    pub fn terms(&self) -> Vec<TermId> {
+        self.directory.read().keys().copied().collect()
+    }
+
+    /// Pages occupied by a term's list (I/O cost of a full scan).
+    pub fn pages_of(&self, term: TermId) -> u64 {
+        self.directory.read().get(&term).map_or(0, |h| h.pages)
+    }
+}
+
+/// Streaming decoder over one term's long list.
+pub enum LongCursor<'a> {
+    Empty,
+    Id(IdCursorState<'a>),
+    Chunked(ChunkCursorState<'a>),
+    Score(ScoreCursorState<'a>),
+}
+
+pub struct IdCursorState<'a> {
+    stream: ByteStream<'a>,
+    with_scores: bool,
+    prev: Option<u32>,
+}
+
+pub struct ChunkCursorState<'a> {
+    stream: ByteStream<'a>,
+    with_scores: bool,
+    current_cid: u32,
+    remaining: u64,
+    prev: Option<u32>,
+}
+
+pub struct ScoreCursorState<'a> {
+    stream: ByteStream<'a>,
+    with_scores: bool,
+}
+
+impl LongCursor<'_> {
+    /// Next posting in list order, or `None` at the end.
+    pub fn next_posting(&mut self) -> Result<Option<LongPosting>> {
+        match self {
+            LongCursor::Empty => Ok(None),
+            LongCursor::Id(state) => {
+                if state.stream.is_eof()? {
+                    return Ok(None);
+                }
+                let delta = state.stream.read_varint()? as u32;
+                let doc = match state.prev {
+                    None => delta,
+                    Some(prev) => prev + delta + 1,
+                };
+                state.prev = Some(doc);
+                let tscore = if state.with_scores { state.stream.read_u16_le()? } else { 0 };
+                Ok(Some(LongPosting { pos: PostingPos::Id, doc: DocId(doc), tscore }))
+            }
+            LongCursor::Chunked(state) => {
+                while state.remaining == 0 {
+                    if state.stream.is_eof()? {
+                        return Ok(None);
+                    }
+                    state.current_cid = state.stream.read_varint()? as u32;
+                    state.remaining = state.stream.read_varint()?;
+                    state.prev = None;
+                }
+                state.remaining -= 1;
+                let delta = state.stream.read_varint()? as u32;
+                let doc = match state.prev {
+                    None => delta,
+                    Some(prev) => prev + delta + 1,
+                };
+                state.prev = Some(doc);
+                let tscore = if state.with_scores { state.stream.read_u16_le()? } else { 0 };
+                Ok(Some(LongPosting {
+                    pos: PostingPos::ByChunk(state.current_cid),
+                    doc: DocId(doc),
+                    tscore,
+                }))
+            }
+            LongCursor::Score(state) => {
+                if state.stream.is_eof()? {
+                    return Ok(None);
+                }
+                let score = state.stream.read_f64_le()?;
+                let doc = state.stream.read_u32_le()?;
+                let tscore = if state.with_scores { state.stream.read_u16_le()? } else { 0 };
+                Ok(Some(LongPosting {
+                    pos: PostingPos::ByScore(score),
+                    doc: DocId(doc),
+                    tscore,
+                }))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus inversion
+// ---------------------------------------------------------------------------
+
+/// Quantized term score for a `(tf, max_tf)` pair.
+#[inline]
+pub fn posting_term_score(tf: u32, max_tf: u32) -> u16 {
+    quantize_term_score(normalized_tf(tf, max_tf))
+}
+
+/// Invert a corpus into per-term postings sorted by doc id. Term scores are
+/// the quantized normalized TF of each (doc, term) pair.
+pub fn invert_corpus(docs: &[Document]) -> HashMap<TermId, Vec<TermScoredPosting>> {
+    let mut inverted: HashMap<TermId, Vec<TermScoredPosting>> = HashMap::new();
+    let mut sorted: Vec<&Document> = docs.iter().collect();
+    sorted.sort_by_key(|d| d.id);
+    for doc in sorted {
+        let max_tf = doc.max_tf();
+        for &(term, tf) in &doc.terms {
+            inverted.entry(term).or_default().push(TermScoredPosting {
+                doc: doc.id,
+                tscore: posting_term_score(tf, max_tf),
+            });
+        }
+    }
+    inverted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svr_storage::MemDisk;
+    use svr_text::postings::{ChunkGroup, PostingsBuilder};
+
+    fn store() -> Arc<Store> {
+        Arc::new(Store::new(Arc::new(MemDisk::new(128)), 8))
+    }
+
+    #[test]
+    fn id_cursor_streams_pages() {
+        let lls = LongListStore::new(store(), ListFormat::Id { with_scores: false });
+        let docs: Vec<DocId> = (0..500u32).map(|i| DocId(i * 3)).collect();
+        let mut buf = Vec::new();
+        PostingsBuilder::encode_id_list(&docs, &mut buf);
+        lls.set_list(TermId(1), &buf).unwrap();
+        let mut cursor = lls.cursor(TermId(1));
+        for &d in &docs {
+            let p = cursor.next_posting().unwrap().unwrap();
+            assert_eq!(p.doc, d);
+            assert_eq!(p.pos, PostingPos::Id);
+        }
+        assert!(cursor.next_posting().unwrap().is_none());
+        assert!(lls.pages_of(TermId(1)) > 1, "list must span pages");
+    }
+
+    #[test]
+    fn chunked_cursor_streams() {
+        let lls = LongListStore::new(store(), ListFormat::Chunked { with_scores: true });
+        let groups = vec![
+            ChunkGroup {
+                cid: 5,
+                postings: (0..100u32)
+                    .map(|i| TermScoredPosting { doc: DocId(i * 2), tscore: i as u16 })
+                    .collect(),
+            },
+            ChunkGroup {
+                cid: 1,
+                postings: vec![TermScoredPosting { doc: DocId(7), tscore: 999 }],
+            },
+        ];
+        let mut buf = Vec::new();
+        PostingsBuilder::encode_chunked_list(&groups, true, &mut buf);
+        lls.set_list(TermId(2), &buf).unwrap();
+        let mut cursor = lls.cursor(TermId(2));
+        let mut seen = Vec::new();
+        while let Some(p) = cursor.next_posting().unwrap() {
+            seen.push(p);
+        }
+        assert_eq!(seen.len(), 101);
+        assert_eq!(seen[0].pos, PostingPos::ByChunk(5));
+        assert_eq!(seen[100].pos, PostingPos::ByChunk(1));
+        assert_eq!(seen[100].doc, DocId(7));
+        assert_eq!(seen[100].tscore, 999);
+    }
+
+    #[test]
+    fn score_cursor_streams() {
+        let lls = LongListStore::new(store(), ListFormat::Score { with_scores: false });
+        let postings = vec![(124.2, DocId(9), 0u16), (87.13, DocId(2), 0), (3.0, DocId(5), 0)];
+        let mut buf = Vec::new();
+        PostingsBuilder::encode_score_list(&postings, false, &mut buf);
+        lls.set_list(TermId(3), &buf).unwrap();
+        let mut cursor = lls.cursor(TermId(3));
+        let p = cursor.next_posting().unwrap().unwrap();
+        assert_eq!(p.pos, PostingPos::ByScore(124.2));
+        assert_eq!(p.doc, DocId(9));
+    }
+
+    #[test]
+    fn unknown_term_is_empty_cursor() {
+        let lls = LongListStore::new(store(), ListFormat::Id { with_scores: false });
+        assert!(lls.cursor(TermId(99)).next_posting().unwrap().is_none());
+        assert_eq!(lls.total_bytes(), 0);
+    }
+
+    #[test]
+    fn replacing_a_list_updates_bytes() {
+        let lls = LongListStore::new(store(), ListFormat::Id { with_scores: false });
+        lls.set_list(TermId(1), &[1, 2, 3, 4]).unwrap();
+        assert_eq!(lls.total_bytes(), 4);
+        lls.set_list(TermId(1), &[1, 2]).unwrap();
+        assert_eq!(lls.total_bytes(), 2);
+        assert_eq!(lls.num_terms(), 1);
+    }
+
+    #[test]
+    fn invert_corpus_sorted_by_doc() {
+        let docs = vec![
+            Document::from_term_freqs(DocId(5), [(TermId(1), 2), (TermId(2), 1)]),
+            Document::from_term_freqs(DocId(1), [(TermId(1), 4)]),
+        ];
+        let inverted = invert_corpus(&docs);
+        let t1 = &inverted[&TermId(1)];
+        assert_eq!(t1.len(), 2);
+        assert_eq!(t1[0].doc, DocId(1));
+        assert_eq!(t1[1].doc, DocId(5));
+        // Doc 1's term 1 is its max-tf term: normalized score is 1.0.
+        assert_eq!(t1[0].tscore, u16::MAX);
+    }
+}

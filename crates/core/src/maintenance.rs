@@ -1,0 +1,217 @@
+//! Offline maintenance: merging short lists back into the long lists.
+//!
+//! "Note also that the short lists will be periodically merged with the
+//! long lists bringing down document insertion cost again" (App. A.3). The
+//! paper performs this offline and excludes it from the measured operations
+//! (§5.1); here it is implemented as a full regeneration of the long lists
+//! from the live forward index and Score table — the simplest correct
+//! policy, and the natural point to recompute chunk boundaries for the
+//! Chunk methods.
+
+use std::collections::{HashMap, HashSet};
+
+use svr_text::postings::{PostingsBuilder, TermScoredPosting};
+
+use crate::chunk_map::ChunkMap;
+use crate::error::Result;
+use crate::long_list::{posting_term_score, LongListStore};
+use crate::methods::base::MethodBase;
+use crate::methods::chunk::group_by_chunk;
+use crate::types::{DocId, Score, TermId};
+
+/// Invert the live collection from the forward index, producing per-term
+/// postings in doc-id order plus each doc's current score.
+#[allow(clippy::type_complexity)]
+fn invert_live(
+    base: &MethodBase,
+) -> Result<(HashMap<TermId, Vec<TermScoredPosting>>, HashMap<DocId, Score>)> {
+    let live = base.score_table.live_scores()?;
+    let mut inverted: HashMap<TermId, Vec<TermScoredPosting>> = HashMap::new();
+    let mut scores = HashMap::with_capacity(live.len());
+    for (doc, score) in live {
+        scores.insert(doc, score);
+        let Some(terms) = base.doc_store.get(doc)? else {
+            continue;
+        };
+        let max_tf = terms.iter().map(|&(_, tf)| tf).max().unwrap_or(0);
+        for (term, tf) in terms {
+            inverted.entry(term).or_default().push(TermScoredPosting {
+                doc,
+                tscore: posting_term_score(tf, max_tf),
+            });
+        }
+    }
+    // live_scores is doc-ordered, so each term's postings already are too.
+    Ok((inverted, scores))
+}
+
+/// Replace every list in `long`, clearing lists for terms that vanished.
+fn replace_lists(
+    long: &LongListStore,
+    new_lists: HashMap<TermId, Vec<u8>>,
+) -> Result<()> {
+    let fresh: HashSet<TermId> = new_lists.keys().copied().collect();
+    for term in long.terms() {
+        if !fresh.contains(&term) {
+            long.set_list(term, &[])?;
+        }
+    }
+    for (term, buf) in new_lists {
+        long.set_list(term, &buf)?;
+    }
+    Ok(())
+}
+
+/// Rebuild ID-ordered long lists (ID / ID-TermScore methods).
+pub(crate) fn rebuild_id_lists(
+    base: &MethodBase,
+    long: &LongListStore,
+    with_scores: bool,
+) -> Result<()> {
+    let (inverted, _) = invert_live(base)?;
+    let mut lists = HashMap::with_capacity(inverted.len());
+    for (term, postings) in inverted {
+        let mut buf = Vec::new();
+        if with_scores {
+            PostingsBuilder::encode_id_term_list(&postings, &mut buf);
+        } else {
+            let ids: Vec<DocId> = postings.iter().map(|p| p.doc).collect();
+            PostingsBuilder::encode_id_list(&ids, &mut buf);
+        }
+        lists.insert(term, buf);
+    }
+    replace_lists(long, lists)
+}
+
+/// Rebuild score-ordered long lists (Score-Threshold method) using the
+/// *current* scores — after the merge, list scores are exact again.
+pub(crate) fn rebuild_score_lists(base: &MethodBase, long: &LongListStore) -> Result<()> {
+    let (inverted, scores) = invert_live(base)?;
+    let mut lists = HashMap::with_capacity(inverted.len());
+    for (term, postings) in inverted {
+        let mut rows: Vec<(f64, DocId, u16)> = postings
+            .iter()
+            .map(|p| (scores.get(&p.doc).copied().unwrap_or(0.0), p.doc, p.tscore))
+            .collect();
+        rows.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let mut buf = Vec::new();
+        PostingsBuilder::encode_score_list(&rows, false, &mut buf);
+        lists.insert(term, buf);
+    }
+    replace_lists(long, lists)
+}
+
+/// Rebuild chunked long lists (Chunk method); returns the new chunk map
+/// computed from the live score distribution with the caller's parameters.
+pub(crate) fn rebuild_chunked_lists(
+    base: &MethodBase,
+    long: &LongListStore,
+    with_scores: bool,
+    chunk_ratio: f64,
+    min_chunk_docs: usize,
+    old_map: ChunkMap,
+) -> Result<ChunkMap> {
+    let (inverted, scores) = invert_live(base)?;
+    let all_scores: Vec<Score> = scores.values().copied().collect();
+    let new_map = if all_scores.is_empty() {
+        old_map
+    } else {
+        ChunkMap::from_scores(&all_scores, chunk_ratio, min_chunk_docs)
+    };
+    let mut lists = HashMap::with_capacity(inverted.len());
+    for (term, postings) in inverted {
+        let groups = group_by_chunk(&postings, |doc| {
+            new_map.chunk_of(scores.get(&doc).copied().unwrap_or(0.0))
+        });
+        let mut buf = Vec::new();
+        PostingsBuilder::encode_chunked_list(&groups, with_scores, &mut buf);
+        lists.insert(term, buf);
+    }
+    replace_lists(long, lists)?;
+    Ok(new_map)
+}
+
+/// Rebuild score-ordered long lists with term scores *and* fancy lists
+/// (Score-Threshold-TermScore); returns per-term `(minF, complete)` fancy
+/// metadata. After the merge, list scores are exact again.
+pub(crate) fn rebuild_score_term_lists(
+    base: &MethodBase,
+    long: &LongListStore,
+    fancy: &LongListStore,
+    fancy_size: usize,
+) -> Result<HashMap<TermId, (u16, bool)>> {
+    let (inverted, scores) = invert_live(base)?;
+    let mut lists = HashMap::with_capacity(inverted.len());
+    let mut fancy_lists = HashMap::with_capacity(inverted.len());
+    let mut meta = HashMap::with_capacity(inverted.len());
+    for (term, postings) in inverted {
+        let mut rows: Vec<(f64, DocId, u16)> = postings
+            .iter()
+            .map(|p| (scores.get(&p.doc).copied().unwrap_or(0.0), p.doc, p.tscore))
+            .collect();
+        rows.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let mut buf = Vec::new();
+        PostingsBuilder::encode_score_list(&rows, true, &mut buf);
+        lists.insert(term, buf);
+
+        let mut ranked = postings.clone();
+        ranked.sort_by(|a, b| b.tscore.cmp(&a.tscore).then_with(|| a.doc.cmp(&b.doc)));
+        ranked.truncate(fancy_size);
+        let complete = ranked.len() == postings.len();
+        let min_ts = ranked.iter().map(|p| p.tscore).min().unwrap_or(0);
+        ranked.sort_by_key(|p| p.doc);
+        let mut fbuf = Vec::new();
+        PostingsBuilder::encode_id_term_list(&ranked, &mut fbuf);
+        fancy_lists.insert(term, fbuf);
+        meta.insert(term, (min_ts, complete));
+    }
+    replace_lists(long, lists)?;
+    replace_lists(fancy, fancy_lists)?;
+    Ok(meta)
+}
+
+/// Rebuild chunked long lists *and* fancy lists (Chunk-TermScore); returns
+/// the new chunk map and per-term `(minF, complete)` fancy metadata.
+#[allow(clippy::type_complexity)]
+pub(crate) fn rebuild_chunk_term_lists(
+    base: &MethodBase,
+    long: &LongListStore,
+    fancy: &LongListStore,
+    fancy_size: usize,
+    chunk_ratio: f64,
+    min_chunk_docs: usize,
+    old_map: ChunkMap,
+) -> Result<(ChunkMap, HashMap<TermId, (u16, bool)>)> {
+    let (inverted, scores) = invert_live(base)?;
+    let all_scores: Vec<Score> = scores.values().copied().collect();
+    let new_map = if all_scores.is_empty() {
+        old_map
+    } else {
+        ChunkMap::from_scores(&all_scores, chunk_ratio, min_chunk_docs)
+    };
+    let mut lists = HashMap::with_capacity(inverted.len());
+    let mut fancy_lists = HashMap::with_capacity(inverted.len());
+    let mut meta = HashMap::with_capacity(inverted.len());
+    for (term, postings) in inverted {
+        let groups = group_by_chunk(&postings, |doc| {
+            new_map.chunk_of(scores.get(&doc).copied().unwrap_or(0.0))
+        });
+        let mut buf = Vec::new();
+        PostingsBuilder::encode_chunked_list(&groups, true, &mut buf);
+        lists.insert(term, buf);
+
+        let mut ranked = postings.clone();
+        ranked.sort_by(|a, b| b.tscore.cmp(&a.tscore).then_with(|| a.doc.cmp(&b.doc)));
+        ranked.truncate(fancy_size);
+        let complete = ranked.len() == postings.len();
+        let min_ts = ranked.iter().map(|p| p.tscore).min().unwrap_or(0);
+        ranked.sort_by_key(|p| p.doc);
+        let mut fbuf = Vec::new();
+        PostingsBuilder::encode_id_term_list(&ranked, &mut fbuf);
+        fancy_lists.insert(term, fbuf);
+        meta.insert(term, (min_ts, complete));
+    }
+    replace_lists(long, lists)?;
+    replace_lists(fancy, fancy_lists)?;
+    Ok((new_map, meta))
+}

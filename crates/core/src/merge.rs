@@ -1,0 +1,399 @@
+//! Merge machinery for query processing.
+//!
+//! [`UnionCursor`] implements the paper's `SL(ti) ∪ LL(ti)` — the logical
+//! union of a term's short and long lists in list order — including the
+//! Appendix-A cancellation of `REM` tombstones against the long posting they
+//! are co-located with.
+//!
+//! [`MultiMerge`] merges the m per-term unions and yields *candidates*: each
+//! distinct `(list position, doc)` with the set of query terms that matched
+//! there. Conjunctive queries keep candidates matched by every term;
+//! disjunctive queries keep them all. Candidates are produced in global list
+//! order (score/chunk descending, then doc ascending), which is what the
+//! stopping rules of Algorithms 2 and 3 rely on.
+
+use crate::error::Result;
+use crate::long_list::{LongCursor, LongPosting};
+use crate::short_list::{Op, PostingPos, ShortCursor, ShortPosting};
+use crate::types::DocId;
+
+/// Where a matched posting came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    Long,
+    ShortAdd,
+}
+
+/// A term's posting match within a candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TermMatch {
+    pub source: Source,
+    pub tscore: u16,
+}
+
+/// Merge-order key: `(position rank, doc id)`, ascending.
+pub type MergeKey = (u64, u32);
+
+/// One posting event from a term's union cursor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnionEvent {
+    pub pos: PostingPos,
+    pub doc: DocId,
+    pub m: TermMatch,
+}
+
+impl UnionEvent {
+    #[inline]
+    pub fn key(&self) -> MergeKey {
+        (self.pos.rank(), self.doc.0)
+    }
+}
+
+/// Union of one term's short and long lists in list order.
+pub struct UnionCursor<'a> {
+    long: LongCursor<'a>,
+    short: ShortCursor<'a>,
+    long_head: Option<LongPosting>,
+    short_head: Option<ShortPosting>,
+    primed: bool,
+}
+
+impl<'a> UnionCursor<'a> {
+    /// Combine a long-list cursor and a short-list cursor for one term.
+    pub fn new(long: LongCursor<'a>, short: ShortCursor<'a>) -> UnionCursor<'a> {
+        UnionCursor { long, short, long_head: None, short_head: None, primed: false }
+    }
+
+    fn prime(&mut self) -> Result<()> {
+        if !self.primed {
+            self.long_head = self.long.next_posting()?;
+            self.short_head = self.short.next_posting()?;
+            self.primed = true;
+        }
+        Ok(())
+    }
+
+    fn advance_long(&mut self) -> Result<()> {
+        self.long_head = self.long.next_posting()?;
+        Ok(())
+    }
+
+    fn advance_short(&mut self) -> Result<()> {
+        self.short_head = self.short.next_posting()?;
+        Ok(())
+    }
+
+    /// Next union event in list order. `REM` tombstones cancel the long
+    /// posting at the same position and produce no event.
+    pub fn next_event(&mut self) -> Result<Option<UnionEvent>> {
+        self.prime()?;
+        loop {
+            match (self.long_head, self.short_head) {
+                (None, None) => return Ok(None),
+                (Some(l), None) => {
+                    let event = UnionEvent {
+                        pos: l.pos,
+                        doc: l.doc,
+                        m: TermMatch { source: Source::Long, tscore: l.tscore },
+                    };
+                    self.advance_long()?;
+                    return Ok(Some(event));
+                }
+                (None, Some(s)) => {
+                    self.advance_short()?;
+                    if s.op == Op::Rem {
+                        // Orphan tombstone (its long posting was already
+                        // consumed or never existed): emit nothing.
+                        continue;
+                    }
+                    return Ok(Some(UnionEvent {
+                        pos: s.pos,
+                        doc: s.doc,
+                        m: TermMatch { source: Source::ShortAdd, tscore: s.tscore },
+                    }));
+                }
+                (Some(l), Some(s)) => {
+                    let lk = (l.pos.rank(), l.doc.0);
+                    let sk = (s.pos.rank(), s.doc.0);
+                    if lk < sk {
+                        let event = UnionEvent {
+                            pos: l.pos,
+                            doc: l.doc,
+                            m: TermMatch { source: Source::Long, tscore: l.tscore },
+                        };
+                        self.advance_long()?;
+                        return Ok(Some(event));
+                    }
+                    if sk < lk {
+                        self.advance_short()?;
+                        if s.op == Op::Rem {
+                            continue;
+                        }
+                        return Ok(Some(UnionEvent {
+                            pos: s.pos,
+                            doc: s.doc,
+                            m: TermMatch { source: Source::ShortAdd, tscore: s.tscore },
+                        }));
+                    }
+                    // Same position and doc: the short posting governs.
+                    self.advance_long()?;
+                    self.advance_short()?;
+                    if s.op == Op::Rem {
+                        // Content removal: the pair annihilates (App. A.1).
+                        continue;
+                    }
+                    return Ok(Some(UnionEvent {
+                        pos: s.pos,
+                        doc: s.doc,
+                        m: TermMatch { source: Source::ShortAdd, tscore: s.tscore },
+                    }));
+                }
+            }
+        }
+    }
+}
+
+/// A candidate produced by the m-way merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    pub pos: PostingPos,
+    pub doc: DocId,
+    /// Per query term (by index): the match at this position, if any.
+    pub matches: Vec<Option<TermMatch>>,
+}
+
+impl Candidate {
+    /// Number of query terms matched here.
+    pub fn match_count(&self) -> usize {
+        self.matches.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// True if every event came from the short lists. Score-update postings
+    /// are written to the short lists of *all* of a document's terms, so a
+    /// relocated document matches entirely from the short side; mixed
+    /// matches mean the document sits at its long-list position.
+    pub fn all_short(&self) -> bool {
+        self.matches
+            .iter()
+            .flatten()
+            .all(|m| m.source == Source::ShortAdd)
+            && self.match_count() > 0
+    }
+}
+
+/// m-way merge over per-term union cursors, yielding candidates in global
+/// list order.
+pub struct MultiMerge<'a> {
+    streams: Vec<UnionCursor<'a>>,
+    heads: Vec<Option<UnionEvent>>,
+    primed: bool,
+}
+
+impl<'a> MultiMerge<'a> {
+    /// Merge the given per-term cursors (one per query term, in query order).
+    pub fn new(streams: Vec<UnionCursor<'a>>) -> MultiMerge<'a> {
+        let n = streams.len();
+        MultiMerge { streams, heads: vec![None; n], primed: false }
+    }
+
+    fn prime(&mut self) -> Result<()> {
+        if !self.primed {
+            for (i, stream) in self.streams.iter_mut().enumerate() {
+                self.heads[i] = stream.next_event()?;
+            }
+            self.primed = true;
+        }
+        Ok(())
+    }
+
+    /// Next candidate (any match count), or `None` when all lists are
+    /// exhausted.
+    pub fn next_candidate(&mut self) -> Result<Option<Candidate>> {
+        self.prime()?;
+        let min_key = self
+            .heads
+            .iter()
+            .flatten()
+            .map(|e| e.key())
+            .min();
+        let Some(min_key) = min_key else {
+            return Ok(None);
+        };
+        let mut matches = vec![None; self.streams.len()];
+        let mut pos = PostingPos::Id;
+        let mut doc = DocId(0);
+        for (i, slot) in matches.iter_mut().enumerate() {
+            if let Some(event) = self.heads[i] {
+                if event.key() == min_key {
+                    *slot = Some(event.m);
+                    pos = event.pos;
+                    doc = event.doc;
+                    self.heads[i] = self.streams[i].next_event()?;
+                }
+            }
+        }
+        Ok(Some(Candidate { pos, doc, matches }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::long_list::{ListFormat, LongListStore};
+    use crate::short_list::{ShortLists, ShortOrder};
+    use crate::types::TermId;
+    use std::sync::Arc;
+    use svr_storage::{MemDisk, Store};
+    use svr_text::postings::{ChunkGroup, PostingsBuilder, TermScoredPosting};
+
+    fn fixtures() -> (LongListStore, ShortLists) {
+        let store = Arc::new(Store::new(Arc::new(MemDisk::new(4096)), 64));
+        let store2 = Arc::new(Store::new(Arc::new(MemDisk::new(4096)), 64));
+        (
+            LongListStore::new(store, ListFormat::Chunked { with_scores: false }),
+            ShortLists::create(store2, ShortOrder::ByChunkDesc).unwrap(),
+        )
+    }
+
+    fn set_chunked(lls: &LongListStore, term: u32, groups: &[(u32, &[u32])]) {
+        let groups: Vec<ChunkGroup> = groups
+            .iter()
+            .map(|&(cid, docs)| ChunkGroup {
+                cid,
+                postings: docs
+                    .iter()
+                    .map(|&d| TermScoredPosting { doc: DocId(d), tscore: 0 })
+                    .collect(),
+            })
+            .collect();
+        let mut buf = Vec::new();
+        PostingsBuilder::encode_chunked_list(&groups, false, &mut buf);
+        lls.set_list(TermId(term), &buf).unwrap();
+    }
+
+    fn drain(mut u: UnionCursor<'_>) -> Vec<(PostingPos, u32, Source)> {
+        let mut out = Vec::new();
+        while let Some(e) = u.next_event().unwrap() {
+            out.push((e.pos, e.doc.0, e.m.source));
+        }
+        out
+    }
+
+    #[test]
+    fn union_interleaves_short_and_long() {
+        let (lls, sls) = fixtures();
+        set_chunked(&lls, 1, &[(3, &[10, 20]), (1, &[5])]);
+        sls.put(TermId(1), PostingPos::ByChunk(5), DocId(20), Op::Add, 0).unwrap();
+        let events = drain(UnionCursor::new(lls.cursor(TermId(1)), sls.cursor(TermId(1)).unwrap()));
+        assert_eq!(
+            events,
+            vec![
+                (PostingPos::ByChunk(5), 20, Source::ShortAdd),
+                (PostingPos::ByChunk(3), 10, Source::Long),
+                (PostingPos::ByChunk(3), 20, Source::Long),
+                (PostingPos::ByChunk(1), 5, Source::Long),
+            ]
+        );
+    }
+
+    #[test]
+    fn rem_cancels_colocated_long_posting() {
+        let (lls, sls) = fixtures();
+        set_chunked(&lls, 1, &[(3, &[10, 20, 30])]);
+        sls.put(TermId(1), PostingPos::ByChunk(3), DocId(20), Op::Rem, 0).unwrap();
+        let events = drain(UnionCursor::new(lls.cursor(TermId(1)), sls.cursor(TermId(1)).unwrap()));
+        assert_eq!(
+            events.iter().map(|e| e.1).collect::<Vec<_>>(),
+            vec![10, 30],
+            "doc 20 must be cancelled"
+        );
+    }
+
+    #[test]
+    fn add_at_same_position_overrides_long() {
+        let (lls, sls) = fixtures();
+        set_chunked(&lls, 1, &[(3, &[10])]);
+        sls.put(TermId(1), PostingPos::ByChunk(3), DocId(10), Op::Add, 42).unwrap();
+        let mut u = UnionCursor::new(lls.cursor(TermId(1)), sls.cursor(TermId(1)).unwrap());
+        let e = u.next_event().unwrap().unwrap();
+        assert_eq!(e.m.source, Source::ShortAdd);
+        assert_eq!(e.m.tscore, 42);
+        assert!(u.next_event().unwrap().is_none(), "no duplicate event");
+    }
+
+    #[test]
+    fn orphan_rem_is_silent() {
+        let (lls, sls) = fixtures();
+        set_chunked(&lls, 1, &[(3, &[10])]);
+        sls.put(TermId(1), PostingPos::ByChunk(9), DocId(99), Op::Rem, 0).unwrap();
+        let events = drain(UnionCursor::new(lls.cursor(TermId(1)), sls.cursor(TermId(1)).unwrap()));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].1, 10);
+    }
+
+    #[test]
+    fn multi_merge_conjunctive_alignment() {
+        let (lls, sls) = fixtures();
+        // Term 1: docs 10, 20 in chunk 3. Term 2: docs 20, 30 in chunk 3.
+        set_chunked(&lls, 1, &[(3, &[10, 20])]);
+        set_chunked(&lls, 2, &[(3, &[20, 30])]);
+        let streams = vec![
+            UnionCursor::new(lls.cursor(TermId(1)), sls.cursor(TermId(1)).unwrap()),
+            UnionCursor::new(lls.cursor(TermId(2)), sls.cursor(TermId(2)).unwrap()),
+        ];
+        let mut merge = MultiMerge::new(streams);
+        let mut full_matches = Vec::new();
+        let mut all = Vec::new();
+        while let Some(c) = merge.next_candidate().unwrap() {
+            if c.match_count() == 2 {
+                full_matches.push(c.doc.0);
+            }
+            all.push(c.doc.0);
+        }
+        assert_eq!(full_matches, vec![20]);
+        assert_eq!(all, vec![10, 20, 30], "union in doc order within the chunk");
+    }
+
+    #[test]
+    fn multi_merge_orders_across_chunks() {
+        let (lls, sls) = fixtures();
+        set_chunked(&lls, 1, &[(5, &[50]), (2, &[1])]);
+        set_chunked(&lls, 2, &[(4, &[7])]);
+        let streams = vec![
+            UnionCursor::new(lls.cursor(TermId(1)), sls.cursor(TermId(1)).unwrap()),
+            UnionCursor::new(lls.cursor(TermId(2)), sls.cursor(TermId(2)).unwrap()),
+        ];
+        let mut merge = MultiMerge::new(streams);
+        let mut order = Vec::new();
+        while let Some(c) = merge.next_candidate().unwrap() {
+            match c.pos {
+                PostingPos::ByChunk(cid) => order.push((cid, c.doc.0)),
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(order, vec![(5, 50), (4, 7), (2, 1)]);
+    }
+
+    #[test]
+    fn candidate_all_short_classification() {
+        let c = Candidate {
+            pos: PostingPos::ByChunk(3),
+            doc: DocId(1),
+            matches: vec![
+                Some(TermMatch { source: Source::ShortAdd, tscore: 0 }),
+                Some(TermMatch { source: Source::ShortAdd, tscore: 0 }),
+            ],
+        };
+        assert!(c.all_short());
+        let mixed = Candidate {
+            matches: vec![
+                Some(TermMatch { source: Source::ShortAdd, tscore: 0 }),
+                Some(TermMatch { source: Source::Long, tscore: 0 }),
+            ],
+            ..c.clone()
+        };
+        assert!(!mixed.all_short());
+        let none = Candidate { matches: vec![None, None], ..c };
+        assert!(!none.all_short());
+    }
+}

@@ -1,0 +1,163 @@
+//! Shared state and bookkeeping for every index method: the Score table,
+//! the forward doc store, deletion tombstones and live document-frequency
+//! statistics (for the term-score methods).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use svr_storage::StorageEnv;
+use svr_text::idf;
+
+use crate::config::IndexConfig;
+use crate::doc_store::DocStore;
+use crate::error::{check_score, CoreError, Result};
+use crate::methods::store_names;
+use crate::score_table::ScoreTable;
+use crate::types::{DocId, Document, Score, TermId};
+
+/// Common per-index state.
+pub(crate) struct MethodBase {
+    pub env: Arc<StorageEnv>,
+    pub score_table: ScoreTable,
+    pub doc_store: DocStore,
+    /// In-memory tombstones mirroring the Score table's deleted flags, so
+    /// query-time filtering costs no I/O.
+    pub deleted: RwLock<HashSet<DocId>>,
+    /// Live document frequencies (term-score methods compute IDF from these).
+    pub df: RwLock<HashMap<TermId, u64>>,
+    pub num_docs: AtomicU64,
+    pub term_weight: f64,
+}
+
+impl MethodBase {
+    /// Create the environment and the structures every method shares.
+    pub fn new(config: &IndexConfig) -> Result<MethodBase> {
+        let env = Arc::new(StorageEnv::new(config.page_size));
+        let score_store = env.create_store(store_names::SCORE, config.small_cache_pages);
+        let docs_store = env.create_store(store_names::DOCS, config.small_cache_pages);
+        Ok(MethodBase {
+            env,
+            score_table: ScoreTable::create(score_store)?,
+            doc_store: DocStore::create(docs_store)?,
+            deleted: RwLock::new(HashSet::new()),
+            df: RwLock::new(HashMap::new()),
+            num_docs: AtomicU64::new(0),
+            term_weight: config.term_weight,
+        })
+    }
+
+    /// Bulk-load documents and scores at build time.
+    pub fn bulk_load(
+        &self,
+        docs: &[Document],
+        scores: &HashMap<DocId, Score>,
+    ) -> Result<()> {
+        let mut df = self.df.write();
+        for doc in docs {
+            let score = scores.get(&doc.id).copied().unwrap_or(0.0);
+            self.score_table.set(doc.id, check_score(score)?)?;
+            self.doc_store.put(doc)?;
+            for term in doc.term_ids() {
+                *df.entry(term).or_insert(0) += 1;
+            }
+        }
+        self.num_docs.store(docs.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Score for `doc` stored in the score map at build time.
+    pub fn initial_score(scores: &HashMap<DocId, Score>, doc: DocId) -> Score {
+        scores.get(&doc).copied().unwrap_or(0.0)
+    }
+
+    /// True if the document is tombstoned.
+    pub fn is_deleted(&self, doc: DocId) -> bool {
+        self.deleted.read().contains(&doc)
+    }
+
+    /// IDF weight of a term under the live df statistics.
+    pub fn idf(&self, term: TermId) -> f64 {
+        let df_count = self.df.read().get(&term).copied().unwrap_or(0);
+        idf(self.num_docs.load(Ordering::Relaxed), df_count)
+    }
+
+    /// The combined scoring function `f(svr, Σ term scores)` of §4.3.3.
+    #[inline]
+    pub fn combine(&self, svr: Score, ts_sum: f64) -> Score {
+        svr + self.term_weight * ts_sum
+    }
+
+    /// Validate and register a brand-new document; returns an error if the
+    /// id is already in use by a live or deleted document.
+    pub fn register_insert(&self, doc: &Document, score: Score) -> Result<()> {
+        check_score(score)?;
+        if self.score_table.get(doc.id)?.is_some() {
+            return Err(CoreError::DuplicateDocument(doc.id));
+        }
+        self.score_table.set(doc.id, score)?;
+        self.doc_store.put(doc)?;
+        let mut df = self.df.write();
+        for term in doc.term_ids() {
+            *df.entry(term).or_insert(0) += 1;
+        }
+        self.num_docs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Tombstone a document.
+    pub fn register_delete(&self, doc: DocId) -> Result<()> {
+        if self.is_deleted(doc) {
+            return Err(CoreError::UnknownDocument(doc));
+        }
+        self.score_table.mark_deleted(doc)?;
+        let terms = self.doc_store.term_ids(doc)?;
+        let mut df = self.df.write();
+        for term in terms {
+            if let Some(count) = df.get_mut(&term) {
+                *count = count.saturating_sub(1);
+            }
+        }
+        self.num_docs.fetch_sub(1, Ordering::Relaxed);
+        self.deleted.write().insert(doc);
+        Ok(())
+    }
+
+    /// Replace a document's stored content; returns `(old_terms, new_terms)`
+    /// as `(term, tf)` lists for the caller's posting maintenance.
+    #[allow(clippy::type_complexity)]
+    pub fn register_content(
+        &self,
+        doc: &Document,
+    ) -> Result<(Vec<(TermId, u32)>, Vec<(TermId, u32)>)> {
+        if self.is_deleted(doc.id) {
+            return Err(CoreError::UnknownDocument(doc.id));
+        }
+        let old = self
+            .doc_store
+            .get(doc.id)?
+            .ok_or(CoreError::UnknownDocument(doc.id))?;
+        self.doc_store.put(doc)?;
+        let old_set: HashSet<TermId> = old.iter().map(|&(t, _)| t).collect();
+        let new_set: HashSet<TermId> = doc.term_ids().collect();
+        let mut df = self.df.write();
+        for term in new_set.difference(&old_set) {
+            *df.entry(*term).or_insert(0) += 1;
+        }
+        for term in old_set.difference(&new_set) {
+            if let Some(count) = df.get_mut(term) {
+                *count = count.saturating_sub(1);
+            }
+        }
+        Ok((old, doc.terms.clone()))
+    }
+
+    /// Current (live) score of a doc.
+    pub fn current_score(&self, doc: DocId) -> Result<Score> {
+        if self.is_deleted(doc) {
+            return Err(CoreError::UnknownDocument(doc));
+        }
+        self.score_table.score_of(doc)
+    }
+}

@@ -1,0 +1,291 @@
+//! The Chunk method (§4.3.2) — the paper's headline index.
+//!
+//! Documents are partitioned into chunks by their build-time scores; long
+//! lists store postings in (chunk desc, doc asc) order with **no scores**,
+//! so they are nearly as compact as ID lists. A document's short-list
+//! postings move only when its score climbs *two or more chunks*
+//! (`thresholdValueOf(cid) = cid + 1`), and queries scan to the end of one
+//! extra chunk before stopping.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use svr_storage::StorageEnv;
+use svr_text::postings::{ChunkGroup, PostingsBuilder, TermScoredPosting};
+
+use crate::aux_table::{ListChunkEntry, ListChunkTable};
+use crate::chunk_map::ChunkMap;
+use crate::config::IndexConfig;
+use crate::error::Result;
+use crate::heap::TopKHeap;
+use crate::long_list::{invert_corpus, ListFormat, LongListStore};
+use crate::merge::{MultiMerge, UnionCursor};
+use crate::methods::base::MethodBase;
+use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex};
+use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
+use crate::types::{ChunkId, DocId, Document, Query, QueryMode, Score, SearchHit, TermId};
+
+/// The Chunk method.
+pub struct ChunkMethod {
+    base: MethodBase,
+    config: IndexConfig,
+    long: LongListStore,
+    short: ShortLists,
+    list_chunk: ListChunkTable,
+    /// Rebuilt by the offline merge; immutable between merges.
+    chunk_map: RwLock<ChunkMap>,
+}
+
+/// Group per-term postings by a chunk map, descending chunk, ascending doc.
+pub(crate) fn group_by_chunk(
+    postings: &[TermScoredPosting],
+    chunk_of: impl Fn(DocId) -> ChunkId,
+) -> Vec<ChunkGroup> {
+    let mut by_chunk: HashMap<ChunkId, Vec<TermScoredPosting>> = HashMap::new();
+    for p in postings {
+        by_chunk.entry(chunk_of(p.doc)).or_default().push(*p);
+    }
+    let mut groups: Vec<ChunkGroup> = by_chunk
+        .into_iter()
+        .map(|(cid, mut postings)| {
+            postings.sort_by_key(|p| p.doc);
+            ChunkGroup { cid, postings }
+        })
+        .collect();
+    groups.sort_by_key(|g| std::cmp::Reverse(g.cid));
+    groups
+}
+
+impl ChunkMethod {
+    /// Build from a corpus and initial scores.
+    pub fn build(docs: &[Document], scores: &ScoreMap, config: &IndexConfig) -> Result<ChunkMethod> {
+        let base = MethodBase::new(config)?;
+        base.bulk_load(docs, scores)?;
+        let long_store = base.env.create_store(store_names::LONG, config.long_cache_pages);
+        let short_store = base.env.create_store(store_names::SHORT, config.small_cache_pages);
+        let aux_store = base.env.create_store(store_names::AUX, config.small_cache_pages);
+        let long = LongListStore::new(long_store, ListFormat::Chunked { with_scores: false });
+        let short = ShortLists::create(short_store, ShortOrder::ByChunkDesc)?;
+        let list_chunk = ListChunkTable::create(aux_store)?;
+
+        let all_scores: Vec<Score> = docs
+            .iter()
+            .map(|d| MethodBase::initial_score(scores, d.id))
+            .collect();
+        let chunk_map = ChunkMap::from_scores(&all_scores, config.chunk_ratio, config.min_chunk_docs);
+        for (term, postings) in invert_corpus(docs) {
+            let groups = group_by_chunk(&postings, |doc| {
+                chunk_map.chunk_of(MethodBase::initial_score(scores, doc))
+            });
+            let mut buf = Vec::new();
+            PostingsBuilder::encode_chunked_list(&groups, false, &mut buf);
+            long.set_list(term, &buf)?;
+        }
+        Ok(ChunkMethod {
+            base,
+            config: config.clone(),
+            long,
+            short,
+            list_chunk,
+            chunk_map: RwLock::new(chunk_map),
+        })
+    }
+
+    /// The document's list chunk and short-list flag (Algorithm 1 adapted:
+    /// an absent ListChunk entry means "never updated", in which case the
+    /// current score is still the build score and locates the long posting).
+    fn list_state(&self, doc: DocId, current_score: Score) -> Result<ListChunkEntry> {
+        match self.list_chunk.get(doc)? {
+            Some(entry) => Ok(entry),
+            None => Ok(ListChunkEntry {
+                l_chunk: self.chunk_map.read().chunk_of(current_score),
+                in_short_list: false,
+            }),
+        }
+    }
+
+    /// Exposed for tests and benches: the current chunk map.
+    pub fn chunk_map_snapshot(&self) -> ChunkMap {
+        self.chunk_map.read().clone()
+    }
+
+    /// Number of short-list postings (diagnostics).
+    pub fn short_list_len(&self) -> u64 {
+        self.short.len()
+    }
+}
+
+impl SearchIndex for ChunkMethod {
+    fn kind(&self) -> MethodKind {
+        MethodKind::Chunk
+    }
+
+    /// Algorithm 1, with chunk ids in place of scores and
+    /// `thresholdValueOf(c) = c + 1`.
+    fn update_score(&self, doc: DocId, new_score: Score) -> Result<()> {
+        let old_score = self.base.current_score(doc)?;
+        self.base.score_table.set(doc, new_score)?;
+        let entry = self.list_state(doc, old_score)?;
+        if self.list_chunk.get(doc)?.is_none() {
+            self.list_chunk.put(doc, ListChunkEntry {
+                l_chunk: entry.l_chunk,
+                in_short_list: false,
+            })?;
+        }
+        let new_chunk = self.chunk_map.read().chunk_of(new_score);
+        // Move only when the score crosses *two* chunk boundaries.
+        if new_chunk > entry.l_chunk + 1 {
+            let terms = self.base.doc_store.get(doc)?.unwrap_or_default();
+            for (term, _) in terms {
+                if entry.in_short_list {
+                    self.short.delete(term, PostingPos::ByChunk(entry.l_chunk), doc)?;
+                }
+                self.short.put(term, PostingPos::ByChunk(new_chunk), doc, Op::Add, 0)?;
+            }
+            self.list_chunk.put(doc, ListChunkEntry {
+                l_chunk: new_chunk,
+                in_short_list: true,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Algorithm 2 adapted to chunks: scan chunks in descending order and
+    /// stop at a chunk boundary once no upcoming document can beat the
+    /// secured top-k. A document listed in chunk `c` can have drifted up to
+    /// (but not into) chunk `c + 2`, hence the "one extra chunk" scan.
+    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
+        let required = match query.mode {
+            QueryMode::Conjunctive => query.terms.len(),
+            QueryMode::Disjunctive => 1,
+        };
+        let chunk_map = self.chunk_map.read();
+        let streams: Vec<UnionCursor<'_>> = query
+            .terms
+            .iter()
+            .map(|&t| Ok(UnionCursor::new(self.long.cursor(t), self.short.cursor(t)?)))
+            .collect::<Result<_>>()?;
+        let mut merge = MultiMerge::new(streams);
+        let mut heap = TopKHeap::new(query.k);
+        let mut seen: HashSet<DocId> = HashSet::new();
+        let mut prev_cid: Option<ChunkId> = None;
+
+        while let Some(candidate) = merge.next_candidate()? {
+            let PostingPos::ByChunk(cid) = candidate.pos else {
+                unreachable!("chunk method produces chunk-ordered candidates");
+            };
+            if let Some(prev) = prev_cid {
+                if cid < prev {
+                    // Chunk `prev` is complete: any upcoming doc's current
+                    // score is below the upper boundary of chunk `prev`.
+                    if let Some(min) = heap.min_score() {
+                        if min >= chunk_map.upper_bound(prev) {
+                            break;
+                        }
+                    }
+                }
+            }
+            prev_cid = Some(cid);
+
+            if candidate.match_count() < required
+                || self.base.is_deleted(candidate.doc)
+                || seen.contains(&candidate.doc)
+            {
+                continue;
+            }
+            if candidate.all_short() {
+                let current = self.base.score_table.score_of(candidate.doc)?;
+                heap.add(candidate.doc, current);
+                seen.insert(candidate.doc);
+            } else {
+                match self.list_chunk.get(candidate.doc)? {
+                    Some(entry) if entry.in_short_list => {
+                        // Superseded by the short-list occurrence.
+                    }
+                    _ => {
+                        // Long lists carry no scores: always consult the
+                        // Score table (it is small and stays cached).
+                        let current = self.base.score_table.score_of(candidate.doc)?;
+                        heap.add(candidate.doc, current);
+                        seen.insert(candidate.doc);
+                    }
+                }
+            }
+        }
+        Ok(heap.into_ranked())
+    }
+
+    /// Appendix A.2: an insertion is short-list ADD postings at the score's
+    /// chunk.
+    fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {
+        self.base.register_insert(doc, score)?;
+        let chunk = self.chunk_map.read().chunk_of(score);
+        for term in doc.term_ids() {
+            self.short.put(term, PostingPos::ByChunk(chunk), doc.id, Op::Add, 0)?;
+        }
+        self.list_chunk.put(doc.id, ListChunkEntry { l_chunk: chunk, in_short_list: true })?;
+        Ok(())
+    }
+
+    fn delete_document(&self, doc: DocId) -> Result<()> {
+        self.base.register_delete(doc)
+    }
+
+    /// Appendix A.1: ADD/REM postings co-located with the document's live
+    /// postings.
+    fn update_content(&self, doc: &Document) -> Result<()> {
+        let current = self.base.current_score(doc.id)?;
+        let entry = self.list_state(doc.id, current)?;
+        let (old, new) = self.base.register_content(doc)?;
+        let old_terms: HashSet<TermId> = old.iter().map(|&(t, _)| t).collect();
+        let new_terms: HashSet<TermId> = new.iter().map(|&(t, _)| t).collect();
+        let pos = PostingPos::ByChunk(entry.l_chunk);
+        for &term in new_terms.difference(&old_terms) {
+            self.short.put(term, pos, doc.id, Op::Add, 0)?;
+        }
+        for &term in old_terms.difference(&new_terms) {
+            if entry.in_short_list {
+                self.short.delete(term, pos, doc.id)?;
+            } else {
+                self.short.put(term, pos, doc.id, Op::Rem, 0)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Offline merge: rebuild the chunk map from the live score distribution
+    /// and regenerate the long lists; clear short lists and ListChunk.
+    fn merge_short_lists(&self) -> Result<()> {
+        let new_map = crate::maintenance::rebuild_chunked_lists(
+            &self.base,
+            &self.long,
+            false,
+            self.config.chunk_ratio,
+            self.config.min_chunk_docs,
+            self.chunk_map.read().clone(),
+        )?;
+        *self.chunk_map.write() = new_map;
+        self.short.clear()?;
+        self.list_chunk.clear()
+    }
+
+    fn long_list_bytes(&self) -> u64 {
+        self.long.total_bytes()
+    }
+
+    fn clear_long_cache(&self) -> Result<()> {
+        if let Some(store) = self.base.env.store(store_names::LONG) {
+            store.clear_cache()?;
+        }
+        Ok(())
+    }
+
+    fn env(&self) -> &Arc<StorageEnv> {
+        &self.base.env
+    }
+
+    fn current_score(&self, doc: DocId) -> Result<Score> {
+        self.base.current_score(doc)
+    }
+}

@@ -1,0 +1,419 @@
+//! The Chunk-TermScore method (§4.3.3, Algorithm 3): the Chunk method
+//! extended with per-posting term scores and per-term *fancy lists* (Long &
+//! Suel) so it can rank by the combined function
+//! `f(svr, ts) = svr + w·Σ idf(t)·ts(d,t)` and answer both conjunctive and
+//! disjunctive queries with early termination.
+//!
+//! Query processing:
+//! 1. merge the fancy lists; docs present in *all* of them become exact
+//!    tentative results; docs present in *some* go to the `remainList`;
+//! 2. merge short ∪ long lists chunk by chunk as in the Chunk method,
+//!    removing encountered docs from the remainList;
+//! 3. at each chunk boundary, prune the remainList with the combined upper
+//!    bound and stop once it is empty and no unseen document can beat the
+//!    secured top-k.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use svr_storage::StorageEnv;
+use svr_text::postings::{PostingsBuilder, TermScoredPosting};
+use svr_text::unquantize_term_score;
+
+use crate::aux_table::{ListChunkEntry, ListChunkTable};
+use crate::chunk_map::ChunkMap;
+use crate::config::IndexConfig;
+use crate::error::Result;
+use crate::heap::TopKHeap;
+use crate::long_list::{invert_corpus, posting_term_score, ListFormat, LongListStore};
+use crate::merge::{MultiMerge, UnionCursor};
+use crate::methods::base::MethodBase;
+use crate::methods::chunk::group_by_chunk;
+use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex};
+use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
+use crate::types::{ChunkId, DocId, Document, Query, QueryMode, Score, SearchHit, TermId};
+
+/// Per-term fancy-list metadata.
+#[derive(Debug, Clone, Copy, Default)]
+struct FancyMeta {
+    /// Minimum quantized term score among fancy postings (`minF`).
+    min_ts: u16,
+    /// True when the fancy list holds the term's *entire* posting list, so
+    /// any non-fancy doc has term score 0 for it.
+    complete: bool,
+    /// Max quantized term score among postings added since the last offline
+    /// merge (insertions / content updates can exceed `minF` and must widen
+    /// the stopping bound).
+    inserted_max: u16,
+}
+
+impl FancyMeta {
+    /// Effective upper bound on the term score of any doc outside the fancy
+    /// list.
+    fn bound(&self) -> u16 {
+        let base = if self.complete { 0 } else { self.min_ts };
+        base.max(self.inserted_max)
+    }
+}
+
+/// The Chunk-TermScore method.
+pub struct ChunkTermMethod {
+    base: MethodBase,
+    config: IndexConfig,
+    long: LongListStore,
+    short: ShortLists,
+    fancy: LongListStore,
+    list_chunk: ListChunkTable,
+    chunk_map: RwLock<ChunkMap>,
+    fancy_meta: RwLock<HashMap<TermId, FancyMeta>>,
+    /// Docs whose content changed since the last offline merge: their fancy
+    /// postings may list terms they no longer contain (or stale term
+    /// scores), so phase 1 must not trust them. Their live postings are
+    /// found in phase 2, and `widen_fancy_bound` keeps the stopping bound
+    /// sound for their new term scores.
+    content_dirty: RwLock<HashSet<DocId>>,
+}
+
+/// Select the fancy list: the `fancy_size` postings with the highest term
+/// scores (ties by doc id), returned in doc-id order together with metadata.
+fn build_fancy(postings: &[TermScoredPosting], fancy_size: usize) -> (Vec<TermScoredPosting>, FancyMeta) {
+    let mut ranked: Vec<TermScoredPosting> = postings.to_vec();
+    ranked.sort_by(|a, b| b.tscore.cmp(&a.tscore).then_with(|| a.doc.cmp(&b.doc)));
+    ranked.truncate(fancy_size);
+    let complete = ranked.len() == postings.len();
+    let min_ts = ranked.iter().map(|p| p.tscore).min().unwrap_or(0);
+    ranked.sort_by_key(|p| p.doc);
+    (ranked, FancyMeta { min_ts, complete, inserted_max: 0 })
+}
+
+impl ChunkTermMethod {
+    /// Build from a corpus and initial scores.
+    pub fn build(docs: &[Document], scores: &ScoreMap, config: &IndexConfig) -> Result<ChunkTermMethod> {
+        let base = MethodBase::new(config)?;
+        base.bulk_load(docs, scores)?;
+        let long_store = base.env.create_store(store_names::LONG, config.long_cache_pages);
+        let short_store = base.env.create_store(store_names::SHORT, config.small_cache_pages);
+        let aux_store = base.env.create_store(store_names::AUX, config.small_cache_pages);
+        let fancy_store = base.env.create_store(store_names::FANCY, config.small_cache_pages);
+        let long = LongListStore::new(long_store, ListFormat::Chunked { with_scores: true });
+        let short = ShortLists::create(short_store, ShortOrder::ByChunkDesc)?;
+        let fancy = LongListStore::new(fancy_store, ListFormat::Id { with_scores: true });
+        let list_chunk = ListChunkTable::create(aux_store)?;
+
+        let all_scores: Vec<Score> = docs
+            .iter()
+            .map(|d| MethodBase::initial_score(scores, d.id))
+            .collect();
+        let chunk_map = ChunkMap::from_scores(&all_scores, config.chunk_ratio, config.min_chunk_docs);
+        let mut fancy_meta = HashMap::new();
+        for (term, postings) in invert_corpus(docs) {
+            let groups = group_by_chunk(&postings, |doc| {
+                chunk_map.chunk_of(MethodBase::initial_score(scores, doc))
+            });
+            let mut buf = Vec::new();
+            PostingsBuilder::encode_chunked_list(&groups, true, &mut buf);
+            long.set_list(term, &buf)?;
+
+            let (fancy_postings, meta) = build_fancy(&postings, config.fancy_size);
+            let mut fbuf = Vec::new();
+            PostingsBuilder::encode_id_term_list(&fancy_postings, &mut fbuf);
+            fancy.set_list(term, &fbuf)?;
+            fancy_meta.insert(term, meta);
+        }
+        Ok(ChunkTermMethod {
+            base,
+            config: config.clone(),
+            long,
+            short,
+            fancy,
+            list_chunk,
+            chunk_map: RwLock::new(chunk_map),
+            fancy_meta: RwLock::new(fancy_meta),
+            content_dirty: RwLock::new(HashSet::new()),
+        })
+    }
+
+    fn list_state(&self, doc: DocId, current_score: Score) -> Result<ListChunkEntry> {
+        match self.list_chunk.get(doc)? {
+            Some(entry) => Ok(entry),
+            None => Ok(ListChunkEntry {
+                l_chunk: self.chunk_map.read().chunk_of(current_score),
+                in_short_list: false,
+            }),
+        }
+    }
+
+    /// Record that a posting with `ts` entered the index outside the fancy
+    /// lists (insertion / content update): the stopping bound must cover it.
+    fn widen_fancy_bound(&self, term: TermId, ts: u16) {
+        let mut meta = self.fancy_meta.write();
+        let m = meta.entry(term).or_default();
+        m.inserted_max = m.inserted_max.max(ts);
+    }
+
+    /// Per-term upper bound on term scores of docs outside the fancy list.
+    fn fancy_bound(&self, term: TermId) -> f64 {
+        let meta = self.fancy_meta.read();
+        unquantize_term_score(meta.get(&term).map(|m| m.bound()).unwrap_or(0))
+    }
+}
+
+/// Phase-1 bookkeeping for a doc found in some (not all) fancy lists.
+struct RemainEntry {
+    /// `tscore * idf` per query-term index, where known from fancy lists.
+    known: Vec<Option<f64>>,
+}
+
+impl SearchIndex for ChunkTermMethod {
+    fn kind(&self) -> MethodKind {
+        MethodKind::ChunkTermScore
+    }
+
+    /// "The score update algorithm for the Chunk-TermScore method is the
+    /// same as the Chunk method" — with the document's stored term scores
+    /// replicated into the short postings.
+    fn update_score(&self, doc: DocId, new_score: Score) -> Result<()> {
+        let old_score = self.base.current_score(doc)?;
+        self.base.score_table.set(doc, new_score)?;
+        let entry = self.list_state(doc, old_score)?;
+        if self.list_chunk.get(doc)?.is_none() {
+            self.list_chunk.put(doc, ListChunkEntry {
+                l_chunk: entry.l_chunk,
+                in_short_list: false,
+            })?;
+        }
+        let new_chunk = self.chunk_map.read().chunk_of(new_score);
+        if new_chunk > entry.l_chunk + 1 {
+            let terms = self.base.doc_store.get(doc)?.unwrap_or_default();
+            let max_tf = terms.iter().map(|&(_, tf)| tf).max().unwrap_or(0);
+            for (term, tf) in terms {
+                if entry.in_short_list {
+                    self.short.delete(term, PostingPos::ByChunk(entry.l_chunk), doc)?;
+                }
+                let ts = posting_term_score(tf, max_tf);
+                self.short.put(term, PostingPos::ByChunk(new_chunk), doc, Op::Add, ts)?;
+            }
+            self.list_chunk.put(doc, ListChunkEntry {
+                l_chunk: new_chunk,
+                in_short_list: true,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Algorithm 3.
+    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
+        let m = query.terms.len();
+        let required = match query.mode {
+            QueryMode::Conjunctive => m,
+            QueryMode::Disjunctive => 1,
+        };
+        let idfs: Vec<f64> = query.terms.iter().map(|&t| self.base.idf(t)).collect();
+        let chunk_map = self.chunk_map.read();
+        let mut heap = TopKHeap::new(query.k);
+        let mut seen: HashSet<DocId> = HashSet::new();
+
+        // ---- Phase 1: merge the fancy lists (line 8-9). -------------------
+        let mut fancy_docs: HashMap<DocId, Vec<Option<f64>>> = HashMap::new();
+        for (i, &term) in query.terms.iter().enumerate() {
+            let mut cursor = self.fancy.cursor(term);
+            while let Some(p) = cursor.next_posting()? {
+                fancy_docs
+                    .entry(p.doc)
+                    .or_insert_with(|| vec![None; m])[i] =
+                    Some(idfs[i] * unquantize_term_score(p.tscore));
+            }
+        }
+        let mut remain: HashMap<DocId, RemainEntry> = HashMap::new();
+        let content_dirty = self.content_dirty.read();
+        for (doc, known) in fancy_docs {
+            if self.base.is_deleted(doc) || content_dirty.contains(&doc) {
+                continue;
+            }
+            if known.iter().all(Option::is_some) {
+                // In every fancy list: an exact (SVR from the Score table,
+                // term scores from the fancy postings) result.
+                let svr = self.base.score_table.score_of(doc)?;
+                let ts_sum: f64 = known.iter().flatten().sum();
+                heap.add(doc, self.base.combine(svr, ts_sum));
+                seen.insert(doc);
+            } else {
+                remain.insert(doc, RemainEntry { known });
+            }
+        }
+        drop(content_dirty);
+
+        // Σ_t bound(t)·idf(t): term-score bound for docs outside all fancy
+        // lists (line 30).
+        let global_ts_bound: f64 = query
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| idfs[i] * self.fancy_bound(t))
+            .sum();
+
+        // ---- Phase 2: merge short ∪ long lists chunk by chunk. ------------
+        let streams: Vec<UnionCursor<'_>> = query
+            .terms
+            .iter()
+            .map(|&t| Ok(UnionCursor::new(self.long.cursor(t), self.short.cursor(t)?)))
+            .collect::<Result<_>>()?;
+        let mut merge = MultiMerge::new(streams);
+        let mut prev_cid: Option<ChunkId> = None;
+
+        loop {
+            let candidate = merge.next_candidate()?;
+            // Chunk-boundary housekeeping (lines 26-34).
+            let cid = candidate.as_ref().map(|c| match c.pos {
+                PostingPos::ByChunk(c) => c,
+                _ => unreachable!("chunk-term candidates are chunk-ordered"),
+            });
+            let boundary_completed = match (prev_cid, cid) {
+                (Some(prev), Some(c)) if c < prev => Some(prev),
+                (Some(prev), None) => Some(prev),
+                _ => None,
+            };
+            if let Some(completed) = boundary_completed {
+                // Upper bound on any unseen doc's current SVR score.
+                let svr_ub = chunk_map.upper_bound(completed);
+                if let Some(min) = heap.min_score() {
+                    // Prune remainList entries that can no longer qualify.
+                    remain.retain(|_, e| {
+                        let ts_ub: f64 = e
+                            .known
+                            .iter()
+                            .enumerate()
+                            .map(|(i, k)| {
+                                k.unwrap_or_else(|| idfs[i] * self.fancy_bound(query.terms[i]))
+                            })
+                            .sum();
+                        self.base.combine(svr_ub, ts_ub) > min
+                    });
+                    // Stop once nothing outside the heap can qualify.
+                    if remain.is_empty() && self.base.combine(svr_ub, global_ts_bound) <= min {
+                        break;
+                    }
+                }
+            }
+            let Some(candidate) = candidate else {
+                break;
+            };
+            prev_cid = cid;
+
+            // Every encountered doc leaves the remainList (line 12).
+            remain.remove(&candidate.doc);
+
+            if candidate.match_count() < required
+                || self.base.is_deleted(candidate.doc)
+                || seen.contains(&candidate.doc)
+            {
+                continue;
+            }
+            let svr = if candidate.all_short() {
+                Some(self.base.score_table.score_of(candidate.doc)?)
+            } else {
+                match self.list_chunk.get(candidate.doc)? {
+                    Some(entry) if entry.in_short_list => None, // superseded
+                    _ => Some(self.base.score_table.score_of(candidate.doc)?),
+                }
+            };
+            if let Some(svr) = svr {
+                let mut ts_sum = 0.0;
+                for (i, matched) in candidate.matches.iter().enumerate() {
+                    if let Some(mt) = matched {
+                        ts_sum += idfs[i] * unquantize_term_score(mt.tscore);
+                    }
+                }
+                heap.add(candidate.doc, self.base.combine(svr, ts_sum));
+                seen.insert(candidate.doc);
+            }
+        }
+        Ok(heap.into_ranked())
+    }
+
+    fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {
+        self.base.register_insert(doc, score)?;
+        let chunk = self.chunk_map.read().chunk_of(score);
+        let max_tf = doc.max_tf();
+        for &(term, tf) in &doc.terms {
+            let ts = posting_term_score(tf, max_tf);
+            self.short.put(term, PostingPos::ByChunk(chunk), doc.id, Op::Add, ts)?;
+            self.widen_fancy_bound(term, ts);
+        }
+        self.list_chunk.put(doc.id, ListChunkEntry { l_chunk: chunk, in_short_list: true })?;
+        Ok(())
+    }
+
+    fn delete_document(&self, doc: DocId) -> Result<()> {
+        self.base.register_delete(doc)
+    }
+
+    fn update_content(&self, doc: &Document) -> Result<()> {
+        let current = self.base.current_score(doc.id)?;
+        let entry = self.list_state(doc.id, current)?;
+        let (old, new) = self.base.register_content(doc)?;
+        let old_terms: HashSet<TermId> = old.iter().map(|&(t, _)| t).collect();
+        let new_terms: HashSet<TermId> = new.iter().map(|&(t, _)| t).collect();
+        let pos = PostingPos::ByChunk(entry.l_chunk);
+        let max_tf = doc.max_tf();
+        // New or re-weighted terms get ADD postings at the live position.
+        for &(term, tf) in &new {
+            let ts = posting_term_score(tf, max_tf);
+            self.short.put(term, pos, doc.id, Op::Add, ts)?;
+            self.widen_fancy_bound(term, ts);
+        }
+        for &term in old_terms.difference(&new_terms) {
+            if entry.in_short_list {
+                self.short.delete(term, pos, doc.id)?;
+            } else {
+                self.short.put(term, pos, doc.id, Op::Rem, 0)?;
+            }
+        }
+        self.content_dirty.write().insert(doc.id);
+        Ok(())
+    }
+
+    fn merge_short_lists(&self) -> Result<()> {
+        let (new_map, new_meta) = crate::maintenance::rebuild_chunk_term_lists(
+            &self.base,
+            &self.long,
+            &self.fancy,
+            self.config.fancy_size,
+            self.config.chunk_ratio,
+            self.config.min_chunk_docs,
+            self.chunk_map.read().clone(),
+        )?;
+        *self.chunk_map.write() = new_map;
+        *self.fancy_meta.write() = new_meta
+            .into_iter()
+            .map(|(t, (min_ts, complete))| {
+                (t, FancyMeta { min_ts, complete, inserted_max: 0 })
+            })
+            .collect();
+        self.content_dirty.write().clear();
+        self.short.clear()?;
+        self.list_chunk.clear()
+    }
+
+    fn long_list_bytes(&self) -> u64 {
+        self.long.total_bytes()
+    }
+
+    fn clear_long_cache(&self) -> Result<()> {
+        for name in [store_names::LONG, store_names::FANCY] {
+            if let Some(store) = self.base.env.store(name) {
+                store.clear_cache()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn env(&self) -> &Arc<StorageEnv> {
+        &self.base.env
+    }
+
+    fn current_score(&self, doc: DocId) -> Result<Score> {
+        self.base.current_score(doc)
+    }
+}

@@ -1,0 +1,147 @@
+//! The ID method (§4.2.1): postings in doc-id order, scores in the Score
+//! table.
+//!
+//! Score updates touch only the Score table (the fastest possible update),
+//! but every query must scan the *entire* inverted list of each query term
+//! and probe the Score table per candidate — "the main disadvantage of this
+//! method is that we need to scan all the postings ... even if the user only
+//! wants the top-k results".
+
+use std::sync::Arc;
+
+use svr_storage::StorageEnv;
+use svr_text::postings::PostingsBuilder;
+
+use crate::config::IndexConfig;
+use crate::error::Result;
+use crate::heap::TopKHeap;
+use crate::long_list::{invert_corpus, ListFormat, LongListStore};
+use crate::merge::{MultiMerge, UnionCursor};
+use crate::methods::base::MethodBase;
+use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex};
+use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
+use crate::types::{DocId, Document, Query, QueryMode, Score, SearchHit, TermId};
+
+/// The ID method.
+pub struct IdMethod {
+    base: MethodBase,
+    long: LongListStore,
+    short: ShortLists,
+}
+
+impl IdMethod {
+    /// Build from a corpus and initial scores.
+    pub fn build(docs: &[Document], scores: &ScoreMap, config: &IndexConfig) -> Result<IdMethod> {
+        let base = MethodBase::new(config)?;
+        base.bulk_load(docs, scores)?;
+        let long_store = base.env.create_store(store_names::LONG, config.long_cache_pages);
+        let short_store = base.env.create_store(store_names::SHORT, config.small_cache_pages);
+        let long = LongListStore::new(long_store, ListFormat::Id { with_scores: false });
+        let short = ShortLists::create(short_store, ShortOrder::ById)?;
+        for (term, postings) in invert_corpus(docs) {
+            let ids: Vec<DocId> = postings.iter().map(|p| p.doc).collect();
+            let mut buf = Vec::new();
+            PostingsBuilder::encode_id_list(&ids, &mut buf);
+            long.set_list(term, &buf)?;
+        }
+        Ok(IdMethod { base, long, short })
+    }
+
+    fn streams(&self, query: &Query) -> Result<Vec<UnionCursor<'_>>> {
+        query
+            .terms
+            .iter()
+            .map(|&t| Ok(UnionCursor::new(self.long.cursor(t), self.short.cursor(t)?)))
+            .collect()
+    }
+}
+
+impl SearchIndex for IdMethod {
+    fn kind(&self) -> MethodKind {
+        MethodKind::Id
+    }
+
+    fn update_score(&self, doc: DocId, new_score: Score) -> Result<()> {
+        // The whole update: one Score-table write.
+        self.base.current_score(doc)?;
+        self.base.score_table.set(doc, new_score)?;
+        Ok(())
+    }
+
+    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
+        let required = match query.mode {
+            QueryMode::Conjunctive => query.terms.len(),
+            QueryMode::Disjunctive => 1,
+        };
+        let mut merge = MultiMerge::new(self.streams(query)?);
+        let mut heap = TopKHeap::new(query.k);
+        while let Some(candidate) = merge.next_candidate()? {
+            if candidate.match_count() < required {
+                continue;
+            }
+            if self.base.is_deleted(candidate.doc) {
+                continue;
+            }
+            // Score table probe for every candidate — the ID method's cost.
+            let Some(entry) = self.base.score_table.get(candidate.doc)? else {
+                continue;
+            };
+            if entry.deleted {
+                continue;
+            }
+            heap.add(candidate.doc, entry.score);
+        }
+        Ok(heap.into_ranked())
+    }
+
+    fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {
+        self.base.register_insert(doc, score)?;
+        for term in doc.term_ids() {
+            self.short.put(term, PostingPos::Id, doc.id, Op::Add, 0)?;
+        }
+        Ok(())
+    }
+
+    fn delete_document(&self, doc: DocId) -> Result<()> {
+        self.base.register_delete(doc)
+    }
+
+    fn update_content(&self, doc: &Document) -> Result<()> {
+        let (old, new) = self.base.register_content(doc)?;
+        let old_terms: std::collections::HashSet<TermId> =
+            old.iter().map(|&(t, _)| t).collect();
+        let new_terms: std::collections::HashSet<TermId> =
+            new.iter().map(|&(t, _)| t).collect();
+        for &term in new_terms.difference(&old_terms) {
+            self.short.put(term, PostingPos::Id, doc.id, Op::Add, 0)?;
+        }
+        for &term in old_terms.difference(&new_terms) {
+            self.short.put(term, PostingPos::Id, doc.id, Op::Rem, 0)?;
+        }
+        Ok(())
+    }
+
+    fn merge_short_lists(&self) -> Result<()> {
+        crate::maintenance::rebuild_id_lists(&self.base, &self.long, false)?;
+        self.short.clear()
+    }
+
+    fn long_list_bytes(&self) -> u64 {
+        self.long.total_bytes()
+    }
+
+    fn clear_long_cache(&self) -> Result<()> {
+        if let Some(store) = self.base.env.store(store_names::LONG) {
+            store.clear_cache()?;
+        }
+        Ok(())
+    }
+
+    fn env(&self) -> &Arc<StorageEnv> {
+        &self.base.env
+    }
+
+    fn current_score(&self, doc: DocId) -> Result<Score> {
+        self.base.current_score(doc)
+    }
+}

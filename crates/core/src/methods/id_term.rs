@@ -1,0 +1,158 @@
+//! The ID-TermScore method (§5.2): the ID method "extended to additionally
+//! store term-based scores" in the postings, used as the baseline for the
+//! combined-score experiments (Fig. 9 / Fig. 10).
+//!
+//! Ranking uses `f(svr, Σ ts) = svr + w·Σ idf(t)·ts(d,t)`. Like the ID
+//! method, queries must scan every posting: with an unbounded, frequently
+//! changing SVR component, no term-score-only early termination is sound.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use svr_storage::StorageEnv;
+use svr_text::postings::PostingsBuilder;
+use svr_text::unquantize_term_score;
+
+use crate::config::IndexConfig;
+use crate::error::Result;
+use crate::heap::TopKHeap;
+use crate::long_list::{invert_corpus, posting_term_score, ListFormat, LongListStore};
+use crate::merge::{MultiMerge, UnionCursor};
+use crate::methods::base::MethodBase;
+use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex};
+use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
+use crate::types::{DocId, Document, Query, QueryMode, Score, SearchHit, TermId};
+
+/// The ID-TermScore baseline.
+pub struct IdTermMethod {
+    base: MethodBase,
+    long: LongListStore,
+    short: ShortLists,
+}
+
+impl IdTermMethod {
+    /// Build from a corpus and initial scores.
+    pub fn build(docs: &[Document], scores: &ScoreMap, config: &IndexConfig) -> Result<IdTermMethod> {
+        let base = MethodBase::new(config)?;
+        base.bulk_load(docs, scores)?;
+        let long_store = base.env.create_store(store_names::LONG, config.long_cache_pages);
+        let short_store = base.env.create_store(store_names::SHORT, config.small_cache_pages);
+        let long = LongListStore::new(long_store, ListFormat::Id { with_scores: true });
+        let short = ShortLists::create(short_store, ShortOrder::ById)?;
+        for (term, postings) in invert_corpus(docs) {
+            let mut buf = Vec::new();
+            PostingsBuilder::encode_id_term_list(&postings, &mut buf);
+            long.set_list(term, &buf)?;
+        }
+        Ok(IdTermMethod { base, long, short })
+    }
+}
+
+impl SearchIndex for IdTermMethod {
+    fn kind(&self) -> MethodKind {
+        MethodKind::IdTermScore
+    }
+
+    fn update_score(&self, doc: DocId, new_score: Score) -> Result<()> {
+        self.base.current_score(doc)?;
+        self.base.score_table.set(doc, new_score)?;
+        Ok(())
+    }
+
+    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
+        let required = match query.mode {
+            QueryMode::Conjunctive => query.terms.len(),
+            QueryMode::Disjunctive => 1,
+        };
+        let idfs: Vec<f64> = query.terms.iter().map(|&t| self.base.idf(t)).collect();
+        let streams: Vec<UnionCursor<'_>> = query
+            .terms
+            .iter()
+            .map(|&t| Ok(UnionCursor::new(self.long.cursor(t), self.short.cursor(t)?)))
+            .collect::<Result<_>>()?;
+        let mut merge = MultiMerge::new(streams);
+        let mut heap = TopKHeap::new(query.k);
+        while let Some(candidate) = merge.next_candidate()? {
+            if candidate.match_count() < required {
+                continue;
+            }
+            if self.base.is_deleted(candidate.doc) {
+                continue;
+            }
+            let Some(entry) = self.base.score_table.get(candidate.doc)? else {
+                continue;
+            };
+            if entry.deleted {
+                continue;
+            }
+            let mut ts_sum = 0.0;
+            for (i, m) in candidate.matches.iter().enumerate() {
+                if let Some(m) = m {
+                    ts_sum += idfs[i] * unquantize_term_score(m.tscore);
+                }
+            }
+            heap.add(candidate.doc, self.base.combine(entry.score, ts_sum));
+        }
+        Ok(heap.into_ranked())
+    }
+
+    fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {
+        self.base.register_insert(doc, score)?;
+        let max_tf = doc.max_tf();
+        for &(term, tf) in &doc.terms {
+            let ts = posting_term_score(tf, max_tf);
+            self.short.put(term, PostingPos::Id, doc.id, Op::Add, ts)?;
+        }
+        Ok(())
+    }
+
+    fn delete_document(&self, doc: DocId) -> Result<()> {
+        self.base.register_delete(doc)
+    }
+
+    fn update_content(&self, doc: &Document) -> Result<()> {
+        let (old, new) = self.base.register_content(doc)?;
+        let old_terms: HashSet<TermId> = old.iter().map(|&(t, _)| t).collect();
+        let max_tf = doc.max_tf();
+        // New or changed terms: ADD postings override the long posting at
+        // the same (term, doc) position.
+        for &(term, tf) in &new {
+            self.short.put(
+                term,
+                PostingPos::Id,
+                doc.id,
+                Op::Add,
+                posting_term_score(tf, max_tf),
+            )?;
+        }
+        let new_terms: HashSet<TermId> = new.iter().map(|&(t, _)| t).collect();
+        for &term in old_terms.difference(&new_terms) {
+            self.short.put(term, PostingPos::Id, doc.id, Op::Rem, 0)?;
+        }
+        Ok(())
+    }
+
+    fn merge_short_lists(&self) -> Result<()> {
+        crate::maintenance::rebuild_id_lists(&self.base, &self.long, true)?;
+        self.short.clear()
+    }
+
+    fn long_list_bytes(&self) -> u64 {
+        self.long.total_bytes()
+    }
+
+    fn clear_long_cache(&self) -> Result<()> {
+        if let Some(store) = self.base.env.store(store_names::LONG) {
+            store.clear_cache()?;
+        }
+        Ok(())
+    }
+
+    fn env(&self) -> &Arc<StorageEnv> {
+        &self.base.env
+    }
+
+    fn current_score(&self, doc: DocId) -> Result<Score> {
+        self.base.current_score(doc)
+    }
+}

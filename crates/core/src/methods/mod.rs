@@ -1,0 +1,293 @@
+//! The six index methods behind one trait.
+//!
+//! | Method            | Long-list order      | Score updates | Top-k queries |
+//! |-------------------|----------------------|---------------|---------------|
+//! | ID                | doc id               | O(1)          | full scan     |
+//! | Score             | score (clustered)    | very costly   | early stop    |
+//! | Score-Threshold   | score + short lists  | thresholded   | bounded scan  |
+//! | Chunk             | chunk/doc + short    | thresholded   | bounded scan  |
+//! | ID-TermScore      | doc id + term scores | O(1)          | full scan     |
+//! | Chunk-TermScore   | chunk + fancy lists  | thresholded   | bounded scan  |
+//!
+//! A seventh method, **Score-Threshold-TermScore**, realizes the §4.3.3
+//! remark that "the generalization for the Score-Threshold method is
+//! similar": score-ordered long lists with term scores plus fancy lists.
+
+pub(crate) mod base;
+pub(crate) mod chunk;
+mod chunk_term;
+mod id;
+mod id_term;
+mod score;
+mod score_threshold;
+mod score_threshold_term;
+
+pub use chunk::ChunkMethod;
+pub use chunk_term::ChunkTermMethod;
+pub use id::IdMethod;
+pub use id_term::IdTermMethod;
+pub use score::ScoreMethod;
+pub use score_threshold::ScoreThresholdMethod;
+pub use score_threshold_term::ScoreThresholdTermMethod;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use svr_storage::StorageEnv;
+
+use crate::config::IndexConfig;
+use crate::error::Result;
+use crate::types::{DocId, Document, Query, Score, SearchHit};
+
+/// Store names used by every method inside its [`StorageEnv`], so benchmarks
+/// can inspect / cold-start individual components.
+pub mod store_names {
+    /// Long inverted lists (blobs, or the Score method's clustered tree).
+    pub const LONG: &str = "long";
+    /// Short inverted lists.
+    pub const SHORT: &str = "short";
+    /// The Score table.
+    pub const SCORE: &str = "score";
+    /// Forward index (document contents).
+    pub const DOCS: &str = "docs";
+    /// ListScore / ListChunk table.
+    pub const AUX: &str = "aux";
+    /// Fancy lists (Chunk-TermScore).
+    pub const FANCY: &str = "fancy";
+}
+
+/// Which index method to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodKind {
+    Id,
+    Score,
+    ScoreThreshold,
+    Chunk,
+    IdTermScore,
+    ChunkTermScore,
+    /// The §4.3.3 generalization of Score-Threshold to combined scoring
+    /// (not evaluated in the paper; see
+    /// [`ScoreThresholdTermMethod`]).
+    ScoreThresholdTermScore,
+}
+
+impl MethodKind {
+    /// The paper's six methods, in its presentation order.
+    pub const ALL: [MethodKind; 6] = [
+        MethodKind::Id,
+        MethodKind::Score,
+        MethodKind::ScoreThreshold,
+        MethodKind::Chunk,
+        MethodKind::IdTermScore,
+        MethodKind::ChunkTermScore,
+    ];
+
+    /// Every implemented method, including the Score-Threshold-TermScore
+    /// extension.
+    pub const ALL_EXTENDED: [MethodKind; 7] = [
+        MethodKind::Id,
+        MethodKind::Score,
+        MethodKind::ScoreThreshold,
+        MethodKind::Chunk,
+        MethodKind::IdTermScore,
+        MethodKind::ChunkTermScore,
+        MethodKind::ScoreThresholdTermScore,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodKind::Id => "ID",
+            MethodKind::Score => "Score",
+            MethodKind::ScoreThreshold => "Score-Threshold",
+            MethodKind::Chunk => "Chunk",
+            MethodKind::IdTermScore => "ID-TermScore",
+            MethodKind::ChunkTermScore => "Chunk-TermScore",
+            MethodKind::ScoreThresholdTermScore => "Score-Threshold-TermScore",
+        }
+    }
+
+    /// True for the methods that rank by SVR + term scores.
+    pub fn uses_term_scores(&self) -> bool {
+        matches!(
+            self,
+            MethodKind::IdTermScore
+                | MethodKind::ChunkTermScore
+                | MethodKind::ScoreThresholdTermScore
+        )
+    }
+}
+
+impl std::fmt::Display for MethodKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Initial `doc -> score` assignment for a build.
+pub type ScoreMap = HashMap<DocId, Score>;
+
+/// The common interface of all six index methods.
+///
+/// All operations take `&self`: the structures use interior mutability
+/// (B+-trees are internally locked), matching a single-writer /
+/// many-reader deployment.
+pub trait SearchIndex: Send + Sync {
+    /// Which method this is.
+    fn kind(&self) -> MethodKind;
+
+    /// Apply a document score update (the paper's Algorithm 1 for the
+    /// threshold-based methods).
+    fn update_score(&self, doc: DocId, new_score: Score) -> Result<()>;
+
+    /// Evaluate a top-k query against the *latest* scores (Algorithms 2/3).
+    fn query(&self, query: &Query) -> Result<Vec<SearchHit>>;
+
+    /// Insert a new document with its initial score (Appendix A.2).
+    fn insert_document(&self, doc: &Document, score: Score) -> Result<()>;
+
+    /// Delete a document (Appendix A.2).
+    fn delete_document(&self, doc: DocId) -> Result<()>;
+
+    /// Replace a document's content, keeping its score (Appendix A.1).
+    fn update_content(&self, doc: &Document) -> Result<()>;
+
+    /// Offline maintenance: merge short lists into the long lists and reset
+    /// the auxiliary tables ("this is done offline and does not impact the
+    /// performance of the operational system", §5.1).
+    fn merge_short_lists(&self) -> Result<()>;
+
+    /// Total bytes of the long inverted lists (Table 1).
+    fn long_list_bytes(&self) -> u64;
+
+    /// Drop cached long-list pages, reproducing the paper's cold-cache query
+    /// protocol. Small structures (Score table, short lists) stay warm.
+    fn clear_long_cache(&self) -> Result<()>;
+
+    /// The index's storage environment (I/O statistics, store inspection).
+    fn env(&self) -> &Arc<StorageEnv>;
+
+    /// Current score of a live document.
+    fn current_score(&self, doc: DocId) -> Result<Score>;
+}
+
+/// Concurrency decorator: one writer at a time, queries share a read lock.
+///
+/// The method implementations use streaming B+-tree cursors that assume no
+/// concurrent structural mutation (the same discipline BerkeleyDB enforces
+/// with page latches and cursor stability). This wrapper provides that
+/// discipline for multi-threaded use: mutations take the write lock,
+/// queries run concurrently under read locks. [`build_index`] always
+/// returns wrapped indexes.
+pub struct LockedIndex<I> {
+    inner: I,
+    lock: parking_lot::RwLock<()>,
+}
+
+impl<I: SearchIndex> LockedIndex<I> {
+    /// Wrap an index.
+    pub fn new(inner: I) -> LockedIndex<I> {
+        LockedIndex { inner, lock: parking_lot::RwLock::new(()) }
+    }
+}
+
+impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
+    fn kind(&self) -> MethodKind {
+        self.inner.kind()
+    }
+
+    fn update_score(&self, doc: DocId, new_score: Score) -> Result<()> {
+        let _guard = self.lock.write();
+        self.inner.update_score(doc, new_score)
+    }
+
+    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
+        let _guard = self.lock.read();
+        self.inner.query(query)
+    }
+
+    fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {
+        let _guard = self.lock.write();
+        self.inner.insert_document(doc, score)
+    }
+
+    fn delete_document(&self, doc: DocId) -> Result<()> {
+        let _guard = self.lock.write();
+        self.inner.delete_document(doc)
+    }
+
+    fn update_content(&self, doc: &Document) -> Result<()> {
+        let _guard = self.lock.write();
+        self.inner.update_content(doc)
+    }
+
+    fn merge_short_lists(&self) -> Result<()> {
+        let _guard = self.lock.write();
+        self.inner.merge_short_lists()
+    }
+
+    fn long_list_bytes(&self) -> u64 {
+        self.inner.long_list_bytes()
+    }
+
+    fn clear_long_cache(&self) -> Result<()> {
+        let _guard = self.lock.write();
+        self.inner.clear_long_cache()
+    }
+
+    fn env(&self) -> &Arc<StorageEnv> {
+        self.inner.env()
+    }
+
+    fn current_score(&self, doc: DocId) -> Result<Score> {
+        let _guard = self.lock.read();
+        self.inner.current_score(doc)
+    }
+}
+
+/// Build an index of the requested kind over `docs` with initial `scores`.
+/// The returned index is safe for one writer and many concurrent readers
+/// (see [`LockedIndex`]).
+pub fn build_index(
+    kind: MethodKind,
+    docs: &[Document],
+    scores: &ScoreMap,
+    config: &IndexConfig,
+) -> Result<Box<dyn SearchIndex>> {
+    let config = config.clone().validated();
+    Ok(match kind {
+        MethodKind::Id => Box::new(LockedIndex::new(IdMethod::build(docs, scores, &config)?)),
+        MethodKind::Score => {
+            Box::new(LockedIndex::new(ScoreMethod::build(docs, scores, &config)?))
+        }
+        MethodKind::ScoreThreshold => {
+            Box::new(LockedIndex::new(ScoreThresholdMethod::build(docs, scores, &config)?))
+        }
+        MethodKind::Chunk => {
+            Box::new(LockedIndex::new(ChunkMethod::build(docs, scores, &config)?))
+        }
+        MethodKind::IdTermScore => {
+            Box::new(LockedIndex::new(IdTermMethod::build(docs, scores, &config)?))
+        }
+        MethodKind::ChunkTermScore => {
+            Box::new(LockedIndex::new(ChunkTermMethod::build(docs, scores, &config)?))
+        }
+        MethodKind::ScoreThresholdTermScore => {
+            Box::new(LockedIndex::new(ScoreThresholdTermMethod::build(docs, scores, &config)?))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_match_paper() {
+        assert_eq!(MethodKind::Chunk.name(), "Chunk");
+        assert_eq!(MethodKind::ChunkTermScore.to_string(), "Chunk-TermScore");
+        assert_eq!(MethodKind::ALL.len(), 6);
+        assert!(MethodKind::IdTermScore.uses_term_scores());
+        assert!(!MethodKind::Chunk.uses_term_scores());
+    }
+}

@@ -1,0 +1,172 @@
+//! The Score method (§4.2.2): postings ordered by decreasing score.
+//!
+//! Queries terminate as soon as the top-k is secure (the inverted lists are
+//! already in result order), but a score update must rewrite the postings of
+//! *every distinct term of the document* — "likely to be very expensive
+//! because documents usually have hundreds to thousands of terms".
+//!
+//! Because its long list is updated in place, it is stored as a clustered
+//! B+-tree (as in the paper's BerkeleyDB implementation), not as an
+//! immutable blob — which is also why its Table 1 footprint is the largest.
+
+use std::sync::Arc;
+
+use svr_storage::StorageEnv;
+
+use crate::config::IndexConfig;
+use crate::error::Result;
+use crate::heap::TopKHeap;
+use crate::long_list::{invert_corpus, LongCursor};
+use crate::merge::{MultiMerge, UnionCursor};
+use crate::methods::base::MethodBase;
+use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex};
+use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
+use crate::types::{DocId, Document, Query, QueryMode, Score, SearchHit};
+
+/// The Score method.
+pub struct ScoreMethod {
+    base: MethodBase,
+    /// The clustered, score-ordered long list: key `(term, score desc, doc)`.
+    /// Structurally identical to a score-ordered short list, so the type is
+    /// reused; every posting is an `Add`.
+    list: ShortLists,
+}
+
+impl ScoreMethod {
+    /// Build from a corpus and initial scores.
+    pub fn build(docs: &[Document], scores: &ScoreMap, config: &IndexConfig) -> Result<ScoreMethod> {
+        let base = MethodBase::new(config)?;
+        base.bulk_load(docs, scores)?;
+        let long_store = base.env.create_store(store_names::LONG, config.long_cache_pages);
+        let list = ShortLists::create(long_store, ShortOrder::ByScoreDesc)?;
+        for (term, postings) in invert_corpus(docs) {
+            for p in postings {
+                let score = MethodBase::initial_score(scores, p.doc);
+                list.put(term, PostingPos::ByScore(score), p.doc, Op::Add, p.tscore)?;
+            }
+        }
+        Ok(ScoreMethod { base, list })
+    }
+}
+
+impl SearchIndex for ScoreMethod {
+    fn kind(&self) -> MethodKind {
+        MethodKind::Score
+    }
+
+    fn update_score(&self, doc: DocId, new_score: Score) -> Result<()> {
+        let old = self.base.current_score(doc)?;
+        self.base.score_table.set(doc, new_score)?;
+        if old == new_score {
+            return Ok(());
+        }
+        // Rewrite the posting of every distinct term of the document.
+        let terms = self.base.doc_store.get(doc)?.unwrap_or_default();
+        for (term, _) in terms {
+            if let Some((op, tscore)) = self.list.get(term, PostingPos::ByScore(old), doc)? {
+                self.list.delete(term, PostingPos::ByScore(old), doc)?;
+                self.list.put(term, PostingPos::ByScore(new_score), doc, op, tscore)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
+        let required = match query.mode {
+            QueryMode::Conjunctive => query.terms.len(),
+            QueryMode::Disjunctive => 1,
+        };
+        let streams: Vec<UnionCursor<'_>> = query
+            .terms
+            .iter()
+            .map(|&t| Ok(UnionCursor::new(LongCursor::Empty, self.list.cursor(t)?)))
+            .collect::<Result<_>>()?;
+        let mut merge = MultiMerge::new(streams);
+        let mut heap = TopKHeap::new(query.k);
+        while let Some(candidate) = merge.next_candidate()? {
+            let PostingPos::ByScore(score) = candidate.pos else {
+                unreachable!("score method produces score-ordered candidates");
+            };
+            // Early termination: candidates arrive in descending score
+            // order and the list scores are always current.
+            if let Some(min) = heap.min_score() {
+                if score < min {
+                    break;
+                }
+            }
+            if candidate.match_count() < required {
+                continue;
+            }
+            if self.base.is_deleted(candidate.doc) {
+                continue;
+            }
+            heap.add(candidate.doc, score);
+        }
+        Ok(heap.into_ranked())
+    }
+
+    fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {
+        self.base.register_insert(doc, score)?;
+        let max_tf = doc.max_tf();
+        for &(term, tf) in &doc.terms {
+            let ts = crate::long_list::posting_term_score(tf, max_tf);
+            self.list.put(term, PostingPos::ByScore(score), doc.id, Op::Add, ts)?;
+        }
+        Ok(())
+    }
+
+    fn delete_document(&self, doc: DocId) -> Result<()> {
+        // Remove the postings eagerly: the Score method's list is mutable
+        // anyway, and tombstone checks would erode its only advantage.
+        let score = self.base.current_score(doc)?;
+        let terms = self.base.doc_store.get(doc)?.unwrap_or_default();
+        for (term, _) in terms {
+            self.list.delete(term, PostingPos::ByScore(score), doc)?;
+        }
+        self.base.register_delete(doc)
+    }
+
+    fn update_content(&self, doc: &Document) -> Result<()> {
+        let score = self.base.current_score(doc.id)?;
+        let (old, new) = self.base.register_content(doc)?;
+        for (term, _) in &old {
+            self.list.delete(*term, PostingPos::ByScore(score), doc.id)?;
+        }
+        let max_tf = doc.max_tf();
+        let _ = new;
+        for &(term, tf) in &doc.terms {
+            let ts = crate::long_list::posting_term_score(tf, max_tf);
+            self.list.put(term, PostingPos::ByScore(score), doc.id, Op::Add, ts)?;
+        }
+        Ok(())
+    }
+
+    fn merge_short_lists(&self) -> Result<()> {
+        // The Score method has no short lists; nothing to merge.
+        Ok(())
+    }
+
+    fn long_list_bytes(&self) -> u64 {
+        // The clustered tree's disk footprint, including B+-tree overhead —
+        // the paper's Table 1 charges the Score method for exactly this.
+        self.base
+            .env
+            .store(store_names::LONG)
+            .map(|s| s.disk().num_pages() * s.page_size() as u64)
+            .unwrap_or(0)
+    }
+
+    fn clear_long_cache(&self) -> Result<()> {
+        // Both the page cache and the decoded-node cache must go: the
+        // clustered long list is a B+-tree.
+        self.list.clear_caches()
+    }
+
+    fn env(&self) -> &Arc<StorageEnv> {
+        &self.base.env
+    }
+
+    fn current_score(&self, doc: DocId) -> Result<Score> {
+        self.base.current_score(doc)
+    }
+}

@@ -1,0 +1,241 @@
+//! The Score-Threshold method (§4.3.1).
+//!
+//! An immutable, score-ordered long list plus a score-ordered short list per
+//! term. A score update touches the inverted lists only when the new score
+//! exceeds `thresholdValueOf(listScore) = t · listScore` (Algorithm 1); the
+//! query algorithm (Algorithm 2) keeps scanning past the first k results
+//! until the bounded staleness of list scores can no longer change the
+//! answer, and always reports scores from the Score table.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use svr_storage::StorageEnv;
+use svr_text::postings::PostingsBuilder;
+
+use crate::aux_table::{ListScoreEntry, ListScoreTable};
+use crate::config::IndexConfig;
+use crate::error::Result;
+use crate::heap::TopKHeap;
+use crate::long_list::{invert_corpus, ListFormat, LongListStore};
+use crate::merge::{MultiMerge, UnionCursor};
+use crate::methods::base::MethodBase;
+use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex};
+use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
+use crate::types::{DocId, Document, Query, QueryMode, Score, SearchHit, TermId};
+
+/// The Score-Threshold method.
+pub struct ScoreThresholdMethod {
+    base: MethodBase,
+    config: IndexConfig,
+    long: LongListStore,
+    short: ShortLists,
+    list_score: ListScoreTable,
+}
+
+impl ScoreThresholdMethod {
+    /// Build from a corpus and initial scores.
+    pub fn build(
+        docs: &[Document],
+        scores: &ScoreMap,
+        config: &IndexConfig,
+    ) -> Result<ScoreThresholdMethod> {
+        let base = MethodBase::new(config)?;
+        base.bulk_load(docs, scores)?;
+        let long_store = base.env.create_store(store_names::LONG, config.long_cache_pages);
+        let short_store = base.env.create_store(store_names::SHORT, config.small_cache_pages);
+        let aux_store = base.env.create_store(store_names::AUX, config.small_cache_pages);
+        let long = LongListStore::new(long_store, ListFormat::Score { with_scores: false });
+        let short = ShortLists::create(short_store, ShortOrder::ByScoreDesc)?;
+        let list_score = ListScoreTable::create(aux_store)?;
+
+        for (term, mut postings) in invert_corpus(docs) {
+            // (score desc, doc asc) order.
+            let mut rows: Vec<(f64, DocId, u16)> = postings
+                .drain(..)
+                .map(|p| (MethodBase::initial_score(scores, p.doc), p.doc, p.tscore))
+                .collect();
+            rows.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+            let mut buf = Vec::new();
+            PostingsBuilder::encode_score_list(&rows, false, &mut buf);
+            long.set_list(term, &buf)?;
+        }
+        Ok(ScoreThresholdMethod { base, config: config.clone(), long, short, list_score })
+    }
+
+    /// The document's list score and whether its postings are in the short
+    /// lists (Algorithm 1 lines 9-17).
+    fn list_state(&self, doc: DocId, fallback_score: Score) -> Result<ListScoreEntry> {
+        match self.list_score.get(doc)? {
+            Some(entry) => Ok(entry),
+            None => Ok(ListScoreEntry { l_score: fallback_score, in_short_list: false }),
+        }
+    }
+}
+
+impl SearchIndex for ScoreThresholdMethod {
+    fn kind(&self) -> MethodKind {
+        MethodKind::ScoreThreshold
+    }
+
+    /// Algorithm 1.
+    fn update_score(&self, doc: DocId, new_score: Score) -> Result<()> {
+        let old_score = self.base.current_score(doc)?;
+        self.base.score_table.set(doc, new_score)?;
+        let entry = self.list_state(doc, old_score)?;
+        if self.list_score.get(doc)?.is_none() {
+            // First-ever update: remember the (long) list score.
+            self.list_score.put(doc, ListScoreEntry {
+                l_score: old_score,
+                in_short_list: false,
+            })?;
+        }
+        if new_score > self.config.threshold_value_of(entry.l_score) {
+            let terms = self.base.doc_store.get(doc)?.unwrap_or_default();
+            for (term, _) in terms {
+                if entry.in_short_list {
+                    // Relocate the existing short posting.
+                    self.short.delete(term, PostingPos::ByScore(entry.l_score), doc)?;
+                }
+                self.short.put(term, PostingPos::ByScore(new_score), doc, Op::Add, 0)?;
+            }
+            self.list_score.put(doc, ListScoreEntry {
+                l_score: new_score,
+                in_short_list: true,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Algorithm 2.
+    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
+        let required = match query.mode {
+            QueryMode::Conjunctive => query.terms.len(),
+            QueryMode::Disjunctive => 1,
+        };
+        let streams: Vec<UnionCursor<'_>> = query
+            .terms
+            .iter()
+            .map(|&t| Ok(UnionCursor::new(self.long.cursor(t), self.short.cursor(t)?)))
+            .collect::<Result<_>>()?;
+        let mut merge = MultiMerge::new(streams);
+        let mut heap = TopKHeap::new(query.k);
+        let mut seen: HashSet<DocId> = HashSet::new();
+        // The stopping threshold: set once we have k results whose current
+        // scores are at least the current list score (lines 22-24).
+        let mut threshold: Option<Score> = None;
+
+        while let Some(candidate) = merge.next_candidate()? {
+            let PostingPos::ByScore(list_score) = candidate.pos else {
+                unreachable!("score-threshold candidates are score-ordered");
+            };
+            // Line 9-11: no upcoming current score can exceed
+            // thresholdValueOf(listScore); stop when that bound cannot beat
+            // the secured top-k.
+            if let Some(threshold) = threshold {
+                if self.config.threshold_value_of(list_score) <= threshold {
+                    break;
+                }
+            }
+            if candidate.match_count() >= required
+                && !self.base.is_deleted(candidate.doc)
+                && !seen.contains(&candidate.doc)
+            {
+                if candidate.all_short() {
+                    // Lines 12-14: short-list result; scores in the short
+                    // list may lag the Score table.
+                    let current = self.base.score_table.score_of(candidate.doc)?;
+                    heap.add(candidate.doc, current);
+                    seen.insert(candidate.doc);
+                } else {
+                    // Lines 15-21: long-list (or mixed) result.
+                    match self.list_score.get(candidate.doc)? {
+                        None => {
+                            // Never updated: the list score is current.
+                            heap.add(candidate.doc, list_score);
+                            seen.insert(candidate.doc);
+                        }
+                        Some(entry) if !entry.in_short_list => {
+                            let current = self.base.score_table.score_of(candidate.doc)?;
+                            heap.add(candidate.doc, current);
+                            seen.insert(candidate.doc);
+                        }
+                        Some(_) => {
+                            // In the short list: this (stale) long posting is
+                            // superseded by the short occurrence.
+                        }
+                    }
+                }
+            }
+            // Lines 22-24: arm the stopping threshold.
+            if threshold.is_none() {
+                if let Some(min) = heap.min_score() {
+                    if min >= list_score {
+                        threshold = Some(list_score);
+                    }
+                }
+            }
+        }
+        Ok(heap.into_ranked())
+    }
+
+    fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {
+        self.base.register_insert(doc, score)?;
+        for term in doc.term_ids() {
+            self.short.put(term, PostingPos::ByScore(score), doc.id, Op::Add, 0)?;
+        }
+        self.list_score.put(doc.id, ListScoreEntry { l_score: score, in_short_list: true })?;
+        Ok(())
+    }
+
+    fn delete_document(&self, doc: DocId) -> Result<()> {
+        self.base.register_delete(doc)
+    }
+
+    fn update_content(&self, doc: &Document) -> Result<()> {
+        let current = self.base.current_score(doc.id)?;
+        let entry = self.list_state(doc.id, current)?;
+        let (old, new) = self.base.register_content(doc)?;
+        let old_terms: HashSet<TermId> = old.iter().map(|&(t, _)| t).collect();
+        let new_terms: HashSet<TermId> = new.iter().map(|&(t, _)| t).collect();
+        let pos = PostingPos::ByScore(entry.l_score);
+        for &term in new_terms.difference(&old_terms) {
+            self.short.put(term, pos, doc.id, Op::Add, 0)?;
+        }
+        for &term in old_terms.difference(&new_terms) {
+            if entry.in_short_list {
+                // The live posting is a short one: drop it directly.
+                self.short.delete(term, pos, doc.id)?;
+            } else {
+                // Tombstone the long posting at its list position.
+                self.short.put(term, pos, doc.id, Op::Rem, 0)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn merge_short_lists(&self) -> Result<()> {
+        crate::maintenance::rebuild_score_lists(&self.base, &self.long)?;
+        self.short.clear()?;
+        self.list_score.clear()
+    }
+
+    fn long_list_bytes(&self) -> u64 {
+        self.long.total_bytes()
+    }
+
+    fn clear_long_cache(&self) -> Result<()> {
+        if let Some(store) = self.base.env.store(store_names::LONG) {
+            store.clear_cache()?;
+        }
+        Ok(())
+    }
+
+    fn env(&self) -> &Arc<StorageEnv> {
+        &self.base.env
+    }
+
+    fn current_score(&self, doc: DocId) -> Result<Score> {
+        self.base.current_score(doc)
+    }
+}

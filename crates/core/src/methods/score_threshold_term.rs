@@ -1,0 +1,389 @@
+//! The Score-Threshold-TermScore method: the §4.3.3 generalization the
+//! paper sketches in one sentence ("the generalization for the
+//! Score-Threshold method is similar") but never builds.
+//!
+//! It is to Score-Threshold what Chunk-TermScore is to Chunk: the long
+//! lists stay in (score desc, doc asc) order but additionally carry a
+//! quantized term score per posting, and each term gains a *fancy list*
+//! (Long & Suel) of its highest-term-score postings, so queries rank by the
+//! combined function `f(svr, ts) = svr + w·Σ idf(t)·ts(d,t)` and support
+//! both conjunctive and disjunctive modes.
+//!
+//! Query processing is Algorithm 3 with the chunk-boundary SVR upper bound
+//! replaced by the Score-Threshold bound: at merge position `listScore`,
+//! no unseen document's current SVR score can exceed
+//! `thresholdValueOf(listScore)` (Lemma 1.2), so the stopping rule becomes
+//! `f(thresholdValueOf(listScore), termScoreBound) ≤ resultHeap.minScore(k)`.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use svr_storage::StorageEnv;
+use svr_text::postings::{PostingsBuilder, TermScoredPosting};
+use svr_text::unquantize_term_score;
+
+use crate::aux_table::{ListScoreEntry, ListScoreTable};
+use crate::config::IndexConfig;
+use crate::error::Result;
+use crate::heap::TopKHeap;
+use crate::long_list::{invert_corpus, posting_term_score, ListFormat, LongListStore};
+use crate::merge::{MultiMerge, UnionCursor};
+use crate::methods::base::MethodBase;
+use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex};
+use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
+use crate::types::{DocId, Document, Query, QueryMode, Score, SearchHit, TermId};
+
+/// Per-term fancy-list metadata (same role as in Chunk-TermScore).
+#[derive(Debug, Clone, Copy, Default)]
+struct FancyMeta {
+    min_ts: u16,
+    complete: bool,
+    inserted_max: u16,
+}
+
+impl FancyMeta {
+    fn bound(&self) -> u16 {
+        let base = if self.complete { 0 } else { self.min_ts };
+        base.max(self.inserted_max)
+    }
+}
+
+/// The Score-Threshold-TermScore method.
+pub struct ScoreThresholdTermMethod {
+    base: MethodBase,
+    config: IndexConfig,
+    long: LongListStore,
+    short: ShortLists,
+    fancy: LongListStore,
+    list_score: ListScoreTable,
+    fancy_meta: RwLock<HashMap<TermId, FancyMeta>>,
+    /// Docs whose content changed since the last offline merge; their fancy
+    /// postings cannot be trusted in phase 1 (see Chunk-TermScore).
+    content_dirty: RwLock<HashSet<DocId>>,
+}
+
+/// Select the fancy list exactly as Chunk-TermScore does.
+fn build_fancy(
+    postings: &[TermScoredPosting],
+    fancy_size: usize,
+) -> (Vec<TermScoredPosting>, FancyMeta) {
+    let mut ranked: Vec<TermScoredPosting> = postings.to_vec();
+    ranked.sort_by(|a, b| b.tscore.cmp(&a.tscore).then_with(|| a.doc.cmp(&b.doc)));
+    ranked.truncate(fancy_size);
+    let complete = ranked.len() == postings.len();
+    let min_ts = ranked.iter().map(|p| p.tscore).min().unwrap_or(0);
+    ranked.sort_by_key(|p| p.doc);
+    (ranked, FancyMeta { min_ts, complete, inserted_max: 0 })
+}
+
+impl ScoreThresholdTermMethod {
+    /// Build from a corpus and initial scores.
+    pub fn build(
+        docs: &[Document],
+        scores: &ScoreMap,
+        config: &IndexConfig,
+    ) -> Result<ScoreThresholdTermMethod> {
+        let base = MethodBase::new(config)?;
+        base.bulk_load(docs, scores)?;
+        let long_store = base.env.create_store(store_names::LONG, config.long_cache_pages);
+        let short_store = base.env.create_store(store_names::SHORT, config.small_cache_pages);
+        let aux_store = base.env.create_store(store_names::AUX, config.small_cache_pages);
+        let fancy_store = base.env.create_store(store_names::FANCY, config.small_cache_pages);
+        let long = LongListStore::new(long_store, ListFormat::Score { with_scores: true });
+        let short = ShortLists::create(short_store, ShortOrder::ByScoreDesc)?;
+        let fancy = LongListStore::new(fancy_store, ListFormat::Id { with_scores: true });
+        let list_score = ListScoreTable::create(aux_store)?;
+
+        let mut fancy_meta = HashMap::new();
+        for (term, postings) in invert_corpus(docs) {
+            let mut rows: Vec<(f64, DocId, u16)> = postings
+                .iter()
+                .map(|p| (MethodBase::initial_score(scores, p.doc), p.doc, p.tscore))
+                .collect();
+            rows.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+            let mut buf = Vec::new();
+            PostingsBuilder::encode_score_list(&rows, true, &mut buf);
+            long.set_list(term, &buf)?;
+
+            let (fancy_postings, meta) = build_fancy(&postings, config.fancy_size);
+            let mut fbuf = Vec::new();
+            PostingsBuilder::encode_id_term_list(&fancy_postings, &mut fbuf);
+            fancy.set_list(term, &fbuf)?;
+            fancy_meta.insert(term, meta);
+        }
+        Ok(ScoreThresholdTermMethod {
+            base,
+            config: config.clone(),
+            long,
+            short,
+            fancy,
+            list_score,
+            fancy_meta: RwLock::new(fancy_meta),
+            content_dirty: RwLock::new(HashSet::new()),
+        })
+    }
+
+    fn list_state(&self, doc: DocId, fallback_score: Score) -> Result<ListScoreEntry> {
+        match self.list_score.get(doc)? {
+            Some(entry) => Ok(entry),
+            None => Ok(ListScoreEntry { l_score: fallback_score, in_short_list: false }),
+        }
+    }
+
+    /// Total postings across all short lists (tests and diagnostics).
+    pub fn short_list_len(&self) -> u64 {
+        self.short.len()
+    }
+
+    fn widen_fancy_bound(&self, term: TermId, ts: u16) {
+        let mut meta = self.fancy_meta.write();
+        let m = meta.entry(term).or_default();
+        m.inserted_max = m.inserted_max.max(ts);
+    }
+
+    fn fancy_bound(&self, term: TermId) -> f64 {
+        let meta = self.fancy_meta.read();
+        unquantize_term_score(meta.get(&term).map(|m| m.bound()).unwrap_or(0))
+    }
+}
+
+/// Phase-1 bookkeeping for a doc found in some (not all) fancy lists.
+struct RemainEntry {
+    known: Vec<Option<f64>>,
+}
+
+impl SearchIndex for ScoreThresholdTermMethod {
+    fn kind(&self) -> MethodKind {
+        MethodKind::ScoreThresholdTermScore
+    }
+
+    /// Algorithm 1, with the document's stored term scores replicated into
+    /// the short postings (as for Chunk-TermScore).
+    fn update_score(&self, doc: DocId, new_score: Score) -> Result<()> {
+        let old_score = self.base.current_score(doc)?;
+        self.base.score_table.set(doc, new_score)?;
+        let entry = self.list_state(doc, old_score)?;
+        if self.list_score.get(doc)?.is_none() {
+            self.list_score.put(doc, ListScoreEntry {
+                l_score: old_score,
+                in_short_list: false,
+            })?;
+        }
+        if new_score > self.config.threshold_value_of(entry.l_score) {
+            let terms = self.base.doc_store.get(doc)?.unwrap_or_default();
+            let max_tf = terms.iter().map(|&(_, tf)| tf).max().unwrap_or(0);
+            for (term, tf) in terms {
+                if entry.in_short_list {
+                    self.short.delete(term, PostingPos::ByScore(entry.l_score), doc)?;
+                }
+                let ts = posting_term_score(tf, max_tf);
+                self.short.put(term, PostingPos::ByScore(new_score), doc, Op::Add, ts)?;
+            }
+            self.list_score.put(doc, ListScoreEntry {
+                l_score: new_score,
+                in_short_list: true,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Algorithm 3 over score-ordered lists.
+    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
+        let m = query.terms.len();
+        let required = match query.mode {
+            QueryMode::Conjunctive => m,
+            QueryMode::Disjunctive => 1,
+        };
+        let idfs: Vec<f64> = query.terms.iter().map(|&t| self.base.idf(t)).collect();
+        let mut heap = TopKHeap::new(query.k);
+        let mut seen: HashSet<DocId> = HashSet::new();
+
+        // ---- Phase 1: merge the fancy lists (Algorithm 3 lines 8-9). ------
+        let mut fancy_docs: HashMap<DocId, Vec<Option<f64>>> = HashMap::new();
+        for (i, &term) in query.terms.iter().enumerate() {
+            let mut cursor = self.fancy.cursor(term);
+            while let Some(p) = cursor.next_posting()? {
+                fancy_docs
+                    .entry(p.doc)
+                    .or_insert_with(|| vec![None; m])[i] =
+                    Some(idfs[i] * unquantize_term_score(p.tscore));
+            }
+        }
+        let mut remain: HashMap<DocId, RemainEntry> = HashMap::new();
+        {
+            let content_dirty = self.content_dirty.read();
+            for (doc, known) in fancy_docs {
+                if self.base.is_deleted(doc) || content_dirty.contains(&doc) {
+                    continue;
+                }
+                if known.iter().all(Option::is_some) {
+                    let svr = self.base.score_table.score_of(doc)?;
+                    let ts_sum: f64 = known.iter().flatten().sum();
+                    heap.add(doc, self.base.combine(svr, ts_sum));
+                    seen.insert(doc);
+                } else {
+                    remain.insert(doc, RemainEntry { known });
+                }
+            }
+        }
+
+        // Σ_t bound(t)·idf(t): term-score bound for docs outside all fancy
+        // lists.
+        let global_ts_bound: f64 = query
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| idfs[i] * self.fancy_bound(t))
+            .sum();
+
+        // ---- Phase 2: merge short ∪ long lists in score order. ------------
+        let streams: Vec<UnionCursor<'_>> = query
+            .terms
+            .iter()
+            .map(|&t| Ok(UnionCursor::new(self.long.cursor(t), self.short.cursor(t)?)))
+            .collect::<Result<_>>()?;
+        let mut merge = MultiMerge::new(streams);
+
+        while let Some(candidate) = merge.next_candidate()? {
+            let PostingPos::ByScore(list_score) = candidate.pos else {
+                unreachable!("score-threshold-term candidates are score-ordered");
+            };
+            // Stopping rule: thresholdValueOf(listScore) bounds any unseen
+            // doc's current SVR score (Lemma 1.2); the fancy bounds cover
+            // its term scores. The SVR bound shrinks as the merge descends,
+            // so the remainList is re-pruned at every position (it holds at
+            // most m × fancy_size entries).
+            if let Some(min) = heap.min_score() {
+                let svr_ub = self.config.threshold_value_of(list_score);
+                remain.retain(|_, e| {
+                    let ts_ub: f64 = e
+                        .known
+                        .iter()
+                        .enumerate()
+                        .map(|(i, k)| {
+                            k.unwrap_or_else(|| idfs[i] * self.fancy_bound(query.terms[i]))
+                        })
+                        .sum();
+                    self.base.combine(svr_ub, ts_ub) > min
+                });
+                if remain.is_empty() && self.base.combine(svr_ub, global_ts_bound) <= min {
+                    break;
+                }
+            }
+
+            // Every encountered doc leaves the remainList (line 12).
+            remain.remove(&candidate.doc);
+
+            if candidate.match_count() < required
+                || self.base.is_deleted(candidate.doc)
+                || seen.contains(&candidate.doc)
+            {
+                continue;
+            }
+            // SVR score resolution exactly as in Score-Threshold.
+            let svr = if candidate.all_short() {
+                Some(self.base.score_table.score_of(candidate.doc)?)
+            } else {
+                match self.list_score.get(candidate.doc)? {
+                    None => Some(list_score),
+                    Some(entry) if !entry.in_short_list => {
+                        Some(self.base.score_table.score_of(candidate.doc)?)
+                    }
+                    Some(_) => None, // superseded by a short occurrence
+                }
+            };
+            if let Some(svr) = svr {
+                let mut ts_sum = 0.0;
+                for (i, matched) in candidate.matches.iter().enumerate() {
+                    if let Some(mt) = matched {
+                        ts_sum += idfs[i] * unquantize_term_score(mt.tscore);
+                    }
+                }
+                heap.add(candidate.doc, self.base.combine(svr, ts_sum));
+                seen.insert(candidate.doc);
+            }
+        }
+        Ok(heap.into_ranked())
+    }
+
+    fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {
+        self.base.register_insert(doc, score)?;
+        let max_tf = doc.max_tf();
+        for &(term, tf) in &doc.terms {
+            let ts = posting_term_score(tf, max_tf);
+            self.short.put(term, PostingPos::ByScore(score), doc.id, Op::Add, ts)?;
+            self.widen_fancy_bound(term, ts);
+        }
+        self.list_score.put(doc.id, ListScoreEntry { l_score: score, in_short_list: true })?;
+        Ok(())
+    }
+
+    fn delete_document(&self, doc: DocId) -> Result<()> {
+        self.base.register_delete(doc)
+    }
+
+    fn update_content(&self, doc: &Document) -> Result<()> {
+        let current = self.base.current_score(doc.id)?;
+        let entry = self.list_state(doc.id, current)?;
+        let (old, new) = self.base.register_content(doc)?;
+        let old_terms: HashSet<TermId> = old.iter().map(|&(t, _)| t).collect();
+        let new_terms: HashSet<TermId> = new.iter().map(|&(t, _)| t).collect();
+        let pos = PostingPos::ByScore(entry.l_score);
+        let max_tf = doc.max_tf();
+        // New or re-weighted terms get ADD postings at the live position.
+        for &(term, tf) in &new {
+            let ts = posting_term_score(tf, max_tf);
+            self.short.put(term, pos, doc.id, Op::Add, ts)?;
+            self.widen_fancy_bound(term, ts);
+        }
+        for &term in old_terms.difference(&new_terms) {
+            if entry.in_short_list {
+                self.short.delete(term, pos, doc.id)?;
+            } else {
+                self.short.put(term, pos, doc.id, Op::Rem, 0)?;
+            }
+        }
+        self.content_dirty.write().insert(doc.id);
+        Ok(())
+    }
+
+    fn merge_short_lists(&self) -> Result<()> {
+        let new_meta = crate::maintenance::rebuild_score_term_lists(
+            &self.base,
+            &self.long,
+            &self.fancy,
+            self.config.fancy_size,
+        )?;
+        *self.fancy_meta.write() = new_meta
+            .into_iter()
+            .map(|(t, (min_ts, complete))| {
+                (t, FancyMeta { min_ts, complete, inserted_max: 0 })
+            })
+            .collect();
+        self.content_dirty.write().clear();
+        self.short.clear()?;
+        self.list_score.clear()
+    }
+
+    fn long_list_bytes(&self) -> u64 {
+        self.long.total_bytes()
+    }
+
+    fn clear_long_cache(&self) -> Result<()> {
+        for name in [store_names::LONG, store_names::FANCY] {
+            if let Some(store) = self.base.env.store(name) {
+                store.clear_cache()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn env(&self) -> &Arc<StorageEnv> {
+        &self.base.env
+    }
+
+    fn current_score(&self, doc: DocId) -> Result<Score> {
+        self.base.current_score(doc)
+    }
+}

@@ -1,0 +1,165 @@
+//! The Score table: `doc id -> (current score, deleted flag)`.
+//!
+//! "A Score table is used to store the ID and score of each document (there
+//! is only one such Score table for the entire collection)... An index is
+//! built on the ID column of the Score table so that score lookups by ID are
+//! efficient" (§4.2.1). In this implementation the table *is* its B+-tree
+//! index, keyed by document id. Appendix A.2 adds the deleted flag.
+
+use std::sync::Arc;
+
+use svr_storage::{BTree, Store};
+
+use crate::error::{check_score, CoreError, Result};
+use crate::types::{DocId, Score};
+
+/// One row of the Score table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreEntry {
+    pub score: Score,
+    pub deleted: bool,
+}
+
+/// B+-tree-backed Score table.
+pub struct ScoreTable {
+    tree: BTree,
+}
+
+impl ScoreTable {
+    /// Create an empty table in `store`.
+    pub fn create(store: Arc<Store>) -> Result<ScoreTable> {
+        Ok(ScoreTable { tree: BTree::create(store)? })
+    }
+
+    fn key(doc: DocId) -> [u8; 4] {
+        doc.0.to_be_bytes()
+    }
+
+    fn value(entry: ScoreEntry) -> [u8; 9] {
+        let mut v = [0u8; 9];
+        v[..8].copy_from_slice(&entry.score.to_le_bytes());
+        v[8] = entry.deleted as u8;
+        v
+    }
+
+    fn decode(raw: &[u8]) -> ScoreEntry {
+        ScoreEntry {
+            score: f64::from_le_bytes(raw[..8].try_into().expect("short score row")),
+            deleted: raw.get(8).copied().unwrap_or(0) != 0,
+        }
+    }
+
+    /// Fetch a row.
+    pub fn get(&self, doc: DocId) -> Result<Option<ScoreEntry>> {
+        Ok(self.tree.get(&Self::key(doc))?.map(|v| Self::decode(&v)))
+    }
+
+    /// Current score of a live document; errors on unknown or deleted docs.
+    pub fn score_of(&self, doc: DocId) -> Result<Score> {
+        match self.get(doc)? {
+            Some(entry) if !entry.deleted => Ok(entry.score),
+            _ => Err(CoreError::UnknownDocument(doc)),
+        }
+    }
+
+    /// Insert or overwrite a row; validates the score.
+    pub fn set(&self, doc: DocId, score: Score) -> Result<Option<ScoreEntry>> {
+        let score = check_score(score)?;
+        let prev = self
+            .tree
+            .put(&Self::key(doc), &Self::value(ScoreEntry { score, deleted: false }))?;
+        Ok(prev.map(|v| Self::decode(&v)))
+    }
+
+    /// Mark a document deleted (Appendix A.2: "add a new field in the Score
+    /// table that indicates whether a document with a given ID is deleted").
+    pub fn mark_deleted(&self, doc: DocId) -> Result<()> {
+        let entry = self.get(doc)?.ok_or(CoreError::UnknownDocument(doc))?;
+        self.tree.put(
+            &Self::key(doc),
+            &Self::value(ScoreEntry { deleted: true, ..entry }),
+        )?;
+        Ok(())
+    }
+
+    /// Number of rows (live + deleted).
+    pub fn len(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// All live `(doc, score)` rows in doc-id order (used when (re)building
+    /// chunk maps).
+    pub fn live_scores(&self) -> Result<Vec<(DocId, Score)>> {
+        let mut cursor = self.tree.cursor(&[])?;
+        let mut out = Vec::new();
+        while let Some((k, v)) = cursor.next_entry()? {
+            let entry = Self::decode(&v);
+            if !entry.deleted {
+                let doc = DocId(u32::from_be_bytes(k[..4].try_into().expect("short key")));
+                out.push((doc, entry.score));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svr_storage::{MemDisk, Store};
+
+    fn table() -> ScoreTable {
+        let store = Arc::new(Store::new(Arc::new(MemDisk::new(4096)), 64));
+        ScoreTable::create(store).unwrap()
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let t = table();
+        assert_eq!(t.set(DocId(15), 87.13).unwrap(), None);
+        assert_eq!(t.score_of(DocId(15)).unwrap(), 87.13);
+        let prev = t.set(DocId(15), 124.2).unwrap().unwrap();
+        assert_eq!(prev.score, 87.13);
+        assert_eq!(t.score_of(DocId(15)).unwrap(), 124.2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn unknown_doc_errors() {
+        let t = table();
+        assert_eq!(t.score_of(DocId(1)), Err(CoreError::UnknownDocument(DocId(1))));
+        assert!(t.mark_deleted(DocId(1)).is_err());
+    }
+
+    #[test]
+    fn deleted_docs_hidden_from_score_of_and_live_scores() {
+        let t = table();
+        t.set(DocId(1), 10.0).unwrap();
+        t.set(DocId(2), 20.0).unwrap();
+        t.mark_deleted(DocId(1)).unwrap();
+        assert!(t.score_of(DocId(1)).is_err());
+        assert!(t.get(DocId(1)).unwrap().unwrap().deleted);
+        assert_eq!(t.live_scores().unwrap(), vec![(DocId(2), 20.0)]);
+    }
+
+    #[test]
+    fn invalid_scores_rejected() {
+        let t = table();
+        assert!(t.set(DocId(1), -3.0).is_err());
+        assert!(t.set(DocId(1), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn reinsert_after_delete_revives() {
+        let t = table();
+        t.set(DocId(1), 10.0).unwrap();
+        t.mark_deleted(DocId(1)).unwrap();
+        t.set(DocId(1), 30.0).unwrap();
+        assert_eq!(t.score_of(DocId(1)).unwrap(), 30.0);
+    }
+}

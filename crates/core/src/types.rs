@@ -1,0 +1,68 @@
+//! Shared types for the index methods.
+
+pub use svr_text::{DocId, Document, TermId};
+
+/// A document's SVR score. Scores are non-negative finite reals (§4.1).
+pub type Score = f64;
+
+/// Chunk identifier for the Chunk / Chunk-TermScore methods. Chunk 1 holds
+/// the lowest-scored documents; higher chunks hold higher scores.
+pub type ChunkId = u32;
+
+/// Conjunctive ("all keywords") vs. disjunctive ("any keyword") search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryMode {
+    Conjunctive,
+    Disjunctive,
+}
+
+/// A top-k keyword query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Distinct query terms. Duplicates are removed by [`Query::new`].
+    pub terms: Vec<TermId>,
+    /// Number of desired results.
+    pub k: usize,
+    pub mode: QueryMode,
+}
+
+impl Query {
+    /// Build a query, deduplicating terms (keeping first occurrence order).
+    pub fn new(terms: impl IntoIterator<Item = TermId>, k: usize, mode: QueryMode) -> Query {
+        let mut seen = std::collections::HashSet::new();
+        let terms = terms.into_iter().filter(|t| seen.insert(*t)).collect();
+        Query { terms, k, mode }
+    }
+
+    /// Conjunctive top-k helper.
+    pub fn conjunctive(terms: impl IntoIterator<Item = TermId>, k: usize) -> Query {
+        Query::new(terms, k, QueryMode::Conjunctive)
+    }
+
+    /// Disjunctive top-k helper.
+    pub fn disjunctive(terms: impl IntoIterator<Item = TermId>, k: usize) -> Query {
+        Query::new(terms, k, QueryMode::Disjunctive)
+    }
+}
+
+/// One ranked result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    pub doc: DocId,
+    /// The score the ranking is based on: the *latest* SVR score, plus the
+    /// term-score component for the TermScore methods.
+    pub score: Score,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_dedups_terms() {
+        let q = Query::conjunctive([TermId(1), TermId(2), TermId(1)], 10);
+        assert_eq!(q.terms, vec![TermId(1), TermId(2)]);
+        assert_eq!(q.k, 10);
+        assert_eq!(q.mode, QueryMode::Conjunctive);
+    }
+}

@@ -1,0 +1,118 @@
+//! Concurrency stress: the indexes advertise `Send + Sync` with interior
+//! locking, so concurrent readers racing a writer must neither crash nor
+//! return scores that were never valid for the returned document.
+//!
+//! (The system is single-writer / many-reader, like the paper's deployment:
+//! one update stream from the materialized view, queries from everywhere.)
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use svr_core::types::{DocId, Document, Query, QueryMode, TermId};
+use svr_core::{build_index, IndexConfig, MethodKind, ScoreMap};
+
+fn corpus(n: u32) -> (Vec<Document>, ScoreMap) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut docs = Vec::new();
+    let mut scores = ScoreMap::new();
+    for id in 0..n {
+        let terms = (0..8).map(|_| (TermId(rng.gen_range(0..30)), rng.gen_range(1..4u32)));
+        docs.push(Document::from_term_freqs(DocId(id), terms));
+        scores.insert(DocId(id), rng.gen_range(0.0..100_000.0f64).round());
+    }
+    (docs, scores)
+}
+
+/// One writer hammers score updates while several readers run top-k queries.
+/// Every returned hit must reference a live doc with a score that is
+/// plausible (non-negative, finite); the final state must equal the writer's
+/// last write per doc.
+fn run_stress(kind: MethodKind) {
+    let (docs, scores) = corpus(300);
+    let config = IndexConfig {
+        chunk_ratio: 2.0,
+        threshold_ratio: 1.5,
+        min_chunk_docs: 8,
+        ..IndexConfig::default()
+    };
+    let index = build_index(kind, &docs, &scores, &config).unwrap();
+    let stop = AtomicBool::new(false);
+    let mut final_scores: HashMap<DocId, f64> = HashMap::new();
+
+    crossbeam::thread::scope(|scope| {
+        let index_ref = index.as_ref();
+        let stop_ref = &stop;
+        // Readers.
+        let readers: Vec<_> = (0..3)
+            .map(|seed| {
+                scope.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut queries_run = 0u32;
+                    while !stop_ref.load(Ordering::Relaxed) {
+                        let terms = vec![
+                            TermId(rng.gen_range(0..30)),
+                            TermId(rng.gen_range(0..30)),
+                        ];
+                        let mode = if rng.gen_bool(0.5) {
+                            QueryMode::Conjunctive
+                        } else {
+                            QueryMode::Disjunctive
+                        };
+                        let hits = index_ref.query(&Query::new(terms, 10, mode)).unwrap();
+                        for w in hits.windows(2) {
+                            assert!(w[0].score >= w[1].score || w[0].doc.0 < w[1].doc.0);
+                        }
+                        for h in &hits {
+                            assert!(h.score.is_finite() && h.score >= 0.0);
+                            assert!(h.doc.0 < 300);
+                        }
+                        queries_run += 1;
+                    }
+                    queries_run
+                })
+            })
+            .collect();
+
+        // Writer (this thread).
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..3_000 {
+            let doc = DocId(rng.gen_range(0..300));
+            let score = rng.gen_range(0.0..200_000.0f64).round();
+            index.update_score(doc, score).unwrap();
+            final_scores.insert(doc, score);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            let ran = reader.join().unwrap();
+            assert!(ran > 0, "reader must have made progress");
+        }
+    })
+    .unwrap();
+
+    // Quiescent state equals the last write.
+    for (doc, score) in &final_scores {
+        assert_eq!(index.current_score(*doc).unwrap(), *score, "{kind}: doc {doc}");
+    }
+}
+
+#[test]
+fn concurrent_id() {
+    run_stress(MethodKind::Id);
+}
+
+#[test]
+fn concurrent_chunk() {
+    run_stress(MethodKind::Chunk);
+}
+
+#[test]
+fn concurrent_score_threshold() {
+    run_stress(MethodKind::ScoreThreshold);
+}
+
+#[test]
+fn concurrent_chunk_term() {
+    run_stress(MethodKind::ChunkTermScore);
+}

@@ -1,0 +1,168 @@
+//! Appendix-A operations — document insertions, deletions and content
+//! updates — interleaved with score updates, validated against the oracle
+//! for every method.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use svr_core::types::{DocId, Document, Query, QueryMode, TermId};
+use svr_core::{build_index, IndexConfig, MethodKind, Oracle, ScoreMap};
+
+const VOCAB: u32 = 40;
+const EPS: f64 = 1e-6;
+
+fn random_doc(rng: &mut StdRng, id: u32) -> Document {
+    let n_terms = rng.gen_range(2..9);
+    Document::from_term_freqs(
+        DocId(id),
+        (0..n_terms).map(|_| {
+            let r: f64 = rng.gen();
+            (TermId((((r * r) * VOCAB as f64) as u32).min(VOCAB - 1)), rng.gen_range(1..5u32))
+        }),
+    )
+}
+
+fn random_query(rng: &mut StdRng) -> Query {
+    let n_terms = rng.gen_range(1..3);
+    let terms: Vec<TermId> = (0..n_terms)
+        .map(|_| {
+            let r: f64 = rng.gen();
+            TermId((((r * r) * 15.0) as u32).min(VOCAB - 1))
+        })
+        .collect();
+    let mode = if rng.gen_bool(0.5) { QueryMode::Conjunctive } else { QueryMode::Disjunctive };
+    Query::new(terms, rng.gen_range(1..20), mode)
+}
+
+fn config_for(kind: MethodKind) -> IndexConfig {
+    IndexConfig {
+        chunk_ratio: 2.0,
+        threshold_ratio: 1.5,
+        min_chunk_docs: 4,
+        fancy_size: 6,
+        term_weight: if kind.uses_term_scores() { 30_000.0 } else { 0.0 },
+        ..IndexConfig::default()
+    }
+}
+
+fn run_content_storm(kind: MethodKind, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut docs = Vec::new();
+    let mut scores = ScoreMap::new();
+    for id in 0..80u32 {
+        docs.push(random_doc(&mut rng, id));
+        scores.insert(DocId(id), rng.gen_range(0.0..100_000.0f64).round());
+    }
+    let config = config_for(kind);
+    let index = build_index(kind, &docs, &scores, &config).unwrap();
+    let mut oracle = Oracle::build(&docs, &scores, config.term_weight);
+    let mut next_id = 80u32;
+
+    for round in 0..4 {
+        for _ in 0..60 {
+            match rng.gen_range(0..10) {
+                // Insert a brand-new document.
+                0 | 1 => {
+                    let doc = random_doc(&mut rng, next_id);
+                    let score = rng.gen_range(0.0..150_000.0f64).round();
+                    next_id += 1;
+                    index.insert_document(&doc, score).unwrap();
+                    oracle.insert_document(&doc, score).unwrap();
+                }
+                // Delete a live document.
+                2 => {
+                    let live = oracle.live_docs();
+                    if live.len() > 10 {
+                        let doc = live[rng.gen_range(0..live.len())];
+                        index.delete_document(doc).unwrap();
+                        oracle.delete_document(doc).unwrap();
+                    }
+                }
+                // Rewrite a live document's content.
+                3 | 4 => {
+                    let live = oracle.live_docs();
+                    if !live.is_empty() {
+                        let id = live[rng.gen_range(0..live.len())];
+                        let new_doc = random_doc(&mut rng, id.0);
+                        index.update_content(&new_doc).unwrap();
+                        oracle.update_content(&new_doc).unwrap();
+                    }
+                }
+                // Score update.
+                _ => {
+                    let live = oracle.live_docs();
+                    if !live.is_empty() {
+                        let doc = live[rng.gen_range(0..live.len())];
+                        let current = oracle.score_of(doc).unwrap();
+                        let new_score = match rng.gen_range(0..3) {
+                            0 => current * rng.gen_range(1.5..15.0),
+                            1 => current * rng.gen_range(0.05..0.8),
+                            _ => rng.gen_range(0.0..200_000.0),
+                        }
+                        .round();
+                        index.update_score(doc, new_score).unwrap();
+                        oracle.update_score(doc, new_score).unwrap();
+                    }
+                }
+            }
+        }
+        for _ in 0..12 {
+            let q = random_query(&mut rng);
+            let hits = index.query(&q).unwrap();
+            oracle.assert_topk_valid(&q, &hits, EPS);
+        }
+        // Periodically run the offline merge mid-test; round 2 exercises
+        // queries against freshly merged lists.
+        if round == 1 {
+            index.merge_short_lists().unwrap();
+        }
+    }
+}
+
+#[test]
+fn id_method_content_ops() {
+    run_content_storm(MethodKind::Id, 1);
+}
+
+#[test]
+fn score_method_content_ops() {
+    run_content_storm(MethodKind::Score, 2);
+}
+
+#[test]
+fn score_threshold_method_content_ops() {
+    run_content_storm(MethodKind::ScoreThreshold, 3);
+}
+
+#[test]
+fn chunk_method_content_ops() {
+    run_content_storm(MethodKind::Chunk, 4);
+}
+
+#[test]
+fn id_term_method_content_ops() {
+    run_content_storm(MethodKind::IdTermScore, 5);
+}
+
+#[test]
+fn chunk_term_method_content_ops() {
+    run_content_storm(MethodKind::ChunkTermScore, 6);
+}
+
+/// Duplicate inserts and double deletes must error without corrupting.
+#[test]
+fn insert_delete_error_paths() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let docs = vec![random_doc(&mut rng, 0)];
+    let scores = ScoreMap::from([(DocId(0), 10.0)]);
+    for kind in MethodKind::ALL_EXTENDED {
+        let index = build_index(kind, &docs, &scores, &config_for(kind)).unwrap();
+        let dup = random_doc(&mut rng, 0);
+        assert!(index.insert_document(&dup, 5.0).is_err(), "{kind}: duplicate insert");
+        index.delete_document(DocId(0)).unwrap();
+        assert!(index.delete_document(DocId(0)).is_err(), "{kind}: double delete");
+        assert!(index.update_score(DocId(0), 1.0).is_err(), "{kind}: update deleted");
+        // The collection is now empty; queries return nothing.
+        let q = Query::disjunctive([TermId(0), TermId(1), TermId(2)], 5);
+        assert!(index.query(&q).unwrap().is_empty(), "{kind}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for the merge machinery: the per-term short∪long union
+//! and the m-way candidate merge must match a naive in-memory model for
+//! arbitrary list contents, including REM tombstones.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use svr_core::long_list::{ListFormat, LongListStore};
+use svr_core::merge::{MultiMerge, Source, UnionCursor};
+use svr_core::short_list::{Op, PostingPos, ShortLists, ShortOrder};
+use svr_core::types::{DocId, TermId};
+use svr_storage::{MemDisk, Store};
+use svr_text::postings::{ChunkGroup, PostingsBuilder, TermScoredPosting};
+
+/// A term's long list: chunk id -> ascending doc ids.
+type LongModel = BTreeMap<u32, Vec<u32>>;
+/// A term's short list: (chunk, doc) -> is_rem.
+type ShortModel = BTreeMap<(u32, u32), bool>;
+
+fn long_strategy() -> impl Strategy<Value = LongModel> {
+    prop::collection::btree_map(
+        1u32..8,
+        prop::collection::btree_set(0u32..40, 0..10)
+            .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+        0..5,
+    )
+}
+
+fn short_strategy() -> impl Strategy<Value = ShortModel> {
+    prop::collection::btree_map((1u32..8, 0u32..40), any::<bool>(), 0..12)
+}
+
+/// Expected union output in merge order: (chunk desc, doc asc).
+fn model_union(long: &LongModel, short: &ShortModel) -> Vec<(u32, u32, Source)> {
+    let mut events: BTreeMap<(std::cmp::Reverse<u32>, u32), Source> = BTreeMap::new();
+    for (&cid, docs) in long {
+        for &doc in docs {
+            events.insert((std::cmp::Reverse(cid), doc), Source::Long);
+        }
+    }
+    for (&(cid, doc), &is_rem) in short {
+        let key = (std::cmp::Reverse(cid), doc);
+        if is_rem {
+            // REM cancels a co-located long posting; orphan REMs vanish.
+            events.remove(&key);
+        } else {
+            events.insert(key, Source::ShortAdd);
+        }
+    }
+    events
+        .into_iter()
+        .map(|((std::cmp::Reverse(cid), doc), src)| (cid, doc, src))
+        .collect()
+}
+
+fn build_stores(
+    terms: &[(LongModel, ShortModel)],
+) -> (LongListStore, ShortLists) {
+    let long_store = Arc::new(Store::new(Arc::new(MemDisk::new(512)), 64));
+    let short_store = Arc::new(Store::new(Arc::new(MemDisk::new(512)), 64));
+    let long = LongListStore::new(long_store, ListFormat::Chunked { with_scores: false });
+    let short = ShortLists::create(short_store, ShortOrder::ByChunkDesc).unwrap();
+    for (t, (long_model, short_model)) in terms.iter().enumerate() {
+        let mut groups: Vec<ChunkGroup> = long_model
+            .iter()
+            .map(|(&cid, docs)| ChunkGroup {
+                cid,
+                postings: docs
+                    .iter()
+                    .map(|&d| TermScoredPosting { doc: DocId(d), tscore: 0 })
+                    .collect(),
+            })
+            .collect();
+        groups.sort_by_key(|g| std::cmp::Reverse(g.cid));
+        let mut buf = Vec::new();
+        PostingsBuilder::encode_chunked_list(&groups, false, &mut buf);
+        long.set_list(TermId(t as u32), &buf).unwrap();
+        for (&(cid, doc), &is_rem) in short_model {
+            short
+                .put(
+                    TermId(t as u32),
+                    PostingPos::ByChunk(cid),
+                    DocId(doc),
+                    if is_rem { Op::Rem } else { Op::Add },
+                    0,
+                )
+                .unwrap();
+        }
+    }
+    (long, short)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn union_cursor_matches_model(long_model in long_strategy(), short_model in short_strategy()) {
+        let (long, short) = build_stores(&[(long_model.clone(), short_model.clone())]);
+        let mut cursor = UnionCursor::new(long.cursor(TermId(0)), short.cursor(TermId(0)).unwrap());
+        let mut got = Vec::new();
+        while let Some(e) = cursor.next_event().unwrap() {
+            let PostingPos::ByChunk(cid) = e.pos else { panic!("wrong pos kind") };
+            got.push((cid, e.doc.0, e.m.source));
+        }
+        prop_assert_eq!(got, model_union(&long_model, &short_model));
+    }
+
+    #[test]
+    fn multi_merge_matches_model(
+        terms in prop::collection::vec((long_strategy(), short_strategy()), 1..4),
+    ) {
+        let (long, short) = build_stores(&terms);
+        let streams: Vec<UnionCursor<'_>> = (0..terms.len())
+            .map(|t| {
+                UnionCursor::new(
+                    long.cursor(TermId(t as u32)),
+                    short.cursor(TermId(t as u32)).unwrap(),
+                )
+            })
+            .collect();
+        let mut merge = MultiMerge::new(streams);
+
+        // Model: merge all per-term unions by (chunk desc, doc asc).
+        type MatchesByKey = BTreeMap<(std::cmp::Reverse<u32>, u32), Vec<(usize, Source)>>;
+        let mut expected: MatchesByKey =
+            BTreeMap::new();
+        for (t, (lm, sm)) in terms.iter().enumerate() {
+            for (cid, doc, src) in model_union(lm, sm) {
+                expected
+                    .entry((std::cmp::Reverse(cid), doc))
+                    .or_default()
+                    .push((t, src));
+            }
+        }
+
+        let mut seen = Vec::new();
+        while let Some(c) = merge.next_candidate().unwrap() {
+            let PostingPos::ByChunk(cid) = c.pos else { panic!("wrong pos kind") };
+            let matches: Vec<(usize, Source)> = c
+                .matches
+                .iter()
+                .enumerate()
+                .filter_map(|(t, m)| m.map(|m| (t, m.source)))
+                .collect();
+            prop_assert!(c.match_count() >= 1, "empty candidate");
+            seen.push(((std::cmp::Reverse(cid), c.doc.0), matches));
+        }
+        // Candidates must arrive in strictly increasing merge-key order and
+        // cover exactly the model's keys with the model's term matches.
+        for w in seen.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "candidates out of order");
+        }
+        let got: BTreeMap<_, _> = seen.into_iter().collect();
+        let expected: BTreeMap<_, _> = expected.into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,244 @@
+//! Every index method must agree with the brute-force oracle after any
+//! sequence of score updates — the executable form of the paper's
+//! correctness theorems (Theorems 1 and 2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use svr_core::types::{DocId, Document, Query, QueryMode, TermId};
+use svr_core::{build_index, IndexConfig, MethodKind, Oracle, ScoreMap, SearchIndex};
+
+const VOCAB: u32 = 60;
+const EPS: f64 = 1e-6;
+
+/// Small synthetic corpus with skewed term frequencies: low term ids appear
+/// in most documents, high term ids are rare.
+fn corpus(rng: &mut StdRng, num_docs: u32) -> (Vec<Document>, ScoreMap) {
+    let mut docs = Vec::new();
+    let mut scores = ScoreMap::new();
+    for id in 0..num_docs {
+        let n_terms = rng.gen_range(3..12);
+        let terms = (0..n_terms).map(|_| {
+            // Quadratic skew towards low ids.
+            let r: f64 = rng.gen();
+            let term = ((r * r) * VOCAB as f64) as u32;
+            (TermId(term.min(VOCAB - 1)), rng.gen_range(1..6u32))
+        });
+        docs.push(Document::from_term_freqs(DocId(id), terms));
+        // Zipf-ish scores in [0, 100_000].
+        let u: f64 = rng.gen();
+        scores.insert(DocId(id), (u.powf(4.0) * 100_000.0 * 100.0).round() / 100.0);
+    }
+    (docs, scores)
+}
+
+fn queries(rng: &mut StdRng, n: usize) -> Vec<Query> {
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let n_terms = rng.gen_range(1..4);
+        let terms: Vec<TermId> = (0..n_terms)
+            .map(|_| {
+                let r: f64 = rng.gen();
+                TermId((((r * r) * 20.0) as u32).min(VOCAB - 1))
+            })
+            .collect();
+        let k = *[1usize, 3, 10, 50].get(rng.gen_range(0..4)).unwrap();
+        let mode = if rng.gen_bool(0.5) {
+            QueryMode::Conjunctive
+        } else {
+            QueryMode::Disjunctive
+        };
+        out.push(Query::new(terms, k, mode));
+    }
+    out
+}
+
+fn config_for(kind: MethodKind) -> IndexConfig {
+    IndexConfig {
+        // Small chunks / tight thresholds so the staleness machinery is
+        // exercised hard even on a small corpus.
+        chunk_ratio: 2.0,
+        threshold_ratio: 1.5,
+        min_chunk_docs: 4,
+        fancy_size: 8,
+        term_weight: if kind.uses_term_scores() { 30_000.0 } else { 0.0 },
+        ..IndexConfig::default()
+    }
+}
+
+/// Drive one method through build → query → update-storm → query cycles,
+/// checking against the oracle throughout.
+fn run_update_storm(kind: MethodKind, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (docs, scores) = corpus(&mut rng, 150);
+    let config = config_for(kind);
+    let index = build_index(kind, &docs, &scores, &config).unwrap();
+    let mut oracle = Oracle::build(&docs, &scores, config.term_weight);
+
+    // Fresh index must already agree.
+    for q in queries(&mut rng, 10) {
+        let hits = index.query(&q).unwrap();
+        oracle.assert_topk_valid(&q, &hits, EPS);
+    }
+
+    // Three rounds of update storms + query validation.
+    for round in 0..3 {
+        for _ in 0..120 {
+            let doc = DocId(rng.gen_range(0..150));
+            let current = oracle.score_of(doc).unwrap();
+            // Mix of small drifts, large spikes (flash crowds) and crashes.
+            let new_score = match rng.gen_range(0..4) {
+                0 => (current + rng.gen_range(-100.0..100.0)).max(0.0),
+                1 => current * rng.gen_range(1.5..20.0),
+                2 => current * rng.gen_range(0.01..0.7),
+                _ => rng.gen_range(0.0..200_000.0),
+            };
+            let new_score = (new_score * 100.0).round() / 100.0;
+            index.update_score(doc, new_score).unwrap();
+            oracle.update_score(doc, new_score).unwrap();
+        }
+        for q in queries(&mut rng, 15) {
+            let hits = index.query(&q).unwrap();
+            oracle.assert_topk_valid(&q, &hits, EPS);
+        }
+        // Cold cache between rounds, as the paper measures.
+        index.clear_long_cache().unwrap();
+        let _ = round;
+    }
+
+    // Offline merge must preserve answers.
+    index.merge_short_lists().unwrap();
+    for q in queries(&mut rng, 10) {
+        let hits = index.query(&q).unwrap();
+        oracle.assert_topk_valid(&q, &hits, EPS);
+    }
+}
+
+#[test]
+fn id_method_matches_oracle() {
+    run_update_storm(MethodKind::Id, 0xA11CE);
+}
+
+#[test]
+fn score_method_matches_oracle() {
+    run_update_storm(MethodKind::Score, 0xB0B);
+}
+
+#[test]
+fn score_threshold_method_matches_oracle() {
+    run_update_storm(MethodKind::ScoreThreshold, 0xCAFE);
+}
+
+#[test]
+fn chunk_method_matches_oracle() {
+    run_update_storm(MethodKind::Chunk, 0xD00D);
+}
+
+#[test]
+fn id_term_method_matches_oracle() {
+    run_update_storm(MethodKind::IdTermScore, 0xE66);
+}
+
+#[test]
+fn chunk_term_method_matches_oracle() {
+    run_update_storm(MethodKind::ChunkTermScore, 0xF00D);
+}
+
+#[test]
+fn score_threshold_term_method_matches_oracle() {
+    run_update_storm(MethodKind::ScoreThresholdTermScore, 0x5EED);
+}
+
+/// All methods must return *identical* rankings on the same data (pure-SVR
+/// methods among themselves; term-score methods among themselves).
+#[test]
+fn methods_agree_pairwise() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let (docs, scores) = corpus(&mut rng, 120);
+    let pure: Vec<Box<dyn SearchIndex>> = [
+        MethodKind::Id,
+        MethodKind::Score,
+        MethodKind::ScoreThreshold,
+        MethodKind::Chunk,
+    ]
+    .iter()
+    .map(|&k| build_index(k, &docs, &scores, &config_for(k)).unwrap())
+    .collect();
+    let term: Vec<Box<dyn SearchIndex>> = [
+        MethodKind::IdTermScore,
+        MethodKind::ChunkTermScore,
+        MethodKind::ScoreThresholdTermScore,
+    ]
+    .iter()
+    .map(|&k| build_index(k, &docs, &scores, &config_for(k)).unwrap())
+    .collect();
+
+    for _ in 0..80 {
+        let doc = DocId(rng.gen_range(0..120));
+        let new_score = rng.gen_range(0.0..150_000.0f64).round();
+        for index in pure.iter().chain(term.iter()) {
+            index.update_score(doc, new_score).unwrap();
+        }
+    }
+    for q in queries(&mut rng, 20) {
+        let baseline = pure[0].query(&q).unwrap();
+        for index in &pure[1..] {
+            assert_eq!(
+                index.query(&q).unwrap(),
+                baseline,
+                "{} diverged from ID on {q:?}",
+                index.kind()
+            );
+        }
+        let term_baseline = term[0].query(&q).unwrap();
+        for index in &term[1..] {
+            let other = index.query(&q).unwrap();
+            assert_eq!(
+                other.len(),
+                term_baseline.len(),
+                "{} count differs on {q:?}",
+                index.kind()
+            );
+            for (a, b) in other.iter().zip(&term_baseline) {
+                assert_eq!(a.doc, b.doc, "{:?} vs {:?} on {q:?}", other, term_baseline);
+                assert!((a.score - b.score).abs() < EPS);
+            }
+        }
+    }
+}
+
+/// Queries with no matching documents, empty term lists, k = 0 and k larger
+/// than the collection must all behave.
+#[test]
+fn edge_case_queries() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let (docs, scores) = corpus(&mut rng, 40);
+    for kind in MethodKind::ALL_EXTENDED {
+        let index = build_index(kind, &docs, &scores, &config_for(kind)).unwrap();
+        let oracle = Oracle::build(&docs, &scores, config_for(kind).term_weight);
+        // Unknown term.
+        let q = Query::conjunctive([TermId(9999)], 10);
+        assert!(index.query(&q).unwrap().is_empty(), "{kind}");
+        // k = 0.
+        let q = Query::conjunctive([TermId(0)], 0);
+        assert!(index.query(&q).unwrap().is_empty(), "{kind}");
+        // k > collection size.
+        let q = Query::disjunctive([TermId(0), TermId(1)], 10_000);
+        let hits = index.query(&q).unwrap();
+        oracle.assert_topk_valid(&q, &hits, EPS);
+        // Empty query.
+        let q = Query::conjunctive([], 5);
+        assert!(index.query(&q).unwrap().is_empty(), "{kind}");
+    }
+}
+
+/// Score updates to unknown documents must error, not corrupt.
+#[test]
+fn unknown_doc_update_errors() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let (docs, scores) = corpus(&mut rng, 10);
+    for kind in MethodKind::ALL_EXTENDED {
+        let index = build_index(kind, &docs, &scores, &config_for(kind)).unwrap();
+        assert!(index.update_score(DocId(9999), 10.0).is_err(), "{kind}");
+        assert!(index.current_score(DocId(9999)).is_err(), "{kind}");
+    }
+}

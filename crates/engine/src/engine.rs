@@ -1,0 +1,297 @@
+//! The integrated SVR engine: the architecture of the paper's Figure 2.
+//!
+//! [`SvrEngine`] owns the relational [`Database`], the text vocabulary and
+//! one [`SearchIndex`] per indexed text column. Structured-data mutations
+//! flow through the materialized Score view, whose change notifications
+//! drive the index's score updates; text mutations flow through the
+//! Appendix-A content operations. Keyword queries return ranked rows.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use svr_core::types::{DocId, Document, Query, QueryMode};
+use svr_core::{build_index, IndexConfig, MethodKind, SearchIndex};
+use svr_relation::{Database, Schema, SvrSpec, Value};
+use svr_text::Vocabulary;
+
+use crate::error::{Result, SvrError};
+
+/// A ranked search result: the matching row and its latest SVR score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedRow {
+    pub row: Vec<Value>,
+    pub score: f64,
+}
+
+struct TextIndex {
+    table: String,
+    text_col: usize,
+    pk_col: usize,
+    view: String,
+    index: Arc<dyn SearchIndex>,
+    /// Score-change notifications from the materialized view, drained after
+    /// every mutation (the view listener runs inside the relational layer
+    /// and must not call back into the engine re-entrantly).
+    score_rx: mpsc::Receiver<(i64, f64)>,
+}
+
+/// The integrated engine.
+pub struct SvrEngine {
+    db: Database,
+    vocab: Vocabulary,
+    indexes: HashMap<String, TextIndex>,
+}
+
+impl Default for SvrEngine {
+    fn default() -> Self {
+        SvrEngine::new()
+    }
+}
+
+impl SvrEngine {
+    /// Create an empty engine.
+    pub fn new() -> SvrEngine {
+        SvrEngine { db: Database::new(), vocab: Vocabulary::new(), indexes: HashMap::new() }
+    }
+
+    /// The underlying relational database (read access).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Create a table.
+    pub fn create_table(&mut self, schema: Schema) -> Result<()> {
+        Ok(self.db.create_table(schema)?)
+    }
+
+    /// Create a text index with SVR ranking on `table.text_col`.
+    ///
+    /// This is the engine form of the paper's "create text index ... with
+    /// score specification": it materializes the Score view for `spec`,
+    /// builds the chosen inverted-list `method` over the existing rows, and
+    /// wires view notifications to index score updates.
+    pub fn create_text_index(
+        &mut self,
+        name: &str,
+        table: &str,
+        text_col: &str,
+        spec: SvrSpec,
+        method: MethodKind,
+        config: IndexConfig,
+    ) -> Result<()> {
+        if self.indexes.contains_key(name) {
+            return Err(SvrError::Engine(format!("text index '{name}' already exists")));
+        }
+        let schema = self.db.table(table)?.schema().clone();
+        let text_idx = schema.column_index(text_col)?;
+        let pk_idx = schema.pk;
+
+        self.db.create_score_view(name, table, spec)?;
+
+        // Tokenize the existing rows.
+        let rows = self.db.table(table)?.scan()?;
+        let mut docs = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let pk = row[pk_idx]
+                .as_i64()
+                .ok_or_else(|| SvrError::Engine("text index requires integer keys".into()))?;
+            let text = row[text_idx].as_text().unwrap_or("");
+            docs.push(Document::from_text(doc_id(pk)?, text, &mut self.vocab));
+        }
+        let scores: svr_core::ScoreMap = self
+            .db
+            .all_scores(name)?
+            .into_iter()
+            .map(|(pk, s)| Ok((doc_id(pk)?, s)))
+            .collect::<Result<_>>()?;
+
+        let index: Arc<dyn SearchIndex> = Arc::from(build_index(method, &docs, &scores, &config)?);
+        // View notifications flow through a channel; the engine drains it
+        // after every mutation.
+        let (tx, rx) = mpsc::channel();
+        self.db.set_score_listener(
+            name,
+            Box::new(move |pk, score| {
+                let _ = tx.send((pk, score));
+            }),
+        )?;
+        self.indexes.insert(
+            name.to_string(),
+            TextIndex {
+                table: table.to_string(),
+                text_col: text_idx,
+                pk_col: pk_idx,
+                view: name.to_string(),
+                index,
+                score_rx: rx,
+            },
+        );
+        Ok(())
+    }
+
+    /// Pump pending view notifications into the indexes.
+    fn drain_score_updates(&mut self) -> Result<()> {
+        for ti in self.indexes.values_mut() {
+            while let Ok((pk, score)) = ti.score_rx.try_recv() {
+                match ti.index.update_score(doc_id(pk)?, score) {
+                    Ok(()) => {}
+                    // The row may not be indexed yet (mid-insert); the
+                    // upcoming insert_document carries the current score.
+                    Err(svr_core::CoreError::UnknownDocument(_)) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a row, maintaining views and text indexes.
+    pub fn insert_row(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
+        self.db.insert_row(table, row.clone())?;
+        // Index the text of the new row in every index on this table.
+        let mut inserts = Vec::new();
+        for (name, ti) in &self.indexes {
+            if ti.table == table {
+                let pk = row[ti.pk_col]
+                    .as_i64()
+                    .ok_or_else(|| SvrError::Engine("integer key required".into()))?;
+                let text = row[ti.text_col].as_text().unwrap_or("").to_string();
+                inserts.push((name.clone(), pk, text));
+            }
+        }
+        for (name, pk, text) in inserts {
+            let doc = Document::from_text(doc_id(pk)?, &text, &mut self.vocab);
+            let score = self.db.score_of(&name, pk).unwrap_or(0.0);
+            self.indexes[&name].index.insert_document(&doc, score)?;
+        }
+        self.drain_score_updates()
+    }
+
+    /// Update a row, maintaining views and text indexes (text-column changes
+    /// become Appendix-A content updates).
+    pub fn update_row(&mut self, table: &str, pk: Value, updates: &[(String, Value)]) -> Result<()> {
+        self.db.update_row(table, pk.clone(), updates)?;
+        let mut content_updates = Vec::new();
+        for (name, ti) in &self.indexes {
+            if ti.table != table {
+                continue;
+            }
+            let schema = self.db.table(table)?.schema();
+            let text_col_name = &schema.columns[ti.text_col].0;
+            if let Some((_, new_text)) = updates.iter().find(|(c, _)| c == text_col_name) {
+                let pk_int = pk
+                    .as_i64()
+                    .ok_or_else(|| SvrError::Engine("integer key required".into()))?;
+                content_updates.push((
+                    name.clone(),
+                    pk_int,
+                    new_text.as_text().unwrap_or("").to_string(),
+                ));
+            }
+        }
+        for (name, pk_int, text) in content_updates {
+            let doc = Document::from_text(doc_id(pk_int)?, &text, &mut self.vocab);
+            self.indexes[&name].index.update_content(&doc)?;
+        }
+        self.drain_score_updates()
+    }
+
+    /// Delete a row, maintaining views and text indexes.
+    pub fn delete_row(&mut self, table: &str, pk: Value) -> Result<()> {
+        self.db.delete_row(table, pk.clone())?;
+        for ti in self.indexes.values() {
+            if ti.table == table {
+                let pk_int = pk
+                    .as_i64()
+                    .ok_or_else(|| SvrError::Engine("integer key required".into()))?;
+                ti.index.delete_document(doc_id(pk_int)?)?;
+            }
+        }
+        self.drain_score_updates()
+    }
+
+    /// Keyword-search the indexed text column, returning the top-k rows
+    /// ranked by the *latest* SVR scores — the engine form of the paper's
+    /// `SELECT * FROM Movies ORDER BY score(desc, "golden gate") FETCH TOP
+    /// k`.
+    pub fn search(&mut self, index: &str, keywords: &str, k: usize, mode: QueryMode) -> Result<Vec<RankedRow>> {
+        self.drain_score_updates()?;
+        let ti = self
+            .indexes
+            .get(index)
+            .ok_or_else(|| SvrError::Engine(format!("unknown text index '{index}'")))?;
+        let mut terms = Vec::new();
+        for token in svr_text::tokenize(keywords) {
+            match self.vocab.get(&token) {
+                Some(t) => terms.push(t),
+                // A keyword that appears nowhere: conjunctive queries can
+                // return nothing; disjunctive queries ignore it.
+                None if mode == QueryMode::Conjunctive => return Ok(Vec::new()),
+                None => {}
+            }
+        }
+        if terms.is_empty() {
+            return Ok(Vec::new());
+        }
+        let hits = ti.index.query(&Query::new(terms, k, mode))?;
+        let table = self.db.table(&ti.table)?;
+        let mut rows = Vec::with_capacity(hits.len());
+        for hit in hits {
+            let row = table
+                .get(&Value::Int(hit.doc.0 as i64))?
+                .ok_or_else(|| SvrError::Engine(format!("index points at missing row {}", hit.doc)))?;
+            rows.push(RankedRow { row, score: hit.score });
+        }
+        Ok(rows)
+    }
+
+    /// Name of the text index covering `table.text_col`, if one exists.
+    /// This is how a `SELECT ... ORDER BY score(m.desc, "...")` query finds
+    /// the index to use.
+    pub fn text_index_on(&self, table: &str, text_col: &str) -> Option<&str> {
+        self.indexes.iter().find_map(|(name, ti)| {
+            if ti.table != table {
+                return None;
+            }
+            let schema = self.db.table(table).ok()?.schema();
+            (schema.columns[ti.text_col].0 == text_col).then_some(name.as_str())
+        })
+    }
+
+    /// Names of all text indexes (unordered).
+    pub fn index_names(&self) -> Vec<&str> {
+        self.indexes.keys().map(String::as_str).collect()
+    }
+
+    /// Direct access to an index (statistics, maintenance).
+    pub fn index(&self, name: &str) -> Result<&Arc<dyn SearchIndex>> {
+        self.indexes
+            .get(name)
+            .map(|ti| &ti.index)
+            .ok_or_else(|| SvrError::Engine(format!("unknown text index '{name}'")))
+    }
+
+    /// Run the offline short-list merge on an index.
+    pub fn run_maintenance(&mut self, name: &str) -> Result<()> {
+        self.drain_score_updates()?;
+        Ok(self.index(name)?.merge_short_lists()?)
+    }
+
+    /// The materialized view's score for a row (for assertions and demos).
+    pub fn score_of(&mut self, index: &str, pk: i64) -> Result<f64> {
+        self.drain_score_updates()?;
+        let view = self
+            .indexes
+            .get(index)
+            .map(|ti| ti.view.clone())
+            .ok_or_else(|| SvrError::Engine(format!("unknown text index '{index}'")))?;
+        Ok(self.db.score_of(&view, pk)?)
+    }
+}
+
+fn doc_id(pk: i64) -> Result<DocId> {
+    u32::try_from(pk)
+        .map(DocId)
+        .map_err(|_| SvrError::Engine(format!("primary key {pk} out of document-id range")))
+}

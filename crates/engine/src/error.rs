@@ -1,0 +1,60 @@
+//! Top-level error type.
+
+use std::fmt;
+
+/// Errors from the integrated engine.
+#[derive(Debug)]
+pub enum SvrError {
+    Relation(svr_relation::RelationError),
+    Index(svr_core::CoreError),
+    /// Configuration / usage errors (unknown index, wrong column type...).
+    Engine(String),
+}
+
+impl fmt::Display for SvrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvrError::Relation(e) => write!(f, "relational error: {e}"),
+            SvrError::Index(e) => write!(f, "index error: {e}"),
+            SvrError::Engine(msg) => write!(f, "engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SvrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SvrError::Relation(e) => Some(e),
+            SvrError::Index(e) => Some(e),
+            SvrError::Engine(_) => None,
+        }
+    }
+}
+
+impl From<svr_relation::RelationError> for SvrError {
+    fn from(e: svr_relation::RelationError) -> Self {
+        SvrError::Relation(e)
+    }
+}
+
+impl From<svr_core::CoreError> for SvrError {
+    fn from(e: svr_core::CoreError) -> Self {
+        SvrError::Index(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SvrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_wraps_sources() {
+        let e = SvrError::from(svr_core::CoreError::Unsupported("x"));
+        assert!(e.to_string().contains("index error"));
+        let e = SvrError::Engine("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # svr-engine
+//!
+//! The integration layer of the SVR reproduction — the architecture of the
+//! paper's Figure 2. [`SvrEngine`] owns the relational
+//! [`Database`](svr_relation::Database), the text vocabulary and one
+//! [`SearchIndex`](svr_core::SearchIndex) per indexed text column:
+//!
+//! * structured-data mutations flow through the incrementally maintained
+//!   materialized Score view, whose change notifications drive the index's
+//!   score updates (paper §3.2);
+//! * text mutations flow through the Appendix-A content operations;
+//! * keyword queries return rows ranked by the *latest* SVR scores.
+//!
+//! ```
+//! use svr_engine::SvrEngine;
+//! use svr_core::{IndexConfig, MethodKind};
+//! use svr_core::types::QueryMode;
+//! use svr_relation::schema::{ColumnType, Schema};
+//! use svr_relation::{ScoreComponent, SvrSpec, Value};
+//!
+//! let mut engine = SvrEngine::new();
+//! engine.create_table(Schema::new("movies",
+//!     &[("mid", ColumnType::Int), ("desc", ColumnType::Text)], 0)).unwrap();
+//! engine.create_table(Schema::new("stats",
+//!     &[("mid", ColumnType::Int), ("nvisit", ColumnType::Int)], 0)).unwrap();
+//! engine.insert_row("movies", vec![Value::Int(1),
+//!     Value::Text("golden gate footage".into())]).unwrap();
+//!
+//! let spec = SvrSpec::single(ScoreComponent::ColumnOf {
+//!     table: "stats".into(), key_col: "mid".into(), val_col: "nvisit".into() });
+//! engine.create_text_index("idx", "movies", "desc", spec,
+//!     MethodKind::Chunk, IndexConfig::default()).unwrap();
+//! engine.insert_row("stats", vec![Value::Int(1), Value::Int(50)]).unwrap();
+//!
+//! let hits = engine.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap();
+//! assert_eq!(hits[0].score, 50.0);
+//! ```
+
+mod engine;
+mod error;
+
+pub use engine::{RankedRow, SvrEngine};
+pub use error::{Result, SvrError};

@@ -1,0 +1,204 @@
+//! Engine-level behaviours not covered by the cross-crate integration
+//! suite: index discovery, listener plumbing under interleaved mutations,
+//! and identifier/key edge cases.
+
+use svr_core::types::QueryMode;
+use svr_core::{IndexConfig, MethodKind};
+use svr_engine::SvrEngine;
+use svr_relation::schema::{ColumnType, Schema};
+use svr_relation::{ScoreComponent, SvrSpec, Value};
+
+fn docs_schema() -> Schema {
+    Schema::new(
+        "docs",
+        &[("id", ColumnType::Int), ("body", ColumnType::Text)],
+        0,
+    )
+}
+
+fn pop_schema() -> Schema {
+    Schema::new(
+        "pop",
+        &[("id", ColumnType::Int), ("hits", ColumnType::Int)],
+        0,
+    )
+}
+
+fn pop_spec() -> SvrSpec {
+    SvrSpec::single(ScoreComponent::ColumnOf {
+        table: "pop".into(),
+        key_col: "id".into(),
+        val_col: "hits".into(),
+    })
+}
+
+fn engine_with_index(method: MethodKind) -> SvrEngine {
+    let mut engine = SvrEngine::new();
+    engine.create_table(docs_schema()).unwrap();
+    engine.create_table(pop_schema()).unwrap();
+    engine
+        .create_text_index("idx", "docs", "body", pop_spec(), method, IndexConfig::default())
+        .unwrap();
+    engine
+}
+
+#[test]
+fn text_index_discovery() {
+    let engine = engine_with_index(MethodKind::Chunk);
+    assert_eq!(engine.text_index_on("docs", "body"), Some("idx"));
+    assert_eq!(engine.text_index_on("docs", "id"), None);
+    assert_eq!(engine.text_index_on("pop", "hits"), None);
+    assert_eq!(engine.index_names(), vec!["idx"]);
+    assert_eq!(engine.index("idx").unwrap().kind(), MethodKind::Chunk);
+}
+
+#[test]
+fn duplicate_index_name_is_rejected() {
+    let mut engine = engine_with_index(MethodKind::Id);
+    let err = engine
+        .create_text_index("idx", "docs", "body", pop_spec(), MethodKind::Id, IndexConfig::default())
+        .unwrap_err();
+    assert!(err.to_string().contains("already exists"), "{err}");
+}
+
+#[test]
+fn index_over_prepopulated_table_sees_existing_rows() {
+    let mut engine = SvrEngine::new();
+    engine.create_table(docs_schema()).unwrap();
+    engine.create_table(pop_schema()).unwrap();
+    // Rows (and scores) exist *before* the index is created.
+    for i in 0..20 {
+        engine
+            .insert_row("docs", vec![Value::Int(i), Value::Text(format!("common token{i}"))])
+            .unwrap();
+        engine
+            .insert_row("pop", vec![Value::Int(i), Value::Int(100 * i)])
+            .unwrap();
+    }
+    let mut engine = engine; // rebind for clarity
+    engine
+        .create_text_index("idx", "docs", "body", pop_spec(), MethodKind::Chunk, IndexConfig::default())
+        .unwrap();
+    let hits = engine.search("idx", "common", 3, QueryMode::Conjunctive).unwrap();
+    assert_eq!(hits.len(), 3);
+    assert_eq!(hits[0].row[0], Value::Int(19));
+    assert_eq!(hits[0].score, 1900.0);
+}
+
+#[test]
+fn score_updates_before_first_search_are_not_lost() {
+    let mut engine = engine_with_index(MethodKind::ScoreThreshold);
+    engine
+        .insert_row("docs", vec![Value::Int(1), Value::Text("alpha beta".into())])
+        .unwrap();
+    engine
+        .insert_row("docs", vec![Value::Int(2), Value::Text("alpha gamma".into())])
+        .unwrap();
+    // Burst of structured updates with no search in between: the listener
+    // channel must buffer them all and the next search drains everything.
+    for round in 0..50 {
+        engine
+            .insert_row("pop", vec![Value::Int(100 + round), Value::Int(0)])
+            .ok(); // unrelated rows
+    }
+    engine.insert_row("pop", vec![Value::Int(1), Value::Int(10)]).unwrap();
+    engine.update_row("pop", Value::Int(1), &[("hits".into(), Value::Int(999))]).unwrap();
+    engine.insert_row("pop", vec![Value::Int(2), Value::Int(500)]).unwrap();
+    let hits = engine.search("idx", "alpha", 2, QueryMode::Conjunctive).unwrap();
+    assert_eq!(hits[0].row[0], Value::Int(1));
+    assert_eq!(hits[0].score, 999.0);
+    assert_eq!(hits[1].score, 500.0);
+}
+
+#[test]
+fn non_integer_primary_keys_are_rejected_for_indexed_tables() {
+    let mut engine = SvrEngine::new();
+    engine
+        .create_table(Schema::new(
+            "texts",
+            &[("name", ColumnType::Text), ("body", ColumnType::Text)],
+            0,
+        ))
+        .unwrap();
+    engine.create_table(pop_schema()).unwrap();
+    engine
+        .create_text_index(
+            "t",
+            "texts",
+            "body",
+            SvrSpec::single(ScoreComponent::Const(1.0)),
+            MethodKind::Id,
+            IndexConfig::default(),
+        )
+        .unwrap();
+    let err = engine
+        .insert_row("texts", vec![Value::Text("key".into()), Value::Text("words".into())])
+        .unwrap_err();
+    assert!(err.to_string().contains("integer key"), "{err}");
+}
+
+#[test]
+fn negative_primary_key_is_out_of_document_range() {
+    let mut engine = engine_with_index(MethodKind::Id);
+    let err = engine
+        .insert_row("docs", vec![Value::Int(-3), Value::Text("words".into())])
+        .unwrap_err();
+    assert!(err.to_string().contains("out of document-id range"), "{err}");
+}
+
+#[test]
+fn indexes_on_two_tables_update_independently() {
+    let mut engine = SvrEngine::new();
+    engine.create_table(docs_schema()).unwrap();
+    engine.create_table(pop_schema()).unwrap();
+    engine
+        .create_table(Schema::new(
+            "notes",
+            &[("id", ColumnType::Int), ("text", ColumnType::Text)],
+            0,
+        ))
+        .unwrap();
+    engine
+        .create_text_index("d", "docs", "body", pop_spec(), MethodKind::Chunk, IndexConfig::default())
+        .unwrap();
+    engine
+        .create_text_index(
+            "n",
+            "notes",
+            "text",
+            SvrSpec::single(ScoreComponent::CountOf { table: "pop".into(), fk_col: "id".into() }),
+            MethodKind::Id,
+            IndexConfig::default(),
+        )
+        .unwrap();
+    engine.insert_row("docs", vec![Value::Int(1), Value::Text("shared words".into())]).unwrap();
+    engine.insert_row("notes", vec![Value::Int(1), Value::Text("shared words".into())]).unwrap();
+    engine.insert_row("pop", vec![Value::Int(1), Value::Int(42)]).unwrap();
+
+    let d = engine.search("d", "shared", 10, QueryMode::Conjunctive).unwrap();
+    let n = engine.search("n", "shared", 10, QueryMode::Conjunctive).unwrap();
+    assert_eq!(d[0].score, 42.0, "ColumnOf spec");
+    assert_eq!(n[0].score, 1.0, "CountOf spec");
+}
+
+#[test]
+fn deleting_then_reinserting_a_row_errors_on_id_reuse() {
+    // Document ids map to primary keys; the Score table tombstones deleted
+    // ids, so re-inserting the same pk is reported rather than silently
+    // corrupting postings (the paper's Appendix A.2 discusses id reuse).
+    let mut engine = engine_with_index(MethodKind::Chunk);
+    engine.insert_row("docs", vec![Value::Int(7), Value::Text("ephemeral".into())]).unwrap();
+    engine.delete_row("docs", Value::Int(7)).unwrap();
+    let result = engine.insert_row("docs", vec![Value::Int(7), Value::Text("reborn".into())]);
+    assert!(result.is_err(), "id reuse after delete must surface, not corrupt");
+}
+
+#[test]
+fn score_of_tracks_the_view() {
+    let mut engine = engine_with_index(MethodKind::Chunk);
+    engine.insert_row("docs", vec![Value::Int(1), Value::Text("x".into())]).unwrap();
+    assert_eq!(engine.score_of("idx", 1).unwrap(), 0.0);
+    engine.insert_row("pop", vec![Value::Int(1), Value::Int(77)]).unwrap();
+    assert_eq!(engine.score_of("idx", 1).unwrap(), 77.0);
+    assert!(engine.score_of("nope", 1).is_err());
+}

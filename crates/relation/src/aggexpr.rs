@@ -1,0 +1,228 @@
+//! Parser and evaluator for `Agg` combination expressions.
+//!
+//! The paper specifies the final score as a SQL-bodied function over the
+//! component scores, e.g. `return (s1*100 + s2/2 + s3)` (§3.1). This module
+//! parses exactly that arithmetic fragment: identifiers `s1..sN` (and
+//! `tfidf` as an alias for the term-score slot), numeric literals, `+ - * /`,
+//! unary minus and parentheses.
+
+use crate::error::{RelationError, Result};
+
+/// A parsed aggregation expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggExpr {
+    /// Component reference (0-based: `s1` is `Component(0)`).
+    Component(usize),
+    Literal(f64),
+    Neg(Box<AggExpr>),
+    Add(Box<AggExpr>, Box<AggExpr>),
+    Sub(Box<AggExpr>, Box<AggExpr>),
+    Mul(Box<AggExpr>, Box<AggExpr>),
+    Div(Box<AggExpr>, Box<AggExpr>),
+}
+
+impl AggExpr {
+    /// Parse an expression such as `s1*100 + s2/2 + s3`.
+    pub fn parse(input: &str) -> Result<AggExpr> {
+        let mut parser = Parser { input: input.as_bytes(), pos: 0 };
+        let expr = parser.expr(0)?;
+        parser.skip_ws();
+        if parser.pos != parser.input.len() {
+            return Err(RelationError::Parse(parser.pos, "trailing input".into()));
+        }
+        Ok(expr)
+    }
+
+    /// Evaluate with the given component values (`components[i]` is `s{i+1}`).
+    /// Out-of-range components evaluate to 0; division by zero yields 0
+    /// (scores must stay finite).
+    pub fn eval(&self, components: &[f64]) -> f64 {
+        match self {
+            AggExpr::Component(i) => components.get(*i).copied().unwrap_or(0.0),
+            AggExpr::Literal(v) => *v,
+            AggExpr::Neg(e) => -e.eval(components),
+            AggExpr::Add(a, b) => a.eval(components) + b.eval(components),
+            AggExpr::Sub(a, b) => a.eval(components) - b.eval(components),
+            AggExpr::Mul(a, b) => a.eval(components) * b.eval(components),
+            AggExpr::Div(a, b) => {
+                let d = b.eval(components);
+                if d == 0.0 {
+                    0.0
+                } else {
+                    a.eval(components) / d
+                }
+            }
+        }
+    }
+
+    /// Highest component index referenced, plus one (the arity this
+    /// expression expects).
+    pub fn arity(&self) -> usize {
+        match self {
+            AggExpr::Component(i) => i + 1,
+            AggExpr::Literal(_) => 0,
+            AggExpr::Neg(e) => e.arity(),
+            AggExpr::Add(a, b) | AggExpr::Sub(a, b) | AggExpr::Mul(a, b) | AggExpr::Div(a, b) => {
+                a.arity().max(b.arity())
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.input.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    /// Pratt expression parser; `min_bp` is the minimum binding power.
+    fn expr(&mut self, min_bp: u8) -> Result<AggExpr> {
+        let mut lhs = self.atom()?;
+        while let Some(op @ (b'+' | b'-' | b'*' | b'/')) = self.peek() {
+            let bp = match op {
+                b'+' | b'-' => 1,
+                _ => 2,
+            };
+            if bp < min_bp {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.expr(bp + 1)?;
+            lhs = match op {
+                b'+' => AggExpr::Add(Box::new(lhs), Box::new(rhs)),
+                b'-' => AggExpr::Sub(Box::new(lhs), Box::new(rhs)),
+                b'*' => AggExpr::Mul(Box::new(lhs), Box::new(rhs)),
+                _ => AggExpr::Div(Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn atom(&mut self) -> Result<AggExpr> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let inner = self.expr(0)?;
+                if self.peek() != Some(b')') {
+                    return Err(RelationError::Parse(self.pos, "expected ')'".into()));
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some(b'-') => {
+                self.pos += 1;
+                Ok(AggExpr::Neg(Box::new(self.atom()?)))
+            }
+            Some(b) if b.is_ascii_digit() || b == b'.' => self.number(),
+            Some(b) if b.is_ascii_alphabetic() => self.identifier(),
+            _ => Err(RelationError::Parse(self.pos, "expected expression".into())),
+        }
+    }
+
+    fn number(&mut self) -> Result<AggExpr> {
+        let start = self.pos;
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || *b == b'.' || *b == b'e' || *b == b'E')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| RelationError::Parse(start, "invalid number".into()))?;
+        text.parse::<f64>()
+            .map(AggExpr::Literal)
+            .map_err(|_| RelationError::Parse(start, format!("invalid number '{text}'")))
+    }
+
+    fn identifier(&mut self) -> Result<AggExpr> {
+        let start = self.pos;
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        let name = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| RelationError::Parse(start, "invalid identifier".into()))?
+            .to_ascii_lowercase();
+        if let Some(rest) = name.strip_prefix('s') {
+            if let Ok(n) = rest.parse::<usize>() {
+                if n >= 1 {
+                    return Ok(AggExpr::Component(n - 1));
+                }
+            }
+        }
+        Err(RelationError::Parse(
+            start,
+            format!("unknown identifier '{name}' (expected s1, s2, ...)"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_example() {
+        // §3.1: return (s1*100 + s2/2 + s3)
+        let e = AggExpr::parse("(s1*100 + s2/2 + s3)").unwrap();
+        assert_eq!(e.arity(), 3);
+        assert_eq!(e.eval(&[4.5, 1000.0, 300.0]), 4.5 * 100.0 + 1000.0 / 2.0 + 300.0);
+    }
+
+    #[test]
+    fn parses_the_tfidf_variant() {
+        // §3.1: return (s1*100 + s2/2 + s3 + s4/2)
+        let e = AggExpr::parse("s1*100 + s2/2 + s3 + s4/2").unwrap();
+        assert_eq!(e.arity(), 4);
+        assert_eq!(e.eval(&[1.0, 2.0, 3.0, 4.0]), 100.0 + 1.0 + 3.0 + 2.0);
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        assert_eq!(AggExpr::parse("s1 + s2 * s3").unwrap().eval(&[1.0, 2.0, 3.0]), 7.0);
+        assert_eq!(AggExpr::parse("(s1 + s2) * s3").unwrap().eval(&[1.0, 2.0, 3.0]), 9.0);
+        assert_eq!(AggExpr::parse("s1 - s2 - s3").unwrap().eval(&[10.0, 3.0, 2.0]), 5.0);
+    }
+
+    #[test]
+    fn unary_minus_and_literals() {
+        assert_eq!(AggExpr::parse("-s1 + 2.5e2").unwrap().eval(&[50.0]), 200.0);
+        assert_eq!(AggExpr::parse("-(s1)").unwrap().eval(&[3.0]), -3.0);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(AggExpr::parse("s1 / s2").unwrap().eval(&[5.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn missing_components_are_zero() {
+        assert_eq!(AggExpr::parse("s1 + s5").unwrap().eval(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(AggExpr::parse("").is_err());
+        assert!(AggExpr::parse("s1 +").is_err());
+        assert!(AggExpr::parse("(s1").is_err());
+        assert!(AggExpr::parse("foo + 1").is_err());
+        assert!(AggExpr::parse("s0").is_err());
+        assert!(AggExpr::parse("s1 s2").is_err());
+        assert!(AggExpr::parse("1..2").is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! The database catalog: tables, score views, and change routing.
+//!
+//! [`Database`] is the thin relational engine of the paper's Figure 2: it
+//! owns the tables, routes every row change through the materialized score
+//! views, and exposes the scores (and their change notifications) that the
+//! text-index layer consumes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use svr_storage::StorageEnv;
+
+use crate::error::{RelationError, Result};
+use crate::schema::Schema;
+use crate::table::{RowChange, Table};
+use crate::value::Value;
+use crate::view::{ScoreListener, ScoreView, SvrSpec};
+
+/// A small relational database with materialized SVR score views.
+pub struct Database {
+    env: Arc<StorageEnv>,
+    tables: HashMap<String, Table>,
+    views: HashMap<String, ScoreView>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Database {
+        Database {
+            env: Arc::new(StorageEnv::default()),
+            tables: HashMap::new(),
+            views: HashMap::new(),
+        }
+    }
+
+    /// Storage environment (I/O statistics).
+    pub fn env(&self) -> &Arc<StorageEnv> {
+        &self.env
+    }
+
+    /// Create a table.
+    pub fn create_table(&mut self, schema: Schema) -> Result<()> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(RelationError::DuplicateTable(schema.name));
+        }
+        let store = self.env.create_store(&format!("table:{}", schema.name), 1024);
+        let name = schema.name.clone();
+        self.tables.insert(name, Table::create(schema, store)?);
+        Ok(())
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| RelationError::UnknownTable(name.to_string()))
+    }
+
+    /// Create a materialized score view over `target_table`. Existing rows
+    /// are folded in immediately.
+    pub fn create_score_view(&mut self, name: &str, target_table: &str, spec: SvrSpec) -> Result<()> {
+        if self.views.contains_key(name) {
+            return Err(RelationError::DuplicateView(name.to_string()));
+        }
+        // Validate all referenced tables up front.
+        self.table(target_table)?;
+        for comp in &spec.components {
+            if let Some(t) = comp.source_table() {
+                self.table(t)?;
+            }
+        }
+        let mut view = ScoreView::new(target_table, spec.clone());
+        // Initial population: target keys first, then component sources.
+        let target = self.table(target_table)?;
+        for row in target.scan()? {
+            view.apply_target_change(target.schema(), &RowChange::Inserted { new: row });
+        }
+        for (i, comp) in spec.components.iter().enumerate() {
+            if let Some(source) = comp.source_table() {
+                let table = self.table(source)?;
+                for row in table.scan()? {
+                    view.apply_source_change(i, table.schema(), &RowChange::Inserted { new: row })?;
+                }
+            }
+        }
+        self.views.insert(name.to_string(), view);
+        Ok(())
+    }
+
+    /// Register the score-change listener of a view (the text index).
+    pub fn set_score_listener(&mut self, view: &str, listener: ScoreListener) -> Result<()> {
+        self.views
+            .get_mut(view)
+            .ok_or_else(|| RelationError::UnknownView(view.to_string()))?
+            .set_listener(listener);
+        Ok(())
+    }
+
+    /// Current score of a target key in a view.
+    pub fn score_of(&self, view: &str, pk: i64) -> Result<f64> {
+        self.views
+            .get(view)
+            .ok_or_else(|| RelationError::UnknownView(view.to_string()))?
+            .score_of(pk)
+            .ok_or_else(|| RelationError::MissingRow(pk.to_string()))
+    }
+
+    /// All `(pk, score)` rows of a view.
+    pub fn all_scores(&self, view: &str) -> Result<Vec<(i64, f64)>> {
+        Ok(self
+            .views
+            .get(view)
+            .ok_or_else(|| RelationError::UnknownView(view.to_string()))?
+            .all_scores())
+    }
+
+    fn route_change(&mut self, table_name: &str, change: &RowChange) -> Result<()> {
+        let schema = self.table(table_name)?.schema().clone();
+        for view in self.views.values_mut() {
+            if view.target_table == table_name {
+                view.apply_target_change(&schema, change);
+            }
+            let comps = view.spec.components.clone();
+            for (i, comp) in comps.iter().enumerate() {
+                if comp.source_table() == Some(table_name) {
+                    view.apply_source_change(i, &schema, change)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a row, maintaining every dependent view.
+    pub fn insert_row(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
+        let change = self.table(table)?.insert(row)?;
+        self.route_change(table, &change)
+    }
+
+    /// Update named columns of a row, maintaining every dependent view.
+    pub fn update_row(&mut self, table: &str, pk: Value, updates: &[(String, Value)]) -> Result<()> {
+        let change = self.table(table)?.update(&pk, updates)?;
+        self.route_change(table, &change)
+    }
+
+    /// Delete a row, maintaining every dependent view.
+    pub fn delete_row(&mut self, table: &str, pk: Value) -> Result<()> {
+        let change = self.table(table)?.delete(&pk)?;
+        self.route_change(table, &change)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggexpr::AggExpr;
+    use crate::functions::ScoreComponent;
+    use crate::schema::ColumnType;
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    /// Build the paper's example database: Movies, Reviews, Statistics with
+    /// Agg = s1*100 + s2/2 + s3.
+    fn paper_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(Schema::new(
+            "movies",
+            &[("mid", ColumnType::Int), ("desc", ColumnType::Text)],
+            0,
+        ))
+        .unwrap();
+        db.create_table(Schema::new(
+            "reviews",
+            &[("rid", ColumnType::Int), ("mid", ColumnType::Int), ("rating", ColumnType::Float)],
+            0,
+        ))
+        .unwrap();
+        db.create_table(Schema::new(
+            "statistics",
+            &[
+                ("mid", ColumnType::Int),
+                ("nvisit", ColumnType::Int),
+                ("ndownload", ColumnType::Int),
+            ],
+            0,
+        ))
+        .unwrap();
+        let spec = SvrSpec::new(
+            vec![
+                ScoreComponent::AvgOf {
+                    table: "reviews".into(),
+                    fk_col: "mid".into(),
+                    val_col: "rating".into(),
+                },
+                ScoreComponent::ColumnOf {
+                    table: "statistics".into(),
+                    key_col: "mid".into(),
+                    val_col: "nvisit".into(),
+                },
+                ScoreComponent::ColumnOf {
+                    table: "statistics".into(),
+                    key_col: "mid".into(),
+                    val_col: "ndownload".into(),
+                },
+            ],
+            AggExpr::parse("s1*100 + s2/2 + s3").unwrap(),
+        );
+        db.create_score_view("scores", "movies", spec).unwrap();
+        db
+    }
+
+    #[test]
+    fn paper_example_end_to_end() {
+        let mut db = paper_db();
+        db.insert_row("movies", vec![Value::Int(1), Value::Text("american thrift".into())])
+            .unwrap();
+        db.insert_row("reviews", vec![Value::Int(100), Value::Int(1), Value::Float(4.5)])
+            .unwrap();
+        db.insert_row("reviews", vec![Value::Int(101), Value::Int(1), Value::Float(3.5)])
+            .unwrap();
+        db.insert_row("statistics", vec![Value::Int(1), Value::Int(2000), Value::Int(300)])
+            .unwrap();
+        // Agg = avg(4.5, 3.5)*100 + 2000/2 + 300 = 400 + 1000 + 300.
+        assert_eq!(db.score_of("scores", 1).unwrap(), 1700.0);
+
+        // A flash crowd: visits spike.
+        db.update_row(
+            "statistics",
+            Value::Int(1),
+            &[("nvisit".to_string(), Value::Int(100_000))],
+        )
+        .unwrap();
+        assert_eq!(db.score_of("scores", 1).unwrap(), 400.0 + 50_000.0 + 300.0);
+    }
+
+    #[test]
+    fn listener_receives_updates() {
+        let mut db = paper_db();
+        db.insert_row("movies", vec![Value::Int(1), Value::Text("m".into())]).unwrap();
+        let last = std::sync::Arc::new(AtomicI64::new(-1));
+        let l2 = last.clone();
+        db.set_score_listener(
+            "scores",
+            Box::new(move |pk, score| {
+                l2.store((pk * 1_000_000) + score as i64, Ordering::SeqCst);
+            }),
+        )
+        .unwrap();
+        db.insert_row("statistics", vec![Value::Int(1), Value::Int(500), Value::Int(0)])
+            .unwrap();
+        assert_eq!(last.load(Ordering::SeqCst), 1_000_000 + 250);
+    }
+
+    #[test]
+    fn view_populates_from_existing_rows() {
+        let mut db = paper_db();
+        db.insert_row("movies", vec![Value::Int(7), Value::Text("late".into())]).unwrap();
+        db.insert_row("reviews", vec![Value::Int(1), Value::Int(7), Value::Float(5.0)])
+            .unwrap();
+        // A second view created after the data exists sees it all.
+        let spec = SvrSpec::single(ScoreComponent::AvgOf {
+            table: "reviews".into(),
+            fk_col: "mid".into(),
+            val_col: "rating".into(),
+        });
+        db.create_score_view("v2", "movies", spec).unwrap();
+        assert_eq!(db.score_of("v2", 7).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn errors_for_unknown_objects() {
+        let mut db = paper_db();
+        assert!(db.insert_row("nope", vec![]).is_err());
+        assert!(db.score_of("nope", 1).is_err());
+        assert!(db
+            .create_score_view(
+                "bad",
+                "movies",
+                SvrSpec::single(ScoreComponent::CountOf {
+                    table: "missing".into(),
+                    fk_col: "x".into(),
+                }),
+            )
+            .is_err());
+        // Duplicate view name.
+        assert!(db
+            .create_score_view("scores", "movies", SvrSpec::single(ScoreComponent::Const(1.0)))
+            .is_err());
+    }
+
+    #[test]
+    fn deleting_reviews_lowers_score() {
+        let mut db = paper_db();
+        db.insert_row("movies", vec![Value::Int(1), Value::Text("m".into())]).unwrap();
+        db.insert_row("reviews", vec![Value::Int(100), Value::Int(1), Value::Float(5.0)])
+            .unwrap();
+        db.insert_row("reviews", vec![Value::Int(101), Value::Int(1), Value::Float(1.0)])
+            .unwrap();
+        assert_eq!(db.score_of("scores", 1).unwrap(), 300.0);
+        db.delete_row("reviews", Value::Int(101)).unwrap();
+        assert_eq!(db.score_of("scores", 1).unwrap(), 500.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Relation-layer error type.
+
+use std::fmt;
+
+use svr_storage::StorageError;
+
+/// Errors from the relational substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelationError {
+    Storage(StorageError),
+    UnknownTable(String),
+    UnknownColumn { table: String, column: String },
+    UnknownView(String),
+    DuplicateTable(String),
+    DuplicateView(String),
+    DuplicateKey(String),
+    MissingRow(String),
+    TypeMismatch { expected: &'static str, got: &'static str },
+    ArityMismatch { expected: usize, got: usize },
+    /// Agg expression parse failure (offset, message).
+    Parse(usize, String),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::Storage(e) => write!(f, "storage error: {e}"),
+            RelationError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            RelationError::UnknownColumn { table, column } => {
+                write!(f, "unknown column '{column}' in table '{table}'")
+            }
+            RelationError::UnknownView(v) => write!(f, "unknown score view '{v}'"),
+            RelationError::DuplicateTable(t) => write!(f, "table '{t}' already exists"),
+            RelationError::DuplicateView(v) => write!(f, "score view '{v}' already exists"),
+            RelationError::DuplicateKey(k) => write!(f, "duplicate primary key {k}"),
+            RelationError::MissingRow(k) => write!(f, "no row with primary key {k}"),
+            RelationError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            RelationError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} values, schema expects {expected}")
+            }
+            RelationError::Parse(at, msg) => write!(f, "parse error at offset {at}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RelationError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for RelationError {
+    fn from(e: StorageError) -> Self {
+        RelationError::Storage(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, RelationError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(RelationError::UnknownTable("foo".into()).to_string().contains("foo"));
+        assert!(RelationError::Parse(3, "bad".into()).to_string().contains('3'));
+        let e = RelationError::UnknownColumn { table: "t".into(), column: "c".into() };
+        assert!(e.to_string().contains('c') && e.to_string().contains('t'));
+    }
+}

@@ -1,0 +1,159 @@
+//! SQL-bodied scoring components (`S1..Sm` in §3.1).
+//!
+//! Each component maps a target-table primary key to one score contribution
+//! computed from related structured data — the Rust form of the paper's
+//! `create function S1(id) returns float return SELECT avg(R.rating) FROM
+//! Reviews R WHERE R.mID = id`. The materialized Score view keeps the
+//! aggregate state of every component incrementally (see
+//! [`crate::view`]), so a row change costs O(1) aggregate work per
+//! affected key.
+
+use crate::error::Result;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// One scoring component.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoreComponent {
+    /// `SELECT AVG(val_col) FROM table WHERE fk_col = id` — e.g. average
+    /// review rating.
+    AvgOf { table: String, fk_col: String, val_col: String },
+    /// `SELECT SUM(val_col) FROM table WHERE fk_col = id`.
+    SumOf { table: String, fk_col: String, val_col: String },
+    /// `SELECT COUNT(*) FROM table WHERE fk_col = id`.
+    CountOf { table: String, fk_col: String },
+    /// `SELECT val_col FROM table WHERE key_col = id` — e.g. the `nVisit`
+    /// column of a statistics row (0 when the row is absent).
+    ColumnOf { table: String, key_col: String, val_col: String },
+    /// A constant contribution.
+    Const(f64),
+}
+
+impl ScoreComponent {
+    /// The table this component reads, if any.
+    pub fn source_table(&self) -> Option<&str> {
+        match self {
+            ScoreComponent::AvgOf { table, .. }
+            | ScoreComponent::SumOf { table, .. }
+            | ScoreComponent::CountOf { table, .. }
+            | ScoreComponent::ColumnOf { table, .. } => Some(table),
+            ScoreComponent::Const(_) => None,
+        }
+    }
+
+    /// Extract `(target_pk, contribution_value)` from a row of the source
+    /// table: which target key the row affects and the numeric value it
+    /// feeds into the aggregate. `None` when the row has NULLs in the
+    /// relevant columns.
+    pub fn extract(&self, schema: &Schema, row: &[Value]) -> Result<Option<(i64, f64)>> {
+        let get_i64 = |col: &str| -> Result<Option<i64>> {
+            Ok(row[schema.column_index(col)?].as_i64())
+        };
+        let get_f64 = |col: &str| -> Result<Option<f64>> {
+            Ok(row[schema.column_index(col)?].as_f64())
+        };
+        Ok(match self {
+            ScoreComponent::AvgOf { fk_col, val_col, .. }
+            | ScoreComponent::SumOf { fk_col, val_col, .. } => {
+                match (get_i64(fk_col)?, get_f64(val_col)?) {
+                    (Some(pk), Some(v)) => Some((pk, v)),
+                    _ => None,
+                }
+            }
+            ScoreComponent::CountOf { fk_col, .. } => {
+                get_i64(fk_col)?.map(|pk| (pk, 1.0))
+            }
+            ScoreComponent::ColumnOf { key_col, val_col, .. } => {
+                match (get_i64(key_col)?, get_f64(val_col)?) {
+                    (Some(pk), Some(v)) => Some((pk, v)),
+                    _ => None,
+                }
+            }
+            ScoreComponent::Const(_) => None,
+        })
+    }
+
+    /// The component's value for a key given its aggregate state
+    /// `(sum, count)`.
+    pub fn value_from_state(&self, sum: f64, count: u64) -> f64 {
+        match self {
+            ScoreComponent::AvgOf { .. } => {
+                if count == 0 {
+                    0.0
+                } else {
+                    sum / count as f64
+                }
+            }
+            ScoreComponent::SumOf { .. } => sum,
+            ScoreComponent::CountOf { .. } => count as f64,
+            ScoreComponent::ColumnOf { .. } => sum,
+            ScoreComponent::Const(v) => *v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn reviews_schema() -> Schema {
+        Schema::new(
+            "reviews",
+            &[("rid", ColumnType::Int), ("mid", ColumnType::Int), ("rating", ColumnType::Float)],
+            0,
+        )
+    }
+
+    #[test]
+    fn avg_extract_and_state() {
+        let c = ScoreComponent::AvgOf {
+            table: "reviews".into(),
+            fk_col: "mid".into(),
+            val_col: "rating".into(),
+        };
+        let row = vec![Value::Int(1), Value::Int(7), Value::Float(4.0)];
+        assert_eq!(c.extract(&reviews_schema(), &row).unwrap(), Some((7, 4.0)));
+        assert_eq!(c.value_from_state(9.0, 2), 4.5);
+        assert_eq!(c.value_from_state(0.0, 0), 0.0);
+    }
+
+    #[test]
+    fn count_ignores_value_column() {
+        let c = ScoreComponent::CountOf { table: "reviews".into(), fk_col: "mid".into() };
+        let row = vec![Value::Int(1), Value::Int(7), Value::Null];
+        assert_eq!(c.extract(&reviews_schema(), &row).unwrap(), Some((7, 1.0)));
+        assert_eq!(c.value_from_state(3.0, 3), 3.0);
+    }
+
+    #[test]
+    fn nulls_are_skipped() {
+        let c = ScoreComponent::SumOf {
+            table: "reviews".into(),
+            fk_col: "mid".into(),
+            val_col: "rating".into(),
+        };
+        let row = vec![Value::Int(1), Value::Null, Value::Float(4.0)];
+        assert_eq!(c.extract(&reviews_schema(), &row).unwrap(), None);
+        let row = vec![Value::Int(1), Value::Int(7), Value::Null];
+        assert_eq!(c.extract(&reviews_schema(), &row).unwrap(), None);
+    }
+
+    #[test]
+    fn const_component() {
+        let c = ScoreComponent::Const(42.0);
+        assert_eq!(c.source_table(), None);
+        assert_eq!(c.value_from_state(0.0, 0), 42.0);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let c = ScoreComponent::ColumnOf {
+            table: "reviews".into(),
+            key_col: "nope".into(),
+            val_col: "rating".into(),
+        };
+        let row = vec![Value::Int(1), Value::Int(7), Value::Float(4.0)];
+        assert!(c.extract(&reviews_schema(), &row).is_err());
+    }
+}

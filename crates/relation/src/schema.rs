@@ -1,0 +1,137 @@
+//! Table schemas.
+
+use crate::error::{RelationError, Result};
+use crate::value::Value;
+
+/// Column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    Int,
+    Float,
+    Text,
+}
+
+impl ColumnType {
+    /// Does `value` conform to this type (NULL conforms to any)?
+    pub fn admits(&self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_))
+                | (ColumnType::Text, Value::Text(_))
+        )
+    }
+}
+
+/// A table schema: named, typed columns, one of which is the primary key.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    pub name: String,
+    pub columns: Vec<(String, ColumnType)>,
+    /// Index of the primary-key column.
+    pub pk: usize,
+}
+
+impl Schema {
+    /// Build a schema; panics on an out-of-range pk index (programmer
+    /// error, not data).
+    pub fn new(name: &str, columns: &[(&str, ColumnType)], pk: usize) -> Schema {
+        assert!(pk < columns.len(), "primary key column out of range");
+        Schema {
+            name: name.to_string(),
+            columns: columns
+                .iter()
+                .map(|(n, t)| (n.to_string(), *t))
+                .collect(),
+            pk,
+        }
+    }
+
+    /// Index of a named column.
+    pub fn column_index(&self, column: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|(n, _)| n == column)
+            .ok_or_else(|| RelationError::UnknownColumn {
+                table: self.name.clone(),
+                column: column.to_string(),
+            })
+    }
+
+    /// Validate a row against the schema.
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
+        }
+        for ((name, ty), value) in self.columns.iter().zip(row) {
+            if !ty.admits(value) {
+                let _ = name;
+                return Err(RelationError::TypeMismatch {
+                    expected: match ty {
+                        ColumnType::Int => "int",
+                        ColumnType::Float => "float",
+                        ColumnType::Text => "text",
+                    },
+                    got: value.type_name(),
+                });
+            }
+        }
+        if matches!(row[self.pk], Value::Null) {
+            return Err(RelationError::TypeMismatch { expected: "non-null key", got: "null" });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movies() -> Schema {
+        Schema::new(
+            "movies",
+            &[("mid", ColumnType::Int), ("desc", ColumnType::Text), ("len", ColumnType::Float)],
+            0,
+        )
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = movies();
+        assert_eq!(s.column_index("desc").unwrap(), 1);
+        assert!(s.column_index("nope").is_err());
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = movies();
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Text("x".into()), Value::Float(1.0)])
+            .is_ok());
+        // Int widens to float.
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Text("x".into()), Value::Int(2)])
+            .is_ok());
+        // Wrong arity.
+        assert!(s.check_row(&[Value::Int(1)]).is_err());
+        // Wrong type.
+        assert!(s
+            .check_row(&[Value::Text("k".into()), Value::Text("x".into()), Value::Float(1.0)])
+            .is_err());
+        // Null key.
+        assert!(s
+            .check_row(&[Value::Null, Value::Text("x".into()), Value::Float(1.0)])
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_pk_panics() {
+        let _ = Schema::new("t", &[("a", ColumnType::Int)], 5);
+    }
+}

@@ -1,0 +1,182 @@
+//! Tables: rows in a B+-tree keyed by primary key.
+
+use std::sync::Arc;
+
+use svr_storage::{BTree, Store};
+
+use crate::error::{RelationError, Result};
+use crate::schema::Schema;
+use crate::value::{decode_row, encode_row, Value};
+
+/// A stored table.
+pub struct Table {
+    schema: Schema,
+    tree: BTree,
+}
+
+/// A row change event, consumed by materialized-view maintenance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowChange {
+    Inserted { new: Vec<Value> },
+    Updated { old: Vec<Value>, new: Vec<Value> },
+    Deleted { old: Vec<Value> },
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn create(schema: Schema, store: Arc<Store>) -> Result<Table> {
+        Ok(Table { schema, tree: BTree::create(store)? })
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    fn pk_of(&self, row: &[Value]) -> Value {
+        row[self.schema.pk].clone()
+    }
+
+    /// Insert a new row; duplicate keys are rejected.
+    pub fn insert(&self, row: Vec<Value>) -> Result<RowChange> {
+        self.schema.check_row(&row)?;
+        let key = self.pk_of(&row).encode_key();
+        if self.tree.contains(&key)? {
+            return Err(RelationError::DuplicateKey(self.pk_of(&row).to_string()));
+        }
+        self.tree.put(&key, &encode_row(&row))?;
+        Ok(RowChange::Inserted { new: row })
+    }
+
+    /// Fetch a row by primary key.
+    pub fn get(&self, pk: &Value) -> Result<Option<Vec<Value>>> {
+        match self.tree.get(&pk.encode_key())? {
+            Some(bytes) => Ok(Some(decode_row(&bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Update named columns of an existing row.
+    pub fn update(&self, pk: &Value, updates: &[(String, Value)]) -> Result<RowChange> {
+        let old = self
+            .get(pk)?
+            .ok_or_else(|| RelationError::MissingRow(pk.to_string()))?;
+        let mut new = old.clone();
+        for (column, value) in updates {
+            let idx = self.schema.column_index(column)?;
+            if idx == self.schema.pk {
+                return Err(RelationError::TypeMismatch {
+                    expected: "non-key column",
+                    got: "primary key",
+                });
+            }
+            new[idx] = value.clone();
+        }
+        self.schema.check_row(&new)?;
+        self.tree.put(&pk.encode_key(), &encode_row(&new))?;
+        Ok(RowChange::Updated { old, new })
+    }
+
+    /// Delete a row by primary key.
+    pub fn delete(&self, pk: &Value) -> Result<RowChange> {
+        let old = self
+            .get(pk)?
+            .ok_or_else(|| RelationError::MissingRow(pk.to_string()))?;
+        self.tree.delete(&pk.encode_key())?;
+        Ok(RowChange::Deleted { old })
+    }
+
+    /// All rows in primary-key order.
+    pub fn scan(&self) -> Result<Vec<Vec<Value>>> {
+        let mut cursor = self.tree.cursor(&[])?;
+        let mut rows = Vec::new();
+        while let Some((_, bytes)) = cursor.next_entry()? {
+            rows.push(decode_row(&bytes)?);
+        }
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+    use svr_storage::MemDisk;
+
+    fn table() -> Table {
+        let schema = Schema::new(
+            "reviews",
+            &[("rid", ColumnType::Int), ("mid", ColumnType::Int), ("rating", ColumnType::Float)],
+            0,
+        );
+        let store = Arc::new(Store::new(Arc::new(MemDisk::new(4096)), 64));
+        Table::create(schema, store).unwrap()
+    }
+
+    fn row(rid: i64, mid: i64, rating: f64) -> Vec<Value> {
+        vec![Value::Int(rid), Value::Int(mid), Value::Float(rating)]
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let t = table();
+        t.insert(row(1, 10, 4.5)).unwrap();
+        assert_eq!(t.get(&Value::Int(1)).unwrap().unwrap(), row(1, 10, 4.5));
+        assert_eq!(t.get(&Value::Int(2)).unwrap(), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let t = table();
+        t.insert(row(1, 10, 4.5)).unwrap();
+        assert!(matches!(
+            t.insert(row(1, 11, 3.0)),
+            Err(RelationError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn update_reports_old_and_new() {
+        let t = table();
+        t.insert(row(1, 10, 4.5)).unwrap();
+        let change = t
+            .update(&Value::Int(1), &[("rating".to_string(), Value::Float(2.0))])
+            .unwrap();
+        assert_eq!(
+            change,
+            RowChange::Updated { old: row(1, 10, 4.5), new: row(1, 10, 2.0) }
+        );
+        // Updating the PK column is rejected.
+        assert!(t
+            .update(&Value::Int(1), &[("rid".to_string(), Value::Int(2))])
+            .is_err());
+        // Missing row.
+        assert!(t.update(&Value::Int(99), &[]).is_err());
+    }
+
+    #[test]
+    fn delete_and_scan() {
+        let t = table();
+        for i in 0..10 {
+            t.insert(row(i, i % 3, i as f64)).unwrap();
+        }
+        t.delete(&Value::Int(5)).unwrap();
+        assert!(t.delete(&Value::Int(5)).is_err());
+        let rows = t.scan().unwrap();
+        assert_eq!(rows.len(), 9);
+        // PK order.
+        let keys: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4, 6, 7, 8, 9]);
+    }
+}

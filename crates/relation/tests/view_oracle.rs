@@ -1,0 +1,243 @@
+//! The materialized Score view (§3.2) must stay *exactly* equal to a full
+//! recomputation from base tables under any stream of inserts, updates and
+//! deletes — including foreign-key rewrites that move a contribution from
+//! one target row to another.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use svr_relation::schema::{ColumnType, Schema};
+use svr_relation::{AggExpr, Database, ScoreComponent, SvrSpec, Value};
+
+const MOVIES: i64 = 12;
+const EPS: f64 = 1e-9;
+
+/// In-test model of the base tables.
+#[derive(Default, Clone)]
+struct Model {
+    /// rid -> (mid, rating)
+    reviews: std::collections::BTreeMap<i64, (i64, f64)>,
+    /// mid -> nvisit
+    stats: std::collections::BTreeMap<i64, i64>,
+}
+
+impl Model {
+    /// Full recomputation of the §3.1 score for one movie:
+    /// `avg(rating)*100 + nvisit/2 + count(reviews)`.
+    fn score(&self, mid: i64) -> f64 {
+        let ratings: Vec<f64> = self
+            .reviews
+            .values()
+            .filter(|(m, _)| *m == mid)
+            .map(|(_, r)| *r)
+            .collect();
+        let avg = if ratings.is_empty() {
+            0.0
+        } else {
+            ratings.iter().sum::<f64>() / ratings.len() as f64
+        };
+        let nvisit = self.stats.get(&mid).copied().unwrap_or(0) as f64;
+        let count = ratings.len() as f64;
+        avg * 100.0 + nvisit / 2.0 + count
+    }
+}
+
+fn setup() -> Database {
+    let mut db = Database::new();
+    db.create_table(Schema::new(
+        "movies",
+        &[("mid", ColumnType::Int), ("desc", ColumnType::Text)],
+        0,
+    ))
+    .unwrap();
+    db.create_table(Schema::new(
+        "reviews",
+        &[("rid", ColumnType::Int), ("mid", ColumnType::Int), ("rating", ColumnType::Float)],
+        0,
+    ))
+    .unwrap();
+    db.create_table(Schema::new(
+        "stats",
+        &[("mid", ColumnType::Int), ("nvisit", ColumnType::Int)],
+        0,
+    ))
+    .unwrap();
+    let spec = SvrSpec::new(
+        vec![
+            ScoreComponent::AvgOf {
+                table: "reviews".into(),
+                fk_col: "mid".into(),
+                val_col: "rating".into(),
+            },
+            ScoreComponent::ColumnOf {
+                table: "stats".into(),
+                key_col: "mid".into(),
+                val_col: "nvisit".into(),
+            },
+            ScoreComponent::CountOf { table: "reviews".into(), fk_col: "mid".into() },
+        ],
+        AggExpr::parse("s1*100 + s2/2 + s3").unwrap(),
+    );
+    db.create_score_view("scores", "movies", spec).unwrap();
+    for mid in 0..MOVIES {
+        db.insert_row("movies", vec![Value::Int(mid), Value::Text(format!("movie {mid}"))])
+            .unwrap();
+    }
+    db
+}
+
+fn assert_view_matches(db: &Database, model: &Model, context: &str) {
+    for mid in 0..MOVIES {
+        let got = db.score_of("scores", mid).unwrap();
+        let want = model.score(mid);
+        assert!(
+            (got - want).abs() < EPS,
+            "{context}: movie {mid} view={got} recompute={want}"
+        );
+    }
+    // all_scores must agree with per-key lookups.
+    for (mid, score) in db.all_scores("scores").unwrap() {
+        assert!((score - model.score(mid)).abs() < EPS, "{context}: all_scores for {mid}");
+    }
+}
+
+#[test]
+fn incremental_view_equals_full_recompute_under_random_mutations() {
+    let mut rng = StdRng::seed_from_u64(0x51E3);
+    let mut db = setup();
+    let mut model = Model::default();
+    let mut next_rid = 1000i64;
+
+    for step in 0..600 {
+        match rng.gen_range(0..7) {
+            // Insert a review.
+            0 | 1 => {
+                let mid = rng.gen_range(0..MOVIES);
+                let rating = f64::from(rng.gen_range(10..50)) / 10.0;
+                db.insert_row(
+                    "reviews",
+                    vec![Value::Int(next_rid), Value::Int(mid), Value::Float(rating)],
+                )
+                .unwrap();
+                model.reviews.insert(next_rid, (mid, rating));
+                next_rid += 1;
+            }
+            // Delete a random review.
+            2 => {
+                if let Some(&rid) = model.reviews.keys().next() {
+                    let skip = rng.gen_range(0..model.reviews.len());
+                    let rid = *model.reviews.keys().nth(skip).unwrap_or(&rid);
+                    db.delete_row("reviews", Value::Int(rid)).unwrap();
+                    model.reviews.remove(&rid);
+                }
+            }
+            // Re-rate a review.
+            3 => {
+                if !model.reviews.is_empty() {
+                    let skip = rng.gen_range(0..model.reviews.len());
+                    let rid = *model.reviews.keys().nth(skip).unwrap();
+                    let rating = f64::from(rng.gen_range(10..50)) / 10.0;
+                    db.update_row(
+                        "reviews",
+                        Value::Int(rid),
+                        &[("rating".into(), Value::Float(rating))],
+                    )
+                    .unwrap();
+                    model.reviews.get_mut(&rid).unwrap().1 = rating;
+                }
+            }
+            // Move a review to a different movie (fk rewrite!).
+            4 => {
+                if !model.reviews.is_empty() {
+                    let skip = rng.gen_range(0..model.reviews.len());
+                    let rid = *model.reviews.keys().nth(skip).unwrap();
+                    let mid = rng.gen_range(0..MOVIES);
+                    db.update_row("reviews", Value::Int(rid), &[("mid".into(), Value::Int(mid))])
+                        .unwrap();
+                    model.reviews.get_mut(&rid).unwrap().0 = mid;
+                }
+            }
+            // Upsert a stats row.
+            5 => {
+                let mid = rng.gen_range(0..MOVIES);
+                let visits = rng.gen_range(0..100_000);
+                if model.stats.contains_key(&mid) {
+                    db.update_row(
+                        "stats",
+                        Value::Int(mid),
+                        &[("nvisit".into(), Value::Int(visits))],
+                    )
+                    .unwrap();
+                } else {
+                    db.insert_row("stats", vec![Value::Int(mid), Value::Int(visits)]).unwrap();
+                }
+                model.stats.insert(mid, visits);
+            }
+            // Delete a stats row.
+            _ => {
+                if !model.stats.is_empty() {
+                    let skip = rng.gen_range(0..model.stats.len());
+                    let mid = *model.stats.keys().nth(skip).unwrap();
+                    db.delete_row("stats", Value::Int(mid)).unwrap();
+                    model.stats.remove(&mid);
+                }
+            }
+        }
+        if step % 25 == 0 {
+            assert_view_matches(&db, &model, &format!("step {step}"));
+        }
+    }
+    assert_view_matches(&db, &model, "final");
+}
+
+#[test]
+fn listener_fires_only_for_affected_keys() {
+    let mut db = setup();
+    let log = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let sink = log.clone();
+    db.set_score_listener(
+        "scores",
+        Box::new(move |pk, score| {
+            sink.lock().push((pk, score));
+        }),
+    )
+    .unwrap();
+
+    db.insert_row("reviews", vec![Value::Int(1), Value::Int(3), Value::Float(4.0)]).unwrap();
+    {
+        let events = log.lock();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|&(pk, _)| pk == 3), "only movie 3 changed: {events:?}");
+        // avg 4.0 * 100 + 0 + 1 review.
+        assert!((events.last().unwrap().1 - 401.0).abs() < EPS);
+    }
+    log.lock().clear();
+
+    // Moving the review re-scores both the old and the new target.
+    db.update_row("reviews", Value::Int(1), &[("mid".into(), Value::Int(5))]).unwrap();
+    {
+        let events = log.lock();
+        let touched: std::collections::BTreeSet<i64> =
+            events.iter().map(|&(pk, _)| pk).collect();
+        assert_eq!(touched, [3i64, 5].into_iter().collect(), "{events:?}");
+    }
+}
+
+#[test]
+fn rows_with_null_contributions_are_ignored() {
+    let mut db = setup();
+    db.insert_row("reviews", vec![Value::Int(1), Value::Int(2), Value::Null]).unwrap();
+    // Null rating: AvgOf skips it, but... CountOf counts rows with non-null
+    // fk. The view and a by-hand recompute must agree on that fine print.
+    let score = db.score_of("scores", 2).unwrap();
+    assert!(
+        (score - 1.0).abs() < EPS,
+        "null rating contributes no average but the row still counts: {score}"
+    );
+    db.insert_row("reviews", vec![Value::Int(2), Value::Null, Value::Float(5.0)]).unwrap();
+    // Null fk: no target, contributes nowhere.
+    for mid in 0..MOVIES {
+        let s = db.score_of("scores", mid).unwrap();
+        let expect = if mid == 2 { 1.0 } else { 0.0 };
+        assert!((s - expect).abs() < EPS, "movie {mid}: {s}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Abstract syntax for the SQL dialect.
+//!
+//! The dialect covers exactly what the paper needs (§3.1 and the SQL/MM
+//! query of Figure 1): table DDL and DML, SQL-bodied scoring functions,
+//! `CREATE TEXT INDEX ... SCORE WITH ... AGGREGATE WITH`, and ranked
+//! keyword-search `SELECT`s with `ORDER BY score(col, "keywords")` and
+//! `FETCH TOP k RESULTS ONLY`.
+
+use svr_relation::schema::ColumnType;
+use svr_relation::Value;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable(CreateTable),
+    Insert(Insert),
+    Update(Update),
+    Delete(Delete),
+    CreateFunction(CreateFunction),
+    CreateTextIndex(CreateTextIndex),
+    Select(Select),
+    /// `MERGE TEXT INDEX name` — the offline short-list merge (§5.1).
+    MergeTextIndex(String),
+    /// `EXPLAIN SELECT ...` — describe the access path without running it.
+    Explain(Box<Statement>),
+    /// `DROP FUNCTION name` — unregister a scoring/aggregate function.
+    DropFunction(String),
+}
+
+/// `CREATE TABLE name (col TYPE [PRIMARY KEY], ...)`
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    pub name: String,
+    pub columns: Vec<(String, ColumnType)>,
+    /// Index of the column declared `PRIMARY KEY` (first column if none).
+    pub pk: usize,
+}
+
+/// `INSERT INTO name VALUES (...), (...)`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    pub table: String,
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// `UPDATE name SET col = lit, ... WHERE pkcol = lit`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    pub table: String,
+    pub sets: Vec<(String, Value)>,
+    pub key_column: String,
+    pub key: Value,
+}
+
+/// `DELETE FROM name WHERE pkcol = lit`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    pub table: String,
+    pub key_column: String,
+    pub key: Value,
+}
+
+/// An arithmetic expression over named parameters (the body of an `Agg`
+/// function).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arith {
+    Param(String),
+    Literal(f64),
+    Neg(Box<Arith>),
+    Add(Box<Arith>, Box<Arith>),
+    Sub(Box<Arith>, Box<Arith>),
+    Mul(Box<Arith>, Box<Arith>),
+    Div(Box<Arith>, Box<Arith>),
+}
+
+/// The aggregate applied by a scoring-component body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentAgg {
+    Avg,
+    Sum,
+    Count,
+    /// Bare column lookup (`SELECT S.nVisit FROM Statistics S WHERE ...`).
+    Column,
+}
+
+/// The body of a `CREATE FUNCTION`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FunctionBody {
+    /// `RETURN SELECT AVG(r.rating) FROM reviews r WHERE r.mid = id` —
+    /// a scoring component (§3.1's `S1..Sm`).
+    Component {
+        agg: ComponentAgg,
+        /// Aggregated column (`None` for `COUNT(*)`).
+        value_column: Option<String>,
+        table: String,
+        /// Column equated with the function parameter.
+        key_column: String,
+        /// The parameter name used in the WHERE clause.
+        param: String,
+    },
+    /// `RETURN (s1*100 + s2/2 + s3)` — an `Agg` combinator.
+    Arith(Arith),
+}
+
+/// `CREATE FUNCTION name (p TYPE, ...) RETURNS FLOAT RETURN body`
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateFunction {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: FunctionBody,
+}
+
+/// One entry of a text index's `SCORE WITH (...)` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoreListEntry {
+    /// A named scoring function.
+    Function(String),
+    /// The built-in `TFIDF()` term-score slot.
+    Tfidf,
+}
+
+/// `CREATE TEXT INDEX name ON table(col) SCORE WITH (S1, ..., [TFIDF()])
+///  AGGREGATE WITH agg [USING METHOD kind] [OPTIONS (k = v, ...)]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTextIndex {
+    pub name: String,
+    pub table: String,
+    pub column: String,
+    pub score_with: Vec<ScoreListEntry>,
+    /// Name of the `Agg` function (identity over one component if omitted).
+    pub aggregate_with: Option<String>,
+    /// Index method name (`CHUNK`, `SCORE_THRESHOLD`, ... ) if given.
+    pub method: Option<String>,
+    /// `OPTIONS (chunk_ratio = 6.12, ...)` knob overrides.
+    pub options: Vec<(String, f64)>,
+}
+
+/// Keyword-match mode of a `CONTAINS` predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchMode {
+    All,
+    Any,
+}
+
+/// WHERE clause forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `CONTAINS(col, 'keywords' [, ALL|ANY])`
+    Contains { column: String, keywords: String, mode: MatchMode },
+    /// `col = literal`
+    Equals { column: String, value: Value },
+}
+
+/// `ORDER BY score(col, "keywords") [DESC]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByScore {
+    pub column: String,
+    pub keywords: String,
+}
+
+/// `SELECT projection FROM table [alias] [WHERE p] [ORDER BY score(...)]
+///  [FETCH TOP k RESULTS ONLY]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `None` means `*`.
+    pub projection: Option<Vec<String>>,
+    pub table: String,
+    pub alias: Option<String>,
+    pub predicate: Option<Predicate>,
+    pub order_by_score: Option<OrderByScore>,
+    /// `FETCH TOP k RESULTS ONLY` / `FETCH FIRST k ROWS ONLY` / `LIMIT k`.
+    pub fetch: Option<usize>,
+}

@@ -1,0 +1,52 @@
+//! SQL front-end errors.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing or executing SQL statements.
+#[derive(Debug)]
+pub enum SqlError {
+    /// Lexical error: byte offset and description.
+    Lex(usize, String),
+    /// Syntax error: byte offset and description.
+    Parse(usize, String),
+    /// Statement is well-formed but cannot be executed (unknown function,
+    /// wrong method name, non-linear TFIDF use...).
+    Plan(String),
+    /// Error from the underlying engine.
+    Engine(svr_engine::SvrError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex(pos, msg) => write!(f, "lex error at byte {pos}: {msg}"),
+            SqlError::Parse(pos, msg) => write!(f, "syntax error at byte {pos}: {msg}"),
+            SqlError::Plan(msg) => write!(f, "planning error: {msg}"),
+            SqlError::Engine(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<svr_engine::SvrError> for SqlError {
+    fn from(e: svr_engine::SvrError) -> Self {
+        SqlError::Engine(e)
+    }
+}
+
+impl From<svr_relation::RelationError> for SqlError {
+    fn from(e: svr_relation::RelationError) -> Self {
+        SqlError::Engine(svr_engine::SvrError::Relation(e))
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SqlError>;

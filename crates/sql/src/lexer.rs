@@ -1,0 +1,298 @@
+//! SQL tokenizer.
+//!
+//! Case-insensitive keywords (resolved at the parser level), single- or
+//! double-quoted string literals (the paper's example uses
+//! `score(m.desc, "golden gate")`), `--` line comments, and the usual
+//! punctuation.
+
+use crate::error::{Result, SqlError};
+
+/// One lexical token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (original spelling preserved).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Star,
+    Dot,
+    Eq,
+    Plus,
+    Minus,
+    Slash,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Ne,
+}
+
+impl TokenKind {
+    /// The keyword spelling, uppercased, if this is an identifier.
+    pub fn keyword(&self) -> Option<String> {
+        match self {
+            TokenKind::Ident(s) => Some(s.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::Str(s) => write!(f, "string '{s}'"),
+            TokenKind::LParen => f.write_str("'('"),
+            TokenKind::RParen => f.write_str("')'"),
+            TokenKind::Comma => f.write_str("','"),
+            TokenKind::Semi => f.write_str("';'"),
+            TokenKind::Star => f.write_str("'*'"),
+            TokenKind::Dot => f.write_str("'.'"),
+            TokenKind::Eq => f.write_str("'='"),
+            TokenKind::Plus => f.write_str("'+'"),
+            TokenKind::Minus => f.write_str("'-'"),
+            TokenKind::Slash => f.write_str("'/'"),
+            TokenKind::Lt => f.write_str("'<'"),
+            TokenKind::Gt => f.write_str("'>'"),
+            TokenKind::Le => f.write_str("'<='"),
+            TokenKind::Ge => f.write_str("'>='"),
+            TokenKind::Ne => f.write_str("'<>'"),
+        }
+    }
+}
+
+/// Tokenize a SQL text into a token vector.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            _ if b.is_ascii_whitespace() => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, pos: i });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, pos: i });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, pos: i });
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token { kind: TokenKind::Semi, pos: i });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token { kind: TokenKind::Star, pos: i });
+                i += 1;
+            }
+            b'.' if !bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) => {
+                tokens.push(Token { kind: TokenKind::Dot, pos: i });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token { kind: TokenKind::Eq, pos: i });
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token { kind: TokenKind::Plus, pos: i });
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Token { kind: TokenKind::Minus, pos: i });
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(Token { kind: TokenKind::Slash, pos: i });
+                i += 1;
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, pos: i });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::Ne, pos: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, pos: i });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, pos: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, pos: i });
+                    i += 1;
+                }
+            }
+            b'\'' | b'"' => {
+                let quote = b;
+                let start = i;
+                i += 1;
+                let mut out = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::Lex(start, "unterminated string".into()));
+                        }
+                        Some(&c) if c == quote => {
+                            // Doubled quote is an escaped quote.
+                            if bytes.get(i + 1) == Some(&quote) {
+                                out.push(quote as char);
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&c) => {
+                            // SQL strings are byte-oriented here; the input
+                            // is UTF-8, so collect char-by-char.
+                            let s = &input[i..];
+                            let ch = s.chars().next().expect("in-bounds char");
+                            out.push(ch);
+                            i += ch.len_utf8();
+                            let _ = c;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(out), pos: start });
+            }
+            _ if b.is_ascii_digit() || b == b'.' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && matches!(bytes.get(i.wrapping_sub(1)), Some(b'e') | Some(b'E'))))
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| SqlError::Lex(start, format!("bad number '{text}'")))?;
+                tokens.push(Token { kind: TokenKind::Number(value), pos: start });
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    pos: start,
+                });
+            }
+            _ => {
+                return Err(SqlError::Lex(i, format!("unexpected byte 0x{b:02x}")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_the_paper_query() {
+        let toks = kinds(
+            r#"SELECT * FROM Movies m ORDER BY score(m.desc, "golden gate") FETCH TOP 10 RESULTS ONLY"#,
+        );
+        assert!(toks.contains(&TokenKind::Star));
+        assert!(toks.contains(&TokenKind::Str("golden gate".into())));
+        assert!(toks.contains(&TokenKind::Number(10.0)));
+        assert_eq!(toks[0], TokenKind::Ident("SELECT".into()));
+    }
+
+    #[test]
+    fn strings_escape_by_doubling() {
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into())]);
+        assert_eq!(kinds(r#""say ""hi"" now""#), vec![TokenKind::Str("say \"hi\" now".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(tokenize("'oops"), Err(SqlError::Lex(0, _))));
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        assert_eq!(
+            kinds("s1*100 + s2/2 <= 3.5e2"),
+            vec![
+                TokenKind::Ident("s1".into()),
+                TokenKind::Star,
+                TokenKind::Number(100.0),
+                TokenKind::Plus,
+                TokenKind::Ident("s2".into()),
+                TokenKind::Slash,
+                TokenKind::Number(2.0),
+                TokenKind::Le,
+                TokenKind::Number(350.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("SELECT -- the projection\n1"),
+            vec![TokenKind::Ident("SELECT".into()), TokenKind::Number(1.0)]
+        );
+    }
+
+    #[test]
+    fn dot_vs_decimal() {
+        assert_eq!(
+            kinds("m.desc"),
+            vec![
+                TokenKind::Ident("m".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("desc".into()),
+            ]
+        );
+        assert_eq!(kinds(".5"), vec![TokenKind::Number(0.5)]);
+    }
+
+    #[test]
+    fn unexpected_byte_errors() {
+        assert!(matches!(tokenize("a ! b"), Err(SqlError::Lex(2, _))));
+    }
+}

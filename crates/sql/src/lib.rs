@@ -1,0 +1,59 @@
+//! # svr-sql
+//!
+//! A SQL front end for the SVR engine, implementing the paper's SQL-based
+//! framework for specifying Structured Value Ranking (§3.1) and the SQL/MM
+//! query form of its Figure 1.
+//!
+//! The dialect supports:
+//!
+//! * `CREATE TABLE` / `INSERT` / `UPDATE` / `DELETE` over the relational
+//!   substrate;
+//! * `CREATE FUNCTION S1 (id INT) RETURNS FLOAT RETURN SELECT AVG(r.rating)
+//!   FROM reviews r WHERE r.mid = id` — SQL-bodied scoring components;
+//! * `CREATE FUNCTION agg (s1 FLOAT, ...) RETURNS FLOAT RETURN (s1*100 +
+//!   s2/2 + s3)` — the `Agg` combinator;
+//! * `CREATE TEXT INDEX idx ON movies(description) SCORE WITH (S1, S2, S3
+//!   [, TFIDF()]) AGGREGATE WITH agg [USING METHOD CHUNK] [OPTIONS (...)]`;
+//! * `SELECT * FROM movies m [WHERE CONTAINS(desc, 'kw', ANY)] ORDER BY
+//!   SCORE(m.desc, "golden gate") FETCH TOP 10 RESULTS ONLY` — ranked
+//!   keyword search over the latest structured-data scores;
+//! * `MERGE TEXT INDEX idx` — the offline short-list merge.
+//!
+//! ```
+//! use svr_sql::SqlSession;
+//!
+//! let mut session = SqlSession::new();
+//! session.execute_script(r#"
+//!     CREATE TABLE movies (mid INT PRIMARY KEY, name TEXT, description TEXT);
+//!     CREATE TABLE reviews (rid INT PRIMARY KEY, mid INT, rating FLOAT);
+//!
+//!     CREATE FUNCTION avg_rating (id INT) RETURNS FLOAT
+//!         RETURN SELECT AVG(r.rating) FROM reviews r WHERE r.mid = id;
+//!     CREATE FUNCTION weigh (s1 FLOAT) RETURNS FLOAT RETURN s1 * 100;
+//!
+//!     CREATE TEXT INDEX movie_idx ON movies(description)
+//!         SCORE WITH (avg_rating) AGGREGATE WITH weigh USING METHOD CHUNK;
+//!
+//!     INSERT INTO movies VALUES
+//!         (1, 'American Thrift', 'classic golden gate commute footage'),
+//!         (2, 'Amateur Film',    'amateur golden gate shots');
+//!     INSERT INTO reviews VALUES (100, 1, 4.5), (101, 1, 5.0), (102, 2, 1.0);
+//! "#).unwrap();
+//!
+//! let top = session.execute(
+//!     r#"SELECT name FROM movies ORDER BY SCORE(description, "golden gate")
+//!        FETCH TOP 1 RESULTS ONLY"#).unwrap();
+//! // American Thrift: avg rating 4.75 → score 475.
+//! assert_eq!(top.row_count(), 1);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod session;
+
+pub use error::{Result, SqlError};
+pub use parser::{parse_script, parse_statement};
+pub use session::{SqlResult, SqlSession};

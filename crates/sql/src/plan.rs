@@ -1,0 +1,322 @@
+//! Lowering from SQL AST to engine concepts.
+//!
+//! * `CREATE FUNCTION ... RETURN SELECT ...` bodies become
+//!   [`ScoreComponent`]s;
+//! * `Agg` arithmetic bodies become [`AggExpr`]s with parameters resolved
+//!   to component slots;
+//! * a `TFIDF()` entry in `SCORE WITH` is decomposed out of the aggregate
+//!   as the linear term weight the index methods apply at query time
+//!   (`f(svr, ts) = svr + w·ts`, §4.3.3) — non-linear uses are rejected;
+//! * method names map to [`MethodKind`]s.
+
+use svr_core::{IndexConfig, MethodKind};
+use svr_relation::{AggExpr, ScoreComponent};
+
+use crate::ast::{Arith, ComponentAgg, FunctionBody};
+use crate::error::{Result, SqlError};
+
+/// A registered `CREATE FUNCTION`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FunctionDef {
+    /// A scoring component (`S1..Sm`).
+    Component(ScoreComponent),
+    /// An `Agg` combinator with named parameters.
+    Agg { params: Vec<String>, body: Arith },
+}
+
+/// Lower a parsed function body into a [`FunctionDef`].
+pub fn lower_function(params: &[String], body: &FunctionBody) -> Result<FunctionDef> {
+    match body {
+        FunctionBody::Arith(expr) => {
+            // Every identifier must be a parameter.
+            check_params(expr, params)?;
+            Ok(FunctionDef::Agg { params: params.to_vec(), body: expr.clone() })
+        }
+        FunctionBody::Component { agg, value_column, table, key_column, .. } => {
+            let component = match agg {
+                ComponentAgg::Avg => ScoreComponent::AvgOf {
+                    table: table.clone(),
+                    fk_col: key_column.clone(),
+                    val_col: value_column.clone().ok_or_else(|| {
+                        SqlError::Plan("AVG requires a value column".into())
+                    })?,
+                },
+                ComponentAgg::Sum => ScoreComponent::SumOf {
+                    table: table.clone(),
+                    fk_col: key_column.clone(),
+                    val_col: value_column.clone().ok_or_else(|| {
+                        SqlError::Plan("SUM requires a value column".into())
+                    })?,
+                },
+                ComponentAgg::Count => ScoreComponent::CountOf {
+                    table: table.clone(),
+                    fk_col: key_column.clone(),
+                },
+                ComponentAgg::Column => ScoreComponent::ColumnOf {
+                    table: table.clone(),
+                    key_col: key_column.clone(),
+                    val_col: value_column.clone().ok_or_else(|| {
+                        SqlError::Plan("column lookup requires a value column".into())
+                    })?,
+                },
+            };
+            Ok(FunctionDef::Component(component))
+        }
+    }
+}
+
+fn check_params(expr: &Arith, params: &[String]) -> Result<()> {
+    match expr {
+        Arith::Param(name) => {
+            if params.iter().any(|p| p.eq_ignore_ascii_case(name)) {
+                Ok(())
+            } else {
+                Err(SqlError::Plan(format!(
+                    "'{name}' is not a parameter of this function"
+                )))
+            }
+        }
+        Arith::Literal(_) => Ok(()),
+        Arith::Neg(e) => check_params(e, params),
+        Arith::Add(a, b) | Arith::Sub(a, b) | Arith::Mul(a, b) | Arith::Div(a, b) => {
+            check_params(a, params)?;
+            check_params(b, params)
+        }
+    }
+}
+
+/// Resolve an `Agg` body to an [`AggExpr`]: parameter `params[i]` becomes
+/// component slot `slots[i]`.
+pub fn resolve_arith(expr: &Arith, params: &[String], slots: &[usize]) -> Result<AggExpr> {
+    Ok(match expr {
+        Arith::Param(name) => {
+            let i = params
+                .iter()
+                .position(|p| p.eq_ignore_ascii_case(name))
+                .ok_or_else(|| {
+                    SqlError::Plan(format!("'{name}' is not a parameter of the Agg function"))
+                })?;
+            AggExpr::Component(slots[i])
+        }
+        Arith::Literal(v) => AggExpr::Literal(*v),
+        Arith::Neg(e) => AggExpr::Neg(Box::new(resolve_arith(e, params, slots)?)),
+        Arith::Add(a, b) => AggExpr::Add(
+            Box::new(resolve_arith(a, params, slots)?),
+            Box::new(resolve_arith(b, params, slots)?),
+        ),
+        Arith::Sub(a, b) => AggExpr::Sub(
+            Box::new(resolve_arith(a, params, slots)?),
+            Box::new(resolve_arith(b, params, slots)?),
+        ),
+        Arith::Mul(a, b) => AggExpr::Mul(
+            Box::new(resolve_arith(a, params, slots)?),
+            Box::new(resolve_arith(b, params, slots)?),
+        ),
+        Arith::Div(a, b) => AggExpr::Div(
+            Box::new(resolve_arith(a, params, slots)?),
+            Box::new(resolve_arith(b, params, slots)?),
+        ),
+    })
+}
+
+/// Extract the TFIDF term weight from an aggregate expression whose TFIDF
+/// parameter occupies component slot `tfidf_slot` (one past the structured
+/// components). The index methods combine scores as `svr + w·ts`, so the
+/// aggregate must be *linear* in the TFIDF slot; the weight is recovered by
+/// finite differencing and verified on probe points.
+pub fn tfidf_weight(expr: &AggExpr, tfidf_slot: usize) -> Result<f64> {
+    let eval = |components: &[f64], t: f64| -> f64 {
+        let mut values = components.to_vec();
+        values.resize(tfidf_slot, 0.0);
+        values.push(t);
+        expr.eval(&values)
+    };
+    let zeros = vec![0.0; tfidf_slot];
+    let weight = eval(&zeros, 1.0) - eval(&zeros, 0.0);
+    // Probe for linearity: f(r, t) must equal f(r, 0) + w·t everywhere the
+    // combination function is used. A handful of deterministic probes
+    // catches every practical violation (t², s·t, t in a divisor...).
+    let probes: [f64; 3] = [0.5, 2.0, 17.0];
+    let mut r = Vec::with_capacity(tfidf_slot);
+    for i in 0..tfidf_slot {
+        r.push(1.0 + i as f64 * 3.7);
+    }
+    for &t in &probes {
+        for base in [&zeros, &r] {
+            let expect = eval(base, 0.0) + weight * t;
+            let got = eval(base, t);
+            if (got - expect).abs() > 1e-9 * (1.0 + expect.abs()) {
+                return Err(SqlError::Plan(
+                    "TFIDF() must appear as a linear additive term in the aggregate \
+                     (e.g. `... + tfidf/2`); the index combination function is \
+                     f(svr, ts) = svr + w*ts (§4.3.3)"
+                        .into(),
+                ));
+            }
+        }
+    }
+    if weight < 0.0 {
+        return Err(SqlError::Plan(
+            "TFIDF() weight must be non-negative for the combination function to stay monotonic"
+                .into(),
+        ));
+    }
+    Ok(weight)
+}
+
+/// Parse a `USING METHOD` name.
+pub fn parse_method(name: &str) -> Result<MethodKind> {
+    let canon = name.to_ascii_uppercase().replace('-', "_");
+    Ok(match canon.as_str() {
+        "ID" => MethodKind::Id,
+        "SCORE" => MethodKind::Score,
+        "SCORE_THRESHOLD" => MethodKind::ScoreThreshold,
+        "CHUNK" => MethodKind::Chunk,
+        "ID_TERMSCORE" => MethodKind::IdTermScore,
+        "CHUNK_TERMSCORE" => MethodKind::ChunkTermScore,
+        "SCORE_THRESHOLD_TERMSCORE" => MethodKind::ScoreThresholdTermScore,
+        other => {
+            return Err(SqlError::Plan(format!(
+                "unknown index method '{other}'; expected one of ID, SCORE, SCORE_THRESHOLD, \
+                 CHUNK, ID_TERMSCORE, CHUNK_TERMSCORE, SCORE_THRESHOLD_TERMSCORE"
+            )))
+        }
+    })
+}
+
+/// Apply `OPTIONS (...)` overrides to an [`IndexConfig`].
+pub fn apply_options(config: &mut IndexConfig, options: &[(String, f64)]) -> Result<()> {
+    for (key, value) in options {
+        match key.as_str() {
+            "chunk_ratio" => config.chunk_ratio = *value,
+            "threshold_ratio" => config.threshold_ratio = *value,
+            "min_chunk_docs" => config.min_chunk_docs = *value as usize,
+            "fancy_size" => config.fancy_size = *value as usize,
+            "term_weight" => config.term_weight = *value,
+            "page_size" => config.page_size = *value as usize,
+            "long_cache_pages" => config.long_cache_pages = *value as usize,
+            "small_cache_pages" => config.small_cache_pages = *value as usize,
+            other => {
+                return Err(SqlError::Plan(format!(
+                    "unknown index option '{other}'"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn param_names(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn lowers_avg_component() {
+        let body = FunctionBody::Component {
+            agg: ComponentAgg::Avg,
+            value_column: Some("rating".into()),
+            table: "reviews".into(),
+            key_column: "mid".into(),
+            param: "id".into(),
+        };
+        let def = lower_function(&param_names(&["id"]), &body).unwrap();
+        assert_eq!(
+            def,
+            FunctionDef::Component(ScoreComponent::AvgOf {
+                table: "reviews".into(),
+                fk_col: "mid".into(),
+                val_col: "rating".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn agg_body_rejects_unknown_identifiers() {
+        let body = FunctionBody::Arith(Arith::Param("mystery".into()));
+        assert!(lower_function(&param_names(&["s1"]), &body).is_err());
+    }
+
+    #[test]
+    fn resolves_params_to_slots() {
+        // Agg(a, b) = a*2 + b, with a -> slot 1, b -> slot 0.
+        let expr = Arith::Add(
+            Box::new(Arith::Mul(
+                Box::new(Arith::Param("a".into())),
+                Box::new(Arith::Literal(2.0)),
+            )),
+            Box::new(Arith::Param("b".into())),
+        );
+        let agg = resolve_arith(&expr, &param_names(&["a", "b"]), &[1, 0]).unwrap();
+        // components[0] = b-value, components[1] = a-value.
+        assert_eq!(agg.eval(&[10.0, 3.0]), 3.0 * 2.0 + 10.0);
+    }
+
+    #[test]
+    fn tfidf_weight_recovers_linear_coefficient() {
+        // f(s1, t) = s1*100 + t/2; tfidf slot is 1.
+        let expr = AggExpr::Add(
+            Box::new(AggExpr::Mul(
+                Box::new(AggExpr::Component(0)),
+                Box::new(AggExpr::Literal(100.0)),
+            )),
+            Box::new(AggExpr::Div(
+                Box::new(AggExpr::Component(1)),
+                Box::new(AggExpr::Literal(2.0)),
+            )),
+        );
+        assert_eq!(tfidf_weight(&expr, 1).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn tfidf_weight_rejects_nonlinear_use() {
+        // f(t) = t*t.
+        let expr = AggExpr::Mul(
+            Box::new(AggExpr::Component(0)),
+            Box::new(AggExpr::Component(0)),
+        );
+        assert!(tfidf_weight(&expr, 0).is_err());
+        // f(s1, t) = s1*t — bilinear, still not additive.
+        let expr = AggExpr::Mul(
+            Box::new(AggExpr::Component(0)),
+            Box::new(AggExpr::Component(1)),
+        );
+        assert!(tfidf_weight(&expr, 1).is_err());
+    }
+
+    #[test]
+    fn tfidf_weight_rejects_negative_weight() {
+        let expr = AggExpr::Sub(
+            Box::new(AggExpr::Component(0)),
+            Box::new(AggExpr::Component(1)),
+        );
+        assert!(tfidf_weight(&expr, 1).is_err());
+    }
+
+    #[test]
+    fn method_names_parse() {
+        assert_eq!(parse_method("chunk").unwrap(), MethodKind::Chunk);
+        assert_eq!(parse_method("Score-Threshold").unwrap(), MethodKind::ScoreThreshold);
+        assert_eq!(
+            parse_method("SCORE_THRESHOLD_TERMSCORE").unwrap(),
+            MethodKind::ScoreThresholdTermScore
+        );
+        assert!(parse_method("btree").is_err());
+    }
+
+    #[test]
+    fn options_apply() {
+        let mut config = IndexConfig::default();
+        apply_options(
+            &mut config,
+            &[("chunk_ratio".into(), 3.0), ("fancy_size".into(), 16.0)],
+        )
+        .unwrap();
+        assert_eq!(config.chunk_ratio, 3.0);
+        assert_eq!(config.fancy_size, 16);
+        assert!(apply_options(&mut config, &[("bogus".into(), 1.0)]).is_err());
+    }
+}

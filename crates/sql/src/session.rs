@@ -1,0 +1,595 @@
+//! The SQL session: parse → plan → execute against an [`SvrEngine`].
+
+use std::collections::HashMap;
+
+use svr_core::types::QueryMode;
+use svr_core::IndexConfig;
+use svr_engine::{RankedRow, SvrEngine};
+use svr_relation::schema::Schema;
+use svr_relation::{AggExpr, ScoreComponent, SvrSpec, Value};
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use crate::parser::{parse_script, parse_statement};
+use crate::plan::{
+    apply_options, lower_function, parse_method, resolve_arith, tfidf_weight, FunctionDef,
+};
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlResult {
+    /// DDL statements.
+    None,
+    Inserted(usize),
+    Updated(usize),
+    Deleted(usize),
+    /// An unranked result set.
+    Rows { columns: Vec<String>, rows: Vec<Vec<Value>> },
+    /// A ranked keyword-search result set (scores are the latest SVR — or
+    /// combined — scores).
+    Ranked { columns: Vec<String>, rows: Vec<RankedRow> },
+    /// An `EXPLAIN` plan description, one line per step.
+    Plan(Vec<String>),
+}
+
+impl SqlResult {
+    /// Number of data rows in the result.
+    pub fn row_count(&self) -> usize {
+        match self {
+            SqlResult::None => 0,
+            SqlResult::Inserted(n) | SqlResult::Updated(n) | SqlResult::Deleted(n) => *n,
+            SqlResult::Rows { rows, .. } => rows.len(),
+            SqlResult::Ranked { rows, .. } => rows.len(),
+            SqlResult::Plan(lines) => lines.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for SqlResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn write_table(
+            f: &mut std::fmt::Formatter<'_>,
+            columns: &[String],
+            rows: &[Vec<String>],
+        ) -> std::fmt::Result {
+            let mut widths: Vec<usize> = columns.iter().map(String::len).collect();
+            for row in rows {
+                for (w, cell) in widths.iter_mut().zip(row) {
+                    *w = (*w).max(cell.len());
+                }
+            }
+            let header: Vec<String> = columns
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            writeln!(f, "{}", header.join(" | "))?;
+            writeln!(
+                f,
+                "{}",
+                widths
+                    .iter()
+                    .map(|w| "-".repeat(*w))
+                    .collect::<Vec<_>>()
+                    .join("-+-")
+            )?;
+            for row in rows {
+                let cells: Vec<String> = row
+                    .iter()
+                    .zip(&widths)
+                    .map(|(c, w)| format!("{c:<w$}"))
+                    .collect();
+                writeln!(f, "{}", cells.join(" | "))?;
+            }
+            Ok(())
+        }
+
+        fn render(v: &Value) -> String {
+            match v {
+                Value::Null => "NULL".into(),
+                Value::Int(i) => i.to_string(),
+                Value::Float(x) => format!("{x}"),
+                Value::Text(s) => s.clone(),
+            }
+        }
+
+        match self {
+            SqlResult::None => writeln!(f, "ok"),
+            SqlResult::Inserted(n) => writeln!(f, "{n} row(s) inserted"),
+            SqlResult::Updated(n) => writeln!(f, "{n} row(s) updated"),
+            SqlResult::Deleted(n) => writeln!(f, "{n} row(s) deleted"),
+            SqlResult::Rows { columns, rows } => {
+                let rendered: Vec<Vec<String>> =
+                    rows.iter().map(|r| r.iter().map(render).collect()).collect();
+                write_table(f, columns, &rendered)
+            }
+            SqlResult::Plan(lines) => {
+                for line in lines {
+                    writeln!(f, "{line}")?;
+                }
+                Ok(())
+            }
+            SqlResult::Ranked { columns, rows } => {
+                let mut cols = columns.clone();
+                cols.push("score".into());
+                let rendered: Vec<Vec<String>> = rows
+                    .iter()
+                    .map(|r| {
+                        let mut cells: Vec<String> = r.row.iter().map(render).collect();
+                        cells.push(format!("{:.2}", r.score));
+                        cells
+                    })
+                    .collect();
+                write_table(f, &cols, &rendered)
+            }
+        }
+    }
+}
+
+/// A SQL session over an [`SvrEngine`].
+///
+/// ```
+/// use svr_sql::SqlSession;
+///
+/// let mut session = SqlSession::new();
+/// session.execute_script(r#"
+///     CREATE TABLE movies (mid INT PRIMARY KEY, name TEXT, description TEXT);
+///     CREATE TABLE stats (mid INT PRIMARY KEY, nvisit INT);
+///     CREATE FUNCTION visits (id INT) RETURNS FLOAT
+///         RETURN SELECT s.nvisit FROM stats s WHERE s.mid = id;
+///     CREATE TEXT INDEX movie_idx ON movies(description)
+///         SCORE WITH (visits) USING METHOD CHUNK;
+///     INSERT INTO movies VALUES
+///         (1, 'American Thrift', 'classic golden gate commute footage'),
+///         (2, 'Amateur Film', 'amateur shots around the golden gate');
+///     INSERT INTO stats VALUES (1, 5000), (2, 12);
+/// "#).unwrap();
+///
+/// let result = session.execute(
+///     r#"SELECT name FROM movies ORDER BY SCORE(description, "golden gate")
+///        FETCH TOP 10 RESULTS ONLY"#).unwrap();
+/// assert_eq!(result.row_count(), 2); // popular movie first
+/// ```
+pub struct SqlSession {
+    engine: SvrEngine,
+    functions: HashMap<String, FunctionDef>,
+}
+
+impl Default for SqlSession {
+    fn default() -> Self {
+        SqlSession::new()
+    }
+}
+
+impl SqlSession {
+    /// New session with an empty engine.
+    pub fn new() -> SqlSession {
+        SqlSession::with_engine(SvrEngine::new())
+    }
+
+    /// Wrap an existing engine.
+    pub fn with_engine(engine: SvrEngine) -> SqlSession {
+        SqlSession { engine, functions: HashMap::new() }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &SvrEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine (maintenance, stats).
+    pub fn engine_mut(&mut self) -> &mut SvrEngine {
+        &mut self.engine
+    }
+
+    /// Execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<SqlResult> {
+        let statement = parse_statement(sql)?;
+        self.run(statement)
+    }
+
+    /// Execute a `;`-separated script, returning one result per statement.
+    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<SqlResult>> {
+        let statements = parse_script(sql)?;
+        statements.into_iter().map(|s| self.run(s)).collect()
+    }
+
+    fn run(&mut self, statement: Statement) -> Result<SqlResult> {
+        match statement {
+            Statement::CreateTable(ct) => self.create_table(ct),
+            Statement::Insert(ins) => self.insert(ins),
+            Statement::Update(u) => self.update(u),
+            Statement::Delete(d) => self.delete(d),
+            Statement::CreateFunction(cf) => self.create_function(cf),
+            Statement::CreateTextIndex(ix) => self.create_text_index(ix),
+            Statement::Select(sel) => self.select(sel),
+            Statement::MergeTextIndex(name) => {
+                self.engine.run_maintenance(&name)?;
+                Ok(SqlResult::None)
+            }
+            Statement::Explain(inner) => self.explain(*inner),
+            Statement::DropFunction(name) => {
+                if self.functions.remove(&name.to_ascii_lowercase()).is_none() {
+                    return Err(SqlError::Plan(format!("unknown function '{name}'")));
+                }
+                Ok(SqlResult::None)
+            }
+        }
+    }
+
+    /// Describe the access path of a statement without executing it.
+    fn explain(&mut self, statement: Statement) -> Result<SqlResult> {
+        let Statement::Select(sel) = statement else {
+            return Err(SqlError::Plan("EXPLAIN supports SELECT statements".into()));
+        };
+        let schema = self.engine.db().table(&sel.table)?.schema().clone();
+        let mut lines = Vec::new();
+        let ranked = sel.order_by_score.is_some()
+            || matches!(sel.predicate, Some(Predicate::Contains { .. }));
+        if ranked {
+            let (column, keywords, mode) = match (&sel.order_by_score, &sel.predicate) {
+                (Some(obs), _) => {
+                    let mode = match &sel.predicate {
+                        Some(Predicate::Contains { mode, .. }) => *mode,
+                        _ => MatchMode::All,
+                    };
+                    (obs.column.clone(), obs.keywords.clone(), mode)
+                }
+                (None, Some(Predicate::Contains { column, keywords, mode })) => {
+                    (column.clone(), keywords.clone(), *mode)
+                }
+                _ => unreachable!("ranked guard"),
+            };
+            let index = self
+                .engine
+                .text_index_on(&sel.table, &column)
+                .ok_or_else(|| {
+                    SqlError::Plan(format!("no text index on {}.{column}", sel.table))
+                })?
+                .to_string();
+            let method = self.engine.index(&index)?.kind();
+            let k = sel.fetch.unwrap_or(10);
+            lines.push(format!(
+                "RankedKeywordSearch index={index} method={method} k={k} mode={}",
+                match mode {
+                    MatchMode::All => "conjunctive",
+                    MatchMode::Any => "disjunctive",
+                }
+            ));
+            lines.push(format!("  keywords: '{keywords}' over {}.{column}", sel.table));
+            lines.push("  scores: latest SVR scores from the materialized Score view".into());
+        } else {
+            match &sel.predicate {
+                Some(Predicate::Equals { column, .. })
+                    if schema.column_index(column)? == schema.pk =>
+                {
+                    lines.push(format!("PointLookup {}.{column} (primary key)", sel.table));
+                }
+                Some(Predicate::Equals { column, .. }) => {
+                    lines.push(format!("TableScan {} filter {column} = ...", sel.table));
+                }
+                _ => lines.push(format!("TableScan {}", sel.table)),
+            }
+            if let Some(k) = sel.fetch {
+                lines.push(format!("  limit: {k}"));
+            }
+        }
+        match &sel.projection {
+            None => lines.push("  project: *".into()),
+            Some(cols) => lines.push(format!("  project: {}", cols.join(", "))),
+        }
+        Ok(SqlResult::Plan(lines))
+    }
+
+    fn create_table(&mut self, ct: CreateTable) -> Result<SqlResult> {
+        let columns: Vec<(&str, _)> =
+            ct.columns.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        self.engine
+            .create_table(Schema::new(&ct.name, &columns, ct.pk))?;
+        Ok(SqlResult::None)
+    }
+
+    fn insert(&mut self, ins: Insert) -> Result<SqlResult> {
+        let n = ins.rows.len();
+        for row in ins.rows {
+            self.engine.insert_row(&ins.table, row)?;
+        }
+        Ok(SqlResult::Inserted(n))
+    }
+
+    fn update(&mut self, u: Update) -> Result<SqlResult> {
+        let schema = self.engine.db().table(&u.table)?.schema().clone();
+        let pk_name = &schema.columns[schema.pk].0;
+        if !u.key_column.eq_ignore_ascii_case(pk_name) {
+            return Err(SqlError::Plan(format!(
+                "UPDATE requires a primary-key predicate (WHERE {pk_name} = ...)"
+            )));
+        }
+        self.engine.update_row(&u.table, u.key, &u.sets)?;
+        Ok(SqlResult::Updated(1))
+    }
+
+    fn delete(&mut self, d: Delete) -> Result<SqlResult> {
+        let schema = self.engine.db().table(&d.table)?.schema().clone();
+        let pk_name = &schema.columns[schema.pk].0;
+        if !d.key_column.eq_ignore_ascii_case(pk_name) {
+            return Err(SqlError::Plan(format!(
+                "DELETE requires a primary-key predicate (WHERE {pk_name} = ...)"
+            )));
+        }
+        self.engine.delete_row(&d.table, d.key)?;
+        Ok(SqlResult::Deleted(1))
+    }
+
+    fn create_function(&mut self, cf: CreateFunction) -> Result<SqlResult> {
+        let key = cf.name.to_ascii_lowercase();
+        if self.functions.contains_key(&key) {
+            return Err(SqlError::Plan(format!("function '{}' already exists", cf.name)));
+        }
+        let def = lower_function(&cf.params, &cf.body)?;
+        self.functions.insert(key, def);
+        Ok(SqlResult::None)
+    }
+
+    fn create_text_index(&mut self, ix: CreateTextIndex) -> Result<SqlResult> {
+        // Resolve the SCORE WITH list into structured components + at most
+        // one TFIDF slot.
+        let mut components: Vec<ScoreComponent> = Vec::new();
+        // For each SCORE WITH entry: the component slot it maps to. The
+        // TFIDF entry maps to the slot *after* the last structured one —
+        // the term-score value the methods add at query time.
+        let mut entry_slots: Vec<usize> = Vec::new();
+        let mut tfidf_entries = 0usize;
+        for entry in &ix.score_with {
+            match entry {
+                ScoreListEntry::Function(name) => {
+                    match self.functions.get(&name.to_ascii_lowercase()) {
+                        Some(FunctionDef::Component(c)) => {
+                            entry_slots.push(components.len());
+                            components.push(c.clone());
+                        }
+                        Some(FunctionDef::Agg { .. }) => {
+                            return Err(SqlError::Plan(format!(
+                                "'{name}' is an aggregate function; SCORE WITH takes scoring \
+                                 components (functions whose body is a SELECT)"
+                            )));
+                        }
+                        None => {
+                            return Err(SqlError::Plan(format!(
+                                "unknown scoring function '{name}'"
+                            )))
+                        }
+                    }
+                }
+                ScoreListEntry::Tfidf => {
+                    tfidf_entries += 1;
+                    entry_slots.push(usize::MAX); // patched below
+                }
+            }
+        }
+        if tfidf_entries > 1 {
+            return Err(SqlError::Plan("TFIDF() may appear at most once".into()));
+        }
+        let tfidf_slot = components.len();
+        for slot in &mut entry_slots {
+            if *slot == usize::MAX {
+                *slot = tfidf_slot;
+            }
+        }
+
+        // Resolve the aggregate expression.
+        let agg: AggExpr = match &ix.aggregate_with {
+            Some(name) => match self.functions.get(&name.to_ascii_lowercase()) {
+                Some(FunctionDef::Agg { params, body }) => {
+                    if params.len() != ix.score_with.len() {
+                        return Err(SqlError::Plan(format!(
+                            "aggregate '{name}' takes {} parameters but SCORE WITH lists {} \
+                             entries",
+                            params.len(),
+                            ix.score_with.len()
+                        )));
+                    }
+                    resolve_arith(body, params, &entry_slots)?
+                }
+                Some(FunctionDef::Component(_)) => {
+                    return Err(SqlError::Plan(format!(
+                        "'{name}' is a scoring component; AGGREGATE WITH takes an arithmetic \
+                         function"
+                    )));
+                }
+                None => {
+                    return Err(SqlError::Plan(format!("unknown aggregate function '{name}'")))
+                }
+            },
+            None => {
+                // Default aggregate: the sum of every entry.
+                let mut expr: Option<AggExpr> = None;
+                for &slot in &entry_slots {
+                    let term = AggExpr::Component(slot);
+                    expr = Some(match expr {
+                        None => term,
+                        Some(acc) => AggExpr::Add(Box::new(acc), Box::new(term)),
+                    });
+                }
+                expr.ok_or_else(|| SqlError::Plan("SCORE WITH list is empty".into()))?
+            }
+        };
+
+        // TFIDF handling: extract the linear weight; the view evaluates the
+        // aggregate with the TFIDF slot at zero (structured part), and the
+        // index method adds `weight · Σ idf·ts` at query time.
+        let has_tfidf = tfidf_entries > 0;
+        let mut config = IndexConfig { term_weight: 0.0, ..IndexConfig::default() };
+        if has_tfidf {
+            config.term_weight = tfidf_weight(&agg, tfidf_slot)?;
+        }
+        apply_options(&mut config, &ix.options)?;
+
+        let method = match &ix.method {
+            Some(name) => {
+                let kind = parse_method(name)?;
+                if has_tfidf && !kind.uses_term_scores() {
+                    return Err(SqlError::Plan(format!(
+                        "method {kind} cannot evaluate TFIDF(); use ID_TERMSCORE, \
+                         CHUNK_TERMSCORE or SCORE_THRESHOLD_TERMSCORE"
+                    )));
+                }
+                kind
+            }
+            None if has_tfidf => svr_core::MethodKind::ChunkTermScore,
+            None => svr_core::MethodKind::Chunk,
+        };
+
+        if components.is_empty() {
+            // Pure TF-IDF ranking: constant structured part.
+            components.push(ScoreComponent::Const(0.0));
+        }
+        let spec = SvrSpec::new(components, agg);
+        self.engine
+            .create_text_index(&ix.name, &ix.table, &ix.column, spec, method, config)?;
+        Ok(SqlResult::None)
+    }
+
+    fn select(&mut self, sel: Select) -> Result<SqlResult> {
+        let schema = self.engine.db().table(&sel.table)?.schema().clone();
+        let projection = self.resolve_projection(&schema, &sel.projection)?;
+
+        // Ranked path: ORDER BY SCORE and/or CONTAINS.
+        let contains = match &sel.predicate {
+            Some(Predicate::Contains { column, keywords, mode }) => {
+                Some((column.clone(), keywords.clone(), *mode))
+            }
+            _ => None,
+        };
+        if sel.order_by_score.is_some() || contains.is_some() {
+            let (column, keywords, mode) = match (&sel.order_by_score, &contains) {
+                (Some(obs), Some((c_col, c_kw, c_mode))) => {
+                    if !obs.column.eq_ignore_ascii_case(c_col) {
+                        return Err(SqlError::Plan(
+                            "CONTAINS and ORDER BY SCORE must reference the same column".into(),
+                        ));
+                    }
+                    if obs.keywords != *c_kw {
+                        return Err(SqlError::Plan(
+                            "CONTAINS and ORDER BY SCORE must use the same keywords".into(),
+                        ));
+                    }
+                    (obs.column.clone(), obs.keywords.clone(), *c_mode)
+                }
+                (Some(obs), None) => (obs.column.clone(), obs.keywords.clone(), MatchMode::All),
+                (None, Some((c, k, m))) => (c.clone(), k.clone(), *m),
+                (None, None) => unreachable!("guarded above"),
+            };
+            let index = self
+                .engine
+                .text_index_on(&sel.table, &column)
+                .ok_or_else(|| {
+                    SqlError::Plan(format!(
+                        "no text index on {}.{column}; CREATE TEXT INDEX first",
+                        sel.table
+                    ))
+                })?
+                .to_string();
+            let k = sel.fetch.unwrap_or(10);
+            let mode = match mode {
+                MatchMode::All => QueryMode::Conjunctive,
+                MatchMode::Any => QueryMode::Disjunctive,
+            };
+            let hits = self.engine.search(&index, &keywords, k, mode)?;
+            let (columns, rows) = project_ranked(&schema, &projection, hits);
+            return Ok(SqlResult::Ranked { columns, rows });
+        }
+
+        // Plain path: point lookup or scan.
+        let mut rows: Vec<Vec<Value>> = match &sel.predicate {
+            Some(Predicate::Equals { column, value }) => {
+                let idx = schema.column_index(column)?;
+                if idx == schema.pk {
+                    self.engine
+                        .db()
+                        .table(&sel.table)?
+                        .get(value)?
+                        .into_iter()
+                        .collect()
+                } else {
+                    self.engine
+                        .db()
+                        .table(&sel.table)?
+                        .scan()?
+                        .into_iter()
+                        .filter(|r| &r[idx] == value)
+                        .collect()
+                }
+            }
+            Some(Predicate::Contains { .. }) => unreachable!("handled in ranked path"),
+            None => self.engine.db().table(&sel.table)?.scan()?,
+        };
+        if let Some(k) = sel.fetch {
+            rows.truncate(k);
+        }
+        let (columns, rows) = project_rows(&schema, &projection, rows);
+        Ok(SqlResult::Rows { columns, rows })
+    }
+
+    fn resolve_projection(
+        &self,
+        schema: &Schema,
+        projection: &Option<Vec<String>>,
+    ) -> Result<Option<Vec<usize>>> {
+        match projection {
+            None => Ok(None),
+            Some(cols) => {
+                let mut indices = Vec::with_capacity(cols.len());
+                for col in cols {
+                    indices.push(schema.column_index(col)?);
+                }
+                Ok(Some(indices))
+            }
+        }
+    }
+}
+
+fn column_names(schema: &Schema, projection: &Option<Vec<usize>>) -> Vec<String> {
+    match projection {
+        None => schema.columns.iter().map(|(n, _)| n.clone()).collect(),
+        Some(indices) => indices
+            .iter()
+            .map(|&i| schema.columns[i].0.clone())
+            .collect(),
+    }
+}
+
+fn project_rows(
+    schema: &Schema,
+    projection: &Option<Vec<usize>>,
+    rows: Vec<Vec<Value>>,
+) -> (Vec<String>, Vec<Vec<Value>>) {
+    let columns = column_names(schema, projection);
+    let rows = match projection {
+        None => rows,
+        Some(indices) => rows
+            .into_iter()
+            .map(|row| indices.iter().map(|&i| row[i].clone()).collect())
+            .collect(),
+    };
+    (columns, rows)
+}
+
+fn project_ranked(
+    schema: &Schema,
+    projection: &Option<Vec<usize>>,
+    hits: Vec<RankedRow>,
+) -> (Vec<String>, Vec<RankedRow>) {
+    let columns = column_names(schema, projection);
+    let hits = match projection {
+        None => hits,
+        Some(indices) => hits
+            .into_iter()
+            .map(|hit| RankedRow {
+                row: indices.iter().map(|&i| hit.row[i].clone()).collect(),
+                score: hit.score,
+            })
+            .collect(),
+    };
+    (columns, hits)
+}

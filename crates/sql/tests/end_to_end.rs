@@ -1,0 +1,373 @@
+//! End-to-end SQL tests: the paper's running example (Figure 1 + §3.1)
+//! executed through the SQL front end, including score updates that reorder
+//! results, the TFIDF variant, every index method, and maintenance.
+
+use svr_relation::Value;
+use svr_sql::{SqlResult, SqlSession};
+
+/// The paper's Internet Archive schema: Movies, Reviews, Statistics, and the
+/// §3.1 scoring functions S1 (avg rating), S2 (visits), S3 (downloads) with
+/// Agg(s1,s2,s3) = s1*100 + s2/2 + s3.
+fn setup(method: &str) -> SqlSession {
+    let mut session = SqlSession::new();
+    session
+        .execute_script(&format!(
+            r#"
+            CREATE TABLE movies (mid INT PRIMARY KEY, name TEXT, description TEXT);
+            CREATE TABLE reviews (rid INT PRIMARY KEY, mid INT, rating FLOAT);
+            CREATE TABLE statistics (mid INT PRIMARY KEY, nvisit INT, ndownload INT);
+
+            CREATE FUNCTION S1 (id INTEGER) RETURNS FLOAT
+                RETURN SELECT avg(R.rating) FROM reviews R WHERE R.mid = id;
+            CREATE FUNCTION S2 (id INTEGER) RETURNS FLOAT
+                RETURN SELECT S.nvisit FROM statistics S WHERE S.mid = id;
+            CREATE FUNCTION S3 (id INTEGER) RETURNS FLOAT
+                RETURN SELECT S.ndownload FROM statistics S WHERE S.mid = id;
+            CREATE FUNCTION Agg (s1 FLOAT, s2 FLOAT, s3 FLOAT) RETURNS FLOAT
+                RETURN (s1*100 + s2/2 + s3);
+
+            CREATE TEXT INDEX movie_search ON movies(description)
+                SCORE WITH (S1, S2, S3) AGGREGATE WITH Agg
+                USING METHOD {method}
+                OPTIONS (min_chunk_docs = 2, chunk_ratio = 2.0, threshold_ratio = 1.5);
+
+            INSERT INTO movies VALUES
+                (1, 'American Thrift', 'a classic production about golden gate thrift'),
+                (2, 'Amateur Film',    'amateur footage of the golden gate bridge'),
+                (3, 'City Symphony',   'a film about city life and bridges');
+
+            INSERT INTO reviews VALUES
+                (100, 1, 4.5), (101, 1, 5.0), (102, 2, 2.0), (103, 3, 3.0);
+            INSERT INTO statistics VALUES
+                (1, 5000, 120), (2, 40, 3), (3, 900, 50);
+            "#,
+        ))
+        .unwrap();
+    session
+}
+
+fn top_names(result: &SqlResult) -> Vec<String> {
+    match result {
+        SqlResult::Ranked { rows, .. } => rows
+            .iter()
+            .map(|r| r.row[0].as_text().unwrap().to_string())
+            .collect(),
+        other => panic!("expected ranked result, got {other:?}"),
+    }
+}
+
+const FIGURE1_QUERY: &str = r#"SELECT name FROM movies m
+    ORDER BY score(m.description, "golden gate")
+    FETCH TOP 10 RESULTS ONLY"#;
+
+#[test]
+fn figure1_query_ranks_by_structured_values() {
+    for method in ["ID", "SCORE", "SCORE_THRESHOLD", "CHUNK"] {
+        let mut session = setup(method);
+        let result = session.execute(FIGURE1_QUERY).unwrap();
+        // Only movies 1 and 2 contain both "golden" and "gate".
+        // Scores: movie 1 = 4.75*100 + 5000/2 + 120 = 3095;
+        //         movie 2 = 2*100 + 40/2 + 3 = 223.
+        assert_eq!(
+            top_names(&result),
+            vec!["American Thrift", "Amateur Film"],
+            "method {method}"
+        );
+        let SqlResult::Ranked { rows, .. } = &result else { unreachable!() };
+        assert!((rows[0].score - 3095.0).abs() < 1e-9, "method {method}: {}", rows[0].score);
+        assert!((rows[1].score - 223.0).abs() < 1e-9, "method {method}");
+    }
+}
+
+#[test]
+fn structured_updates_reorder_results() {
+    let mut session = setup("CHUNK");
+    // A flash crowd hits Amateur Film: visits explode.
+    session
+        .execute("UPDATE statistics SET nvisit = 1000000 WHERE mid = 2")
+        .unwrap();
+    let result = session.execute(FIGURE1_QUERY).unwrap();
+    assert_eq!(top_names(&result), vec!["Amateur Film", "American Thrift"]);
+    let SqlResult::Ranked { rows, .. } = &result else { unreachable!() };
+    // 2*100 + 1000000/2 + 3 = 500203.
+    assert!((rows[0].score - 500_203.0).abs() < 1e-9);
+
+    // New reviews shift the average rating; ranking must track the view.
+    session
+        .execute("INSERT INTO reviews VALUES (104, 2, 1.0), (105, 2, 1.0)")
+        .unwrap();
+    let result = session.execute(FIGURE1_QUERY).unwrap();
+    let SqlResult::Ranked { rows, .. } = &result else { unreachable!() };
+    // avg(2,1,1) = 4/3 → 133.33 + 500000 + 3.
+    assert!((rows[0].score - (4.0 / 3.0 * 100.0 + 500_000.0 + 3.0)).abs() < 1e-6);
+}
+
+#[test]
+fn deleting_source_rows_lowers_scores() {
+    let mut session = setup("SCORE_THRESHOLD");
+    session.execute("DELETE FROM reviews WHERE rid = 101").unwrap();
+    let result = session.execute(FIGURE1_QUERY).unwrap();
+    let SqlResult::Ranked { rows, .. } = &result else { unreachable!() };
+    // Movie 1's avg drops to 4.5: 450 + 2500 + 120 = 3070.
+    assert!((rows[0].score - 3070.0).abs() < 1e-9);
+}
+
+#[test]
+fn deleting_a_movie_removes_it_from_results() {
+    let mut session = setup("CHUNK");
+    session.execute("DELETE FROM movies WHERE mid = 1").unwrap();
+    let result = session.execute(FIGURE1_QUERY).unwrap();
+    assert_eq!(top_names(&result), vec!["Amateur Film"]);
+}
+
+#[test]
+fn content_updates_change_matching() {
+    let mut session = setup("CHUNK");
+    // Movie 3's description gains the keywords.
+    session
+        .execute(
+            "UPDATE movies SET description = 'golden gate panorama of city life' WHERE mid = 3",
+        )
+        .unwrap();
+    let result = session.execute(FIGURE1_QUERY).unwrap();
+    assert_eq!(
+        top_names(&result),
+        vec!["American Thrift", "City Symphony", "Amateur Film"]
+    );
+    // And movie 2 loses them.
+    session
+        .execute("UPDATE movies SET description = 'footage of a bridge' WHERE mid = 2")
+        .unwrap();
+    let result = session.execute(FIGURE1_QUERY).unwrap();
+    assert_eq!(top_names(&result), vec!["American Thrift", "City Symphony"]);
+}
+
+#[test]
+fn disjunctive_contains_any() {
+    let mut session = setup("CHUNK");
+    let result = session
+        .execute(
+            "SELECT name FROM movies WHERE CONTAINS(description, 'city gate', ANY)
+             ORDER BY SCORE(description, 'city gate') FETCH TOP 10 RESULTS ONLY",
+        )
+        .unwrap();
+    // All three match at least one keyword; ranked by SVR score.
+    assert_eq!(
+        top_names(&result),
+        vec!["American Thrift", "City Symphony", "Amateur Film"]
+    );
+}
+
+#[test]
+fn merge_text_index_preserves_answers() {
+    let mut session = setup("CHUNK");
+    session
+        .execute("UPDATE statistics SET nvisit = 999999 WHERE mid = 2")
+        .unwrap();
+    let before = top_names(&session.execute(FIGURE1_QUERY).unwrap());
+    session.execute("MERGE TEXT INDEX movie_search").unwrap();
+    let after = top_names(&session.execute(FIGURE1_QUERY).unwrap());
+    assert_eq!(before, after);
+}
+
+#[test]
+fn tfidf_combination_through_sql() {
+    let mut session = SqlSession::new();
+    session
+        .execute_script(
+            r#"
+            CREATE TABLE docs (id INT PRIMARY KEY, body TEXT);
+            CREATE TABLE pop (id INT PRIMARY KEY, hits INT);
+            CREATE FUNCTION hits_of (d INT) RETURNS FLOAT
+                RETURN SELECT p.hits FROM pop p WHERE p.id = d;
+            CREATE FUNCTION mix (s1 FLOAT, s4 FLOAT) RETURNS FLOAT
+                RETURN s1 + s4 * 50;
+            CREATE TEXT INDEX doc_idx ON docs(body)
+                SCORE WITH (hits_of, TFIDF()) AGGREGATE WITH mix
+                USING METHOD CHUNK_TERMSCORE
+                OPTIONS (min_chunk_docs = 2, fancy_size = 4);
+            INSERT INTO docs VALUES
+                (1, 'ranking ranking ranking ranking'),
+                (2, 'ranking diluted diluted diluted diluted diluted diluted');
+            INSERT INTO pop VALUES (1, 10), (2, 11);
+            "#,
+        )
+        .unwrap();
+    let result = session
+        .execute("SELECT id FROM docs ORDER BY SCORE(body, 'ranking') FETCH TOP 2 RESULTS ONLY")
+        .unwrap();
+    let SqlResult::Ranked { rows, .. } = &result else { panic!() };
+    // Doc 1 has the maximal normalized TF for "ranking"; with weight 50 the
+    // term score dominates the 1-hit popularity difference.
+    assert_eq!(rows[0].row[0], Value::Int(1));
+    assert_eq!(rows.len(), 2);
+}
+
+#[test]
+fn tfidf_without_term_method_is_rejected() {
+    let mut session = SqlSession::new();
+    session
+        .execute_script(
+            "CREATE TABLE d (id INT PRIMARY KEY, b TEXT);
+             CREATE FUNCTION one (x INT) RETURNS FLOAT RETURN SELECT p.v FROM q p WHERE p.id = x;",
+        )
+        .unwrap();
+    let err = session
+        .execute(
+            "CREATE TEXT INDEX i ON d(b) SCORE WITH (one, TFIDF()) USING METHOD CHUNK",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("cannot evaluate TFIDF"), "{err}");
+}
+
+#[test]
+fn nonlinear_tfidf_aggregate_is_rejected() {
+    let mut session = SqlSession::new();
+    session
+        .execute_script(
+            "CREATE TABLE d (id INT PRIMARY KEY, b TEXT);
+             CREATE TABLE p (id INT PRIMARY KEY, v INT);
+             CREATE FUNCTION c (x INT) RETURNS FLOAT
+                 RETURN SELECT p.v FROM p WHERE p.id = x;
+             CREATE FUNCTION bad (s1 FLOAT, s4 FLOAT) RETURNS FLOAT RETURN s1 * s4;",
+        )
+        .unwrap();
+    let err = session
+        .execute(
+            "CREATE TEXT INDEX i ON d(b) SCORE WITH (c, TFIDF()) AGGREGATE WITH bad",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("linear"), "{err}");
+}
+
+#[test]
+fn plain_selects_and_projection() {
+    let mut session = setup("ID");
+    let result = session.execute("SELECT name FROM movies WHERE mid = 2").unwrap();
+    assert_eq!(
+        result,
+        SqlResult::Rows {
+            columns: vec!["name".into()],
+            rows: vec![vec![Value::Text("Amateur Film".into())]],
+        }
+    );
+    let all = session.execute("SELECT mid, name FROM movies LIMIT 2").unwrap();
+    assert_eq!(all.row_count(), 2);
+}
+
+#[test]
+fn reviews_fk_scan_matches() {
+    let mut session = setup("ID");
+    let scan = session
+        .execute("SELECT rid FROM reviews WHERE mid = 1")
+        .unwrap();
+    assert_eq!(scan.row_count(), 2);
+}
+
+#[test]
+fn errors_are_informative() {
+    let mut session = SqlSession::new();
+    // Unknown table.
+    assert!(session.execute("SELECT * FROM nope").is_err());
+    // Unknown scoring function.
+    session.execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT)").unwrap();
+    let err = session
+        .execute("CREATE TEXT INDEX i ON t(b) SCORE WITH (mystery)")
+        .unwrap_err();
+    assert!(err.to_string().contains("unknown scoring function"), "{err}");
+    // Ranked query without an index.
+    let err = session
+        .execute("SELECT * FROM t ORDER BY SCORE(b, 'x') FETCH TOP 1 RESULTS ONLY")
+        .unwrap_err();
+    assert!(err.to_string().contains("no text index"), "{err}");
+    // Duplicate function.
+    session
+        .execute("CREATE FUNCTION f (a FLOAT) RETURNS FLOAT RETURN a")
+        .unwrap();
+    assert!(session
+        .execute("CREATE FUNCTION f (a FLOAT) RETURNS FLOAT RETURN a")
+        .is_err());
+}
+
+#[test]
+fn update_requires_pk_predicate() {
+    let mut session = setup("ID");
+    let err = session
+        .execute("UPDATE statistics SET nvisit = 1 WHERE nvisit = 40")
+        .unwrap_err();
+    assert!(err.to_string().contains("primary-key"), "{err}");
+}
+
+#[test]
+fn result_display_renders_tables() {
+    let mut session = setup("CHUNK");
+    let shown = format!("{}", session.execute(FIGURE1_QUERY).unwrap());
+    assert!(shown.contains("American Thrift"));
+    assert!(shown.contains("score"));
+    assert!(shown.contains("3095"));
+}
+
+#[test]
+fn explain_describes_access_paths() {
+    let mut session = setup("CHUNK");
+    let plan = session.execute(&format!("EXPLAIN {FIGURE1_QUERY}")).unwrap();
+    let SqlResult::Plan(lines) = &plan else { panic!("expected plan, got {plan:?}") };
+    let text = lines.join("\n");
+    assert!(text.contains("RankedKeywordSearch"), "{text}");
+    assert!(text.contains("method=Chunk"), "{text}");
+    assert!(text.contains("k=10"), "{text}");
+    assert!(text.contains("golden gate"), "{text}");
+
+    let plan = session
+        .execute("EXPLAIN SELECT name FROM movies WHERE mid = 1")
+        .unwrap();
+    let SqlResult::Plan(lines) = &plan else { panic!() };
+    assert!(lines[0].contains("PointLookup"), "{lines:?}");
+
+    let plan = session
+        .execute("EXPLAIN SELECT rid FROM reviews WHERE mid = 1")
+        .unwrap();
+    let SqlResult::Plan(lines) = &plan else { panic!() };
+    assert!(lines[0].contains("TableScan"), "{lines:?}");
+
+    // EXPLAIN must not execute anything.
+    assert!(session.execute("EXPLAIN DELETE FROM movies WHERE mid = 1").is_err());
+    assert_eq!(
+        session.execute("SELECT * FROM movies WHERE mid = 1").unwrap().row_count(),
+        1,
+        "row must still exist"
+    );
+}
+
+#[test]
+fn drop_function_unregisters() {
+    let mut session = SqlSession::new();
+    session
+        .execute("CREATE FUNCTION f (a FLOAT) RETURNS FLOAT RETURN a * 2")
+        .unwrap();
+    session.execute("DROP FUNCTION f").unwrap();
+    // Now the name is free again.
+    session
+        .execute("CREATE FUNCTION f (a FLOAT) RETURNS FLOAT RETURN a * 3")
+        .unwrap();
+    // Dropping twice errors.
+    session.execute("DROP FUNCTION f").unwrap();
+    assert!(session.execute("DROP FUNCTION f").is_err());
+}
+
+#[test]
+fn every_method_name_is_accepted_by_ddl() {
+    for method in [
+        "ID",
+        "SCORE",
+        "SCORE_THRESHOLD",
+        "CHUNK",
+        "ID_TERMSCORE",
+        "CHUNK_TERMSCORE",
+        "SCORE_THRESHOLD_TERMSCORE",
+    ] {
+        let mut session = setup(method);
+        let result = session.execute(FIGURE1_QUERY).unwrap();
+        assert_eq!(top_names(&result)[0], "American Thrift", "method {method}");
+    }
+}

@@ -1,0 +1,76 @@
+//! The SQL front end must never panic: arbitrary byte soup, truncated
+//! statements and adversarial token orders all return `Err`, not aborts.
+
+use proptest::prelude::*;
+use svr_sql::{parse_script, parse_statement, SqlSession};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary unicode strings never panic the lexer/parser.
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,200}") {
+        let _ = parse_script(&input);
+    }
+
+    /// SQL-ish token soup never panics either (more likely to get deep
+    /// into the parser than pure noise).
+    #[test]
+    fn sqlish_soup_never_panics(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("SELECT"), Just("FROM"), Just("WHERE"), Just("CREATE"),
+            Just("TABLE"), Just("FUNCTION"), Just("TEXT"), Just("INDEX"),
+            Just("INSERT"), Just("INTO"), Just("VALUES"), Just("UPDATE"),
+            Just("SET"), Just("DELETE"), Just("ORDER"), Just("BY"),
+            Just("SCORE"), Just("WITH"), Just("AGGREGATE"), Just("FETCH"),
+            Just("TOP"), Just("RESULTS"), Just("ONLY"), Just("CONTAINS"),
+            Just("RETURN"), Just("RETURNS"), Just("FLOAT"), Just("INT"),
+            Just("("), Just(")"), Just(","), Just(";"), Just("="),
+            Just("*"), Just("+"), Just("-"), Just("/"), Just("."),
+            Just("movies"), Just("m"), Just("s1"), Just("'kw'"), Just("10"),
+            Just("3.5"), Just("\"golden gate\""), Just("NULL"),
+        ],
+        0..40,
+    )) {
+        let input = tokens.join(" ");
+        let _ = parse_script(&input);
+    }
+
+    /// Truncations of a valid statement never panic.
+    #[test]
+    fn truncated_statements_never_panic(cut in 0usize..200) {
+        let full = r#"CREATE TEXT INDEX idx ON movies(description)
+            SCORE WITH (S1, S2, TFIDF()) AGGREGATE WITH agg
+            USING METHOD CHUNK OPTIONS (chunk_ratio = 6.12)"#;
+        let cut = cut.min(full.len());
+        // Cut at a char boundary.
+        let mut end = cut;
+        while !full.is_char_boundary(end) {
+            end += 1;
+        }
+        let _ = parse_statement(&full[..end]);
+    }
+
+    /// Executing arbitrary parseable-or-not scripts against a live session
+    /// never panics (errors are fine; state stays usable).
+    #[test]
+    fn session_survives_arbitrary_scripts(input in "[ -~]{0,120}") {
+        let mut session = SqlSession::new();
+        session
+            .execute("CREATE TABLE t (id INT PRIMARY KEY, body TEXT)")
+            .unwrap();
+        let _ = session.execute_script(&input);
+        // The session must still work afterwards.
+        session.execute("INSERT INTO t VALUES (1, 'still alive')").unwrap();
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_do_not_overflow() {
+    // 200 nested parens in an Agg body: the recursive-descent parser must
+    // either parse it or error, not blow the stack.
+    let depth = 200;
+    let body = format!("{}s1{}", "(".repeat(depth), ")".repeat(depth));
+    let sql = format!("CREATE FUNCTION f (s1 FLOAT) RETURNS FLOAT RETURN {body}");
+    let _ = parse_statement(&sql);
+}

@@ -1,0 +1,167 @@
+//! # svr-storage
+//!
+//! A small paged storage engine that plays the role BerkeleyDB plays in the
+//! SVR paper (Guo et al., ICDE 2005): all mutable index structures (Score
+//! table, ListScore/ListChunk tables, short inverted lists, the Score
+//! method's clustered long list) are stored in [`BTree`]s over fixed-size
+//! slotted pages behind an LRU [`BufferPool`]; immutable long inverted lists
+//! are stored as page-chained blobs in a [`BlobStore`] and read a page at a
+//! time.
+//!
+//! The "disk" is an in-memory page vector behind the [`DiskBackend`] trait
+//! that counts every page read and write ([`IoStats`]). Experiments use the
+//! counts to model cold-cache I/O cost (see the bench crate), and
+//! [`BufferPool::clear_cache`] reproduces the paper's "cold cache for the
+//! long inverted lists" measurement protocol.
+//!
+//! ```
+//! use svr_storage::{StorageEnv, BTree};
+//!
+//! let env = StorageEnv::default();
+//! let store = env.create_store("demo", 64);
+//! let tree = BTree::create(store).unwrap();
+//! tree.put(b"k1", b"v1").unwrap();
+//! assert_eq!(tree.get(b"k1").unwrap().as_deref(), Some(&b"v1"[..]));
+//! ```
+
+pub mod blob;
+pub mod btree;
+pub mod codec;
+pub mod disk;
+pub mod error;
+pub mod page;
+pub mod pool;
+pub mod wal;
+
+pub use blob::{BlobHandle, BlobReader, BlobStore};
+pub use btree::{BTree, BTreeCursor};
+pub use disk::{DiskBackend, FileDisk, IoStats, MemDisk};
+pub use error::{Result, StorageError};
+pub use page::{PageId, DEFAULT_PAGE_SIZE};
+pub use pool::{BufferPool, Store};
+pub use wal::{Lsn, Wal, WalStats};
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A named collection of [`Store`]s, mirroring a BerkeleyDB environment.
+///
+/// Each store is an independent (disk, buffer pool) pair so experiments can
+/// keep the small mutable structures warm while cold-starting the long-list
+/// store, exactly like the paper's measurement setup.
+pub struct StorageEnv {
+    page_size: usize,
+    stores: Mutex<HashMap<String, Arc<Store>>>,
+}
+
+impl StorageEnv {
+    /// Create an environment whose stores use `page_size`-byte pages.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size >= 256, "page size must be at least 256 bytes");
+        StorageEnv {
+            page_size,
+            stores: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Page size used by stores created from this environment.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Create (or fetch, if it already exists) a store with a buffer pool of
+    /// `cache_pages` pages.
+    pub fn create_store(&self, name: &str, cache_pages: usize) -> Arc<Store> {
+        let mut stores = self.stores.lock();
+        stores
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Arc::new(Store::new(
+                    Arc::new(MemDisk::new(self.page_size)),
+                    cache_pages,
+                ))
+            })
+            .clone()
+    }
+
+    /// Create (or fetch) a **write-ahead-logged** store: page writes are
+    /// logged before buffering and [`Store::recover`] replays committed
+    /// batches after a crash (see [`wal`]).
+    pub fn create_logged_store(&self, name: &str, cache_pages: usize) -> Arc<Store> {
+        let mut stores = self.stores.lock();
+        stores
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Arc::new(Store::new_logged(
+                    Arc::new(MemDisk::new(self.page_size)),
+                    cache_pages,
+                    Arc::new(wal::Wal::new()),
+                ))
+            })
+            .clone()
+    }
+
+    /// Fetch a previously created store.
+    pub fn store(&self, name: &str) -> Option<Arc<Store>> {
+        self.stores.lock().get(name).cloned()
+    }
+
+    /// Aggregate I/O statistics across every store in the environment.
+    pub fn total_io(&self) -> IoStats {
+        let stores = self.stores.lock();
+        let mut total = IoStats::default();
+        for store in stores.values() {
+            total += store.io_stats();
+        }
+        total
+    }
+
+    /// Total bytes allocated on the underlying "disks".
+    pub fn total_disk_bytes(&self) -> u64 {
+        let stores = self.stores.lock();
+        stores
+            .values()
+            .map(|s| s.disk().num_pages() * self.page_size as u64)
+            .sum()
+    }
+}
+
+impl Default for StorageEnv {
+    fn default() -> Self {
+        StorageEnv::new(DEFAULT_PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_creates_and_reuses_stores() {
+        let env = StorageEnv::default();
+        let a = env.create_store("a", 16);
+        let a2 = env.create_store("a", 999);
+        assert!(Arc::ptr_eq(&a, &a2), "same name must return the same store");
+        assert!(env.store("missing").is_none());
+        assert!(env.store("a").is_some());
+    }
+
+    #[test]
+    fn env_total_io_aggregates() {
+        let env = StorageEnv::default();
+        let s = env.create_store("x", 4);
+        let id = s.allocate().unwrap();
+        s.write_page(id, vec![1u8; env.page_size()].into()).unwrap();
+        s.flush().unwrap();
+        assert!(env.total_io().pages_written >= 1);
+        assert!(env.total_disk_bytes() >= env.page_size() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size")]
+    fn tiny_page_size_rejected() {
+        let _ = StorageEnv::new(16);
+    }
+}

@@ -1,0 +1,43 @@
+//! Page-level definitions.
+
+/// Identifier of a page within one store. Page ids are dense, starting at 0.
+pub type PageId = u64;
+
+/// Default page size, matching BerkeleyDB's common configuration in the
+/// paper's setup.
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Sentinel encoding for "no page" in on-page link fields. Page ids are
+/// stored `+1` so that 0 can mean "none".
+pub const NO_PAGE: u64 = 0;
+
+/// Encode an optional page id for on-page storage.
+#[inline]
+pub fn encode_page_link(link: Option<PageId>) -> u64 {
+    match link {
+        Some(id) => id + 1,
+        None => NO_PAGE,
+    }
+}
+
+/// Decode an optional page id from on-page storage.
+#[inline]
+pub fn decode_page_link(raw: u64) -> Option<PageId> {
+    if raw == NO_PAGE {
+        None
+    } else {
+        Some(raw - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_link_roundtrip() {
+        assert_eq!(decode_page_link(encode_page_link(None)), None);
+        assert_eq!(decode_page_link(encode_page_link(Some(0))), Some(0));
+        assert_eq!(decode_page_link(encode_page_link(Some(41))), Some(41));
+    }
+}

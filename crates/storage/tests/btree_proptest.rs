@@ -1,0 +1,118 @@
+//! Property tests: the B+-tree must behave exactly like `BTreeMap<Vec<u8>,
+//! Vec<u8>>` under arbitrary interleavings of put/delete/get/scan, for every
+//! page size.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use svr_storage::{BTree, MemDisk, Store};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Get(Vec<u8>),
+    ScanPrefix(Vec<u8>),
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small alphabet to force collisions and shared prefixes.
+    prop::collection::vec(prop::num::u8::ANY.prop_map(|b| b % 8), 1..12)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), prop::collection::vec(any::<u8>(), 0..24))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        key_strategy().prop_map(Op::Delete),
+        key_strategy().prop_map(Op::Get),
+        prop::collection::vec(prop::num::u8::ANY.prop_map(|b| b % 8), 0..4)
+            .prop_map(Op::ScanPrefix),
+    ]
+}
+
+fn run_ops(page_size: usize, ops: &[Op]) {
+    let store = Arc::new(Store::new(Arc::new(MemDisk::new(page_size)), 64));
+    let tree = BTree::create(store).unwrap();
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                let prev = tree.put(k, v).unwrap();
+                assert_eq!(prev, model.insert(k.clone(), v.clone()), "put {k:?}");
+            }
+            Op::Delete(k) => {
+                let removed = tree.delete(k).unwrap();
+                assert_eq!(removed, model.remove(k), "delete {k:?}");
+            }
+            Op::Get(k) => {
+                assert_eq!(tree.get(k).unwrap(), model.get(k).cloned(), "get {k:?}");
+            }
+            Op::ScanPrefix(prefix) => {
+                let got = tree.scan_prefix(prefix).unwrap();
+                let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                    .iter()
+                    .filter(|(k, _)| k.starts_with(prefix))
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                assert_eq!(got, want, "scan_prefix {prefix:?}");
+            }
+        }
+        assert_eq!(tree.len(), model.len() as u64, "length diverged");
+    }
+
+    // Full-order scan must equal the model exactly.
+    let mut cursor = tree.cursor(&[]).unwrap();
+    let mut scanned = Vec::new();
+    while let Some(entry) = cursor.next_entry().unwrap() {
+        scanned.push(entry);
+    }
+    let want: Vec<_> = model.into_iter().collect();
+    assert_eq!(scanned, want, "final full scan diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn btree_matches_model_4k(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        run_ops(4096, &ops);
+    }
+
+    #[test]
+    fn btree_matches_model_tiny_pages(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        // 256-byte pages force deep trees, constant splits and merges.
+        run_ops(256, &ops);
+    }
+
+    #[test]
+    fn blob_roundtrip(data in prop::collection::vec(any::<u8>(), 0..20_000)) {
+        let store = Arc::new(Store::new(Arc::new(MemDisk::new(512)), 16));
+        let blobs = svr_storage::BlobStore::new(store);
+        let handle = blobs.put(&data).unwrap();
+        prop_assert_eq!(blobs.read_all(handle).unwrap(), data);
+    }
+}
+
+#[test]
+fn btree_dense_sequential_workload() {
+    // Deterministic heavy test: interleaved inserts and deletes of 20k keys.
+    let store = Arc::new(Store::new(Arc::new(MemDisk::new(512)), 256));
+    let tree = BTree::create(store).unwrap();
+    let mut model = BTreeMap::new();
+    for i in 0..20_000u64 {
+        let k = (i.wrapping_mul(0x9E3779B97F4A7C15)).to_be_bytes().to_vec();
+        tree.put(&k, &i.to_be_bytes()).unwrap();
+        model.insert(k, i.to_be_bytes().to_vec());
+        if i % 3 == 0 {
+            let dk = ((i / 2).wrapping_mul(0x9E3779B97F4A7C15)).to_be_bytes().to_vec();
+            assert_eq!(tree.delete(&dk).unwrap(), model.remove(&dk));
+        }
+    }
+    assert_eq!(tree.len(), model.len() as u64);
+    for (k, v) in &model {
+        assert_eq!(tree.get(k).unwrap().as_ref(), Some(v));
+    }
+}

@@ -1,0 +1,68 @@
+//! Term-based scoring (the "TF-IDF"-style component of §4.3.3).
+//!
+//! Postings in the *-TermScore methods carry a normalized per-(doc, term)
+//! score in `[0, 1]`, quantized to 16 bits. The per-term IDF weight is a
+//! query-time constant, so it is **not** stored in postings — exactly the
+//! split the paper (and Long & Suel's fancy lists) relies on.
+
+/// Normalized term frequency in `(0, 1]`: `(1 + ln tf) / (1 + ln max_tf)`.
+///
+/// Zero when the term is absent.
+pub fn normalized_tf(tf: u32, max_tf: u32) -> f64 {
+    if tf == 0 || max_tf == 0 {
+        return 0.0;
+    }
+    (1.0 + f64::from(tf).ln()) / (1.0 + f64::from(max_tf).ln())
+}
+
+/// Inverse document frequency: `ln(1 + N / df)`. Zero for unseen terms.
+pub fn idf(num_docs: u64, doc_freq: u64) -> f64 {
+    if doc_freq == 0 {
+        return 0.0;
+    }
+    (1.0 + num_docs as f64 / doc_freq as f64).ln()
+}
+
+/// Quantize a normalized term score in `[0, 1]` to 16 bits for posting
+/// storage.
+pub fn quantize_term_score(score: f64) -> u16 {
+    (score.clamp(0.0, 1.0) * f64::from(u16::MAX)).round() as u16
+}
+
+/// Inverse of [`quantize_term_score`].
+pub fn unquantize_term_score(q: u16) -> f64 {
+    f64::from(q) / f64::from(u16::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_tf_bounds() {
+        assert_eq!(normalized_tf(0, 10), 0.0);
+        assert_eq!(normalized_tf(10, 10), 1.0);
+        let mid = normalized_tf(3, 10);
+        assert!(mid > 0.0 && mid < 1.0);
+        // Monotone in tf.
+        assert!(normalized_tf(5, 10) > normalized_tf(2, 10));
+    }
+
+    #[test]
+    fn idf_monotone_in_rarity() {
+        assert!(idf(1000, 1) > idf(1000, 100));
+        assert_eq!(idf(1000, 0), 0.0);
+        assert!(idf(1000, 1000) > 0.0);
+    }
+
+    #[test]
+    fn quantization_roundtrip_error_bounded() {
+        for i in 0..=100 {
+            let s = i as f64 / 100.0;
+            let back = unquantize_term_score(quantize_term_score(s));
+            assert!((back - s).abs() < 1e-4, "{s} -> {back}");
+        }
+        assert_eq!(quantize_term_score(-0.5), 0);
+        assert_eq!(quantize_term_score(1.5), u16::MAX);
+    }
+}

@@ -1,0 +1,56 @@
+//! Minimal text tokenizer: lowercased maximal runs of alphanumeric
+//! characters. This matches the indexing granularity the paper assumes for
+//! SQL/MM `CONTAINS`-style keyword search.
+
+/// Split `text` into lowercase alphanumeric tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lower in ch.to_lowercase() {
+                current.push(lower);
+            }
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            tokenize("Golden Gate, bridge-cam footage!"),
+            vec!["golden", "gate", "bridge", "cam", "footage"]
+        );
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("GOLDEN GaTe"), vec!["golden", "gate"]);
+    }
+
+    #[test]
+    fn keeps_digits() {
+        assert_eq!(tokenize("top10 results in 2005"), vec!["top10", "results", "in", "2005"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("... --- !!!").is_empty());
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Späti İstanbul"), vec!["späti", "i\u{307}stanbul"]);
+    }
+}

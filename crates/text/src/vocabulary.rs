@@ -1,0 +1,131 @@
+//! Term dictionary: interned term ids plus document-frequency statistics.
+
+use std::collections::HashMap;
+
+/// Dense identifier of a distinct term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// Index into dense per-term arrays.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional term ↔ id map with document frequencies.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    by_term: HashMap<String, TermId>,
+    terms: Vec<String>,
+    doc_freq: Vec<u64>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Vocabulary {
+        Vocabulary::default()
+    }
+
+    /// Intern `term`, returning its id (existing or fresh).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.by_term.insert(term.to_string(), id);
+        self.terms.push(term.to_string());
+        self.doc_freq.push(0);
+        id
+    }
+
+    /// Look up an existing term without interning.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The string for a term id.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id.as_usize()).map(String::as_str)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Record that one document contains `id` (call once per distinct term
+    /// per document).
+    pub fn bump_doc_freq(&mut self, id: TermId) {
+        self.doc_freq[id.as_usize()] += 1;
+    }
+
+    /// Decrement document frequency (document deletion / content update).
+    pub fn drop_doc_freq(&mut self, id: TermId) {
+        let df = &mut self.doc_freq[id.as_usize()];
+        *df = df.saturating_sub(1);
+    }
+
+    /// Number of documents containing `id`.
+    pub fn doc_freq(&self, id: TermId) -> u64 {
+        self.doc_freq.get(id.as_usize()).copied().unwrap_or(0)
+    }
+
+    /// Term ids sorted by descending document frequency — the paper's query
+    /// workloads pick keywords from "the top N most frequent terms".
+    pub fn terms_by_frequency(&self) -> Vec<TermId> {
+        let mut ids: Vec<TermId> = (0..self.terms.len() as u32).map(TermId).collect();
+        ids.sort_by_key(|id| std::cmp::Reverse(self.doc_freq(*id)));
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("news");
+        let b = v.intern("news");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.term(a), Some("news"));
+        assert_eq!(v.get("news"), Some(a));
+        assert_eq!(v.get("other"), None);
+    }
+
+    #[test]
+    fn doc_freq_tracking() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("a");
+        let b = v.intern("b");
+        v.bump_doc_freq(a);
+        v.bump_doc_freq(a);
+        v.bump_doc_freq(b);
+        assert_eq!(v.doc_freq(a), 2);
+        assert_eq!(v.doc_freq(b), 1);
+        v.drop_doc_freq(b);
+        v.drop_doc_freq(b);
+        assert_eq!(v.doc_freq(b), 0, "doc freq must saturate at zero");
+    }
+
+    #[test]
+    fn frequency_ordering() {
+        let mut v = Vocabulary::new();
+        let rare = v.intern("rare");
+        let common = v.intern("common");
+        for _ in 0..10 {
+            v.bump_doc_freq(common);
+        }
+        v.bump_doc_freq(rare);
+        assert_eq!(v.terms_by_frequency()[0], common);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the posting-list codecs: every format must round-trip
+//! arbitrary posting data exactly, and the ID formats must actually
+//! compress dense runs.
+
+use proptest::prelude::*;
+use svr_text::postings::{
+    ChunkGroup, ChunkedPostingsIter, IdPostingsIter, PostingsBuilder, TermScoredPosting,
+};
+use svr_text::{normalized_tf, quantize_term_score, unquantize_term_score, DocId};
+
+/// Strictly ascending doc ids.
+fn ascending_docs() -> impl Strategy<Value = Vec<DocId>> {
+    prop::collection::vec(1u32..50, 0..200).prop_map(|gaps| {
+        let mut docs = Vec::with_capacity(gaps.len());
+        let mut id = 0u32;
+        for gap in gaps {
+            id += gap;
+            docs.push(DocId(id));
+        }
+        docs
+    })
+}
+
+fn scored(docs: Vec<DocId>, seed: u64) -> Vec<TermScoredPosting> {
+    docs.into_iter()
+        .enumerate()
+        .map(|(i, doc)| TermScoredPosting {
+            doc,
+            tscore: ((seed as usize + i * 7919) % 65536) as u16,
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn id_list_roundtrip(docs in ascending_docs()) {
+        let mut buf = Vec::new();
+        PostingsBuilder::encode_id_list(&docs, &mut buf);
+        let decoded: Vec<DocId> = IdPostingsIter::new(&buf, false).map(|p| p.doc).collect();
+        prop_assert_eq!(decoded, docs);
+    }
+
+    #[test]
+    fn id_term_list_roundtrip(docs in ascending_docs(), seed in any::<u64>()) {
+        let postings = scored(docs, seed);
+        let mut buf = Vec::new();
+        PostingsBuilder::encode_id_term_list(&postings, &mut buf);
+        let decoded: Vec<TermScoredPosting> = IdPostingsIter::new(&buf, true).collect();
+        prop_assert_eq!(decoded, postings);
+    }
+
+    #[test]
+    fn chunked_list_roundtrip(
+        chunks in prop::collection::vec((1u32..1000, ascending_docs()), 0..8),
+        seed in any::<u64>(),
+        with_scores in any::<bool>(),
+    ) {
+        // Descending, distinct chunk ids.
+        let mut groups: Vec<ChunkGroup> = chunks
+            .into_iter()
+            .map(|(cid, docs)| ChunkGroup { cid, postings: scored(docs, seed) })
+            .collect();
+        groups.sort_by_key(|g| std::cmp::Reverse(g.cid));
+        groups.dedup_by_key(|g| g.cid);
+
+        let mut buf = Vec::new();
+        PostingsBuilder::encode_chunked_list(&groups, with_scores, &mut buf);
+        let decoded: Vec<(u32, TermScoredPosting)> =
+            ChunkedPostingsIter::new(&buf, with_scores).collect();
+        let expected: Vec<(u32, TermScoredPosting)> = groups
+            .iter()
+            .flat_map(|g| {
+                g.postings.iter().map(move |p| {
+                    (g.cid, TermScoredPosting {
+                        doc: p.doc,
+                        tscore: if with_scores { p.tscore } else { 0 },
+                    })
+                })
+            })
+            .collect();
+        prop_assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn score_list_roundtrip(
+        docs in ascending_docs(),
+        seed in any::<u64>(),
+        with_scores in any::<bool>(),
+    ) {
+        let mut rows: Vec<(f64, DocId, u16)> = scored(docs, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (((i * 31) % 997) as f64, p.doc, p.tscore))
+            .collect();
+        rows.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let mut buf = Vec::new();
+        PostingsBuilder::encode_score_list(&rows, with_scores, &mut buf);
+        let decoded: Vec<(f64, DocId, u16)> =
+            svr_text::postings::ScorePostingsIter::new(&buf, with_scores).collect();
+        prop_assert_eq!(decoded.len(), rows.len());
+        for (got, want) in decoded.iter().zip(&rows) {
+            prop_assert_eq!(got.0, want.0);
+            prop_assert_eq!(got.1, want.1);
+            prop_assert_eq!(got.2, if with_scores { want.2 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn quantization_is_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(quantize_term_score(lo) <= quantize_term_score(hi));
+        prop_assert!(unquantize_term_score(quantize_term_score(lo)) <= lo + 1e-4);
+    }
+
+    #[test]
+    fn normalized_tf_is_monotone_and_bounded(tf in 1u32..10_000, max_tf in 1u32..10_000) {
+        let tf = tf.min(max_tf);
+        let nt = normalized_tf(tf, max_tf);
+        prop_assert!(nt > 0.0 && nt <= 1.0);
+        if tf < max_tf {
+            prop_assert!(normalized_tf(tf + 1, max_tf) >= nt);
+        }
+    }
+}
+
+#[test]
+fn dense_id_lists_compress_to_about_a_byte_per_posting() {
+    let docs: Vec<DocId> = (0..100_000u32).map(DocId).collect();
+    let mut buf = Vec::new();
+    PostingsBuilder::encode_id_list(&docs, &mut buf);
+    assert!(
+        buf.len() <= docs.len() + docs.len() / 10,
+        "dense run must compress: {} bytes for {} postings",
+        buf.len(),
+        docs.len()
+    );
+}

@@ -1,0 +1,153 @@
+//! The paper's query workloads (§5.1).
+//!
+//! "We studied three classes of keyword search queries: selective queries
+//! in which the keywords were randomly chosen from the 350 most frequent
+//! terms; medium-selective queries ... from the top 1600 most frequent
+//! terms, and unselective queries ... from the top 15000 terms."
+//!
+//! (The paper's wording mislabels the first class; frequent keywords give
+//! the *largest* posting lists, so the classes run from heaviest to
+//! lightest. The class pools are fractions of the vocabulary so the
+//! workload scales with the corpus.)
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use svr_core::types::{Query, QueryMode, TermId};
+
+/// Query selectivity class (pool of candidate keywords).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// Keywords from the most frequent terms (paper: top 350 of 200k).
+    Frequent,
+    /// Keywords from the top ~1% of terms (paper: top 1600).
+    Medium,
+    /// Keywords from the top ~7.5% of terms (paper: top 15000).
+    Rare,
+}
+
+impl QueryClass {
+    /// Pool size for a vocabulary of `vocab` distinct terms, scaled from the
+    /// paper's 350 / 1600 / 15000 out of 200000.
+    pub fn pool_size(&self, vocab: usize) -> usize {
+        let fraction = match self {
+            QueryClass::Frequent => 350.0 / 200_000.0,
+            QueryClass::Medium => 1_600.0 / 200_000.0,
+            QueryClass::Rare => 15_000.0 / 200_000.0,
+        };
+        ((vocab as f64 * fraction).round() as usize).clamp(1, vocab)
+    }
+}
+
+/// Generator of keyword queries from a frequency-ranked vocabulary.
+pub struct QueryWorkload {
+    rng: StdRng,
+    /// Terms ordered by descending document frequency.
+    ranked_terms: Vec<TermId>,
+    /// Keywords per query.
+    pub terms_per_query: usize,
+    pub class: QueryClass,
+    pub mode: QueryMode,
+}
+
+impl QueryWorkload {
+    /// Build a workload; `ranked_terms` must be ordered by descending
+    /// document frequency.
+    pub fn new(
+        ranked_terms: Vec<TermId>,
+        class: QueryClass,
+        terms_per_query: usize,
+        mode: QueryMode,
+        seed: u64,
+    ) -> QueryWorkload {
+        assert!(!ranked_terms.is_empty(), "query workload needs terms");
+        assert!(terms_per_query > 0, "queries need at least one term");
+        QueryWorkload {
+            rng: StdRng::seed_from_u64(seed),
+            ranked_terms,
+            terms_per_query,
+            class,
+            mode,
+        }
+    }
+
+    /// Generate the next top-k query.
+    pub fn next_query(&mut self, k: usize) -> Query {
+        let pool = self.class.pool_size(self.ranked_terms.len());
+        let mut terms = Vec::with_capacity(self.terms_per_query);
+        // Distinct keywords from the class pool.
+        let mut guard = 0;
+        while terms.len() < self.terms_per_query && guard < 1000 {
+            let t = self.ranked_terms[self.rng.gen_range(0..pool)];
+            if !terms.contains(&t) {
+                terms.push(t);
+            }
+            guard += 1;
+        }
+        Query::new(terms, k, self.mode)
+    }
+
+    /// Generate a batch of queries.
+    pub fn take(&mut self, n: usize, k: usize) -> Vec<Query> {
+        (0..n).map(|_| self.next_query(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranked(n: u32) -> Vec<TermId> {
+        (0..n).map(TermId).collect()
+    }
+
+    #[test]
+    fn pool_sizes_scale_with_vocab() {
+        assert_eq!(QueryClass::Frequent.pool_size(200_000), 350);
+        assert_eq!(QueryClass::Medium.pool_size(200_000), 1_600);
+        assert_eq!(QueryClass::Rare.pool_size(200_000), 15_000);
+        // Scaled-down vocab keeps the ratios.
+        assert_eq!(QueryClass::Frequent.pool_size(20_000), 35);
+        assert!(QueryClass::Frequent.pool_size(3) >= 1);
+    }
+
+    #[test]
+    fn queries_draw_from_pool() {
+        let mut w = QueryWorkload::new(
+            ranked(1000),
+            QueryClass::Frequent,
+            2,
+            QueryMode::Conjunctive,
+            7,
+        );
+        let pool = QueryClass::Frequent.pool_size(1000);
+        for q in w.take(50, 10) {
+            assert_eq!(q.k, 10);
+            assert_eq!(q.mode, QueryMode::Conjunctive);
+            assert!(!q.terms.is_empty());
+            for t in &q.terms {
+                assert!((t.0 as usize) < pool, "term {t:?} outside pool {pool}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_terms_are_distinct() {
+        let mut w =
+            QueryWorkload::new(ranked(100), QueryClass::Medium, 3, QueryMode::Disjunctive, 9);
+        for q in w.take(100, 5) {
+            let mut sorted = q.terms.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), q.terms.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let make = || {
+            QueryWorkload::new(ranked(500), QueryClass::Rare, 2, QueryMode::Conjunctive, 42)
+                .take(20, 10)
+        };
+        assert_eq!(make(), make());
+    }
+}

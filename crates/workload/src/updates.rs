@@ -1,0 +1,229 @@
+//! The paper's score-update workload (§5.1).
+//!
+//! "The score update workload followed a Zipf distribution, whereby
+//! documents with higher scores were updated more frequently... The mean
+//! update size controls the size of a score update; a value of 100 implies
+//! that the score of a document increases or decreases by 100 on the
+//! average, with the distribution of the update size varying uniformly
+//! between 0 and 200... We also model updates to a sub-set of the documents
+//! called the focus set... The focus set update reflects that percentage of
+//! score updates that go to one of the focus set documents. The focus
+//! increase update controls whether the focus set updates are strictly
+//! increasing (default), strictly decreasing, or strictly increasing for
+//! 50% of the documents and strictly decreasing for the other 50%."
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use svr_core::types::DocId;
+use svr_core::ScoreMap;
+
+use crate::zipf::Zipf;
+
+/// Direction of focus-set updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FocusDirection {
+    /// Strictly increasing (default — "flash crowd" documents).
+    Increasing,
+    /// Strictly decreasing.
+    Decreasing,
+    /// Increasing for half the focus docs, decreasing for the other half.
+    Mixed,
+}
+
+/// Update workload parameters.
+#[derive(Debug, Clone)]
+pub struct UpdateConfig {
+    /// Mean absolute score change; actual sizes are uniform in
+    /// `[0, 2 * mean_step]`.
+    pub mean_step: f64,
+    /// Zipf parameter for picking which document to update (over documents
+    /// ranked by descending initial score).
+    pub doc_zipf: f64,
+    /// Fraction of the collection in the focus set (e.g. 0.01 = 1%).
+    pub focus_set_fraction: f64,
+    /// Fraction of updates that hit the focus set.
+    pub focus_update_fraction: f64,
+    /// Direction of focus updates.
+    pub focus_direction: FocusDirection,
+    pub seed: u64,
+}
+
+impl Default for UpdateConfig {
+    fn default() -> Self {
+        UpdateConfig {
+            mean_step: 100.0,
+            doc_zipf: 0.75,
+            focus_set_fraction: 0.01,
+            focus_update_fraction: 0.1,
+            focus_direction: FocusDirection::Increasing,
+            seed: 0xF0C05,
+        }
+    }
+}
+
+/// A generated stream of `(doc, new_score)` score updates.
+pub struct UpdateWorkload {
+    rng: StdRng,
+    config: UpdateConfig,
+    /// Documents ranked by descending initial score.
+    ranked_docs: Vec<DocId>,
+    doc_dist: Zipf,
+    /// Focus set: doc -> increasing?
+    focus: HashMap<DocId, bool>,
+    focus_docs: Vec<DocId>,
+    /// Live score state (the workload tracks the scores it produces).
+    scores: ScoreMap,
+}
+
+impl UpdateWorkload {
+    /// Create a workload over a collection. `ranked_docs` must be ordered by
+    /// descending initial score; `scores` holds the initial scores.
+    pub fn new(ranked_docs: Vec<DocId>, scores: ScoreMap, config: UpdateConfig) -> UpdateWorkload {
+        assert!(!ranked_docs.is_empty(), "update workload needs documents");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let focus_count =
+            ((ranked_docs.len() as f64 * config.focus_set_fraction).round() as usize).max(1);
+        // The focus set contains documents that get attention "independent
+        // of their actual current score": sample uniformly.
+        let mut focus = HashMap::new();
+        let mut focus_docs = Vec::new();
+        while focus.len() < focus_count.min(ranked_docs.len()) {
+            let doc = ranked_docs[rng.gen_range(0..ranked_docs.len())];
+            if !focus.contains_key(&doc) {
+                let increasing = match config.focus_direction {
+                    FocusDirection::Increasing => true,
+                    FocusDirection::Decreasing => false,
+                    FocusDirection::Mixed => focus.len() % 2 == 0,
+                };
+                focus.insert(doc, increasing);
+                focus_docs.push(doc);
+            }
+        }
+        let doc_dist = Zipf::new(ranked_docs.len(), config.doc_zipf);
+        UpdateWorkload { rng, config, ranked_docs, doc_dist, focus, focus_docs, scores }
+    }
+
+    /// Documents in the focus set.
+    pub fn focus_set(&self) -> &[DocId] {
+        &self.focus_docs
+    }
+
+    /// The workload's view of a document's current score.
+    pub fn current_score(&self, doc: DocId) -> f64 {
+        self.scores.get(&doc).copied().unwrap_or(0.0)
+    }
+
+    /// Produce the next `(doc, new_score)` update.
+    pub fn next_update(&mut self) -> (DocId, f64) {
+        let step = self.rng.gen_range(0.0..=2.0 * self.config.mean_step);
+        let focused = self.rng.gen_bool(self.config.focus_update_fraction.clamp(0.0, 1.0));
+        let (doc, delta) = if focused {
+            let doc = self.focus_docs[self.rng.gen_range(0..self.focus_docs.len())];
+            let increasing = self.focus[&doc];
+            (doc, if increasing { step } else { -step })
+        } else {
+            // Zipf over score rank: high-scored docs are updated most.
+            let doc = self.ranked_docs[self.doc_dist.sample(&mut self.rng)];
+            // "Score increases and score decreases are equally likely."
+            let sign = if self.rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            (doc, sign * step)
+        };
+        let new_score = (self.current_score(doc) + delta).max(0.0);
+        self.scores.insert(doc, new_score);
+        (doc, new_score)
+    }
+
+    /// Produce a batch of updates.
+    pub fn take(&mut self, n: usize) -> Vec<(DocId, f64)> {
+        (0..n).map(|_| self.next_update()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(config: UpdateConfig) -> UpdateWorkload {
+        let docs: Vec<DocId> = (0..100u32).map(DocId).collect();
+        // Doc 0 has the highest score: 1000, 990, ...
+        let scores: ScoreMap = docs
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, 1000.0 - 10.0 * i as f64))
+            .collect();
+        UpdateWorkload::new(docs, scores, config)
+    }
+
+    #[test]
+    fn updates_stay_non_negative() {
+        let mut w = setup(UpdateConfig { mean_step: 10_000.0, ..UpdateConfig::default() });
+        for (_, score) in w.take(500) {
+            assert!(score >= 0.0);
+        }
+    }
+
+    #[test]
+    fn high_ranked_docs_updated_more() {
+        let mut w = setup(UpdateConfig {
+            doc_zipf: 1.0,
+            focus_update_fraction: 0.0,
+            ..UpdateConfig::default()
+        });
+        let mut counts: HashMap<DocId, usize> = HashMap::new();
+        for (doc, _) in w.take(5_000) {
+            *counts.entry(doc).or_insert(0) += 1;
+        }
+        let top = counts.get(&DocId(0)).copied().unwrap_or(0);
+        let bottom = counts.get(&DocId(99)).copied().unwrap_or(0);
+        assert!(top > bottom * 2, "top {top} vs bottom {bottom}");
+    }
+
+    #[test]
+    fn focus_increasing_goes_up() {
+        let mut w = setup(UpdateConfig {
+            focus_set_fraction: 0.05,
+            focus_update_fraction: 1.0,
+            focus_direction: FocusDirection::Increasing,
+            ..UpdateConfig::default()
+        });
+        let focus = w.focus_set().to_vec();
+        let before: Vec<f64> = focus.iter().map(|&d| w.current_score(d)).collect();
+        w.take(1000);
+        for (i, &d) in focus.iter().enumerate() {
+            assert!(
+                w.current_score(d) >= before[i],
+                "focus doc {d} must not decrease"
+            );
+        }
+    }
+
+    #[test]
+    fn focus_set_size_respected() {
+        let w = setup(UpdateConfig { focus_set_fraction: 0.1, ..UpdateConfig::default() });
+        assert_eq!(w.focus_set().len(), 10);
+    }
+
+    #[test]
+    fn mean_step_controls_magnitude() {
+        let mut w = setup(UpdateConfig {
+            mean_step: 50.0,
+            focus_update_fraction: 0.0,
+            ..UpdateConfig::default()
+        });
+        let mut prev: ScoreMap = (0..100u32)
+            .map(|i| (DocId(i), 1000.0 - 10.0 * i as f64))
+            .collect();
+        let mut total = 0.0;
+        let n = 4_000;
+        for (doc, new) in w.take(n) {
+            let old = prev[&doc];
+            total += (new - old).abs();
+            prev.insert(doc, new);
+        }
+        let mean = total / n as f64;
+        // Uniform in [0, 100] => mean 50 (slightly depressed by clamping).
+        assert!((25.0..75.0).contains(&mean), "observed mean step {mean}");
+    }
+}

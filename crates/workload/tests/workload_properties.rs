@@ -1,0 +1,146 @@
+//! Property tests for the workload generators: distributional invariants
+//! the experiments rely on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use svr_core::types::DocId;
+use svr_core::ScoreMap;
+use svr_workload::{
+    ArchiveConfig, FocusDirection, QueryClass, QueryWorkload, SynthConfig, UpdateConfig,
+    UpdateWorkload, Zipf,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn zipf_pmf_normalizes(n in 1usize..5_000, theta in 0.0f64..2.0) {
+        let z = Zipf::new(n, theta);
+        let total: f64 = (0..n).map(|i| z.pmf(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        // Monotone non-increasing pmf.
+        for i in 1..n.min(50) {
+            prop_assert!(z.pmf(i - 1) >= z.pmf(i) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_within_domain(n in 1usize..1_000, theta in 0.0f64..2.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn synth_corpus_shape(docs in 10usize..100, vocab in 10usize..500, tokens in 1usize..80) {
+        let ds = SynthConfig {
+            num_docs: docs,
+            vocab_size: vocab,
+            tokens_per_doc: tokens,
+            ..SynthConfig::default()
+        }
+        .generate();
+        prop_assert_eq!(ds.docs.len(), docs);
+        prop_assert_eq!(ds.scores.len(), docs);
+        for doc in &ds.docs {
+            prop_assert_eq!(doc.len_tokens(), tokens as u64);
+            prop_assert!(doc.term_ids().all(|t| (t.0 as usize) < vocab));
+        }
+        for &s in ds.scores.values() {
+            prop_assert!((0.0..=100_000.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn update_workload_scores_stay_valid(
+        mean_step in 1.0f64..50_000.0,
+        focus_frac in 0.0f64..1.0,
+        n_updates in 1usize..300,
+    ) {
+        let docs: Vec<DocId> = (0..50u32).map(DocId).collect();
+        let scores: ScoreMap = docs.iter().map(|&d| (d, 1000.0)).collect();
+        let mut w = UpdateWorkload::new(
+            docs,
+            scores,
+            UpdateConfig {
+                mean_step,
+                focus_update_fraction: focus_frac,
+                focus_direction: FocusDirection::Mixed,
+                ..UpdateConfig::default()
+            },
+        );
+        for (doc, score) in w.take(n_updates) {
+            prop_assert!(doc.0 < 50);
+            prop_assert!(score.is_finite() && score >= 0.0);
+        }
+    }
+
+    #[test]
+    fn queries_have_requested_shape(
+        terms_per_query in 1usize..5,
+        k in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let ranked: Vec<_> = (0..400u32).map(svr_core::types::TermId).collect();
+        let mut w = QueryWorkload::new(
+            ranked,
+            QueryClass::Rare,
+            terms_per_query,
+            svr_core::QueryMode::Disjunctive,
+            seed,
+        );
+        for q in w.take(20, k) {
+            prop_assert_eq!(q.k, k);
+            prop_assert!(!q.terms.is_empty() && q.terms.len() <= terms_per_query);
+        }
+    }
+}
+
+#[test]
+fn archive_replication_is_exact() {
+    for replication in [1usize, 3, 10] {
+        let ds = ArchiveConfig {
+            num_movies: 40,
+            replication,
+            ..ArchiveConfig::default()
+        }
+        .generate();
+        assert_eq!(ds.docs.len(), 40 * replication);
+        assert_eq!(ds.scores.len(), 40 * replication);
+        // Scores are exactly the Agg of the generated components.
+        for movie in &ds.movies {
+            assert_eq!(ds.scores[&movie.id], movie.svr_score());
+        }
+    }
+}
+
+#[test]
+fn focus_set_directions_hold() {
+    let docs: Vec<DocId> = (0..100u32).map(DocId).collect();
+    let scores: ScoreMap = docs.iter().map(|&d| (d, 50_000.0)).collect();
+    for direction in [FocusDirection::Increasing, FocusDirection::Decreasing] {
+        let mut w = UpdateWorkload::new(
+            docs.clone(),
+            scores.clone(),
+            UpdateConfig {
+                focus_set_fraction: 0.1,
+                focus_update_fraction: 1.0,
+                focus_direction: direction,
+                ..UpdateConfig::default()
+            },
+        );
+        let focus = w.focus_set().to_vec();
+        let before: Vec<f64> = focus.iter().map(|&d| w.current_score(d)).collect();
+        w.take(500);
+        for (i, &d) in focus.iter().enumerate() {
+            match direction {
+                FocusDirection::Increasing => assert!(w.current_score(d) >= before[i]),
+                FocusDirection::Decreasing => assert!(w.current_score(d) <= before[i]),
+                FocusDirection::Mixed => unreachable!(),
+            }
+        }
+    }
+}

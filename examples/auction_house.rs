@@ -1,0 +1,114 @@
+//! Online-auction search: the paper's e-bay motivation ("where time to
+//! completion and the current bid can be used to rank results", §1).
+//!
+//! Listings are ranked by `Agg(s1, s2) = s1 + 50000/s2`: the current bid
+//! plus an urgency bonus for auctions about to close. Every bid and every
+//! clock tick is a structured update; the index keeps search results
+//! ordered by the live auction state.
+//!
+//! Run with: `cargo run --release --example auction_house`
+
+use svr::{IndexConfig, MethodKind, QueryMode, SvrEngine};
+use svr_relation::schema::{ColumnType, Schema};
+use svr_relation::{AggExpr, ScoreComponent, SvrSpec, Value};
+
+fn main() -> svr::Result<()> {
+    let mut engine = SvrEngine::new();
+    engine.create_table(Schema::new(
+        "listings",
+        &[("lid", ColumnType::Int), ("title", ColumnType::Text)],
+        0,
+    ))?;
+    engine.create_table(Schema::new(
+        "auction_state",
+        &[
+            ("lid", ColumnType::Int),
+            ("current_bid", ColumnType::Int),
+            // Hours until the auction closes.
+            ("hours_left", ColumnType::Int),
+        ],
+        0,
+    ))?;
+
+    let listings = [
+        (1, "vintage omega watch with leather strap", 120, 90),
+        (2, "omega speedmaster chronograph watch", 2_400, 48),
+        (3, "art deco mantel clock restored", 340, 2),
+        (4, "antique pocket watch gold plated", 95, 1),
+        (5, "mid century wall clock teak", 60, 200),
+    ];
+    for (lid, title, bid, hours) in listings {
+        engine.insert_row("listings", vec![Value::Int(lid), Value::Text(title.into())])?;
+        engine.insert_row(
+            "auction_state",
+            vec![Value::Int(lid), Value::Int(bid), Value::Int(hours)],
+        )?;
+    }
+
+    // Score = current bid + urgency (50000 / hours_left).
+    let spec = SvrSpec::new(
+        vec![
+            ScoreComponent::ColumnOf {
+                table: "auction_state".into(),
+                key_col: "lid".into(),
+                val_col: "current_bid".into(),
+            },
+            ScoreComponent::ColumnOf {
+                table: "auction_state".into(),
+                key_col: "lid".into(),
+                val_col: "hours_left".into(),
+            },
+        ],
+        AggExpr::parse("s1 + 50000 / s2").expect("valid Agg"),
+    );
+    engine.create_text_index(
+        "auction_search",
+        "listings",
+        "title",
+        spec,
+        MethodKind::Chunk,
+        IndexConfig { min_chunk_docs: 1, ..IndexConfig::default() },
+    )?;
+
+    let show = |engine: &mut SvrEngine, label: &str, keywords: &str, mode: QueryMode| {
+        println!("{label}");
+        let hits = engine.search("auction_search", keywords, 5, mode).unwrap();
+        for h in &hits {
+            println!("  #{:<2} {:<45} score {:>8.0}", h.row[0], h.row[1].to_string(), h.score);
+        }
+        hits
+    };
+
+    show(&mut engine, "watches, ranked by bid + urgency:", "watch", QueryMode::Conjunctive);
+
+    // A bidding war erupts on the pocket watch as its clock runs out.
+    println!("\n-- #4 gets bid up to $900 with 1 hour left --\n");
+    engine.update_row(
+        "auction_state",
+        Value::Int(4),
+        &[("current_bid".into(), Value::Int(900))],
+    )?;
+    let hits = show(&mut engine, "same query, live auction state:", "watch", QueryMode::Conjunctive);
+    assert_eq!(hits[0].row[0], Value::Int(4), "the closing auction must lead");
+
+    // Time passes: listing 3 closes (delete), a new lot appears (insert).
+    println!("\n-- lot 3 closes; lot 6 (a cuckoo clock) is listed --\n");
+    engine.delete_row("listings", Value::Int(3))?;
+    engine.insert_row(
+        "listings",
+        vec![Value::Int(6), Value::Text("black forest cuckoo clock working".into())],
+    )?;
+    engine.insert_row("auction_state", vec![Value::Int(6), Value::Int(25), Value::Int(72)])?;
+
+    let hits = show(
+        &mut engine,
+        "clocks OR watches (disjunctive):",
+        "clock watch",
+        QueryMode::Disjunctive,
+    );
+    assert!(hits.iter().all(|h| h.row[0] != Value::Int(3)), "closed lots must vanish");
+    assert!(hits.iter().any(|h| h.row[0] == Value::Int(6)), "new lots must appear");
+
+    println!("\nauction search stays consistent with live bids, closings and new lots.");
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Quickstart: the paper's introductory example (§1, Figure 1).
+//!
+//! Two movies both mention "golden gate"; TF-IDF can't tell them apart, but
+//! Structured Value Ranking orders them by review ratings, visits and
+//! downloads — and keeps the ranking fresh as those values change.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use svr::{IndexConfig, MethodKind, QueryMode, SvrEngine};
+use svr_relation::schema::{ColumnType, Schema};
+use svr_relation::{AggExpr, ScoreComponent, SvrSpec, Value};
+
+fn main() -> svr::Result<()> {
+    let mut engine = SvrEngine::new();
+
+    // The schema of Figure 1: Movies, Reviews, Statistics.
+    engine.create_table(Schema::new(
+        "movies",
+        &[("mid", ColumnType::Int), ("name", ColumnType::Text), ("desc", ColumnType::Text)],
+        0,
+    ))?;
+    engine.create_table(Schema::new(
+        "reviews",
+        &[("rid", ColumnType::Int), ("mid", ColumnType::Int), ("rating", ColumnType::Float)],
+        0,
+    ))?;
+    engine.create_table(Schema::new(
+        "statistics",
+        &[("mid", ColumnType::Int), ("nvisit", ColumnType::Int), ("ndownload", ColumnType::Int)],
+        0,
+    ))?;
+
+    engine.insert_row(
+        "movies",
+        vec![
+            Value::Int(1),
+            Value::Text("American Thrift".into()),
+            Value::Text("A 1962 tour across the golden gate bridge and beyond".into()),
+        ],
+    )?;
+    engine.insert_row(
+        "movies",
+        vec![
+            Value::Int(2),
+            Value::Text("Amateur Film".into()),
+            Value::Text("Home footage near the golden gate in fog".into()),
+        ],
+    )?;
+
+    // §3.1: S1 = avg rating, S2 = visits, S3 = downloads;
+    //        Agg = s1*100 + s2/2 + s3.
+    let spec = SvrSpec::new(
+        vec![
+            ScoreComponent::AvgOf {
+                table: "reviews".into(),
+                fk_col: "mid".into(),
+                val_col: "rating".into(),
+            },
+            ScoreComponent::ColumnOf {
+                table: "statistics".into(),
+                key_col: "mid".into(),
+                val_col: "nvisit".into(),
+            },
+            ScoreComponent::ColumnOf {
+                table: "statistics".into(),
+                key_col: "mid".into(),
+                val_col: "ndownload".into(),
+            },
+        ],
+        AggExpr::parse("s1*100 + s2/2 + s3").expect("valid Agg expression"),
+    );
+    engine.create_text_index("movie_search", "movies", "desc", spec, MethodKind::Chunk, IndexConfig::default())?;
+
+    // American Thrift is the popular one.
+    engine.insert_row("reviews", vec![Value::Int(100), Value::Int(1), Value::Float(4.5)])?;
+    engine.insert_row("reviews", vec![Value::Int(101), Value::Int(1), Value::Float(5.0)])?;
+    engine.insert_row("reviews", vec![Value::Int(102), Value::Int(2), Value::Float(2.0)])?;
+    engine.insert_row("statistics", vec![Value::Int(1), Value::Int(5000), Value::Int(1200)])?;
+    engine.insert_row("statistics", vec![Value::Int(2), Value::Int(40), Value::Int(3)])?;
+
+    println!("SELECT * FROM Movies ORDER BY score(desc, \"golden gate\") FETCH TOP 2:");
+    for hit in engine.search("movie_search", "golden gate", 2, QueryMode::Conjunctive)? {
+        println!("  {:<18} score = {:>10.1}", hit.row[1].to_string(), hit.score);
+    }
+
+    // A flash crowd hits Amateur Film: an award announcement sends visits
+    // through the roof. The materialized view updates the score, the index
+    // absorbs it, and the next query reflects it immediately.
+    println!("\n-- Amateur Film goes viral (nVisit = 500000) --\n");
+    engine.update_row("statistics", Value::Int(2), &[("nvisit".into(), Value::Int(500_000))])?;
+
+    println!("Same query, latest scores:");
+    for hit in engine.search("movie_search", "golden gate", 2, QueryMode::Conjunctive)? {
+        println!("  {:<18} score = {:>10.1}", hit.row[1].to_string(), hit.score);
+    }
+
+    let amateur = engine.score_of("movie_search", 2)?;
+    assert!(amateur > engine.score_of("movie_search", 1)?);
+    println!("\nAmateur Film now scores {amateur:.1} and ranks first.");
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! The paper's SQL framework end to end (§3.1 + Figure 1), through the
+//! `svr-sql` front end: SQL-bodied scoring functions, `CREATE TEXT INDEX
+//! ... SCORE WITH ... AGGREGATE WITH`, and the SQL/MM-style ranked query
+//! `SELECT ... ORDER BY score(col, "keywords") FETCH TOP k RESULTS ONLY`.
+//!
+//! Run with: `cargo run --release --example sql_interface`
+
+use svr::SqlSession;
+
+fn run(session: &mut SqlSession, sql: &str) {
+    println!("svr> {}", sql.trim().lines().map(str::trim).collect::<Vec<_>>().join(" "));
+    match session.execute(sql) {
+        Ok(result) => println!("{result}"),
+        Err(e) => println!("ERROR: {e}\n"),
+    }
+}
+
+fn main() {
+    let mut session = SqlSession::new();
+
+    // Schema + scoring spec: verbatim from the paper's §3.1 (modulo type
+    // spellings).
+    session
+        .execute_script(
+            r#"
+            CREATE TABLE movies (mid INT PRIMARY KEY, name TEXT, description TEXT);
+            CREATE TABLE reviews (rid INT PRIMARY KEY, mid INT, rating FLOAT);
+            CREATE TABLE statistics (mid INT PRIMARY KEY, nvisit INT, ndownload INT);
+
+            CREATE FUNCTION S1 (id INTEGER) RETURNS FLOAT
+                RETURN SELECT avg(R.rating) FROM reviews R WHERE R.mid = id;
+            CREATE FUNCTION S2 (id INTEGER) RETURNS FLOAT
+                RETURN SELECT S.nvisit FROM statistics S WHERE S.mid = id;
+            CREATE FUNCTION S3 (id INTEGER) RETURNS FLOAT
+                RETURN SELECT S.ndownload FROM statistics S WHERE S.mid = id;
+            CREATE FUNCTION Agg (s1 FLOAT, s2 FLOAT, s3 FLOAT) RETURNS FLOAT
+                RETURN (s1*100 + s2/2 + s3);
+
+            CREATE TEXT INDEX movie_search ON movies(description)
+                SCORE WITH (S1, S2, S3) AGGREGATE WITH Agg
+                USING METHOD CHUNK
+                OPTIONS (min_chunk_docs = 2, chunk_ratio = 2.0);
+
+            INSERT INTO movies VALUES
+                (1, 'American Thrift', 'a 1962 tour across the golden gate bridge'),
+                (2, 'Amateur Film',    'home footage near the golden gate in fog'),
+                (3, 'City Symphony',   'city life, traffic and trains');
+            INSERT INTO reviews VALUES
+                (100, 1, 4.5), (101, 1, 5.0), (102, 2, 2.0);
+            INSERT INTO statistics VALUES
+                (1, 5000, 120), (2, 40, 3), (3, 900, 50);
+            "#,
+        )
+        .expect("setup script");
+    println!("-- schema, scoring functions and text index created --\n");
+
+    // Figure 1's query: the popular, well-reviewed movie wins.
+    run(
+        &mut session,
+        r#"SELECT name FROM movies m
+           ORDER BY score(m.description, "golden gate")
+           FETCH TOP 10 RESULTS ONLY"#,
+    );
+
+    // A flash crowd hits Amateur Film; the ranking flips on the very next
+    // query — SVR ranks by the *latest* structured values.
+    run(&mut session, "UPDATE statistics SET nvisit = 2000000 WHERE mid = 2");
+    run(
+        &mut session,
+        r#"SELECT name FROM movies m
+           ORDER BY score(m.description, "golden gate")
+           FETCH TOP 10 RESULTS ONLY"#,
+    );
+
+    // Content updates re-index the text column (Appendix A).
+    run(
+        &mut session,
+        "UPDATE movies SET description = 'golden gate at dawn, the city wakes' WHERE mid = 3",
+    );
+    run(
+        &mut session,
+        r#"SELECT name FROM movies
+           WHERE CONTAINS(description, 'golden gate', ALL)
+           ORDER BY SCORE(description, 'golden gate') DESC
+           FETCH FIRST 10 ROWS ONLY"#,
+    );
+
+    // Offline maintenance folds the short lists back into the long lists.
+    run(&mut session, "MERGE TEXT INDEX movie_search");
+    run(
+        &mut session,
+        r#"SELECT name FROM movies m
+           ORDER BY score(m.description, "golden gate")
+           FETCH TOP 3 RESULTS ONLY"#,
+    );
+
+    // Plain relational access still works.
+    run(&mut session, "SELECT mid, name FROM movies WHERE mid = 2");
+}

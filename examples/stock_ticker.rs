@@ -1,0 +1,97 @@
+//! Stock-news search ranked by live trade volume + text relevance.
+//!
+//! The paper names stock databases as a natural SVR deployment ("where
+//! volume of trade can be used to rank results", §1). Here a news archive
+//! is ranked by the combined function of §4.3.3 — SVR (the ticker's rolling
+//! trade volume) plus TF-IDF-style term scores — using the Chunk-TermScore
+//! method, with both conjunctive and disjunctive queries.
+//!
+//! Run with: `cargo run --release --example stock_ticker`
+
+use std::collections::HashMap;
+
+use svr::core::types::{DocId, Document, QueryMode};
+use svr::{build_index, IndexConfig, MethodKind, Query, ScoreMap};
+use svr_text::Vocabulary;
+
+const HEADLINES: &[(&str, &str)] = &[
+    ("ACME", "acme surges on record quarterly earnings beat"),
+    ("ACME", "acme unveils merger talks with rival conglomerate"),
+    ("GLOBO", "globo earnings miss sends shares tumbling"),
+    ("GLOBO", "globo announces dividend and buyback program"),
+    ("INITECH", "initech earnings preview analysts expect strong cloud growth"),
+    ("INITECH", "initech recalls flagship product after defect reports"),
+    ("HOOLI", "hooli merger with nucleus approved by regulators"),
+    ("HOOLI", "hooli earnings call highlights advertising slowdown"),
+];
+
+fn main() -> svr::Result<()> {
+    let mut vocab = Vocabulary::new();
+    let mut docs: Vec<Document> = Vec::new();
+    let mut tickers: Vec<&str> = Vec::new();
+    for (i, (ticker, headline)) in HEADLINES.iter().enumerate() {
+        docs.push(Document::from_text(DocId(i as u32), headline, &mut vocab));
+        tickers.push(ticker);
+    }
+
+    // Initial trade volumes (the SVR score of each story = its ticker's
+    // volume).
+    let mut volume: HashMap<&str, f64> =
+        [("ACME", 1_000.0), ("GLOBO", 8_000.0), ("INITECH", 3_000.0), ("HOOLI", 2_000.0)]
+            .into_iter()
+            .collect();
+    let scores: ScoreMap = docs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.id, volume[tickers[i]]))
+        .collect();
+
+    // Combined ranking: f = volume + 5000 * sum(idf * tf_norm).
+    let config = IndexConfig { term_weight: 5_000.0, fancy_size: 4, ..IndexConfig::default() };
+    let index = build_index(MethodKind::ChunkTermScore, &docs, &scores, &config)?;
+
+    fn term(vocab: &Vocabulary, word: &str) -> svr::core::types::TermId {
+        vocab.get(word).expect("word in corpus")
+    }
+    let show = |label: &str, hits: &[svr::core::SearchHit]| {
+        println!("{label}");
+        for h in hits {
+            let (ticker, headline) = HEADLINES[h.doc.0 as usize];
+            println!("  [{:<7}] {:>9.0}  {}", ticker, h.score, headline);
+        }
+    };
+
+    let earnings = Query::new([term(&vocab, "earnings")], 3, QueryMode::Conjunctive);
+    show("top 'earnings' stories by volume + relevance:", &index.query(&earnings)?);
+
+    // The market moves: ACME volume explodes on the merger rumor.
+    println!("\n-- ACME volume spikes to 90000 --\n");
+    volume.insert("ACME", 90_000.0);
+    for (i, d) in docs.iter().enumerate() {
+        if tickers[i] == "ACME" {
+            index.update_score(d.id, volume["ACME"])?;
+        }
+    }
+    show("same query, live volumes:", &index.query(&earnings)?);
+
+    // Disjunctive query: stories about mergers OR recalls.
+    let broad = Query::new(
+        [term(&vocab, "merger"), term(&vocab, "recalls")],
+        4,
+        QueryMode::Disjunctive,
+    );
+    show("\n'merger OR recalls' (disjunctive):", &index.query(&broad)?);
+
+    // A new headline arrives mid-session (Appendix A insertion).
+    let breaking = Document::from_text(
+        DocId(100),
+        "acme merger confirmed record premium for shareholders",
+        &mut vocab,
+    );
+    index.insert_document(&breaking, volume["ACME"])?;
+    let merger_q = Query::new([term(&vocab, "merger")], 3, QueryMode::Conjunctive);
+    let hits = index.query(&merger_q)?;
+    assert!(hits.iter().any(|h| h.doc == DocId(100)), "breaking story must be searchable");
+    println!("\nbreaking story indexed and ranked at volume {:.0}.", volume["ACME"]);
+    Ok(())
+}

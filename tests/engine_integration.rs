@@ -1,0 +1,278 @@
+//! End-to-end tests of the integrated engine: relational mutations flow
+//! through the materialized score view into the index, and keyword search
+//! returns rows ranked by the latest structured values — the full Figure-2
+//! pipeline of the paper.
+
+use svr::{IndexConfig, MethodKind, QueryMode, SvrEngine};
+use svr_relation::schema::{ColumnType, Schema};
+use svr_relation::{AggExpr, ScoreComponent, SvrSpec, Value};
+
+/// Build the paper's Movies / Reviews / Statistics database with the §3.1
+/// score specification, indexed by `method`.
+fn movie_engine(method: MethodKind) -> SvrEngine {
+    let mut engine = SvrEngine::new();
+    engine
+        .create_table(Schema::new(
+            "movies",
+            &[("mid", ColumnType::Int), ("desc", ColumnType::Text)],
+            0,
+        ))
+        .unwrap();
+    engine
+        .create_table(Schema::new(
+            "reviews",
+            &[("rid", ColumnType::Int), ("mid", ColumnType::Int), ("rating", ColumnType::Float)],
+            0,
+        ))
+        .unwrap();
+    engine
+        .create_table(Schema::new(
+            "statistics",
+            &[
+                ("mid", ColumnType::Int),
+                ("nvisit", ColumnType::Int),
+                ("ndownload", ColumnType::Int),
+            ],
+            0,
+        ))
+        .unwrap();
+    let movies = [
+        (1, "vintage golden gate bridge footage from a ferry"),
+        (2, "a golden gate documentary about fog"),
+        (3, "steam trains crossing the sierra in winter"),
+        (4, "bridge engineering marvels of the golden state"),
+    ];
+    for (mid, desc) in movies {
+        engine
+            .insert_row("movies", vec![Value::Int(mid), Value::Text(desc.into())])
+            .unwrap();
+    }
+    let spec = SvrSpec::new(
+        vec![
+            ScoreComponent::AvgOf {
+                table: "reviews".into(),
+                fk_col: "mid".into(),
+                val_col: "rating".into(),
+            },
+            ScoreComponent::ColumnOf {
+                table: "statistics".into(),
+                key_col: "mid".into(),
+                val_col: "nvisit".into(),
+            },
+            ScoreComponent::ColumnOf {
+                table: "statistics".into(),
+                key_col: "mid".into(),
+                val_col: "ndownload".into(),
+            },
+        ],
+        AggExpr::parse("s1*100 + s2/2 + s3").unwrap(),
+    );
+    engine
+        .create_text_index(
+            "idx",
+            "movies",
+            "desc",
+            spec,
+            method,
+            IndexConfig { min_chunk_docs: 1, chunk_ratio: 2.0, ..IndexConfig::default() },
+        )
+        .unwrap();
+    engine
+}
+
+fn ids(hits: &[svr::RankedRow]) -> Vec<i64> {
+    hits.iter().map(|h| h.row[0].as_i64().unwrap()).collect()
+}
+
+#[test]
+fn structured_updates_change_ranking_for_every_method() {
+    for method in MethodKind::ALL {
+        let mut engine = movie_engine(method);
+        // Movie 2 starts popular.
+        engine
+            .insert_row("statistics", vec![Value::Int(2), Value::Int(10_000), Value::Int(500)])
+            .unwrap();
+        engine
+            .insert_row("statistics", vec![Value::Int(1), Value::Int(100), Value::Int(5)])
+            .unwrap();
+        let hits = engine.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap();
+        assert_eq!(ids(&hits), vec![2, 1], "{method}: initial ranking");
+
+        // A flash crowd hits movie 1.
+        engine
+            .update_row("statistics", Value::Int(1), &[("nvisit".into(), Value::Int(900_000))])
+            .unwrap();
+        let hits = engine.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap();
+        assert_eq!(ids(&hits), vec![1, 2], "{method}: ranking after flash crowd");
+        assert!(hits[0].score > hits[1].score);
+    }
+}
+
+#[test]
+fn review_aggregates_feed_scores() {
+    let mut engine = movie_engine(MethodKind::Chunk);
+    for (rid, mid, rating) in [(1, 1, 5.0), (2, 1, 4.0), (3, 2, 1.0)] {
+        engine
+            .insert_row(
+                "reviews",
+                vec![Value::Int(rid), Value::Int(mid), Value::Float(rating)],
+            )
+            .unwrap();
+    }
+    // avg(5,4)*100 = 450 vs avg(1)*100 = 100.
+    assert_eq!(engine.score_of("idx", 1).unwrap(), 450.0);
+    assert_eq!(engine.score_of("idx", 2).unwrap(), 100.0);
+    // Deleting the bad review changes nothing for movie 1; adding a better
+    // one for movie 2 flips the order.
+    engine.delete_row("reviews", Value::Int(3)).unwrap();
+    engine
+        .insert_row("reviews", vec![Value::Int(4), Value::Int(2), Value::Float(5.0)])
+        .unwrap();
+    let hits = engine.search("idx", "golden gate", 2, QueryMode::Conjunctive).unwrap();
+    assert_eq!(ids(&hits), vec![2, 1]);
+}
+
+#[test]
+fn text_updates_are_content_updates() {
+    let mut engine = movie_engine(MethodKind::Chunk);
+    engine
+        .insert_row("statistics", vec![Value::Int(3), Value::Int(50), Value::Int(1)])
+        .unwrap();
+    // Movie 3 does not mention the golden gate yet.
+    let hits = engine.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap();
+    assert!(!ids(&hits).contains(&3));
+    // Re-describe it.
+    engine
+        .update_row(
+            "movies",
+            Value::Int(3),
+            &[("desc".into(), Value::Text("steam trains near the golden gate".into()))],
+        )
+        .unwrap();
+    let hits = engine.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap();
+    assert!(ids(&hits).contains(&3), "content update must make movie 3 searchable");
+    // And un-describe it again.
+    engine
+        .update_row(
+            "movies",
+            Value::Int(3),
+            &[("desc".into(), Value::Text("steam trains in the sierra".into()))],
+        )
+        .unwrap();
+    let hits = engine.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap();
+    assert!(!ids(&hits).contains(&3));
+}
+
+#[test]
+fn row_deletion_removes_from_results() {
+    let mut engine = movie_engine(MethodKind::ScoreThreshold);
+    let hits = engine.search("idx", "golden", 10, QueryMode::Conjunctive).unwrap();
+    assert!(ids(&hits).contains(&2));
+    engine.delete_row("movies", Value::Int(2)).unwrap();
+    let hits = engine.search("idx", "golden", 10, QueryMode::Conjunctive).unwrap();
+    assert!(!ids(&hits).contains(&2));
+    // The view no longer scores it either.
+    assert!(engine.score_of("idx", 2).is_err());
+}
+
+#[test]
+fn late_row_insertion_is_searchable_with_current_score() {
+    let mut engine = movie_engine(MethodKind::ChunkTermScore);
+    // Statistics arrive *before* the movie row: the view state waits.
+    engine
+        .insert_row("statistics", vec![Value::Int(99), Value::Int(44_000), Value::Int(100)])
+        .unwrap();
+    engine
+        .insert_row(
+            "movies",
+            vec![Value::Int(99), Value::Text("brand new golden gate timelapse".into())],
+        )
+        .unwrap();
+    let hits = engine.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap();
+    assert!(ids(&hits).contains(&99));
+    let top = hits.iter().find(|h| h.row[0] == Value::Int(99)).unwrap();
+    assert!(top.score >= 22_100.0, "score must include the pre-existing statistics");
+}
+
+#[test]
+fn disjunctive_and_unknown_keywords() {
+    let mut engine = movie_engine(MethodKind::Id);
+    let disj = engine.search("idx", "fog sierra", 10, QueryMode::Disjunctive).unwrap();
+    assert_eq!(ids(&disj).len(), 2); // movie 2 (fog) and movie 3 (sierra)
+    // Unknown keyword: conjunctive gives nothing, disjunctive ignores it.
+    assert!(engine
+        .search("idx", "golden zzzunknown", 10, QueryMode::Conjunctive)
+        .unwrap()
+        .is_empty());
+    let disj = engine.search("idx", "golden zzzunknown", 10, QueryMode::Disjunctive).unwrap();
+    assert!(!disj.is_empty());
+    // All-unknown disjunctive is empty, not an error.
+    assert!(engine
+        .search("idx", "zzz qqq", 10, QueryMode::Disjunctive)
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn maintenance_preserves_results() {
+    let mut engine = movie_engine(MethodKind::Chunk);
+    engine
+        .insert_row("statistics", vec![Value::Int(1), Value::Int(7_000), Value::Int(10)])
+        .unwrap();
+    let before = engine.search("idx", "golden", 5, QueryMode::Conjunctive).unwrap();
+    engine.run_maintenance("idx").unwrap();
+    let after = engine.search("idx", "golden", 5, QueryMode::Conjunctive).unwrap();
+    assert_eq!(ids(&before), ids(&after));
+}
+
+#[test]
+fn engine_error_paths() {
+    let mut engine = movie_engine(MethodKind::Chunk);
+    assert!(engine.search("nope", "golden", 5, QueryMode::Conjunctive).is_err());
+    assert!(engine.score_of("nope", 1).is_err());
+    assert!(engine.run_maintenance("nope").is_err());
+    // Duplicate index name.
+    let spec = SvrSpec::single(ScoreComponent::Const(1.0));
+    assert!(engine
+        .create_text_index("idx", "movies", "desc", spec, MethodKind::Id, IndexConfig::default())
+        .is_err());
+    // Unknown table / column.
+    let spec = SvrSpec::single(ScoreComponent::Const(1.0));
+    assert!(engine
+        .create_text_index("idx2", "nope", "desc", spec.clone(), MethodKind::Id, IndexConfig::default())
+        .is_err());
+    assert!(engine
+        .create_text_index("idx3", "movies", "nope", spec, MethodKind::Id, IndexConfig::default())
+        .is_err());
+}
+
+#[test]
+fn two_indexes_with_different_methods_agree() {
+    let mut engine = movie_engine(MethodKind::Chunk);
+    let spec = SvrSpec::single(ScoreComponent::ColumnOf {
+        table: "statistics".into(),
+        key_col: "mid".into(),
+        val_col: "ndownload".into(),
+    });
+    engine
+        .create_text_index(
+            "idx_by_downloads",
+            "movies",
+            "desc",
+            spec,
+            MethodKind::Id,
+            IndexConfig::default(),
+        )
+        .unwrap();
+    engine
+        .insert_row("statistics", vec![Value::Int(1), Value::Int(0), Value::Int(999)])
+        .unwrap();
+    engine
+        .insert_row("statistics", vec![Value::Int(2), Value::Int(0), Value::Int(5)])
+        .unwrap();
+    let a = engine.search("idx_by_downloads", "golden gate", 5, QueryMode::Conjunctive).unwrap();
+    assert_eq!(ids(&a), vec![1, 2], "download-ranked index");
+    // The first index ranks by the full Agg (nvisit/2 + ndownload here).
+    let b = engine.search("idx", "golden gate", 5, QueryMode::Conjunctive).unwrap();
+    assert_eq!(ids(&b), vec![1, 2]);
+}

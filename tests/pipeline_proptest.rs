@@ -1,0 +1,253 @@
+//! Whole-pipeline property test: arbitrary interleavings of relational
+//! mutations (statistics updates, review churn, movie insert/delete/
+//! re-describe) must leave every keyword search consistent with a naive
+//! in-memory model of the database.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use svr::{IndexConfig, MethodKind, QueryMode, SvrEngine};
+use svr_relation::schema::{ColumnType, Schema};
+use svr_relation::{AggExpr, ScoreComponent, SvrSpec, Value};
+
+const WORDS: &[&str] = &["golden", "gate", "bridge", "fog", "ferry", "train", "archive"];
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert movie `id` with words selected by the bitmask.
+    InsertMovie(u8, u8),
+    /// Set nvisit for a movie slot.
+    SetVisits(u8, u32),
+    /// Add a review (rating in half-stars 2..=10).
+    AddReview(u8, u8),
+    /// Re-describe a movie slot with a new word mask.
+    Redescribe(u8, u8),
+    /// Delete a movie slot.
+    DeleteMovie(u8),
+    /// Run a search; bitmask selects query words (conj if flag).
+    Search(u8, bool),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..12, any::<u8>()).prop_map(|(id, mask)| Op::InsertMovie(id, mask | 1)),
+        (0u8..12, 0u32..50_000).prop_map(|(id, v)| Op::SetVisits(id, v)),
+        (0u8..12, 2u8..=10).prop_map(|(id, r)| Op::AddReview(id, r)),
+        (0u8..12, any::<u8>()).prop_map(|(id, mask)| Op::Redescribe(id, mask | 1)),
+        (0u8..12).prop_map(Op::DeleteMovie),
+        (any::<u8>(), any::<bool>()).prop_map(|(mask, conj)| Op::Search(mask | 1, conj)),
+    ]
+}
+
+fn words_for(mask: u8) -> Vec<&'static str> {
+    WORDS
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, w)| *w)
+        .collect()
+}
+
+/// Naive model of the database.
+#[derive(Default)]
+struct Model {
+    /// id -> words
+    movies: HashMap<i64, Vec<&'static str>>,
+    visits: HashMap<i64, u32>,
+    ratings: HashMap<i64, Vec<f64>>,
+    next_review: i64,
+}
+
+impl Model {
+    fn score(&self, id: i64) -> f64 {
+        let avg = self
+            .ratings
+            .get(&id)
+            .filter(|r| !r.is_empty())
+            .map(|r| r.iter().sum::<f64>() / r.len() as f64)
+            .unwrap_or(0.0);
+        avg * 100.0 + f64::from(self.visits.get(&id).copied().unwrap_or(0)) / 2.0
+    }
+
+    fn search(&self, query: &[&str], conj: bool) -> Vec<(i64, f64)> {
+        let mut hits: Vec<(i64, f64)> = self
+            .movies
+            .iter()
+            .filter(|(_, words)| {
+                if conj {
+                    query.iter().all(|q| words.contains(q))
+                } else {
+                    query.iter().any(|q| words.contains(q))
+                }
+            })
+            .map(|(&id, _)| (id, self.score(id)))
+            .collect();
+        hits.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        hits
+    }
+}
+
+fn run_pipeline(method: MethodKind, ops: Vec<Op>) {
+    let mut engine = SvrEngine::new();
+    engine
+        .create_table(Schema::new(
+            "movies",
+            &[("mid", ColumnType::Int), ("desc", ColumnType::Text)],
+            0,
+        ))
+        .unwrap();
+    engine
+        .create_table(Schema::new(
+            "reviews",
+            &[("rid", ColumnType::Int), ("mid", ColumnType::Int), ("rating", ColumnType::Float)],
+            0,
+        ))
+        .unwrap();
+    engine
+        .create_table(Schema::new(
+            "statistics",
+            &[("mid", ColumnType::Int), ("nvisit", ColumnType::Int)],
+            0,
+        ))
+        .unwrap();
+    let spec = SvrSpec::new(
+        vec![
+            ScoreComponent::AvgOf {
+                table: "reviews".into(),
+                fk_col: "mid".into(),
+                val_col: "rating".into(),
+            },
+            ScoreComponent::ColumnOf {
+                table: "statistics".into(),
+                key_col: "mid".into(),
+                val_col: "nvisit".into(),
+            },
+        ],
+        AggExpr::parse("s1*100 + s2/2").unwrap(),
+    );
+    engine
+        .create_text_index(
+            "idx",
+            "movies",
+            "desc",
+            spec,
+            method,
+            IndexConfig { min_chunk_docs: 1, chunk_ratio: 2.0, threshold_ratio: 1.5, ..IndexConfig::default() },
+        )
+        .unwrap();
+
+    let mut model = Model::default();
+    // Movie ids are never reused: slot -> generation counter.
+    let mut slot_ids: HashMap<u8, i64> = HashMap::new();
+    let mut next_movie = 0i64;
+
+    for op in ops {
+        match op {
+            Op::InsertMovie(slot, mask) => {
+                if slot_ids.contains_key(&slot) {
+                    continue;
+                }
+                let id = next_movie;
+                next_movie += 1;
+                slot_ids.insert(slot, id);
+                let words = words_for(mask);
+                engine
+                    .insert_row(
+                        "movies",
+                        vec![Value::Int(id), Value::Text(words.join(" "))],
+                    )
+                    .unwrap();
+                engine
+                    .insert_row("statistics", vec![Value::Int(id), Value::Int(0)])
+                    .unwrap();
+                model.movies.insert(id, words);
+                model.visits.insert(id, 0);
+            }
+            Op::SetVisits(slot, v) => {
+                let Some(&id) = slot_ids.get(&slot) else { continue };
+                engine
+                    .update_row(
+                        "statistics",
+                        Value::Int(id),
+                        &[("nvisit".into(), Value::Int(i64::from(v)))],
+                    )
+                    .unwrap();
+                model.visits.insert(id, v);
+            }
+            Op::AddReview(slot, half_stars) => {
+                let Some(&id) = slot_ids.get(&slot) else { continue };
+                let rating = f64::from(half_stars) / 2.0;
+                let rid = model.next_review;
+                model.next_review += 1;
+                engine
+                    .insert_row(
+                        "reviews",
+                        vec![Value::Int(rid), Value::Int(id), Value::Float(rating)],
+                    )
+                    .unwrap();
+                model.ratings.entry(id).or_default().push(rating);
+            }
+            Op::Redescribe(slot, mask) => {
+                let Some(&id) = slot_ids.get(&slot) else { continue };
+                let words = words_for(mask);
+                engine
+                    .update_row(
+                        "movies",
+                        Value::Int(id),
+                        &[("desc".into(), Value::Text(words.join(" ")))],
+                    )
+                    .unwrap();
+                model.movies.insert(id, words);
+            }
+            Op::DeleteMovie(slot) => {
+                let Some(id) = slot_ids.remove(&slot) else { continue };
+                engine.delete_row("movies", Value::Int(id)).unwrap();
+                model.movies.remove(&id);
+            }
+            Op::Search(mask, conj) => {
+                let query_words = words_for(mask);
+                let query = query_words.join(" ");
+                let mode = if conj { QueryMode::Conjunctive } else { QueryMode::Disjunctive };
+                let hits = engine.search("idx", &query, 50, mode).unwrap();
+                let expected = model.search(&query_words, conj);
+                let got: Vec<(i64, f64)> = hits
+                    .iter()
+                    .map(|h| (h.row[0].as_i64().unwrap(), h.score))
+                    .collect();
+                assert_eq!(
+                    got.len(),
+                    expected.len().min(50),
+                    "count mismatch for {query:?} ({mode:?}): {got:?} vs {expected:?}"
+                );
+                for ((gd, gs), (ed, es)) in got.iter().zip(&expected) {
+                    assert_eq!(gd, ed, "{query:?} ({mode:?}): {got:?} vs {expected:?}");
+                    assert!((gs - es).abs() < 1e-6, "score of {gd}: {gs} vs {es}");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pipeline_matches_model_chunk(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        run_pipeline(MethodKind::Chunk, ops);
+    }
+
+    #[test]
+    fn pipeline_matches_model_score_threshold(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        run_pipeline(MethodKind::ScoreThreshold, ops);
+    }
+
+    #[test]
+    fn pipeline_matches_model_id(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        run_pipeline(MethodKind::Id, ops);
+    }
+
+    #[test]
+    fn pipeline_matches_model_score(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        run_pipeline(MethodKind::Score, ops);
+    }
+}
