@@ -51,13 +51,9 @@ fn main() {
             "experiments-{}.json",
             if scale == Scale::Full { "full" } else { "quick" }
         ));
-        match serde_json::to_string_pretty(&reports) {
-            Ok(json) => {
-                if std::fs::write(&path, json).is_ok() {
-                    println!("wrote {}", path.display());
-                }
-            }
-            Err(e) => eprintln!("could not serialize results: {e}"),
+        let json = svr_bench::report::reports_to_json(&reports);
+        if std::fs::write(&path, json).is_ok() {
+            println!("wrote {}", path.display());
         }
     }
 }

@@ -1,9 +1,12 @@
 //! Experiment result tables and the experiment scale knob.
-
-use serde::{Deserialize, Serialize};
+//!
+//! Reports serialize to JSON through the hand-rolled [`to_json`] /
+//! [`from_json`] below (the build environment has no network access, so
+//! pulling in serde is not an option; the schema is four string fields and
+//! two string collections).
 
 /// How big to run the experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Seconds per experiment; used by `cargo bench` and CI.
     Quick,
@@ -30,7 +33,7 @@ impl Scale {
 }
 
 /// A rendered experiment: one paper table or figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentReport {
     /// Paper artifact id, e.g. "table2" or "fig8".
     pub id: String,
@@ -80,6 +83,222 @@ impl ExperimentReport {
     }
 }
 
+fn json_escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_string_array(items: &[String], out: &mut String) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_escape(item, out);
+    }
+    out.push(']');
+}
+
+impl ExperimentReport {
+    /// Serialize one report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"id\":");
+        json_escape(&self.id, &mut out);
+        out.push_str(",\"title\":");
+        json_escape(&self.title, &mut out);
+        out.push_str(",\"columns\":");
+        json_string_array(&self.columns, &mut out);
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string_array(row, &mut out);
+        }
+        out.push_str("],\"notes\":");
+        json_escape(&self.notes, &mut out);
+        out.push('}');
+        out
+    }
+
+    /// Parse a report serialized by [`ExperimentReport::to_json`].
+    pub fn from_json(json: &str) -> Option<ExperimentReport> {
+        let mut parser = JsonParser { bytes: json.as_bytes(), pos: 0 };
+        let report = parser.object()?;
+        parser.skip_ws();
+        parser.at_end().then_some(report)
+    }
+}
+
+/// Serialize a report list as a pretty-printed JSON array.
+pub fn reports_to_json(reports: &[ExperimentReport]) -> String {
+    let mut out = String::from("[\n");
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        out.push_str(&report.to_json());
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// A minimal recursive-descent parser for exactly the JSON
+/// [`ExperimentReport::to_json`] emits.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.pos < self.bytes.len() && self.bytes[self.pos] == b {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos)?;
+            self.pos += 1;
+            match b {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos)?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            self.pos += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Re-decode the multi-byte scalar from the source.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..]).ok()?;
+                    let c = s.chars().next()?;
+                    self.pos = start + c.len_utf8();
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn string_array(&mut self) -> Option<Vec<String>> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.eat(b']')?;
+            return Some(items);
+        }
+        loop {
+            items.push(self.string()?);
+            match self.peek()? {
+                b',' => self.eat(b',')?,
+                b']' => {
+                    self.eat(b']')?;
+                    return Some(items);
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn object(&mut self) -> Option<ExperimentReport> {
+        self.eat(b'{')?;
+        let mut report = ExperimentReport {
+            id: String::new(),
+            title: String::new(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+            notes: String::new(),
+        };
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            match key.as_str() {
+                "id" => report.id = self.string()?,
+                "title" => report.title = self.string()?,
+                "notes" => report.notes = self.string()?,
+                "columns" => report.columns = self.string_array()?,
+                "rows" => {
+                    self.eat(b'[')?;
+                    if self.peek() == Some(b']') {
+                        self.eat(b']')?;
+                    } else {
+                        loop {
+                            report.rows.push(self.string_array()?);
+                            match self.peek()? {
+                                b',' => self.eat(b',')?,
+                                b']' => {
+                                    self.eat(b']')?;
+                                    break;
+                                }
+                                _ => return None,
+                            }
+                        }
+                    }
+                }
+                _ => return None,
+            }
+            match self.peek()? {
+                b',' => self.eat(b',')?,
+                b'}' => {
+                    self.eat(b'}')?;
+                    return Some(report);
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,14 +331,17 @@ mod tests {
     fn report_roundtrips_through_json() {
         let report = ExperimentReport {
             id: "t".into(),
-            title: "t".into(),
-            columns: vec!["a".into()],
-            rows: vec![vec!["1".into()]],
+            title: "quotes \" and\nnewlines — ünïcode".into(),
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
             notes: String::new(),
         };
-        let json = serde_json::to_string(&report).unwrap();
-        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.id, "t");
-        assert_eq!(back.rows.len(), 1);
+        let json = report.to_json();
+        let back = ExperimentReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+
+        let array = reports_to_json(&[report.clone(), report]);
+        assert!(array.starts_with("[\n"));
+        assert!(array.trim_end().ends_with(']'));
     }
 }

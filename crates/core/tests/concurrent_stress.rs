@@ -41,13 +41,13 @@ fn run_stress(kind: MethodKind) {
     let stop = AtomicBool::new(false);
     let mut final_scores: HashMap<DocId, f64> = HashMap::new();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let index_ref = index.as_ref();
         let stop_ref = &stop;
         // Readers.
         let readers: Vec<_> = (0..3)
             .map(|seed| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let mut queries_run = 0u32;
                     while !stop_ref.load(Ordering::Relaxed) {
@@ -88,8 +88,7 @@ fn run_stress(kind: MethodKind) {
             let ran = reader.join().unwrap();
             assert!(ran > 0, "reader must have made progress");
         }
-    })
-    .unwrap();
+    });
 
     // Quiescent state equals the last write.
     for (doc, score) in &final_scores {

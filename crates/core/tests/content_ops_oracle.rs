@@ -96,7 +96,7 @@ fn run_content_storm(kind: MethodKind, seed: u64) {
                         let new_score = match rng.gen_range(0..3) {
                             0 => current * rng.gen_range(1.5..15.0),
                             1 => current * rng.gen_range(0.05..0.8),
-                            _ => rng.gen_range(0.0..200_000.0),
+                            _ => rng.gen_range(0.0..200_000.0f64),
                         }
                         .round();
                         index.update_score(doc, new_score).unwrap();

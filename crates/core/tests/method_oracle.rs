@@ -41,7 +41,7 @@ fn queries(rng: &mut StdRng, n: usize) -> Vec<Query> {
                 TermId((((r * r) * 20.0) as u32).min(VOCAB - 1))
             })
             .collect();
-        let k = *[1usize, 3, 10, 50].get(rng.gen_range(0..4)).unwrap();
+        let k = *[1usize, 3, 10, 50].get(rng.gen_range(0..4usize)).unwrap();
         let mode = if rng.gen_bool(0.5) {
             QueryMode::Conjunctive
         } else {
@@ -87,7 +87,7 @@ fn run_update_storm(kind: MethodKind, seed: u64) {
             let current = oracle.score_of(doc).unwrap();
             // Mix of small drifts, large spikes (flash crowds) and crashes.
             let new_score = match rng.gen_range(0..4) {
-                0 => (current + rng.gen_range(-100.0..100.0)).max(0.0),
+                0 => (current + rng.gen_range(-100.0..100.0f64)).max(0.0),
                 1 => current * rng.gen_range(1.5..20.0),
                 2 => current * rng.gen_range(0.01..0.7),
                 _ => rng.gen_range(0.0..200_000.0),

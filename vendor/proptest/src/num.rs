@@ -1,0 +1,67 @@
+//! Per-type `ANY` strategies mirroring `proptest::num::<type>::ANY`.
+
+macro_rules! num_module {
+    ($($m:ident : $t:ty),+) => {$(
+        pub mod $m {
+            use crate::strategy::Strategy;
+            use crate::test_runner::TestRng;
+
+            /// The full-range strategy type for this integer width.
+            #[derive(Debug, Clone, Copy)]
+            pub struct Any;
+
+            /// The full-range strategy value.
+            pub const ANY: Any = Any;
+
+            impl Strategy for Any {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )+};
+}
+
+num_module!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize, i8: i8, i16: i16, i32: i32, i64: i64, isize: isize);
+
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The unit-interval strategy type for `f64`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform over [0, 1) (full-range floats are rarely useful; real
+    /// proptest generates specials too, which the tests here don't rely
+    /// on).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.next_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn any_generates_full_width() {
+        let mut rng = TestRng::from_seed(11);
+        let mut max = 0u64;
+        for _ in 0..1000 {
+            max = max.max(super::u64::ANY.generate(&mut rng));
+        }
+        assert!(max > u64::MAX / 2);
+        let b = super::u8::ANY.generate(&mut rng);
+        let _ = b;
+    }
+}

@@ -1,0 +1,288 @@
+//! The [`Strategy`] trait and the basic combinators.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discard generated values failing `f` (regenerating; gives up after a
+    /// bounded number of attempts).
+    fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+/// Box a strategy (used by `prop_oneof!` so element types unify).
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_filter`].
+#[derive(Debug, Clone, Copy)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.inner.generate(rng);
+            if (self.f)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive candidates");
+    }
+}
+
+/// Weighted choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` pairs.
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total = options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! requires at least one positive weight");
+        Union { options, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total;
+        for (weight, strat) in &self.options {
+            if pick < *weight as u64 {
+                return strat.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weights sum correctly")
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                lo + (rng.next_f64() as $t) * (hi - lo)
+            }
+        }
+    )+};
+}
+
+float_range_strategy!(f32, f64);
+
+/// String patterns (`"[ -~]{0,120}"`, `".{0,200}"`, ...) are strategies
+/// generating matching strings; see [`crate::string`].
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate_matching(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $i:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// `any::<T>()`-style full-range strategy; see [`crate::arbitrary`].
+pub struct AnyStrategy<T>(pub(crate) PhantomData<T>);
+
+impl<T> std::fmt::Debug for AnyStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AnyStrategy")
+    }
+}
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T> Copy for AnyStrategy<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..500 {
+            let v = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let doubled = (0u8..10).prop_map(|x| x * 2).generate(&mut rng);
+            assert!(doubled % 2 == 0 && doubled < 20);
+            let (a, b) = (0u8..4, Just("x")).generate(&mut rng);
+            assert!(a < 4);
+            assert_eq!(b, "x");
+        }
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let mut rng = TestRng::from_seed(2);
+        let u = Union::new(vec![(9, boxed(Just(1u8))), (1, boxed(Just(2u8)))]);
+        let ones = (0..1000).filter(|_| u.generate(&mut rng) == 1).count();
+        assert!(ones > 800, "got {ones}");
+    }
+
+    #[test]
+    fn filter_regenerates() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let v = (0u32..100).prop_filter("even", |v| v % 2 == 0).generate(&mut rng);
+            assert_eq!(v % 2, 0);
+        }
+    }
+}

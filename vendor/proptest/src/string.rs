@@ -1,0 +1,206 @@
+//! Generation of strings matching the small regex subset the workspace's
+//! property tests use as string strategies.
+//!
+//! Supported syntax: literal characters, `.` (any char except newline),
+//! character classes `[a-z0-9_]` (ranges + singletons, no negation), and
+//! quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` applying to the preceding
+//! atom. This covers patterns like `".{0,200}"` and `"[ -~]{0,120}"`.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.`: anything but newline, with a bias towards printable ASCII and a
+    /// tail of multi-byte scalars so char-boundary handling gets exercised.
+    AnyChar,
+    Literal(char),
+    /// Inclusive char ranges; singletons are `(c, c)`.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// A random unicode scalar, biased towards printable ASCII.
+pub fn random_char(rng: &mut TestRng) -> char {
+    match rng.next_u64() % 100 {
+        0..=64 => (0x20 + rng.below(0x5f)) as u8 as char,
+        65..=74 => ['\t', '\r', '\u{0}', '\u{1b}', '\u{7f}'][rng.below(5)],
+        75..=89 => char::from_u32(0xA0 + rng.below(0x2000) as u32).unwrap_or('¿'),
+        _ => {
+            // Anywhere in the scalar space, skipping surrogates.
+            let v = rng.below(0x10FFFF) as u32;
+            char::from_u32(v).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class in '{pattern}'");
+                i += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                Atom::Literal(match c {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                })
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..].iter().position(|&c| c == '}').expect("'}'") + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("repetition bound"),
+                            hi.trim().parse().expect("repetition bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("repetition count");
+                            (n, n)
+                        }
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 16)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 16)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::AnyChar => {
+            let c = random_char(rng);
+            if c == '\n' {
+                ' '
+            } else {
+                c
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+            let mut pick = rng.below(total as usize) as u32;
+            for &(lo, hi) in ranges {
+                let span = hi as u32 - lo as u32 + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick).unwrap_or(lo);
+                }
+                pick -= span;
+            }
+            unreachable!("class spans sum correctly")
+        }
+    }
+}
+
+/// Generate a string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = if piece.max > piece.min {
+            piece.min + rng.below(piece.max - piece.min + 1)
+        } else {
+            piece.min
+        };
+        for _ in 0..count {
+            out.push(generate_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printable_class() {
+        let mut rng = TestRng::from_seed(21);
+        for _ in 0..500 {
+            let s = generate_matching("[ -~]{0,120}", &mut rng);
+            assert!(s.len() <= 120);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_never_newline_and_lengths_bounded() {
+        let mut rng = TestRng::from_seed(22);
+        for _ in 0..500 {
+            let s = generate_matching(".{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::from_seed(23);
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+        let s = generate_matching("a{3}[0-9]{2}", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("aaa"));
+        assert!(s[3..].chars().all(|c| c.is_ascii_digit()));
+        let opt = generate_matching("x?", &mut rng);
+        assert!(opt.len() <= 1);
+    }
+}

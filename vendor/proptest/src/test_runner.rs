@@ -1,0 +1,116 @@
+//! Test configuration and the deterministic generator driving case
+//! generation.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Accepted for compatibility; unused (this stand-in never shrinks).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// The deterministic PRNG strategies draw from (xoshiro256++ seeded from
+/// the test name, so every test has its own reproducible stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// A generator seeded from `seed`.
+    pub fn from_seed(seed: u64) -> TestRng {
+        let mut state = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ],
+        }
+    }
+
+    /// The generator for a named test: FNV-1a over the name.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        TestRng::from_seed(hash)
+    }
+
+    /// Next 64 random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform usize in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty sampling bound");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_test_streams_differ() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("beta");
+        assert_ne!(a.next_u64(), b.next_u64());
+        let mut a2 = TestRng::for_test("alpha");
+        assert_eq!(TestRng::for_test("alpha").next_u64(), a2.next_u64());
+    }
+
+    #[test]
+    fn config_with_cases() {
+        assert_eq!(ProptestConfig::with_cases(12).cases, 12);
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+}
