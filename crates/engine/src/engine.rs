@@ -3,13 +3,36 @@
 //! [`SvrEngine`] owns the relational [`Database`], the text vocabulary and
 //! one [`SearchIndex`] per indexed text column. Structured-data mutations
 //! flow through the materialized Score view, whose change notifications
-//! drive the index's score updates; text mutations flow through the
-//! Appendix-A content operations. Keyword queries return ranked rows.
+//! drive the index's score updates *synchronously inside the mutating
+//! call*; text mutations flow through the Appendix-A content operations.
+//! Keyword queries return ranked rows.
+//!
+//! ## Concurrency model
+//!
+//! The engine is a cheap cloneable handle (`Clone` = `Arc` bump) over
+//! shared, internally synchronized state:
+//!
+//! * **reads scale** — [`SvrEngine::search`], [`SvrEngine::score_of`],
+//!   [`SvrEngine::index`], [`SvrEngine::text_index_on`] and the plain
+//!   relational reads all take `&self` and run concurrently from any
+//!   number of threads;
+//! * **writes serialize per table** — [`SvrEngine::insert_row`],
+//!   [`SvrEngine::update_row`] and [`SvrEngine::delete_row`] take a
+//!   per-table writer lock for the whole mutation (base table + view
+//!   maintenance + index maintenance), so writers of *different* tables
+//!   proceed in parallel while same-table writers queue;
+//! * **score propagation is synchronous** — the view listener pushes the
+//!   new score straight into [`SearchIndex::update_score`] (the index is
+//!   internally locked), so a query issued the moment a mutation returns
+//!   sees the new ranking;
+//! * **batches coalesce** — [`SvrEngine::apply`] /
+//!   [`SvrEngine::insert_rows`] buffer view notifications and fire one
+//!   score update per touched document with its *final* score.
 
 use std::collections::HashMap;
-use std::sync::mpsc;
 use std::sync::Arc;
 
+use parking_lot::{Mutex, RwLock};
 use svr_core::types::{DocId, Document, Query, QueryMode};
 use svr_core::{build_index, IndexConfig, MethodKind, SearchIndex};
 use svr_relation::{Database, Schema, SvrSpec, Value};
@@ -24,23 +47,111 @@ pub struct RankedRow {
     pub score: f64,
 }
 
+/// One DML operation inside a [`WriteBatch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteOp {
+    Insert { table: String, row: Vec<Value> },
+    Update { table: String, pk: Value, sets: Vec<(String, Value)> },
+    Delete { table: String, pk: Value },
+}
+
+impl WriteOp {
+    fn table(&self) -> &str {
+        match self {
+            WriteOp::Insert { table, .. }
+            | WriteOp::Update { table, .. }
+            | WriteOp::Delete { table, .. } => table,
+        }
+    }
+}
+
+/// A batch of row mutations applied with one writer-lock acquisition per
+/// involved table and coalesced score propagation; build with the helpers
+/// and hand to [`SvrEngine::apply`].
+///
+/// ```
+/// # use svr_engine::WriteBatch;
+/// # use svr_relation::Value;
+/// let mut batch = WriteBatch::new();
+/// batch.insert("stats", vec![Value::Int(1), Value::Int(10)]);
+/// batch.update("stats", Value::Int(1), vec![("nvisit".into(), Value::Int(500))]);
+/// assert_eq!(batch.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WriteBatch {
+    ops: Vec<WriteOp>,
+}
+
+impl WriteBatch {
+    /// An empty batch.
+    pub fn new() -> WriteBatch {
+        WriteBatch::default()
+    }
+
+    /// Queue a row insert.
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> &mut Self {
+        self.ops.push(WriteOp::Insert { table: table.to_string(), row });
+        self
+    }
+
+    /// Queue a column update of the row with primary key `pk`.
+    pub fn update(&mut self, table: &str, pk: Value, sets: Vec<(String, Value)>) -> &mut Self {
+        self.ops.push(WriteOp::Update { table: table.to_string(), pk, sets });
+        self
+    }
+
+    /// Queue a row deletion.
+    pub fn delete(&mut self, table: &str, pk: Value) -> &mut Self {
+        self.ops.push(WriteOp::Delete { table: table.to_string(), pk });
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// One text index: immutable wiring plus the shared index structure.
 struct TextIndex {
     table: String,
     text_col: usize,
     pk_col: usize,
     view: String,
     index: Arc<dyn SearchIndex>,
-    /// Score-change notifications from the materialized view, drained after
-    /// every mutation (the view listener runs inside the relational layer
-    /// and must not call back into the engine re-entrantly).
-    score_rx: mpsc::Receiver<(i64, f64)>,
 }
 
-/// The integrated engine.
-pub struct SvrEngine {
+/// The shared, internally synchronized engine state.
+struct EngineShared {
     db: Database,
-    vocab: Vocabulary,
-    indexes: HashMap<String, TextIndex>,
+    /// Term dictionary shared by every index: interning happens under the
+    /// write lock on mutation paths, query-side lookups take read locks.
+    vocab: RwLock<Vocabulary>,
+    /// Read-mostly index registry.
+    indexes: RwLock<HashMap<String, Arc<TextIndex>>>,
+    /// Per-table writer locks serializing the whole mutation path (base
+    /// table + views + indexes). Writers of different tables run in
+    /// parallel.
+    write_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    /// Errors raised inside synchronous score listeners (which cannot
+    /// return a `Result` through the relational layer); the mutating call
+    /// that triggered them picks them up on its way out.
+    listener_errors: Arc<Mutex<Vec<String>>>,
+}
+
+/// The integrated engine. Cloning is cheap (`Arc` bump) and every clone
+/// addresses the same shared state, so one engine can serve queries from
+/// many threads while writers mutate it — see the [module docs](self) for
+/// the locking rules and `examples/flash_crowd.rs` for the pattern in
+/// action.
+#[derive(Clone)]
+pub struct SvrEngine {
+    shared: Arc<EngineShared>,
 }
 
 impl Default for SvrEngine {
@@ -52,17 +163,68 @@ impl Default for SvrEngine {
 impl SvrEngine {
     /// Create an empty engine.
     pub fn new() -> SvrEngine {
-        SvrEngine { db: Database::new(), vocab: Vocabulary::new(), indexes: HashMap::new() }
+        SvrEngine {
+            shared: Arc::new(EngineShared {
+                db: Database::new(),
+                vocab: RwLock::new(Vocabulary::new()),
+                indexes: RwLock::new(HashMap::new()),
+                write_locks: Mutex::new(HashMap::new()),
+                listener_errors: Arc::new(Mutex::new(Vec::new())),
+            }),
+        }
     }
 
     /// The underlying relational database (read access).
     pub fn db(&self) -> &Database {
-        &self.db
+        &self.shared.db
+    }
+
+    /// The writer lock for `table` (created on first use).
+    fn write_lock(&self, table: &str) -> Arc<Mutex<()>> {
+        self.shared
+            .write_locks
+            .lock()
+            .entry(table.to_string())
+            .or_insert_with(|| Arc::new(Mutex::new(())))
+            .clone()
+    }
+
+    /// Report errors raised inside synchronous score listeners while the
+    /// current mutating call ran.
+    fn check_listener_errors(&self) -> Result<()> {
+        let mut sink = self.shared.listener_errors.lock();
+        match sink.pop() {
+            None => Ok(()),
+            Some(msg) => {
+                sink.clear();
+                Err(SvrError::Engine(format!("score propagation failed: {msg}")))
+            }
+        }
     }
 
     /// Create a table.
-    pub fn create_table(&mut self, schema: Schema) -> Result<()> {
-        Ok(self.db.create_table(schema)?)
+    pub fn create_table(&self, schema: Schema) -> Result<()> {
+        Ok(self.shared.db.create_table(schema)?)
+    }
+
+    /// Drop a table. Fails while a text index (or raw score view) depends
+    /// on it: drop the index first.
+    pub fn drop_table(&self, table: &str) -> Result<()> {
+        if let Some(index) = self
+            .shared
+            .indexes
+            .read()
+            .iter()
+            .find_map(|(name, ti)| (ti.table == table).then(|| name.clone()))
+        {
+            return Err(SvrError::Engine(format!(
+                "cannot drop table '{table}': text index '{index}' is built on it \
+                 (DROP TEXT INDEX {index} first)"
+            )));
+        }
+        let write_lock = self.write_lock(table);
+        let _write = write_lock.lock();
+        Ok(self.shared.db.drop_table(table)?)
     }
 
     /// Create a text index with SVR ranking on `table.text_col`.
@@ -70,9 +232,9 @@ impl SvrEngine {
     /// This is the engine form of the paper's "create text index ... with
     /// score specification": it materializes the Score view for `spec`,
     /// builds the chosen inverted-list `method` over the existing rows, and
-    /// wires view notifications to index score updates.
+    /// wires view notifications *synchronously* into index score updates.
     pub fn create_text_index(
-        &mut self,
+        &self,
         name: &str,
         table: &str,
         text_col: &str,
@@ -80,26 +242,36 @@ impl SvrEngine {
         method: MethodKind,
         config: IndexConfig,
     ) -> Result<()> {
-        if self.indexes.contains_key(name) {
+        if self.shared.indexes.read().contains_key(name) {
             return Err(SvrError::Engine(format!("text index '{name}' already exists")));
         }
-        let schema = self.db.table(table)?.schema().clone();
+        let table_ref = self.shared.db.table(table)?;
+        let schema = table_ref.schema();
         let text_idx = schema.column_index(text_col)?;
         let pk_idx = schema.pk;
 
-        self.db.create_score_view(name, table, spec)?;
+        // Block writers of the indexed table while the view + index are
+        // built and wired, so no row slips between the scan and the wiring.
+        let write_lock = self.write_lock(table);
+        let _write = write_lock.lock();
+
+        self.shared.db.create_score_view(name, table, spec)?;
 
         // Tokenize the existing rows.
-        let rows = self.db.table(table)?.scan()?;
+        let rows = table_ref.scan()?;
         let mut docs = Vec::with_capacity(rows.len());
-        for row in &rows {
-            let pk = row[pk_idx]
-                .as_i64()
-                .ok_or_else(|| SvrError::Engine("text index requires integer keys".into()))?;
-            let text = row[text_idx].as_text().unwrap_or("");
-            docs.push(Document::from_text(doc_id(pk)?, text, &mut self.vocab));
+        {
+            let mut vocab = self.shared.vocab.write();
+            for row in &rows {
+                let pk = row[pk_idx]
+                    .as_i64()
+                    .ok_or_else(|| SvrError::Engine("text index requires integer keys".into()))?;
+                let text = row[text_idx].as_text().unwrap_or("");
+                docs.push(Document::from_text(doc_id(pk)?, text, &mut vocab));
+            }
         }
         let scores: svr_core::ScoreMap = self
+            .shared
             .db
             .all_scores(name)?
             .into_iter()
@@ -107,139 +279,245 @@ impl SvrEngine {
             .collect::<Result<_>>()?;
 
         let index: Arc<dyn SearchIndex> = Arc::from(build_index(method, &docs, &scores, &config)?);
-        // View notifications flow through a channel; the engine drains it
-        // after every mutation.
-        let (tx, rx) = mpsc::channel();
-        self.db.set_score_listener(
+
+        // Synchronous propagation: the view pushes each new score straight
+        // into the (internally locked) index. A row mid-insert is not in
+        // the index yet — the UnknownDocument case — and gets its score
+        // from the insert path instead. Anything else is a real fault and
+        // is surfaced through the listener error sink.
+        let listener_index = index.clone();
+        let errors = self.shared.listener_errors.clone();
+        let index_name = name.to_string();
+        self.shared.db.set_score_listener(
             name,
             Box::new(move |pk, score| {
-                let _ = tx.send((pk, score));
+                let push = || -> std::result::Result<(), String> {
+                    let doc = u32::try_from(pk)
+                        .map(DocId)
+                        .map_err(|_| format!("primary key {pk} out of document-id range"))?;
+                    match listener_index.update_score(doc, score) {
+                        Ok(()) | Err(svr_core::CoreError::UnknownDocument(_)) => Ok(()),
+                        Err(e) => Err(e.to_string()),
+                    }
+                };
+                if let Err(msg) = push() {
+                    errors.lock().push(format!("index '{index_name}': {msg}"));
+                }
             }),
         )?;
-        self.indexes.insert(
+
+        let mut indexes = self.shared.indexes.write();
+        if indexes.contains_key(name) {
+            let _ = self.shared.db.drop_score_view(name);
+            return Err(SvrError::Engine(format!("text index '{name}' already exists")));
+        }
+        indexes.insert(
             name.to_string(),
-            TextIndex {
+            Arc::new(TextIndex {
                 table: table.to_string(),
                 text_col: text_idx,
                 pk_col: pk_idx,
                 view: name.to_string(),
                 index,
-                score_rx: rx,
-            },
+            }),
         );
         Ok(())
     }
 
-    /// Pump pending view notifications into the indexes.
-    fn drain_score_updates(&mut self) -> Result<()> {
-        for ti in self.indexes.values_mut() {
-            while let Ok((pk, score)) = ti.score_rx.try_recv() {
-                match ti.index.update_score(doc_id(pk)?, score) {
-                    Ok(()) => {}
-                    // The row may not be indexed yet (mid-insert); the
-                    // upcoming insert_document carries the current score.
-                    Err(svr_core::CoreError::UnknownDocument(_)) => {}
-                    Err(e) => return Err(e.into()),
-                }
-            }
-        }
+    /// Drop a text index and its backing score view.
+    pub fn drop_text_index(&self, name: &str) -> Result<()> {
+        let removed = self
+            .shared
+            .indexes
+            .write()
+            .remove(name)
+            .ok_or_else(|| SvrError::Engine(format!("unknown text index '{name}'")))?;
+        let write_lock = self.write_lock(&removed.table);
+        let _write = write_lock.lock();
+        self.shared.db.drop_score_view(&removed.view)?;
         Ok(())
     }
 
+    /// Look up a text index entry.
+    fn entry(&self, name: &str) -> Result<Arc<TextIndex>> {
+        self.shared
+            .indexes
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SvrError::Engine(format!("unknown text index '{name}'")))
+    }
+
+    /// The indexes covering `table`, if any.
+    fn entries_on(&self, table: &str) -> Vec<Arc<TextIndex>> {
+        self.shared
+            .indexes
+            .read()
+            .values()
+            .filter(|ti| ti.table == table)
+            .cloned()
+            .collect()
+    }
+
     /// Insert a row, maintaining views and text indexes.
-    pub fn insert_row(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
-        self.db.insert_row(table, row.clone())?;
-        // Index the text of the new row in every index on this table.
-        let mut inserts = Vec::new();
-        for (name, ti) in &self.indexes {
-            if ti.table == table {
-                let pk = row[ti.pk_col]
-                    .as_i64()
-                    .ok_or_else(|| SvrError::Engine("integer key required".into()))?;
-                let text = row[ti.text_col].as_text().unwrap_or("").to_string();
-                inserts.push((name.clone(), pk, text));
+    pub fn insert_row(&self, table: &str, row: Vec<Value>) -> Result<()> {
+        let write_lock = self.write_lock(table);
+        let _write = write_lock.lock();
+        self.insert_row_locked(table, row)
+    }
+
+    /// [`SvrEngine::insert_row`] body, with the caller holding the table's
+    /// writer lock.
+    fn insert_row_locked(&self, table: &str, row: Vec<Value>) -> Result<()> {
+        // Extract what the text indexes need *before* the row moves into
+        // the database — no full-row clone.
+        let entries = self.entries_on(table);
+        let mut inserts = Vec::with_capacity(entries.len());
+        for ti in &entries {
+            let pk = row
+                .get(ti.pk_col)
+                .and_then(Value::as_i64)
+                .ok_or_else(|| SvrError::Engine("integer key required".into()))?;
+            let text = row
+                .get(ti.text_col)
+                .and_then(|v| v.as_text())
+                .unwrap_or("")
+                .to_string();
+            inserts.push((ti.clone(), pk, text));
+        }
+        self.shared.db.insert_row(table, row)?;
+        for (ti, pk, text) in inserts {
+            let doc = Document::from_text(doc_id(pk)?, &text, &mut self.shared.vocab.write());
+            let score = self.shared.db.score_of(&ti.view, pk).unwrap_or(0.0);
+            ti.index.insert_document(&doc, score)?;
+        }
+        self.check_listener_errors()
+    }
+
+    /// Insert many rows into one table under a single writer-lock
+    /// acquisition, with coalesced score propagation — the bulk-load path.
+    pub fn insert_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        let inserted = rows.len();
+        let write_lock = self.write_lock(table);
+        let _write = write_lock.lock();
+        let bracket = self.shared.db.buffer_score_notifications();
+        for row in rows {
+            self.insert_row_locked(table, row)?;
+        }
+        drop(bracket);
+        self.check_listener_errors()?;
+        Ok(inserted)
+    }
+
+    /// Apply a [`WriteBatch`]: one writer-lock acquisition per involved
+    /// table (taken in sorted order, so concurrent batches cannot
+    /// deadlock), coalesced view notifications, and one score update per
+    /// touched document. Returns the number of operations applied.
+    ///
+    /// The batch is *not* atomic: an error aborts the remaining
+    /// operations, but operations already applied stay applied.
+    pub fn apply(&self, batch: WriteBatch) -> Result<usize> {
+        let mut tables: Vec<&str> = batch.ops.iter().map(WriteOp::table).collect();
+        tables.sort_unstable();
+        tables.dedup();
+        let locks: Vec<_> = tables.iter().map(|t| self.write_lock(t)).collect();
+        let _guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
+
+        let bracket = self.shared.db.buffer_score_notifications();
+        let applied = batch.ops.len();
+        for op in batch.ops {
+            match op {
+                WriteOp::Insert { table, row } => self.insert_row_locked(&table, row)?,
+                WriteOp::Update { table, pk, sets } => self.update_row_locked(&table, pk, &sets)?,
+                WriteOp::Delete { table, pk } => self.delete_row_locked(&table, pk)?,
             }
         }
-        for (name, pk, text) in inserts {
-            let doc = Document::from_text(doc_id(pk)?, &text, &mut self.vocab);
-            let score = self.db.score_of(&name, pk).unwrap_or(0.0);
-            self.indexes[&name].index.insert_document(&doc, score)?;
-        }
-        self.drain_score_updates()
+        drop(bracket);
+        self.check_listener_errors()?;
+        Ok(applied)
     }
 
     /// Update a row, maintaining views and text indexes (text-column changes
     /// become Appendix-A content updates).
-    pub fn update_row(&mut self, table: &str, pk: Value, updates: &[(String, Value)]) -> Result<()> {
-        self.db.update_row(table, pk.clone(), updates)?;
-        let mut content_updates = Vec::new();
-        for (name, ti) in &self.indexes {
-            if ti.table != table {
-                continue;
-            }
-            let schema = self.db.table(table)?.schema();
-            let text_col_name = &schema.columns[ti.text_col].0;
-            if let Some((_, new_text)) = updates.iter().find(|(c, _)| c == text_col_name) {
-                let pk_int = pk
-                    .as_i64()
-                    .ok_or_else(|| SvrError::Engine("integer key required".into()))?;
-                content_updates.push((
-                    name.clone(),
-                    pk_int,
-                    new_text.as_text().unwrap_or("").to_string(),
-                ));
+    pub fn update_row(&self, table: &str, pk: Value, updates: &[(String, Value)]) -> Result<()> {
+        let write_lock = self.write_lock(table);
+        let _write = write_lock.lock();
+        self.update_row_locked(table, pk, updates)
+    }
+
+    fn update_row_locked(&self, table: &str, pk: Value, updates: &[(String, Value)]) -> Result<()> {
+        self.shared.db.update_row(table, pk.clone(), updates)?;
+        let entries = self.entries_on(table);
+        if !entries.is_empty() {
+            let schema = self.shared.db.table(table)?.schema().clone();
+            for ti in entries {
+                let text_col_name = &schema.columns[ti.text_col].0;
+                if let Some((_, new_text)) = updates.iter().find(|(c, _)| c == text_col_name) {
+                    let pk_int = pk
+                        .as_i64()
+                        .ok_or_else(|| SvrError::Engine("integer key required".into()))?;
+                    let doc = Document::from_text(
+                        doc_id(pk_int)?,
+                        new_text.as_text().unwrap_or(""),
+                        &mut self.shared.vocab.write(),
+                    );
+                    ti.index.update_content(&doc)?;
+                }
             }
         }
-        for (name, pk_int, text) in content_updates {
-            let doc = Document::from_text(doc_id(pk_int)?, &text, &mut self.vocab);
-            self.indexes[&name].index.update_content(&doc)?;
-        }
-        self.drain_score_updates()
+        self.check_listener_errors()
     }
 
     /// Delete a row, maintaining views and text indexes.
-    pub fn delete_row(&mut self, table: &str, pk: Value) -> Result<()> {
-        self.db.delete_row(table, pk.clone())?;
-        for ti in self.indexes.values() {
-            if ti.table == table {
-                let pk_int = pk
-                    .as_i64()
-                    .ok_or_else(|| SvrError::Engine("integer key required".into()))?;
-                ti.index.delete_document(doc_id(pk_int)?)?;
-            }
+    pub fn delete_row(&self, table: &str, pk: Value) -> Result<()> {
+        let write_lock = self.write_lock(table);
+        let _write = write_lock.lock();
+        self.delete_row_locked(table, pk)
+    }
+
+    fn delete_row_locked(&self, table: &str, pk: Value) -> Result<()> {
+        self.shared.db.delete_row(table, pk.clone())?;
+        for ti in self.entries_on(table) {
+            let pk_int = pk
+                .as_i64()
+                .ok_or_else(|| SvrError::Engine("integer key required".into()))?;
+            ti.index.delete_document(doc_id(pk_int)?)?;
         }
-        self.drain_score_updates()
+        self.check_listener_errors()
     }
 
     /// Keyword-search the indexed text column, returning the top-k rows
     /// ranked by the *latest* SVR scores — the engine form of the paper's
     /// `SELECT * FROM Movies ORDER BY score(desc, "golden gate") FETCH TOP
-    /// k`.
-    pub fn search(&mut self, index: &str, keywords: &str, k: usize, mode: QueryMode) -> Result<Vec<RankedRow>> {
-        self.drain_score_updates()?;
-        let ti = self
-            .indexes
-            .get(index)
-            .ok_or_else(|| SvrError::Engine(format!("unknown text index '{index}'")))?;
+    /// k`. Takes `&self`: any number of threads can search one shared
+    /// engine while writers run.
+    pub fn search(&self, index: &str, keywords: &str, k: usize, mode: QueryMode) -> Result<Vec<RankedRow>> {
+        let ti = self.entry(index)?;
         let mut terms = Vec::new();
-        for token in svr_text::tokenize(keywords) {
-            match self.vocab.get(&token) {
-                Some(t) => terms.push(t),
-                // A keyword that appears nowhere: conjunctive queries can
-                // return nothing; disjunctive queries ignore it.
-                None if mode == QueryMode::Conjunctive => return Ok(Vec::new()),
-                None => {}
+        {
+            let vocab = self.shared.vocab.read();
+            for token in svr_text::tokenize(keywords) {
+                match vocab.get(&token) {
+                    Some(t) => terms.push(t),
+                    // A keyword that appears nowhere: conjunctive queries
+                    // can return nothing; disjunctive queries ignore it.
+                    None if mode == QueryMode::Conjunctive => return Ok(Vec::new()),
+                    None => {}
+                }
             }
         }
         if terms.is_empty() {
             return Ok(Vec::new());
         }
         let hits = ti.index.query(&Query::new(terms, k, mode))?;
-        let table = self.db.table(&ti.table)?;
+        let table = self.shared.db.table(&ti.table)?;
         let mut rows = Vec::with_capacity(hits.len());
+        let mut key = Vec::with_capacity(9);
         for hit in hits {
+            // One reused key buffer instead of a Value + Vec per hit.
+            Value::Int(hit.doc.0 as i64).encode_key_into(&mut key);
             let row = table
-                .get(&Value::Int(hit.doc.0 as i64))?
+                .get_raw(&key)?
                 .ok_or_else(|| SvrError::Engine(format!("index points at missing row {}", hit.doc)))?;
             rows.push(RankedRow { row, score: hit.score });
         }
@@ -249,44 +527,38 @@ impl SvrEngine {
     /// Name of the text index covering `table.text_col`, if one exists.
     /// This is how a `SELECT ... ORDER BY score(m.desc, "...")` query finds
     /// the index to use.
-    pub fn text_index_on(&self, table: &str, text_col: &str) -> Option<&str> {
-        self.indexes.iter().find_map(|(name, ti)| {
-            if ti.table != table {
-                return None;
-            }
-            let schema = self.db.table(table).ok()?.schema();
-            (schema.columns[ti.text_col].0 == text_col).then_some(name.as_str())
+    pub fn text_index_on(&self, table: &str, text_col: &str) -> Option<String> {
+        let schema = self.shared.db.table(table).ok()?.schema().clone();
+        self.shared.indexes.read().iter().find_map(|(name, ti)| {
+            (ti.table == table && schema.columns[ti.text_col].0 == text_col)
+                .then(|| name.clone())
         })
     }
 
     /// Names of all text indexes (unordered).
-    pub fn index_names(&self) -> Vec<&str> {
-        self.indexes.keys().map(String::as_str).collect()
+    pub fn index_names(&self) -> Vec<String> {
+        self.shared.indexes.read().keys().cloned().collect()
     }
 
     /// Direct access to an index (statistics, maintenance).
-    pub fn index(&self, name: &str) -> Result<&Arc<dyn SearchIndex>> {
-        self.indexes
-            .get(name)
-            .map(|ti| &ti.index)
-            .ok_or_else(|| SvrError::Engine(format!("unknown text index '{name}'")))
+    pub fn index(&self, name: &str) -> Result<Arc<dyn SearchIndex>> {
+        Ok(self.entry(name)?.index.clone())
     }
 
-    /// Run the offline short-list merge on an index.
-    pub fn run_maintenance(&mut self, name: &str) -> Result<()> {
-        self.drain_score_updates()?;
-        Ok(self.index(name)?.merge_short_lists()?)
+    /// Run the offline short-list merge on an index. Serializes with the
+    /// indexed table's writers (merge restructures the lists the content
+    /// operations append to).
+    pub fn run_maintenance(&self, name: &str) -> Result<()> {
+        let ti = self.entry(name)?;
+        let write_lock = self.write_lock(&ti.table);
+        let _write = write_lock.lock();
+        Ok(ti.index.merge_short_lists()?)
     }
 
     /// The materialized view's score for a row (for assertions and demos).
-    pub fn score_of(&mut self, index: &str, pk: i64) -> Result<f64> {
-        self.drain_score_updates()?;
-        let view = self
-            .indexes
-            .get(index)
-            .map(|ti| ti.view.clone())
-            .ok_or_else(|| SvrError::Engine(format!("unknown text index '{index}'")))?;
-        Ok(self.db.score_of(&view, pk)?)
+    pub fn score_of(&self, index: &str, pk: i64) -> Result<f64> {
+        let ti = self.entry(index)?;
+        Ok(self.shared.db.score_of(&ti.view, pk)?)
     }
 }
 

@@ -7,9 +7,17 @@
 //!
 //! * structured-data mutations flow through the incrementally maintained
 //!   materialized Score view, whose change notifications drive the index's
-//!   score updates (paper §3.2);
+//!   score updates synchronously (paper §3.2/§4.1);
 //! * text mutations flow through the Appendix-A content operations;
 //! * keyword queries return rows ranked by the *latest* SVR scores.
+//!
+//! The engine is built for the paper's deployment shape — scores churn
+//! constantly while queries keep coming — so it is **shareable**: a
+//! [`SvrEngine`] handle is a cheap clone over internally synchronized
+//! state, reads take `&self` and scale across threads, and writes
+//! serialize through per-table writer locks. Bulk mutations go through
+//! [`WriteBatch`] / [`SvrEngine::apply`] with coalesced score
+//! propagation.
 //!
 //! ```
 //! use svr_engine::SvrEngine;
@@ -18,7 +26,7 @@
 //! use svr_relation::schema::{ColumnType, Schema};
 //! use svr_relation::{ScoreComponent, SvrSpec, Value};
 //!
-//! let mut engine = SvrEngine::new();
+//! let engine = SvrEngine::new();
 //! engine.create_table(Schema::new("movies",
 //!     &[("mid", ColumnType::Int), ("desc", ColumnType::Text)], 0)).unwrap();
 //! engine.create_table(Schema::new("stats",
@@ -32,12 +40,16 @@
 //!     MethodKind::Chunk, IndexConfig::default()).unwrap();
 //! engine.insert_row("stats", vec![Value::Int(1), Value::Int(50)]).unwrap();
 //!
-//! let hits = engine.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap();
+//! // Queries take &self: clone the handle into any number of threads.
+//! let reader = engine.clone();
+//! let hits = std::thread::spawn(move || {
+//!     reader.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap()
+//! }).join().unwrap();
 //! assert_eq!(hits[0].score, 50.0);
 //! ```
 
 mod engine;
 mod error;
 
-pub use engine::{RankedRow, SvrEngine};
+pub use engine::{RankedRow, SvrEngine, WriteBatch, WriteOp};
 pub use error::{Result, SvrError};

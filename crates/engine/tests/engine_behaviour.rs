@@ -33,7 +33,7 @@ fn pop_spec() -> SvrSpec {
 }
 
 fn engine_with_index(method: MethodKind) -> SvrEngine {
-    let mut engine = SvrEngine::new();
+    let engine = SvrEngine::new();
     engine.create_table(docs_schema()).unwrap();
     engine.create_table(pop_schema()).unwrap();
     engine
@@ -45,7 +45,7 @@ fn engine_with_index(method: MethodKind) -> SvrEngine {
 #[test]
 fn text_index_discovery() {
     let engine = engine_with_index(MethodKind::Chunk);
-    assert_eq!(engine.text_index_on("docs", "body"), Some("idx"));
+    assert_eq!(engine.text_index_on("docs", "body"), Some("idx".to_string()));
     assert_eq!(engine.text_index_on("docs", "id"), None);
     assert_eq!(engine.text_index_on("pop", "hits"), None);
     assert_eq!(engine.index_names(), vec!["idx"]);
@@ -54,7 +54,7 @@ fn text_index_discovery() {
 
 #[test]
 fn duplicate_index_name_is_rejected() {
-    let mut engine = engine_with_index(MethodKind::Id);
+    let engine = engine_with_index(MethodKind::Id);
     let err = engine
         .create_text_index("idx", "docs", "body", pop_spec(), MethodKind::Id, IndexConfig::default())
         .unwrap_err();
@@ -63,7 +63,7 @@ fn duplicate_index_name_is_rejected() {
 
 #[test]
 fn index_over_prepopulated_table_sees_existing_rows() {
-    let mut engine = SvrEngine::new();
+    let engine = SvrEngine::new();
     engine.create_table(docs_schema()).unwrap();
     engine.create_table(pop_schema()).unwrap();
     // Rows (and scores) exist *before* the index is created.
@@ -75,7 +75,7 @@ fn index_over_prepopulated_table_sees_existing_rows() {
             .insert_row("pop", vec![Value::Int(i), Value::Int(100 * i)])
             .unwrap();
     }
-    let mut engine = engine; // rebind for clarity
+    
     engine
         .create_text_index("idx", "docs", "body", pop_spec(), MethodKind::Chunk, IndexConfig::default())
         .unwrap();
@@ -87,15 +87,16 @@ fn index_over_prepopulated_table_sees_existing_rows() {
 
 #[test]
 fn score_updates_before_first_search_are_not_lost() {
-    let mut engine = engine_with_index(MethodKind::ScoreThreshold);
+    let engine = engine_with_index(MethodKind::ScoreThreshold);
     engine
         .insert_row("docs", vec![Value::Int(1), Value::Text("alpha beta".into())])
         .unwrap();
     engine
         .insert_row("docs", vec![Value::Int(2), Value::Text("alpha gamma".into())])
         .unwrap();
-    // Burst of structured updates with no search in between: the listener
-    // channel must buffer them all and the next search drains everything.
+    // Burst of structured updates with no search in between: every score
+    // change propagates to the index synchronously inside the mutation, so
+    // the next search sees them all.
     for round in 0..50 {
         engine
             .insert_row("pop", vec![Value::Int(100 + round), Value::Int(0)])
@@ -112,7 +113,7 @@ fn score_updates_before_first_search_are_not_lost() {
 
 #[test]
 fn non_integer_primary_keys_are_rejected_for_indexed_tables() {
-    let mut engine = SvrEngine::new();
+    let engine = SvrEngine::new();
     engine
         .create_table(Schema::new(
             "texts",
@@ -139,7 +140,7 @@ fn non_integer_primary_keys_are_rejected_for_indexed_tables() {
 
 #[test]
 fn negative_primary_key_is_out_of_document_range() {
-    let mut engine = engine_with_index(MethodKind::Id);
+    let engine = engine_with_index(MethodKind::Id);
     let err = engine
         .insert_row("docs", vec![Value::Int(-3), Value::Text("words".into())])
         .unwrap_err();
@@ -148,7 +149,7 @@ fn negative_primary_key_is_out_of_document_range() {
 
 #[test]
 fn indexes_on_two_tables_update_independently() {
-    let mut engine = SvrEngine::new();
+    let engine = SvrEngine::new();
     engine.create_table(docs_schema()).unwrap();
     engine.create_table(pop_schema()).unwrap();
     engine
@@ -186,7 +187,7 @@ fn deleting_then_reinserting_a_row_errors_on_id_reuse() {
     // Document ids map to primary keys; the Score table tombstones deleted
     // ids, so re-inserting the same pk is reported rather than silently
     // corrupting postings (the paper's Appendix A.2 discusses id reuse).
-    let mut engine = engine_with_index(MethodKind::Chunk);
+    let engine = engine_with_index(MethodKind::Chunk);
     engine.insert_row("docs", vec![Value::Int(7), Value::Text("ephemeral".into())]).unwrap();
     engine.delete_row("docs", Value::Int(7)).unwrap();
     let result = engine.insert_row("docs", vec![Value::Int(7), Value::Text("reborn".into())]);
@@ -195,10 +196,97 @@ fn deleting_then_reinserting_a_row_errors_on_id_reuse() {
 
 #[test]
 fn score_of_tracks_the_view() {
-    let mut engine = engine_with_index(MethodKind::Chunk);
+    let engine = engine_with_index(MethodKind::Chunk);
     engine.insert_row("docs", vec![Value::Int(1), Value::Text("x".into())]).unwrap();
     assert_eq!(engine.score_of("idx", 1).unwrap(), 0.0);
     engine.insert_row("pop", vec![Value::Int(1), Value::Int(77)]).unwrap();
     assert_eq!(engine.score_of("idx", 1).unwrap(), 77.0);
     assert!(engine.score_of("nope", 1).is_err());
+}
+
+#[test]
+fn write_batch_applies_and_coalesces() {
+    let engine = engine_with_index(MethodKind::Chunk);
+    let mut batch = svr_engine::WriteBatch::new();
+    assert!(batch.is_empty());
+    batch.insert("docs", vec![Value::Int(1), Value::Text("alpha beta".into())]);
+    batch.insert("docs", vec![Value::Int(2), Value::Text("alpha gamma".into())]);
+    batch.insert("pop", vec![Value::Int(1), Value::Int(10)]);
+    batch.insert("pop", vec![Value::Int(2), Value::Int(5)]);
+    // Hammer one doc's score repeatedly: only the final value matters.
+    for step in 0..20 {
+        batch.update("pop", Value::Int(2), vec![("hits".into(), Value::Int(step * 100))]);
+    }
+    batch.delete("docs", Value::Int(1));
+    assert_eq!(batch.len(), 25);
+    assert_eq!(engine.apply(batch).unwrap(), 25);
+
+    assert_eq!(engine.score_of("idx", 2).unwrap(), 1900.0);
+    let hits = engine.search("idx", "alpha", 10, QueryMode::Conjunctive).unwrap();
+    assert_eq!(hits.len(), 1, "doc 1 was deleted in the same batch");
+    assert_eq!(hits[0].row[0], Value::Int(2));
+    assert_eq!(hits[0].score, 1900.0, "index saw the batch's final score");
+
+    // A failing op aborts the rest but reports the error.
+    let mut bad = svr_engine::WriteBatch::new();
+    bad.insert("nope", vec![Value::Int(1)]);
+    assert!(engine.apply(bad).is_err());
+}
+
+#[test]
+fn insert_rows_bulk_load_matches_row_at_a_time() {
+    let engine = engine_with_index(MethodKind::Chunk);
+    let inserted = engine
+        .insert_rows(
+            "docs",
+            (0..40)
+                .map(|i| vec![Value::Int(i), Value::Text(format!("bulk doc{i}"))])
+                .collect(),
+        )
+        .unwrap();
+    assert_eq!(inserted, 40);
+    engine
+        .insert_rows("pop", (0..40).map(|i| vec![Value::Int(i), Value::Int(i * 2)]).collect())
+        .unwrap();
+    let hits = engine.search("idx", "bulk", 3, QueryMode::Conjunctive).unwrap();
+    assert_eq!(hits[0].row[0], Value::Int(39));
+    assert_eq!(hits[0].score, 78.0);
+}
+
+#[test]
+fn drop_text_index_then_table() {
+    let engine = engine_with_index(MethodKind::Chunk);
+    engine.insert_row("docs", vec![Value::Int(1), Value::Text("words".into())]).unwrap();
+
+    // The indexed table cannot be dropped while the index exists.
+    let err = engine.drop_table("docs").unwrap_err();
+    assert!(err.to_string().contains("DROP TEXT INDEX"), "{err}");
+
+    engine.drop_text_index("idx").unwrap();
+    assert!(engine.search("idx", "words", 10, QueryMode::Conjunctive).is_err());
+    assert!(engine.index_names().is_empty());
+    assert!(engine.drop_text_index("idx").is_err(), "double drop");
+
+    engine.drop_table("docs").unwrap();
+    assert!(engine.db().table("docs").is_err());
+
+    // The namespace is free again: recreate both.
+    engine.create_table(docs_schema()).unwrap();
+    engine
+        .create_text_index("idx", "docs", "body", pop_spec(), MethodKind::Id, IndexConfig::default())
+        .unwrap();
+    engine.insert_row("docs", vec![Value::Int(5), Value::Text("reborn words".into())]).unwrap();
+    let hits = engine.search("idx", "reborn", 10, QueryMode::Conjunctive).unwrap();
+    assert_eq!(hits.len(), 1);
+}
+
+#[test]
+fn mutations_after_a_dropped_index_stop_feeding_it() {
+    let engine = engine_with_index(MethodKind::Chunk);
+    engine.insert_row("docs", vec![Value::Int(1), Value::Text("x".into())]).unwrap();
+    engine.drop_text_index("idx").unwrap();
+    // No listener, no index: plain relational writes still work.
+    engine.insert_row("docs", vec![Value::Int(2), Value::Text("y".into())]).unwrap();
+    engine.insert_row("pop", vec![Value::Int(1), Value::Int(9)]).unwrap();
+    assert_eq!(engine.db().table("docs").unwrap().len(), 2);
 }

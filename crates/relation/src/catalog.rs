@@ -4,10 +4,24 @@
 //! owns the tables, routes every row change through the materialized score
 //! views, and exposes the scores (and their change notifications) that the
 //! text-index layer consumes.
+//!
+//! ## Concurrency
+//!
+//! Every method takes `&self`; a `Database` can be shared across threads
+//! (behind an `Arc` or inside a larger shared engine). Internally the
+//! catalog maps are behind `RwLock`s, each table carries a writer lock
+//! serializing same-table mutations (the storage B+-trees are themselves
+//! internally latched, the writer lock makes *check-then-write* sequences
+//! like duplicate-key detection atomic), and each view sits behind a
+//! `Mutex` so change routing from concurrent writers of *different* tables
+//! still updates view state one change at a time. Reads (`table`, `get`,
+//! `scan`, `score_of`) never take a writer lock and run concurrently with
+//! each other and with writers.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use parking_lot::{Mutex, RwLock};
 use svr_storage::StorageEnv;
 
 use crate::error::{RelationError, Result};
@@ -16,11 +30,17 @@ use crate::table::{RowChange, Table};
 use crate::value::Value;
 use crate::view::{ScoreListener, ScoreView, SvrSpec};
 
+/// One table plus the writer lock serializing its mutations.
+struct TableSlot {
+    table: Arc<Table>,
+    write_lock: Mutex<()>,
+}
+
 /// A small relational database with materialized SVR score views.
 pub struct Database {
     env: Arc<StorageEnv>,
-    tables: HashMap<String, Table>,
-    views: HashMap<String, ScoreView>,
+    tables: RwLock<HashMap<String, Arc<TableSlot>>>,
+    views: RwLock<HashMap<String, Arc<Mutex<ScoreView>>>>,
 }
 
 impl Default for Database {
@@ -34,8 +54,8 @@ impl Database {
     pub fn new() -> Database {
         Database {
             env: Arc::new(StorageEnv::default()),
-            tables: HashMap::new(),
-            views: HashMap::new(),
+            tables: RwLock::new(HashMap::new()),
+            views: RwLock::new(HashMap::new()),
         }
     }
 
@@ -45,27 +65,61 @@ impl Database {
     }
 
     /// Create a table.
-    pub fn create_table(&mut self, schema: Schema) -> Result<()> {
-        if self.tables.contains_key(&schema.name) {
+    pub fn create_table(&self, schema: Schema) -> Result<()> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(&schema.name) {
             return Err(RelationError::DuplicateTable(schema.name));
         }
         let store = self.env.create_store(&format!("table:{}", schema.name), 1024);
         let name = schema.name.clone();
-        self.tables.insert(name, Table::create(schema, store)?);
+        let slot = TableSlot { table: Arc::new(Table::create(schema, store)?), write_lock: Mutex::new(()) };
+        tables.insert(name, Arc::new(slot));
         Ok(())
     }
 
-    /// Look up a table.
-    pub fn table(&self, name: &str) -> Result<&Table> {
+    /// Drop a table. Fails while any score view targets or sources it
+    /// (drop the dependent view — in the engine, the text index — first).
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        for (view_name, view) in self.views.read().iter() {
+            let view = view.lock();
+            let depends = view.target_table == name
+                || view.spec.components.iter().any(|c| c.source_table() == Some(name));
+            if depends {
+                return Err(RelationError::TableInUse {
+                    table: name.to_string(),
+                    view: view_name.clone(),
+                });
+            }
+        }
         self.tables
-            .get(name)
+            .write()
+            .remove(name)
+            .map(|_| ())
             .ok_or_else(|| RelationError::UnknownTable(name.to_string()))
+    }
+
+    fn slot(&self, name: &str) -> Result<Arc<TableSlot>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RelationError::UnknownTable(name.to_string()))
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        Ok(self.slot(name)?.table.clone())
+    }
+
+    /// Names of all tables (unordered).
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
     }
 
     /// Create a materialized score view over `target_table`. Existing rows
     /// are folded in immediately.
-    pub fn create_score_view(&mut self, name: &str, target_table: &str, spec: SvrSpec) -> Result<()> {
-        if self.views.contains_key(name) {
+    pub fn create_score_view(&self, name: &str, target_table: &str, spec: SvrSpec) -> Result<()> {
+        if self.views.read().contains_key(name) {
             return Err(RelationError::DuplicateView(name.to_string()));
         }
         // Validate all referenced tables up front.
@@ -89,47 +143,69 @@ impl Database {
                 }
             }
         }
-        self.views.insert(name.to_string(), view);
+        let mut views = self.views.write();
+        if views.contains_key(name) {
+            return Err(RelationError::DuplicateView(name.to_string()));
+        }
+        views.insert(name.to_string(), Arc::new(Mutex::new(view)));
         Ok(())
     }
 
-    /// Register the score-change listener of a view (the text index).
-    pub fn set_score_listener(&mut self, view: &str, listener: ScoreListener) -> Result<()> {
+    /// Drop a score view.
+    pub fn drop_score_view(&self, name: &str) -> Result<()> {
         self.views
-            .get_mut(view)
-            .ok_or_else(|| RelationError::UnknownView(view.to_string()))?
-            .set_listener(listener);
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| RelationError::UnknownView(name.to_string()))
+    }
+
+    fn view(&self, name: &str) -> Result<Arc<Mutex<ScoreView>>> {
+        self.views
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RelationError::UnknownView(name.to_string()))
+    }
+
+    /// Register the score-change listener of a view (the text index). The
+    /// listener fires synchronously inside mutating calls; see
+    /// [`ScoreListener`].
+    pub fn set_score_listener(&self, view: &str, listener: ScoreListener) -> Result<()> {
+        self.view(view)?.lock().set_listener(listener);
+        Ok(())
+    }
+
+    /// Remove a view's listener.
+    pub fn clear_score_listener(&self, view: &str) -> Result<()> {
+        self.view(view)?.lock().clear_listener();
         Ok(())
     }
 
     /// Current score of a target key in a view.
     pub fn score_of(&self, view: &str, pk: i64) -> Result<f64> {
-        self.views
-            .get(view)
-            .ok_or_else(|| RelationError::UnknownView(view.to_string()))?
+        self.view(view)?
+            .lock()
             .score_of(pk)
             .ok_or_else(|| RelationError::MissingRow(pk.to_string()))
     }
 
     /// All `(pk, score)` rows of a view.
     pub fn all_scores(&self, view: &str) -> Result<Vec<(i64, f64)>> {
-        Ok(self
-            .views
-            .get(view)
-            .ok_or_else(|| RelationError::UnknownView(view.to_string()))?
-            .all_scores())
+        Ok(self.view(view)?.lock().all_scores())
     }
 
-    fn route_change(&mut self, table_name: &str, change: &RowChange) -> Result<()> {
-        let schema = self.table(table_name)?.schema().clone();
-        for view in self.views.values_mut() {
-            if view.target_table == table_name {
-                view.apply_target_change(&schema, change);
+    /// Route one committed change through every dependent view.
+    fn route_change(&self, table: &Table, change: &RowChange) -> Result<()> {
+        let schema = table.schema();
+        for view in self.views.read().values() {
+            let mut view = view.lock();
+            if view.target_table == schema.name {
+                view.apply_target_change(schema, change);
             }
-            let comps = view.spec.components.clone();
-            for (i, comp) in comps.iter().enumerate() {
-                if comp.source_table() == Some(table_name) {
-                    view.apply_source_change(i, &schema, change)?;
+            for i in 0..view.spec.components.len() {
+                if view.spec.components[i].source_table() == Some(schema.name.as_str()) {
+                    view.apply_source_change(i, schema, change)?;
                 }
             }
         }
@@ -137,21 +213,75 @@ impl Database {
     }
 
     /// Insert a row, maintaining every dependent view.
-    pub fn insert_row(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
-        let change = self.table(table)?.insert(row)?;
-        self.route_change(table, &change)
+    pub fn insert_row(&self, table: &str, row: Vec<Value>) -> Result<()> {
+        let slot = self.slot(table)?;
+        let _write = slot.write_lock.lock();
+        let change = slot.table.insert(row)?;
+        self.route_change(&slot.table, &change)
+    }
+
+    /// Insert many rows under one writer-lock acquisition with coalesced
+    /// view notifications: each view's listener fires once per touched key
+    /// (with the final score) instead of once per change.
+    pub fn insert_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        let slot = self.slot(table)?;
+        let _write = slot.write_lock.lock();
+        let _buffered = BufferBracket::enter(self);
+        let mut inserted = 0;
+        for row in rows {
+            let change = slot.table.insert(row)?;
+            self.route_change(&slot.table, &change)?;
+            inserted += 1;
+        }
+        Ok(inserted)
     }
 
     /// Update named columns of a row, maintaining every dependent view.
-    pub fn update_row(&mut self, table: &str, pk: Value, updates: &[(String, Value)]) -> Result<()> {
-        let change = self.table(table)?.update(&pk, updates)?;
-        self.route_change(table, &change)
+    pub fn update_row(&self, table: &str, pk: Value, updates: &[(String, Value)]) -> Result<()> {
+        let slot = self.slot(table)?;
+        let _write = slot.write_lock.lock();
+        let change = slot.table.update(&pk, updates)?;
+        self.route_change(&slot.table, &change)
     }
 
     /// Delete a row, maintaining every dependent view.
-    pub fn delete_row(&mut self, table: &str, pk: Value) -> Result<()> {
-        let change = self.table(table)?.delete(&pk)?;
-        self.route_change(table, &change)
+    pub fn delete_row(&self, table: &str, pk: Value) -> Result<()> {
+        let slot = self.slot(table)?;
+        let _write = slot.write_lock.lock();
+        let change = slot.table.delete(&pk)?;
+        self.route_change(&slot.table, &change)
+    }
+
+    /// Enter coalesced-notification mode on every view (see
+    /// [`ScoreView::begin_buffering`]); the returned guard restores
+    /// immediate notifications (flushing final scores) when dropped.
+    pub fn buffer_score_notifications(&self) -> BufferBracket {
+        BufferBracket::enter(self)
+    }
+}
+
+/// RAII bracket for coalesced view notifications across a write batch.
+pub struct BufferBracket {
+    /// The views bracketed at entry (a view created mid-batch notifies
+    /// immediately, which is correct: it has no stale index yet).
+    views: Vec<Arc<Mutex<ScoreView>>>,
+}
+
+impl BufferBracket {
+    fn enter(db: &Database) -> BufferBracket {
+        let views: Vec<_> = db.views.read().values().cloned().collect();
+        for view in &views {
+            view.lock().begin_buffering();
+        }
+        BufferBracket { views }
+    }
+}
+
+impl Drop for BufferBracket {
+    fn drop(&mut self) {
+        for view in &self.views {
+            view.lock().end_buffering();
+        }
     }
 }
 
@@ -161,12 +291,12 @@ mod tests {
     use crate::aggexpr::AggExpr;
     use crate::functions::ScoreComponent;
     use crate::schema::ColumnType;
-    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 
     /// Build the paper's example database: Movies, Reviews, Statistics with
     /// Agg = s1*100 + s2/2 + s3.
     fn paper_db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(Schema::new(
             "movies",
             &[("mid", ColumnType::Int), ("desc", ColumnType::Text)],
@@ -215,7 +345,7 @@ mod tests {
 
     #[test]
     fn paper_example_end_to_end() {
-        let mut db = paper_db();
+        let db = paper_db();
         db.insert_row("movies", vec![Value::Int(1), Value::Text("american thrift".into())])
             .unwrap();
         db.insert_row("reviews", vec![Value::Int(100), Value::Int(1), Value::Float(4.5)])
@@ -239,7 +369,7 @@ mod tests {
 
     #[test]
     fn listener_receives_updates() {
-        let mut db = paper_db();
+        let db = paper_db();
         db.insert_row("movies", vec![Value::Int(1), Value::Text("m".into())]).unwrap();
         let last = std::sync::Arc::new(AtomicI64::new(-1));
         let l2 = last.clone();
@@ -257,7 +387,7 @@ mod tests {
 
     #[test]
     fn view_populates_from_existing_rows() {
-        let mut db = paper_db();
+        let db = paper_db();
         db.insert_row("movies", vec![Value::Int(7), Value::Text("late".into())]).unwrap();
         db.insert_row("reviews", vec![Value::Int(1), Value::Int(7), Value::Float(5.0)])
             .unwrap();
@@ -273,7 +403,7 @@ mod tests {
 
     #[test]
     fn errors_for_unknown_objects() {
-        let mut db = paper_db();
+        let db = paper_db();
         assert!(db.insert_row("nope", vec![]).is_err());
         assert!(db.score_of("nope", 1).is_err());
         assert!(db
@@ -294,7 +424,7 @@ mod tests {
 
     #[test]
     fn deleting_reviews_lowers_score() {
-        let mut db = paper_db();
+        let db = paper_db();
         db.insert_row("movies", vec![Value::Int(1), Value::Text("m".into())]).unwrap();
         db.insert_row("reviews", vec![Value::Int(100), Value::Int(1), Value::Float(5.0)])
             .unwrap();
@@ -303,5 +433,115 @@ mod tests {
         assert_eq!(db.score_of("scores", 1).unwrap(), 300.0);
         db.delete_row("reviews", Value::Int(101)).unwrap();
         assert_eq!(db.score_of("scores", 1).unwrap(), 500.0);
+    }
+
+    #[test]
+    fn drop_table_requires_no_dependents() {
+        let db = paper_db();
+        // All three tables feed the "scores" view: the target directly, the
+        // other two as component sources.
+        for t in ["movies", "reviews", "statistics"] {
+            assert!(matches!(db.drop_table(t), Err(RelationError::TableInUse { .. })), "{t}");
+        }
+        db.drop_score_view("scores").unwrap();
+        db.drop_table("reviews").unwrap();
+        assert!(db.table("reviews").is_err());
+        assert!(db.drop_table("reviews").is_err(), "double drop");
+        assert!(db.drop_score_view("scores").is_err(), "double view drop");
+    }
+
+    #[test]
+    fn buffered_notifications_coalesce() {
+        let db = paper_db();
+        db.insert_row("movies", vec![Value::Int(1), Value::Text("m".into())]).unwrap();
+        let fired = std::sync::Arc::new(AtomicUsize::new(0));
+        let last = std::sync::Arc::new(AtomicI64::new(-1));
+        let (f2, l2) = (fired.clone(), last.clone());
+        db.set_score_listener(
+            "scores",
+            Box::new(move |_pk, score| {
+                f2.fetch_add(1, Ordering::SeqCst);
+                l2.store(score as i64, Ordering::SeqCst);
+            }),
+        )
+        .unwrap();
+        {
+            let _bracket = db.buffer_score_notifications();
+            for visits in [100, 200, 400] {
+                db.update_row(
+                    "statistics",
+                    Value::Int(1),
+                    &[("nvisit".to_string(), Value::Int(visits))],
+                )
+                .unwrap_or_else(|_| {
+                    db.insert_row(
+                        "statistics",
+                        vec![Value::Int(1), Value::Int(visits), Value::Int(0)],
+                    )
+                    .unwrap()
+                });
+            }
+            assert_eq!(fired.load(Ordering::SeqCst), 0, "buffered: nothing fires mid-batch");
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "one coalesced notification");
+        assert_eq!(last.load(Ordering::SeqCst), 200, "final score 400/2");
+    }
+
+    #[test]
+    fn insert_rows_batch_matches_row_at_a_time() {
+        let db = paper_db();
+        let rows: Vec<Vec<Value>> = (0..50)
+            .map(|i| vec![Value::Int(i), Value::Text(format!("movie {i}"))])
+            .collect();
+        assert_eq!(db.insert_rows("movies", rows).unwrap(), 50);
+        db.insert_rows(
+            "statistics",
+            (0..50).map(|i| vec![Value::Int(i), Value::Int(i * 10), Value::Int(0)]).collect(),
+        )
+        .unwrap();
+        for i in 0..50 {
+            assert_eq!(db.score_of("scores", i).unwrap(), (i * 10) as f64 / 2.0);
+        }
+        // Duplicate key inside a batch surfaces the row error.
+        assert!(db
+            .insert_rows("movies", vec![vec![Value::Int(0), Value::Text("dup".into())]])
+            .is_err());
+    }
+
+    #[test]
+    fn concurrent_writers_keep_views_consistent() {
+        let db = std::sync::Arc::new(paper_db());
+        for i in 0..8 {
+            db.insert_row("movies", vec![Value::Int(i), Value::Text(format!("m{i}"))])
+                .unwrap();
+        }
+        std::thread::scope(|scope| {
+            let stats_db = db.clone();
+            scope.spawn(move || {
+                for i in 0..8 {
+                    stats_db
+                        .insert_row(
+                            "statistics",
+                            vec![Value::Int(i), Value::Int(1000), Value::Int(0)],
+                        )
+                        .unwrap();
+                }
+            });
+            let reviews_db = db.clone();
+            scope.spawn(move || {
+                for i in 0..8 {
+                    reviews_db
+                        .insert_row(
+                            "reviews",
+                            vec![Value::Int(100 + i), Value::Int(i), Value::Float(4.0)],
+                        )
+                        .unwrap();
+                }
+            });
+        });
+        for i in 0..8 {
+            // avg(4.0)*100 + 1000/2 + 0.
+            assert_eq!(db.score_of("scores", i).unwrap(), 400.0 + 500.0);
+        }
     }
 }

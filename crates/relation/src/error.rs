@@ -15,6 +15,8 @@ pub enum RelationError {
     DuplicateView(String),
     DuplicateKey(String),
     MissingRow(String),
+    /// The table cannot be dropped while a score view depends on it.
+    TableInUse { table: String, view: String },
     TypeMismatch { expected: &'static str, got: &'static str },
     ArityMismatch { expected: usize, got: usize },
     /// Agg expression parse failure (offset, message).
@@ -34,6 +36,9 @@ impl fmt::Display for RelationError {
             RelationError::DuplicateView(v) => write!(f, "score view '{v}' already exists"),
             RelationError::DuplicateKey(k) => write!(f, "duplicate primary key {k}"),
             RelationError::MissingRow(k) => write!(f, "no row with primary key {k}"),
+            RelationError::TableInUse { table, view } => {
+                write!(f, "cannot drop table '{table}': score view '{view}' depends on it")
+            }
             RelationError::TypeMismatch { expected, got } => {
                 write!(f, "type mismatch: expected {expected}, got {got}")
             }

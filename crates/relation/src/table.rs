@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use parking_lot::RwLock;
 use svr_storage::{BTree, Store};
 
 use crate::error::{RelationError, Result};
@@ -9,9 +10,16 @@ use crate::schema::Schema;
 use crate::value::{decode_row, encode_row, Value};
 
 /// A stored table.
+///
+/// Safe to share across threads: the backing B+-tree assumes no concurrent
+/// structural mutation (page splits are not latched against readers), so
+/// the table holds a read-write latch — lookups and scans share it,
+/// mutations take it exclusively. Many readers proceed in parallel; a
+/// writer briefly excludes them.
 pub struct Table {
     schema: Schema,
     tree: BTree,
+    latch: RwLock<()>,
 }
 
 /// A row change event, consumed by materialized-view maintenance.
@@ -25,7 +33,7 @@ pub enum RowChange {
 impl Table {
     /// Create an empty table.
     pub fn create(schema: Schema, store: Arc<Store>) -> Result<Table> {
-        Ok(Table { schema, tree: BTree::create(store)? })
+        Ok(Table { schema, tree: BTree::create(store)?, latch: RwLock::new(()) })
     }
 
     /// The table's schema.
@@ -47,10 +55,19 @@ impl Table {
         row[self.schema.pk].clone()
     }
 
+    /// Fetch without taking the latch (callers hold it).
+    fn get_unlatched(&self, key: &[u8]) -> Result<Option<Vec<Value>>> {
+        match self.tree.get(key)? {
+            Some(bytes) => Ok(Some(decode_row(&bytes)?)),
+            None => Ok(None),
+        }
+    }
+
     /// Insert a new row; duplicate keys are rejected.
     pub fn insert(&self, row: Vec<Value>) -> Result<RowChange> {
         self.schema.check_row(&row)?;
         let key = self.pk_of(&row).encode_key();
+        let _latch = self.latch.write();
         if self.tree.contains(&key)? {
             return Err(RelationError::DuplicateKey(self.pk_of(&row).to_string()));
         }
@@ -60,16 +77,23 @@ impl Table {
 
     /// Fetch a row by primary key.
     pub fn get(&self, pk: &Value) -> Result<Option<Vec<Value>>> {
-        match self.tree.get(&pk.encode_key())? {
-            Some(bytes) => Ok(Some(decode_row(&bytes)?)),
-            None => Ok(None),
-        }
+        self.get_raw(&pk.encode_key())
+    }
+
+    /// Fetch a row by its already-encoded key (see
+    /// [`Value::encode_key_into`]); hot loops use this to avoid a `Value`
+    /// construction plus key allocation per lookup.
+    pub fn get_raw(&self, key: &[u8]) -> Result<Option<Vec<Value>>> {
+        let _latch = self.latch.read();
+        self.get_unlatched(key)
     }
 
     /// Update named columns of an existing row.
     pub fn update(&self, pk: &Value, updates: &[(String, Value)]) -> Result<RowChange> {
+        let key = pk.encode_key();
+        let _latch = self.latch.write();
         let old = self
-            .get(pk)?
+            .get_unlatched(&key)?
             .ok_or_else(|| RelationError::MissingRow(pk.to_string()))?;
         let mut new = old.clone();
         for (column, value) in updates {
@@ -83,21 +107,24 @@ impl Table {
             new[idx] = value.clone();
         }
         self.schema.check_row(&new)?;
-        self.tree.put(&pk.encode_key(), &encode_row(&new))?;
+        self.tree.put(&key, &encode_row(&new))?;
         Ok(RowChange::Updated { old, new })
     }
 
     /// Delete a row by primary key.
     pub fn delete(&self, pk: &Value) -> Result<RowChange> {
+        let key = pk.encode_key();
+        let _latch = self.latch.write();
         let old = self
-            .get(pk)?
+            .get_unlatched(&key)?
             .ok_or_else(|| RelationError::MissingRow(pk.to_string()))?;
-        self.tree.delete(&pk.encode_key())?;
+        self.tree.delete(&key)?;
         Ok(RowChange::Deleted { old })
     }
 
     /// All rows in primary-key order.
     pub fn scan(&self) -> Result<Vec<Vec<Value>>> {
+        let _latch = self.latch.read();
         let mut cursor = self.tree.cursor(&[])?;
         let mut rows = Vec::new();
         while let Some((_, bytes)) = cursor.next_entry()? {

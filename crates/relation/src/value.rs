@@ -101,6 +101,14 @@ impl Value {
     /// Order-preserving key encoding (for primary-key B+-tree keys).
     pub fn encode_key(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_key_into(&mut out);
+        out
+    }
+
+    /// [`Value::encode_key`] into a caller-provided buffer, so hot loops
+    /// (ranked-search row fetches) can reuse one allocation.
+    pub fn encode_key_into(&self, out: &mut Vec<u8>) {
+        out.clear();
         match self {
             Value::Null => out.push(0),
             Value::Int(i) => {
@@ -117,7 +125,6 @@ impl Value {
                 out.extend_from_slice(s.as_bytes());
             }
         }
-        out
     }
 }
 

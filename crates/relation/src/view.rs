@@ -20,7 +20,14 @@ use crate::table::RowChange;
 use crate::value::Value;
 
 /// Callback invoked with `(target_pk, new_score)` on every score change.
-pub type ScoreListener = Box<dyn FnMut(i64, f64) + Send>;
+///
+/// The listener runs *synchronously* inside the mutating call, while the
+/// view's lock is held — the paper's "the index structures are notified
+/// whenever the score of a document is updated in the materialized view"
+/// (§4.1) with no buffering in between. It must therefore be cheap-ish and
+/// must not call back into the relational layer. It is `Fn + Send + Sync`
+/// so a view shared behind a lock can notify from any writer thread.
+pub type ScoreListener = Box<dyn Fn(i64, f64) + Send + Sync>;
 
 /// An SVR score specification: components `S1..Sm` plus the `Agg` function.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +61,12 @@ pub struct ScoreView {
     /// Materialized scores.
     scores: HashMap<i64, f64>,
     listener: Option<ScoreListener>,
+    /// While > 0 (inside [`ScoreView::begin_buffering`] /
+    /// [`ScoreView::end_buffering`] brackets), notifications are coalesced
+    /// per key instead of fired per change.
+    buffer_depth: u32,
+    /// Keys with buffered (unfired) score changes.
+    buffered: HashSet<i64>,
 }
 
 impl ScoreView {
@@ -67,12 +80,46 @@ impl ScoreView {
             target_pks: HashSet::new(),
             scores: HashMap::new(),
             listener: None,
+            buffer_depth: 0,
+            buffered: HashSet::new(),
         }
     }
 
     /// Register the score-change listener (the text index).
     pub fn set_listener(&mut self, listener: ScoreListener) {
         self.listener = Some(listener);
+    }
+
+    /// Remove the listener (index teardown).
+    pub fn clear_listener(&mut self) {
+        self.listener = None;
+    }
+
+    /// Enter buffered-notification mode: until the matching
+    /// [`ScoreView::end_buffering`], score changes are recorded per key and
+    /// the listener stays quiet. Brackets nest (a depth counter), so
+    /// overlapping write batches compose.
+    pub fn begin_buffering(&mut self) {
+        self.buffer_depth += 1;
+    }
+
+    /// Leave buffered-notification mode. When the last bracket closes, the
+    /// listener is fired **once per touched key** with the key's *final*
+    /// score — a batch that updates one document's score 50 times costs one
+    /// index update instead of 50.
+    pub fn end_buffering(&mut self) {
+        self.buffer_depth = self.buffer_depth.saturating_sub(1);
+        if self.buffer_depth > 0 {
+            return;
+        }
+        let keys: Vec<i64> = self.buffered.drain().collect();
+        if let Some(listener) = &self.listener {
+            for pk in keys {
+                if let Some(&score) = self.scores.get(&pk) {
+                    listener(pk, score);
+                }
+            }
+        }
     }
 
     /// Current score of a target key.
@@ -114,7 +161,9 @@ impl ScoreView {
         let score = self.spec.agg.eval(&values).max(0.0);
         let changed = self.scores.insert(pk, score) != Some(score);
         if changed {
-            if let Some(listener) = &mut self.listener {
+            if self.buffer_depth > 0 {
+                self.buffered.insert(pk);
+            } else if let Some(listener) = &self.listener {
                 listener(pk, score);
             }
         }

@@ -25,6 +25,10 @@ pub enum Statement {
     Explain(Box<Statement>),
     /// `DROP FUNCTION name` — unregister a scoring/aggregate function.
     DropFunction(String),
+    /// `DROP TEXT INDEX name` — tear down a text index and its score view.
+    DropTextIndex(String),
+    /// `DROP TABLE name` — drop a table (fails while indexed).
+    DropTable(String),
 }
 
 /// `CREATE TABLE name (col TYPE [PRIMARY KEY], ...)`

@@ -194,8 +194,16 @@ impl Parser {
             }
             "DROP" => {
                 self.pos += 1;
-                self.expect_keyword("FUNCTION")?;
-                Ok(Statement::DropFunction(self.identifier()?))
+                if self.eat_keyword("FUNCTION") {
+                    Ok(Statement::DropFunction(self.identifier()?))
+                } else if self.eat_keyword("TABLE") {
+                    Ok(Statement::DropTable(self.identifier()?))
+                } else if self.eat_keyword("TEXT") {
+                    self.expect_keyword("INDEX")?;
+                    Ok(Statement::DropTextIndex(self.identifier()?))
+                } else {
+                    Err(self.error("expected FUNCTION, TABLE or TEXT INDEX after DROP"))
+                }
             }
             other => Err(self.error(format!("unknown statement '{other}'"))),
         }
@@ -882,7 +890,16 @@ mod tests {
             parse_statement("DROP FUNCTION s1").unwrap(),
             Statement::DropFunction("s1".into())
         );
-        assert!(parse_statement("DROP TABLE t").is_err(), "only functions are droppable");
+        assert_eq!(
+            parse_statement("DROP TABLE t").unwrap(),
+            Statement::DropTable("t".into())
+        );
+        assert_eq!(
+            parse_statement("DROP TEXT INDEX movie_idx").unwrap(),
+            Statement::DropTextIndex("movie_idx".into())
+        );
+        assert!(parse_statement("DROP INDEX x").is_err(), "TEXT INDEX is the only index kind");
+        assert!(parse_statement("DROP").is_err());
     }
 
     #[test]

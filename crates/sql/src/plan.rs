@@ -9,11 +9,79 @@
 //!   (`f(svr, ts) = svr + w·ts`, §4.3.3) — non-linear uses are rejected;
 //! * method names map to [`MethodKind`]s.
 
+use svr_core::types::QueryMode;
 use svr_core::{IndexConfig, MethodKind};
 use svr_relation::{AggExpr, ScoreComponent};
 
-use crate::ast::{Arith, ComponentAgg, FunctionBody};
+use crate::ast::{Arith, ComponentAgg, FunctionBody, MatchMode, Predicate, Select};
 use crate::error::{Result, SqlError};
+
+/// The resolved ranked access path of a `SELECT`: which text column to
+/// search, for what, and how keywords combine. `ORDER BY SCORE(...)` and
+/// `CONTAINS(...)` both map onto it, and when a query uses both they must
+/// agree — the single place that reconciliation happens, shared by
+/// execution ([`crate::SqlSession::execute`]) and `EXPLAIN`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedPath {
+    pub column: String,
+    pub keywords: String,
+    pub mode: MatchMode,
+}
+
+impl RankedPath {
+    /// The index-layer query mode.
+    pub fn query_mode(&self) -> QueryMode {
+        match self.mode {
+            MatchMode::All => QueryMode::Conjunctive,
+            MatchMode::Any => QueryMode::Disjunctive,
+        }
+    }
+}
+
+/// Resolve a `SELECT`'s ranked path, if it has one.
+///
+/// * `ORDER BY SCORE(col, kw)` alone ranks conjunctively;
+/// * `CONTAINS(col, kw [, mode])` alone ranks with the predicate's mode;
+/// * both together must name the same column and keywords, and take the
+///   `CONTAINS` mode.
+pub fn resolve_ranked_path(sel: &Select) -> Result<Option<RankedPath>> {
+    let contains = match &sel.predicate {
+        Some(Predicate::Contains { column, keywords, mode }) => {
+            Some((column.as_str(), keywords.as_str(), *mode))
+        }
+        _ => None,
+    };
+    Ok(match (&sel.order_by_score, contains) {
+        (Some(obs), Some((c_col, c_kw, c_mode))) => {
+            if !obs.column.eq_ignore_ascii_case(c_col) {
+                return Err(SqlError::Plan(
+                    "CONTAINS and ORDER BY SCORE must reference the same column".into(),
+                ));
+            }
+            if obs.keywords != c_kw {
+                return Err(SqlError::Plan(
+                    "CONTAINS and ORDER BY SCORE must use the same keywords".into(),
+                ));
+            }
+            Some(RankedPath {
+                column: obs.column.clone(),
+                keywords: obs.keywords.clone(),
+                mode: c_mode,
+            })
+        }
+        (Some(obs), None) => Some(RankedPath {
+            column: obs.column.clone(),
+            keywords: obs.keywords.clone(),
+            mode: MatchMode::All,
+        }),
+        (None, Some((column, keywords, mode))) => Some(RankedPath {
+            column: column.to_string(),
+            keywords: keywords.to_string(),
+            mode,
+        }),
+        (None, None) => None,
+    })
+}
 
 /// A registered `CREATE FUNCTION`.
 #[derive(Debug, Clone, PartialEq)]
@@ -305,6 +373,63 @@ mod tests {
             MethodKind::ScoreThresholdTermScore
         );
         assert!(parse_method("btree").is_err());
+    }
+
+    fn select_with(
+        order_by: Option<(&str, &str)>,
+        contains: Option<(&str, &str, MatchMode)>,
+    ) -> Select {
+        Select {
+            projection: None,
+            table: "movies".into(),
+            alias: None,
+            predicate: contains.map(|(c, k, m)| Predicate::Contains {
+                column: c.into(),
+                keywords: k.into(),
+                mode: m,
+            }),
+            order_by_score: order_by.map(|(c, k)| crate::ast::OrderByScore {
+                column: c.into(),
+                keywords: k.into(),
+            }),
+            fetch: None,
+        }
+    }
+
+    #[test]
+    fn ranked_path_resolution() {
+        // Plain scan: no ranked path.
+        assert_eq!(resolve_ranked_path(&select_with(None, None)).unwrap(), None);
+        // ORDER BY SCORE alone: conjunctive.
+        let p = resolve_ranked_path(&select_with(Some(("desc", "golden gate")), None))
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.mode, MatchMode::All);
+        assert_eq!(p.query_mode(), QueryMode::Conjunctive);
+        assert_eq!(p.keywords, "golden gate");
+        // CONTAINS alone keeps its mode.
+        let p = resolve_ranked_path(&select_with(None, Some(("desc", "gate", MatchMode::Any))))
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.query_mode(), QueryMode::Disjunctive);
+        // Both: must agree on column (case-insensitively) and keywords.
+        let p = resolve_ranked_path(&select_with(
+            Some(("DESC", "gate")),
+            Some(("desc", "gate", MatchMode::Any)),
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(p.mode, MatchMode::Any, "CONTAINS mode wins");
+        assert!(resolve_ranked_path(&select_with(
+            Some(("name", "gate")),
+            Some(("desc", "gate", MatchMode::All)),
+        ))
+        .is_err());
+        assert!(resolve_ranked_path(&select_with(
+            Some(("desc", "golden")),
+            Some(("desc", "gate", MatchMode::All)),
+        ))
+        .is_err());
     }
 
     #[test]

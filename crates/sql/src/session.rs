@@ -1,8 +1,9 @@
 //! The SQL session: parse → plan → execute against an [`SvrEngine`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use svr_core::types::QueryMode;
+use parking_lot::RwLock;
 use svr_core::IndexConfig;
 use svr_engine::{RankedRow, SvrEngine};
 use svr_relation::schema::Schema;
@@ -12,7 +13,8 @@ use crate::ast::*;
 use crate::error::{Result, SqlError};
 use crate::parser::{parse_script, parse_statement};
 use crate::plan::{
-    apply_options, lower_function, parse_method, resolve_arith, tfidf_weight, FunctionDef,
+    apply_options, lower_function, parse_method, resolve_arith, resolve_ranked_path,
+    tfidf_weight, FunctionDef,
 };
 
 /// Result of executing one statement.
@@ -126,12 +128,26 @@ impl std::fmt::Display for SqlResult {
     }
 }
 
+/// State shared by every clone of a session: the engine handle plus the
+/// function registry (`CREATE FUNCTION` definitions are session-cluster
+/// scoped, like the engine's catalog).
+struct SessionShared {
+    engine: SvrEngine,
+    functions: RwLock<HashMap<String, FunctionDef>>,
+}
+
 /// A SQL session over an [`SvrEngine`].
+///
+/// A session is a cheap cloneable handle: `clone()` (or
+/// [`SqlSession::with_shared`]) yields another session over the *same*
+/// engine and function registry, and [`SqlSession::execute`] takes
+/// `&self` — so N threads can each hold a session and serve queries
+/// against one shared engine while writers mutate it.
 ///
 /// ```
 /// use svr_sql::SqlSession;
 ///
-/// let mut session = SqlSession::new();
+/// let session = SqlSession::new();
 /// session.execute_script(r#"
 ///     CREATE TABLE movies (mid INT PRIMARY KEY, name TEXT, description TEXT);
 ///     CREATE TABLE stats (mid INT PRIMARY KEY, nvisit INT);
@@ -145,14 +161,18 @@ impl std::fmt::Display for SqlResult {
 ///     INSERT INTO stats VALUES (1, 5000), (2, 12);
 /// "#).unwrap();
 ///
-/// let result = session.execute(
-///     r#"SELECT name FROM movies ORDER BY SCORE(description, "golden gate")
-///        FETCH TOP 10 RESULTS ONLY"#).unwrap();
-/// assert_eq!(result.row_count(), 2); // popular movie first
+/// // Serve a query from another thread over a cloned handle.
+/// let server = session.clone();
+/// let rows = std::thread::spawn(move || {
+///     server.execute(
+///         r#"SELECT name FROM movies ORDER BY SCORE(description, "golden gate")
+///            FETCH TOP 10 RESULTS ONLY"#).unwrap().row_count()
+/// }).join().unwrap();
+/// assert_eq!(rows, 2); // popular movie first
 /// ```
+#[derive(Clone)]
 pub struct SqlSession {
-    engine: SvrEngine,
-    functions: HashMap<String, FunctionDef>,
+    shared: Arc<SessionShared>,
 }
 
 impl Default for SqlSession {
@@ -167,34 +187,42 @@ impl SqlSession {
         SqlSession::with_engine(SvrEngine::new())
     }
 
-    /// Wrap an existing engine.
+    /// Wrap an engine handle (sharing whatever state it shares).
     pub fn with_engine(engine: SvrEngine) -> SqlSession {
-        SqlSession { engine, functions: HashMap::new() }
+        SqlSession {
+            shared: Arc::new(SessionShared { engine, functions: RwLock::new(HashMap::new()) }),
+        }
     }
 
-    /// The underlying engine.
+    /// A session over an engine shared behind an `Arc` — equivalent to
+    /// `with_engine((*engine).clone())` since engine handles are cheap
+    /// clones of the same shared state.
+    pub fn with_shared(engine: Arc<SvrEngine>) -> SqlSession {
+        SqlSession::with_engine((*engine).clone())
+    }
+
+    /// The underlying engine handle.
     pub fn engine(&self) -> &SvrEngine {
-        &self.engine
+        &self.shared.engine
     }
 
-    /// Mutable access to the underlying engine (maintenance, stats).
-    pub fn engine_mut(&mut self) -> &mut SvrEngine {
-        &mut self.engine
+    fn function(&self, name: &str) -> Option<FunctionDef> {
+        self.shared.functions.read().get(&name.to_ascii_lowercase()).cloned()
     }
 
     /// Execute one statement.
-    pub fn execute(&mut self, sql: &str) -> Result<SqlResult> {
+    pub fn execute(&self, sql: &str) -> Result<SqlResult> {
         let statement = parse_statement(sql)?;
         self.run(statement)
     }
 
     /// Execute a `;`-separated script, returning one result per statement.
-    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<SqlResult>> {
+    pub fn execute_script(&self, sql: &str) -> Result<Vec<SqlResult>> {
         let statements = parse_script(sql)?;
         statements.into_iter().map(|s| self.run(s)).collect()
     }
 
-    fn run(&mut self, statement: Statement) -> Result<SqlResult> {
+    fn run(&self, statement: Statement) -> Result<SqlResult> {
         match statement {
             Statement::CreateTable(ct) => self.create_table(ct),
             Statement::Insert(ins) => self.insert(ins),
@@ -204,59 +232,60 @@ impl SqlSession {
             Statement::CreateTextIndex(ix) => self.create_text_index(ix),
             Statement::Select(sel) => self.select(sel),
             Statement::MergeTextIndex(name) => {
-                self.engine.run_maintenance(&name)?;
+                self.engine().run_maintenance(&name)?;
                 Ok(SqlResult::None)
             }
             Statement::Explain(inner) => self.explain(*inner),
             Statement::DropFunction(name) => {
-                if self.functions.remove(&name.to_ascii_lowercase()).is_none() {
+                if self
+                    .shared
+                    .functions
+                    .write()
+                    .remove(&name.to_ascii_lowercase())
+                    .is_none()
+                {
                     return Err(SqlError::Plan(format!("unknown function '{name}'")));
                 }
+                Ok(SqlResult::None)
+            }
+            Statement::DropTextIndex(name) => {
+                self.engine().drop_text_index(&name)?;
+                Ok(SqlResult::None)
+            }
+            Statement::DropTable(name) => {
+                self.engine().drop_table(&name)?;
                 Ok(SqlResult::None)
             }
         }
     }
 
     /// Describe the access path of a statement without executing it.
-    fn explain(&mut self, statement: Statement) -> Result<SqlResult> {
+    fn explain(&self, statement: Statement) -> Result<SqlResult> {
         let Statement::Select(sel) = statement else {
             return Err(SqlError::Plan("EXPLAIN supports SELECT statements".into()));
         };
-        let schema = self.engine.db().table(&sel.table)?.schema().clone();
+        let schema = self.engine().db().table(&sel.table)?.schema().clone();
         let mut lines = Vec::new();
-        let ranked = sel.order_by_score.is_some()
-            || matches!(sel.predicate, Some(Predicate::Contains { .. }));
-        if ranked {
-            let (column, keywords, mode) = match (&sel.order_by_score, &sel.predicate) {
-                (Some(obs), _) => {
-                    let mode = match &sel.predicate {
-                        Some(Predicate::Contains { mode, .. }) => *mode,
-                        _ => MatchMode::All,
-                    };
-                    (obs.column.clone(), obs.keywords.clone(), mode)
-                }
-                (None, Some(Predicate::Contains { column, keywords, mode })) => {
-                    (column.clone(), keywords.clone(), *mode)
-                }
-                _ => unreachable!("ranked guard"),
-            };
+        if let Some(path) = resolve_ranked_path(&sel)? {
             let index = self
-                .engine
-                .text_index_on(&sel.table, &column)
+                .engine()
+                .text_index_on(&sel.table, &path.column)
                 .ok_or_else(|| {
-                    SqlError::Plan(format!("no text index on {}.{column}", sel.table))
-                })?
-                .to_string();
-            let method = self.engine.index(&index)?.kind();
+                    SqlError::Plan(format!("no text index on {}.{}", sel.table, path.column))
+                })?;
+            let method = self.engine().index(&index)?.kind();
             let k = sel.fetch.unwrap_or(10);
             lines.push(format!(
                 "RankedKeywordSearch index={index} method={method} k={k} mode={}",
-                match mode {
+                match path.mode {
                     MatchMode::All => "conjunctive",
                     MatchMode::Any => "disjunctive",
                 }
             ));
-            lines.push(format!("  keywords: '{keywords}' over {}.{column}", sel.table));
+            lines.push(format!(
+                "  keywords: '{}' over {}.{}",
+                path.keywords, sel.table, path.column
+            ));
             lines.push("  scores: latest SVR scores from the materialized Score view".into());
         } else {
             match &sel.predicate {
@@ -281,57 +310,64 @@ impl SqlSession {
         Ok(SqlResult::Plan(lines))
     }
 
-    fn create_table(&mut self, ct: CreateTable) -> Result<SqlResult> {
+    fn create_table(&self, ct: CreateTable) -> Result<SqlResult> {
         let columns: Vec<(&str, _)> =
             ct.columns.iter().map(|(n, t)| (n.as_str(), *t)).collect();
-        self.engine
+        self.engine()
             .create_table(Schema::new(&ct.name, &columns, ct.pk))?;
         Ok(SqlResult::None)
     }
 
-    fn insert(&mut self, ins: Insert) -> Result<SqlResult> {
-        let n = ins.rows.len();
-        for row in ins.rows {
-            self.engine.insert_row(&ins.table, row)?;
-        }
+    fn insert(&self, ins: Insert) -> Result<SqlResult> {
+        // Multi-row inserts go through the engine's batched path: one
+        // writer-lock acquisition, coalesced score propagation.
+        let n = match ins.rows.len() {
+            1 => {
+                let mut rows = ins.rows;
+                self.engine().insert_row(&ins.table, rows.pop().expect("one row"))?;
+                1
+            }
+            _ => self.engine().insert_rows(&ins.table, ins.rows)?,
+        };
         Ok(SqlResult::Inserted(n))
     }
 
-    fn update(&mut self, u: Update) -> Result<SqlResult> {
-        let schema = self.engine.db().table(&u.table)?.schema().clone();
+    fn update(&self, u: Update) -> Result<SqlResult> {
+        let schema = self.engine().db().table(&u.table)?.schema().clone();
         let pk_name = &schema.columns[schema.pk].0;
         if !u.key_column.eq_ignore_ascii_case(pk_name) {
             return Err(SqlError::Plan(format!(
                 "UPDATE requires a primary-key predicate (WHERE {pk_name} = ...)"
             )));
         }
-        self.engine.update_row(&u.table, u.key, &u.sets)?;
+        self.engine().update_row(&u.table, u.key, &u.sets)?;
         Ok(SqlResult::Updated(1))
     }
 
-    fn delete(&mut self, d: Delete) -> Result<SqlResult> {
-        let schema = self.engine.db().table(&d.table)?.schema().clone();
+    fn delete(&self, d: Delete) -> Result<SqlResult> {
+        let schema = self.engine().db().table(&d.table)?.schema().clone();
         let pk_name = &schema.columns[schema.pk].0;
         if !d.key_column.eq_ignore_ascii_case(pk_name) {
             return Err(SqlError::Plan(format!(
                 "DELETE requires a primary-key predicate (WHERE {pk_name} = ...)"
             )));
         }
-        self.engine.delete_row(&d.table, d.key)?;
+        self.engine().delete_row(&d.table, d.key)?;
         Ok(SqlResult::Deleted(1))
     }
 
-    fn create_function(&mut self, cf: CreateFunction) -> Result<SqlResult> {
+    fn create_function(&self, cf: CreateFunction) -> Result<SqlResult> {
         let key = cf.name.to_ascii_lowercase();
-        if self.functions.contains_key(&key) {
+        let def = lower_function(&cf.params, &cf.body)?;
+        let mut functions = self.shared.functions.write();
+        if functions.contains_key(&key) {
             return Err(SqlError::Plan(format!("function '{}' already exists", cf.name)));
         }
-        let def = lower_function(&cf.params, &cf.body)?;
-        self.functions.insert(key, def);
+        functions.insert(key, def);
         Ok(SqlResult::None)
     }
 
-    fn create_text_index(&mut self, ix: CreateTextIndex) -> Result<SqlResult> {
+    fn create_text_index(&self, ix: CreateTextIndex) -> Result<SqlResult> {
         // Resolve the SCORE WITH list into structured components + at most
         // one TFIDF slot.
         let mut components: Vec<ScoreComponent> = Vec::new();
@@ -343,10 +379,10 @@ impl SqlSession {
         for entry in &ix.score_with {
             match entry {
                 ScoreListEntry::Function(name) => {
-                    match self.functions.get(&name.to_ascii_lowercase()) {
+                    match self.function(name) {
                         Some(FunctionDef::Component(c)) => {
                             entry_slots.push(components.len());
-                            components.push(c.clone());
+                            components.push(c);
                         }
                         Some(FunctionDef::Agg { .. }) => {
                             return Err(SqlError::Plan(format!(
@@ -379,7 +415,7 @@ impl SqlSession {
 
         // Resolve the aggregate expression.
         let agg: AggExpr = match &ix.aggregate_with {
-            Some(name) => match self.functions.get(&name.to_ascii_lowercase()) {
+            Some(name) => match self.function(name) {
                 Some(FunctionDef::Agg { params, body }) => {
                     if params.len() != ix.score_with.len() {
                         return Err(SqlError::Plan(format!(
@@ -389,7 +425,7 @@ impl SqlSession {
                             ix.score_with.len()
                         )));
                     }
-                    resolve_arith(body, params, &entry_slots)?
+                    resolve_arith(&body, &params, &entry_slots)?
                 }
                 Some(FunctionDef::Component(_)) => {
                     return Err(SqlError::Plan(format!(
@@ -445,57 +481,30 @@ impl SqlSession {
             components.push(ScoreComponent::Const(0.0));
         }
         let spec = SvrSpec::new(components, agg);
-        self.engine
+        self.engine()
             .create_text_index(&ix.name, &ix.table, &ix.column, spec, method, config)?;
         Ok(SqlResult::None)
     }
 
-    fn select(&mut self, sel: Select) -> Result<SqlResult> {
-        let schema = self.engine.db().table(&sel.table)?.schema().clone();
+    fn select(&self, sel: Select) -> Result<SqlResult> {
+        let schema = self.engine().db().table(&sel.table)?.schema().clone();
         let projection = self.resolve_projection(&schema, &sel.projection)?;
 
         // Ranked path: ORDER BY SCORE and/or CONTAINS.
-        let contains = match &sel.predicate {
-            Some(Predicate::Contains { column, keywords, mode }) => {
-                Some((column.clone(), keywords.clone(), *mode))
-            }
-            _ => None,
-        };
-        if sel.order_by_score.is_some() || contains.is_some() {
-            let (column, keywords, mode) = match (&sel.order_by_score, &contains) {
-                (Some(obs), Some((c_col, c_kw, c_mode))) => {
-                    if !obs.column.eq_ignore_ascii_case(c_col) {
-                        return Err(SqlError::Plan(
-                            "CONTAINS and ORDER BY SCORE must reference the same column".into(),
-                        ));
-                    }
-                    if obs.keywords != *c_kw {
-                        return Err(SqlError::Plan(
-                            "CONTAINS and ORDER BY SCORE must use the same keywords".into(),
-                        ));
-                    }
-                    (obs.column.clone(), obs.keywords.clone(), *c_mode)
-                }
-                (Some(obs), None) => (obs.column.clone(), obs.keywords.clone(), MatchMode::All),
-                (None, Some((c, k, m))) => (c.clone(), k.clone(), *m),
-                (None, None) => unreachable!("guarded above"),
-            };
+        if let Some(path) = resolve_ranked_path(&sel)? {
             let index = self
-                .engine
-                .text_index_on(&sel.table, &column)
+                .engine()
+                .text_index_on(&sel.table, &path.column)
                 .ok_or_else(|| {
                     SqlError::Plan(format!(
-                        "no text index on {}.{column}; CREATE TEXT INDEX first",
-                        sel.table
+                        "no text index on {}.{}; CREATE TEXT INDEX first",
+                        sel.table, path.column
                     ))
-                })?
-                .to_string();
+                })?;
             let k = sel.fetch.unwrap_or(10);
-            let mode = match mode {
-                MatchMode::All => QueryMode::Conjunctive,
-                MatchMode::Any => QueryMode::Disjunctive,
-            };
-            let hits = self.engine.search(&index, &keywords, k, mode)?;
+            let hits = self
+                .engine()
+                .search(&index, &path.keywords, k, path.query_mode())?;
             let (columns, rows) = project_ranked(&schema, &projection, hits);
             return Ok(SqlResult::Ranked { columns, rows });
         }
@@ -505,14 +514,14 @@ impl SqlSession {
             Some(Predicate::Equals { column, value }) => {
                 let idx = schema.column_index(column)?;
                 if idx == schema.pk {
-                    self.engine
+                    self.engine()
                         .db()
                         .table(&sel.table)?
                         .get(value)?
                         .into_iter()
                         .collect()
                 } else {
-                    self.engine
+                    self.engine()
                         .db()
                         .table(&sel.table)?
                         .scan()?
@@ -522,7 +531,7 @@ impl SqlSession {
                 }
             }
             Some(Predicate::Contains { .. }) => unreachable!("handled in ranked path"),
-            None => self.engine.db().table(&sel.table)?.scan()?,
+            None => self.engine().db().table(&sel.table)?.scan()?,
         };
         if let Some(k) = sel.fetch {
             rows.truncate(k);

@@ -371,3 +371,70 @@ fn every_method_name_is_accepted_by_ddl() {
         assert_eq!(top_names(&result)[0], "American Thrift", "method {method}");
     }
 }
+
+#[test]
+fn drop_text_index_and_table_tear_down_state() {
+    let session = setup("CHUNK");
+    // The indexed table refuses to drop while the index exists.
+    let err = session.execute("DROP TABLE movies").unwrap_err();
+    assert!(err.to_string().contains("movie_search"), "{err}");
+
+    assert_eq!(session.execute("DROP TEXT INDEX movie_search").unwrap(), SqlResult::None);
+    // Ranked queries now fail with a planning error...
+    let err = session
+        .execute(r#"SELECT name FROM movies ORDER BY SCORE(description, "golden gate")"#)
+        .unwrap_err();
+    assert!(err.to_string().contains("no text index"), "{err}");
+    // ...but plain relational access still works.
+    assert_eq!(session.execute("SELECT name FROM movies").unwrap().row_count(), 3);
+
+    // Source tables still feed nothing; drop them all.
+    for table in ["movies", "reviews", "statistics"] {
+        assert_eq!(
+            session.execute(&format!("DROP TABLE {table}")).unwrap(),
+            SqlResult::None,
+            "{table}"
+        );
+    }
+    assert!(session.execute("SELECT * FROM movies").is_err());
+    assert!(session.execute("DROP TABLE movies").is_err(), "double drop");
+    assert!(session.execute("DROP TEXT INDEX movie_search").is_err(), "double index drop");
+
+    // The namespace is reusable: rebuild a fresh index in the same session.
+    session
+        .execute_script(
+            r#"
+            CREATE TABLE movies (mid INT PRIMARY KEY, name TEXT, description TEXT);
+            CREATE TABLE statistics (mid INT PRIMARY KEY, nvisit INT, ndownload INT);
+            CREATE TEXT INDEX movie_search ON movies(description)
+                SCORE WITH (S2) USING METHOD ID;
+            INSERT INTO movies VALUES (9, 'Rebuilt', 'golden gate again');
+            INSERT INTO statistics VALUES (9, 70, 0);
+            "#,
+        )
+        .unwrap();
+    let result = session
+        .execute(r#"SELECT name FROM movies ORDER BY SCORE(description, "golden gate")"#)
+        .unwrap();
+    assert_eq!(top_names(&result), vec!["Rebuilt"]);
+}
+
+#[test]
+fn cloned_sessions_share_engine_and_functions() {
+    let session = setup("CHUNK");
+    let clone = session.clone();
+    // DDL through one handle is visible through the other.
+    clone.execute("INSERT INTO movies VALUES (4, 'Fourth', 'golden gate redux')").unwrap();
+    clone.execute("INSERT INTO statistics VALUES (4, 1000000, 0)").unwrap();
+    let result = session
+        .execute(
+            r#"SELECT name FROM movies ORDER BY SCORE(description, "golden gate")
+               FETCH TOP 1 RESULTS ONLY"#,
+        )
+        .unwrap();
+    assert_eq!(top_names(&result), vec!["Fourth"]);
+    // Functions registered before the clone exist in both; dropping through
+    // the clone removes it for everyone.
+    clone.execute("DROP FUNCTION S3").unwrap();
+    assert!(session.execute("DROP FUNCTION S3").is_err());
+}

@@ -1,0 +1,289 @@
+//! Multi-threaded engine stress: N reader threads issue top-k searches
+//! against one shared [`SvrEngine`] while a writer thread applies score and
+//! content updates. Asserts the run terminates (no deadlock), every
+//! mid-flight result is internally consistent, and the post-quiesce
+//! rankings agree with the materialized view — the oracle for "no stale
+//! scores survive".
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use svr::{IndexConfig, MethodKind, QueryMode, SqlSession, SvrEngine, WriteBatch};
+use svr_relation::schema::{ColumnType, Schema};
+use svr_relation::{ScoreComponent, SvrSpec, Value};
+
+const DOCS: i64 = 120;
+
+fn movies_schema() -> Schema {
+    Schema::new(
+        "movies",
+        &[("mid", ColumnType::Int), ("desc", ColumnType::Text)],
+        0,
+    )
+}
+
+fn stats_schema() -> Schema {
+    Schema::new(
+        "stats",
+        &[("mid", ColumnType::Int), ("nvisit", ColumnType::Int)],
+        0,
+    )
+}
+
+fn visits_spec() -> SvrSpec {
+    SvrSpec::single(ScoreComponent::ColumnOf {
+        table: "stats".into(),
+        key_col: "mid".into(),
+        val_col: "nvisit".into(),
+    })
+}
+
+/// Words that appear in every document (plus a unique one per doc).
+fn description(mid: i64, generation: u64) -> String {
+    format!("golden gate footage reel r{mid} generation g{generation}")
+}
+
+fn build_engine(method: MethodKind) -> SvrEngine {
+    let engine = SvrEngine::new();
+    engine.create_table(movies_schema()).unwrap();
+    engine.create_table(stats_schema()).unwrap();
+    engine
+        .insert_rows(
+            "movies",
+            (0..DOCS)
+                .map(|i| vec![Value::Int(i), Value::Text(description(i, 0))])
+                .collect(),
+        )
+        .unwrap();
+    engine
+        .insert_rows(
+            "stats",
+            (0..DOCS).map(|i| vec![Value::Int(i), Value::Int(i * 10)]).collect(),
+        )
+        .unwrap();
+    engine
+        .create_text_index(
+            "idx",
+            "movies",
+            "desc",
+            visits_spec(),
+            method,
+            IndexConfig { chunk_ratio: 2.0, min_chunk_docs: 8, ..IndexConfig::default() },
+        )
+        .unwrap();
+    engine
+}
+
+/// The oracle ranking: every live movie matches "golden", ordered by the
+/// materialized view's score (ties broken by doc id like the index does).
+fn oracle_top(engine: &SvrEngine, k: usize) -> Vec<(i64, f64)> {
+    let mut rows: Vec<(i64, f64)> = (0..DOCS)
+        .filter_map(|mid| engine.score_of("idx", mid).ok().map(|s| (mid, s)))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    rows.truncate(k);
+    rows
+}
+
+fn run_stress(method: MethodKind, readers: usize) {
+    let engine = build_engine(method);
+    let stop = AtomicBool::new(false);
+    let searches = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        // Readers: shared handles, &self search.
+        for seed in 0..readers {
+            let reader = engine.clone();
+            let stop = &stop;
+            let searches = &searches;
+            scope.spawn(move || {
+                let mut i = seed as i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let keywords = if i % 3 == 0 { "golden gate" } else { "footage reel" };
+                    let hits = reader
+                        .search("idx", keywords, 10, QueryMode::Conjunctive)
+                        .unwrap();
+                    assert!(hits.len() <= 10);
+                    for w in hits.windows(2) {
+                        assert!(
+                            w[0].score >= w[1].score,
+                            "{method}: ranked output must be sorted"
+                        );
+                    }
+                    for hit in &hits {
+                        assert!(hit.score.is_finite() && hit.score >= 0.0);
+                        let mid = hit.row[0].as_i64().unwrap();
+                        assert!((0..DOCS).contains(&mid));
+                    }
+                    searches.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+
+        // Writer: score churn (single updates + batches) and content churn.
+        let writer = engine.clone();
+        let stop_writer = &stop;
+        scope.spawn(move || {
+            let mut state = 0x5EEDu64;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            for round in 0..400u64 {
+                match round % 4 {
+                    // Point score update.
+                    0 => {
+                        let mid = (next() % DOCS as u64) as i64;
+                        writer
+                            .update_row(
+                                "stats",
+                                Value::Int(mid),
+                                &[("nvisit".into(), Value::Int((next() % 100_000) as i64))],
+                            )
+                            .unwrap();
+                    }
+                    // Batched score storm: many updates, coalesced.
+                    1 => {
+                        let mut batch = WriteBatch::new();
+                        for _ in 0..16 {
+                            let mid = (next() % DOCS as u64) as i64;
+                            batch.update(
+                                "stats",
+                                Value::Int(mid),
+                                vec![("nvisit".into(), Value::Int((next() % 100_000) as i64))],
+                            );
+                        }
+                        writer.apply(batch).unwrap();
+                    }
+                    // Content update (Appendix-A path).
+                    2 => {
+                        let mid = (next() % DOCS as u64) as i64;
+                        writer
+                            .update_row(
+                                "movies",
+                                Value::Int(mid),
+                                &[("desc".into(), Value::Text(description(mid, round)))],
+                            )
+                            .unwrap();
+                    }
+                    // Occasional maintenance merge in the middle of it all.
+                    _ => {
+                        if round % 40 == 3 {
+                            writer.run_maintenance("idx").unwrap();
+                        }
+                    }
+                }
+            }
+            stop_writer.store(true, Ordering::Relaxed);
+        });
+    });
+
+    assert!(
+        searches.load(Ordering::Relaxed) > 0,
+        "readers must have made progress during the update storm"
+    );
+
+    // Quiesced: the index ranking must agree with the view (the oracle).
+    let hits = engine.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap();
+    let oracle = oracle_top(&engine, 10);
+    assert_eq!(hits.len(), oracle.len());
+    for (hit, (mid, score)) in hits.iter().zip(&oracle) {
+        assert_eq!(hit.score, *score, "{method}: stale score after quiesce");
+        assert_eq!(hit.row[0], Value::Int(*mid), "{method}: wrong ranking after quiesce");
+    }
+}
+
+#[test]
+fn four_readers_one_writer_chunk() {
+    run_stress(MethodKind::Chunk, 4);
+}
+
+#[test]
+fn four_readers_one_writer_score_threshold() {
+    run_stress(MethodKind::ScoreThreshold, 4);
+}
+
+#[test]
+fn four_readers_one_writer_id() {
+    run_stress(MethodKind::Id, 4);
+}
+
+/// Writers of different tables proceed in parallel while readers search;
+/// every row and score lands.
+#[test]
+fn parallel_table_writers() {
+    let engine = build_engine(MethodKind::Chunk);
+    std::thread::scope(|scope| {
+        let movies = engine.clone();
+        scope.spawn(move || {
+            for i in DOCS..DOCS + 40 {
+                movies
+                    .insert_row("movies", vec![Value::Int(i), Value::Text(description(i, 1))])
+                    .unwrap();
+            }
+        });
+        let stats = engine.clone();
+        scope.spawn(move || {
+            for i in DOCS..DOCS + 40 {
+                stats
+                    .insert_row("stats", vec![Value::Int(i), Value::Int(1_000_000 + i)])
+                    .unwrap();
+            }
+        });
+        let reader = engine.clone();
+        scope.spawn(move || {
+            for _ in 0..50 {
+                let _ = reader.search("idx", "golden", 5, QueryMode::Conjunctive).unwrap();
+            }
+        });
+    });
+    for i in DOCS..DOCS + 40 {
+        assert_eq!(engine.score_of("idx", i).unwrap(), (1_000_000 + i) as f64);
+    }
+    let top = engine.search("idx", "golden gate", 1, QueryMode::Conjunctive).unwrap();
+    assert_eq!(top[0].row[0], Value::Int(DOCS + 39), "new top doc wins");
+}
+
+/// N sessions over one engine: SQL reads from many threads while SQL
+/// writes run — the "Ranked Enumeration for Database Queries" serving
+/// pattern.
+#[test]
+fn shared_sql_sessions_serve_concurrent_queries() {
+    let engine = build_engine(MethodKind::Chunk);
+    let session = SqlSession::with_shared(Arc::new(engine));
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let reader = session.clone();
+            scope.spawn(move || {
+                for _ in 0..40 {
+                    let result = reader
+                        .execute(
+                            r#"SELECT mid FROM movies ORDER BY SCORE(desc, "golden gate")
+                               FETCH TOP 5 RESULTS ONLY"#,
+                        )
+                        .unwrap();
+                    assert!(result.row_count() <= 5);
+                }
+            });
+        }
+        let writer = session.clone();
+        scope.spawn(move || {
+            for i in 0..60 {
+                writer
+                    .execute(&format!(
+                        "UPDATE stats SET nvisit = {} WHERE mid = {}",
+                        200_000 + i,
+                        i % DOCS
+                    ))
+                    .unwrap();
+            }
+        });
+    });
+    // Last write wins and is visible through a fresh clone.
+    let check = session.clone();
+    let top = check
+        .execute(r#"SELECT mid FROM movies ORDER BY SCORE(desc, "golden") FETCH TOP 1 RESULTS ONLY"#)
+        .unwrap();
+    assert_eq!(top.row_count(), 1);
+}
