@@ -16,7 +16,9 @@ use svr_workload::{QueryClass, QueryWorkload, SynthConfig, UpdateConfig, UpdateW
 
 fn btree_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("btree");
-    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
 
     group.bench_function("put_sequential_10k", |b| {
         b.iter(|| {
@@ -32,14 +34,19 @@ fn btree_benches(c: &mut Criterion) {
     let store = Arc::new(Store::new(Arc::new(MemDisk::new(4096)), 4096));
     let tree = BTree::create(store).unwrap();
     for i in 0..50_000u32 {
-        tree.put(&(i.wrapping_mul(2654435761)).to_be_bytes(), &i.to_le_bytes()).unwrap();
+        tree.put(
+            &(i.wrapping_mul(2654435761)).to_be_bytes(),
+            &i.to_le_bytes(),
+        )
+        .unwrap();
     }
     group.throughput(Throughput::Elements(1));
     group.bench_function("get_random_50k_tree", |b| {
         let mut i = 0u32;
         b.iter(|| {
             i = i.wrapping_add(7919);
-            tree.get(&((i % 50_000).wrapping_mul(2654435761)).to_be_bytes()).unwrap()
+            tree.get(&((i % 50_000).wrapping_mul(2654435761)).to_be_bytes())
+                .unwrap()
         })
     });
     group.bench_function("scan_prefix_1k", |b| {
@@ -50,7 +57,9 @@ fn btree_benches(c: &mut Criterion) {
 
 fn codec_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("postings_codec");
-    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     let docs: Vec<DocId> = (0..100_000u32).step_by(3).map(DocId).collect();
     group.throughput(Throughput::Elements(docs.len() as u64));
     group.bench_function("encode_id_list_33k", |b| {
@@ -93,22 +102,32 @@ fn method_op_benches(c: &mut Criterion) {
     let ranked_docs = ds.docs_by_score();
 
     let mut group = c.benchmark_group("method_ops");
-    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    for kind in [MethodKind::Id, MethodKind::Score, MethodKind::ScoreThreshold, MethodKind::Chunk]
-    {
-        let config = IndexConfig { min_chunk_docs: 16, ..IndexConfig::default() };
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for kind in [
+        MethodKind::Id,
+        MethodKind::Score,
+        MethodKind::ScoreThreshold,
+        MethodKind::Chunk,
+    ] {
+        let config = IndexConfig {
+            min_chunk_docs: 16,
+            ..IndexConfig::default()
+        };
         let index: Box<dyn SearchIndex> = build_index(kind, &docs, &scores, &config).unwrap();
-        let mut updates = UpdateWorkload::new(
-            ranked_docs.clone(),
-            scores.clone(),
-            UpdateConfig::default(),
+        let mut updates =
+            UpdateWorkload::new(ranked_docs.clone(), scores.clone(), UpdateConfig::default());
+        group.bench_with_input(
+            BenchmarkId::new("update_score", kind.name()),
+            &kind,
+            |b, _| {
+                b.iter(|| {
+                    let (doc, score) = updates.next_update();
+                    index.update_score(doc, score).unwrap()
+                })
+            },
         );
-        group.bench_with_input(BenchmarkId::new("update_score", kind.name()), &kind, |b, _| {
-            b.iter(|| {
-                let (doc, score) = updates.next_update();
-                index.update_score(doc, score).unwrap()
-            })
-        });
         let mut queries = QueryWorkload::new(
             ranked_terms.clone(),
             QueryClass::Medium,
@@ -116,9 +135,11 @@ fn method_op_benches(c: &mut Criterion) {
             QueryMode::Conjunctive,
             3,
         );
-        group.bench_with_input(BenchmarkId::new("query_top10_warm", kind.name()), &kind, |b, _| {
-            b.iter(|| index.query(&queries.next_query(10)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("query_top10_warm", kind.name()),
+            &kind,
+            |b, _| b.iter(|| index.query(&queries.next_query(10)).unwrap()),
+        );
     }
     group.finish();
 }
@@ -135,11 +156,17 @@ fn ablation_benches(c: &mut Criterion) {
     let ranked_terms = ds.terms_by_frequency();
 
     let mut group = c.benchmark_group("ablations");
-    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
 
     // Chunk-ratio ablation (DESIGN.md §5): query cost vs ratio.
     for ratio in [2.0, 6.12, 41.96] {
-        let config = IndexConfig { chunk_ratio: ratio, min_chunk_docs: 16, ..IndexConfig::default() };
+        let config = IndexConfig {
+            chunk_ratio: ratio,
+            min_chunk_docs: 16,
+            ..IndexConfig::default()
+        };
         let index = build_index(MethodKind::Chunk, &docs, &scores, &config).unwrap();
         let mut queries = QueryWorkload::new(
             ranked_terms.clone(),
@@ -157,7 +184,10 @@ fn ablation_benches(c: &mut Criterion) {
 
     // Minimum-chunk-size ablation under the skewed score distribution.
     for min_docs in [1usize, 100] {
-        let config = IndexConfig { min_chunk_docs: min_docs, ..IndexConfig::default() };
+        let config = IndexConfig {
+            min_chunk_docs: min_docs,
+            ..IndexConfig::default()
+        };
         let index = build_index(MethodKind::Chunk, &docs, &scores, &config).unwrap();
         let mut queries = QueryWorkload::new(
             ranked_terms.clone(),
@@ -204,7 +234,9 @@ fn wal_benches(c: &mut Criterion) {
     use svr_storage::Wal;
 
     let mut group = c.benchmark_group("wal");
-    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     group.throughput(Throughput::Elements(1));
 
     let plain = BTree::create(Arc::new(Store::new(Arc::new(MemDisk::new(4096)), 4096))).unwrap();

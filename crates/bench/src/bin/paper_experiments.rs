@@ -49,7 +49,11 @@ fn main() {
     if std::fs::create_dir_all(out_dir).is_ok() {
         let path = out_dir.join(format!(
             "experiments-{}.json",
-            if scale == Scale::Full { "full" } else { "quick" }
+            if scale == Scale::Full {
+                "full"
+            } else {
+                "quick"
+            }
         ));
         let json = svr_bench::report::reports_to_json(&reports);
         if std::fs::write(&path, json).is_ok() {

@@ -13,6 +13,7 @@
 //! | fig10    | Figure 10 — disjunctive queries          |
 //! | table3   | Table 3 — varying number of insertions   |
 //! | archive  | §5.3.7 — Internet-Archive-like data set  |
+//! | concurrent | beyond the paper — query throughput at 1/2/4/8 reader threads under an update storm |
 
 use std::collections::HashMap;
 
@@ -64,12 +65,22 @@ impl Bench {
         let dataset = config.generate();
         let ranked_terms = dataset.terms_by_frequency();
         let ranked_docs = dataset.docs_by_score();
-        Bench { scale, model, dataset, ranked_terms, ranked_docs }
+        Bench {
+            scale,
+            model,
+            dataset,
+            ranked_terms,
+            ranked_docs,
+        }
     }
 
     fn config_for(&self, kind: MethodKind) -> IndexConfig {
         IndexConfig {
-            term_weight: if kind.uses_term_scores() { 5_000.0 } else { 0.0 },
+            term_weight: if kind.uses_term_scores() {
+                5_000.0
+            } else {
+                0.0
+            },
             // Keep chunk minimums proportional to the scaled corpus.
             min_chunk_docs: self.scale.pick(20, 50),
             // Fine-grained pages keep page counts meaningful on scaled-down
@@ -80,8 +91,13 @@ impl Bench {
     }
 
     fn build(&self, kind: MethodKind) -> Box<dyn SearchIndex> {
-        build_index(kind, &self.dataset.docs, &self.dataset.scores, &self.config_for(kind))
-            .expect("index build")
+        build_index(
+            kind,
+            &self.dataset.docs,
+            &self.dataset.scores,
+            &self.config_for(kind),
+        )
+        .expect("index build")
     }
 
     fn build_with(&self, kind: MethodKind, config: &IndexConfig) -> Box<dyn SearchIndex> {
@@ -99,7 +115,10 @@ impl Bench {
         UpdateWorkload::new(
             self.ranked_docs.clone(),
             self.dataset.scores.clone(),
-            UpdateConfig { mean_step, ..UpdateConfig::default() },
+            UpdateConfig {
+                mean_step,
+                ..UpdateConfig::default()
+            },
         )
         .take(n)
     }
@@ -156,13 +175,21 @@ impl Bench {
         for &ratio in ratios {
             let mut row = vec![format!("{ratio:.2}")];
             for &step in &steps {
-                let config = IndexConfig { chunk_ratio: ratio, ..self.config_for(MethodKind::Chunk) };
+                let config = IndexConfig {
+                    chunk_ratio: ratio,
+                    ..self.config_for(MethodKind::Chunk)
+                };
                 let index = self.build_with(MethodKind::Chunk, &config);
                 let upd = measure_updates(index.as_ref(), &self.updates(n_updates, step))
                     .expect("updates");
                 let qry = measure_queries(
                     index.as_ref(),
-                    &self.queries(n_queries, DEFAULT_K, QueryMode::Conjunctive, QueryClass::Medium),
+                    &self.queries(
+                        n_queries,
+                        DEFAULT_K,
+                        QueryMode::Conjunctive,
+                        QueryClass::Medium,
+                    ),
                 )
                 .expect("queries");
                 row.push(Self::fmt_ms(upd.modeled_ms_per_op(&self.model)));
@@ -231,11 +258,19 @@ impl Bench {
                 }
                 let qry = measure_queries(
                     index.as_ref(),
-                    &self.queries(n_queries, DEFAULT_K, QueryMode::Conjunctive, QueryClass::Medium),
+                    &self.queries(
+                        n_queries,
+                        DEFAULT_K,
+                        QueryMode::Conjunctive,
+                        QueryClass::Medium,
+                    ),
                 )
                 .expect("queries");
-                let avg_upd =
-                    if applied == 0 { 0.0 } else { total_update_ms / applied as f64 };
+                let avg_upd = if applied == 0 {
+                    0.0
+                } else {
+                    total_update_ms / applied as f64
+                };
                 rows.push(vec![
                     kind.name().into(),
                     format!("{point}{}", if capped { "*" } else { "" }),
@@ -247,7 +282,12 @@ impl Bench {
         ExperimentReport {
             id: "fig7".into(),
             title: "Varying number of updates (avg ms per op)".into(),
-            columns: vec!["method".into(), "#updates".into(), "upd ms".into(), "qry ms".into()],
+            columns: vec![
+                "method".into(),
+                "#updates".into(),
+                "upd ms".into(),
+                "qry ms".into(),
+            ],
             rows,
             notes: "paper Fig. 7: Score's update cost is orders of magnitude above all \
                     others (17s vs 0.01ms); ID has the cheapest updates but flat, high \
@@ -265,7 +305,11 @@ impl Bench {
         let ks = [1usize, 10, 50, 200, 1_000];
         let n_updates = self.scale.pick(2_000, 10_000);
         let n_queries = self.scale.pick(15, QUERIES_PER_POINT);
-        let methods = [MethodKind::Id, MethodKind::ScoreThreshold, MethodKind::Chunk];
+        let methods = [
+            MethodKind::Id,
+            MethodKind::ScoreThreshold,
+            MethodKind::Chunk,
+        ];
 
         let mut rows = Vec::new();
         for kind in methods {
@@ -288,7 +332,12 @@ impl Bench {
         ExperimentReport {
             id: "fig8".into(),
             title: "Varying number of desired results k (query ms)".into(),
-            columns: vec!["method".into(), "k".into(), "qry ms".into(), "pages/qry".into()],
+            columns: vec![
+                "method".into(),
+                "k".into(),
+                "qry ms".into(),
+                "pages/qry".into(),
+            ],
             rows,
             notes: "paper Fig. 8: ID is flat in k (always scans everything); \
                     Score-Threshold and Chunk grow with k and converge towards ID at \
@@ -308,12 +357,20 @@ impl Bench {
 
         let mut rows = Vec::new();
         for &(step, ratio) in &step_ratio {
-            let config = IndexConfig { chunk_ratio: ratio, ..self.config_for(MethodKind::Chunk) };
+            let config = IndexConfig {
+                chunk_ratio: ratio,
+                ..self.config_for(MethodKind::Chunk)
+            };
             let chunk = self.build_with(MethodKind::Chunk, &config);
             measure_updates(chunk.as_ref(), &self.updates(n_updates, step)).expect("updates");
             let chunk_q = measure_queries(
                 chunk.as_ref(),
-                &self.queries(n_queries, DEFAULT_K, QueryMode::Conjunctive, QueryClass::Medium),
+                &self.queries(
+                    n_queries,
+                    DEFAULT_K,
+                    QueryMode::Conjunctive,
+                    QueryClass::Medium,
+                ),
             )
             .expect("queries");
 
@@ -321,7 +378,12 @@ impl Bench {
             measure_updates(id.as_ref(), &self.updates(n_updates, step)).expect("updates");
             let id_q = measure_queries(
                 id.as_ref(),
-                &self.queries(n_queries, DEFAULT_K, QueryMode::Conjunctive, QueryClass::Medium),
+                &self.queries(
+                    n_queries,
+                    DEFAULT_K,
+                    QueryMode::Conjunctive,
+                    QueryClass::Medium,
+                ),
             )
             .expect("queries");
 
@@ -366,11 +428,16 @@ impl Bench {
             MethodKind::Chunk,
         ] {
             let index = self.build(kind);
-            let upd = measure_updates(index.as_ref(), &self.updates(n_updates, 100.0))
-                .expect("updates");
+            let upd =
+                measure_updates(index.as_ref(), &self.updates(n_updates, 100.0)).expect("updates");
             let qry = measure_queries(
                 index.as_ref(),
-                &self.queries(n_queries, DEFAULT_K, QueryMode::Conjunctive, QueryClass::Medium),
+                &self.queries(
+                    n_queries,
+                    DEFAULT_K,
+                    QueryMode::Conjunctive,
+                    QueryClass::Medium,
+                ),
             )
             .expect("queries");
             rows.push(vec![
@@ -383,7 +450,12 @@ impl Bench {
         ExperimentReport {
             id: "fig9".into(),
             title: "Combining term scores (after update load)".into(),
-            columns: vec!["method".into(), "upd ms".into(), "qry ms".into(), "pages/qry".into()],
+            columns: vec![
+                "method".into(),
+                "upd ms".into(),
+                "qry ms".into(),
+                "pages/qry".into(),
+            ],
             rows,
             notes: "paper Fig. 9: Chunk-TermScore queries are significantly faster than \
                     ID-TermScore (early stopping) at comparable update cost, slightly \
@@ -415,12 +487,22 @@ impl Bench {
             measure_updates(index.as_ref(), &self.updates(n_updates, 100.0)).expect("updates");
             let conj = measure_queries(
                 index.as_ref(),
-                &self.queries(n_queries, DEFAULT_K, QueryMode::Conjunctive, QueryClass::Medium),
+                &self.queries(
+                    n_queries,
+                    DEFAULT_K,
+                    QueryMode::Conjunctive,
+                    QueryClass::Medium,
+                ),
             )
             .expect("conj");
             let disj = measure_queries(
                 index.as_ref(),
-                &self.queries(n_queries, DEFAULT_K, QueryMode::Disjunctive, QueryClass::Medium),
+                &self.queries(
+                    n_queries,
+                    DEFAULT_K,
+                    QueryMode::Disjunctive,
+                    QueryClass::Medium,
+                ),
             )
             .expect("disj");
             rows.push(vec![
@@ -491,11 +573,16 @@ impl Bench {
 
             // "queries are timed right after the document insertions, so are
             // score updates".
-            let upd = measure_updates(index.as_ref(), &self.updates(n_updates, 100.0))
-                .expect("updates");
+            let upd =
+                measure_updates(index.as_ref(), &self.updates(n_updates, 100.0)).expect("updates");
             let qry = measure_queries(
                 index.as_ref(),
-                &self.queries(n_queries, DEFAULT_K, QueryMode::Conjunctive, QueryClass::Medium),
+                &self.queries(
+                    n_queries,
+                    DEFAULT_K,
+                    QueryMode::Conjunctive,
+                    QueryClass::Medium,
+                ),
             )
             .expect("queries");
             rows.push(vec![
@@ -540,13 +627,20 @@ impl Bench {
         let n_queries = self.scale.pick(15, QUERIES_PER_POINT);
 
         let mut rows = Vec::new();
-        for kind in [MethodKind::Id, MethodKind::ScoreThreshold, MethodKind::Chunk] {
+        for kind in [
+            MethodKind::Id,
+            MethodKind::ScoreThreshold,
+            MethodKind::Chunk,
+        ] {
             let index = build_index(kind, &dataset.docs, &dataset.scores, &self.config_for(kind))
                 .expect("build");
             let updates = UpdateWorkload::new(
                 ranked_docs.clone(),
                 dataset.scores.clone(),
-                UpdateConfig { mean_step: 500.0, ..UpdateConfig::default() },
+                UpdateConfig {
+                    mean_step: 500.0,
+                    ..UpdateConfig::default()
+                },
             )
             .take(n_updates);
             let upd = measure_updates(index.as_ref(), &updates).expect("updates");
@@ -576,6 +670,157 @@ impl Bench {
         }
     }
 
+    /// Beyond the paper: concurrent serving. One shared [`svr_engine::SvrEngine`]
+    /// answers top-k keyword queries from 1, 2, 4 and 8 reader threads while a
+    /// writer thread storms it with score updates — the "Ranked Enumeration
+    /// for Database Queries" deployment the `&self` engine API exists for.
+    /// Reports aggregate query throughput (it should scale with readers; the
+    /// single writer is the constant background load) and the writer's
+    /// sustained update rate.
+    pub fn concurrent(&self) -> ExperimentReport {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        use svr_engine::SvrEngine;
+        use svr_relation::schema::{ColumnType, Schema};
+        use svr_relation::{ScoreComponent, SvrSpec, Value};
+
+        let num_docs = self.scale.pick(1_500, 6_000) as i64;
+        let window_ms = self.scale.pick(250, 1_000) as u64;
+
+        let engine = SvrEngine::new();
+        engine
+            .create_table(Schema::new(
+                "movies",
+                &[("mid", ColumnType::Int), ("desc", ColumnType::Text)],
+                0,
+            ))
+            .expect("schema");
+        engine
+            .create_table(Schema::new(
+                "stats",
+                &[("mid", ColumnType::Int), ("nvisit", ColumnType::Int)],
+                0,
+            ))
+            .expect("schema");
+        // A handful of shared terms (every query matches plenty) plus a
+        // per-doc tail, loaded through the batched path.
+        engine
+            .insert_rows(
+                "movies",
+                (0..num_docs)
+                    .map(|i| {
+                        vec![
+                            Value::Int(i),
+                            Value::Text(format!(
+                                "golden gate archive footage reel {} take {}",
+                                i % 97,
+                                i
+                            )),
+                        ]
+                    })
+                    .collect(),
+            )
+            .expect("load movies");
+        engine
+            .create_text_index(
+                "idx",
+                "movies",
+                "desc",
+                SvrSpec::single(ScoreComponent::ColumnOf {
+                    table: "stats".into(),
+                    key_col: "mid".into(),
+                    val_col: "nvisit".into(),
+                }),
+                MethodKind::Chunk,
+                IndexConfig {
+                    min_chunk_docs: self.scale.pick(20, 50),
+                    ..IndexConfig::default()
+                },
+            )
+            .expect("index");
+        engine
+            .insert_rows(
+                "stats",
+                (0..num_docs)
+                    .map(|i| vec![Value::Int(i), Value::Int(i)])
+                    .collect(),
+            )
+            .expect("load stats");
+
+        let mut rows = Vec::new();
+        for readers in [1usize, 2, 4, 8] {
+            // Merge the short lists accumulated by the previous point's
+            // storm so every point starts from a freshly maintained index —
+            // otherwise later points would measure reader scaling *and*
+            // index degradation at once.
+            engine.run_maintenance("idx").expect("maintenance");
+            let stop = AtomicBool::new(false);
+            let served = AtomicUsize::new(0);
+            let updated = AtomicUsize::new(0);
+            let started = std::time::Instant::now();
+            std::thread::scope(|scope| {
+                for seed in 0..readers {
+                    let reader = engine.clone();
+                    let (stop, served) = (&stop, &served);
+                    scope.spawn(move || {
+                        let keywords = ["golden gate", "archive footage", "footage reel"];
+                        let mut i = seed;
+                        while !stop.load(Ordering::Relaxed) {
+                            reader
+                                .search("idx", keywords[i % 3], 10, QueryMode::Conjunctive)
+                                .expect("search");
+                            served.fetch_add(1, Ordering::Relaxed);
+                            i += 1;
+                        }
+                    });
+                }
+                let writer = engine.clone();
+                let (stop, updated) = (&stop, &updated);
+                scope.spawn(move || {
+                    use rand::RngCore;
+                    let mut rng = rand_pcg(0x5EED ^ readers as u64);
+                    while !stop.load(Ordering::Relaxed) {
+                        let mid = (rng.next_u64() % num_docs as u64) as i64;
+                        let visits = (rng.next_u64() % 1_000_000) as i64;
+                        writer
+                            .update_row(
+                                "stats",
+                                Value::Int(mid),
+                                &[("nvisit".into(), Value::Int(visits))],
+                            )
+                            .expect("update");
+                        updated.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                std::thread::sleep(std::time::Duration::from_millis(window_ms));
+                stop.store(true, Ordering::Relaxed);
+            });
+            let secs = started.elapsed().as_secs_f64();
+            let qps = served.load(Ordering::Relaxed) as f64 / secs;
+            let ups = updated.load(Ordering::Relaxed) as f64 / secs;
+            rows.push(vec![
+                readers.to_string(),
+                format!("{qps:.0}"),
+                format!("{:.0}", qps / readers as f64),
+                format!("{ups:.0}"),
+            ]);
+        }
+        ExperimentReport {
+            id: "concurrent".into(),
+            title: "shared-engine query throughput under a concurrent update storm".into(),
+            columns: vec![
+                "readers".into(),
+                "queries/s".into(),
+                "queries/s/thread".into(),
+                "updates/s".into(),
+            ],
+            rows,
+            notes: "aggregate throughput should grow with reader count (reads take &self \
+                    and share locks); the single writer serializes per table and is the \
+                    same background load at every point"
+                .into(),
+        }
+    }
+
     /// Run every experiment in paper order.
     pub fn run_all(&self) -> Vec<ExperimentReport> {
         vec![
@@ -588,6 +833,7 @@ impl Bench {
             self.fig10(),
             self.table3(),
             self.archive(),
+            self.concurrent(),
         ]
     }
 
@@ -603,13 +849,25 @@ impl Bench {
             "fig10" => Some(self.fig10()),
             "table3" => Some(self.table3()),
             "archive" => Some(self.archive()),
+            "concurrent" => Some(self.concurrent()),
             _ => None,
         }
     }
 
-    /// All experiment ids in paper order.
+    /// All experiment ids in paper order (then the beyond-the-paper ones).
     pub fn all_ids() -> &'static [&'static str] {
-        &["table1", "table2", "fig7", "fig8", "figstep", "fig9", "fig10", "table3", "archive"]
+        &[
+            "table1",
+            "table2",
+            "fig7",
+            "fig8",
+            "figstep",
+            "fig9",
+            "fig10",
+            "table3",
+            "archive",
+            "concurrent",
+        ]
     }
 }
 
@@ -626,7 +884,10 @@ impl rand::RngCore for Pcg {
         (self.next_u64() >> 32) as u32
     }
     fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let x = self.0;
         (x ^ (x >> 33)).wrapping_mul(0xFF51AFD7ED558CCD)
     }

@@ -18,7 +18,10 @@ impl Default for CostModel {
         // A 2005 commodity disk reading 1 KiB pages with imperfect
         // sequentiality (track-to-track seeks amortized in): ~300 us per
         // page. Writes are buffered/deferred and charged less.
-        CostModel { read_us: 300.0, write_us: 50.0 }
+        CostModel {
+            read_us: 300.0,
+            write_us: 50.0,
+        }
     }
 }
 
@@ -93,7 +96,10 @@ pub fn measure_queries(
     index: &dyn SearchIndex,
     queries: &[svr_core::Query],
 ) -> svr_core::Result<OpCost> {
-    let mut total = OpCost { ops: queries.len() as u64, ..OpCost::default() };
+    let mut total = OpCost {
+        ops: queries.len() as u64,
+        ..OpCost::default()
+    };
     for q in queries {
         index.clear_long_cache()?;
         // Only long-list traffic is charged: the Score table and short
@@ -144,8 +150,16 @@ mod tests {
 
     #[test]
     fn modeled_time_adds_io() {
-        let cost = OpCost { ops: 10, wall_ms: 5.0, pages_read: 100, pages_written: 40 };
-        let model = CostModel { read_us: 100.0, write_us: 25.0 };
+        let cost = OpCost {
+            ops: 10,
+            wall_ms: 5.0,
+            pages_read: 100,
+            pages_written: 40,
+        };
+        let model = CostModel {
+            read_us: 100.0,
+            write_us: 25.0,
+        };
         // 5ms + 100*0.1ms + 40*0.025ms = 16ms
         assert!((cost.modeled_ms(&model) - 16.0).abs() < 1e-9);
         assert!((cost.modeled_ms_per_op(&model) - 1.6).abs() < 1e-9);

@@ -135,7 +135,10 @@ impl ExperimentReport {
 
     /// Parse a report serialized by [`ExperimentReport::to_json`].
     pub fn from_json(json: &str) -> Option<ExperimentReport> {
-        let mut parser = JsonParser { bytes: json.as_bytes(), pos: 0 };
+        let mut parser = JsonParser {
+            bytes: json.as_bytes(),
+            pos: 0,
+        };
         let report = parser.object()?;
         parser.skip_ws();
         parser.at_end().then_some(report)

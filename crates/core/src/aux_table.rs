@@ -30,7 +30,9 @@ pub struct ListScoreTable {
 
 impl ListScoreTable {
     pub fn create(store: Arc<Store>) -> Result<ListScoreTable> {
-        Ok(ListScoreTable { tree: BTree::create(store)? })
+        Ok(ListScoreTable {
+            tree: BTree::create(store)?,
+        })
     }
 
     pub fn get(&self, doc: DocId) -> Result<Option<ListScoreEntry>> {
@@ -39,7 +41,10 @@ impl ListScoreTable {
                 let l_score = f64::from_le_bytes(raw[..8].try_into().map_err(|_| {
                     CoreError::Storage(svr_storage::StorageError::Corrupt("listscore row"))
                 })?);
-                Ok(Some(ListScoreEntry { l_score, in_short_list: raw.get(8) == Some(&1) }))
+                Ok(Some(ListScoreEntry {
+                    l_score,
+                    in_short_list: raw.get(8) == Some(&1),
+                }))
             }
             None => Ok(None),
         }
@@ -95,7 +100,9 @@ pub struct ListChunkTable {
 
 impl ListChunkTable {
     pub fn create(store: Arc<Store>) -> Result<ListChunkTable> {
-        Ok(ListChunkTable { tree: BTree::create(store)? })
+        Ok(ListChunkTable {
+            tree: BTree::create(store)?,
+        })
     }
 
     pub fn get(&self, doc: DocId) -> Result<Option<ListChunkEntry>> {
@@ -104,7 +111,10 @@ impl ListChunkTable {
                 let l_chunk = u32::from_le_bytes(raw[..4].try_into().map_err(|_| {
                     CoreError::Storage(svr_storage::StorageError::Corrupt("listchunk row"))
                 })?);
-                Ok(Some(ListChunkEntry { l_chunk, in_short_list: raw.get(4) == Some(&1) }))
+                Ok(Some(ListChunkEntry {
+                    l_chunk,
+                    in_short_list: raw.get(4) == Some(&1),
+                }))
             }
             None => Ok(None),
         }
@@ -158,12 +168,29 @@ mod tests {
     fn list_score_roundtrip() {
         let t = ListScoreTable::create(store()).unwrap();
         assert_eq!(t.get(DocId(15)).unwrap(), None);
-        t.put(DocId(15), ListScoreEntry { l_score: 87.13, in_short_list: false }).unwrap();
+        t.put(
+            DocId(15),
+            ListScoreEntry {
+                l_score: 87.13,
+                in_short_list: false,
+            },
+        )
+        .unwrap();
         assert_eq!(
             t.get(DocId(15)).unwrap(),
-            Some(ListScoreEntry { l_score: 87.13, in_short_list: false })
+            Some(ListScoreEntry {
+                l_score: 87.13,
+                in_short_list: false
+            })
         );
-        t.put(DocId(15), ListScoreEntry { l_score: 124.2, in_short_list: true }).unwrap();
+        t.put(
+            DocId(15),
+            ListScoreEntry {
+                l_score: 124.2,
+                in_short_list: true,
+            },
+        )
+        .unwrap();
         let e = t.get(DocId(15)).unwrap().unwrap();
         assert_eq!(e.l_score, 124.2);
         assert!(e.in_short_list);
@@ -174,11 +201,21 @@ mod tests {
     fn list_chunk_roundtrip_and_clear() {
         let t = ListChunkTable::create(store()).unwrap();
         for d in 0..50u32 {
-            t.put(DocId(d), ListChunkEntry { l_chunk: d % 7, in_short_list: d % 2 == 0 }).unwrap();
+            t.put(
+                DocId(d),
+                ListChunkEntry {
+                    l_chunk: d % 7,
+                    in_short_list: d % 2 == 0,
+                },
+            )
+            .unwrap();
         }
         assert_eq!(
             t.get(DocId(6)).unwrap(),
-            Some(ListChunkEntry { l_chunk: 6, in_short_list: true })
+            Some(ListChunkEntry {
+                l_chunk: 6,
+                in_short_list: true
+            })
         );
         t.delete(DocId(6)).unwrap();
         assert_eq!(t.get(DocId(6)).unwrap(), None);

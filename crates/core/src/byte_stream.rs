@@ -20,7 +20,11 @@ pub struct ByteStream<'a> {
 impl<'a> ByteStream<'a> {
     /// Wrap a blob reader.
     pub fn new(reader: BlobReader<'a>) -> ByteStream<'a> {
-        ByteStream { reader, buf: Bytes::new(), pos: 0 }
+        ByteStream {
+            reader,
+            buf: Bytes::new(),
+            pos: 0,
+        }
     }
 
     /// Ensure at least one unread byte is buffered; false at end of blob.
@@ -45,7 +49,9 @@ impl<'a> ByteStream<'a> {
     /// Next byte; errors at EOF.
     pub fn read_u8(&mut self) -> Result<u8> {
         if !self.refill()? {
-            return Err(CoreError::Storage(StorageError::Corrupt("unexpected end of list")));
+            return Err(CoreError::Storage(StorageError::Corrupt(
+                "unexpected end of list",
+            )));
         }
         let b = self.buf[self.pos];
         self.pos += 1;
@@ -57,7 +63,9 @@ impl<'a> ByteStream<'a> {
         let mut written = 0;
         while written < out.len() {
             if !self.refill()? {
-                return Err(CoreError::Storage(StorageError::Corrupt("unexpected end of list")));
+                return Err(CoreError::Storage(StorageError::Corrupt(
+                    "unexpected end of list",
+                )));
             }
             let take = (out.len() - written).min(self.buf.len() - self.pos);
             out[written..written + take].copy_from_slice(&self.buf[self.pos..self.pos + take]);

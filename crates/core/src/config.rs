@@ -57,7 +57,10 @@ impl IndexConfig {
     /// Validate invariants; panics on nonsensical settings (these are
     /// programmer-supplied constants, not runtime data).
     pub fn validated(self) -> Self {
-        assert!(self.page_size >= 256, "page size must be at least 256 bytes");
+        assert!(
+            self.page_size >= 256,
+            "page size must be at least 256 bytes"
+        );
         assert!(self.threshold_ratio > 1.0, "threshold ratio must be > 1");
         assert!(self.chunk_ratio > 1.0, "chunk ratio must be > 1");
         assert!(self.fancy_size > 0, "fancy list size must be positive");
@@ -86,7 +89,10 @@ mod tests {
 
     #[test]
     fn threshold_value_of_scales() {
-        let c = IndexConfig { threshold_ratio: 2.0, ..IndexConfig::default() };
+        let c = IndexConfig {
+            threshold_ratio: 2.0,
+            ..IndexConfig::default()
+        };
         assert_eq!(c.threshold_value_of(50.0), 100.0);
         // thresholdValueOf(score) >= score is required for correctness.
         for s in [0.0, 1.0, 87.13, 1e6] {
@@ -97,6 +103,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "chunk ratio")]
     fn bad_chunk_ratio_panics() {
-        let _ = IndexConfig { chunk_ratio: 0.9, ..IndexConfig::default() }.validated();
+        let _ = IndexConfig {
+            chunk_ratio: 0.9,
+            ..IndexConfig::default()
+        }
+        .validated();
     }
 }

@@ -21,7 +21,9 @@ pub struct DocStore {
 impl DocStore {
     /// Create an empty store.
     pub fn create(store: Arc<Store>) -> Result<DocStore> {
-        Ok(DocStore { tree: BTree::create(store)? })
+        Ok(DocStore {
+            tree: BTree::create(store)?,
+        })
     }
 
     fn key(doc: DocId) -> [u8; 4] {
@@ -98,19 +100,17 @@ impl DocStore {
         if row.first() != Some(&0xff) {
             return Ok(Some(Self::decode(&row)?));
         }
-        let n_chunks = u32::from_be_bytes(
-            row[1..5]
-                .try_into()
-                .map_err(|_| CoreError::Storage(svr_storage::StorageError::Corrupt("doc marker")))?,
-        );
+        let n_chunks =
+            u32::from_be_bytes(row[1..5].try_into().map_err(|_| {
+                CoreError::Storage(svr_storage::StorageError::Corrupt("doc marker"))
+            })?);
         let mut encoded = Vec::new();
         for seq in 1..=n_chunks {
             let mut key = Self::key(doc).to_vec();
             key.extend_from_slice(&seq.to_be_bytes());
-            let chunk = self
-                .tree
-                .get(&key)?
-                .ok_or(CoreError::Storage(svr_storage::StorageError::Corrupt("doc chunk")))?;
+            let chunk = self.tree.get(&key)?.ok_or(CoreError::Storage(
+                svr_storage::StorageError::Corrupt("doc chunk"),
+            ))?;
             encoded.extend_from_slice(&chunk);
         }
         Ok(Some(Self::decode(&encoded)?))
@@ -164,7 +164,10 @@ mod tests {
         let d = doc(7, &[(1, 3), (5, 1), (900, 2)]);
         ds.put(&d).unwrap();
         assert_eq!(ds.get(DocId(7)).unwrap().unwrap(), d.terms);
-        assert_eq!(ds.term_ids(DocId(7)).unwrap(), vec![TermId(1), TermId(5), TermId(900)]);
+        assert_eq!(
+            ds.term_ids(DocId(7)).unwrap(),
+            vec![TermId(1), TermId(5), TermId(900)]
+        );
         assert_eq!(ds.get(DocId(8)).unwrap(), None);
     }
 

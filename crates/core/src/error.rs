@@ -75,7 +75,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(CoreError::UnknownDocument(DocId(7)).to_string().contains('7'));
+        assert!(CoreError::UnknownDocument(DocId(7))
+            .to_string()
+            .contains('7'));
         assert!(CoreError::from(StorageError::BadBlobHandle)
             .to_string()
             .contains("storage"));

@@ -55,7 +55,10 @@ pub struct TopKHeap {
 impl TopKHeap {
     /// Heap keeping the best `k` hits.
     pub fn new(k: usize) -> TopKHeap {
-        TopKHeap { k, heap: BinaryHeap::with_capacity(k + 1) }
+        TopKHeap {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Offer a hit; keeps only the best k. Returns true if the hit was
@@ -152,7 +155,10 @@ mod tests {
         h.add(DocId(1), 10.0);
         h.add(DocId(5), 10.0);
         let ranked = h.into_ranked();
-        assert_eq!(ranked.iter().map(|h| h.doc.0).collect::<Vec<_>>(), vec![1, 5]);
+        assert_eq!(
+            ranked.iter().map(|h| h.doc.0).collect::<Vec<_>>(),
+            vec![1, 5]
+        );
     }
 
     #[test]
@@ -174,8 +180,14 @@ mod tests {
 
     #[test]
     fn ranks_above_total() {
-        let a = SearchHit { doc: DocId(1), score: 5.0 };
-        let b = SearchHit { doc: DocId(2), score: 5.0 };
+        let a = SearchHit {
+            doc: DocId(1),
+            score: 5.0,
+        };
+        let b = SearchHit {
+            doc: DocId(2),
+            score: 5.0,
+        };
         assert!(ranks_above(&a, &b));
         assert!(!ranks_above(&b, &a));
         assert!(!ranks_above(&a, &a));

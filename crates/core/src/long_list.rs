@@ -75,7 +75,8 @@ impl LongListStore {
             self.blobs.free(old)?;
             self.total_bytes.fetch_sub(old.len, Ordering::Relaxed);
         }
-        self.total_bytes.fetch_add(encoded.len() as u64, Ordering::Relaxed);
+        self.total_bytes
+            .fetch_add(encoded.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
@@ -108,9 +109,10 @@ impl LongListStore {
                         remaining: 0,
                         prev: None,
                     }),
-                    ListFormat::Score { with_scores } => {
-                        LongCursor::Score(ScoreCursorState { stream, with_scores })
-                    }
+                    ListFormat::Score { with_scores } => LongCursor::Score(ScoreCursorState {
+                        stream,
+                        with_scores,
+                    }),
                 }
             }
         }
@@ -179,8 +181,16 @@ impl LongCursor<'_> {
                     Some(prev) => prev + delta + 1,
                 };
                 state.prev = Some(doc);
-                let tscore = if state.with_scores { state.stream.read_u16_le()? } else { 0 };
-                Ok(Some(LongPosting { pos: PostingPos::Id, doc: DocId(doc), tscore }))
+                let tscore = if state.with_scores {
+                    state.stream.read_u16_le()?
+                } else {
+                    0
+                };
+                Ok(Some(LongPosting {
+                    pos: PostingPos::Id,
+                    doc: DocId(doc),
+                    tscore,
+                }))
             }
             LongCursor::Chunked(state) => {
                 while state.remaining == 0 {
@@ -198,7 +208,11 @@ impl LongCursor<'_> {
                     Some(prev) => prev + delta + 1,
                 };
                 state.prev = Some(doc);
-                let tscore = if state.with_scores { state.stream.read_u16_le()? } else { 0 };
+                let tscore = if state.with_scores {
+                    state.stream.read_u16_le()?
+                } else {
+                    0
+                };
                 Ok(Some(LongPosting {
                     pos: PostingPos::ByChunk(state.current_cid),
                     doc: DocId(doc),
@@ -211,7 +225,11 @@ impl LongCursor<'_> {
                 }
                 let score = state.stream.read_f64_le()?;
                 let doc = state.stream.read_u32_le()?;
-                let tscore = if state.with_scores { state.stream.read_u16_le()? } else { 0 };
+                let tscore = if state.with_scores {
+                    state.stream.read_u16_le()?
+                } else {
+                    0
+                };
                 Ok(Some(LongPosting {
                     pos: PostingPos::ByScore(score),
                     doc: DocId(doc),
@@ -284,12 +302,18 @@ mod tests {
             ChunkGroup {
                 cid: 5,
                 postings: (0..100u32)
-                    .map(|i| TermScoredPosting { doc: DocId(i * 2), tscore: i as u16 })
+                    .map(|i| TermScoredPosting {
+                        doc: DocId(i * 2),
+                        tscore: i as u16,
+                    })
                     .collect(),
             },
             ChunkGroup {
                 cid: 1,
-                postings: vec![TermScoredPosting { doc: DocId(7), tscore: 999 }],
+                postings: vec![TermScoredPosting {
+                    doc: DocId(7),
+                    tscore: 999,
+                }],
             },
         ];
         let mut buf = Vec::new();
@@ -310,7 +334,11 @@ mod tests {
     #[test]
     fn score_cursor_streams() {
         let lls = LongListStore::new(store(), ListFormat::Score { with_scores: false });
-        let postings = vec![(124.2, DocId(9), 0u16), (87.13, DocId(2), 0), (3.0, DocId(5), 0)];
+        let postings = vec![
+            (124.2, DocId(9), 0u16),
+            (87.13, DocId(2), 0),
+            (3.0, DocId(5), 0),
+        ];
         let mut buf = Vec::new();
         PostingsBuilder::encode_score_list(&postings, false, &mut buf);
         lls.set_list(TermId(3), &buf).unwrap();

@@ -24,7 +24,10 @@ use crate::types::{DocId, Score, TermId};
 #[allow(clippy::type_complexity)]
 fn invert_live(
     base: &MethodBase,
-) -> Result<(HashMap<TermId, Vec<TermScoredPosting>>, HashMap<DocId, Score>)> {
+) -> Result<(
+    HashMap<TermId, Vec<TermScoredPosting>>,
+    HashMap<DocId, Score>,
+)> {
     let live = base.score_table.live_scores()?;
     let mut inverted: HashMap<TermId, Vec<TermScoredPosting>> = HashMap::new();
     let mut scores = HashMap::with_capacity(live.len());
@@ -46,10 +49,7 @@ fn invert_live(
 }
 
 /// Replace every list in `long`, clearing lists for terms that vanished.
-fn replace_lists(
-    long: &LongListStore,
-    new_lists: HashMap<TermId, Vec<u8>>,
-) -> Result<()> {
+fn replace_lists(long: &LongListStore, new_lists: HashMap<TermId, Vec<u8>>) -> Result<()> {
     let fresh: HashSet<TermId> = new_lists.keys().copied().collect();
     for term in long.terms() {
         if !fresh.contains(&term) {

@@ -61,7 +61,13 @@ pub struct UnionCursor<'a> {
 impl<'a> UnionCursor<'a> {
     /// Combine a long-list cursor and a short-list cursor for one term.
     pub fn new(long: LongCursor<'a>, short: ShortCursor<'a>) -> UnionCursor<'a> {
-        UnionCursor { long, short, long_head: None, short_head: None, primed: false }
+        UnionCursor {
+            long,
+            short,
+            long_head: None,
+            short_head: None,
+            primed: false,
+        }
     }
 
     fn prime(&mut self) -> Result<()> {
@@ -94,7 +100,10 @@ impl<'a> UnionCursor<'a> {
                     let event = UnionEvent {
                         pos: l.pos,
                         doc: l.doc,
-                        m: TermMatch { source: Source::Long, tscore: l.tscore },
+                        m: TermMatch {
+                            source: Source::Long,
+                            tscore: l.tscore,
+                        },
                     };
                     self.advance_long()?;
                     return Ok(Some(event));
@@ -109,7 +118,10 @@ impl<'a> UnionCursor<'a> {
                     return Ok(Some(UnionEvent {
                         pos: s.pos,
                         doc: s.doc,
-                        m: TermMatch { source: Source::ShortAdd, tscore: s.tscore },
+                        m: TermMatch {
+                            source: Source::ShortAdd,
+                            tscore: s.tscore,
+                        },
                     }));
                 }
                 (Some(l), Some(s)) => {
@@ -119,7 +131,10 @@ impl<'a> UnionCursor<'a> {
                         let event = UnionEvent {
                             pos: l.pos,
                             doc: l.doc,
-                            m: TermMatch { source: Source::Long, tscore: l.tscore },
+                            m: TermMatch {
+                                source: Source::Long,
+                                tscore: l.tscore,
+                            },
                         };
                         self.advance_long()?;
                         return Ok(Some(event));
@@ -132,7 +147,10 @@ impl<'a> UnionCursor<'a> {
                         return Ok(Some(UnionEvent {
                             pos: s.pos,
                             doc: s.doc,
-                            m: TermMatch { source: Source::ShortAdd, tscore: s.tscore },
+                            m: TermMatch {
+                                source: Source::ShortAdd,
+                                tscore: s.tscore,
+                            },
                         }));
                     }
                     // Same position and doc: the short posting governs.
@@ -145,7 +163,10 @@ impl<'a> UnionCursor<'a> {
                     return Ok(Some(UnionEvent {
                         pos: s.pos,
                         doc: s.doc,
-                        m: TermMatch { source: Source::ShortAdd, tscore: s.tscore },
+                        m: TermMatch {
+                            source: Source::ShortAdd,
+                            tscore: s.tscore,
+                        },
                     }));
                 }
             }
@@ -193,7 +214,11 @@ impl<'a> MultiMerge<'a> {
     /// Merge the given per-term cursors (one per query term, in query order).
     pub fn new(streams: Vec<UnionCursor<'a>>) -> MultiMerge<'a> {
         let n = streams.len();
-        MultiMerge { streams, heads: vec![None; n], primed: false }
+        MultiMerge {
+            streams,
+            heads: vec![None; n],
+            primed: false,
+        }
     }
 
     fn prime(&mut self) -> Result<()> {
@@ -210,12 +235,7 @@ impl<'a> MultiMerge<'a> {
     /// exhausted.
     pub fn next_candidate(&mut self) -> Result<Option<Candidate>> {
         self.prime()?;
-        let min_key = self
-            .heads
-            .iter()
-            .flatten()
-            .map(|e| e.key())
-            .min();
+        let min_key = self.heads.iter().flatten().map(|e| e.key()).min();
         let Some(min_key) = min_key else {
             return Ok(None);
         };
@@ -262,7 +282,10 @@ mod tests {
                 cid,
                 postings: docs
                     .iter()
-                    .map(|&d| TermScoredPosting { doc: DocId(d), tscore: 0 })
+                    .map(|&d| TermScoredPosting {
+                        doc: DocId(d),
+                        tscore: 0,
+                    })
                     .collect(),
             })
             .collect();
@@ -283,8 +306,12 @@ mod tests {
     fn union_interleaves_short_and_long() {
         let (lls, sls) = fixtures();
         set_chunked(&lls, 1, &[(3, &[10, 20]), (1, &[5])]);
-        sls.put(TermId(1), PostingPos::ByChunk(5), DocId(20), Op::Add, 0).unwrap();
-        let events = drain(UnionCursor::new(lls.cursor(TermId(1)), sls.cursor(TermId(1)).unwrap()));
+        sls.put(TermId(1), PostingPos::ByChunk(5), DocId(20), Op::Add, 0)
+            .unwrap();
+        let events = drain(UnionCursor::new(
+            lls.cursor(TermId(1)),
+            sls.cursor(TermId(1)).unwrap(),
+        ));
         assert_eq!(
             events,
             vec![
@@ -300,8 +327,12 @@ mod tests {
     fn rem_cancels_colocated_long_posting() {
         let (lls, sls) = fixtures();
         set_chunked(&lls, 1, &[(3, &[10, 20, 30])]);
-        sls.put(TermId(1), PostingPos::ByChunk(3), DocId(20), Op::Rem, 0).unwrap();
-        let events = drain(UnionCursor::new(lls.cursor(TermId(1)), sls.cursor(TermId(1)).unwrap()));
+        sls.put(TermId(1), PostingPos::ByChunk(3), DocId(20), Op::Rem, 0)
+            .unwrap();
+        let events = drain(UnionCursor::new(
+            lls.cursor(TermId(1)),
+            sls.cursor(TermId(1)).unwrap(),
+        ));
         assert_eq!(
             events.iter().map(|e| e.1).collect::<Vec<_>>(),
             vec![10, 30],
@@ -313,7 +344,8 @@ mod tests {
     fn add_at_same_position_overrides_long() {
         let (lls, sls) = fixtures();
         set_chunked(&lls, 1, &[(3, &[10])]);
-        sls.put(TermId(1), PostingPos::ByChunk(3), DocId(10), Op::Add, 42).unwrap();
+        sls.put(TermId(1), PostingPos::ByChunk(3), DocId(10), Op::Add, 42)
+            .unwrap();
         let mut u = UnionCursor::new(lls.cursor(TermId(1)), sls.cursor(TermId(1)).unwrap());
         let e = u.next_event().unwrap().unwrap();
         assert_eq!(e.m.source, Source::ShortAdd);
@@ -325,8 +357,12 @@ mod tests {
     fn orphan_rem_is_silent() {
         let (lls, sls) = fixtures();
         set_chunked(&lls, 1, &[(3, &[10])]);
-        sls.put(TermId(1), PostingPos::ByChunk(9), DocId(99), Op::Rem, 0).unwrap();
-        let events = drain(UnionCursor::new(lls.cursor(TermId(1)), sls.cursor(TermId(1)).unwrap()));
+        sls.put(TermId(1), PostingPos::ByChunk(9), DocId(99), Op::Rem, 0)
+            .unwrap();
+        let events = drain(UnionCursor::new(
+            lls.cursor(TermId(1)),
+            sls.cursor(TermId(1)).unwrap(),
+        ));
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].1, 10);
     }
@@ -380,20 +416,35 @@ mod tests {
             pos: PostingPos::ByChunk(3),
             doc: DocId(1),
             matches: vec![
-                Some(TermMatch { source: Source::ShortAdd, tscore: 0 }),
-                Some(TermMatch { source: Source::ShortAdd, tscore: 0 }),
+                Some(TermMatch {
+                    source: Source::ShortAdd,
+                    tscore: 0,
+                }),
+                Some(TermMatch {
+                    source: Source::ShortAdd,
+                    tscore: 0,
+                }),
             ],
         };
         assert!(c.all_short());
         let mixed = Candidate {
             matches: vec![
-                Some(TermMatch { source: Source::ShortAdd, tscore: 0 }),
-                Some(TermMatch { source: Source::Long, tscore: 0 }),
+                Some(TermMatch {
+                    source: Source::ShortAdd,
+                    tscore: 0,
+                }),
+                Some(TermMatch {
+                    source: Source::Long,
+                    tscore: 0,
+                }),
             ],
             ..c.clone()
         };
         assert!(!mixed.all_short());
-        let none = Candidate { matches: vec![None, None], ..c };
+        let none = Candidate {
+            matches: vec![None, None],
+            ..c
+        };
         assert!(!none.all_short());
     }
 }

@@ -49,11 +49,7 @@ impl MethodBase {
     }
 
     /// Bulk-load documents and scores at build time.
-    pub fn bulk_load(
-        &self,
-        docs: &[Document],
-        scores: &HashMap<DocId, Score>,
-    ) -> Result<()> {
+    pub fn bulk_load(&self, docs: &[Document], scores: &HashMap<DocId, Score>) -> Result<()> {
         let mut df = self.df.write();
         for doc in docs {
             let score = scores.get(&doc.id).copied().unwrap_or(0.0);

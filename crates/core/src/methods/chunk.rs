@@ -59,12 +59,22 @@ pub(crate) fn group_by_chunk(
 
 impl ChunkMethod {
     /// Build from a corpus and initial scores.
-    pub fn build(docs: &[Document], scores: &ScoreMap, config: &IndexConfig) -> Result<ChunkMethod> {
+    pub fn build(
+        docs: &[Document],
+        scores: &ScoreMap,
+        config: &IndexConfig,
+    ) -> Result<ChunkMethod> {
         let base = MethodBase::new(config)?;
         base.bulk_load(docs, scores)?;
-        let long_store = base.env.create_store(store_names::LONG, config.long_cache_pages);
-        let short_store = base.env.create_store(store_names::SHORT, config.small_cache_pages);
-        let aux_store = base.env.create_store(store_names::AUX, config.small_cache_pages);
+        let long_store = base
+            .env
+            .create_store(store_names::LONG, config.long_cache_pages);
+        let short_store = base
+            .env
+            .create_store(store_names::SHORT, config.small_cache_pages);
+        let aux_store = base
+            .env
+            .create_store(store_names::AUX, config.small_cache_pages);
         let long = LongListStore::new(long_store, ListFormat::Chunked { with_scores: false });
         let short = ShortLists::create(short_store, ShortOrder::ByChunkDesc)?;
         let list_chunk = ListChunkTable::create(aux_store)?;
@@ -73,7 +83,8 @@ impl ChunkMethod {
             .iter()
             .map(|d| MethodBase::initial_score(scores, d.id))
             .collect();
-        let chunk_map = ChunkMap::from_scores(&all_scores, config.chunk_ratio, config.min_chunk_docs);
+        let chunk_map =
+            ChunkMap::from_scores(&all_scores, config.chunk_ratio, config.min_chunk_docs);
         for (term, postings) in invert_corpus(docs) {
             let groups = group_by_chunk(&postings, |doc| {
                 chunk_map.chunk_of(MethodBase::initial_score(scores, doc))
@@ -128,10 +139,13 @@ impl SearchIndex for ChunkMethod {
         self.base.score_table.set(doc, new_score)?;
         let entry = self.list_state(doc, old_score)?;
         if self.list_chunk.get(doc)?.is_none() {
-            self.list_chunk.put(doc, ListChunkEntry {
-                l_chunk: entry.l_chunk,
-                in_short_list: false,
-            })?;
+            self.list_chunk.put(
+                doc,
+                ListChunkEntry {
+                    l_chunk: entry.l_chunk,
+                    in_short_list: false,
+                },
+            )?;
         }
         let new_chunk = self.chunk_map.read().chunk_of(new_score);
         // Move only when the score crosses *two* chunk boundaries.
@@ -139,14 +153,19 @@ impl SearchIndex for ChunkMethod {
             let terms = self.base.doc_store.get(doc)?.unwrap_or_default();
             for (term, _) in terms {
                 if entry.in_short_list {
-                    self.short.delete(term, PostingPos::ByChunk(entry.l_chunk), doc)?;
+                    self.short
+                        .delete(term, PostingPos::ByChunk(entry.l_chunk), doc)?;
                 }
-                self.short.put(term, PostingPos::ByChunk(new_chunk), doc, Op::Add, 0)?;
+                self.short
+                    .put(term, PostingPos::ByChunk(new_chunk), doc, Op::Add, 0)?;
             }
-            self.list_chunk.put(doc, ListChunkEntry {
-                l_chunk: new_chunk,
-                in_short_list: true,
-            })?;
+            self.list_chunk.put(
+                doc,
+                ListChunkEntry {
+                    l_chunk: new_chunk,
+                    in_short_list: true,
+                },
+            )?;
         }
         Ok(())
     }
@@ -222,9 +241,16 @@ impl SearchIndex for ChunkMethod {
         self.base.register_insert(doc, score)?;
         let chunk = self.chunk_map.read().chunk_of(score);
         for term in doc.term_ids() {
-            self.short.put(term, PostingPos::ByChunk(chunk), doc.id, Op::Add, 0)?;
+            self.short
+                .put(term, PostingPos::ByChunk(chunk), doc.id, Op::Add, 0)?;
         }
-        self.list_chunk.put(doc.id, ListChunkEntry { l_chunk: chunk, in_short_list: true })?;
+        self.list_chunk.put(
+            doc.id,
+            ListChunkEntry {
+                l_chunk: chunk,
+                in_short_list: true,
+            },
+        )?;
         Ok(())
     }
 

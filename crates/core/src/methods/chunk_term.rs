@@ -77,25 +77,47 @@ pub struct ChunkTermMethod {
 
 /// Select the fancy list: the `fancy_size` postings with the highest term
 /// scores (ties by doc id), returned in doc-id order together with metadata.
-fn build_fancy(postings: &[TermScoredPosting], fancy_size: usize) -> (Vec<TermScoredPosting>, FancyMeta) {
+fn build_fancy(
+    postings: &[TermScoredPosting],
+    fancy_size: usize,
+) -> (Vec<TermScoredPosting>, FancyMeta) {
     let mut ranked: Vec<TermScoredPosting> = postings.to_vec();
     ranked.sort_by(|a, b| b.tscore.cmp(&a.tscore).then_with(|| a.doc.cmp(&b.doc)));
     ranked.truncate(fancy_size);
     let complete = ranked.len() == postings.len();
     let min_ts = ranked.iter().map(|p| p.tscore).min().unwrap_or(0);
     ranked.sort_by_key(|p| p.doc);
-    (ranked, FancyMeta { min_ts, complete, inserted_max: 0 })
+    (
+        ranked,
+        FancyMeta {
+            min_ts,
+            complete,
+            inserted_max: 0,
+        },
+    )
 }
 
 impl ChunkTermMethod {
     /// Build from a corpus and initial scores.
-    pub fn build(docs: &[Document], scores: &ScoreMap, config: &IndexConfig) -> Result<ChunkTermMethod> {
+    pub fn build(
+        docs: &[Document],
+        scores: &ScoreMap,
+        config: &IndexConfig,
+    ) -> Result<ChunkTermMethod> {
         let base = MethodBase::new(config)?;
         base.bulk_load(docs, scores)?;
-        let long_store = base.env.create_store(store_names::LONG, config.long_cache_pages);
-        let short_store = base.env.create_store(store_names::SHORT, config.small_cache_pages);
-        let aux_store = base.env.create_store(store_names::AUX, config.small_cache_pages);
-        let fancy_store = base.env.create_store(store_names::FANCY, config.small_cache_pages);
+        let long_store = base
+            .env
+            .create_store(store_names::LONG, config.long_cache_pages);
+        let short_store = base
+            .env
+            .create_store(store_names::SHORT, config.small_cache_pages);
+        let aux_store = base
+            .env
+            .create_store(store_names::AUX, config.small_cache_pages);
+        let fancy_store = base
+            .env
+            .create_store(store_names::FANCY, config.small_cache_pages);
         let long = LongListStore::new(long_store, ListFormat::Chunked { with_scores: true });
         let short = ShortLists::create(short_store, ShortOrder::ByChunkDesc)?;
         let fancy = LongListStore::new(fancy_store, ListFormat::Id { with_scores: true });
@@ -105,7 +127,8 @@ impl ChunkTermMethod {
             .iter()
             .map(|d| MethodBase::initial_score(scores, d.id))
             .collect();
-        let chunk_map = ChunkMap::from_scores(&all_scores, config.chunk_ratio, config.min_chunk_docs);
+        let chunk_map =
+            ChunkMap::from_scores(&all_scores, config.chunk_ratio, config.min_chunk_docs);
         let mut fancy_meta = HashMap::new();
         for (term, postings) in invert_corpus(docs) {
             let groups = group_by_chunk(&postings, |doc| {
@@ -178,10 +201,13 @@ impl SearchIndex for ChunkTermMethod {
         self.base.score_table.set(doc, new_score)?;
         let entry = self.list_state(doc, old_score)?;
         if self.list_chunk.get(doc)?.is_none() {
-            self.list_chunk.put(doc, ListChunkEntry {
-                l_chunk: entry.l_chunk,
-                in_short_list: false,
-            })?;
+            self.list_chunk.put(
+                doc,
+                ListChunkEntry {
+                    l_chunk: entry.l_chunk,
+                    in_short_list: false,
+                },
+            )?;
         }
         let new_chunk = self.chunk_map.read().chunk_of(new_score);
         if new_chunk > entry.l_chunk + 1 {
@@ -189,15 +215,20 @@ impl SearchIndex for ChunkTermMethod {
             let max_tf = terms.iter().map(|&(_, tf)| tf).max().unwrap_or(0);
             for (term, tf) in terms {
                 if entry.in_short_list {
-                    self.short.delete(term, PostingPos::ByChunk(entry.l_chunk), doc)?;
+                    self.short
+                        .delete(term, PostingPos::ByChunk(entry.l_chunk), doc)?;
                 }
                 let ts = posting_term_score(tf, max_tf);
-                self.short.put(term, PostingPos::ByChunk(new_chunk), doc, Op::Add, ts)?;
+                self.short
+                    .put(term, PostingPos::ByChunk(new_chunk), doc, Op::Add, ts)?;
             }
-            self.list_chunk.put(doc, ListChunkEntry {
-                l_chunk: new_chunk,
-                in_short_list: true,
-            })?;
+            self.list_chunk.put(
+                doc,
+                ListChunkEntry {
+                    l_chunk: new_chunk,
+                    in_short_list: true,
+                },
+            )?;
         }
         Ok(())
     }
@@ -219,9 +250,7 @@ impl SearchIndex for ChunkTermMethod {
         for (i, &term) in query.terms.iter().enumerate() {
             let mut cursor = self.fancy.cursor(term);
             while let Some(p) = cursor.next_posting()? {
-                fancy_docs
-                    .entry(p.doc)
-                    .or_insert_with(|| vec![None; m])[i] =
+                fancy_docs.entry(p.doc).or_insert_with(|| vec![None; m])[i] =
                     Some(idfs[i] * unquantize_term_score(p.tscore));
             }
         }
@@ -338,10 +367,17 @@ impl SearchIndex for ChunkTermMethod {
         let max_tf = doc.max_tf();
         for &(term, tf) in &doc.terms {
             let ts = posting_term_score(tf, max_tf);
-            self.short.put(term, PostingPos::ByChunk(chunk), doc.id, Op::Add, ts)?;
+            self.short
+                .put(term, PostingPos::ByChunk(chunk), doc.id, Op::Add, ts)?;
             self.widen_fancy_bound(term, ts);
         }
-        self.list_chunk.put(doc.id, ListChunkEntry { l_chunk: chunk, in_short_list: true })?;
+        self.list_chunk.put(
+            doc.id,
+            ListChunkEntry {
+                l_chunk: chunk,
+                in_short_list: true,
+            },
+        )?;
         Ok(())
     }
 
@@ -388,7 +424,14 @@ impl SearchIndex for ChunkTermMethod {
         *self.fancy_meta.write() = new_meta
             .into_iter()
             .map(|(t, (min_ts, complete))| {
-                (t, FancyMeta { min_ts, complete, inserted_max: 0 })
+                (
+                    t,
+                    FancyMeta {
+                        min_ts,
+                        complete,
+                        inserted_max: 0,
+                    },
+                )
             })
             .collect();
         self.content_dirty.write().clear();

@@ -34,8 +34,12 @@ impl IdMethod {
     pub fn build(docs: &[Document], scores: &ScoreMap, config: &IndexConfig) -> Result<IdMethod> {
         let base = MethodBase::new(config)?;
         base.bulk_load(docs, scores)?;
-        let long_store = base.env.create_store(store_names::LONG, config.long_cache_pages);
-        let short_store = base.env.create_store(store_names::SHORT, config.small_cache_pages);
+        let long_store = base
+            .env
+            .create_store(store_names::LONG, config.long_cache_pages);
+        let short_store = base
+            .env
+            .create_store(store_names::SHORT, config.small_cache_pages);
         let long = LongListStore::new(long_store, ListFormat::Id { with_scores: false });
         let short = ShortLists::create(short_store, ShortOrder::ById)?;
         for (term, postings) in invert_corpus(docs) {
@@ -108,10 +112,8 @@ impl SearchIndex for IdMethod {
 
     fn update_content(&self, doc: &Document) -> Result<()> {
         let (old, new) = self.base.register_content(doc)?;
-        let old_terms: std::collections::HashSet<TermId> =
-            old.iter().map(|&(t, _)| t).collect();
-        let new_terms: std::collections::HashSet<TermId> =
-            new.iter().map(|&(t, _)| t).collect();
+        let old_terms: std::collections::HashSet<TermId> = old.iter().map(|&(t, _)| t).collect();
+        let new_terms: std::collections::HashSet<TermId> = new.iter().map(|&(t, _)| t).collect();
         for &term in new_terms.difference(&old_terms) {
             self.short.put(term, PostingPos::Id, doc.id, Op::Add, 0)?;
         }

@@ -32,11 +32,19 @@ pub struct IdTermMethod {
 
 impl IdTermMethod {
     /// Build from a corpus and initial scores.
-    pub fn build(docs: &[Document], scores: &ScoreMap, config: &IndexConfig) -> Result<IdTermMethod> {
+    pub fn build(
+        docs: &[Document],
+        scores: &ScoreMap,
+        config: &IndexConfig,
+    ) -> Result<IdTermMethod> {
         let base = MethodBase::new(config)?;
         base.bulk_load(docs, scores)?;
-        let long_store = base.env.create_store(store_names::LONG, config.long_cache_pages);
-        let short_store = base.env.create_store(store_names::SHORT, config.small_cache_pages);
+        let long_store = base
+            .env
+            .create_store(store_names::LONG, config.long_cache_pages);
+        let short_store = base
+            .env
+            .create_store(store_names::SHORT, config.small_cache_pages);
         let long = LongListStore::new(long_store, ListFormat::Id { with_scores: true });
         let short = ShortLists::create(short_store, ShortOrder::ById)?;
         for (term, postings) in invert_corpus(docs) {

@@ -187,7 +187,10 @@ pub struct LockedIndex<I> {
 impl<I: SearchIndex> LockedIndex<I> {
     /// Wrap an index.
     pub fn new(inner: I) -> LockedIndex<I> {
-        LockedIndex { inner, lock: parking_lot::RwLock::new(()) }
+        LockedIndex {
+            inner,
+            lock: parking_lot::RwLock::new(()),
+        }
     }
 }
 
@@ -257,24 +260,20 @@ pub fn build_index(
     let config = config.clone().validated();
     Ok(match kind {
         MethodKind::Id => Box::new(LockedIndex::new(IdMethod::build(docs, scores, &config)?)),
-        MethodKind::Score => {
-            Box::new(LockedIndex::new(ScoreMethod::build(docs, scores, &config)?))
-        }
-        MethodKind::ScoreThreshold => {
-            Box::new(LockedIndex::new(ScoreThresholdMethod::build(docs, scores, &config)?))
-        }
-        MethodKind::Chunk => {
-            Box::new(LockedIndex::new(ChunkMethod::build(docs, scores, &config)?))
-        }
-        MethodKind::IdTermScore => {
-            Box::new(LockedIndex::new(IdTermMethod::build(docs, scores, &config)?))
-        }
-        MethodKind::ChunkTermScore => {
-            Box::new(LockedIndex::new(ChunkTermMethod::build(docs, scores, &config)?))
-        }
-        MethodKind::ScoreThresholdTermScore => {
-            Box::new(LockedIndex::new(ScoreThresholdTermMethod::build(docs, scores, &config)?))
-        }
+        MethodKind::Score => Box::new(LockedIndex::new(ScoreMethod::build(docs, scores, &config)?)),
+        MethodKind::ScoreThreshold => Box::new(LockedIndex::new(ScoreThresholdMethod::build(
+            docs, scores, &config,
+        )?)),
+        MethodKind::Chunk => Box::new(LockedIndex::new(ChunkMethod::build(docs, scores, &config)?)),
+        MethodKind::IdTermScore => Box::new(LockedIndex::new(IdTermMethod::build(
+            docs, scores, &config,
+        )?)),
+        MethodKind::ChunkTermScore => Box::new(LockedIndex::new(ChunkTermMethod::build(
+            docs, scores, &config,
+        )?)),
+        MethodKind::ScoreThresholdTermScore => Box::new(LockedIndex::new(
+            ScoreThresholdTermMethod::build(docs, scores, &config)?,
+        )),
     })
 }
 

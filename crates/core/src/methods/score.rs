@@ -34,10 +34,16 @@ pub struct ScoreMethod {
 
 impl ScoreMethod {
     /// Build from a corpus and initial scores.
-    pub fn build(docs: &[Document], scores: &ScoreMap, config: &IndexConfig) -> Result<ScoreMethod> {
+    pub fn build(
+        docs: &[Document],
+        scores: &ScoreMap,
+        config: &IndexConfig,
+    ) -> Result<ScoreMethod> {
         let base = MethodBase::new(config)?;
         base.bulk_load(docs, scores)?;
-        let long_store = base.env.create_store(store_names::LONG, config.long_cache_pages);
+        let long_store = base
+            .env
+            .create_store(store_names::LONG, config.long_cache_pages);
         let list = ShortLists::create(long_store, ShortOrder::ByScoreDesc)?;
         for (term, postings) in invert_corpus(docs) {
             for p in postings {
@@ -65,7 +71,8 @@ impl SearchIndex for ScoreMethod {
         for (term, _) in terms {
             if let Some((op, tscore)) = self.list.get(term, PostingPos::ByScore(old), doc)? {
                 self.list.delete(term, PostingPos::ByScore(old), doc)?;
-                self.list.put(term, PostingPos::ByScore(new_score), doc, op, tscore)?;
+                self.list
+                    .put(term, PostingPos::ByScore(new_score), doc, op, tscore)?;
             }
         }
         Ok(())
@@ -110,7 +117,8 @@ impl SearchIndex for ScoreMethod {
         let max_tf = doc.max_tf();
         for &(term, tf) in &doc.terms {
             let ts = crate::long_list::posting_term_score(tf, max_tf);
-            self.list.put(term, PostingPos::ByScore(score), doc.id, Op::Add, ts)?;
+            self.list
+                .put(term, PostingPos::ByScore(score), doc.id, Op::Add, ts)?;
         }
         Ok(())
     }
@@ -130,13 +138,15 @@ impl SearchIndex for ScoreMethod {
         let score = self.base.current_score(doc.id)?;
         let (old, new) = self.base.register_content(doc)?;
         for (term, _) in &old {
-            self.list.delete(*term, PostingPos::ByScore(score), doc.id)?;
+            self.list
+                .delete(*term, PostingPos::ByScore(score), doc.id)?;
         }
         let max_tf = doc.max_tf();
         let _ = new;
         for &(term, tf) in &doc.terms {
             let ts = crate::long_list::posting_term_score(tf, max_tf);
-            self.list.put(term, PostingPos::ByScore(score), doc.id, Op::Add, ts)?;
+            self.list
+                .put(term, PostingPos::ByScore(score), doc.id, Op::Add, ts)?;
         }
         Ok(())
     }

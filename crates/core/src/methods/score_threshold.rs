@@ -42,9 +42,15 @@ impl ScoreThresholdMethod {
     ) -> Result<ScoreThresholdMethod> {
         let base = MethodBase::new(config)?;
         base.bulk_load(docs, scores)?;
-        let long_store = base.env.create_store(store_names::LONG, config.long_cache_pages);
-        let short_store = base.env.create_store(store_names::SHORT, config.small_cache_pages);
-        let aux_store = base.env.create_store(store_names::AUX, config.small_cache_pages);
+        let long_store = base
+            .env
+            .create_store(store_names::LONG, config.long_cache_pages);
+        let short_store = base
+            .env
+            .create_store(store_names::SHORT, config.small_cache_pages);
+        let aux_store = base
+            .env
+            .create_store(store_names::AUX, config.small_cache_pages);
         let long = LongListStore::new(long_store, ListFormat::Score { with_scores: false });
         let short = ShortLists::create(short_store, ShortOrder::ByScoreDesc)?;
         let list_score = ListScoreTable::create(aux_store)?;
@@ -60,7 +66,13 @@ impl ScoreThresholdMethod {
             PostingsBuilder::encode_score_list(&rows, false, &mut buf);
             long.set_list(term, &buf)?;
         }
-        Ok(ScoreThresholdMethod { base, config: config.clone(), long, short, list_score })
+        Ok(ScoreThresholdMethod {
+            base,
+            config: config.clone(),
+            long,
+            short,
+            list_score,
+        })
     }
 
     /// The document's list score and whether its postings are in the short
@@ -68,7 +80,10 @@ impl ScoreThresholdMethod {
     fn list_state(&self, doc: DocId, fallback_score: Score) -> Result<ListScoreEntry> {
         match self.list_score.get(doc)? {
             Some(entry) => Ok(entry),
-            None => Ok(ListScoreEntry { l_score: fallback_score, in_short_list: false }),
+            None => Ok(ListScoreEntry {
+                l_score: fallback_score,
+                in_short_list: false,
+            }),
         }
     }
 }
@@ -85,24 +100,32 @@ impl SearchIndex for ScoreThresholdMethod {
         let entry = self.list_state(doc, old_score)?;
         if self.list_score.get(doc)?.is_none() {
             // First-ever update: remember the (long) list score.
-            self.list_score.put(doc, ListScoreEntry {
-                l_score: old_score,
-                in_short_list: false,
-            })?;
+            self.list_score.put(
+                doc,
+                ListScoreEntry {
+                    l_score: old_score,
+                    in_short_list: false,
+                },
+            )?;
         }
         if new_score > self.config.threshold_value_of(entry.l_score) {
             let terms = self.base.doc_store.get(doc)?.unwrap_or_default();
             for (term, _) in terms {
                 if entry.in_short_list {
                     // Relocate the existing short posting.
-                    self.short.delete(term, PostingPos::ByScore(entry.l_score), doc)?;
+                    self.short
+                        .delete(term, PostingPos::ByScore(entry.l_score), doc)?;
                 }
-                self.short.put(term, PostingPos::ByScore(new_score), doc, Op::Add, 0)?;
+                self.short
+                    .put(term, PostingPos::ByScore(new_score), doc, Op::Add, 0)?;
             }
-            self.list_score.put(doc, ListScoreEntry {
-                l_score: new_score,
-                in_short_list: true,
-            })?;
+            self.list_score.put(
+                doc,
+                ListScoreEntry {
+                    l_score: new_score,
+                    in_short_list: true,
+                },
+            )?;
         }
         Ok(())
     }
@@ -182,9 +205,16 @@ impl SearchIndex for ScoreThresholdMethod {
     fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {
         self.base.register_insert(doc, score)?;
         for term in doc.term_ids() {
-            self.short.put(term, PostingPos::ByScore(score), doc.id, Op::Add, 0)?;
+            self.short
+                .put(term, PostingPos::ByScore(score), doc.id, Op::Add, 0)?;
         }
-        self.list_score.put(doc.id, ListScoreEntry { l_score: score, in_short_list: true })?;
+        self.list_score.put(
+            doc.id,
+            ListScoreEntry {
+                l_score: score,
+                in_short_list: true,
+            },
+        )?;
         Ok(())
     }
 

@@ -74,7 +74,14 @@ fn build_fancy(
     let complete = ranked.len() == postings.len();
     let min_ts = ranked.iter().map(|p| p.tscore).min().unwrap_or(0);
     ranked.sort_by_key(|p| p.doc);
-    (ranked, FancyMeta { min_ts, complete, inserted_max: 0 })
+    (
+        ranked,
+        FancyMeta {
+            min_ts,
+            complete,
+            inserted_max: 0,
+        },
+    )
 }
 
 impl ScoreThresholdTermMethod {
@@ -86,10 +93,18 @@ impl ScoreThresholdTermMethod {
     ) -> Result<ScoreThresholdTermMethod> {
         let base = MethodBase::new(config)?;
         base.bulk_load(docs, scores)?;
-        let long_store = base.env.create_store(store_names::LONG, config.long_cache_pages);
-        let short_store = base.env.create_store(store_names::SHORT, config.small_cache_pages);
-        let aux_store = base.env.create_store(store_names::AUX, config.small_cache_pages);
-        let fancy_store = base.env.create_store(store_names::FANCY, config.small_cache_pages);
+        let long_store = base
+            .env
+            .create_store(store_names::LONG, config.long_cache_pages);
+        let short_store = base
+            .env
+            .create_store(store_names::SHORT, config.small_cache_pages);
+        let aux_store = base
+            .env
+            .create_store(store_names::AUX, config.small_cache_pages);
+        let fancy_store = base
+            .env
+            .create_store(store_names::FANCY, config.small_cache_pages);
         let long = LongListStore::new(long_store, ListFormat::Score { with_scores: true });
         let short = ShortLists::create(short_store, ShortOrder::ByScoreDesc)?;
         let fancy = LongListStore::new(fancy_store, ListFormat::Id { with_scores: true });
@@ -127,7 +142,10 @@ impl ScoreThresholdTermMethod {
     fn list_state(&self, doc: DocId, fallback_score: Score) -> Result<ListScoreEntry> {
         match self.list_score.get(doc)? {
             Some(entry) => Ok(entry),
-            None => Ok(ListScoreEntry { l_score: fallback_score, in_short_list: false }),
+            None => Ok(ListScoreEntry {
+                l_score: fallback_score,
+                in_short_list: false,
+            }),
         }
     }
 
@@ -165,25 +183,33 @@ impl SearchIndex for ScoreThresholdTermMethod {
         self.base.score_table.set(doc, new_score)?;
         let entry = self.list_state(doc, old_score)?;
         if self.list_score.get(doc)?.is_none() {
-            self.list_score.put(doc, ListScoreEntry {
-                l_score: old_score,
-                in_short_list: false,
-            })?;
+            self.list_score.put(
+                doc,
+                ListScoreEntry {
+                    l_score: old_score,
+                    in_short_list: false,
+                },
+            )?;
         }
         if new_score > self.config.threshold_value_of(entry.l_score) {
             let terms = self.base.doc_store.get(doc)?.unwrap_or_default();
             let max_tf = terms.iter().map(|&(_, tf)| tf).max().unwrap_or(0);
             for (term, tf) in terms {
                 if entry.in_short_list {
-                    self.short.delete(term, PostingPos::ByScore(entry.l_score), doc)?;
+                    self.short
+                        .delete(term, PostingPos::ByScore(entry.l_score), doc)?;
                 }
                 let ts = posting_term_score(tf, max_tf);
-                self.short.put(term, PostingPos::ByScore(new_score), doc, Op::Add, ts)?;
+                self.short
+                    .put(term, PostingPos::ByScore(new_score), doc, Op::Add, ts)?;
             }
-            self.list_score.put(doc, ListScoreEntry {
-                l_score: new_score,
-                in_short_list: true,
-            })?;
+            self.list_score.put(
+                doc,
+                ListScoreEntry {
+                    l_score: new_score,
+                    in_short_list: true,
+                },
+            )?;
         }
         Ok(())
     }
@@ -204,9 +230,7 @@ impl SearchIndex for ScoreThresholdTermMethod {
         for (i, &term) in query.terms.iter().enumerate() {
             let mut cursor = self.fancy.cursor(term);
             while let Some(p) = cursor.next_posting()? {
-                fancy_docs
-                    .entry(p.doc)
-                    .or_insert_with(|| vec![None; m])[i] =
+                fancy_docs.entry(p.doc).or_insert_with(|| vec![None; m])[i] =
                     Some(idfs[i] * unquantize_term_score(p.tscore));
             }
         }
@@ -312,10 +336,17 @@ impl SearchIndex for ScoreThresholdTermMethod {
         let max_tf = doc.max_tf();
         for &(term, tf) in &doc.terms {
             let ts = posting_term_score(tf, max_tf);
-            self.short.put(term, PostingPos::ByScore(score), doc.id, Op::Add, ts)?;
+            self.short
+                .put(term, PostingPos::ByScore(score), doc.id, Op::Add, ts)?;
             self.widen_fancy_bound(term, ts);
         }
-        self.list_score.put(doc.id, ListScoreEntry { l_score: score, in_short_list: true })?;
+        self.list_score.put(
+            doc.id,
+            ListScoreEntry {
+                l_score: score,
+                in_short_list: true,
+            },
+        )?;
         Ok(())
     }
 
@@ -358,7 +389,14 @@ impl SearchIndex for ScoreThresholdTermMethod {
         *self.fancy_meta.write() = new_meta
             .into_iter()
             .map(|(t, (min_ts, complete))| {
-                (t, FancyMeta { min_ts, complete, inserted_max: 0 })
+                (
+                    t,
+                    FancyMeta {
+                        min_ts,
+                        complete,
+                        inserted_max: 0,
+                    },
+                )
             })
             .collect();
         self.content_dirty.write().clear();

@@ -219,14 +219,16 @@ impl Oracle {
         }
         // No non-returned doc may beat the worst returned doc.
         if let Some(worst) = hits.last() {
-            let returned: std::collections::HashSet<DocId> =
-                hits.iter().map(|h| h.doc).collect();
+            let returned: std::collections::HashSet<DocId> = hits.iter().map(|h| h.doc).collect();
             for &doc in self.docs.keys() {
                 if returned.contains(&doc) {
                     continue;
                 }
                 if let Some(score) = self.query_score(query, doc) {
-                    let contender = SearchHit { doc, score: score - eps };
+                    let contender = SearchHit {
+                        doc,
+                        score: score - eps,
+                    };
                     assert!(
                         !ranks_above(&contender, worst),
                         "doc {doc} (score {score}) should have beaten {worst:?} in {query:?}"
@@ -247,11 +249,7 @@ mod tests {
 
     fn setup() -> Oracle {
         let docs = vec![doc(1, &[10, 20]), doc(2, &[10]), doc(3, &[20, 30])];
-        let scores = HashMap::from([
-            (DocId(1), 100.0),
-            (DocId(2), 50.0),
-            (DocId(3), 200.0),
-        ]);
+        let scores = HashMap::from([(DocId(1), 100.0), (DocId(2), 50.0), (DocId(3), 200.0)]);
         Oracle::build(&docs, &scores, 0.0)
     }
 
@@ -297,7 +295,10 @@ mod tests {
     fn assert_topk_valid_rejects_wrong_answer() {
         let o = setup();
         let q = Query::disjunctive([TermId(10), TermId(20)], 1);
-        let wrong = vec![SearchHit { doc: DocId(2), score: 50.0 }];
+        let wrong = vec![SearchHit {
+            doc: DocId(2),
+            score: 50.0,
+        }];
         o.assert_topk_valid(&q, &wrong, 1e-9);
     }
 

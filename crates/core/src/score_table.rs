@@ -28,7 +28,9 @@ pub struct ScoreTable {
 impl ScoreTable {
     /// Create an empty table in `store`.
     pub fn create(store: Arc<Store>) -> Result<ScoreTable> {
-        Ok(ScoreTable { tree: BTree::create(store)? })
+        Ok(ScoreTable {
+            tree: BTree::create(store)?,
+        })
     }
 
     fn key(doc: DocId) -> [u8; 4] {
@@ -65,9 +67,13 @@ impl ScoreTable {
     /// Insert or overwrite a row; validates the score.
     pub fn set(&self, doc: DocId, score: Score) -> Result<Option<ScoreEntry>> {
         let score = check_score(score)?;
-        let prev = self
-            .tree
-            .put(&Self::key(doc), &Self::value(ScoreEntry { score, deleted: false }))?;
+        let prev = self.tree.put(
+            &Self::key(doc),
+            &Self::value(ScoreEntry {
+                score,
+                deleted: false,
+            }),
+        )?;
         Ok(prev.map(|v| Self::decode(&v)))
     }
 
@@ -77,7 +83,10 @@ impl ScoreTable {
         let entry = self.get(doc)?.ok_or(CoreError::UnknownDocument(doc))?;
         self.tree.put(
             &Self::key(doc),
-            &Self::value(ScoreEntry { deleted: true, ..entry }),
+            &Self::value(ScoreEntry {
+                deleted: true,
+                ..entry
+            }),
         )?;
         Ok(())
     }
@@ -132,7 +141,10 @@ mod tests {
     #[test]
     fn unknown_doc_errors() {
         let t = table();
-        assert_eq!(t.score_of(DocId(1)), Err(CoreError::UnknownDocument(DocId(1))));
+        assert_eq!(
+            t.score_of(DocId(1)),
+            Err(CoreError::UnknownDocument(DocId(1)))
+        );
         assert!(t.mark_deleted(DocId(1)).is_err());
     }
 

@@ -83,7 +83,10 @@ pub struct ShortLists {
 impl ShortLists {
     /// Create an empty short-list tree.
     pub fn create(store: Arc<Store>, order: ShortOrder) -> Result<ShortLists> {
-        Ok(ShortLists { tree: BTree::create(store)?, order })
+        Ok(ShortLists {
+            tree: BTree::create(store)?,
+            order,
+        })
     }
 
     /// Number of postings across all terms.
@@ -123,7 +126,11 @@ impl ShortLists {
         let op = match raw.first() {
             Some(1) => Op::Add,
             Some(2) => Op::Rem,
-            _ => return Err(CoreError::Storage(svr_storage::StorageError::Corrupt("short op"))),
+            _ => {
+                return Err(CoreError::Storage(svr_storage::StorageError::Corrupt(
+                    "short op",
+                )))
+            }
         };
         let tscore = u16::from_le_bytes(
             raw[1..3]
@@ -134,8 +141,16 @@ impl ShortLists {
     }
 
     /// Insert or replace a posting.
-    pub fn put(&self, term: TermId, pos: PostingPos, doc: DocId, op: Op, tscore: u16) -> Result<()> {
-        self.tree.put(&self.key(term, pos, doc), &Self::value(op, tscore))?;
+    pub fn put(
+        &self,
+        term: TermId,
+        pos: PostingPos,
+        doc: DocId,
+        op: Op,
+        tscore: u16,
+    ) -> Result<()> {
+        self.tree
+            .put(&self.key(term, pos, doc), &Self::value(op, tscore))?;
         Ok(())
     }
 
@@ -157,7 +172,11 @@ impl ShortLists {
         let mut prefix = Vec::with_capacity(4);
         push_u32_be(&mut prefix, term.0);
         let cursor = self.tree.cursor(&prefix)?;
-        Ok(ShortCursor { lists_order: self.order, term, cursor })
+        Ok(ShortCursor {
+            lists_order: self.order,
+            term,
+            cursor,
+        })
     }
 
     /// Materialize one term's short list (offline merge, tests).
@@ -237,13 +256,15 @@ impl ShortCursor<'_> {
             Some(key) if read_u32_be(key, 0) == self.term.0 => {}
             _ => return Ok(None),
         }
-        let (key, value) = self
-            .cursor
-            .next_entry()?
-            .expect("peeked entry must exist");
+        let (key, value) = self.cursor.next_entry()?.expect("peeked entry must exist");
         let (_, pos, doc) = decode_short_key(self.lists_order, &key);
         let (op, tscore) = ShortLists::decode_value(&value)?;
-        Ok(Some(ShortPosting { pos, doc, op, tscore }))
+        Ok(Some(ShortPosting {
+            pos,
+            doc,
+            op,
+            tscore,
+        }))
     }
 }
 
@@ -260,9 +281,12 @@ mod tests {
     #[test]
     fn id_order_roundtrip() {
         let s = lists(ShortOrder::ById);
-        s.put(TermId(7), PostingPos::Id, DocId(30), Op::Add, 9).unwrap();
-        s.put(TermId(7), PostingPos::Id, DocId(2), Op::Rem, 0).unwrap();
-        s.put(TermId(8), PostingPos::Id, DocId(1), Op::Add, 0).unwrap();
+        s.put(TermId(7), PostingPos::Id, DocId(30), Op::Add, 9)
+            .unwrap();
+        s.put(TermId(7), PostingPos::Id, DocId(2), Op::Rem, 0)
+            .unwrap();
+        s.put(TermId(8), PostingPos::Id, DocId(1), Op::Add, 0)
+            .unwrap();
         let postings = s.postings_for(TermId(7)).unwrap();
         assert_eq!(postings.len(), 2);
         assert_eq!(postings[0].doc, DocId(2));
@@ -275,9 +299,12 @@ mod tests {
     #[test]
     fn score_desc_ordering() {
         let s = lists(ShortOrder::ByScoreDesc);
-        s.put(TermId(1), PostingPos::ByScore(87.13), DocId(15), Op::Add, 0).unwrap();
-        s.put(TermId(1), PostingPos::ByScore(124.2), DocId(9), Op::Add, 0).unwrap();
-        s.put(TermId(1), PostingPos::ByScore(87.13), DocId(3), Op::Add, 0).unwrap();
+        s.put(TermId(1), PostingPos::ByScore(87.13), DocId(15), Op::Add, 0)
+            .unwrap();
+        s.put(TermId(1), PostingPos::ByScore(124.2), DocId(9), Op::Add, 0)
+            .unwrap();
+        s.put(TermId(1), PostingPos::ByScore(87.13), DocId(3), Op::Add, 0)
+            .unwrap();
         let postings = s.postings_for(TermId(1)).unwrap();
         let order: Vec<(f64, u32)> = postings
             .iter()
@@ -292,9 +319,12 @@ mod tests {
     #[test]
     fn chunk_desc_ordering() {
         let s = lists(ShortOrder::ByChunkDesc);
-        s.put(TermId(1), PostingPos::ByChunk(2), DocId(5), Op::Add, 0).unwrap();
-        s.put(TermId(1), PostingPos::ByChunk(9), DocId(7), Op::Add, 0).unwrap();
-        s.put(TermId(1), PostingPos::ByChunk(9), DocId(1), Op::Add, 0).unwrap();
+        s.put(TermId(1), PostingPos::ByChunk(2), DocId(5), Op::Add, 0)
+            .unwrap();
+        s.put(TermId(1), PostingPos::ByChunk(9), DocId(7), Op::Add, 0)
+            .unwrap();
+        s.put(TermId(1), PostingPos::ByChunk(9), DocId(1), Op::Add, 0)
+            .unwrap();
         let postings = s.postings_for(TermId(1)).unwrap();
         let order: Vec<(u32, u32)> = postings
             .iter()
@@ -311,7 +341,10 @@ mod tests {
         let s = lists(ShortOrder::ByChunkDesc);
         let pos = PostingPos::ByChunk(4);
         s.put(TermId(1), pos, DocId(10), Op::Add, 77).unwrap();
-        assert_eq!(s.get(TermId(1), pos, DocId(10)).unwrap(), Some((Op::Add, 77)));
+        assert_eq!(
+            s.get(TermId(1), pos, DocId(10)).unwrap(),
+            Some((Op::Add, 77))
+        );
         assert!(s.delete(TermId(1), pos, DocId(10)).unwrap());
         assert_eq!(s.get(TermId(1), pos, DocId(10)).unwrap(), None);
         assert!(!s.delete(TermId(1), pos, DocId(10)).unwrap());
@@ -322,7 +355,8 @@ mod tests {
         let s = lists(ShortOrder::ById);
         for t in 0..20u32 {
             for d in 0..20u32 {
-                s.put(TermId(t), PostingPos::Id, DocId(d), Op::Add, 0).unwrap();
+                s.put(TermId(t), PostingPos::Id, DocId(d), Op::Add, 0)
+                    .unwrap();
             }
         }
         assert_eq!(s.len(), 400);

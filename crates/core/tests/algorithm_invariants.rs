@@ -17,7 +17,9 @@ fn linear_corpus(n: u32) -> (Vec<Document>, ScoreMap) {
     let docs: Vec<Document> = (0..n)
         .map(|i| Document::from_term_freqs(DocId(i), [(T, 1), (TermId(2 + i % 3), 1)]))
         .collect();
-    let scores: ScoreMap = (0..n).map(|i| (DocId(i), 100.0 * f64::from(i + 1))).collect();
+    let scores: ScoreMap = (0..n)
+        .map(|i| (DocId(i), 100.0 * f64::from(i + 1)))
+        .collect();
     (docs, scores)
 }
 
@@ -76,10 +78,17 @@ fn chunk_two_boundary_rule() {
     // Pick a low-scored doc and nudge it just over the next boundary.
     let doc = DocId(4); // score 500
     let old_chunk = map.chunk_of(500.0);
-    assert!(old_chunk + 2 <= map.num_chunks(), "test needs headroom above chunk {old_chunk}");
+    assert!(
+        old_chunk + 2 <= map.num_chunks(),
+        "test needs headroom above chunk {old_chunk}"
+    );
     let one_up = map.lower_bound(old_chunk + 1).expect("next chunk") + 1.0;
     index.update_score(doc, one_up).unwrap();
-    assert_eq!(index.short_list_len(), 0, "one-boundary move must not touch short lists");
+    assert_eq!(
+        index.short_list_len(),
+        0,
+        "one-boundary move must not touch short lists"
+    );
 
     // Now jump two boundaries.
     let two_up = map.lower_bound(old_chunk + 2).expect("chunk + 2") + 1.0;
@@ -166,7 +175,10 @@ fn chunk_term_fancy_bound_widens_on_insert() {
         ));
         scores.insert(DocId(i), 1000.0 + f64::from(i));
     }
-    let config = IndexConfig { term_weight: 10_000.0, ..cfg() };
+    let config = IndexConfig {
+        term_weight: 10_000.0,
+        ..cfg()
+    };
     let index = build_index(MethodKind::ChunkTermScore, &rng_docs, &scores, &config).unwrap();
     let mut oracle = Oracle::build(&rng_docs, &scores, config.term_weight);
 
@@ -195,7 +207,9 @@ fn merge_recomputes_chunks() {
     // final score assignment.
     let mut final_scores = scores.clone();
     for i in [3u32, 60, 100] {
-        index.update_score(DocId(i), 1_000_000.0 + f64::from(i)).unwrap();
+        index
+            .update_score(DocId(i), 1_000_000.0 + f64::from(i))
+            .unwrap();
         final_scores.insert(DocId(i), 1_000_000.0 + f64::from(i));
     }
     index.merge_short_lists().unwrap();

@@ -51,10 +51,8 @@ fn run_stress(kind: MethodKind) {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let mut queries_run = 0u32;
                     while !stop_ref.load(Ordering::Relaxed) {
-                        let terms = vec![
-                            TermId(rng.gen_range(0..30)),
-                            TermId(rng.gen_range(0..30)),
-                        ];
+                        let terms =
+                            vec![TermId(rng.gen_range(0..30)), TermId(rng.gen_range(0..30))];
                         let mode = if rng.gen_bool(0.5) {
                             QueryMode::Conjunctive
                         } else {
@@ -92,7 +90,11 @@ fn run_stress(kind: MethodKind) {
 
     // Quiescent state equals the last write.
     for (doc, score) in &final_scores {
-        assert_eq!(index.current_score(*doc).unwrap(), *score, "{kind}: doc {doc}");
+        assert_eq!(
+            index.current_score(*doc).unwrap(),
+            *score,
+            "{kind}: doc {doc}"
+        );
     }
 }
 

@@ -16,7 +16,10 @@ fn random_doc(rng: &mut StdRng, id: u32) -> Document {
         DocId(id),
         (0..n_terms).map(|_| {
             let r: f64 = rng.gen();
-            (TermId((((r * r) * VOCAB as f64) as u32).min(VOCAB - 1)), rng.gen_range(1..5u32))
+            (
+                TermId((((r * r) * VOCAB as f64) as u32).min(VOCAB - 1)),
+                rng.gen_range(1..5u32),
+            )
         }),
     )
 }
@@ -29,7 +32,11 @@ fn random_query(rng: &mut StdRng) -> Query {
             TermId((((r * r) * 15.0) as u32).min(VOCAB - 1))
         })
         .collect();
-    let mode = if rng.gen_bool(0.5) { QueryMode::Conjunctive } else { QueryMode::Disjunctive };
+    let mode = if rng.gen_bool(0.5) {
+        QueryMode::Conjunctive
+    } else {
+        QueryMode::Disjunctive
+    };
     Query::new(terms, rng.gen_range(1..20), mode)
 }
 
@@ -39,7 +46,11 @@ fn config_for(kind: MethodKind) -> IndexConfig {
         threshold_ratio: 1.5,
         min_chunk_docs: 4,
         fancy_size: 6,
-        term_weight: if kind.uses_term_scores() { 30_000.0 } else { 0.0 },
+        term_weight: if kind.uses_term_scores() {
+            30_000.0
+        } else {
+            0.0
+        },
         ..IndexConfig::default()
     }
 }
@@ -157,10 +168,19 @@ fn insert_delete_error_paths() {
     for kind in MethodKind::ALL_EXTENDED {
         let index = build_index(kind, &docs, &scores, &config_for(kind)).unwrap();
         let dup = random_doc(&mut rng, 0);
-        assert!(index.insert_document(&dup, 5.0).is_err(), "{kind}: duplicate insert");
+        assert!(
+            index.insert_document(&dup, 5.0).is_err(),
+            "{kind}: duplicate insert"
+        );
         index.delete_document(DocId(0)).unwrap();
-        assert!(index.delete_document(DocId(0)).is_err(), "{kind}: double delete");
-        assert!(index.update_score(DocId(0), 1.0).is_err(), "{kind}: update deleted");
+        assert!(
+            index.delete_document(DocId(0)).is_err(),
+            "{kind}: double delete"
+        );
+        assert!(
+            index.update_score(DocId(0), 1.0).is_err(),
+            "{kind}: update deleted"
+        );
         // The collection is now empty; queries return nothing.
         let q = Query::disjunctive([TermId(0), TermId(1), TermId(2)], 5);
         assert!(index.query(&q).unwrap().is_empty(), "{kind}");

@@ -54,9 +54,7 @@ fn model_union(long: &LongModel, short: &ShortModel) -> Vec<(u32, u32, Source)> 
         .collect()
 }
 
-fn build_stores(
-    terms: &[(LongModel, ShortModel)],
-) -> (LongListStore, ShortLists) {
+fn build_stores(terms: &[(LongModel, ShortModel)]) -> (LongListStore, ShortLists) {
     let long_store = Arc::new(Store::new(Arc::new(MemDisk::new(512)), 64));
     let short_store = Arc::new(Store::new(Arc::new(MemDisk::new(512)), 64));
     let long = LongListStore::new(long_store, ListFormat::Chunked { with_scores: false });
@@ -68,7 +66,10 @@ fn build_stores(
                 cid,
                 postings: docs
                     .iter()
-                    .map(|&d| TermScoredPosting { doc: DocId(d), tscore: 0 })
+                    .map(|&d| TermScoredPosting {
+                        doc: DocId(d),
+                        tscore: 0,
+                    })
                     .collect(),
             })
             .collect();

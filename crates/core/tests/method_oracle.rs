@@ -60,7 +60,11 @@ fn config_for(kind: MethodKind) -> IndexConfig {
         threshold_ratio: 1.5,
         min_chunk_docs: 4,
         fancy_size: 8,
-        term_weight: if kind.uses_term_scores() { 30_000.0 } else { 0.0 },
+        term_weight: if kind.uses_term_scores() {
+            30_000.0
+        } else {
+            0.0
+        },
         ..IndexConfig::default()
     }
 }

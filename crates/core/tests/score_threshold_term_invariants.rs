@@ -26,7 +26,9 @@ fn linear_corpus(n: u32) -> (Vec<Document>, ScoreMap) {
     let docs: Vec<Document> = (0..n)
         .map(|i| Document::from_term_freqs(DocId(i), [(T, 1), (TermId(2 + i % 3), 1)]))
         .collect();
-    let scores: ScoreMap = (0..n).map(|i| (DocId(i), 100.0 * f64::from(i + 1))).collect();
+    let scores: ScoreMap = (0..n)
+        .map(|i| (DocId(i), 100.0 * f64::from(i + 1)))
+        .collect();
     (docs, scores)
 }
 
@@ -42,7 +44,11 @@ fn threshold_gated_relocation_with_term_scores() {
     // Below threshold: no short-list postings.
     index.update_score(DocId(10), 1500.0).unwrap();
     oracle.update_score(DocId(10), 1500.0).unwrap();
-    assert_eq!(index.short_list_len(), 0, "sub-threshold update must not touch lists");
+    assert_eq!(
+        index.short_list_len(),
+        0,
+        "sub-threshold update must not touch lists"
+    );
     let q = Query::conjunctive([T], 5);
     oracle.assert_topk_valid(&q, &index.query(&q).unwrap(), 1e-6);
 
@@ -73,7 +79,10 @@ fn fancy_bound_widens_on_insert() {
     let mut scores = ScoreMap::new();
     // Term 1 has low normalized TF everywhere (filler term dominates).
     for i in 0..40u32 {
-        docs.push(Document::from_term_freqs(DocId(i), [(T, 1), (TermId(50), 10)]));
+        docs.push(Document::from_term_freqs(
+            DocId(i),
+            [(T, 1), (TermId(50), 10)],
+        ));
         scores.insert(DocId(i), 1000.0 + f64::from(i));
     }
     let config = cfg();
@@ -139,8 +148,7 @@ fn early_termination_saves_pages() {
     let scores: ScoreMap = (0..n)
         .map(|i| (DocId(i), 100.0 * 1.03f64.powi(i as i32)))
         .collect();
-    let st_term =
-        build_index(MethodKind::ScoreThresholdTermScore, &docs, &scores, &cfg()).unwrap();
+    let st_term = build_index(MethodKind::ScoreThresholdTermScore, &docs, &scores, &cfg()).unwrap();
     let id_term = build_index(MethodKind::IdTermScore, &docs, &scores, &cfg()).unwrap();
 
     let pages_for = |index: &dyn SearchIndex, k: usize| {
@@ -170,7 +178,9 @@ fn merge_equals_fresh_build() {
     let index = ScoreThresholdTermMethod::build(&docs, &scores, &cfg()).unwrap();
     let mut final_scores = scores.clone();
     for i in [3u32, 60, 100] {
-        index.update_score(DocId(i), 1_000_000.0 + f64::from(i)).unwrap();
+        index
+            .update_score(DocId(i), 1_000_000.0 + f64::from(i))
+            .unwrap();
         final_scores.insert(DocId(i), 1_000_000.0 + f64::from(i));
     }
     index.merge_short_lists().unwrap();

@@ -50,9 +50,19 @@ pub struct RankedRow {
 /// One DML operation inside a [`WriteBatch`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum WriteOp {
-    Insert { table: String, row: Vec<Value> },
-    Update { table: String, pk: Value, sets: Vec<(String, Value)> },
-    Delete { table: String, pk: Value },
+    Insert {
+        table: String,
+        row: Vec<Value>,
+    },
+    Update {
+        table: String,
+        pk: Value,
+        sets: Vec<(String, Value)>,
+    },
+    Delete {
+        table: String,
+        pk: Value,
+    },
 }
 
 impl WriteOp {
@@ -90,19 +100,29 @@ impl WriteBatch {
 
     /// Queue a row insert.
     pub fn insert(&mut self, table: &str, row: Vec<Value>) -> &mut Self {
-        self.ops.push(WriteOp::Insert { table: table.to_string(), row });
+        self.ops.push(WriteOp::Insert {
+            table: table.to_string(),
+            row,
+        });
         self
     }
 
     /// Queue a column update of the row with primary key `pk`.
     pub fn update(&mut self, table: &str, pk: Value, sets: Vec<(String, Value)>) -> &mut Self {
-        self.ops.push(WriteOp::Update { table: table.to_string(), pk, sets });
+        self.ops.push(WriteOp::Update {
+            table: table.to_string(),
+            pk,
+            sets,
+        });
         self
     }
 
     /// Queue a row deletion.
     pub fn delete(&mut self, table: &str, pk: Value) -> &mut Self {
-        self.ops.push(WriteOp::Delete { table: table.to_string(), pk });
+        self.ops.push(WriteOp::Delete {
+            table: table.to_string(),
+            pk,
+        });
         self
     }
 
@@ -243,7 +263,9 @@ impl SvrEngine {
         config: IndexConfig,
     ) -> Result<()> {
         if self.shared.indexes.read().contains_key(name) {
-            return Err(SvrError::Engine(format!("text index '{name}' already exists")));
+            return Err(SvrError::Engine(format!(
+                "text index '{name}' already exists"
+            )));
         }
         let table_ref = self.shared.db.table(table)?;
         let schema = table_ref.schema();
@@ -309,7 +331,9 @@ impl SvrEngine {
         let mut indexes = self.shared.indexes.write();
         if indexes.contains_key(name) {
             let _ = self.shared.db.drop_score_view(name);
-            return Err(SvrError::Engine(format!("text index '{name}' already exists")));
+            return Err(SvrError::Engine(format!(
+                "text index '{name}' already exists"
+            )));
         }
         indexes.insert(
             name.to_string(),
@@ -491,7 +515,13 @@ impl SvrEngine {
     /// `SELECT * FROM Movies ORDER BY score(desc, "golden gate") FETCH TOP
     /// k`. Takes `&self`: any number of threads can search one shared
     /// engine while writers run.
-    pub fn search(&self, index: &str, keywords: &str, k: usize, mode: QueryMode) -> Result<Vec<RankedRow>> {
+    pub fn search(
+        &self,
+        index: &str,
+        keywords: &str,
+        k: usize,
+        mode: QueryMode,
+    ) -> Result<Vec<RankedRow>> {
         let ti = self.entry(index)?;
         let mut terms = Vec::new();
         {
@@ -516,10 +546,13 @@ impl SvrEngine {
         for hit in hits {
             // One reused key buffer instead of a Value + Vec per hit.
             Value::Int(hit.doc.0 as i64).encode_key_into(&mut key);
-            let row = table
-                .get_raw(&key)?
-                .ok_or_else(|| SvrError::Engine(format!("index points at missing row {}", hit.doc)))?;
-            rows.push(RankedRow { row, score: hit.score });
+            let row = table.get_raw(&key)?.ok_or_else(|| {
+                SvrError::Engine(format!("index points at missing row {}", hit.doc))
+            })?;
+            rows.push(RankedRow {
+                row,
+                score: hit.score,
+            });
         }
         Ok(rows)
     }
@@ -530,8 +563,7 @@ impl SvrEngine {
     pub fn text_index_on(&self, table: &str, text_col: &str) -> Option<String> {
         let schema = self.shared.db.table(table).ok()?.schema().clone();
         self.shared.indexes.read().iter().find_map(|(name, ti)| {
-            (ti.table == table && schema.columns[ti.text_col].0 == text_col)
-                .then(|| name.clone())
+            (ti.table == table && schema.columns[ti.text_col].0 == text_col).then(|| name.clone())
         })
     }
 

@@ -37,7 +37,14 @@ fn engine_with_index(method: MethodKind) -> SvrEngine {
     engine.create_table(docs_schema()).unwrap();
     engine.create_table(pop_schema()).unwrap();
     engine
-        .create_text_index("idx", "docs", "body", pop_spec(), method, IndexConfig::default())
+        .create_text_index(
+            "idx",
+            "docs",
+            "body",
+            pop_spec(),
+            method,
+            IndexConfig::default(),
+        )
         .unwrap();
     engine
 }
@@ -45,7 +52,10 @@ fn engine_with_index(method: MethodKind) -> SvrEngine {
 #[test]
 fn text_index_discovery() {
     let engine = engine_with_index(MethodKind::Chunk);
-    assert_eq!(engine.text_index_on("docs", "body"), Some("idx".to_string()));
+    assert_eq!(
+        engine.text_index_on("docs", "body"),
+        Some("idx".to_string())
+    );
     assert_eq!(engine.text_index_on("docs", "id"), None);
     assert_eq!(engine.text_index_on("pop", "hits"), None);
     assert_eq!(engine.index_names(), vec!["idx"]);
@@ -56,7 +66,14 @@ fn text_index_discovery() {
 fn duplicate_index_name_is_rejected() {
     let engine = engine_with_index(MethodKind::Id);
     let err = engine
-        .create_text_index("idx", "docs", "body", pop_spec(), MethodKind::Id, IndexConfig::default())
+        .create_text_index(
+            "idx",
+            "docs",
+            "body",
+            pop_spec(),
+            MethodKind::Id,
+            IndexConfig::default(),
+        )
         .unwrap_err();
     assert!(err.to_string().contains("already exists"), "{err}");
 }
@@ -69,17 +86,29 @@ fn index_over_prepopulated_table_sees_existing_rows() {
     // Rows (and scores) exist *before* the index is created.
     for i in 0..20 {
         engine
-            .insert_row("docs", vec![Value::Int(i), Value::Text(format!("common token{i}"))])
+            .insert_row(
+                "docs",
+                vec![Value::Int(i), Value::Text(format!("common token{i}"))],
+            )
             .unwrap();
         engine
             .insert_row("pop", vec![Value::Int(i), Value::Int(100 * i)])
             .unwrap();
     }
-    
+
     engine
-        .create_text_index("idx", "docs", "body", pop_spec(), MethodKind::Chunk, IndexConfig::default())
+        .create_text_index(
+            "idx",
+            "docs",
+            "body",
+            pop_spec(),
+            MethodKind::Chunk,
+            IndexConfig::default(),
+        )
         .unwrap();
-    let hits = engine.search("idx", "common", 3, QueryMode::Conjunctive).unwrap();
+    let hits = engine
+        .search("idx", "common", 3, QueryMode::Conjunctive)
+        .unwrap();
     assert_eq!(hits.len(), 3);
     assert_eq!(hits[0].row[0], Value::Int(19));
     assert_eq!(hits[0].score, 1900.0);
@@ -89,10 +118,16 @@ fn index_over_prepopulated_table_sees_existing_rows() {
 fn score_updates_before_first_search_are_not_lost() {
     let engine = engine_with_index(MethodKind::ScoreThreshold);
     engine
-        .insert_row("docs", vec![Value::Int(1), Value::Text("alpha beta".into())])
+        .insert_row(
+            "docs",
+            vec![Value::Int(1), Value::Text("alpha beta".into())],
+        )
         .unwrap();
     engine
-        .insert_row("docs", vec![Value::Int(2), Value::Text("alpha gamma".into())])
+        .insert_row(
+            "docs",
+            vec![Value::Int(2), Value::Text("alpha gamma".into())],
+        )
         .unwrap();
     // Burst of structured updates with no search in between: every score
     // change propagates to the index synchronously inside the mutation, so
@@ -102,10 +137,18 @@ fn score_updates_before_first_search_are_not_lost() {
             .insert_row("pop", vec![Value::Int(100 + round), Value::Int(0)])
             .ok(); // unrelated rows
     }
-    engine.insert_row("pop", vec![Value::Int(1), Value::Int(10)]).unwrap();
-    engine.update_row("pop", Value::Int(1), &[("hits".into(), Value::Int(999))]).unwrap();
-    engine.insert_row("pop", vec![Value::Int(2), Value::Int(500)]).unwrap();
-    let hits = engine.search("idx", "alpha", 2, QueryMode::Conjunctive).unwrap();
+    engine
+        .insert_row("pop", vec![Value::Int(1), Value::Int(10)])
+        .unwrap();
+    engine
+        .update_row("pop", Value::Int(1), &[("hits".into(), Value::Int(999))])
+        .unwrap();
+    engine
+        .insert_row("pop", vec![Value::Int(2), Value::Int(500)])
+        .unwrap();
+    let hits = engine
+        .search("idx", "alpha", 2, QueryMode::Conjunctive)
+        .unwrap();
     assert_eq!(hits[0].row[0], Value::Int(1));
     assert_eq!(hits[0].score, 999.0);
     assert_eq!(hits[1].score, 500.0);
@@ -133,7 +176,10 @@ fn non_integer_primary_keys_are_rejected_for_indexed_tables() {
         )
         .unwrap();
     let err = engine
-        .insert_row("texts", vec![Value::Text("key".into()), Value::Text("words".into())])
+        .insert_row(
+            "texts",
+            vec![Value::Text("key".into()), Value::Text("words".into())],
+        )
         .unwrap_err();
     assert!(err.to_string().contains("integer key"), "{err}");
 }
@@ -144,7 +190,10 @@ fn negative_primary_key_is_out_of_document_range() {
     let err = engine
         .insert_row("docs", vec![Value::Int(-3), Value::Text("words".into())])
         .unwrap_err();
-    assert!(err.to_string().contains("out of document-id range"), "{err}");
+    assert!(
+        err.to_string().contains("out of document-id range"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -160,24 +209,50 @@ fn indexes_on_two_tables_update_independently() {
         ))
         .unwrap();
     engine
-        .create_text_index("d", "docs", "body", pop_spec(), MethodKind::Chunk, IndexConfig::default())
+        .create_text_index(
+            "d",
+            "docs",
+            "body",
+            pop_spec(),
+            MethodKind::Chunk,
+            IndexConfig::default(),
+        )
         .unwrap();
     engine
         .create_text_index(
             "n",
             "notes",
             "text",
-            SvrSpec::single(ScoreComponent::CountOf { table: "pop".into(), fk_col: "id".into() }),
+            SvrSpec::single(ScoreComponent::CountOf {
+                table: "pop".into(),
+                fk_col: "id".into(),
+            }),
             MethodKind::Id,
             IndexConfig::default(),
         )
         .unwrap();
-    engine.insert_row("docs", vec![Value::Int(1), Value::Text("shared words".into())]).unwrap();
-    engine.insert_row("notes", vec![Value::Int(1), Value::Text("shared words".into())]).unwrap();
-    engine.insert_row("pop", vec![Value::Int(1), Value::Int(42)]).unwrap();
+    engine
+        .insert_row(
+            "docs",
+            vec![Value::Int(1), Value::Text("shared words".into())],
+        )
+        .unwrap();
+    engine
+        .insert_row(
+            "notes",
+            vec![Value::Int(1), Value::Text("shared words".into())],
+        )
+        .unwrap();
+    engine
+        .insert_row("pop", vec![Value::Int(1), Value::Int(42)])
+        .unwrap();
 
-    let d = engine.search("d", "shared", 10, QueryMode::Conjunctive).unwrap();
-    let n = engine.search("n", "shared", 10, QueryMode::Conjunctive).unwrap();
+    let d = engine
+        .search("d", "shared", 10, QueryMode::Conjunctive)
+        .unwrap();
+    let n = engine
+        .search("n", "shared", 10, QueryMode::Conjunctive)
+        .unwrap();
     assert_eq!(d[0].score, 42.0, "ColumnOf spec");
     assert_eq!(n[0].score, 1.0, "CountOf spec");
 }
@@ -188,18 +263,27 @@ fn deleting_then_reinserting_a_row_errors_on_id_reuse() {
     // ids, so re-inserting the same pk is reported rather than silently
     // corrupting postings (the paper's Appendix A.2 discusses id reuse).
     let engine = engine_with_index(MethodKind::Chunk);
-    engine.insert_row("docs", vec![Value::Int(7), Value::Text("ephemeral".into())]).unwrap();
+    engine
+        .insert_row("docs", vec![Value::Int(7), Value::Text("ephemeral".into())])
+        .unwrap();
     engine.delete_row("docs", Value::Int(7)).unwrap();
     let result = engine.insert_row("docs", vec![Value::Int(7), Value::Text("reborn".into())]);
-    assert!(result.is_err(), "id reuse after delete must surface, not corrupt");
+    assert!(
+        result.is_err(),
+        "id reuse after delete must surface, not corrupt"
+    );
 }
 
 #[test]
 fn score_of_tracks_the_view() {
     let engine = engine_with_index(MethodKind::Chunk);
-    engine.insert_row("docs", vec![Value::Int(1), Value::Text("x".into())]).unwrap();
+    engine
+        .insert_row("docs", vec![Value::Int(1), Value::Text("x".into())])
+        .unwrap();
     assert_eq!(engine.score_of("idx", 1).unwrap(), 0.0);
-    engine.insert_row("pop", vec![Value::Int(1), Value::Int(77)]).unwrap();
+    engine
+        .insert_row("pop", vec![Value::Int(1), Value::Int(77)])
+        .unwrap();
     assert_eq!(engine.score_of("idx", 1).unwrap(), 77.0);
     assert!(engine.score_of("nope", 1).is_err());
 }
@@ -209,20 +293,32 @@ fn write_batch_applies_and_coalesces() {
     let engine = engine_with_index(MethodKind::Chunk);
     let mut batch = svr_engine::WriteBatch::new();
     assert!(batch.is_empty());
-    batch.insert("docs", vec![Value::Int(1), Value::Text("alpha beta".into())]);
-    batch.insert("docs", vec![Value::Int(2), Value::Text("alpha gamma".into())]);
+    batch.insert(
+        "docs",
+        vec![Value::Int(1), Value::Text("alpha beta".into())],
+    );
+    batch.insert(
+        "docs",
+        vec![Value::Int(2), Value::Text("alpha gamma".into())],
+    );
     batch.insert("pop", vec![Value::Int(1), Value::Int(10)]);
     batch.insert("pop", vec![Value::Int(2), Value::Int(5)]);
     // Hammer one doc's score repeatedly: only the final value matters.
     for step in 0..20 {
-        batch.update("pop", Value::Int(2), vec![("hits".into(), Value::Int(step * 100))]);
+        batch.update(
+            "pop",
+            Value::Int(2),
+            vec![("hits".into(), Value::Int(step * 100))],
+        );
     }
     batch.delete("docs", Value::Int(1));
     assert_eq!(batch.len(), 25);
     assert_eq!(engine.apply(batch).unwrap(), 25);
 
     assert_eq!(engine.score_of("idx", 2).unwrap(), 1900.0);
-    let hits = engine.search("idx", "alpha", 10, QueryMode::Conjunctive).unwrap();
+    let hits = engine
+        .search("idx", "alpha", 10, QueryMode::Conjunctive)
+        .unwrap();
     assert_eq!(hits.len(), 1, "doc 1 was deleted in the same batch");
     assert_eq!(hits[0].row[0], Value::Int(2));
     assert_eq!(hits[0].score, 1900.0, "index saw the batch's final score");
@@ -246,9 +342,16 @@ fn insert_rows_bulk_load_matches_row_at_a_time() {
         .unwrap();
     assert_eq!(inserted, 40);
     engine
-        .insert_rows("pop", (0..40).map(|i| vec![Value::Int(i), Value::Int(i * 2)]).collect())
+        .insert_rows(
+            "pop",
+            (0..40)
+                .map(|i| vec![Value::Int(i), Value::Int(i * 2)])
+                .collect(),
+        )
         .unwrap();
-    let hits = engine.search("idx", "bulk", 3, QueryMode::Conjunctive).unwrap();
+    let hits = engine
+        .search("idx", "bulk", 3, QueryMode::Conjunctive)
+        .unwrap();
     assert_eq!(hits[0].row[0], Value::Int(39));
     assert_eq!(hits[0].score, 78.0);
 }
@@ -256,14 +359,18 @@ fn insert_rows_bulk_load_matches_row_at_a_time() {
 #[test]
 fn drop_text_index_then_table() {
     let engine = engine_with_index(MethodKind::Chunk);
-    engine.insert_row("docs", vec![Value::Int(1), Value::Text("words".into())]).unwrap();
+    engine
+        .insert_row("docs", vec![Value::Int(1), Value::Text("words".into())])
+        .unwrap();
 
     // The indexed table cannot be dropped while the index exists.
     let err = engine.drop_table("docs").unwrap_err();
     assert!(err.to_string().contains("DROP TEXT INDEX"), "{err}");
 
     engine.drop_text_index("idx").unwrap();
-    assert!(engine.search("idx", "words", 10, QueryMode::Conjunctive).is_err());
+    assert!(engine
+        .search("idx", "words", 10, QueryMode::Conjunctive)
+        .is_err());
     assert!(engine.index_names().is_empty());
     assert!(engine.drop_text_index("idx").is_err(), "double drop");
 
@@ -273,20 +380,40 @@ fn drop_text_index_then_table() {
     // The namespace is free again: recreate both.
     engine.create_table(docs_schema()).unwrap();
     engine
-        .create_text_index("idx", "docs", "body", pop_spec(), MethodKind::Id, IndexConfig::default())
+        .create_text_index(
+            "idx",
+            "docs",
+            "body",
+            pop_spec(),
+            MethodKind::Id,
+            IndexConfig::default(),
+        )
         .unwrap();
-    engine.insert_row("docs", vec![Value::Int(5), Value::Text("reborn words".into())]).unwrap();
-    let hits = engine.search("idx", "reborn", 10, QueryMode::Conjunctive).unwrap();
+    engine
+        .insert_row(
+            "docs",
+            vec![Value::Int(5), Value::Text("reborn words".into())],
+        )
+        .unwrap();
+    let hits = engine
+        .search("idx", "reborn", 10, QueryMode::Conjunctive)
+        .unwrap();
     assert_eq!(hits.len(), 1);
 }
 
 #[test]
 fn mutations_after_a_dropped_index_stop_feeding_it() {
     let engine = engine_with_index(MethodKind::Chunk);
-    engine.insert_row("docs", vec![Value::Int(1), Value::Text("x".into())]).unwrap();
+    engine
+        .insert_row("docs", vec![Value::Int(1), Value::Text("x".into())])
+        .unwrap();
     engine.drop_text_index("idx").unwrap();
     // No listener, no index: plain relational writes still work.
-    engine.insert_row("docs", vec![Value::Int(2), Value::Text("y".into())]).unwrap();
-    engine.insert_row("pop", vec![Value::Int(1), Value::Int(9)]).unwrap();
+    engine
+        .insert_row("docs", vec![Value::Int(2), Value::Text("y".into())])
+        .unwrap();
+    engine
+        .insert_row("pop", vec![Value::Int(1), Value::Int(9)])
+        .unwrap();
     assert_eq!(engine.db().table("docs").unwrap().len(), 2);
 }

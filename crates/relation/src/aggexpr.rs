@@ -24,7 +24,10 @@ pub enum AggExpr {
 impl AggExpr {
     /// Parse an expression such as `s1*100 + s2/2 + s3`.
     pub fn parse(input: &str) -> Result<AggExpr> {
-        let mut parser = Parser { input: input.as_bytes(), pos: 0 };
+        let mut parser = Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        };
         let expr = parser.expr(0)?;
         parser.skip_ws();
         if parser.pos != parser.input.len() {
@@ -76,7 +79,11 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn skip_ws(&mut self) {
-        while self.input.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
             self.pos += 1;
         }
     }
@@ -181,7 +188,10 @@ mod tests {
         // §3.1: return (s1*100 + s2/2 + s3)
         let e = AggExpr::parse("(s1*100 + s2/2 + s3)").unwrap();
         assert_eq!(e.arity(), 3);
-        assert_eq!(e.eval(&[4.5, 1000.0, 300.0]), 4.5 * 100.0 + 1000.0 / 2.0 + 300.0);
+        assert_eq!(
+            e.eval(&[4.5, 1000.0, 300.0]),
+            4.5 * 100.0 + 1000.0 / 2.0 + 300.0
+        );
     }
 
     #[test]
@@ -194,9 +204,24 @@ mod tests {
 
     #[test]
     fn precedence_and_parens() {
-        assert_eq!(AggExpr::parse("s1 + s2 * s3").unwrap().eval(&[1.0, 2.0, 3.0]), 7.0);
-        assert_eq!(AggExpr::parse("(s1 + s2) * s3").unwrap().eval(&[1.0, 2.0, 3.0]), 9.0);
-        assert_eq!(AggExpr::parse("s1 - s2 - s3").unwrap().eval(&[10.0, 3.0, 2.0]), 5.0);
+        assert_eq!(
+            AggExpr::parse("s1 + s2 * s3")
+                .unwrap()
+                .eval(&[1.0, 2.0, 3.0]),
+            7.0
+        );
+        assert_eq!(
+            AggExpr::parse("(s1 + s2) * s3")
+                .unwrap()
+                .eval(&[1.0, 2.0, 3.0]),
+            9.0
+        );
+        assert_eq!(
+            AggExpr::parse("s1 - s2 - s3")
+                .unwrap()
+                .eval(&[10.0, 3.0, 2.0]),
+            5.0
+        );
     }
 
     #[test]

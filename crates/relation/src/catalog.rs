@@ -70,9 +70,14 @@ impl Database {
         if tables.contains_key(&schema.name) {
             return Err(RelationError::DuplicateTable(schema.name));
         }
-        let store = self.env.create_store(&format!("table:{}", schema.name), 1024);
+        let store = self
+            .env
+            .create_store(&format!("table:{}", schema.name), 1024);
         let name = schema.name.clone();
-        let slot = TableSlot { table: Arc::new(Table::create(schema, store)?), write_lock: Mutex::new(()) };
+        let slot = TableSlot {
+            table: Arc::new(Table::create(schema, store)?),
+            write_lock: Mutex::new(()),
+        };
         tables.insert(name, Arc::new(slot));
         Ok(())
     }
@@ -83,7 +88,11 @@ impl Database {
         for (view_name, view) in self.views.read().iter() {
             let view = view.lock();
             let depends = view.target_table == name
-                || view.spec.components.iter().any(|c| c.source_table() == Some(name));
+                || view
+                    .spec
+                    .components
+                    .iter()
+                    .any(|c| c.source_table() == Some(name));
             if depends {
                 return Err(RelationError::TableInUse {
                     table: name.to_string(),
@@ -305,7 +314,11 @@ mod tests {
         .unwrap();
         db.create_table(Schema::new(
             "reviews",
-            &[("rid", ColumnType::Int), ("mid", ColumnType::Int), ("rating", ColumnType::Float)],
+            &[
+                ("rid", ColumnType::Int),
+                ("mid", ColumnType::Int),
+                ("rating", ColumnType::Float),
+            ],
             0,
         ))
         .unwrap();
@@ -346,14 +359,26 @@ mod tests {
     #[test]
     fn paper_example_end_to_end() {
         let db = paper_db();
-        db.insert_row("movies", vec![Value::Int(1), Value::Text("american thrift".into())])
-            .unwrap();
-        db.insert_row("reviews", vec![Value::Int(100), Value::Int(1), Value::Float(4.5)])
-            .unwrap();
-        db.insert_row("reviews", vec![Value::Int(101), Value::Int(1), Value::Float(3.5)])
-            .unwrap();
-        db.insert_row("statistics", vec![Value::Int(1), Value::Int(2000), Value::Int(300)])
-            .unwrap();
+        db.insert_row(
+            "movies",
+            vec![Value::Int(1), Value::Text("american thrift".into())],
+        )
+        .unwrap();
+        db.insert_row(
+            "reviews",
+            vec![Value::Int(100), Value::Int(1), Value::Float(4.5)],
+        )
+        .unwrap();
+        db.insert_row(
+            "reviews",
+            vec![Value::Int(101), Value::Int(1), Value::Float(3.5)],
+        )
+        .unwrap();
+        db.insert_row(
+            "statistics",
+            vec![Value::Int(1), Value::Int(2000), Value::Int(300)],
+        )
+        .unwrap();
         // Agg = avg(4.5, 3.5)*100 + 2000/2 + 300 = 400 + 1000 + 300.
         assert_eq!(db.score_of("scores", 1).unwrap(), 1700.0);
 
@@ -370,7 +395,8 @@ mod tests {
     #[test]
     fn listener_receives_updates() {
         let db = paper_db();
-        db.insert_row("movies", vec![Value::Int(1), Value::Text("m".into())]).unwrap();
+        db.insert_row("movies", vec![Value::Int(1), Value::Text("m".into())])
+            .unwrap();
         let last = std::sync::Arc::new(AtomicI64::new(-1));
         let l2 = last.clone();
         db.set_score_listener(
@@ -380,17 +406,24 @@ mod tests {
             }),
         )
         .unwrap();
-        db.insert_row("statistics", vec![Value::Int(1), Value::Int(500), Value::Int(0)])
-            .unwrap();
+        db.insert_row(
+            "statistics",
+            vec![Value::Int(1), Value::Int(500), Value::Int(0)],
+        )
+        .unwrap();
         assert_eq!(last.load(Ordering::SeqCst), 1_000_000 + 250);
     }
 
     #[test]
     fn view_populates_from_existing_rows() {
         let db = paper_db();
-        db.insert_row("movies", vec![Value::Int(7), Value::Text("late".into())]).unwrap();
-        db.insert_row("reviews", vec![Value::Int(1), Value::Int(7), Value::Float(5.0)])
+        db.insert_row("movies", vec![Value::Int(7), Value::Text("late".into())])
             .unwrap();
+        db.insert_row(
+            "reviews",
+            vec![Value::Int(1), Value::Int(7), Value::Float(5.0)],
+        )
+        .unwrap();
         // A second view created after the data exists sees it all.
         let spec = SvrSpec::single(ScoreComponent::AvgOf {
             table: "reviews".into(),
@@ -418,18 +451,29 @@ mod tests {
             .is_err());
         // Duplicate view name.
         assert!(db
-            .create_score_view("scores", "movies", SvrSpec::single(ScoreComponent::Const(1.0)))
+            .create_score_view(
+                "scores",
+                "movies",
+                SvrSpec::single(ScoreComponent::Const(1.0))
+            )
             .is_err());
     }
 
     #[test]
     fn deleting_reviews_lowers_score() {
         let db = paper_db();
-        db.insert_row("movies", vec![Value::Int(1), Value::Text("m".into())]).unwrap();
-        db.insert_row("reviews", vec![Value::Int(100), Value::Int(1), Value::Float(5.0)])
+        db.insert_row("movies", vec![Value::Int(1), Value::Text("m".into())])
             .unwrap();
-        db.insert_row("reviews", vec![Value::Int(101), Value::Int(1), Value::Float(1.0)])
-            .unwrap();
+        db.insert_row(
+            "reviews",
+            vec![Value::Int(100), Value::Int(1), Value::Float(5.0)],
+        )
+        .unwrap();
+        db.insert_row(
+            "reviews",
+            vec![Value::Int(101), Value::Int(1), Value::Float(1.0)],
+        )
+        .unwrap();
         assert_eq!(db.score_of("scores", 1).unwrap(), 300.0);
         db.delete_row("reviews", Value::Int(101)).unwrap();
         assert_eq!(db.score_of("scores", 1).unwrap(), 500.0);
@@ -441,7 +485,10 @@ mod tests {
         // All three tables feed the "scores" view: the target directly, the
         // other two as component sources.
         for t in ["movies", "reviews", "statistics"] {
-            assert!(matches!(db.drop_table(t), Err(RelationError::TableInUse { .. })), "{t}");
+            assert!(
+                matches!(db.drop_table(t), Err(RelationError::TableInUse { .. })),
+                "{t}"
+            );
         }
         db.drop_score_view("scores").unwrap();
         db.drop_table("reviews").unwrap();
@@ -453,7 +500,8 @@ mod tests {
     #[test]
     fn buffered_notifications_coalesce() {
         let db = paper_db();
-        db.insert_row("movies", vec![Value::Int(1), Value::Text("m".into())]).unwrap();
+        db.insert_row("movies", vec![Value::Int(1), Value::Text("m".into())])
+            .unwrap();
         let fired = std::sync::Arc::new(AtomicUsize::new(0));
         let last = std::sync::Arc::new(AtomicI64::new(-1));
         let (f2, l2) = (fired.clone(), last.clone());
@@ -481,9 +529,17 @@ mod tests {
                     .unwrap()
                 });
             }
-            assert_eq!(fired.load(Ordering::SeqCst), 0, "buffered: nothing fires mid-batch");
+            assert_eq!(
+                fired.load(Ordering::SeqCst),
+                0,
+                "buffered: nothing fires mid-batch"
+            );
         }
-        assert_eq!(fired.load(Ordering::SeqCst), 1, "one coalesced notification");
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            1,
+            "one coalesced notification"
+        );
         assert_eq!(last.load(Ordering::SeqCst), 200, "final score 400/2");
     }
 
@@ -496,7 +552,9 @@ mod tests {
         assert_eq!(db.insert_rows("movies", rows).unwrap(), 50);
         db.insert_rows(
             "statistics",
-            (0..50).map(|i| vec![Value::Int(i), Value::Int(i * 10), Value::Int(0)]).collect(),
+            (0..50)
+                .map(|i| vec![Value::Int(i), Value::Int(i * 10), Value::Int(0)])
+                .collect(),
         )
         .unwrap();
         for i in 0..50 {
@@ -504,7 +562,10 @@ mod tests {
         }
         // Duplicate key inside a batch surfaces the row error.
         assert!(db
-            .insert_rows("movies", vec![vec![Value::Int(0), Value::Text("dup".into())]])
+            .insert_rows(
+                "movies",
+                vec![vec![Value::Int(0), Value::Text("dup".into())]]
+            )
             .is_err());
     }
 

@@ -9,16 +9,28 @@ use svr_storage::StorageError;
 pub enum RelationError {
     Storage(StorageError),
     UnknownTable(String),
-    UnknownColumn { table: String, column: String },
+    UnknownColumn {
+        table: String,
+        column: String,
+    },
     UnknownView(String),
     DuplicateTable(String),
     DuplicateView(String),
     DuplicateKey(String),
     MissingRow(String),
     /// The table cannot be dropped while a score view depends on it.
-    TableInUse { table: String, view: String },
-    TypeMismatch { expected: &'static str, got: &'static str },
-    ArityMismatch { expected: usize, got: usize },
+    TableInUse {
+        table: String,
+        view: String,
+    },
+    TypeMismatch {
+        expected: &'static str,
+        got: &'static str,
+    },
+    ArityMismatch {
+        expected: usize,
+        got: usize,
+    },
     /// Agg expression parse failure (offset, message).
     Parse(usize, String),
 }
@@ -37,7 +49,10 @@ impl fmt::Display for RelationError {
             RelationError::DuplicateKey(k) => write!(f, "duplicate primary key {k}"),
             RelationError::MissingRow(k) => write!(f, "no row with primary key {k}"),
             RelationError::TableInUse { table, view } => {
-                write!(f, "cannot drop table '{table}': score view '{view}' depends on it")
+                write!(
+                    f,
+                    "cannot drop table '{table}': score view '{view}' depends on it"
+                )
             }
             RelationError::TypeMismatch { expected, got } => {
                 write!(f, "type mismatch: expected {expected}, got {got}")
@@ -74,9 +89,16 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(RelationError::UnknownTable("foo".into()).to_string().contains("foo"));
-        assert!(RelationError::Parse(3, "bad".into()).to_string().contains('3'));
-        let e = RelationError::UnknownColumn { table: "t".into(), column: "c".into() };
+        assert!(RelationError::UnknownTable("foo".into())
+            .to_string()
+            .contains("foo"));
+        assert!(RelationError::Parse(3, "bad".into())
+            .to_string()
+            .contains('3'));
+        let e = RelationError::UnknownColumn {
+            table: "t".into(),
+            column: "c".into(),
+        };
         assert!(e.to_string().contains('c') && e.to_string().contains('t'));
     }
 }

@@ -17,14 +17,26 @@ use crate::value::Value;
 pub enum ScoreComponent {
     /// `SELECT AVG(val_col) FROM table WHERE fk_col = id` — e.g. average
     /// review rating.
-    AvgOf { table: String, fk_col: String, val_col: String },
+    AvgOf {
+        table: String,
+        fk_col: String,
+        val_col: String,
+    },
     /// `SELECT SUM(val_col) FROM table WHERE fk_col = id`.
-    SumOf { table: String, fk_col: String, val_col: String },
+    SumOf {
+        table: String,
+        fk_col: String,
+        val_col: String,
+    },
     /// `SELECT COUNT(*) FROM table WHERE fk_col = id`.
     CountOf { table: String, fk_col: String },
     /// `SELECT val_col FROM table WHERE key_col = id` — e.g. the `nVisit`
     /// column of a statistics row (0 when the row is absent).
-    ColumnOf { table: String, key_col: String, val_col: String },
+    ColumnOf {
+        table: String,
+        key_col: String,
+        val_col: String,
+    },
     /// A constant contribution.
     Const(f64),
 }
@@ -46,29 +58,27 @@ impl ScoreComponent {
     /// feeds into the aggregate. `None` when the row has NULLs in the
     /// relevant columns.
     pub fn extract(&self, schema: &Schema, row: &[Value]) -> Result<Option<(i64, f64)>> {
-        let get_i64 = |col: &str| -> Result<Option<i64>> {
-            Ok(row[schema.column_index(col)?].as_i64())
-        };
-        let get_f64 = |col: &str| -> Result<Option<f64>> {
-            Ok(row[schema.column_index(col)?].as_f64())
-        };
+        let get_i64 =
+            |col: &str| -> Result<Option<i64>> { Ok(row[schema.column_index(col)?].as_i64()) };
+        let get_f64 =
+            |col: &str| -> Result<Option<f64>> { Ok(row[schema.column_index(col)?].as_f64()) };
         Ok(match self {
-            ScoreComponent::AvgOf { fk_col, val_col, .. }
-            | ScoreComponent::SumOf { fk_col, val_col, .. } => {
-                match (get_i64(fk_col)?, get_f64(val_col)?) {
-                    (Some(pk), Some(v)) => Some((pk, v)),
-                    _ => None,
-                }
+            ScoreComponent::AvgOf {
+                fk_col, val_col, ..
             }
-            ScoreComponent::CountOf { fk_col, .. } => {
-                get_i64(fk_col)?.map(|pk| (pk, 1.0))
-            }
-            ScoreComponent::ColumnOf { key_col, val_col, .. } => {
-                match (get_i64(key_col)?, get_f64(val_col)?) {
-                    (Some(pk), Some(v)) => Some((pk, v)),
-                    _ => None,
-                }
-            }
+            | ScoreComponent::SumOf {
+                fk_col, val_col, ..
+            } => match (get_i64(fk_col)?, get_f64(val_col)?) {
+                (Some(pk), Some(v)) => Some((pk, v)),
+                _ => None,
+            },
+            ScoreComponent::CountOf { fk_col, .. } => get_i64(fk_col)?.map(|pk| (pk, 1.0)),
+            ScoreComponent::ColumnOf {
+                key_col, val_col, ..
+            } => match (get_i64(key_col)?, get_f64(val_col)?) {
+                (Some(pk), Some(v)) => Some((pk, v)),
+                _ => None,
+            },
             ScoreComponent::Const(_) => None,
         })
     }
@@ -100,7 +110,11 @@ mod tests {
     fn reviews_schema() -> Schema {
         Schema::new(
             "reviews",
-            &[("rid", ColumnType::Int), ("mid", ColumnType::Int), ("rating", ColumnType::Float)],
+            &[
+                ("rid", ColumnType::Int),
+                ("mid", ColumnType::Int),
+                ("rating", ColumnType::Float),
+            ],
             0,
         )
     }
@@ -120,7 +134,10 @@ mod tests {
 
     #[test]
     fn count_ignores_value_column() {
-        let c = ScoreComponent::CountOf { table: "reviews".into(), fk_col: "mid".into() };
+        let c = ScoreComponent::CountOf {
+            table: "reviews".into(),
+            fk_col: "mid".into(),
+        };
         let row = vec![Value::Int(1), Value::Int(7), Value::Null];
         assert_eq!(c.extract(&reviews_schema(), &row).unwrap(), Some((7, 1.0)));
         assert_eq!(c.value_from_state(3.0, 3), 3.0);

@@ -41,10 +41,7 @@ impl Schema {
         assert!(pk < columns.len(), "primary key column out of range");
         Schema {
             name: name.to_string(),
-            columns: columns
-                .iter()
-                .map(|(n, t)| (n.to_string(), *t))
-                .collect(),
+            columns: columns.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
             pk,
         }
     }
@@ -82,7 +79,10 @@ impl Schema {
             }
         }
         if matches!(row[self.pk], Value::Null) {
-            return Err(RelationError::TypeMismatch { expected: "non-null key", got: "null" });
+            return Err(RelationError::TypeMismatch {
+                expected: "non-null key",
+                got: "null",
+            });
         }
         Ok(())
     }
@@ -95,7 +95,11 @@ mod tests {
     fn movies() -> Schema {
         Schema::new(
             "movies",
-            &[("mid", ColumnType::Int), ("desc", ColumnType::Text), ("len", ColumnType::Float)],
+            &[
+                ("mid", ColumnType::Int),
+                ("desc", ColumnType::Text),
+                ("len", ColumnType::Float),
+            ],
             0,
         )
     }
@@ -121,7 +125,11 @@ mod tests {
         assert!(s.check_row(&[Value::Int(1)]).is_err());
         // Wrong type.
         assert!(s
-            .check_row(&[Value::Text("k".into()), Value::Text("x".into()), Value::Float(1.0)])
+            .check_row(&[
+                Value::Text("k".into()),
+                Value::Text("x".into()),
+                Value::Float(1.0)
+            ])
             .is_err());
         // Null key.
         assert!(s

@@ -33,7 +33,11 @@ pub enum RowChange {
 impl Table {
     /// Create an empty table.
     pub fn create(schema: Schema, store: Arc<Store>) -> Result<Table> {
-        Ok(Table { schema, tree: BTree::create(store)?, latch: RwLock::new(()) })
+        Ok(Table {
+            schema,
+            tree: BTree::create(store)?,
+            latch: RwLock::new(()),
+        })
     }
 
     /// The table's schema.
@@ -143,7 +147,11 @@ mod tests {
     fn table() -> Table {
         let schema = Schema::new(
             "reviews",
-            &[("rid", ColumnType::Int), ("mid", ColumnType::Int), ("rating", ColumnType::Float)],
+            &[
+                ("rid", ColumnType::Int),
+                ("mid", ColumnType::Int),
+                ("rating", ColumnType::Float),
+            ],
             0,
         );
         let store = Arc::new(Store::new(Arc::new(MemDisk::new(4096)), 64));
@@ -182,7 +190,10 @@ mod tests {
             .unwrap();
         assert_eq!(
             change,
-            RowChange::Updated { old: row(1, 10, 4.5), new: row(1, 10, 2.0) }
+            RowChange::Updated {
+                old: row(1, 10, 4.5),
+                new: row(1, 10, 2.0)
+            }
         );
         // Updating the PK column is rejected.
         assert!(t

@@ -44,7 +44,10 @@ impl SvrSpec {
 
     /// A single-component spec: `Agg(s1) = s1`.
     pub fn single(component: ScoreComponent) -> SvrSpec {
-        SvrSpec { components: vec![component], agg: AggExpr::Component(0) }
+        SvrSpec {
+            components: vec![component],
+            agg: AggExpr::Component(0),
+        }
     }
 }
 
@@ -238,13 +241,21 @@ mod tests {
     use std::sync::Arc;
 
     fn movies_schema() -> Schema {
-        Schema::new("movies", &[("mid", ColumnType::Int), ("desc", ColumnType::Text)], 0)
+        Schema::new(
+            "movies",
+            &[("mid", ColumnType::Int), ("desc", ColumnType::Text)],
+            0,
+        )
     }
 
     fn reviews_schema() -> Schema {
         Schema::new(
             "reviews",
-            &[("rid", ColumnType::Int), ("mid", ColumnType::Int), ("rating", ColumnType::Float)],
+            &[
+                ("rid", ColumnType::Int),
+                ("mid", ColumnType::Int),
+                ("rating", ColumnType::Float),
+            ],
             0,
         )
     }
@@ -261,7 +272,9 @@ mod tests {
     }
 
     fn movie_row(mid: i64) -> RowChange {
-        RowChange::Inserted { new: vec![Value::Int(mid), Value::Text("d".into())] }
+        RowChange::Inserted {
+            new: vec![Value::Int(mid), Value::Text("d".into())],
+        }
     }
 
     fn review_row(rid: i64, mid: i64, rating: f64) -> Vec<Value> {
@@ -275,23 +288,44 @@ mod tests {
         assert_eq!(view.score_of(1), Some(0.0));
 
         let rs = reviews_schema();
-        view.apply_source_change(0, &rs, &RowChange::Inserted { new: review_row(10, 1, 4.0) })
-            .unwrap();
+        view.apply_source_change(
+            0,
+            &rs,
+            &RowChange::Inserted {
+                new: review_row(10, 1, 4.0),
+            },
+        )
+        .unwrap();
         assert_eq!(view.score_of(1), Some(400.0));
-        view.apply_source_change(0, &rs, &RowChange::Inserted { new: review_row(11, 1, 2.0) })
-            .unwrap();
+        view.apply_source_change(
+            0,
+            &rs,
+            &RowChange::Inserted {
+                new: review_row(11, 1, 2.0),
+            },
+        )
+        .unwrap();
         assert_eq!(view.score_of(1), Some(300.0));
         // Update a review.
         view.apply_source_change(
             0,
             &rs,
-            &RowChange::Updated { old: review_row(11, 1, 2.0), new: review_row(11, 1, 4.0) },
+            &RowChange::Updated {
+                old: review_row(11, 1, 2.0),
+                new: review_row(11, 1, 4.0),
+            },
         )
         .unwrap();
         assert_eq!(view.score_of(1), Some(400.0));
         // Delete one.
-        view.apply_source_change(0, &rs, &RowChange::Deleted { old: review_row(10, 1, 4.0) })
-            .unwrap();
+        view.apply_source_change(
+            0,
+            &rs,
+            &RowChange::Deleted {
+                old: review_row(10, 1, 4.0),
+            },
+        )
+        .unwrap();
         assert_eq!(view.score_of(1), Some(400.0));
     }
 
@@ -306,14 +340,23 @@ mod tests {
         view.apply_target_change(&movies_schema(), &movie_row(1));
         let after_insert = count.load(Ordering::SeqCst); // initial 0-score fires once
         let rs = reviews_schema();
-        view.apply_source_change(0, &rs, &RowChange::Inserted { new: review_row(10, 1, 4.0) })
-            .unwrap();
+        view.apply_source_change(
+            0,
+            &rs,
+            &RowChange::Inserted {
+                new: review_row(10, 1, 4.0),
+            },
+        )
+        .unwrap();
         assert_eq!(count.load(Ordering::SeqCst), after_insert + 1);
         // A no-op change (same rating) must not fire.
         view.apply_source_change(
             0,
             &rs,
-            &RowChange::Updated { old: review_row(10, 1, 4.0), new: review_row(10, 1, 4.0) },
+            &RowChange::Updated {
+                old: review_row(10, 1, 4.0),
+                new: review_row(10, 1, 4.0),
+            },
         )
         .unwrap();
         assert_eq!(count.load(Ordering::SeqCst), after_insert + 1);
@@ -323,8 +366,14 @@ mod tests {
     fn reviews_for_unknown_movies_ignored() {
         let mut view = ScoreView::new("movies", avg_spec());
         let rs = reviews_schema();
-        view.apply_source_change(0, &rs, &RowChange::Inserted { new: review_row(10, 99, 4.0) })
-            .unwrap();
+        view.apply_source_change(
+            0,
+            &rs,
+            &RowChange::Inserted {
+                new: review_row(10, 99, 4.0),
+            },
+        )
+        .unwrap();
         assert_eq!(view.score_of(99), None);
         // The state is kept: if movie 99 appears later, its reviews count.
         view.apply_target_change(&movies_schema(), &movie_row(99));
@@ -337,7 +386,9 @@ mod tests {
         view.apply_target_change(&movies_schema(), &movie_row(1));
         view.apply_target_change(
             &movies_schema(),
-            &RowChange::Deleted { old: vec![Value::Int(1), Value::Text("d".into())] },
+            &RowChange::Deleted {
+                old: vec![Value::Int(1), Value::Text("d".into())],
+            },
         );
         assert_eq!(view.score_of(1), None);
         assert!(view.is_empty());

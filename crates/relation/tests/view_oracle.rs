@@ -42,7 +42,7 @@ impl Model {
 }
 
 fn setup() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(Schema::new(
         "movies",
         &[("mid", ColumnType::Int), ("desc", ColumnType::Text)],
@@ -51,7 +51,11 @@ fn setup() -> Database {
     .unwrap();
     db.create_table(Schema::new(
         "reviews",
-        &[("rid", ColumnType::Int), ("mid", ColumnType::Int), ("rating", ColumnType::Float)],
+        &[
+            ("rid", ColumnType::Int),
+            ("mid", ColumnType::Int),
+            ("rating", ColumnType::Float),
+        ],
         0,
     ))
     .unwrap();
@@ -73,14 +77,20 @@ fn setup() -> Database {
                 key_col: "mid".into(),
                 val_col: "nvisit".into(),
             },
-            ScoreComponent::CountOf { table: "reviews".into(), fk_col: "mid".into() },
+            ScoreComponent::CountOf {
+                table: "reviews".into(),
+                fk_col: "mid".into(),
+            },
         ],
         AggExpr::parse("s1*100 + s2/2 + s3").unwrap(),
     );
     db.create_score_view("scores", "movies", spec).unwrap();
     for mid in 0..MOVIES {
-        db.insert_row("movies", vec![Value::Int(mid), Value::Text(format!("movie {mid}"))])
-            .unwrap();
+        db.insert_row(
+            "movies",
+            vec![Value::Int(mid), Value::Text(format!("movie {mid}"))],
+        )
+        .unwrap();
     }
     db
 }
@@ -96,14 +106,17 @@ fn assert_view_matches(db: &Database, model: &Model, context: &str) {
     }
     // all_scores must agree with per-key lookups.
     for (mid, score) in db.all_scores("scores").unwrap() {
-        assert!((score - model.score(mid)).abs() < EPS, "{context}: all_scores for {mid}");
+        assert!(
+            (score - model.score(mid)).abs() < EPS,
+            "{context}: all_scores for {mid}"
+        );
     }
 }
 
 #[test]
 fn incremental_view_equals_full_recompute_under_random_mutations() {
     let mut rng = StdRng::seed_from_u64(0x51E3);
-    let mut db = setup();
+    let db = setup();
     let mut model = Model::default();
     let mut next_rid = 1000i64;
 
@@ -151,8 +164,12 @@ fn incremental_view_equals_full_recompute_under_random_mutations() {
                     let skip = rng.gen_range(0..model.reviews.len());
                     let rid = *model.reviews.keys().nth(skip).unwrap();
                     let mid = rng.gen_range(0..MOVIES);
-                    db.update_row("reviews", Value::Int(rid), &[("mid".into(), Value::Int(mid))])
-                        .unwrap();
+                    db.update_row(
+                        "reviews",
+                        Value::Int(rid),
+                        &[("mid".into(), Value::Int(mid))],
+                    )
+                    .unwrap();
                     model.reviews.get_mut(&rid).unwrap().0 = mid;
                 }
             }
@@ -168,7 +185,8 @@ fn incremental_view_equals_full_recompute_under_random_mutations() {
                     )
                     .unwrap();
                 } else {
-                    db.insert_row("stats", vec![Value::Int(mid), Value::Int(visits)]).unwrap();
+                    db.insert_row("stats", vec![Value::Int(mid), Value::Int(visits)])
+                        .unwrap();
                 }
                 model.stats.insert(mid, visits);
             }
@@ -191,7 +209,7 @@ fn incremental_view_equals_full_recompute_under_random_mutations() {
 
 #[test]
 fn listener_fires_only_for_affected_keys() {
-    let mut db = setup();
+    let db = setup();
     let log = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
     let sink = log.clone();
     db.set_score_listener(
@@ -202,30 +220,38 @@ fn listener_fires_only_for_affected_keys() {
     )
     .unwrap();
 
-    db.insert_row("reviews", vec![Value::Int(1), Value::Int(3), Value::Float(4.0)]).unwrap();
+    db.insert_row(
+        "reviews",
+        vec![Value::Int(1), Value::Int(3), Value::Float(4.0)],
+    )
+    .unwrap();
     {
         let events = log.lock();
         assert!(!events.is_empty());
-        assert!(events.iter().all(|&(pk, _)| pk == 3), "only movie 3 changed: {events:?}");
+        assert!(
+            events.iter().all(|&(pk, _)| pk == 3),
+            "only movie 3 changed: {events:?}"
+        );
         // avg 4.0 * 100 + 0 + 1 review.
         assert!((events.last().unwrap().1 - 401.0).abs() < EPS);
     }
     log.lock().clear();
 
     // Moving the review re-scores both the old and the new target.
-    db.update_row("reviews", Value::Int(1), &[("mid".into(), Value::Int(5))]).unwrap();
+    db.update_row("reviews", Value::Int(1), &[("mid".into(), Value::Int(5))])
+        .unwrap();
     {
         let events = log.lock();
-        let touched: std::collections::BTreeSet<i64> =
-            events.iter().map(|&(pk, _)| pk).collect();
+        let touched: std::collections::BTreeSet<i64> = events.iter().map(|&(pk, _)| pk).collect();
         assert_eq!(touched, [3i64, 5].into_iter().collect(), "{events:?}");
     }
 }
 
 #[test]
 fn rows_with_null_contributions_are_ignored() {
-    let mut db = setup();
-    db.insert_row("reviews", vec![Value::Int(1), Value::Int(2), Value::Null]).unwrap();
+    let db = setup();
+    db.insert_row("reviews", vec![Value::Int(1), Value::Int(2), Value::Null])
+        .unwrap();
     // Null rating: AvgOf skips it, but... CountOf counts rows with non-null
     // fk. The view and a by-hand recompute must agree on that fine print.
     let score = db.score_of("scores", 2).unwrap();
@@ -233,7 +259,11 @@ fn rows_with_null_contributions_are_ignored() {
         (score - 1.0).abs() < EPS,
         "null rating contributes no average but the row still counts: {score}"
     );
-    db.insert_row("reviews", vec![Value::Int(2), Value::Null, Value::Float(5.0)]).unwrap();
+    db.insert_row(
+        "reviews",
+        vec![Value::Int(2), Value::Null, Value::Float(5.0)],
+    )
+    .unwrap();
     // Null fk: no target, contributes nowhere.
     for mid in 0..MOVIES {
         let s = db.score_of("scores", mid).unwrap();

@@ -150,7 +150,11 @@ pub enum MatchMode {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
     /// `CONTAINS(col, 'keywords' [, ALL|ANY])`
-    Contains { column: String, keywords: String, mode: MatchMode },
+    Contains {
+        column: String,
+        keywords: String,
+        mode: MatchMode,
+    },
     /// `col = literal`
     Equals { column: String, value: Value },
 }

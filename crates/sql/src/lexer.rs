@@ -91,63 +91,108 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    pos: i,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    pos: i,
+                });
                 i += 1;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    pos: i,
+                });
                 i += 1;
             }
             b';' => {
-                tokens.push(Token { kind: TokenKind::Semi, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    pos: i,
+                });
                 i += 1;
             }
             b'*' => {
-                tokens.push(Token { kind: TokenKind::Star, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    pos: i,
+                });
                 i += 1;
             }
             b'.' if !bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) => {
-                tokens.push(Token { kind: TokenKind::Dot, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    pos: i,
+                });
                 i += 1;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Eq, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    pos: i,
+                });
                 i += 1;
             }
             b'+' => {
-                tokens.push(Token { kind: TokenKind::Plus, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    pos: i,
+                });
                 i += 1;
             }
             b'-' => {
-                tokens.push(Token { kind: TokenKind::Minus, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    pos: i,
+                });
                 i += 1;
             }
             b'/' => {
-                tokens.push(Token { kind: TokenKind::Slash, pos: i });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    pos: i,
+                });
                 i += 1;
             }
             b'<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Le, pos: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        pos: i,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Ne, pos: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, pos: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, pos: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, pos: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
@@ -182,7 +227,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(out), pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(out),
+                    pos: start,
+                });
             }
             _ if b.is_ascii_digit() || b == b'.' => {
                 let start = i;
@@ -200,13 +248,14 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 let value: f64 = text
                     .parse()
                     .map_err(|_| SqlError::Lex(start, format!("bad number '{text}'")))?;
-                tokens.push(Token { kind: TokenKind::Number(value), pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    pos: start,
+                });
             }
             _ if b.is_ascii_alphabetic() || b == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push(Token {
@@ -227,7 +276,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -244,7 +297,10 @@ mod tests {
     #[test]
     fn strings_escape_by_doubling() {
         assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into())]);
-        assert_eq!(kinds(r#""say ""hi"" now""#), vec![TokenKind::Str("say \"hi\" now".into())]);
+        assert_eq!(
+            kinds(r#""say ""hi"" now""#),
+            vec![TokenKind::Str("say \"hi\" now".into())]
+        );
     }
 
     #[test]

@@ -53,10 +53,8 @@ impl Parser {
     }
 
     fn here(&self) -> usize {
-        self.peek().map_or_else(
-            || self.tokens.last().map_or(0, |t| t.pos + 1),
-            |t| t.pos,
-        )
+        self.peek()
+            .map_or_else(|| self.tokens.last().map_or(0, |t| t.pos + 1), |t| t.pos)
     }
 
     fn error(&self, msg: impl Into<String>) -> SqlError {
@@ -103,7 +101,8 @@ impl Parser {
         } else {
             Err(self.error(format!(
                 "expected {kw}, found {}",
-                self.peek().map_or_else(|| "end of input".to_string(), |t| t.kind.to_string())
+                self.peek()
+                    .map_or_else(|| "end of input".to_string(), |t| t.kind.to_string())
             )))
         }
     }
@@ -114,7 +113,8 @@ impl Parser {
         } else {
             Err(self.error(format!(
                 "expected {kind}, found {}",
-                self.peek().map_or_else(|| "end of input".to_string(), |t| t.kind.to_string())
+                self.peek()
+                    .map_or_else(|| "end of input".to_string(), |t| t.kind.to_string())
             )))
         }
     }
@@ -302,7 +302,11 @@ impl Parser {
         } else {
             FunctionBody::Arith(self.arith(0)?)
         };
-        Ok(Statement::CreateFunction(CreateFunction { name, params, body }))
+        Ok(Statement::CreateFunction(CreateFunction {
+            name,
+            params,
+            body,
+        }))
     }
 
     /// `SELECT AVG(r.rating) FROM reviews r WHERE r.mid = id`
@@ -320,7 +324,11 @@ impl Parser {
                     let col = self.column_ref()?;
                     self.expect_kind(&TokenKind::RParen)?;
                     (
-                        if kw == "AVG" { ComponentAgg::Avg } else { ComponentAgg::Sum },
+                        if kw == "AVG" {
+                            ComponentAgg::Avg
+                        } else {
+                            ComponentAgg::Sum
+                        },
                         Some(col),
                     )
                 }
@@ -356,7 +364,13 @@ impl Parser {
                 "WHERE clause references '{param}', which is not a function parameter"
             )));
         }
-        Ok(FunctionBody::Component { agg, value_column, table, key_column, param })
+        Ok(FunctionBody::Component {
+            agg,
+            value_column,
+            table,
+            key_column,
+            param,
+        })
     }
 
     /// Pratt parser for `Agg` arithmetic bodies.
@@ -514,7 +528,12 @@ impl Parser {
         let key_column = self.column_ref()?;
         self.expect_kind(&TokenKind::Eq)?;
         let key = self.literal()?;
-        Ok(Statement::Update(Update { table, sets, key_column, key }))
+        Ok(Statement::Update(Update {
+            table,
+            sets,
+            key_column,
+            key,
+        }))
     }
 
     fn delete(&mut self) -> Result<Statement> {
@@ -525,7 +544,11 @@ impl Parser {
         let key_column = self.column_ref()?;
         self.expect_kind(&TokenKind::Eq)?;
         let key = self.literal()?;
-        Ok(Statement::Delete(Delete { table, key_column, key }))
+        Ok(Statement::Delete(Delete {
+            table,
+            key_column,
+            key,
+        }))
     }
 
     // -- SELECT ---------------------------------------------------------------
@@ -548,12 +571,7 @@ impl Parser {
         let table = self.identifier()?;
         // Optional alias — any identifier that is not a clause keyword.
         let alias = match self.peek().and_then(|t| t.kind.keyword()) {
-            Some(kw)
-                if !matches!(
-                    kw.as_str(),
-                    "WHERE" | "ORDER" | "FETCH" | "LIMIT"
-                ) =>
-            {
+            Some(kw) if !matches!(kw.as_str(), "WHERE" | "ORDER" | "FETCH" | "LIMIT") => {
                 Some(self.identifier()?)
             }
             _ => None,
@@ -641,11 +659,18 @@ impl Parser {
                 MatchMode::All
             };
             self.expect_kind(&TokenKind::RParen)?;
-            Ok(Predicate::Contains { column, keywords, mode })
+            Ok(Predicate::Contains {
+                column,
+                keywords,
+                mode,
+            })
         } else {
             let column = self.column_ref()?;
             self.expect_kind(&TokenKind::Eq)?;
-            Ok(Predicate::Equals { column, value: self.literal()? })
+            Ok(Predicate::Equals {
+                column,
+                value: self.literal()?,
+            })
         }
     }
 
@@ -672,11 +697,11 @@ mod tests {
 
     #[test]
     fn parses_create_table() {
-        let s = parse_statement(
-            "CREATE TABLE movies (mid INT PRIMARY KEY, name TEXT, len FLOAT)",
-        )
-        .unwrap();
-        let Statement::CreateTable(ct) = s else { panic!("wrong statement") };
+        let s = parse_statement("CREATE TABLE movies (mid INT PRIMARY KEY, name TEXT, len FLOAT)")
+            .unwrap();
+        let Statement::CreateTable(ct) = s else {
+            panic!("wrong statement")
+        };
         assert_eq!(ct.name, "movies");
         assert_eq!(ct.pk, 0);
         assert_eq!(ct.columns.len(), 3);
@@ -685,8 +710,7 @@ mod tests {
 
     #[test]
     fn pk_defaults_to_first_column() {
-        let Statement::CreateTable(ct) =
-            parse_statement("create table t (a int, b text)").unwrap()
+        let Statement::CreateTable(ct) = parse_statement("create table t (a int, b text)").unwrap()
         else {
             panic!()
         };
@@ -847,24 +871,26 @@ mod tests {
 
     #[test]
     fn parses_point_select() {
-        let Statement::Select(sel) =
-            parse_statement("SELECT * FROM movies WHERE mid = 7").unwrap()
+        let Statement::Select(sel) = parse_statement("SELECT * FROM movies WHERE mid = 7").unwrap()
         else {
             panic!()
         };
         assert_eq!(
             sel.predicate,
-            Some(Predicate::Equals { column: "mid".into(), value: Value::Int(7) })
+            Some(Predicate::Equals {
+                column: "mid".into(),
+                value: Value::Int(7)
+            })
         );
         assert!(sel.order_by_score.is_none());
     }
 
     #[test]
     fn parses_fetch_first_rows_only() {
-        let Statement::Select(sel) = parse_statement(
-            "SELECT * FROM t ORDER BY SCORE(c, 'x') FETCH FIRST 3 ROWS ONLY",
-        )
-        .unwrap() else {
+        let Statement::Select(sel) =
+            parse_statement("SELECT * FROM t ORDER BY SCORE(c, 'x') FETCH FIRST 3 ROWS ONLY")
+                .unwrap()
+        else {
             panic!()
         };
         assert_eq!(sel.fetch, Some(3));
@@ -898,16 +924,18 @@ mod tests {
             parse_statement("DROP TEXT INDEX movie_idx").unwrap(),
             Statement::DropTextIndex("movie_idx".into())
         );
-        assert!(parse_statement("DROP INDEX x").is_err(), "TEXT INDEX is the only index kind");
+        assert!(
+            parse_statement("DROP INDEX x").is_err(),
+            "TEXT INDEX is the only index kind"
+        );
         assert!(parse_statement("DROP").is_err());
     }
 
     #[test]
     fn script_splits_statements() {
-        let script = parse_script(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let script =
+            parse_script("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(script.len(), 3);
     }
 
@@ -921,8 +949,7 @@ mod tests {
 
     #[test]
     fn negative_literals() {
-        let Statement::Insert(ins) =
-            parse_statement("INSERT INTO t VALUES (-5, -2.5)").unwrap()
+        let Statement::Insert(ins) = parse_statement("INSERT INTO t VALUES (-5, -2.5)").unwrap()
         else {
             panic!()
         };

@@ -46,9 +46,11 @@ impl RankedPath {
 ///   `CONTAINS` mode.
 pub fn resolve_ranked_path(sel: &Select) -> Result<Option<RankedPath>> {
     let contains = match &sel.predicate {
-        Some(Predicate::Contains { column, keywords, mode }) => {
-            Some((column.as_str(), keywords.as_str(), *mode))
-        }
+        Some(Predicate::Contains {
+            column,
+            keywords,
+            mode,
+        }) => Some((column.as_str(), keywords.as_str(), *mode)),
         _ => None,
     };
     Ok(match (&sel.order_by_score, contains) {
@@ -98,23 +100,32 @@ pub fn lower_function(params: &[String], body: &FunctionBody) -> Result<Function
         FunctionBody::Arith(expr) => {
             // Every identifier must be a parameter.
             check_params(expr, params)?;
-            Ok(FunctionDef::Agg { params: params.to_vec(), body: expr.clone() })
+            Ok(FunctionDef::Agg {
+                params: params.to_vec(),
+                body: expr.clone(),
+            })
         }
-        FunctionBody::Component { agg, value_column, table, key_column, .. } => {
+        FunctionBody::Component {
+            agg,
+            value_column,
+            table,
+            key_column,
+            ..
+        } => {
             let component = match agg {
                 ComponentAgg::Avg => ScoreComponent::AvgOf {
                     table: table.clone(),
                     fk_col: key_column.clone(),
-                    val_col: value_column.clone().ok_or_else(|| {
-                        SqlError::Plan("AVG requires a value column".into())
-                    })?,
+                    val_col: value_column
+                        .clone()
+                        .ok_or_else(|| SqlError::Plan("AVG requires a value column".into()))?,
                 },
                 ComponentAgg::Sum => ScoreComponent::SumOf {
                     table: table.clone(),
                     fk_col: key_column.clone(),
-                    val_col: value_column.clone().ok_or_else(|| {
-                        SqlError::Plan("SUM requires a value column".into())
-                    })?,
+                    val_col: value_column
+                        .clone()
+                        .ok_or_else(|| SqlError::Plan("SUM requires a value column".into()))?,
                 },
                 ComponentAgg::Count => ScoreComponent::CountOf {
                     table: table.clone(),
@@ -264,11 +275,7 @@ pub fn apply_options(config: &mut IndexConfig, options: &[(String, f64)]) -> Res
             "page_size" => config.page_size = *value as usize,
             "long_cache_pages" => config.long_cache_pages = *value as usize,
             "small_cache_pages" => config.small_cache_pages = *value as usize,
-            other => {
-                return Err(SqlError::Plan(format!(
-                    "unknown index option '{other}'"
-                )))
-            }
+            other => return Err(SqlError::Plan(format!("unknown index option '{other}'"))),
         }
     }
     Ok(())
@@ -367,7 +374,10 @@ mod tests {
     #[test]
     fn method_names_parse() {
         assert_eq!(parse_method("chunk").unwrap(), MethodKind::Chunk);
-        assert_eq!(parse_method("Score-Threshold").unwrap(), MethodKind::ScoreThreshold);
+        assert_eq!(
+            parse_method("Score-Threshold").unwrap(),
+            MethodKind::ScoreThreshold
+        );
         assert_eq!(
             parse_method("SCORE_THRESHOLD_TERMSCORE").unwrap(),
             MethodKind::ScoreThresholdTermScore

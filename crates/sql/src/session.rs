@@ -13,8 +13,8 @@ use crate::ast::*;
 use crate::error::{Result, SqlError};
 use crate::parser::{parse_script, parse_statement};
 use crate::plan::{
-    apply_options, lower_function, parse_method, resolve_arith, resolve_ranked_path,
-    tfidf_weight, FunctionDef,
+    apply_options, lower_function, parse_method, resolve_arith, resolve_ranked_path, tfidf_weight,
+    FunctionDef,
 };
 
 /// Result of executing one statement.
@@ -26,10 +26,16 @@ pub enum SqlResult {
     Updated(usize),
     Deleted(usize),
     /// An unranked result set.
-    Rows { columns: Vec<String>, rows: Vec<Vec<Value>> },
+    Rows {
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    },
     /// A ranked keyword-search result set (scores are the latest SVR — or
     /// combined — scores).
-    Ranked { columns: Vec<String>, rows: Vec<RankedRow> },
+    Ranked {
+        columns: Vec<String>,
+        rows: Vec<RankedRow>,
+    },
     /// An `EXPLAIN` plan description, one line per step.
     Plan(Vec<String>),
 }
@@ -101,8 +107,10 @@ impl std::fmt::Display for SqlResult {
             SqlResult::Updated(n) => writeln!(f, "{n} row(s) updated"),
             SqlResult::Deleted(n) => writeln!(f, "{n} row(s) deleted"),
             SqlResult::Rows { columns, rows } => {
-                let rendered: Vec<Vec<String>> =
-                    rows.iter().map(|r| r.iter().map(render).collect()).collect();
+                let rendered: Vec<Vec<String>> = rows
+                    .iter()
+                    .map(|r| r.iter().map(render).collect())
+                    .collect();
                 write_table(f, columns, &rendered)
             }
             SqlResult::Plan(lines) => {
@@ -190,7 +198,10 @@ impl SqlSession {
     /// Wrap an engine handle (sharing whatever state it shares).
     pub fn with_engine(engine: SvrEngine) -> SqlSession {
         SqlSession {
-            shared: Arc::new(SessionShared { engine, functions: RwLock::new(HashMap::new()) }),
+            shared: Arc::new(SessionShared {
+                engine,
+                functions: RwLock::new(HashMap::new()),
+            }),
         }
     }
 
@@ -207,7 +218,11 @@ impl SqlSession {
     }
 
     fn function(&self, name: &str) -> Option<FunctionDef> {
-        self.shared.functions.read().get(&name.to_ascii_lowercase()).cloned()
+        self.shared
+            .functions
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
     }
 
     /// Execute one statement.
@@ -311,8 +326,7 @@ impl SqlSession {
     }
 
     fn create_table(&self, ct: CreateTable) -> Result<SqlResult> {
-        let columns: Vec<(&str, _)> =
-            ct.columns.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let columns: Vec<(&str, _)> = ct.columns.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         self.engine()
             .create_table(Schema::new(&ct.name, &columns, ct.pk))?;
         Ok(SqlResult::None)
@@ -324,7 +338,8 @@ impl SqlSession {
         let n = match ins.rows.len() {
             1 => {
                 let mut rows = ins.rows;
-                self.engine().insert_row(&ins.table, rows.pop().expect("one row"))?;
+                self.engine()
+                    .insert_row(&ins.table, rows.pop().expect("one row"))?;
                 1
             }
             _ => self.engine().insert_rows(&ins.table, ins.rows)?,
@@ -361,7 +376,10 @@ impl SqlSession {
         let def = lower_function(&cf.params, &cf.body)?;
         let mut functions = self.shared.functions.write();
         if functions.contains_key(&key) {
-            return Err(SqlError::Plan(format!("function '{}' already exists", cf.name)));
+            return Err(SqlError::Plan(format!(
+                "function '{}' already exists",
+                cf.name
+            )));
         }
         functions.insert(key, def);
         Ok(SqlResult::None)
@@ -378,25 +396,21 @@ impl SqlSession {
         let mut tfidf_entries = 0usize;
         for entry in &ix.score_with {
             match entry {
-                ScoreListEntry::Function(name) => {
-                    match self.function(name) {
-                        Some(FunctionDef::Component(c)) => {
-                            entry_slots.push(components.len());
-                            components.push(c);
-                        }
-                        Some(FunctionDef::Agg { .. }) => {
-                            return Err(SqlError::Plan(format!(
-                                "'{name}' is an aggregate function; SCORE WITH takes scoring \
-                                 components (functions whose body is a SELECT)"
-                            )));
-                        }
-                        None => {
-                            return Err(SqlError::Plan(format!(
-                                "unknown scoring function '{name}'"
-                            )))
-                        }
+                ScoreListEntry::Function(name) => match self.function(name) {
+                    Some(FunctionDef::Component(c)) => {
+                        entry_slots.push(components.len());
+                        components.push(c);
                     }
-                }
+                    Some(FunctionDef::Agg { .. }) => {
+                        return Err(SqlError::Plan(format!(
+                            "'{name}' is an aggregate function; SCORE WITH takes scoring \
+                                 components (functions whose body is a SELECT)"
+                        )));
+                    }
+                    None => {
+                        return Err(SqlError::Plan(format!("unknown scoring function '{name}'")))
+                    }
+                },
                 ScoreListEntry::Tfidf => {
                     tfidf_entries += 1;
                     entry_slots.push(usize::MAX); // patched below
@@ -434,7 +448,9 @@ impl SqlSession {
                     )));
                 }
                 None => {
-                    return Err(SqlError::Plan(format!("unknown aggregate function '{name}'")))
+                    return Err(SqlError::Plan(format!(
+                        "unknown aggregate function '{name}'"
+                    )))
                 }
             },
             None => {
@@ -455,7 +471,10 @@ impl SqlSession {
         // aggregate with the TFIDF slot at zero (structured part), and the
         // index method adds `weight · Σ idf·ts` at query time.
         let has_tfidf = tfidf_entries > 0;
-        let mut config = IndexConfig { term_weight: 0.0, ..IndexConfig::default() };
+        let mut config = IndexConfig {
+            term_weight: 0.0,
+            ..IndexConfig::default()
+        };
         if has_tfidf {
             config.term_weight = tfidf_weight(&agg, tfidf_slot)?;
         }

@@ -9,7 +9,7 @@ use svr_sql::{SqlResult, SqlSession};
 /// §3.1 scoring functions S1 (avg rating), S2 (visits), S3 (downloads) with
 /// Agg(s1,s2,s3) = s1*100 + s2/2 + s3.
 fn setup(method: &str) -> SqlSession {
-    let mut session = SqlSession::new();
+    let session = SqlSession::new();
     session
         .execute_script(&format!(
             r#"
@@ -63,7 +63,7 @@ const FIGURE1_QUERY: &str = r#"SELECT name FROM movies m
 #[test]
 fn figure1_query_ranks_by_structured_values() {
     for method in ["ID", "SCORE", "SCORE_THRESHOLD", "CHUNK"] {
-        let mut session = setup(method);
+        let session = setup(method);
         let result = session.execute(FIGURE1_QUERY).unwrap();
         // Only movies 1 and 2 contain both "golden" and "gate".
         // Scores: movie 1 = 4.75*100 + 5000/2 + 120 = 3095;
@@ -73,22 +73,30 @@ fn figure1_query_ranks_by_structured_values() {
             vec!["American Thrift", "Amateur Film"],
             "method {method}"
         );
-        let SqlResult::Ranked { rows, .. } = &result else { unreachable!() };
-        assert!((rows[0].score - 3095.0).abs() < 1e-9, "method {method}: {}", rows[0].score);
+        let SqlResult::Ranked { rows, .. } = &result else {
+            unreachable!()
+        };
+        assert!(
+            (rows[0].score - 3095.0).abs() < 1e-9,
+            "method {method}: {}",
+            rows[0].score
+        );
         assert!((rows[1].score - 223.0).abs() < 1e-9, "method {method}");
     }
 }
 
 #[test]
 fn structured_updates_reorder_results() {
-    let mut session = setup("CHUNK");
+    let session = setup("CHUNK");
     // A flash crowd hits Amateur Film: visits explode.
     session
         .execute("UPDATE statistics SET nvisit = 1000000 WHERE mid = 2")
         .unwrap();
     let result = session.execute(FIGURE1_QUERY).unwrap();
     assert_eq!(top_names(&result), vec!["Amateur Film", "American Thrift"]);
-    let SqlResult::Ranked { rows, .. } = &result else { unreachable!() };
+    let SqlResult::Ranked { rows, .. } = &result else {
+        unreachable!()
+    };
     // 2*100 + 1000000/2 + 3 = 500203.
     assert!((rows[0].score - 500_203.0).abs() < 1e-9);
 
@@ -97,24 +105,30 @@ fn structured_updates_reorder_results() {
         .execute("INSERT INTO reviews VALUES (104, 2, 1.0), (105, 2, 1.0)")
         .unwrap();
     let result = session.execute(FIGURE1_QUERY).unwrap();
-    let SqlResult::Ranked { rows, .. } = &result else { unreachable!() };
+    let SqlResult::Ranked { rows, .. } = &result else {
+        unreachable!()
+    };
     // avg(2,1,1) = 4/3 → 133.33 + 500000 + 3.
     assert!((rows[0].score - (4.0 / 3.0 * 100.0 + 500_000.0 + 3.0)).abs() < 1e-6);
 }
 
 #[test]
 fn deleting_source_rows_lowers_scores() {
-    let mut session = setup("SCORE_THRESHOLD");
-    session.execute("DELETE FROM reviews WHERE rid = 101").unwrap();
+    let session = setup("SCORE_THRESHOLD");
+    session
+        .execute("DELETE FROM reviews WHERE rid = 101")
+        .unwrap();
     let result = session.execute(FIGURE1_QUERY).unwrap();
-    let SqlResult::Ranked { rows, .. } = &result else { unreachable!() };
+    let SqlResult::Ranked { rows, .. } = &result else {
+        unreachable!()
+    };
     // Movie 1's avg drops to 4.5: 450 + 2500 + 120 = 3070.
     assert!((rows[0].score - 3070.0).abs() < 1e-9);
 }
 
 #[test]
 fn deleting_a_movie_removes_it_from_results() {
-    let mut session = setup("CHUNK");
+    let session = setup("CHUNK");
     session.execute("DELETE FROM movies WHERE mid = 1").unwrap();
     let result = session.execute(FIGURE1_QUERY).unwrap();
     assert_eq!(top_names(&result), vec!["Amateur Film"]);
@@ -122,7 +136,7 @@ fn deleting_a_movie_removes_it_from_results() {
 
 #[test]
 fn content_updates_change_matching() {
-    let mut session = setup("CHUNK");
+    let session = setup("CHUNK");
     // Movie 3's description gains the keywords.
     session
         .execute(
@@ -144,7 +158,7 @@ fn content_updates_change_matching() {
 
 #[test]
 fn disjunctive_contains_any() {
-    let mut session = setup("CHUNK");
+    let session = setup("CHUNK");
     let result = session
         .execute(
             "SELECT name FROM movies WHERE CONTAINS(description, 'city gate', ANY)
@@ -160,7 +174,7 @@ fn disjunctive_contains_any() {
 
 #[test]
 fn merge_text_index_preserves_answers() {
-    let mut session = setup("CHUNK");
+    let session = setup("CHUNK");
     session
         .execute("UPDATE statistics SET nvisit = 999999 WHERE mid = 2")
         .unwrap();
@@ -172,7 +186,7 @@ fn merge_text_index_preserves_answers() {
 
 #[test]
 fn tfidf_combination_through_sql() {
-    let mut session = SqlSession::new();
+    let session = SqlSession::new();
     session
         .execute_script(
             r#"
@@ -196,7 +210,9 @@ fn tfidf_combination_through_sql() {
     let result = session
         .execute("SELECT id FROM docs ORDER BY SCORE(body, 'ranking') FETCH TOP 2 RESULTS ONLY")
         .unwrap();
-    let SqlResult::Ranked { rows, .. } = &result else { panic!() };
+    let SqlResult::Ranked { rows, .. } = &result else {
+        panic!()
+    };
     // Doc 1 has the maximal normalized TF for "ranking"; with weight 50 the
     // term score dominates the 1-hit popularity difference.
     assert_eq!(rows[0].row[0], Value::Int(1));
@@ -205,7 +221,7 @@ fn tfidf_combination_through_sql() {
 
 #[test]
 fn tfidf_without_term_method_is_rejected() {
-    let mut session = SqlSession::new();
+    let session = SqlSession::new();
     session
         .execute_script(
             "CREATE TABLE d (id INT PRIMARY KEY, b TEXT);
@@ -213,16 +229,14 @@ fn tfidf_without_term_method_is_rejected() {
         )
         .unwrap();
     let err = session
-        .execute(
-            "CREATE TEXT INDEX i ON d(b) SCORE WITH (one, TFIDF()) USING METHOD CHUNK",
-        )
+        .execute("CREATE TEXT INDEX i ON d(b) SCORE WITH (one, TFIDF()) USING METHOD CHUNK")
         .unwrap_err();
     assert!(err.to_string().contains("cannot evaluate TFIDF"), "{err}");
 }
 
 #[test]
 fn nonlinear_tfidf_aggregate_is_rejected() {
-    let mut session = SqlSession::new();
+    let session = SqlSession::new();
     session
         .execute_script(
             "CREATE TABLE d (id INT PRIMARY KEY, b TEXT);
@@ -233,17 +247,17 @@ fn nonlinear_tfidf_aggregate_is_rejected() {
         )
         .unwrap();
     let err = session
-        .execute(
-            "CREATE TEXT INDEX i ON d(b) SCORE WITH (c, TFIDF()) AGGREGATE WITH bad",
-        )
+        .execute("CREATE TEXT INDEX i ON d(b) SCORE WITH (c, TFIDF()) AGGREGATE WITH bad")
         .unwrap_err();
     assert!(err.to_string().contains("linear"), "{err}");
 }
 
 #[test]
 fn plain_selects_and_projection() {
-    let mut session = setup("ID");
-    let result = session.execute("SELECT name FROM movies WHERE mid = 2").unwrap();
+    let session = setup("ID");
+    let result = session
+        .execute("SELECT name FROM movies WHERE mid = 2")
+        .unwrap();
     assert_eq!(
         result,
         SqlResult::Rows {
@@ -251,13 +265,15 @@ fn plain_selects_and_projection() {
             rows: vec![vec![Value::Text("Amateur Film".into())]],
         }
     );
-    let all = session.execute("SELECT mid, name FROM movies LIMIT 2").unwrap();
+    let all = session
+        .execute("SELECT mid, name FROM movies LIMIT 2")
+        .unwrap();
     assert_eq!(all.row_count(), 2);
 }
 
 #[test]
 fn reviews_fk_scan_matches() {
-    let mut session = setup("ID");
+    let session = setup("ID");
     let scan = session
         .execute("SELECT rid FROM reviews WHERE mid = 1")
         .unwrap();
@@ -266,15 +282,20 @@ fn reviews_fk_scan_matches() {
 
 #[test]
 fn errors_are_informative() {
-    let mut session = SqlSession::new();
+    let session = SqlSession::new();
     // Unknown table.
     assert!(session.execute("SELECT * FROM nope").is_err());
     // Unknown scoring function.
-    session.execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT)").unwrap();
+    session
+        .execute("CREATE TABLE t (a INT PRIMARY KEY, b TEXT)")
+        .unwrap();
     let err = session
         .execute("CREATE TEXT INDEX i ON t(b) SCORE WITH (mystery)")
         .unwrap_err();
-    assert!(err.to_string().contains("unknown scoring function"), "{err}");
+    assert!(
+        err.to_string().contains("unknown scoring function"),
+        "{err}"
+    );
     // Ranked query without an index.
     let err = session
         .execute("SELECT * FROM t ORDER BY SCORE(b, 'x') FETCH TOP 1 RESULTS ONLY")
@@ -291,7 +312,7 @@ fn errors_are_informative() {
 
 #[test]
 fn update_requires_pk_predicate() {
-    let mut session = setup("ID");
+    let session = setup("ID");
     let err = session
         .execute("UPDATE statistics SET nvisit = 1 WHERE nvisit = 40")
         .unwrap_err();
@@ -300,7 +321,7 @@ fn update_requires_pk_predicate() {
 
 #[test]
 fn result_display_renders_tables() {
-    let mut session = setup("CHUNK");
+    let session = setup("CHUNK");
     let shown = format!("{}", session.execute(FIGURE1_QUERY).unwrap());
     assert!(shown.contains("American Thrift"));
     assert!(shown.contains("score"));
@@ -309,9 +330,13 @@ fn result_display_renders_tables() {
 
 #[test]
 fn explain_describes_access_paths() {
-    let mut session = setup("CHUNK");
-    let plan = session.execute(&format!("EXPLAIN {FIGURE1_QUERY}")).unwrap();
-    let SqlResult::Plan(lines) = &plan else { panic!("expected plan, got {plan:?}") };
+    let session = setup("CHUNK");
+    let plan = session
+        .execute(&format!("EXPLAIN {FIGURE1_QUERY}"))
+        .unwrap();
+    let SqlResult::Plan(lines) = &plan else {
+        panic!("expected plan, got {plan:?}")
+    };
     let text = lines.join("\n");
     assert!(text.contains("RankedKeywordSearch"), "{text}");
     assert!(text.contains("method=Chunk"), "{text}");
@@ -321,19 +346,28 @@ fn explain_describes_access_paths() {
     let plan = session
         .execute("EXPLAIN SELECT name FROM movies WHERE mid = 1")
         .unwrap();
-    let SqlResult::Plan(lines) = &plan else { panic!() };
+    let SqlResult::Plan(lines) = &plan else {
+        panic!()
+    };
     assert!(lines[0].contains("PointLookup"), "{lines:?}");
 
     let plan = session
         .execute("EXPLAIN SELECT rid FROM reviews WHERE mid = 1")
         .unwrap();
-    let SqlResult::Plan(lines) = &plan else { panic!() };
+    let SqlResult::Plan(lines) = &plan else {
+        panic!()
+    };
     assert!(lines[0].contains("TableScan"), "{lines:?}");
 
     // EXPLAIN must not execute anything.
-    assert!(session.execute("EXPLAIN DELETE FROM movies WHERE mid = 1").is_err());
+    assert!(session
+        .execute("EXPLAIN DELETE FROM movies WHERE mid = 1")
+        .is_err());
     assert_eq!(
-        session.execute("SELECT * FROM movies WHERE mid = 1").unwrap().row_count(),
+        session
+            .execute("SELECT * FROM movies WHERE mid = 1")
+            .unwrap()
+            .row_count(),
         1,
         "row must still exist"
     );
@@ -341,7 +375,7 @@ fn explain_describes_access_paths() {
 
 #[test]
 fn drop_function_unregisters() {
-    let mut session = SqlSession::new();
+    let session = SqlSession::new();
     session
         .execute("CREATE FUNCTION f (a FLOAT) RETURNS FLOAT RETURN a * 2")
         .unwrap();
@@ -366,7 +400,7 @@ fn every_method_name_is_accepted_by_ddl() {
         "CHUNK_TERMSCORE",
         "SCORE_THRESHOLD_TERMSCORE",
     ] {
-        let mut session = setup(method);
+        let session = setup(method);
         let result = session.execute(FIGURE1_QUERY).unwrap();
         assert_eq!(top_names(&result)[0], "American Thrift", "method {method}");
     }
@@ -379,14 +413,23 @@ fn drop_text_index_and_table_tear_down_state() {
     let err = session.execute("DROP TABLE movies").unwrap_err();
     assert!(err.to_string().contains("movie_search"), "{err}");
 
-    assert_eq!(session.execute("DROP TEXT INDEX movie_search").unwrap(), SqlResult::None);
+    assert_eq!(
+        session.execute("DROP TEXT INDEX movie_search").unwrap(),
+        SqlResult::None
+    );
     // Ranked queries now fail with a planning error...
     let err = session
         .execute(r#"SELECT name FROM movies ORDER BY SCORE(description, "golden gate")"#)
         .unwrap_err();
     assert!(err.to_string().contains("no text index"), "{err}");
     // ...but plain relational access still works.
-    assert_eq!(session.execute("SELECT name FROM movies").unwrap().row_count(), 3);
+    assert_eq!(
+        session
+            .execute("SELECT name FROM movies")
+            .unwrap()
+            .row_count(),
+        3
+    );
 
     // Source tables still feed nothing; drop them all.
     for table in ["movies", "reviews", "statistics"] {
@@ -398,7 +441,10 @@ fn drop_text_index_and_table_tear_down_state() {
     }
     assert!(session.execute("SELECT * FROM movies").is_err());
     assert!(session.execute("DROP TABLE movies").is_err(), "double drop");
-    assert!(session.execute("DROP TEXT INDEX movie_search").is_err(), "double index drop");
+    assert!(
+        session.execute("DROP TEXT INDEX movie_search").is_err(),
+        "double index drop"
+    );
 
     // The namespace is reusable: rebuild a fresh index in the same session.
     session
@@ -424,8 +470,12 @@ fn cloned_sessions_share_engine_and_functions() {
     let session = setup("CHUNK");
     let clone = session.clone();
     // DDL through one handle is visible through the other.
-    clone.execute("INSERT INTO movies VALUES (4, 'Fourth', 'golden gate redux')").unwrap();
-    clone.execute("INSERT INTO statistics VALUES (4, 1000000, 0)").unwrap();
+    clone
+        .execute("INSERT INTO movies VALUES (4, 'Fourth', 'golden gate redux')")
+        .unwrap();
+    clone
+        .execute("INSERT INTO statistics VALUES (4, 1000000, 0)")
+        .unwrap();
     let result = session
         .execute(
             r#"SELECT name FROM movies ORDER BY SCORE(description, "golden gate")

@@ -55,7 +55,7 @@ proptest! {
     /// never panics (errors are fine; state stays usable).
     #[test]
     fn session_survives_arbitrary_scripts(input in "[ -~]{0,120}") {
-        let mut session = SqlSession::new();
+        let session = SqlSession::new();
         session
             .execute("CREATE TABLE t (id INT PRIMARY KEY, body TEXT)")
             .unwrap();

@@ -36,7 +36,11 @@ pub struct BlobHandle {
 impl BlobHandle {
     /// Handle for a zero-length blob.
     pub fn empty() -> BlobHandle {
-        BlobHandle { first_page: None, len: 0, pages: 0 }
+        BlobHandle {
+            first_page: None,
+            len: 0,
+            pages: 0,
+        }
     }
 }
 

@@ -234,7 +234,10 @@ impl BTree {
             InsertResult::Split(prev, sep, right) => {
                 // Grow the tree: new root above the old one.
                 let new_root = self.store.allocate()?;
-                let node = Node::Internal { keys: vec![sep], children: vec![root, right] };
+                let node = Node::Internal {
+                    keys: vec![sep],
+                    children: vec![root, right],
+                };
                 self.write_node(new_root, &node)?;
                 state.root = new_root;
                 self.write_meta(new_root)?;
@@ -267,7 +270,10 @@ impl BTree {
                 self.write_node(page, &left)?;
                 Ok(InsertResult::Split(prev, sep, right_page))
             }
-            Node::Internal { mut keys, mut children } => {
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
                 let idx = Self::child_index(&keys, key);
                 match self.insert_rec(children[idx], key, val)? {
                     InsertResult::Done(prev) => Ok(InsertResult::Done(prev)),
@@ -315,9 +321,15 @@ impl BTree {
         let right_entries = left_entries.split_off(split_at);
         let sep = right_entries[0].0.clone();
         let right_page = self.store.allocate()?;
-        let right = Node::Leaf { entries: right_entries, next };
+        let right = Node::Leaf {
+            entries: right_entries,
+            next,
+        };
         self.write_node(right_page, &right)?;
-        let left = Node::Leaf { entries: left_entries, next: Some(right_page) };
+        let left = Node::Leaf {
+            entries: left_entries,
+            next: Some(right_page),
+        };
         Ok((left, sep, right_page))
     }
 
@@ -348,8 +360,17 @@ impl BTree {
         let mut left_children = children;
         let right_children = left_children.split_off(mid + 1);
         let right_page = self.store.allocate()?;
-        self.write_node(right_page, &Node::Internal { keys: right_keys, children: right_children })?;
-        let left = Node::Internal { keys: left_keys, children: left_children };
+        self.write_node(
+            right_page,
+            &Node::Internal {
+                keys: right_keys,
+                children: right_children,
+            },
+        )?;
+        let left = Node::Internal {
+            keys: left_keys,
+            children: left_children,
+        };
         Ok((left, sep, right_page))
     }
 
@@ -387,7 +408,10 @@ impl BTree {
                     Err(_) => Ok(None),
                 }
             }
-            Node::Internal { mut keys, mut children } => {
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
                 let idx = Self::child_index(&keys, key);
                 let removed = self.delete_rec(children[idx], key)?;
                 if removed.is_some() {
@@ -423,15 +447,16 @@ impl BTree {
             return Ok(());
         };
 
-        let merged_size = left_node.byte_size() + right_node.byte_size()
-            - node::NODE_HEADER
+        let merged_size = left_node.byte_size() + right_node.byte_size() - node::NODE_HEADER
             + keys[left_idx].len()
             + node::INTERNAL_KEY_OVERHEAD
             + 8;
         // Leaves merge without absorbing the separator, so the plain sum is a
         // safe (over-)estimate for them and exact-ish for internals.
         if merged_size <= self.page_size {
-            self.merge_siblings(keys, children, left_idx, left_page, right_page, left_node, right_node)
+            self.merge_siblings(
+                keys, children, left_idx, left_page, right_page, left_node, right_node,
+            )
         } else {
             self.borrow_between(keys, left_idx, left_page, right_page, left_node, right_node)
         }
@@ -449,18 +474,32 @@ impl BTree {
         right_node: Node,
     ) -> Result<()> {
         let merged = match (left_node, right_node) {
-            (Node::Leaf { entries: mut le, .. }, Node::Leaf { entries: re, next }) => {
+            (
+                Node::Leaf {
+                    entries: mut le, ..
+                },
+                Node::Leaf { entries: re, next },
+            ) => {
                 le.extend(re);
                 Node::Leaf { entries: le, next }
             }
             (
-                Node::Internal { keys: mut lk, children: mut lc },
-                Node::Internal { keys: rk, children: rc },
+                Node::Internal {
+                    keys: mut lk,
+                    children: mut lc,
+                },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
             ) => {
                 lk.push(keys[left_idx].clone());
                 lk.extend(rk);
                 lc.extend(rc);
-                Node::Internal { keys: lk, children: lc }
+                Node::Internal {
+                    keys: lk,
+                    children: lc,
+                }
             }
             _ => return Err(StorageError::Corrupt("sibling level mismatch")),
         };
@@ -482,12 +521,25 @@ impl BTree {
         right_node: Node,
     ) -> Result<()> {
         match (left_node, right_node) {
-            (Node::Leaf { entries: mut le, next: ln }, Node::Leaf { entries: mut re, next: rn }) => {
+            (
+                Node::Leaf {
+                    entries: mut le,
+                    next: ln,
+                },
+                Node::Leaf {
+                    entries: mut re,
+                    next: rn,
+                },
+            ) => {
                 // Shift entries across until both sides are above the
                 // underflow threshold (possible because together they exceed
                 // one page).
                 let underfull = |entries: &Vec<(Vec<u8>, Vec<u8>)>| {
-                    Node::Leaf { entries: entries.clone(), next: None }.is_underfull(self.page_size)
+                    Node::Leaf {
+                        entries: entries.clone(),
+                        next: None,
+                    }
+                    .is_underfull(self.page_size)
                 };
                 while underfull(&le) && re.len() > 1 {
                     le.push(re.remove(0));
@@ -496,16 +548,38 @@ impl BTree {
                     re.insert(0, le.pop().expect("non-empty left leaf"));
                 }
                 keys[left_idx] = re[0].0.clone();
-                self.write_node(left_page, &Node::Leaf { entries: le, next: ln })?;
-                self.write_node(right_page, &Node::Leaf { entries: re, next: rn })?;
+                self.write_node(
+                    left_page,
+                    &Node::Leaf {
+                        entries: le,
+                        next: ln,
+                    },
+                )?;
+                self.write_node(
+                    right_page,
+                    &Node::Leaf {
+                        entries: re,
+                        next: rn,
+                    },
+                )?;
                 Ok(())
             }
             (
-                Node::Internal { keys: mut lk, children: mut lc },
-                Node::Internal { keys: mut rk, children: mut rc },
+                Node::Internal {
+                    keys: mut lk,
+                    children: mut lc,
+                },
+                Node::Internal {
+                    keys: mut rk,
+                    children: mut rc,
+                },
             ) => {
                 let size = |keys: &Vec<Vec<u8>>, children: &Vec<PageId>| {
-                    Node::Internal { keys: keys.clone(), children: children.clone() }.byte_size()
+                    Node::Internal {
+                        keys: keys.clone(),
+                        children: children.clone(),
+                    }
+                    .byte_size()
                 };
                 while size(&lk, &lc) < self.page_size / 4 && rk.len() > 1 {
                     // Rotate left: separator comes down, right's first key
@@ -518,8 +592,20 @@ impl BTree {
                     rk.insert(0, std::mem::replace(&mut keys[left_idx], lk.pop().unwrap()));
                     rc.insert(0, lc.pop().unwrap());
                 }
-                self.write_node(left_page, &Node::Internal { keys: lk, children: lc })?;
-                self.write_node(right_page, &Node::Internal { keys: rk, children: rc })?;
+                self.write_node(
+                    left_page,
+                    &Node::Internal {
+                        keys: lk,
+                        children: lc,
+                    },
+                )?;
+                self.write_node(
+                    right_page,
+                    &Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
+                )?;
                 Ok(())
             }
             _ => Err(StorageError::Corrupt("sibling level mismatch")),
@@ -540,7 +626,12 @@ impl BTree {
                 Node::Leaf { entries, next } => {
                     let idx = entries.partition_point(|(k, _)| k.as_slice() < start);
                     let next = *next;
-                    return Ok(BTreeCursor { tree: self, node, idx, next_leaf: next });
+                    return Ok(BTreeCursor {
+                        tree: self,
+                        node,
+                        idx,
+                        next_leaf: next,
+                    });
                 }
             }
         }
@@ -612,7 +703,9 @@ impl BTreeCursor<'_> {
     fn entries(&self) -> Result<&[(Vec<u8>, Vec<u8>)]> {
         match &*self.node {
             Node::Leaf { entries, .. } => Ok(entries),
-            Node::Internal { .. } => Err(StorageError::Corrupt("leaf chain points to internal node")),
+            Node::Internal { .. } => {
+                Err(StorageError::Corrupt("leaf chain points to internal node"))
+            }
         }
     }
 
@@ -714,7 +807,11 @@ mod tests {
             t.put(&i.to_be_bytes(), b"v").unwrap();
         }
         for i in 0..n {
-            assert_eq!(t.delete(&i.to_be_bytes()).unwrap(), Some(b"v".to_vec()), "{i}");
+            assert_eq!(
+                t.delete(&i.to_be_bytes()).unwrap(),
+                Some(b"v".to_vec()),
+                "{i}"
+            );
         }
         assert_eq!(t.len(), 0);
         assert_eq!(t.depth().unwrap(), 1, "tree must collapse to a single leaf");
@@ -757,7 +854,10 @@ mod tests {
         assert_eq!(t.scan_prefix(b"zz").unwrap().len(), 0);
         let all = t.scan_range(b"a", b"c").unwrap();
         assert_eq!(all.len(), 25);
-        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan must be ordered");
+        assert!(
+            all.windows(2).all(|w| w[0].0 < w[1].0),
+            "scan must be ordered"
+        );
     }
 
     #[test]
@@ -812,7 +912,11 @@ mod tests {
         // Stress splits/merges hard with 256-byte pages.
         let t = tree_with_page(256);
         for i in 0..600u32 {
-            t.put(&(i.wrapping_mul(2654435761)).to_be_bytes(), &i.to_be_bytes()).unwrap();
+            t.put(
+                &(i.wrapping_mul(2654435761)).to_be_bytes(),
+                &i.to_be_bytes(),
+            )
+            .unwrap();
         }
         assert_eq!(t.len(), 600);
         for i in 0..600u32 {

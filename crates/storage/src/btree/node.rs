@@ -44,7 +44,10 @@ pub enum Node {
 impl Node {
     /// A fresh empty leaf.
     pub fn empty_leaf() -> Node {
-        Node::Leaf { entries: Vec::new(), next: None }
+        Node::Leaf {
+            entries: Vec::new(),
+            next: None,
+        }
     }
 
     /// Serialized size in bytes.
@@ -220,9 +223,7 @@ mod tests {
         let node = Node::empty_leaf();
         assert!(node.is_underfull(4096));
         let big = Node::Leaf {
-            entries: (0..64)
-                .map(|i| (vec![i as u8; 8], vec![0u8; 16]))
-                .collect(),
+            entries: (0..64).map(|i| (vec![i as u8; 8], vec![0u8; 16])).collect(),
             next: None,
         };
         assert!(!big.is_underfull(4096));

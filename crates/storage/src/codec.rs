@@ -214,7 +214,17 @@ mod tests {
 
     #[test]
     fn varint_roundtrip_and_len() {
-        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write_varint(&mut buf, v);
             assert_eq!(buf.len(), varint_len(v), "len mismatch for {v}");

@@ -82,7 +82,10 @@ impl MemDisk {
     pub fn new(page_size: usize) -> Self {
         MemDisk {
             page_size,
-            pages: RwLock::new(MemDiskState { pages: Vec::new(), free_list: Vec::new() }),
+            pages: RwLock::new(MemDiskState {
+                pages: Vec::new(),
+                free_list: Vec::new(),
+            }),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
         }
@@ -189,7 +192,10 @@ impl FileDisk {
         Ok(FileDisk {
             file,
             page_size,
-            state: RwLock::new(FileDiskState { num_pages: 0, free_list: Vec::new() }),
+            state: RwLock::new(FileDiskState {
+                num_pages: 0,
+                free_list: Vec::new(),
+            }),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
         })
@@ -238,7 +244,10 @@ impl DiskBackend for FileDisk {
         // Short reads past EOF (allocated but never written) stay zeroed.
         let mut read_total = 0usize;
         while read_total < buf.len() {
-            match self.file.read_at(&mut buf[read_total..], offset + read_total as u64) {
+            match self
+                .file
+                .read_at(&mut buf[read_total..], offset + read_total as u64)
+            {
                 Ok(0) => break,
                 Ok(n) => read_total += n,
                 Err(e) => return Err(StorageError::Io(e.to_string())),

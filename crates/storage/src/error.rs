@@ -10,7 +10,11 @@ pub enum StorageError {
     /// A page id outside the allocated range was referenced.
     PageOutOfBounds(PageId),
     /// A key/value pair too large to ever fit in a node was inserted.
-    EntryTooLarge { key_len: usize, val_len: usize, max: usize },
+    EntryTooLarge {
+        key_len: usize,
+        val_len: usize,
+        max: usize,
+    },
     /// An on-page structure failed to decode.
     Corrupt(&'static str),
     /// A blob handle referenced data that does not exist.
@@ -23,7 +27,11 @@ impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StorageError::PageOutOfBounds(id) => write!(f, "page {id} out of bounds"),
-            StorageError::EntryTooLarge { key_len, val_len, max } => write!(
+            StorageError::EntryTooLarge {
+                key_len,
+                val_len,
+                max,
+            } => write!(
                 f,
                 "entry too large: key {key_len} + value {val_len} bytes exceeds max {max}"
             ),
@@ -45,7 +53,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = StorageError::EntryTooLarge { key_len: 10, val_len: 20, max: 16 };
+        let e = StorageError::EntryTooLarge {
+            key_len: 10,
+            val_len: 20,
+            max: 16,
+        };
         let s = e.to_string();
         assert!(s.contains("10") && s.contains("20") && s.contains("16"));
         assert!(StorageError::PageOutOfBounds(7).to_string().contains('7'));

@@ -108,7 +108,12 @@ impl BufferPool {
     fn install(&self, inner: &mut PoolInner, id: PageId, data: Bytes, dirty: bool) -> Result<()> {
         if inner.frames.len() < inner.capacity {
             let slot = inner.frames.len();
-            inner.frames.push(Frame { page_id: id, data, dirty, referenced: true });
+            inner.frames.push(Frame {
+                page_id: id,
+                data,
+                dirty,
+                referenced: true,
+            });
             inner.map.insert(id, slot);
             return Ok(());
         }
@@ -120,7 +125,12 @@ impl BufferPool {
         let slot = loop {
             if self.no_steal && swept >= 2 * inner.frames.len() {
                 let slot = inner.frames.len();
-                inner.frames.push(Frame { page_id: id, data, dirty, referenced: true });
+                inner.frames.push(Frame {
+                    page_id: id,
+                    data,
+                    dirty,
+                    referenced: true,
+                });
                 inner.map.insert(id, slot);
                 return Ok(());
             }
@@ -224,7 +234,11 @@ pub struct Store {
 impl Store {
     /// Create a store over `disk` with a pool of `cache_pages` pages.
     pub fn new(disk: Arc<dyn DiskBackend>, cache_pages: usize) -> Self {
-        Store { pool: BufferPool::new(disk.clone(), cache_pages), disk, wal: None }
+        Store {
+            pool: BufferPool::new(disk.clone(), cache_pages),
+            disk,
+            wal: None,
+        }
     }
 
     /// Create a write-ahead-logged store: page writes are logged before
@@ -406,7 +420,8 @@ mod tests {
         let s = store(3);
         let ids: Vec<_> = (0..64).map(|_| s.allocate().unwrap()).collect();
         for (i, &id) in ids.iter().enumerate() {
-            s.write_page(id, Bytes::from(vec![(i % 251) as u8; 256])).unwrap();
+            s.write_page(id, Bytes::from(vec![(i % 251) as u8; 256]))
+                .unwrap();
         }
         for (i, &id) in ids.iter().enumerate() {
             assert_eq!(s.read_page(id).unwrap()[0], (i % 251) as u8, "page {id}");

@@ -85,7 +85,12 @@ impl Wal {
     /// Create an empty log.
     pub fn new() -> Wal {
         Wal {
-            inner: Mutex::new(WalInner { log: Vec::new(), next_lsn: 0, open_batch: 0, records: 0 }),
+            inner: Mutex::new(WalInner {
+                log: Vec::new(),
+                next_lsn: 0,
+                open_batch: 0,
+                records: 0,
+            }),
         }
     }
 
@@ -192,9 +197,8 @@ fn parse_log(log: &[u8]) -> (Vec<Vec<(PageId, Bytes)>>, bool) {
                 if header_end > log.len() {
                     return (batches, false);
                 }
-                let len = u32::from_le_bytes(
-                    log[pos + 17..pos + 21].try_into().expect("4 bytes"),
-                ) as usize;
+                let len = u32::from_le_bytes(log[pos + 17..pos + 21].try_into().expect("4 bytes"))
+                    as usize;
                 let data_end = header_end + len;
                 let rec_end = data_end + 4;
                 if rec_end > log.len() {
@@ -205,9 +209,8 @@ fn parse_log(log: &[u8]) -> (Vec<Vec<(PageId, Bytes)>>, bool) {
                 if crc32(&log[pos..data_end]) != crc_stored {
                     return (batches, false);
                 }
-                let page_id = u64::from_le_bytes(
-                    log[pos + 9..pos + 17].try_into().expect("8 bytes"),
-                );
+                let page_id =
+                    u64::from_le_bytes(log[pos + 9..pos + 17].try_into().expect("8 bytes"));
                 current.push((page_id, Bytes::copy_from_slice(&log[header_end..data_end])));
                 pos = rec_end;
             }
@@ -289,7 +292,10 @@ mod tests {
         wal.commit();
         // Corrupt a byte inside the first record's payload.
         wal.simulate_corruption(25).unwrap();
-        assert!(wal.committed_pages().is_empty(), "corrupt prefix stops recovery");
+        assert!(
+            wal.committed_pages().is_empty(),
+            "corrupt prefix stops recovery"
+        );
     }
 
     #[test]

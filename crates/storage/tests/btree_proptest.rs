@@ -107,7 +107,9 @@ fn btree_dense_sequential_workload() {
         tree.put(&k, &i.to_be_bytes()).unwrap();
         model.insert(k, i.to_be_bytes().to_vec());
         if i % 3 == 0 {
-            let dk = ((i / 2).wrapping_mul(0x9E3779B97F4A7C15)).to_be_bytes().to_vec();
+            let dk = ((i / 2).wrapping_mul(0x9E3779B97F4A7C15))
+                .to_be_bytes()
+                .to_vec();
             assert_eq!(tree.delete(&dk).unwrap(), model.remove(&dk));
         }
     }

@@ -25,7 +25,8 @@ fn committed_puts_survive_a_crash() {
     let tree = BTree::create_durable(store.clone()).unwrap();
     let meta = tree.meta_page().unwrap();
     for i in 0..200u32 {
-        tree.put(&i.to_be_bytes(), format!("value-{i}").as_bytes()).unwrap();
+        tree.put(&i.to_be_bytes(), format!("value-{i}").as_bytes())
+            .unwrap();
     }
     // Crash with everything still dirty in the pool (no flush, no checkpoint).
     store.crash();
@@ -60,7 +61,10 @@ fn deletes_and_overwrites_survive() {
     let tree = BTree::reopen(store, meta).unwrap();
     assert_eq!(tree.len(), 50);
     assert_eq!(tree.get(&10u32.to_be_bytes()).unwrap(), None);
-    assert_eq!(tree.get(&70u32.to_be_bytes()).unwrap().as_deref(), Some(&b"second"[..]));
+    assert_eq!(
+        tree.get(&70u32.to_be_bytes()).unwrap().as_deref(),
+        Some(&b"second"[..])
+    );
 }
 
 #[test]
@@ -70,7 +74,9 @@ fn uncommitted_page_writes_are_discarded() {
     // the pool was pressured (no-steal keeps uncommitted pages off disk).
     let ids: Vec<_> = (0..16).map(|_| store.allocate().unwrap()).collect();
     for &id in &ids {
-        store.write_page(id, bytes::Bytes::from(vec![0xAB; 512])).unwrap();
+        store
+            .write_page(id, bytes::Bytes::from(vec![0xAB; 512]))
+            .unwrap();
     }
     store.crash();
     store.recover().unwrap();
@@ -95,7 +101,11 @@ fn torn_log_tail_loses_only_the_last_batch() {
     store.recover().unwrap();
     let tree = BTree::reopen(store, meta).unwrap();
     assert_eq!(tree.get(b"stable").unwrap().as_deref(), Some(&b"yes"[..]));
-    assert_eq!(tree.get(b"victim").unwrap(), None, "torn batch must roll back");
+    assert_eq!(
+        tree.get(b"victim").unwrap(),
+        None,
+        "torn batch must roll back"
+    );
 }
 
 #[test]
@@ -107,7 +117,11 @@ fn checkpoint_truncates_and_baseline_survives() {
         tree.put(&i.to_be_bytes(), b"pre-checkpoint").unwrap();
     }
     store.checkpoint().unwrap();
-    assert_eq!(store.wal().unwrap().stats().bytes, 0, "checkpoint truncates the log");
+    assert_eq!(
+        store.wal().unwrap().stats().bytes,
+        0,
+        "checkpoint truncates the log"
+    );
     for i in 100..150u32 {
         tree.put(&i.to_be_bytes(), b"post-checkpoint").unwrap();
     }
@@ -157,7 +171,9 @@ fn unlogged_store_loses_dirty_pages_on_crash() {
     // what the log actually buys.
     let store = Arc::new(Store::new(Arc::new(MemDisk::new(512)), 4));
     let id = store.allocate().unwrap();
-    store.write_page(id, bytes::Bytes::from(vec![0x77; 512])).unwrap();
+    store
+        .write_page(id, bytes::Bytes::from(vec![0x77; 512]))
+        .unwrap();
     store.crash();
     store.recover().unwrap(); // no-op without a WAL
     assert!(store.read_page(id).unwrap().iter().all(|&b| b == 0));

@@ -20,7 +20,8 @@ fn btree_on_file_disk_roundtrips() {
         let store = Arc::new(Store::new(disk, 8));
         let tree = BTree::create(store).unwrap();
         for i in 0..500u32 {
-            tree.put(&i.to_be_bytes(), format!("v{i}").as_bytes()).unwrap();
+            tree.put(&i.to_be_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
         }
         for i in (0..500u32).step_by(3) {
             tree.delete(&i.to_be_bytes()).unwrap();
@@ -53,7 +54,10 @@ fn contents_survive_reopen() {
         let store = Arc::new(Store::new(disk, 8));
         let tree = BTree::reopen(store, meta).unwrap();
         assert_eq!(tree.len(), 200);
-        assert_eq!(tree.get(&77u32.to_be_bytes()).unwrap().as_deref(), Some(&b"persisted"[..]));
+        assert_eq!(
+            tree.get(&77u32.to_be_bytes()).unwrap().as_deref(),
+            Some(&b"persisted"[..])
+        );
     }
     std::fs::remove_file(&path).ok();
 }
@@ -71,7 +75,10 @@ fn blobs_and_io_accounting_on_file_disk() {
         let before = disk.stats();
         assert_eq!(blobs.read_all(handle).unwrap(), payload);
         let delta = disk.stats().since(&before);
-        assert_eq!(delta.pages_read, handle.pages, "one read per blob page on a cold cache");
+        assert_eq!(
+            delta.pages_read, handle.pages,
+            "one read per blob page on a cold cache"
+        );
     }
     std::fs::remove_file(&path).ok();
 }

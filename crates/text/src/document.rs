@@ -42,7 +42,10 @@ impl Document {
         for &term in freqs.keys() {
             vocab.bump_doc_freq(term);
         }
-        Document { id, terms: freqs.into_iter().collect() }
+        Document {
+            id,
+            terms: freqs.into_iter().collect(),
+        }
     }
 
     /// Build directly from `(term, frequency)` pairs (synthetic workloads).
@@ -53,7 +56,10 @@ impl Document {
         for (t, f) in pairs {
             *freqs.entry(t).or_insert(0) += f;
         }
-        Document { id, terms: freqs.into_iter().collect() }
+        Document {
+            id,
+            terms: freqs.into_iter().collect(),
+        }
     }
 
     /// Number of distinct terms.
@@ -111,10 +117,8 @@ mod tests {
 
     #[test]
     fn terms_sorted_by_id() {
-        let doc = Document::from_term_freqs(
-            DocId(2),
-            [(TermId(9), 1), (TermId(3), 2), (TermId(9), 3)],
-        );
+        let doc =
+            Document::from_term_freqs(DocId(2), [(TermId(9), 1), (TermId(3), 2), (TermId(9), 3)]);
         assert_eq!(doc.terms, vec![(TermId(3), 2), (TermId(9), 4)]);
         assert!(doc.contains(TermId(3)));
         assert!(!doc.contains(TermId(4)));

@@ -44,7 +44,10 @@ pub struct PostingsBuilder;
 impl PostingsBuilder {
     /// Encode doc ids (must be strictly ascending) as a delta-varint ID list.
     pub fn encode_id_list(docs: &[DocId], out: &mut Vec<u8>) {
-        debug_assert!(docs.windows(2).all(|w| w[0] < w[1]), "ids must be ascending");
+        debug_assert!(
+            docs.windows(2).all(|w| w[0] < w[1]),
+            "ids must be ascending"
+        );
         let mut prev = 0u32;
         for (i, d) in docs.iter().enumerate() {
             let delta = if i == 0 { d.0 } else { d.0 - prev - 1 };
@@ -87,15 +90,10 @@ impl PostingsBuilder {
 
     /// Encode `(score, doc)` postings in (score desc, doc asc) order as a
     /// fixed-width score list. `tscore` is appended when `with_scores`.
-    pub fn encode_score_list(
-        postings: &[(f64, DocId, u16)],
-        with_scores: bool,
-        out: &mut Vec<u8>,
-    ) {
+    pub fn encode_score_list(postings: &[(f64, DocId, u16)], with_scores: bool, out: &mut Vec<u8>) {
         debug_assert!(postings
             .windows(2)
-            .all(|w| (w[1].0, w[1].1) < (w[0].0, w[0].1) || (w[0].0 > w[1].0)
-                || (w[0].0 == w[1].0 && w[0].1 < w[1].1)));
+            .all(|w| w[0].0 > w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1)));
         for (score, doc, tscore) in postings {
             out.extend_from_slice(&score.to_le_bytes());
             out.extend_from_slice(&doc.0.to_le_bytes());
@@ -123,7 +121,12 @@ impl<'a> IdPostingsIter<'a> {
     /// Decode `buf` as produced by [`PostingsBuilder::encode_id_list`] /
     /// [`PostingsBuilder::encode_id_term_list`].
     pub fn new(buf: &'a [u8], with_scores: bool) -> Self {
-        IdPostingsIter { buf, pos: 0, prev: None, with_scores }
+        IdPostingsIter {
+            buf,
+            pos: 0,
+            prev: None,
+            with_scores,
+        }
     }
 }
 
@@ -147,7 +150,10 @@ impl Iterator for IdPostingsIter<'_> {
         } else {
             0
         };
-        Some(TermScoredPosting { doc: DocId(doc), tscore })
+        Some(TermScoredPosting {
+            doc: DocId(doc),
+            tscore,
+        })
     }
 }
 
@@ -202,7 +208,13 @@ impl Iterator for ChunkedPostingsIter<'_> {
         } else {
             0
         };
-        Some((self.current_cid, TermScoredPosting { doc: DocId(doc), tscore }))
+        Some((
+            self.current_cid,
+            TermScoredPosting {
+                doc: DocId(doc),
+                tscore,
+            },
+        ))
     }
 }
 
@@ -216,7 +228,11 @@ pub struct ScorePostingsIter<'a> {
 impl<'a> ScorePostingsIter<'a> {
     /// Decode `buf` as produced by [`PostingsBuilder::encode_score_list`].
     pub fn new(buf: &'a [u8], with_scores: bool) -> Self {
-        ScorePostingsIter { buf, pos: 0, with_scores }
+        ScorePostingsIter {
+            buf,
+            pos: 0,
+            with_scores,
+        }
     }
 }
 
@@ -244,7 +260,10 @@ mod tests {
 
     #[test]
     fn id_list_roundtrip() {
-        let docs: Vec<DocId> = [0u32, 1, 5, 6, 1000, 70_000].iter().map(|&d| DocId(d)).collect();
+        let docs: Vec<DocId> = [0u32, 1, 5, 6, 1000, 70_000]
+            .iter()
+            .map(|&d| DocId(d))
+            .collect();
         let mut buf = Vec::new();
         PostingsBuilder::encode_id_list(&docs, &mut buf);
         let decoded: Vec<DocId> = IdPostingsIter::new(&buf, false).map(|p| p.doc).collect();
@@ -253,15 +272,28 @@ mod tests {
         let dense: Vec<DocId> = (0..1000u32).map(DocId).collect();
         let mut dense_buf = Vec::new();
         PostingsBuilder::encode_id_list(&dense, &mut dense_buf);
-        assert!(dense_buf.len() < 1100, "dense ids must compress: {}", dense_buf.len());
+        assert!(
+            dense_buf.len() < 1100,
+            "dense ids must compress: {}",
+            dense_buf.len()
+        );
     }
 
     #[test]
     fn id_term_list_roundtrip() {
         let postings = vec![
-            TermScoredPosting { doc: DocId(3), tscore: 100 },
-            TermScoredPosting { doc: DocId(4), tscore: 65535 },
-            TermScoredPosting { doc: DocId(90), tscore: 0 },
+            TermScoredPosting {
+                doc: DocId(3),
+                tscore: 100,
+            },
+            TermScoredPosting {
+                doc: DocId(4),
+                tscore: 65535,
+            },
+            TermScoredPosting {
+                doc: DocId(90),
+                tscore: 0,
+            },
         ];
         let mut buf = Vec::new();
         PostingsBuilder::encode_id_term_list(&postings, &mut buf);
@@ -275,13 +307,22 @@ mod tests {
             ChunkGroup {
                 cid: 9,
                 postings: vec![
-                    TermScoredPosting { doc: DocId(4), tscore: 7 },
-                    TermScoredPosting { doc: DocId(10), tscore: 8 },
+                    TermScoredPosting {
+                        doc: DocId(4),
+                        tscore: 7,
+                    },
+                    TermScoredPosting {
+                        doc: DocId(10),
+                        tscore: 8,
+                    },
                 ],
             },
             ChunkGroup {
                 cid: 3,
-                postings: vec![TermScoredPosting { doc: DocId(1), tscore: 9 }],
+                postings: vec![TermScoredPosting {
+                    doc: DocId(1),
+                    tscore: 9,
+                }],
             },
         ];
         for with_scores in [false, true] {
@@ -292,10 +333,13 @@ mod tests {
                 .iter()
                 .flat_map(|g| {
                     g.postings.iter().map(move |p| {
-                        (g.cid, TermScoredPosting {
-                            doc: p.doc,
-                            tscore: if with_scores { p.tscore } else { 0 },
-                        })
+                        (
+                            g.cid,
+                            TermScoredPosting {
+                                doc: p.doc,
+                                tscore: if with_scores { p.tscore } else { 0 },
+                            },
+                        )
                     })
                 })
                 .collect();
@@ -337,8 +381,17 @@ mod tests {
     #[test]
     fn chunked_list_with_empty_group_is_skipped() {
         let groups = vec![
-            ChunkGroup { cid: 5, postings: vec![] },
-            ChunkGroup { cid: 2, postings: vec![TermScoredPosting { doc: DocId(0), tscore: 0 }] },
+            ChunkGroup {
+                cid: 5,
+                postings: vec![],
+            },
+            ChunkGroup {
+                cid: 2,
+                postings: vec![TermScoredPosting {
+                    doc: DocId(0),
+                    tscore: 0,
+                }],
+            },
         ];
         let mut buf = Vec::new();
         PostingsBuilder::encode_chunked_list(&groups, false, &mut buf);

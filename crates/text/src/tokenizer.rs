@@ -40,7 +40,10 @@ mod tests {
 
     #[test]
     fn keeps_digits() {
-        assert_eq!(tokenize("top10 results in 2005"), vec!["top10", "results", "in", "2005"]);
+        assert_eq!(
+            tokenize("top10 results in 2005"),
+            vec!["top10", "results", "in", "2005"]
+        );
     }
 
     #[test]

@@ -124,7 +124,11 @@ impl ArchiveConfig {
             scores.insert(DocId(id), movie.svr_score());
             movies.push(movie);
         }
-        ArchiveDataset { docs, movies, scores }
+        ArchiveDataset {
+            docs,
+            movies,
+            scores,
+        }
     }
 }
 
@@ -144,8 +148,7 @@ impl ArchiveDataset {
 
     /// Documents ranked by descending score.
     pub fn docs_by_score(&self) -> Vec<DocId> {
-        let mut by_score: Vec<(DocId, f64)> =
-            self.scores.iter().map(|(&d, &s)| (d, s)).collect();
+        let mut by_score: Vec<(DocId, f64)> = self.scores.iter().map(|(&d, &s)| (d, s)).collect();
         by_score.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         by_score.into_iter().map(|(d, _)| d).collect()
     }
@@ -157,19 +160,30 @@ mod tests {
 
     #[test]
     fn scores_are_the_agg_of_components() {
-        let ds = ArchiveConfig { num_movies: 100, ..ArchiveConfig::default() }.generate();
+        let ds = ArchiveConfig {
+            num_movies: 100,
+            ..ArchiveConfig::default()
+        }
+        .generate();
         for movie in &ds.movies {
-            let expected = movie.avg_rating() * 100.0
-                + movie.n_visits as f64 / 2.0
-                + movie.n_downloads as f64;
+            let expected =
+                movie.avg_rating() * 100.0 + movie.n_visits as f64 / 2.0 + movie.n_downloads as f64;
             assert_eq!(ds.scores[&movie.id], expected);
         }
     }
 
     #[test]
     fn replication_multiplies_and_reuses_text() {
-        let base = ArchiveConfig { num_movies: 50, replication: 1, ..ArchiveConfig::default() };
-        let repl = ArchiveConfig { num_movies: 50, replication: 10, ..ArchiveConfig::default() };
+        let base = ArchiveConfig {
+            num_movies: 50,
+            replication: 1,
+            ..ArchiveConfig::default()
+        };
+        let repl = ArchiveConfig {
+            num_movies: 50,
+            replication: 10,
+            ..ArchiveConfig::default()
+        };
         let a = base.generate();
         let b = repl.generate();
         assert_eq!(b.docs.len(), 500);
@@ -181,7 +195,11 @@ mod tests {
 
     #[test]
     fn popularity_skew_present() {
-        let ds = ArchiveConfig { num_movies: 500, ..ArchiveConfig::default() }.generate();
+        let ds = ArchiveConfig {
+            num_movies: 500,
+            ..ArchiveConfig::default()
+        }
+        .generate();
         let ranked = ds.docs_by_score();
         let top = ds.scores[&ranked[0]];
         let median = ds.scores[&ranked[ranked.len() / 2]];
@@ -190,7 +208,12 @@ mod tests {
 
     #[test]
     fn avg_rating_handles_unreviewed() {
-        let m = MovieRow { id: DocId(0), ratings: vec![], n_visits: 10, n_downloads: 0 };
+        let m = MovieRow {
+            id: DocId(0),
+            ratings: vec![],
+            n_visits: 10,
+            n_downloads: 0,
+        };
         assert_eq!(m.avg_rating(), 0.0);
         assert_eq!(m.svr_score(), 5.0);
     }

@@ -132,8 +132,13 @@ mod tests {
 
     #[test]
     fn query_terms_are_distinct() {
-        let mut w =
-            QueryWorkload::new(ranked(100), QueryClass::Medium, 3, QueryMode::Disjunctive, 9);
+        let mut w = QueryWorkload::new(
+            ranked(100),
+            QueryClass::Medium,
+            3,
+            QueryMode::Disjunctive,
+            9,
+        );
         for q in w.take(100, 5) {
             let mut sorted = q.terms.clone();
             sorted.sort();

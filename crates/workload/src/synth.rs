@@ -133,8 +133,7 @@ impl SynthDataset {
     /// Documents ordered by descending score (for the update workload's
     /// "documents with higher scores were updated more frequently").
     pub fn docs_by_score(&self) -> Vec<DocId> {
-        let mut by_score: Vec<(DocId, f64)> =
-            self.scores.iter().map(|(&d, &s)| (d, s)).collect();
+        let mut by_score: Vec<(DocId, f64)> = self.scores.iter().map(|(&d, &s)| (d, s)).collect();
         by_score.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         by_score.into_iter().map(|(d, _)| d).collect()
     }
@@ -179,7 +178,11 @@ mod tests {
 
     #[test]
     fn term_distribution_is_skewed() {
-        let ds = SynthConfig { term_zipf: 1.0, ..small() }.generate();
+        let ds = SynthConfig {
+            term_zipf: 1.0,
+            ..small()
+        }
+        .generate();
         let by_freq = ds.terms_by_frequency();
         // The most frequent term must be far more common than the median.
         let df = |t: TermId| ds.docs.iter().filter(|d| d.contains(t)).count();

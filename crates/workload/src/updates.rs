@@ -102,7 +102,15 @@ impl UpdateWorkload {
             }
         }
         let doc_dist = Zipf::new(ranked_docs.len(), config.doc_zipf);
-        UpdateWorkload { rng, config, ranked_docs, doc_dist, focus, focus_docs, scores }
+        UpdateWorkload {
+            rng,
+            config,
+            ranked_docs,
+            doc_dist,
+            focus,
+            focus_docs,
+            scores,
+        }
     }
 
     /// Documents in the focus set.
@@ -118,7 +126,9 @@ impl UpdateWorkload {
     /// Produce the next `(doc, new_score)` update.
     pub fn next_update(&mut self) -> (DocId, f64) {
         let step = self.rng.gen_range(0.0..=2.0 * self.config.mean_step);
-        let focused = self.rng.gen_bool(self.config.focus_update_fraction.clamp(0.0, 1.0));
+        let focused = self
+            .rng
+            .gen_bool(self.config.focus_update_fraction.clamp(0.0, 1.0));
         let (doc, delta) = if focused {
             let doc = self.focus_docs[self.rng.gen_range(0..self.focus_docs.len())];
             let increasing = self.focus[&doc];
@@ -158,7 +168,10 @@ mod tests {
 
     #[test]
     fn updates_stay_non_negative() {
-        let mut w = setup(UpdateConfig { mean_step: 10_000.0, ..UpdateConfig::default() });
+        let mut w = setup(UpdateConfig {
+            mean_step: 10_000.0,
+            ..UpdateConfig::default()
+        });
         for (_, score) in w.take(500) {
             assert!(score >= 0.0);
         }
@@ -201,7 +214,10 @@ mod tests {
 
     #[test]
     fn focus_set_size_respected() {
-        let w = setup(UpdateConfig { focus_set_fraction: 0.1, ..UpdateConfig::default() });
+        let w = setup(UpdateConfig {
+            focus_set_fraction: 0.1,
+            ..UpdateConfig::default()
+        });
         assert_eq!(w.focus_set().len(), 10);
     }
 

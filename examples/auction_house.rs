@@ -67,19 +67,32 @@ fn main() -> svr::Result<()> {
         "title",
         spec,
         MethodKind::Chunk,
-        IndexConfig { min_chunk_docs: 1, ..IndexConfig::default() },
+        IndexConfig {
+            min_chunk_docs: 1,
+            ..IndexConfig::default()
+        },
     )?;
 
     let show = |engine: &mut SvrEngine, label: &str, keywords: &str, mode: QueryMode| {
         println!("{label}");
         let hits = engine.search("auction_search", keywords, 5, mode).unwrap();
         for h in &hits {
-            println!("  #{:<2} {:<45} score {:>8.0}", h.row[0], h.row[1].to_string(), h.score);
+            println!(
+                "  #{:<2} {:<45} score {:>8.0}",
+                h.row[0],
+                h.row[1].to_string(),
+                h.score
+            );
         }
         hits
     };
 
-    show(&mut engine, "watches, ranked by bid + urgency:", "watch", QueryMode::Conjunctive);
+    show(
+        &mut engine,
+        "watches, ranked by bid + urgency:",
+        "watch",
+        QueryMode::Conjunctive,
+    );
 
     // A bidding war erupts on the pocket watch as its clock runs out.
     println!("\n-- #4 gets bid up to $900 with 1 hour left --\n");
@@ -88,17 +101,32 @@ fn main() -> svr::Result<()> {
         Value::Int(4),
         &[("current_bid".into(), Value::Int(900))],
     )?;
-    let hits = show(&mut engine, "same query, live auction state:", "watch", QueryMode::Conjunctive);
-    assert_eq!(hits[0].row[0], Value::Int(4), "the closing auction must lead");
+    let hits = show(
+        &mut engine,
+        "same query, live auction state:",
+        "watch",
+        QueryMode::Conjunctive,
+    );
+    assert_eq!(
+        hits[0].row[0],
+        Value::Int(4),
+        "the closing auction must lead"
+    );
 
     // Time passes: listing 3 closes (delete), a new lot appears (insert).
     println!("\n-- lot 3 closes; lot 6 (a cuckoo clock) is listed --\n");
     engine.delete_row("listings", Value::Int(3))?;
     engine.insert_row(
         "listings",
-        vec![Value::Int(6), Value::Text("black forest cuckoo clock working".into())],
+        vec![
+            Value::Int(6),
+            Value::Text("black forest cuckoo clock working".into()),
+        ],
     )?;
-    engine.insert_row("auction_state", vec![Value::Int(6), Value::Int(25), Value::Int(72)])?;
+    engine.insert_row(
+        "auction_state",
+        vec![Value::Int(6), Value::Int(25), Value::Int(72)],
+    )?;
 
     let hits = show(
         &mut engine,
@@ -106,8 +134,14 @@ fn main() -> svr::Result<()> {
         "clock watch",
         QueryMode::Disjunctive,
     );
-    assert!(hits.iter().all(|h| h.row[0] != Value::Int(3)), "closed lots must vanish");
-    assert!(hits.iter().any(|h| h.row[0] == Value::Int(6)), "new lots must appear");
+    assert!(
+        hits.iter().all(|h| h.row[0] != Value::Int(3)),
+        "closed lots must vanish"
+    );
+    assert!(
+        hits.iter().any(|h| h.row[0] == Value::Int(6)),
+        "new lots must appear"
+    );
 
     println!("\nauction search stays consistent with live bids, closings and new lots.");
     Ok(())

@@ -1,114 +1,151 @@
-//! The paper's motivating scenario (§1): a *flash crowd*.
+//! The paper's motivating scenario (§1), served concurrently: a *flash
+//! crowd* while the engine is under live query traffic.
 //!
 //! "Frequently, these changes are due to 'flash crowds' on the Internet,
 //! where an item suddenly gains popularity due to some external event such
 //! as an award announcement." An obscure document's score explodes past
 //! everything else; users expect the very next top-k query to surface it.
 //!
-//! This example builds a skewed corpus, storms the focus set with strictly
-//! increasing updates, and shows — for the ID, Score-Threshold and Chunk
-//! methods — that (a) the freshly promoted documents appear in the next
-//! query's results, and (b) what each method paid for that freshness in
-//! update work and query I/O.
+//! This example exercises the shared-engine API end to end: one
+//! [`SvrEngine`] handle is cloned into four reader threads that serve
+//! ranked queries non-stop, while a writer thread storms the focus set
+//! with score updates — singles and [`WriteBatch`]es. When the storm
+//! quiesces, the promoted documents rank first, and every mid-storm result
+//! was already consistent (sorted, live documents only).
 //!
 //! Run with: `cargo run --release --example flash_crowd`
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
-use svr::core::store_names;
-use svr::core::types::{DocId, Query};
-use svr::workload::{FocusDirection, SynthConfig, UpdateConfig, UpdateWorkload};
-use svr::{build_index, IndexConfig, MethodKind};
+use svr::{IndexConfig, MethodKind, QueryMode, SvrEngine, WriteBatch};
+use svr_relation::schema::{ColumnType, Schema};
+use svr_relation::{ScoreComponent, SvrSpec, Value};
+
+const DOCS: i64 = 2_000;
+const FOCUS: i64 = 20; // the 1% that goes viral
+const READERS: usize = 4;
 
 fn main() -> svr::Result<()> {
-    let dataset = SynthConfig {
-        num_docs: 2_000,
-        vocab_size: 6_000,
-        tokens_per_doc: 150,
-        ..SynthConfig::default()
-    }
-    .generate();
-    let ranked_docs = dataset.docs_by_score();
-    let ranked_terms = dataset.terms_by_frequency();
-    // Query the three most frequent terms disjunctively: a large share of
-    // the collection matches, so ranking (not matching) decides the answer.
-    let query = Query::disjunctive([ranked_terms[0], ranked_terms[1], ranked_terms[2]], 10);
+    let engine = SvrEngine::new();
+    engine.create_table(Schema::new(
+        "movies",
+        &[("mid", ColumnType::Int), ("desc", ColumnType::Text)],
+        0,
+    ))?;
+    engine.create_table(Schema::new(
+        "stats",
+        &[("mid", ColumnType::Int), ("nvisit", ColumnType::Int)],
+        0,
+    ))?;
 
-    println!("corpus: {} docs; flash crowd hits 1% of them\n", dataset.docs.len());
-    println!(
-        "{:<17} {:>10} {:>12} {:>12} {:>12} {:>10}",
-        "method", "upd µs/op", "qry ms", "qry pages", "fresh top-k", "overlap"
-    );
+    // Bulk load through the batched path: one writer-lock acquisition per
+    // table, coalesced score propagation.
+    engine.insert_rows(
+        "movies",
+        (0..DOCS)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Text(format!("archive footage reel {i} of the golden gate")),
+                ]
+            })
+            .collect(),
+    )?;
+    engine.create_text_index(
+        "movie_search",
+        "movies",
+        "desc",
+        SvrSpec::single(ScoreComponent::ColumnOf {
+            table: "stats".into(),
+            key_col: "mid".into(),
+            val_col: "nvisit".into(),
+        }),
+        MethodKind::Chunk,
+        IndexConfig::default(),
+    )?;
+    engine.insert_rows(
+        "stats",
+        (0..DOCS)
+            .map(|i| vec![Value::Int(i), Value::Int(DOCS - i)])
+            .collect(),
+    )?;
 
-    for kind in [MethodKind::Id, MethodKind::ScoreThreshold, MethodKind::Chunk] {
-        let config = IndexConfig::default();
-        let index = build_index(kind, &dataset.docs, &dataset.scores, &config)?;
+    let before: Vec<i64> = top_ids(&engine, 10)?;
+    println!("corpus: {DOCS} docs; flash crowd hits the last {FOCUS} (least popular)\n");
+    println!("top-3 before the storm: {:?}", &before[..3]);
 
-        // Baseline top-k before the crowd arrives.
-        let before: Vec<DocId> = index.query(&query)?.iter().map(|h| h.doc).collect();
-
-        // The storm: 20_000 updates, 80% of them strictly-increasing hits
-        // on the 1% focus set (UpdateConfig's focus machinery is the
-        // paper's §5.1 workload model).
-        let mut workload = UpdateWorkload::new(
-            ranked_docs.clone(),
-            dataset.scores.clone(),
-            UpdateConfig {
-                mean_step: 20_000.0,
-                focus_set_fraction: 0.01,
-                focus_update_fraction: 0.8,
-                focus_direction: FocusDirection::Increasing,
-                ..UpdateConfig::default()
-            },
-        );
-        let updates = workload.take(20_000);
-        let focus: Vec<DocId> = workload.focus_set().to_vec();
-
-        let start = Instant::now();
-        for &(doc, new_score) in &updates {
-            index.update_score(doc, new_score)?;
+    // The storm: four reader threads serve queries continuously while the
+    // writer pushes the focus documents' visit counts through the roof.
+    let stop = AtomicBool::new(false);
+    let served = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..READERS {
+            let reader = engine.clone();
+            let (stop, served) = (&stop, &served);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let hits = reader
+                        .search("movie_search", "golden gate", 10, QueryMode::Conjunctive)
+                        .expect("search never fails mid-storm");
+                    // Mid-storm consistency: sorted, finite, live.
+                    for w in hits.windows(2) {
+                        assert!(w[0].score >= w[1].score);
+                    }
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
         }
-        let upd_us = start.elapsed().as_micros() as f64 / updates.len() as f64;
 
-        // Cold long-list cache, as the paper measures queries.
-        index.clear_long_cache()?;
-        let io_before = index.env().total_io();
-        let start = Instant::now();
-        let hits = index.query(&query)?;
-        let qry_ms = start.elapsed().as_secs_f64() * 1e3;
-        let pages = index.env().total_io().since(&io_before).pages_read;
+        let writer = engine.clone();
+        let stop = &stop;
+        scope.spawn(move || {
+            // 40 wavefronts of strictly increasing popularity, batched: the
+            // coalescing WriteBatch path turns each 20-update wave into at
+            // most 20 index score updates with final values.
+            for wave in 1..=40i64 {
+                let mut batch = WriteBatch::new();
+                for doc in DOCS - FOCUS..DOCS {
+                    batch.update(
+                        "stats",
+                        Value::Int(doc),
+                        vec![("nvisit".into(), Value::Int(wave * 50_000 + doc))],
+                    );
+                }
+                writer.apply(batch).expect("storm batch applies");
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+    let elapsed = start.elapsed();
 
-        // Freshness check: every returned score must equal the live score.
-        for hit in &hits {
-            let live = index.current_score(hit.doc)?;
-            assert!(
-                (hit.score - live).abs() < 1e-9,
-                "{kind}: stale score for {:?}",
-                hit.doc
-            );
-        }
-        let after: Vec<DocId> = hits.iter().map(|h| h.doc).collect();
-        let promoted = after.iter().filter(|d| focus.contains(d)).count();
-        let overlap = after.iter().filter(|d| before.contains(d)).count();
-
-        println!(
-            "{:<17} {:>10.1} {:>12.3} {:>12} {:>12} {:>9}/{}",
-            kind.name(),
-            upd_us,
-            qry_ms,
-            pages,
-            promoted,
-            overlap,
-            query.k,
-        );
-        let _ = store_names::LONG; // (re-exported for store inspection)
-    }
-
+    let after = top_ids(&engine, 10)?;
+    let promoted = after.iter().filter(|d| **d >= DOCS - FOCUS).count();
+    println!("top-3 after the storm:  {:?}", &after[..3]);
     println!(
-        "\nAll three methods return the *latest* ranking (freshness asserted above);\n\
-         they differ in what they pay: ID scans every posting on each query,\n\
-         Score-Threshold and Chunk bound the scan but occasionally rewrite short\n\
-         lists on updates. See `paper_experiments` for the full evaluation."
+        "\n{} queries served by {READERS} readers during the {:.0} ms storm \
+         ({:.0} queries/s, all consistent)",
+        served.load(Ordering::Relaxed),
+        elapsed.as_secs_f64() * 1e3,
+        served.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64(),
     );
+    println!("{promoted}/10 of the top-10 are freshly promoted focus documents");
+    assert_eq!(promoted, 10, "the very next query surfaces the flash crowd");
+
+    // Freshness oracle: the ranking agrees with the materialized view.
+    for hit in engine.search("movie_search", "golden gate", 10, QueryMode::Conjunctive)? {
+        let mid = hit.row[0].as_i64().expect("integer pk");
+        assert_eq!(hit.score, engine.score_of("movie_search", mid)?);
+    }
+    println!("post-quiesce scores match the materialized Score view exactly.");
     Ok(())
+}
+
+fn top_ids(engine: &SvrEngine, k: usize) -> svr::Result<Vec<i64>> {
+    Ok(engine
+        .search("movie_search", "golden gate", k, QueryMode::Conjunctive)?
+        .iter()
+        .map(|h| h.row[0].as_i64().expect("integer pk"))
+        .collect())
 }

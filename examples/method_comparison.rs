@@ -33,7 +33,11 @@ fn main() -> svr::Result<()> {
 
     for kind in MethodKind::ALL {
         let config = IndexConfig {
-            term_weight: if kind.uses_term_scores() { 50_000.0 } else { 0.0 },
+            term_weight: if kind.uses_term_scores() {
+                50_000.0
+            } else {
+                0.0
+            },
             ..IndexConfig::default()
         };
         let index = build_index(kind, &dataset.docs, &dataset.scores, &config)?;
@@ -42,7 +46,10 @@ fn main() -> svr::Result<()> {
         let mut updates = UpdateWorkload::new(
             ranked_docs.clone(),
             dataset.scores.clone(),
-            UpdateConfig { mean_step: 1_000.0, ..UpdateConfig::default() },
+            UpdateConfig {
+                mean_step: 1_000.0,
+                ..UpdateConfig::default()
+            },
         );
         let batch = updates.take(2_000);
         let t0 = Instant::now();

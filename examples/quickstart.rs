@@ -11,22 +11,37 @@ use svr_relation::schema::{ColumnType, Schema};
 use svr_relation::{AggExpr, ScoreComponent, SvrSpec, Value};
 
 fn main() -> svr::Result<()> {
-    let mut engine = SvrEngine::new();
+    // The engine is a cheap cloneable handle: every method below takes
+    // &self, and clones share one internally synchronized state — see the
+    // multi-threaded finale.
+    let engine = SvrEngine::new();
 
     // The schema of Figure 1: Movies, Reviews, Statistics.
     engine.create_table(Schema::new(
         "movies",
-        &[("mid", ColumnType::Int), ("name", ColumnType::Text), ("desc", ColumnType::Text)],
+        &[
+            ("mid", ColumnType::Int),
+            ("name", ColumnType::Text),
+            ("desc", ColumnType::Text),
+        ],
         0,
     ))?;
     engine.create_table(Schema::new(
         "reviews",
-        &[("rid", ColumnType::Int), ("mid", ColumnType::Int), ("rating", ColumnType::Float)],
+        &[
+            ("rid", ColumnType::Int),
+            ("mid", ColumnType::Int),
+            ("rating", ColumnType::Float),
+        ],
         0,
     ))?;
     engine.create_table(Schema::new(
         "statistics",
-        &[("mid", ColumnType::Int), ("nvisit", ColumnType::Int), ("ndownload", ColumnType::Int)],
+        &[
+            ("mid", ColumnType::Int),
+            ("nvisit", ColumnType::Int),
+            ("ndownload", ColumnType::Int),
+        ],
         0,
     ))?;
 
@@ -69,33 +84,102 @@ fn main() -> svr::Result<()> {
         ],
         AggExpr::parse("s1*100 + s2/2 + s3").expect("valid Agg expression"),
     );
-    engine.create_text_index("movie_search", "movies", "desc", spec, MethodKind::Chunk, IndexConfig::default())?;
+    engine.create_text_index(
+        "movie_search",
+        "movies",
+        "desc",
+        spec,
+        MethodKind::Chunk,
+        IndexConfig::default(),
+    )?;
 
     // American Thrift is the popular one.
-    engine.insert_row("reviews", vec![Value::Int(100), Value::Int(1), Value::Float(4.5)])?;
-    engine.insert_row("reviews", vec![Value::Int(101), Value::Int(1), Value::Float(5.0)])?;
-    engine.insert_row("reviews", vec![Value::Int(102), Value::Int(2), Value::Float(2.0)])?;
-    engine.insert_row("statistics", vec![Value::Int(1), Value::Int(5000), Value::Int(1200)])?;
-    engine.insert_row("statistics", vec![Value::Int(2), Value::Int(40), Value::Int(3)])?;
+    engine.insert_row(
+        "reviews",
+        vec![Value::Int(100), Value::Int(1), Value::Float(4.5)],
+    )?;
+    engine.insert_row(
+        "reviews",
+        vec![Value::Int(101), Value::Int(1), Value::Float(5.0)],
+    )?;
+    engine.insert_row(
+        "reviews",
+        vec![Value::Int(102), Value::Int(2), Value::Float(2.0)],
+    )?;
+    engine.insert_row(
+        "statistics",
+        vec![Value::Int(1), Value::Int(5000), Value::Int(1200)],
+    )?;
+    engine.insert_row(
+        "statistics",
+        vec![Value::Int(2), Value::Int(40), Value::Int(3)],
+    )?;
 
     println!("SELECT * FROM Movies ORDER BY score(desc, \"golden gate\") FETCH TOP 2:");
     for hit in engine.search("movie_search", "golden gate", 2, QueryMode::Conjunctive)? {
-        println!("  {:<18} score = {:>10.1}", hit.row[1].to_string(), hit.score);
+        println!(
+            "  {:<18} score = {:>10.1}",
+            hit.row[1].to_string(),
+            hit.score
+        );
     }
 
     // A flash crowd hits Amateur Film: an award announcement sends visits
     // through the roof. The materialized view updates the score, the index
     // absorbs it, and the next query reflects it immediately.
     println!("\n-- Amateur Film goes viral (nVisit = 500000) --\n");
-    engine.update_row("statistics", Value::Int(2), &[("nvisit".into(), Value::Int(500_000))])?;
+    engine.update_row(
+        "statistics",
+        Value::Int(2),
+        &[("nvisit".into(), Value::Int(500_000))],
+    )?;
 
     println!("Same query, latest scores:");
     for hit in engine.search("movie_search", "golden gate", 2, QueryMode::Conjunctive)? {
-        println!("  {:<18} score = {:>10.1}", hit.row[1].to_string(), hit.score);
+        println!(
+            "  {:<18} score = {:>10.1}",
+            hit.row[1].to_string(),
+            hit.score
+        );
     }
 
     let amateur = engine.score_of("movie_search", 2)?;
     assert!(amateur > engine.score_of("movie_search", 1)?);
     println!("\nAmateur Film now scores {amateur:.1} and ranks first.");
+
+    // The serving pattern: clone the handle into reader threads — queries
+    // take &self and run concurrently — while this thread keeps mutating.
+    println!("\n-- Serving the same query from 4 threads during an update burst --\n");
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let reader = engine.clone();
+                scope.spawn(move || {
+                    let mut served = 0;
+                    for _ in 0..200 {
+                        let hits = reader
+                            .search("movie_search", "golden gate", 2, QueryMode::Conjunctive)
+                            .expect("concurrent search");
+                        assert_eq!(hits.len(), 2);
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+        for visits in (510_000..520_000).step_by(500) {
+            engine
+                .update_row(
+                    "statistics",
+                    Value::Int(2),
+                    &[("nvisit".into(), Value::Int(visits))],
+                )
+                .expect("update during serving");
+        }
+        let total: usize = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+        println!("served {total} concurrent queries while visits kept climbing");
+    });
+    let final_score = engine.score_of("movie_search", 2)?;
+    println!("final Amateur Film score: {final_score:.1} (latest update, no stale reads)");
     Ok(())
 }

@@ -8,7 +8,14 @@
 use svr::SqlSession;
 
 fn run(session: &mut SqlSession, sql: &str) {
-    println!("svr> {}", sql.trim().lines().map(str::trim).collect::<Vec<_>>().join(" "));
+    println!(
+        "svr> {}",
+        sql.trim()
+            .lines()
+            .map(str::trim)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     match session.execute(sql) {
         Ok(result) => println!("{result}"),
         Err(e) => println!("ERROR: {e}\n"),
@@ -64,7 +71,10 @@ fn main() {
 
     // A flash crowd hits Amateur Film; the ranking flips on the very next
     // query — SVR ranks by the *latest* structured values.
-    run(&mut session, "UPDATE statistics SET nvisit = 2000000 WHERE mid = 2");
+    run(
+        &mut session,
+        "UPDATE statistics SET nvisit = 2000000 WHERE mid = 2",
+    );
     run(
         &mut session,
         r#"SELECT name FROM movies m

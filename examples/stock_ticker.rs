@@ -19,10 +19,19 @@ const HEADLINES: &[(&str, &str)] = &[
     ("ACME", "acme unveils merger talks with rival conglomerate"),
     ("GLOBO", "globo earnings miss sends shares tumbling"),
     ("GLOBO", "globo announces dividend and buyback program"),
-    ("INITECH", "initech earnings preview analysts expect strong cloud growth"),
-    ("INITECH", "initech recalls flagship product after defect reports"),
+    (
+        "INITECH",
+        "initech earnings preview analysts expect strong cloud growth",
+    ),
+    (
+        "INITECH",
+        "initech recalls flagship product after defect reports",
+    ),
     ("HOOLI", "hooli merger with nucleus approved by regulators"),
-    ("HOOLI", "hooli earnings call highlights advertising slowdown"),
+    (
+        "HOOLI",
+        "hooli earnings call highlights advertising slowdown",
+    ),
 ];
 
 fn main() -> svr::Result<()> {
@@ -36,10 +45,14 @@ fn main() -> svr::Result<()> {
 
     // Initial trade volumes (the SVR score of each story = its ticker's
     // volume).
-    let mut volume: HashMap<&str, f64> =
-        [("ACME", 1_000.0), ("GLOBO", 8_000.0), ("INITECH", 3_000.0), ("HOOLI", 2_000.0)]
-            .into_iter()
-            .collect();
+    let mut volume: HashMap<&str, f64> = [
+        ("ACME", 1_000.0),
+        ("GLOBO", 8_000.0),
+        ("INITECH", 3_000.0),
+        ("HOOLI", 2_000.0),
+    ]
+    .into_iter()
+    .collect();
     let scores: ScoreMap = docs
         .iter()
         .enumerate()
@@ -47,7 +60,11 @@ fn main() -> svr::Result<()> {
         .collect();
 
     // Combined ranking: f = volume + 5000 * sum(idf * tf_norm).
-    let config = IndexConfig { term_weight: 5_000.0, fancy_size: 4, ..IndexConfig::default() };
+    let config = IndexConfig {
+        term_weight: 5_000.0,
+        fancy_size: 4,
+        ..IndexConfig::default()
+    };
     let index = build_index(MethodKind::ChunkTermScore, &docs, &scores, &config)?;
 
     fn term(vocab: &Vocabulary, word: &str) -> svr::core::types::TermId {
@@ -62,7 +79,10 @@ fn main() -> svr::Result<()> {
     };
 
     let earnings = Query::new([term(&vocab, "earnings")], 3, QueryMode::Conjunctive);
-    show("top 'earnings' stories by volume + relevance:", &index.query(&earnings)?);
+    show(
+        "top 'earnings' stories by volume + relevance:",
+        &index.query(&earnings)?,
+    );
 
     // The market moves: ACME volume explodes on the merger rumor.
     println!("\n-- ACME volume spikes to 90000 --\n");
@@ -80,7 +100,10 @@ fn main() -> svr::Result<()> {
         4,
         QueryMode::Disjunctive,
     );
-    show("\n'merger OR recalls' (disjunctive):", &index.query(&broad)?);
+    show(
+        "\n'merger OR recalls' (disjunctive):",
+        &index.query(&broad)?,
+    );
 
     // A new headline arrives mid-session (Appendix A insertion).
     let breaking = Document::from_text(
@@ -91,7 +114,13 @@ fn main() -> svr::Result<()> {
     index.insert_document(&breaking, volume["ACME"])?;
     let merger_q = Query::new([term(&vocab, "merger")], 3, QueryMode::Conjunctive);
     let hits = index.query(&merger_q)?;
-    assert!(hits.iter().any(|h| h.doc == DocId(100)), "breaking story must be searchable");
-    println!("\nbreaking story indexed and ranked at volume {:.0}.", volume["ACME"]);
+    assert!(
+        hits.iter().any(|h| h.doc == DocId(100)),
+        "breaking story must be searchable"
+    );
+    println!(
+        "\nbreaking story indexed and ranked at volume {:.0}.",
+        volume["ACME"]
+    );
     Ok(())
 }

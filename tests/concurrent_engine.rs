@@ -58,7 +58,9 @@ fn build_engine(method: MethodKind) -> SvrEngine {
     engine
         .insert_rows(
             "stats",
-            (0..DOCS).map(|i| vec![Value::Int(i), Value::Int(i * 10)]).collect(),
+            (0..DOCS)
+                .map(|i| vec![Value::Int(i), Value::Int(i * 10)])
+                .collect(),
         )
         .unwrap();
     engine
@@ -68,7 +70,11 @@ fn build_engine(method: MethodKind) -> SvrEngine {
             "desc",
             visits_spec(),
             method,
-            IndexConfig { chunk_ratio: 2.0, min_chunk_docs: 8, ..IndexConfig::default() },
+            IndexConfig {
+                chunk_ratio: 2.0,
+                min_chunk_docs: 8,
+                ..IndexConfig::default()
+            },
         )
         .unwrap();
     engine
@@ -99,7 +105,11 @@ fn run_stress(method: MethodKind, readers: usize) {
             scope.spawn(move || {
                 let mut i = seed as i64;
                 while !stop.load(Ordering::Relaxed) {
-                    let keywords = if i % 3 == 0 { "golden gate" } else { "footage reel" };
+                    let keywords = if i % 3 == 0 {
+                        "golden gate"
+                    } else {
+                        "footage reel"
+                    };
                     let hits = reader
                         .search("idx", keywords, 10, QueryMode::Conjunctive)
                         .unwrap();
@@ -127,7 +137,9 @@ fn run_stress(method: MethodKind, readers: usize) {
         scope.spawn(move || {
             let mut state = 0x5EEDu64;
             let mut next = move || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 state >> 33
             };
             for round in 0..400u64 {
@@ -185,12 +197,18 @@ fn run_stress(method: MethodKind, readers: usize) {
     );
 
     // Quiesced: the index ranking must agree with the view (the oracle).
-    let hits = engine.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap();
+    let hits = engine
+        .search("idx", "golden gate", 10, QueryMode::Conjunctive)
+        .unwrap();
     let oracle = oracle_top(&engine, 10);
     assert_eq!(hits.len(), oracle.len());
     for (hit, (mid, score)) in hits.iter().zip(&oracle) {
         assert_eq!(hit.score, *score, "{method}: stale score after quiesce");
-        assert_eq!(hit.row[0], Value::Int(*mid), "{method}: wrong ranking after quiesce");
+        assert_eq!(
+            hit.row[0],
+            Value::Int(*mid),
+            "{method}: wrong ranking after quiesce"
+        );
     }
 }
 
@@ -219,7 +237,10 @@ fn parallel_table_writers() {
         scope.spawn(move || {
             for i in DOCS..DOCS + 40 {
                 movies
-                    .insert_row("movies", vec![Value::Int(i), Value::Text(description(i, 1))])
+                    .insert_row(
+                        "movies",
+                        vec![Value::Int(i), Value::Text(description(i, 1))],
+                    )
                     .unwrap();
             }
         });
@@ -234,14 +255,18 @@ fn parallel_table_writers() {
         let reader = engine.clone();
         scope.spawn(move || {
             for _ in 0..50 {
-                let _ = reader.search("idx", "golden", 5, QueryMode::Conjunctive).unwrap();
+                let _ = reader
+                    .search("idx", "golden", 5, QueryMode::Conjunctive)
+                    .unwrap();
             }
         });
     });
     for i in DOCS..DOCS + 40 {
         assert_eq!(engine.score_of("idx", i).unwrap(), (1_000_000 + i) as f64);
     }
-    let top = engine.search("idx", "golden gate", 1, QueryMode::Conjunctive).unwrap();
+    let top = engine
+        .search("idx", "golden gate", 1, QueryMode::Conjunctive)
+        .unwrap();
     assert_eq!(top[0].row[0], Value::Int(DOCS + 39), "new top doc wins");
 }
 
@@ -283,7 +308,9 @@ fn shared_sql_sessions_serve_concurrent_queries() {
     // Last write wins and is visible through a fresh clone.
     let check = session.clone();
     let top = check
-        .execute(r#"SELECT mid FROM movies ORDER BY SCORE(desc, "golden") FETCH TOP 1 RESULTS ONLY"#)
+        .execute(
+            r#"SELECT mid FROM movies ORDER BY SCORE(desc, "golden") FETCH TOP 1 RESULTS ONLY"#,
+        )
         .unwrap();
     assert_eq!(top.row_count(), 1);
 }

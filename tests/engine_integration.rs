@@ -10,7 +10,7 @@ use svr_relation::{AggExpr, ScoreComponent, SvrSpec, Value};
 /// Build the paper's Movies / Reviews / Statistics database with the §3.1
 /// score specification, indexed by `method`.
 fn movie_engine(method: MethodKind) -> SvrEngine {
-    let mut engine = SvrEngine::new();
+    let engine = SvrEngine::new();
     engine
         .create_table(Schema::new(
             "movies",
@@ -21,7 +21,11 @@ fn movie_engine(method: MethodKind) -> SvrEngine {
     engine
         .create_table(Schema::new(
             "reviews",
-            &[("rid", ColumnType::Int), ("mid", ColumnType::Int), ("rating", ColumnType::Float)],
+            &[
+                ("rid", ColumnType::Int),
+                ("mid", ColumnType::Int),
+                ("rating", ColumnType::Float),
+            ],
             0,
         ))
         .unwrap();
@@ -74,7 +78,11 @@ fn movie_engine(method: MethodKind) -> SvrEngine {
             "desc",
             spec,
             method,
-            IndexConfig { min_chunk_docs: 1, chunk_ratio: 2.0, ..IndexConfig::default() },
+            IndexConfig {
+                min_chunk_docs: 1,
+                chunk_ratio: 2.0,
+                ..IndexConfig::default()
+            },
         )
         .unwrap();
     engine
@@ -87,30 +95,48 @@ fn ids(hits: &[svr::RankedRow]) -> Vec<i64> {
 #[test]
 fn structured_updates_change_ranking_for_every_method() {
     for method in MethodKind::ALL {
-        let mut engine = movie_engine(method);
+        let engine = movie_engine(method);
         // Movie 2 starts popular.
         engine
-            .insert_row("statistics", vec![Value::Int(2), Value::Int(10_000), Value::Int(500)])
+            .insert_row(
+                "statistics",
+                vec![Value::Int(2), Value::Int(10_000), Value::Int(500)],
+            )
             .unwrap();
         engine
-            .insert_row("statistics", vec![Value::Int(1), Value::Int(100), Value::Int(5)])
+            .insert_row(
+                "statistics",
+                vec![Value::Int(1), Value::Int(100), Value::Int(5)],
+            )
             .unwrap();
-        let hits = engine.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap();
+        let hits = engine
+            .search("idx", "golden gate", 10, QueryMode::Conjunctive)
+            .unwrap();
         assert_eq!(ids(&hits), vec![2, 1], "{method}: initial ranking");
 
         // A flash crowd hits movie 1.
         engine
-            .update_row("statistics", Value::Int(1), &[("nvisit".into(), Value::Int(900_000))])
+            .update_row(
+                "statistics",
+                Value::Int(1),
+                &[("nvisit".into(), Value::Int(900_000))],
+            )
             .unwrap();
-        let hits = engine.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap();
-        assert_eq!(ids(&hits), vec![1, 2], "{method}: ranking after flash crowd");
+        let hits = engine
+            .search("idx", "golden gate", 10, QueryMode::Conjunctive)
+            .unwrap();
+        assert_eq!(
+            ids(&hits),
+            vec![1, 2],
+            "{method}: ranking after flash crowd"
+        );
         assert!(hits[0].score > hits[1].score);
     }
 }
 
 #[test]
 fn review_aggregates_feed_scores() {
-    let mut engine = movie_engine(MethodKind::Chunk);
+    let engine = movie_engine(MethodKind::Chunk);
     for (rid, mid, rating) in [(1, 1, 5.0), (2, 1, 4.0), (3, 2, 1.0)] {
         engine
             .insert_row(
@@ -126,50 +152,77 @@ fn review_aggregates_feed_scores() {
     // one for movie 2 flips the order.
     engine.delete_row("reviews", Value::Int(3)).unwrap();
     engine
-        .insert_row("reviews", vec![Value::Int(4), Value::Int(2), Value::Float(5.0)])
+        .insert_row(
+            "reviews",
+            vec![Value::Int(4), Value::Int(2), Value::Float(5.0)],
+        )
         .unwrap();
-    let hits = engine.search("idx", "golden gate", 2, QueryMode::Conjunctive).unwrap();
+    let hits = engine
+        .search("idx", "golden gate", 2, QueryMode::Conjunctive)
+        .unwrap();
     assert_eq!(ids(&hits), vec![2, 1]);
 }
 
 #[test]
 fn text_updates_are_content_updates() {
-    let mut engine = movie_engine(MethodKind::Chunk);
+    let engine = movie_engine(MethodKind::Chunk);
     engine
-        .insert_row("statistics", vec![Value::Int(3), Value::Int(50), Value::Int(1)])
+        .insert_row(
+            "statistics",
+            vec![Value::Int(3), Value::Int(50), Value::Int(1)],
+        )
         .unwrap();
     // Movie 3 does not mention the golden gate yet.
-    let hits = engine.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap();
+    let hits = engine
+        .search("idx", "golden gate", 10, QueryMode::Conjunctive)
+        .unwrap();
     assert!(!ids(&hits).contains(&3));
     // Re-describe it.
     engine
         .update_row(
             "movies",
             Value::Int(3),
-            &[("desc".into(), Value::Text("steam trains near the golden gate".into()))],
+            &[(
+                "desc".into(),
+                Value::Text("steam trains near the golden gate".into()),
+            )],
         )
         .unwrap();
-    let hits = engine.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap();
-    assert!(ids(&hits).contains(&3), "content update must make movie 3 searchable");
+    let hits = engine
+        .search("idx", "golden gate", 10, QueryMode::Conjunctive)
+        .unwrap();
+    assert!(
+        ids(&hits).contains(&3),
+        "content update must make movie 3 searchable"
+    );
     // And un-describe it again.
     engine
         .update_row(
             "movies",
             Value::Int(3),
-            &[("desc".into(), Value::Text("steam trains in the sierra".into()))],
+            &[(
+                "desc".into(),
+                Value::Text("steam trains in the sierra".into()),
+            )],
         )
         .unwrap();
-    let hits = engine.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap();
+    let hits = engine
+        .search("idx", "golden gate", 10, QueryMode::Conjunctive)
+        .unwrap();
     assert!(!ids(&hits).contains(&3));
 }
 
 #[test]
 fn row_deletion_removes_from_results() {
-    let mut engine = movie_engine(MethodKind::ScoreThreshold);
-    let hits = engine.search("idx", "golden", 10, QueryMode::Conjunctive).unwrap();
+    let engine = movie_engine(MethodKind::ScoreThreshold);
+    let hits = engine
+        .search("idx", "golden", 10, QueryMode::Conjunctive)
+        .unwrap();
     assert!(ids(&hits).contains(&2));
     engine.delete_row("movies", Value::Int(2)).unwrap();
-    let hits = engine.search("idx", "golden", 10, QueryMode::Conjunctive).unwrap();
+    let hits = engine
+        .search("idx", "golden", 10, QueryMode::Conjunctive)
+        .unwrap();
     assert!(!ids(&hits).contains(&2));
     // The view no longer scores it either.
     assert!(engine.score_of("idx", 2).is_err());
@@ -177,34 +230,49 @@ fn row_deletion_removes_from_results() {
 
 #[test]
 fn late_row_insertion_is_searchable_with_current_score() {
-    let mut engine = movie_engine(MethodKind::ChunkTermScore);
+    let engine = movie_engine(MethodKind::ChunkTermScore);
     // Statistics arrive *before* the movie row: the view state waits.
     engine
-        .insert_row("statistics", vec![Value::Int(99), Value::Int(44_000), Value::Int(100)])
+        .insert_row(
+            "statistics",
+            vec![Value::Int(99), Value::Int(44_000), Value::Int(100)],
+        )
         .unwrap();
     engine
         .insert_row(
             "movies",
-            vec![Value::Int(99), Value::Text("brand new golden gate timelapse".into())],
+            vec![
+                Value::Int(99),
+                Value::Text("brand new golden gate timelapse".into()),
+            ],
         )
         .unwrap();
-    let hits = engine.search("idx", "golden gate", 10, QueryMode::Conjunctive).unwrap();
+    let hits = engine
+        .search("idx", "golden gate", 10, QueryMode::Conjunctive)
+        .unwrap();
     assert!(ids(&hits).contains(&99));
     let top = hits.iter().find(|h| h.row[0] == Value::Int(99)).unwrap();
-    assert!(top.score >= 22_100.0, "score must include the pre-existing statistics");
+    assert!(
+        top.score >= 22_100.0,
+        "score must include the pre-existing statistics"
+    );
 }
 
 #[test]
 fn disjunctive_and_unknown_keywords() {
-    let mut engine = movie_engine(MethodKind::Id);
-    let disj = engine.search("idx", "fog sierra", 10, QueryMode::Disjunctive).unwrap();
+    let engine = movie_engine(MethodKind::Id);
+    let disj = engine
+        .search("idx", "fog sierra", 10, QueryMode::Disjunctive)
+        .unwrap();
     assert_eq!(ids(&disj).len(), 2); // movie 2 (fog) and movie 3 (sierra)
-    // Unknown keyword: conjunctive gives nothing, disjunctive ignores it.
+                                     // Unknown keyword: conjunctive gives nothing, disjunctive ignores it.
     assert!(engine
         .search("idx", "golden zzzunknown", 10, QueryMode::Conjunctive)
         .unwrap()
         .is_empty());
-    let disj = engine.search("idx", "golden zzzunknown", 10, QueryMode::Disjunctive).unwrap();
+    let disj = engine
+        .search("idx", "golden zzzunknown", 10, QueryMode::Disjunctive)
+        .unwrap();
     assert!(!disj.is_empty());
     // All-unknown disjunctive is empty, not an error.
     assert!(engine
@@ -215,40 +283,70 @@ fn disjunctive_and_unknown_keywords() {
 
 #[test]
 fn maintenance_preserves_results() {
-    let mut engine = movie_engine(MethodKind::Chunk);
+    let engine = movie_engine(MethodKind::Chunk);
     engine
-        .insert_row("statistics", vec![Value::Int(1), Value::Int(7_000), Value::Int(10)])
+        .insert_row(
+            "statistics",
+            vec![Value::Int(1), Value::Int(7_000), Value::Int(10)],
+        )
         .unwrap();
-    let before = engine.search("idx", "golden", 5, QueryMode::Conjunctive).unwrap();
+    let before = engine
+        .search("idx", "golden", 5, QueryMode::Conjunctive)
+        .unwrap();
     engine.run_maintenance("idx").unwrap();
-    let after = engine.search("idx", "golden", 5, QueryMode::Conjunctive).unwrap();
+    let after = engine
+        .search("idx", "golden", 5, QueryMode::Conjunctive)
+        .unwrap();
     assert_eq!(ids(&before), ids(&after));
 }
 
 #[test]
 fn engine_error_paths() {
-    let mut engine = movie_engine(MethodKind::Chunk);
-    assert!(engine.search("nope", "golden", 5, QueryMode::Conjunctive).is_err());
+    let engine = movie_engine(MethodKind::Chunk);
+    assert!(engine
+        .search("nope", "golden", 5, QueryMode::Conjunctive)
+        .is_err());
     assert!(engine.score_of("nope", 1).is_err());
     assert!(engine.run_maintenance("nope").is_err());
     // Duplicate index name.
     let spec = SvrSpec::single(ScoreComponent::Const(1.0));
     assert!(engine
-        .create_text_index("idx", "movies", "desc", spec, MethodKind::Id, IndexConfig::default())
+        .create_text_index(
+            "idx",
+            "movies",
+            "desc",
+            spec,
+            MethodKind::Id,
+            IndexConfig::default()
+        )
         .is_err());
     // Unknown table / column.
     let spec = SvrSpec::single(ScoreComponent::Const(1.0));
     assert!(engine
-        .create_text_index("idx2", "nope", "desc", spec.clone(), MethodKind::Id, IndexConfig::default())
+        .create_text_index(
+            "idx2",
+            "nope",
+            "desc",
+            spec.clone(),
+            MethodKind::Id,
+            IndexConfig::default()
+        )
         .is_err());
     assert!(engine
-        .create_text_index("idx3", "movies", "nope", spec, MethodKind::Id, IndexConfig::default())
+        .create_text_index(
+            "idx3",
+            "movies",
+            "nope",
+            spec,
+            MethodKind::Id,
+            IndexConfig::default()
+        )
         .is_err());
 }
 
 #[test]
 fn two_indexes_with_different_methods_agree() {
-    let mut engine = movie_engine(MethodKind::Chunk);
+    let engine = movie_engine(MethodKind::Chunk);
     let spec = SvrSpec::single(ScoreComponent::ColumnOf {
         table: "statistics".into(),
         key_col: "mid".into(),
@@ -265,14 +363,24 @@ fn two_indexes_with_different_methods_agree() {
         )
         .unwrap();
     engine
-        .insert_row("statistics", vec![Value::Int(1), Value::Int(0), Value::Int(999)])
+        .insert_row(
+            "statistics",
+            vec![Value::Int(1), Value::Int(0), Value::Int(999)],
+        )
         .unwrap();
     engine
-        .insert_row("statistics", vec![Value::Int(2), Value::Int(0), Value::Int(5)])
+        .insert_row(
+            "statistics",
+            vec![Value::Int(2), Value::Int(0), Value::Int(5)],
+        )
         .unwrap();
-    let a = engine.search("idx_by_downloads", "golden gate", 5, QueryMode::Conjunctive).unwrap();
+    let a = engine
+        .search("idx_by_downloads", "golden gate", 5, QueryMode::Conjunctive)
+        .unwrap();
     assert_eq!(ids(&a), vec![1, 2], "download-ranked index");
     // The first index ranks by the full Agg (nvisit/2 + ndownload here).
-    let b = engine.search("idx", "golden gate", 5, QueryMode::Conjunctive).unwrap();
+    let b = engine
+        .search("idx", "golden gate", 5, QueryMode::Conjunctive)
+        .unwrap();
     assert_eq!(ids(&b), vec![1, 2]);
 }

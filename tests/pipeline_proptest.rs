@@ -10,7 +10,9 @@ use svr::{IndexConfig, MethodKind, QueryMode, SvrEngine};
 use svr_relation::schema::{ColumnType, Schema};
 use svr_relation::{AggExpr, ScoreComponent, SvrSpec, Value};
 
-const WORDS: &[&str] = &["golden", "gate", "bridge", "fog", "ferry", "train", "archive"];
+const WORDS: &[&str] = &[
+    "golden", "gate", "bridge", "fog", "ferry", "train", "archive",
+];
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -88,7 +90,7 @@ impl Model {
 }
 
 fn run_pipeline(method: MethodKind, ops: Vec<Op>) {
-    let mut engine = SvrEngine::new();
+    let engine = SvrEngine::new();
     engine
         .create_table(Schema::new(
             "movies",
@@ -99,7 +101,11 @@ fn run_pipeline(method: MethodKind, ops: Vec<Op>) {
     engine
         .create_table(Schema::new(
             "reviews",
-            &[("rid", ColumnType::Int), ("mid", ColumnType::Int), ("rating", ColumnType::Float)],
+            &[
+                ("rid", ColumnType::Int),
+                ("mid", ColumnType::Int),
+                ("rating", ColumnType::Float),
+            ],
             0,
         ))
         .unwrap();
@@ -132,7 +138,12 @@ fn run_pipeline(method: MethodKind, ops: Vec<Op>) {
             "desc",
             spec,
             method,
-            IndexConfig { min_chunk_docs: 1, chunk_ratio: 2.0, threshold_ratio: 1.5, ..IndexConfig::default() },
+            IndexConfig {
+                min_chunk_docs: 1,
+                chunk_ratio: 2.0,
+                threshold_ratio: 1.5,
+                ..IndexConfig::default()
+            },
         )
         .unwrap();
 
@@ -152,10 +163,7 @@ fn run_pipeline(method: MethodKind, ops: Vec<Op>) {
                 slot_ids.insert(slot, id);
                 let words = words_for(mask);
                 engine
-                    .insert_row(
-                        "movies",
-                        vec![Value::Int(id), Value::Text(words.join(" "))],
-                    )
+                    .insert_row("movies", vec![Value::Int(id), Value::Text(words.join(" "))])
                     .unwrap();
                 engine
                     .insert_row("statistics", vec![Value::Int(id), Value::Int(0)])
@@ -164,7 +172,9 @@ fn run_pipeline(method: MethodKind, ops: Vec<Op>) {
                 model.visits.insert(id, 0);
             }
             Op::SetVisits(slot, v) => {
-                let Some(&id) = slot_ids.get(&slot) else { continue };
+                let Some(&id) = slot_ids.get(&slot) else {
+                    continue;
+                };
                 engine
                     .update_row(
                         "statistics",
@@ -175,7 +185,9 @@ fn run_pipeline(method: MethodKind, ops: Vec<Op>) {
                 model.visits.insert(id, v);
             }
             Op::AddReview(slot, half_stars) => {
-                let Some(&id) = slot_ids.get(&slot) else { continue };
+                let Some(&id) = slot_ids.get(&slot) else {
+                    continue;
+                };
                 let rating = f64::from(half_stars) / 2.0;
                 let rid = model.next_review;
                 model.next_review += 1;
@@ -188,7 +200,9 @@ fn run_pipeline(method: MethodKind, ops: Vec<Op>) {
                 model.ratings.entry(id).or_default().push(rating);
             }
             Op::Redescribe(slot, mask) => {
-                let Some(&id) = slot_ids.get(&slot) else { continue };
+                let Some(&id) = slot_ids.get(&slot) else {
+                    continue;
+                };
                 let words = words_for(mask);
                 engine
                     .update_row(
@@ -200,14 +214,20 @@ fn run_pipeline(method: MethodKind, ops: Vec<Op>) {
                 model.movies.insert(id, words);
             }
             Op::DeleteMovie(slot) => {
-                let Some(id) = slot_ids.remove(&slot) else { continue };
+                let Some(id) = slot_ids.remove(&slot) else {
+                    continue;
+                };
                 engine.delete_row("movies", Value::Int(id)).unwrap();
                 model.movies.remove(&id);
             }
             Op::Search(mask, conj) => {
                 let query_words = words_for(mask);
                 let query = query_words.join(" ");
-                let mode = if conj { QueryMode::Conjunctive } else { QueryMode::Disjunctive };
+                let mode = if conj {
+                    QueryMode::Conjunctive
+                } else {
+                    QueryMode::Disjunctive
+                };
                 let hits = engine.search("idx", &query, 50, mode).unwrap();
                 let expected = model.search(&query_words, conj);
                 let got: Vec<(i64, f64)> = hits

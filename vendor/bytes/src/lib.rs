@@ -8,8 +8,14 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// An immutable, reference-counted byte buffer. Cloning is O(1).
-#[derive(Clone, Default, Eq, Hash, Ord, PartialOrd)]
+#[derive(Clone, Default, Eq, Ord, PartialOrd)]
 pub struct Bytes(Arc<[u8]>);
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0[..].hash(state);
+    }
+}
 
 impl Bytes {
     /// An empty buffer.

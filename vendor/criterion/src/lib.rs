@@ -32,18 +32,24 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter`.
     pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
-        BenchmarkId { label: format!("{name}/{parameter}") }
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
     }
 
     /// Just the parameter (used when the group names the function).
     pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> BenchmarkId {
-        BenchmarkId { label: s.to_string() }
+        BenchmarkId {
+            label: s.to_string(),
+        }
     }
 }
 
@@ -128,8 +134,10 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut bencher =
-            Bencher { measurement_time: self.measurement_time, result: None };
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            result: None,
+        };
         f(&mut bencher);
         self.report(&id, &bencher);
         self
@@ -146,8 +154,10 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut bencher =
-            Bencher { measurement_time: self.measurement_time, result: None };
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            result: None,
+        };
         f(&mut bencher, input);
         self.report(&id, &bencher);
         self
@@ -155,7 +165,10 @@ impl BenchmarkGroup<'_> {
 
     fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
         let Some((elapsed, iters)) = bencher.result else {
-            println!("{}/{}: no measurement (iter was not called)", self.name, id.label);
+            println!(
+                "{}/{}: no measurement (iter was not called)",
+                self.name, id.label
+            );
             return;
         };
         let per_iter = elapsed / iters.max(1) as u32;

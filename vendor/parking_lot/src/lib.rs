@@ -28,7 +28,9 @@ impl<T> Mutex<T> {
 
     /// Consume the mutex, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -49,7 +51,9 @@ impl<T: ?Sized> Mutex<T> {
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -66,7 +70,9 @@ impl<T> RwLock<T> {
 
     /// Consume the lock, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -92,7 +98,9 @@ impl<T: ?Sized> RwLock<T> {
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+        self.0
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 

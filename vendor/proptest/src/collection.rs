@@ -32,19 +32,28 @@ impl From<usize> for SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> SizeRange {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { min: r.start, max: r.end }
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> SizeRange {
-        SizeRange { min: *r.start(), max: *r.end() + 1 }
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
     }
 }
 
 /// `Vec`s of `size` elements drawn from `element`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// The strategy returned by [`vec`].
@@ -64,17 +73,17 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 }
 
 /// `BTreeMap`s with up to `size` entries (key collisions may yield fewer).
-pub fn btree_map<K, V>(
-    keys: K,
-    values: V,
-    size: impl Into<SizeRange>,
-) -> BTreeMapStrategy<K, V>
+pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
 where
     K: Strategy,
     K::Value: Ord,
     V: Strategy,
 {
-    BTreeMapStrategy { keys, values, size: size.into() }
+    BTreeMapStrategy {
+        keys,
+        values,
+        size: size.into(),
+    }
 }
 
 /// The strategy returned by [`btree_map`].
@@ -107,7 +116,10 @@ where
     S: Strategy,
     S::Value: Ord,
 {
-    BTreeSetStrategy { element, size: size.into() }
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// The strategy returned by [`btree_set`].

@@ -131,7 +131,10 @@ impl<T> Union<T> {
     /// Build from `(weight, strategy)` pairs.
     pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
         let total = options.iter().map(|(w, _)| *w as u64).sum();
-        assert!(total > 0, "prop_oneof! requires at least one positive weight");
+        assert!(
+            total > 0,
+            "prop_oneof! requires at least one positive weight"
+        );
         Union { options, total }
     }
 }
@@ -245,7 +248,7 @@ impl<T> std::fmt::Debug for AnyStrategy<T> {
 
 impl<T> Clone for AnyStrategy<T> {
     fn clone(&self) -> Self {
-        AnyStrategy(PhantomData)
+        *self
     }
 }
 
@@ -281,7 +284,9 @@ mod tests {
     fn filter_regenerates() {
         let mut rng = TestRng::from_seed(3);
         for _ in 0..100 {
-            let v = (0u32..100).prop_filter("even", |v| v % 2 == 0).generate(&mut rng);
+            let v = (0u32..100)
+                .prop_filter("even", |v| v % 2 == 0)
+                .generate(&mut rng);
             assert_eq!(v % 2, 0);
         }
     }

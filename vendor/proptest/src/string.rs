@@ -67,7 +67,10 @@ fn parse(pattern: &str) -> Vec<Piece> {
                         i += 1;
                     }
                 }
-                assert!(i < chars.len(), "unterminated character class in '{pattern}'");
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in '{pattern}'"
+                );
                 i += 1; // consume ']'
                 Atom::Class(ranges)
             }
@@ -138,7 +141,10 @@ fn generate_atom(atom: &Atom, rng: &mut TestRng) -> char {
             }
         }
         Atom::Class(ranges) => {
-            let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
             let mut pick = rng.below(total as usize) as u32;
             for &(lo, hi) in ranges {
                 let span = hi as u32 - lo as u32 + 1;

@@ -12,14 +12,20 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
     }
 }
 
 impl ProptestConfig {
     /// A config running `cases` cases.
     pub fn with_cases(cases: u32) -> ProptestConfig {
-        ProptestConfig { cases, ..ProptestConfig::default() }
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
     }
 }
 
