@@ -13,7 +13,7 @@
 //! | fig10    | Figure 10 — disjunctive queries          |
 //! | table3   | Table 3 — varying number of insertions   |
 //! | archive  | §5.3.7 — Internet-Archive-like data set  |
-//! | concurrent | beyond the paper — query throughput at 1/2/4/8 reader threads under an update storm |
+//! | concurrent | beyond the paper — reader scaling (1/2/4/8 readers under an update storm) and same-table writer scaling (1/2/4/8 writers over the sharded write path) |
 
 use std::collections::HashMap;
 
@@ -670,13 +670,19 @@ impl Bench {
         }
     }
 
-    /// Beyond the paper: concurrent serving. One shared [`svr_engine::SvrEngine`]
-    /// answers top-k keyword queries from 1, 2, 4 and 8 reader threads while a
-    /// writer thread storms it with score updates — the "Ranked Enumeration
-    /// for Database Queries" deployment the `&self` engine API exists for.
-    /// Reports aggregate query throughput (it should scale with readers; the
-    /// single writer is the constant background load) and the writer's
-    /// sustained update rate.
+    /// Beyond the paper: concurrent serving over one shared
+    /// [`svr_engine::SvrEngine`] with a sharded (8-way) index write path.
+    ///
+    /// Two scaling sweeps share the engine:
+    ///
+    /// * **reader scaling** — 1/2/4/8 reader threads answer top-k keyword
+    ///   queries while one writer storms score updates (the PR-1
+    ///   experiment, unchanged);
+    /// * **writer scaling** — 1/2/4/8 writer threads storm score updates
+    ///   against the *same table* while one reader keeps querying. The
+    ///   two-tier write path (short per-table lock, then per-shard index
+    ///   locks) lets the writers overlap on index maintenance, so
+    ///   aggregate updates/s grows with the writer count.
     pub fn concurrent(&self) -> ExperimentReport {
         use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
         use svr_engine::SvrEngine;
@@ -733,6 +739,9 @@ impl Bench {
                 MethodKind::Chunk,
                 IndexConfig {
                     min_chunk_docs: self.scale.pick(20, 50),
+                    // The sharded write path under test: 8 per-shard writer
+                    // locks admit parallel same-table writers.
+                    num_shards: 8,
                     ..IndexConfig::default()
                 },
             )
@@ -746,11 +755,12 @@ impl Bench {
             )
             .expect("load stats");
 
-        let mut rows = Vec::new();
-        for readers in [1usize, 2, 4, 8] {
+        // One measurement point: `readers` query threads racing `writers`
+        // same-table update threads for `window_ms`.
+        let run_point = |readers: usize, writers: usize| -> (f64, f64) {
             // Merge the short lists accumulated by the previous point's
             // storm so every point starts from a freshly maintained index —
-            // otherwise later points would measure reader scaling *and*
+            // otherwise later points would measure thread scaling *and*
             // index degradation at once.
             engine.run_maintenance("idx").expect("maintenance");
             let stop = AtomicBool::new(false);
@@ -773,50 +783,79 @@ impl Bench {
                         }
                     });
                 }
-                let writer = engine.clone();
-                let (stop, updated) = (&stop, &updated);
-                scope.spawn(move || {
-                    use rand::RngCore;
-                    let mut rng = rand_pcg(0x5EED ^ readers as u64);
-                    while !stop.load(Ordering::Relaxed) {
-                        let mid = (rng.next_u64() % num_docs as u64) as i64;
-                        let visits = (rng.next_u64() % 1_000_000) as i64;
-                        writer
-                            .update_row(
-                                "stats",
-                                Value::Int(mid),
-                                &[("nvisit".into(), Value::Int(visits))],
-                            )
-                            .expect("update");
-                        updated.fetch_add(1, Ordering::Relaxed);
-                    }
-                });
+                for w in 0..writers {
+                    let writer = engine.clone();
+                    let (stop, updated) = (&stop, &updated);
+                    scope.spawn(move || {
+                        use rand::RngCore;
+                        let mut rng = rand_pcg(0x5EED ^ ((readers * 8 + w) as u64));
+                        while !stop.load(Ordering::Relaxed) {
+                            let mid = (rng.next_u64() % num_docs as u64) as i64;
+                            let visits = (rng.next_u64() % 1_000_000) as i64;
+                            writer
+                                .update_row(
+                                    "stats",
+                                    Value::Int(mid),
+                                    &[("nvisit".into(), Value::Int(visits))],
+                                )
+                                .expect("update");
+                            updated.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
                 std::thread::sleep(std::time::Duration::from_millis(window_ms));
                 stop.store(true, Ordering::Relaxed);
             });
             let secs = started.elapsed().as_secs_f64();
-            let qps = served.load(Ordering::Relaxed) as f64 / secs;
-            let ups = updated.load(Ordering::Relaxed) as f64 / secs;
+            (
+                served.load(Ordering::Relaxed) as f64 / secs,
+                updated.load(Ordering::Relaxed) as f64 / secs,
+            )
+        };
+
+        let mut rows = Vec::new();
+        for readers in [1usize, 2, 4, 8] {
+            let (qps, ups) = run_point(readers, 1);
             rows.push(vec![
                 readers.to_string(),
+                "1".into(),
                 format!("{qps:.0}"),
                 format!("{:.0}", qps / readers as f64),
                 format!("{ups:.0}"),
             ]);
         }
+        // Writer sweep: constant background query load of 3 reader threads
+        // (serving mixes are read-heavy), writers scaled 1→8 against one
+        // table.
+        for writers in [1usize, 2, 4, 8] {
+            let (qps, ups) = run_point(3, writers);
+            rows.push(vec![
+                "3".into(),
+                writers.to_string(),
+                format!("{qps:.0}"),
+                format!("{:.0}", qps / 3.0),
+                format!("{ups:.0}"),
+            ]);
+        }
         ExperimentReport {
             id: "concurrent".into(),
-            title: "shared-engine query throughput under a concurrent update storm".into(),
+            title: "shared-engine throughput: reader scaling and same-table writer scaling".into(),
             columns: vec![
                 "readers".into(),
+                "writers".into(),
                 "queries/s".into(),
                 "queries/s/thread".into(),
                 "updates/s".into(),
             ],
             rows,
-            notes: "aggregate throughput should grow with reader count (reads take &self \
-                    and share locks); the single writer serializes per table and is the \
-                    same background load at every point"
+            notes: "rows 1-4: reader scaling under one background writer (PR 1). rows 5-8: \
+                    same-table writer scaling under a constant background query load of 3 \
+                    readers — the two-tier write path (short table lock, then per-shard \
+                    index locks over the 8-way sharded index) lets same-table writers \
+                    overlap: per-shard locks keep writer queues short instead of piling \
+                    every writer onto one reader-held lock, and on multi-core hosts the \
+                    shard refreshes of different writers also run in parallel. With a \
+                    single shard the same sweep plateaus near its 1-writer rate"
                 .into(),
         }
     }

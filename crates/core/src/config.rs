@@ -36,6 +36,16 @@ pub struct IndexConfig {
     /// ListScore/ListChunk, doc store). These are "easily maintained in the
     /// database cache" (§5.3.1), so the default is generous.
     pub small_cache_pages: usize,
+    /// Number of write shards the index is partitioned into (beyond the
+    /// paper, which is single-writer). Documents are hash-partitioned by
+    /// doc id; each shard owns its own Score-table region, short/long list
+    /// stores, chunk map and maintenance state behind an independent writer
+    /// lock, so score updates to documents in different shards proceed in
+    /// parallel. `1` (the default) keeps the paper's single-partition
+    /// layout. Queries stay exact at any shard count: every shard holds the
+    /// complete postings of its documents and answers the query locally,
+    /// and the per-shard top-k results are merged.
+    pub num_shards: usize,
 }
 
 impl Default for IndexConfig {
@@ -49,6 +59,7 @@ impl Default for IndexConfig {
             page_size: svr_storage::DEFAULT_PAGE_SIZE,
             long_cache_pages: 4096,
             small_cache_pages: 16384,
+            num_shards: 1,
         }
     }
 }
@@ -65,6 +76,7 @@ impl IndexConfig {
         assert!(self.chunk_ratio > 1.0, "chunk ratio must be > 1");
         assert!(self.fancy_size > 0, "fancy list size must be positive");
         assert!(self.term_weight >= 0.0, "term weight must be non-negative");
+        assert!(self.num_shards >= 1, "shard count must be at least 1");
         self
     }
 

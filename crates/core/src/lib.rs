@@ -60,6 +60,9 @@ pub mod types;
 pub use chunk_map::ChunkMap;
 pub use config::IndexConfig;
 pub use error::{CoreError, Result};
-pub use methods::{build_index, store_names, MethodKind, ScoreMap, SearchIndex};
+pub use methods::{
+    build_index, shard_of_doc, store_names, MethodKind, ScoreMap, ScoreRead, SearchIndex,
+    ShardStats, ShardedIndex,
+};
 pub use oracle::Oracle;
 pub use types::{Query, QueryMode, SearchHit};

@@ -1,13 +1,22 @@
 //! Shared state and bookkeeping for every index method: the Score table,
 //! the forward doc store, deletion tombstones and live document-frequency
 //! statistics (for the term-score methods).
+//!
+//! A method instance is either **standalone** (one partition owning the
+//! whole collection — the paper's layout) or **one shard of a partitioned
+//! index** (see [`crate::methods::ShardedIndex`]). Shards share one
+//! [`StorageEnv`] (store names are prefixed per shard) and one
+//! [`CorpusStats`] — document frequencies and the live document count are
+//! collection-wide so the term-score methods compute the same IDF weights
+//! at any shard count — while the Score table, forward index and tombstones
+//! are per shard, so score writes in different shards never contend.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use svr_storage::StorageEnv;
+use svr_storage::{StorageEnv, Store};
 use svr_text::idf;
 
 use crate::config::IndexConfig;
@@ -17,40 +26,105 @@ use crate::methods::store_names;
 use crate::score_table::ScoreTable;
 use crate::types::{DocId, Document, Score, TermId};
 
-/// Common per-index state.
+/// Collection-wide statistics shared by every shard of one index: live
+/// document frequencies and the live document count, from which the
+/// term-score methods compute IDF. Internally synchronized — shards update
+/// it concurrently under their own writer locks.
+#[derive(Default)]
+pub(crate) struct CorpusStats {
+    df: RwLock<HashMap<TermId, u64>>,
+    num_docs: AtomicU64,
+}
+
+/// Where a method instance lives: its storage environment, the shared
+/// corpus statistics, and the store-name prefix carving out this shard's
+/// region of the environment.
+pub(crate) struct ShardContext {
+    pub env: Arc<StorageEnv>,
+    pub stats: Arc<CorpusStats>,
+    pub prefix: String,
+}
+
+impl ShardContext {
+    /// Context for a standalone (unsharded) index: fresh environment, fresh
+    /// statistics, unprefixed store names.
+    pub fn standalone(config: &IndexConfig) -> ShardContext {
+        ShardContext {
+            env: Arc::new(StorageEnv::new(config.page_size)),
+            stats: Arc::new(CorpusStats::default()),
+            prefix: String::new(),
+        }
+    }
+
+    /// Context for shard `shard` of a partitioned index sharing `env` and
+    /// `stats`.
+    pub fn shard(env: Arc<StorageEnv>, stats: Arc<CorpusStats>, shard: usize) -> ShardContext {
+        ShardContext {
+            env,
+            stats,
+            prefix: format!("{}{shard}/", store_names::SHARD_PREFIX),
+        }
+    }
+}
+
+/// Common per-shard state.
 pub(crate) struct MethodBase {
     pub env: Arc<StorageEnv>,
+    /// Store-name prefix of this shard's region in `env` (empty when
+    /// standalone).
+    prefix: String,
     pub score_table: ScoreTable,
     pub doc_store: DocStore,
     /// In-memory tombstones mirroring the Score table's deleted flags, so
     /// query-time filtering costs no I/O.
     pub deleted: RwLock<HashSet<DocId>>,
-    /// Live document frequencies (term-score methods compute IDF from these).
-    pub df: RwLock<HashMap<TermId, u64>>,
-    pub num_docs: AtomicU64,
+    /// Collection-wide df / doc-count statistics (shared across shards).
+    stats: Arc<CorpusStats>,
+    /// Live documents in *this* shard (diagnostics; the IDF denominator is
+    /// the shared collection-wide count).
+    local_docs: AtomicU64,
     pub term_weight: f64,
 }
 
 impl MethodBase {
-    /// Create the environment and the structures every method shares.
-    pub fn new(config: &IndexConfig) -> Result<MethodBase> {
-        let env = Arc::new(StorageEnv::new(config.page_size));
-        let score_store = env.create_store(store_names::SCORE, config.small_cache_pages);
-        let docs_store = env.create_store(store_names::DOCS, config.small_cache_pages);
+    /// Create the shared structures inside an existing context (one shard
+    /// of a partitioned index, or a standalone root).
+    pub fn with_context(ctx: ShardContext, config: &IndexConfig) -> Result<MethodBase> {
+        let ShardContext { env, stats, prefix } = ctx;
+        let score_store = env.create_store(
+            &format!("{prefix}{}", store_names::SCORE),
+            config.small_cache_pages,
+        );
+        let docs_store = env.create_store(
+            &format!("{prefix}{}", store_names::DOCS),
+            config.small_cache_pages,
+        );
         Ok(MethodBase {
             env,
+            prefix,
             score_table: ScoreTable::create(score_store)?,
             doc_store: DocStore::create(docs_store)?,
             deleted: RwLock::new(HashSet::new()),
-            df: RwLock::new(HashMap::new()),
-            num_docs: AtomicU64::new(0),
+            stats,
+            local_docs: AtomicU64::new(0),
             term_weight: config.term_weight,
         })
     }
 
+    /// Create (or fetch) a store in this shard's region of the environment.
+    pub fn create_store(&self, name: &str, cache_pages: usize) -> Arc<Store> {
+        self.env
+            .create_store(&format!("{}{name}", self.prefix), cache_pages)
+    }
+
+    /// Fetch a previously created store of this shard's region.
+    pub fn store(&self, name: &str) -> Option<Arc<Store>> {
+        self.env.store(&format!("{}{name}", self.prefix))
+    }
+
     /// Bulk-load documents and scores at build time.
     pub fn bulk_load(&self, docs: &[Document], scores: &HashMap<DocId, Score>) -> Result<()> {
-        let mut df = self.df.write();
+        let mut df = self.stats.df.write();
         for doc in docs {
             let score = scores.get(&doc.id).copied().unwrap_or(0.0);
             self.score_table.set(doc.id, check_score(score)?)?;
@@ -59,7 +133,12 @@ impl MethodBase {
                 *df.entry(term).or_insert(0) += 1;
             }
         }
-        self.num_docs.store(docs.len() as u64, Ordering::Relaxed);
+        // Accumulate (not store): sibling shards load into the same shared
+        // counter.
+        self.stats
+            .num_docs
+            .fetch_add(docs.len() as u64, Ordering::Relaxed);
+        self.local_docs.store(docs.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
@@ -73,10 +152,31 @@ impl MethodBase {
         self.deleted.read().contains(&doc)
     }
 
-    /// IDF weight of a term under the live df statistics.
+    /// Live documents in this shard.
+    pub fn live_docs(&self) -> u64 {
+        self.local_docs.load(Ordering::Relaxed)
+    }
+
+    /// The one-entry statistics list an unsharded method reports from
+    /// `SearchIndex::shard_stats` (a `ShardedIndex` renumbers the entry
+    /// per shard).
+    pub fn single_shard_stats(
+        &self,
+        long_list_bytes: u64,
+        short_postings: u64,
+    ) -> Vec<crate::methods::ShardStats> {
+        vec![crate::methods::ShardStats {
+            shard: 0,
+            docs: self.live_docs(),
+            long_list_bytes,
+            short_postings,
+        }]
+    }
+
+    /// IDF weight of a term under the live collection-wide df statistics.
     pub fn idf(&self, term: TermId) -> f64 {
-        let df_count = self.df.read().get(&term).copied().unwrap_or(0);
-        idf(self.num_docs.load(Ordering::Relaxed), df_count)
+        let df_count = self.stats.df.read().get(&term).copied().unwrap_or(0);
+        idf(self.stats.num_docs.load(Ordering::Relaxed), df_count)
     }
 
     /// The combined scoring function `f(svr, Σ term scores)` of §4.3.3.
@@ -94,11 +194,12 @@ impl MethodBase {
         }
         self.score_table.set(doc.id, score)?;
         self.doc_store.put(doc)?;
-        let mut df = self.df.write();
+        let mut df = self.stats.df.write();
         for term in doc.term_ids() {
             *df.entry(term).or_insert(0) += 1;
         }
-        self.num_docs.fetch_add(1, Ordering::Relaxed);
+        self.stats.num_docs.fetch_add(1, Ordering::Relaxed);
+        self.local_docs.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -109,13 +210,14 @@ impl MethodBase {
         }
         self.score_table.mark_deleted(doc)?;
         let terms = self.doc_store.term_ids(doc)?;
-        let mut df = self.df.write();
+        let mut df = self.stats.df.write();
         for term in terms {
             if let Some(count) = df.get_mut(&term) {
                 *count = count.saturating_sub(1);
             }
         }
-        self.num_docs.fetch_sub(1, Ordering::Relaxed);
+        self.stats.num_docs.fetch_sub(1, Ordering::Relaxed);
+        self.local_docs.fetch_sub(1, Ordering::Relaxed);
         self.deleted.write().insert(doc);
         Ok(())
     }
@@ -137,7 +239,7 @@ impl MethodBase {
         self.doc_store.put(doc)?;
         let old_set: HashSet<TermId> = old.iter().map(|&(t, _)| t).collect();
         let new_set: HashSet<TermId> = doc.term_ids().collect();
-        let mut df = self.df.write();
+        let mut df = self.stats.df.write();
         for term in new_set.difference(&old_set) {
             *df.entry(*term).or_insert(0) += 1;
         }

@@ -21,8 +21,8 @@ use crate::error::Result;
 use crate::heap::TopKHeap;
 use crate::long_list::{invert_corpus, ListFormat, LongListStore};
 use crate::merge::{MultiMerge, UnionCursor};
-use crate::methods::base::MethodBase;
-use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex};
+use crate::methods::base::{MethodBase, ShardContext};
+use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex, ShardStats};
 use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
 use crate::types::{ChunkId, DocId, Document, Query, QueryMode, Score, SearchHit, TermId};
 
@@ -64,17 +64,23 @@ impl ChunkMethod {
         scores: &ScoreMap,
         config: &IndexConfig,
     ) -> Result<ChunkMethod> {
-        let base = MethodBase::new(config)?;
+        ChunkMethod::build_in(ShardContext::standalone(config), docs, scores, config)
+    }
+
+    /// Build inside an existing shard context (shared environment and
+    /// corpus statistics). A shard's chunk map covers its own documents'
+    /// score distribution — chunk ids are never compared across shards.
+    pub(crate) fn build_in(
+        ctx: ShardContext,
+        docs: &[Document],
+        scores: &ScoreMap,
+        config: &IndexConfig,
+    ) -> Result<ChunkMethod> {
+        let base = MethodBase::with_context(ctx, config)?;
         base.bulk_load(docs, scores)?;
-        let long_store = base
-            .env
-            .create_store(store_names::LONG, config.long_cache_pages);
-        let short_store = base
-            .env
-            .create_store(store_names::SHORT, config.small_cache_pages);
-        let aux_store = base
-            .env
-            .create_store(store_names::AUX, config.small_cache_pages);
+        let long_store = base.create_store(store_names::LONG, config.long_cache_pages);
+        let short_store = base.create_store(store_names::SHORT, config.small_cache_pages);
+        let aux_store = base.create_store(store_names::AUX, config.small_cache_pages);
         let long = LongListStore::new(long_store, ListFormat::Chunked { with_scores: false });
         let short = ShortLists::create(short_store, ShortOrder::ByChunkDesc)?;
         let list_chunk = ListChunkTable::create(aux_store)?;
@@ -296,12 +302,17 @@ impl SearchIndex for ChunkMethod {
         self.list_chunk.clear()
     }
 
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        self.base
+            .single_shard_stats(self.long.total_bytes(), self.short.len())
+    }
+
     fn long_list_bytes(&self) -> u64 {
         self.long.total_bytes()
     }
 
     fn clear_long_cache(&self) -> Result<()> {
-        if let Some(store) = self.base.env.store(store_names::LONG) {
+        if let Some(store) = self.base.store(store_names::LONG) {
             store.clear_cache()?;
         }
         Ok(())

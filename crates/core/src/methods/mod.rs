@@ -21,6 +21,7 @@ mod id_term;
 mod score;
 mod score_threshold;
 mod score_threshold_term;
+mod sharded;
 
 pub use chunk::ChunkMethod;
 pub use chunk_term::ChunkTermMethod;
@@ -29,6 +30,7 @@ pub use id_term::IdTermMethod;
 pub use score::ScoreMethod;
 pub use score_threshold::ScoreThresholdMethod;
 pub use score_threshold_term::ScoreThresholdTermMethod;
+pub use sharded::{shard_of_doc, ShardedIndex};
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -54,6 +56,9 @@ pub mod store_names {
     pub const AUX: &str = "aux";
     /// Fancy lists (Chunk-TermScore).
     pub const FANCY: &str = "fancy";
+    /// Prefix of a write shard's region: shard `s` of a partitioned index
+    /// names its stores `shard-<s>/<name>` inside the shared environment.
+    pub const SHARD_PREFIX: &str = "shard-";
 }
 
 /// Which index method to build.
@@ -127,6 +132,27 @@ impl std::fmt::Display for MethodKind {
 /// Initial `doc -> score` assignment for a build.
 pub type ScoreMap = HashMap<DocId, Score>;
 
+/// Per-shard list statistics (`EXPLAIN`, monitoring). An unsharded index
+/// reports exactly one entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// Live documents owned by the shard.
+    pub docs: u64,
+    /// Bytes of the shard's long inverted lists.
+    pub long_list_bytes: u64,
+    /// Postings currently parked in the shard's short lists (merged away by
+    /// maintenance).
+    pub short_postings: u64,
+}
+
+/// A callback that re-reads the *authoritative* score of a document at
+/// refresh time, so deferred score propagation can never apply a stale
+/// value (see [`SearchIndex::refresh_scores`]). Returning `Ok(None)` means
+/// "no current score" (the row is gone) and skips the document.
+pub type ScoreRead<'a> = &'a (dyn Fn(DocId) -> Result<Option<Score>> + Sync);
+
 /// The common interface of all six index methods.
 ///
 /// All operations take `&self`: the structures use interior mutability
@@ -139,6 +165,29 @@ pub trait SearchIndex: Send + Sync {
     /// Apply a document score update (the paper's Algorithm 1 for the
     /// threshold-based methods).
     fn update_score(&self, doc: DocId, new_score: Score) -> Result<()>;
+
+    /// Refresh the scores of `docs` from an authoritative source.
+    ///
+    /// `read` is evaluated **while holding the lock that serializes score
+    /// writes for the document** (the shard's writer lock), so when several
+    /// threads defer score propagation the last applier always re-reads a
+    /// value at least as fresh as every committed write — stale captured
+    /// scores cannot win. Documents whose `read` returns `Ok(None)` and
+    /// documents unknown to the index (deleted or never inserted) are
+    /// skipped; both mean the row vanished between commit and refresh.
+    ///
+    /// Sharded indexes group `docs` by shard and apply the groups in
+    /// parallel, one thread per shard, each under its own shard lock.
+    fn refresh_scores(&self, docs: &[DocId], read: ScoreRead) -> Result<()> {
+        for &doc in docs {
+            let Some(score) = read(doc)? else { continue };
+            match self.update_score(doc, score) {
+                Ok(()) | Err(crate::error::CoreError::UnknownDocument(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
 
     /// Evaluate a top-k query against the *latest* scores (Algorithms 2/3).
     fn query(&self, query: &Query) -> Result<Vec<SearchHit>>;
@@ -154,8 +203,35 @@ pub trait SearchIndex: Send + Sync {
 
     /// Offline maintenance: merge short lists into the long lists and reset
     /// the auxiliary tables ("this is done offline and does not impact the
-    /// performance of the operational system", §5.1).
+    /// performance of the operational system", §5.1). Sharded indexes merge
+    /// every shard, each under its own writer lock.
     fn merge_short_lists(&self) -> Result<()>;
+
+    /// Number of write shards (1 unless the index was built with
+    /// `num_shards > 1`).
+    fn num_shards(&self) -> usize {
+        1
+    }
+
+    /// The shard owning `doc`'s postings and score.
+    fn shard_of(&self, _doc: DocId) -> usize {
+        0
+    }
+
+    /// Merge one shard's short lists, leaving the other shards' writers
+    /// undisturbed — the scheduling granule for incremental maintenance.
+    fn merge_shard(&self, shard: usize) -> Result<()> {
+        if shard == 0 {
+            self.merge_short_lists()
+        } else {
+            Err(crate::error::CoreError::Unsupported(
+                "shard index out of range",
+            ))
+        }
+    }
+
+    /// Per-shard list statistics (one entry per shard).
+    fn shard_stats(&self) -> Vec<ShardStats>;
 
     /// Total bytes of the long inverted lists (Table 1).
     fn long_list_bytes(&self) -> u64;
@@ -204,6 +280,21 @@ impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
         self.inner.update_score(doc, new_score)
     }
 
+    fn refresh_scores(&self, docs: &[DocId], read: ScoreRead) -> Result<()> {
+        // One write-lock acquisition for the whole batch; `read` runs under
+        // it, which is what makes deferred propagation stale-proof (see the
+        // trait docs).
+        let _guard = self.lock.write();
+        for &doc in docs {
+            let Some(score) = read(doc)? else { continue };
+            match self.inner.update_score(doc, score) {
+                Ok(()) | Err(crate::error::CoreError::UnknownDocument(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
     fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
         let _guard = self.lock.read();
         self.inner.query(query)
@@ -229,6 +320,16 @@ impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
         self.inner.merge_short_lists()
     }
 
+    fn merge_shard(&self, shard: usize) -> Result<()> {
+        let _guard = self.lock.write();
+        self.inner.merge_shard(shard)
+    }
+
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        let _guard = self.lock.read();
+        self.inner.shard_stats()
+    }
+
     fn long_list_bytes(&self) -> u64 {
         self.inner.long_list_bytes()
     }
@@ -249,8 +350,13 @@ impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
 }
 
 /// Build an index of the requested kind over `docs` with initial `scores`.
-/// The returned index is safe for one writer and many concurrent readers
-/// (see [`LockedIndex`]).
+///
+/// With `config.num_shards == 1` (the default) the returned index is safe
+/// for one writer and many concurrent readers (see [`LockedIndex`]). With
+/// `num_shards > 1` the collection is hash-partitioned by document id into
+/// that many shards, each behind an independent writer lock, so writers of
+/// documents in different shards proceed in parallel (see
+/// [`ShardedIndex`]); rankings are identical at any shard count.
 pub fn build_index(
     kind: MethodKind,
     docs: &[Document],
@@ -258,6 +364,52 @@ pub fn build_index(
     config: &IndexConfig,
 ) -> Result<Box<dyn SearchIndex>> {
     let config = config.clone().validated();
+    if config.num_shards > 1 {
+        return Ok(match kind {
+            MethodKind::Id => Box::new(ShardedIndex::build_with(
+                docs,
+                scores,
+                &config,
+                IdMethod::build_in,
+            )?),
+            MethodKind::Score => Box::new(ShardedIndex::build_with(
+                docs,
+                scores,
+                &config,
+                ScoreMethod::build_in,
+            )?),
+            MethodKind::ScoreThreshold => Box::new(ShardedIndex::build_with(
+                docs,
+                scores,
+                &config,
+                ScoreThresholdMethod::build_in,
+            )?),
+            MethodKind::Chunk => Box::new(ShardedIndex::build_with(
+                docs,
+                scores,
+                &config,
+                ChunkMethod::build_in,
+            )?),
+            MethodKind::IdTermScore => Box::new(ShardedIndex::build_with(
+                docs,
+                scores,
+                &config,
+                IdTermMethod::build_in,
+            )?),
+            MethodKind::ChunkTermScore => Box::new(ShardedIndex::build_with(
+                docs,
+                scores,
+                &config,
+                ChunkTermMethod::build_in,
+            )?),
+            MethodKind::ScoreThresholdTermScore => Box::new(ShardedIndex::build_with(
+                docs,
+                scores,
+                &config,
+                ScoreThresholdTermMethod::build_in,
+            )?),
+        });
+    }
     Ok(match kind {
         MethodKind::Id => Box::new(LockedIndex::new(IdMethod::build(docs, scores, &config)?)),
         MethodKind::Score => Box::new(LockedIndex::new(ScoreMethod::build(docs, scores, &config)?)),

@@ -18,8 +18,8 @@ use crate::error::Result;
 use crate::heap::TopKHeap;
 use crate::long_list::{invert_corpus, LongCursor};
 use crate::merge::{MultiMerge, UnionCursor};
-use crate::methods::base::MethodBase;
-use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex};
+use crate::methods::base::{MethodBase, ShardContext};
+use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex, ShardStats};
 use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
 use crate::types::{DocId, Document, Query, QueryMode, Score, SearchHit};
 
@@ -39,11 +39,20 @@ impl ScoreMethod {
         scores: &ScoreMap,
         config: &IndexConfig,
     ) -> Result<ScoreMethod> {
-        let base = MethodBase::new(config)?;
+        ScoreMethod::build_in(ShardContext::standalone(config), docs, scores, config)
+    }
+
+    /// Build inside an existing shard context (shared environment and
+    /// corpus statistics).
+    pub(crate) fn build_in(
+        ctx: ShardContext,
+        docs: &[Document],
+        scores: &ScoreMap,
+        config: &IndexConfig,
+    ) -> Result<ScoreMethod> {
+        let base = MethodBase::with_context(ctx, config)?;
         base.bulk_load(docs, scores)?;
-        let long_store = base
-            .env
-            .create_store(store_names::LONG, config.long_cache_pages);
+        let long_store = base.create_store(store_names::LONG, config.long_cache_pages);
         let list = ShortLists::create(long_store, ShortOrder::ByScoreDesc)?;
         for (term, postings) in invert_corpus(docs) {
             for p in postings {
@@ -156,11 +165,14 @@ impl SearchIndex for ScoreMethod {
         Ok(())
     }
 
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        self.base.single_shard_stats(self.long_list_bytes(), 0)
+    }
+
     fn long_list_bytes(&self) -> u64 {
         // The clustered tree's disk footprint, including B+-tree overhead —
         // the paper's Table 1 charges the Score method for exactly this.
         self.base
-            .env
             .store(store_names::LONG)
             .map(|s| s.disk().num_pages() * s.page_size() as u64)
             .unwrap_or(0)

@@ -1,0 +1,273 @@
+//! Document-partitioned write sharding: parallel same-collection writers.
+//!
+//! The paper's deployment is single-writer — one update stream from the
+//! materialized Score view — so every structure in §4 assumes at most one
+//! mutator. [`ShardedIndex`] lifts that limit for update-intensive serving:
+//! the collection is hash-partitioned by **document id** into `N` shards,
+//! and each shard is a complete method instance (its own Score-table
+//! region, short-list store, long-list store, chunk map and maintenance
+//! state) behind an independent writer lock. Score updates, insertions,
+//! deletions and content updates touch exactly one shard, so writers of
+//! documents in different shards run in parallel; batch refreshes group
+//! their documents by shard and apply the groups concurrently.
+//!
+//! Partitioning by document (not by term) is what keeps rankings exact:
+//!
+//! * every shard holds the *complete* postings of its documents, so the
+//!   conjunctive merge alignment of [`crate::merge::MultiMerge`] — which
+//!   matches a document across per-term streams at one list position —
+//!   never spans shards;
+//! * a top-k query runs the method's own early-terminating algorithm
+//!   inside each shard and the per-shard top-k results are merged: the
+//!   global top-k is a subset of the union of the shard top-k sets, so the
+//!   merged answer equals the unsharded one;
+//! * document frequencies and the live document count are shared across
+//!   shards ([`base::CorpusStats`]), so the term-score methods compute the
+//!   same collection-wide IDF at any shard count.
+//!
+//! All shards live in one [`StorageEnv`] under per-shard store-name
+//! prefixes, so I/O accounting and the cold-cache query protocol keep
+//! working unchanged.
+
+use std::sync::Arc;
+
+use svr_storage::StorageEnv;
+
+use crate::config::IndexConfig;
+use crate::error::{CoreError, Result};
+use crate::heap::TopKHeap;
+use crate::methods::base::{CorpusStats, ShardContext};
+use crate::methods::{LockedIndex, MethodKind, ScoreMap, ScoreRead, SearchIndex, ShardStats};
+use crate::types::{DocId, Document, Query, Score, SearchHit};
+
+/// The shard owning `doc` among `num_shards` partitions. Fibonacci hashing
+/// spreads sequential primary keys evenly instead of striping them.
+#[inline]
+pub fn shard_of_doc(doc: DocId, num_shards: usize) -> usize {
+    if num_shards <= 1 {
+        return 0;
+    }
+    (doc.0.wrapping_mul(0x9E37_79B1) >> 16) as usize % num_shards
+}
+
+/// A document-partitioned index: `N` complete method instances, each behind
+/// its own writer lock. Built through [`crate::build_index`] with
+/// `IndexConfig::num_shards > 1`.
+pub struct ShardedIndex<I> {
+    env: Arc<StorageEnv>,
+    shards: Vec<LockedIndex<I>>,
+}
+
+impl<I: SearchIndex> ShardedIndex<I> {
+    /// Partition `docs` by shard and build one method instance per shard in
+    /// a shared environment with shared corpus statistics.
+    pub(crate) fn build_with(
+        docs: &[Document],
+        scores: &ScoreMap,
+        config: &IndexConfig,
+        build: impl Fn(ShardContext, &[Document], &ScoreMap, &IndexConfig) -> Result<I>,
+    ) -> Result<ShardedIndex<I>> {
+        let n = config.num_shards.max(1);
+        let env = Arc::new(StorageEnv::new(config.page_size));
+        let stats = Arc::new(CorpusStats::default());
+        // One pass over the corpus, not one per shard.
+        let mut partitions: Vec<(Vec<Document>, ScoreMap)> =
+            (0..n).map(|_| Default::default()).collect();
+        for doc in docs {
+            let (shard_docs, shard_scores) = &mut partitions[shard_of_doc(doc.id, n)];
+            if let Some(&score) = scores.get(&doc.id) {
+                shard_scores.insert(doc.id, score);
+            }
+            shard_docs.push(doc.clone());
+        }
+        let mut shards = Vec::with_capacity(n);
+        for (s, (shard_docs, shard_scores)) in partitions.into_iter().enumerate() {
+            let ctx = ShardContext::shard(env.clone(), stats.clone(), s);
+            shards.push(LockedIndex::new(build(
+                ctx,
+                &shard_docs,
+                &shard_scores,
+                config,
+            )?));
+        }
+        Ok(ShardedIndex { env, shards })
+    }
+
+    #[inline]
+    fn shard(&self, doc: DocId) -> &LockedIndex<I> {
+        &self.shards[shard_of_doc(doc, self.shards.len())]
+    }
+}
+
+impl<I: SearchIndex> SearchIndex for ShardedIndex<I> {
+    fn kind(&self) -> MethodKind {
+        self.shards[0].kind()
+    }
+
+    /// Routed to the owning shard: updates of documents in different shards
+    /// take different locks and proceed in parallel.
+    fn update_score(&self, doc: DocId, new_score: Score) -> Result<()> {
+        self.shard(doc).update_score(doc, new_score)
+    }
+
+    /// Group by shard, then apply the groups in parallel — one thread per
+    /// touched shard, each under its own shard lock, each re-reading scores
+    /// under that lock (the stale-proofing contract of the trait).
+    fn refresh_scores(&self, docs: &[DocId], read: ScoreRead) -> Result<()> {
+        let n = self.shards.len();
+        let mut groups: Vec<Vec<DocId>> = vec![Vec::new(); n];
+        for &doc in docs {
+            groups[shard_of_doc(doc, n)].push(doc);
+        }
+        let touched = groups.iter().filter(|g| !g.is_empty()).count();
+        if touched <= 1 {
+            for (s, group) in groups.iter().enumerate() {
+                if !group.is_empty() {
+                    self.shards[s].refresh_scores(group, read)?;
+                }
+            }
+            return Ok(());
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .iter()
+                .enumerate()
+                .filter(|(_, group)| !group.is_empty())
+                .map(|(s, group)| {
+                    let shard = &self.shards[s];
+                    scope.spawn(move || shard.refresh_scores(group, read))
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(result) => result?,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// Fan out to every shard and merge the per-shard top-k sets. Each
+    /// shard runs the method's own early-terminating algorithm over its
+    /// complete per-document postings, so the merged ranking equals the
+    /// unsharded one.
+    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
+        let mut heap = TopKHeap::new(query.k);
+        for shard in &self.shards {
+            for hit in shard.query(query)? {
+                heap.add(hit.doc, hit.score);
+            }
+        }
+        Ok(heap.into_ranked())
+    }
+
+    fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {
+        self.shard(doc.id).insert_document(doc, score)
+    }
+
+    fn delete_document(&self, doc: DocId) -> Result<()> {
+        self.shard(doc).delete_document(doc)
+    }
+
+    fn update_content(&self, doc: &Document) -> Result<()> {
+        self.shard(doc.id).update_content(doc)
+    }
+
+    /// Merge every shard, one thread per shard: shard `s`'s merge only
+    /// excludes writers of shard `s`, so maintenance of a busy collection
+    /// no longer stalls every writer at once.
+    fn merge_short_lists(&self) -> Result<()> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| scope.spawn(move || shard.merge_short_lists()))
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(result) => result?,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            Ok(())
+        })
+    }
+
+    fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, doc: DocId) -> usize {
+        shard_of_doc(doc, self.shards.len())
+    }
+
+    fn merge_shard(&self, shard: usize) -> Result<()> {
+        self.shards
+            .get(shard)
+            .ok_or(CoreError::Unsupported("shard index out of range"))?
+            .merge_short_lists()
+    }
+
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                let mut stats = shard.shard_stats().remove(0);
+                stats.shard = s;
+                stats
+            })
+            .collect()
+    }
+
+    fn long_list_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.long_list_bytes()).sum()
+    }
+
+    fn clear_long_cache(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.clear_long_cache()?;
+        }
+        Ok(())
+    }
+
+    fn env(&self) -> &Arc<StorageEnv> {
+        &self.env
+    }
+
+    fn current_score(&self, doc: DocId) -> Result<Score> {
+        self.shard(doc).current_score(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for n in [1usize, 2, 3, 8] {
+            for id in 0..1_000u32 {
+                let s = shard_of_doc(DocId(id), n);
+                assert!(s < n);
+                assert_eq!(s, shard_of_doc(DocId(id), n), "stable");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_ids_spread_across_shards() {
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        for id in 0..4_000u32 {
+            counts[shard_of_doc(DocId(id), n)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 4_000 / n / 2 && c < 4_000 / n * 2,
+                "shard {s} unbalanced: {c}"
+            );
+        }
+    }
+}

@@ -2,8 +2,12 @@
 //! locking, so concurrent readers racing a writer must neither crash nor
 //! return scores that were never valid for the returned document.
 //!
-//! (The system is single-writer / many-reader, like the paper's deployment:
-//! one update stream from the materialized view, queries from everywhere.)
+//! Two regimes are exercised: the paper's single-writer / many-reader
+//! deployment (one update stream from the materialized view, queries from
+//! everywhere), and the sharded write path (`IndexConfig::num_shards > 1`)
+//! where **several writers storm one index at once** and the final state
+//! must equal a serial replay — the oracle for "parallel writers lose
+//! nothing and rankings stay exact".
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -11,7 +15,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use svr_core::types::{DocId, Document, Query, QueryMode, TermId};
-use svr_core::{build_index, IndexConfig, MethodKind, ScoreMap};
+use svr_core::{build_index, IndexConfig, MethodKind, Oracle, ScoreMap};
 
 fn corpus(n: u32) -> (Vec<Document>, ScoreMap) {
     let mut rng = StdRng::seed_from_u64(99);
@@ -60,7 +64,11 @@ fn run_stress(kind: MethodKind) {
                         };
                         let hits = index_ref.query(&Query::new(terms, 10, mode)).unwrap();
                         for w in hits.windows(2) {
-                            assert!(w[0].score >= w[1].score || w[0].doc.0 < w[1].doc.0);
+                            assert!(
+                                w[0].score > w[1].score
+                                    || (w[0].score == w[1].score && w[0].doc.0 < w[1].doc.0),
+                                "ranked output must be (score desc, doc asc) sorted"
+                            );
                         }
                         for h in &hits {
                             assert!(h.score.is_finite() && h.score >= 0.0);
@@ -98,6 +106,150 @@ fn run_stress(kind: MethodKind) {
     }
 }
 
+/// Multi-writer storm against one sharded index: `writers` threads apply
+/// deterministic, per-thread-disjoint operation sequences (score updates,
+/// inserts, deletes, content updates) while readers run top-k queries.
+/// After quiescing, the index must agree everywhere with a serial replay
+/// of the same operations into the brute-force [`Oracle`].
+fn run_multi_writer(kind: MethodKind, writers: u32, num_shards: usize) {
+    const BASE_DOCS: u32 = 240;
+    const ROUNDS: u32 = 400;
+
+    let (docs, scores) = corpus(BASE_DOCS);
+    let config = IndexConfig {
+        chunk_ratio: 2.0,
+        threshold_ratio: 1.5,
+        min_chunk_docs: 8,
+        num_shards,
+        ..IndexConfig::default()
+    };
+    let index = build_index(kind, &docs, &scores, &config).unwrap();
+    assert_eq!(index.num_shards(), num_shards);
+    let oracle_weight = if kind.uses_term_scores() {
+        config.term_weight
+    } else {
+        0.0
+    };
+    let mut oracle = Oracle::build(&docs, &scores, oracle_weight);
+    let stop = AtomicBool::new(false);
+
+    // Deterministic per-writer scripts over *disjoint* documents
+    // (writer w owns doc ids with id % writers == w), so a serial replay
+    // in any order yields the same final state the threads must reach.
+    assert_eq!(BASE_DOCS % writers, 0, "doc partition must be exact");
+    let script = |writer: u32| -> Vec<(u32, DocId, f64)> {
+        let mut rng = StdRng::seed_from_u64(0xD0C5 + writer as u64);
+        (0..ROUNDS)
+            .map(|_| {
+                let doc = DocId(rng.gen_range(0..BASE_DOCS / writers) * writers + writer);
+                let op = rng.gen_range(0..10u32);
+                let score = rng.gen_range(0.0..200_000.0f64).round();
+                (op, doc, score)
+            })
+            .collect()
+    };
+
+    std::thread::scope(|scope| {
+        let index_ref = index.as_ref();
+        let stop_ref = &stop;
+        let readers: Vec<_> = (0..2)
+            .map(|seed| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut ran = 0u32;
+                    while !stop_ref.load(Ordering::Relaxed) {
+                        let terms =
+                            vec![TermId(rng.gen_range(0..30)), TermId(rng.gen_range(0..30))];
+                        let hits = index_ref
+                            .query(&Query::new(terms, 10, QueryMode::Disjunctive))
+                            .unwrap();
+                        for w in hits.windows(2) {
+                            assert!(
+                                w[0].score > w[1].score
+                                    || (w[0].score == w[1].score && w[0].doc.0 < w[1].doc.0),
+                                "ranked output must be (score desc, doc asc) sorted"
+                            );
+                        }
+                        ran += 1;
+                    }
+                    ran
+                })
+            })
+            .collect();
+
+        let writer_handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let ops = script(w);
+                scope.spawn(move || {
+                    for (op, doc, score) in ops {
+                        // Mostly score updates (the update-intensive hot
+                        // path), a sprinkle of content updates; ignore
+                        // UnknownDocument from ops racing a delete of the
+                        // same writer's earlier round (deterministic
+                        // per-writer order makes this impossible — every
+                        // op must succeed).
+                        if op == 9 {
+                            let terms = [(TermId(doc.0 % 30), 2u32), (TermId((doc.0 + 7) % 30), 1)];
+                            let new_doc = Document::from_term_freqs(doc, terms);
+                            index_ref.update_content(&new_doc).unwrap();
+                        } else {
+                            index_ref.update_score(doc, score).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in writer_handles {
+            handle.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            assert!(reader.join().unwrap() > 0, "readers made progress");
+        }
+    });
+
+    // Serial replay into the oracle (writer order is irrelevant: the
+    // scripts touch disjoint documents).
+    for w in 0..writers {
+        for (op, doc, score) in script(w) {
+            if op == 9 {
+                let terms = [(TermId(doc.0 % 30), 2u32), (TermId((doc.0 + 7) % 30), 1)];
+                oracle
+                    .update_content(&Document::from_term_freqs(doc, terms))
+                    .unwrap();
+            } else {
+                oracle.update_score(doc, score).unwrap();
+            }
+        }
+    }
+
+    // Quiescent state: per-doc scores and rankings equal the serial replay.
+    for doc in oracle.live_docs() {
+        assert_eq!(
+            index.current_score(doc).unwrap(),
+            oracle.score_of(doc).unwrap(),
+            "{kind}/{writers}w: doc {doc} diverged from serial replay"
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(4242);
+    for _ in 0..40 {
+        let terms = vec![TermId(rng.gen_range(0..30)), TermId(rng.gen_range(0..30))];
+        let mode = if rng.gen_bool(0.5) {
+            QueryMode::Conjunctive
+        } else {
+            QueryMode::Disjunctive
+        };
+        let query = Query::new(terms, 10, mode);
+        let got = index.query(&query).unwrap();
+        let expected = oracle.query(&query);
+        assert_eq!(got.len(), expected.len(), "{kind}/{writers}w: {query:?}");
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.doc, e.doc, "{kind}/{writers}w: {query:?}");
+            assert!((g.score - e.score).abs() < 1e-9, "{kind}/{writers}w");
+        }
+    }
+}
+
 #[test]
 fn concurrent_id() {
     run_stress(MethodKind::Id);
@@ -116,4 +268,31 @@ fn concurrent_score_threshold() {
 #[test]
 fn concurrent_chunk_term() {
     run_stress(MethodKind::ChunkTermScore);
+}
+
+#[test]
+fn multi_writer_chunk_sharded() {
+    run_multi_writer(MethodKind::Chunk, 4, 4);
+}
+
+#[test]
+fn multi_writer_score_threshold_sharded() {
+    run_multi_writer(MethodKind::ScoreThreshold, 4, 4);
+}
+
+#[test]
+fn multi_writer_id_sharded() {
+    run_multi_writer(MethodKind::Id, 4, 8);
+}
+
+#[test]
+fn multi_writer_chunk_term_sharded() {
+    run_multi_writer(MethodKind::ChunkTermScore, 4, 4);
+}
+
+/// Even a *sharded* index with a single writer must track the oracle — the
+/// degenerate regression guard for the routing/merge layer.
+#[test]
+fn multi_writer_single_thread_sharded() {
+    run_multi_writer(MethodKind::Chunk, 1, 4);
 }

@@ -2,39 +2,78 @@
 //!
 //! [`SvrEngine`] owns the relational [`Database`], the text vocabulary and
 //! one [`SearchIndex`] per indexed text column. Structured-data mutations
-//! flow through the materialized Score view, whose change notifications
-//! drive the index's score updates *synchronously inside the mutating
-//! call*; text mutations flow through the Appendix-A content operations.
-//! Keyword queries return ranked rows.
+//! flow through the materialized Score view into the index's score
+//! updates before the mutating call returns; text mutations flow through
+//! the Appendix-A content operations. Keyword queries return ranked rows.
 //!
-//! ## Concurrency model
+//! ## Concurrency model: two-tier locking
 //!
 //! The engine is a cheap cloneable handle (`Clone` = `Arc` bump) over
-//! shared, internally synchronized state:
+//! shared, internally synchronized state. Writes go through **two lock
+//! tiers** so that same-table writers overlap on the expensive part of the
+//! write path:
+//!
+//! * **tier 1 — the per-table writer lock** is held only for the row/view
+//!   mutation: the base-table write, materialized-view maintenance, and
+//!   any *structural* index operation of the same row (document insert,
+//!   delete, content update — these must stay ordered with the row they
+//!   describe). Score-change notifications raised by the view are only
+//!   *recorded*, not applied; view listeners run synchronously on the
+//!   mutating thread, so the record is a thread-local capture private to
+//!   the call — no other writer can take over (or race) this call's
+//!   refresh work.
+//! * **tier 2 — the per-shard index locks**: after the table lock is
+//!   released, the call's recorded keys are refreshed through
+//!   [`SearchIndex::refresh_scores`], which groups them by index shard and
+//!   applies each group under that shard's writer lock only (in parallel
+//!   for batches). The refresh *re-reads* the view score under the shard
+//!   lock, so when two writers race on one document the last applier
+//!   always writes a value at least as fresh as every committed change —
+//!   deferred propagation cannot resurrect a stale score.
+//!
+//! Consequences:
 //!
 //! * **reads scale** — [`SvrEngine::search`], [`SvrEngine::score_of`],
 //!   [`SvrEngine::index`], [`SvrEngine::text_index_on`] and the plain
 //!   relational reads all take `&self` and run concurrently from any
 //!   number of threads;
-//! * **writes serialize per table** — [`SvrEngine::insert_row`],
-//!   [`SvrEngine::update_row`] and [`SvrEngine::delete_row`] take a
-//!   per-table writer lock for the whole mutation (base table + view
-//!   maintenance + index maintenance), so writers of *different* tables
-//!   proceed in parallel while same-table writers queue;
-//! * **score propagation is synchronous** — the view listener pushes the
-//!   new score straight into [`SearchIndex::update_score`] (the index is
-//!   internally locked), so a query issued the moment a mutation returns
-//!   sees the new ranking;
-//! * **batches coalesce** — [`SvrEngine::apply`] /
-//!   [`SvrEngine::insert_rows`] buffer view notifications and fire one
-//!   score update per touched document with its *final* score.
+//! * **same-table writers overlap** — two [`SvrEngine::update_row`] calls
+//!   on one table serialize only through the short tier-1 section; their
+//!   index score maintenance (the hot part under the paper's
+//!   update-intensive workloads) runs concurrently whenever the touched
+//!   documents hash to different shards (`IndexConfig::num_shards`);
+//! * **writers of different tables** never share a tier-1 lock and proceed
+//!   in parallel end-to-end;
+//! * **score propagation completes before the call returns** — a query
+//!   issued the moment a mutation returns sees the new ranking;
+//! * **batches coalesce and fan out** — [`SvrEngine::apply`] /
+//!   [`SvrEngine::insert_rows`] buffer view notifications, record one
+//!   refresh per touched document, and apply the refreshes grouped by
+//!   shard in parallel;
+//! * **maintenance is per shard** — [`SvrEngine::run_maintenance`] no
+//!   longer takes the table lock at all: each shard's merge excludes only
+//!   that shard's writers ([`SvrEngine::run_shard_maintenance`] merges a
+//!   single shard).
+//!
+//! Lock order is `table lock → shard lock`; the refresh tier takes shard
+//! locks only. Nothing acquires a table lock while holding a shard lock,
+//! so the two tiers cannot deadlock; [`SvrEngine::apply`] takes its table
+//! locks in sorted order for the same reason.
+//!
+//! DDL is coarser: `create_text_index` blocks the indexed table's writers
+//! for the whole build. `DROP TABLE` retires the table's tier-1 lock
+//! entry under the lock itself, and every acquisition re-validates that
+//! the lock it got is still the registered one — so a writer racing a
+//! drop + re-create can never mutate the new incarnation under the old
+//! lock (it re-acquires the current lock, or errors on the missing
+//! table).
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use svr_core::types::{DocId, Document, Query, QueryMode};
-use svr_core::{build_index, IndexConfig, MethodKind, SearchIndex};
+use svr_core::{build_index, IndexConfig, MethodKind, SearchIndex, ShardStats};
 use svr_relation::{Database, Schema, SvrSpec, Value};
 use svr_text::Vocabulary;
 
@@ -146,6 +185,17 @@ struct TextIndex {
     index: Arc<dyn SearchIndex>,
 }
 
+std::thread_local! {
+    /// `(view name, target pk)` score changes raised by the mutation
+    /// in flight **on this thread**. View listeners run synchronously on
+    /// the mutating thread, so recording here (instead of in a shared
+    /// queue) gives each mutating call exactly its own refresh set: no
+    /// other writer can steal a key and return before it is applied, and
+    /// refresh errors surface on the call that caused them.
+    static TOUCHED_SCORES: std::cell::RefCell<Vec<(Arc<str>, i64)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// The shared, internally synchronized engine state.
 struct EngineShared {
     db: Database,
@@ -154,14 +204,10 @@ struct EngineShared {
     vocab: RwLock<Vocabulary>,
     /// Read-mostly index registry.
     indexes: RwLock<HashMap<String, Arc<TextIndex>>>,
-    /// Per-table writer locks serializing the whole mutation path (base
-    /// table + views + indexes). Writers of different tables run in
-    /// parallel.
+    /// Tier-1 per-table writer locks (see the [module docs](self)).
+    /// Writers of different tables run in parallel; entries are removed
+    /// when their table is dropped.
     write_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
-    /// Errors raised inside synchronous score listeners (which cannot
-    /// return a `Result` through the relational layer); the mutating call
-    /// that triggered them picks them up on its way out.
-    listener_errors: Arc<Mutex<Vec<String>>>,
 }
 
 /// The integrated engine. Cloning is cheap (`Arc` bump) and every clone
@@ -189,7 +235,6 @@ impl SvrEngine {
                 vocab: RwLock::new(Vocabulary::new()),
                 indexes: RwLock::new(HashMap::new()),
                 write_locks: Mutex::new(HashMap::new()),
-                listener_errors: Arc::new(Mutex::new(Vec::new())),
             }),
         }
     }
@@ -209,16 +254,109 @@ impl SvrEngine {
             .clone()
     }
 
-    /// Report errors raised inside synchronous score listeners while the
-    /// current mutating call ran.
-    fn check_listener_errors(&self) -> Result<()> {
-        let mut sink = self.shared.listener_errors.lock();
-        match sink.pop() {
-            None => Ok(()),
-            Some(msg) => {
-                sink.clear();
-                Err(SvrError::Engine(format!("score propagation failed: {msg}")))
+    /// Run `f` under `table`'s tier-1 writer lock, re-acquiring if the lock
+    /// was retired (the table dropped) between fetching and acquiring it —
+    /// a writer that loses the race against `DROP TABLE` + re-`CREATE`
+    /// must not mutate the new incarnation under the old lock.
+    fn with_table_lock<R>(&self, table: &str, f: impl FnOnce() -> R) -> R {
+        let mut f = Some(f);
+        loop {
+            let lock = self.write_lock(table);
+            let guard = lock.lock();
+            let current = self
+                .shared
+                .write_locks
+                .lock()
+                .get(table)
+                .is_some_and(|registered| Arc::ptr_eq(registered, &lock));
+            if current {
+                let result = (f.take().expect("validated lock runs f exactly once"))();
+                drop(guard);
+                return result;
             }
+        }
+    }
+
+    /// [`SvrEngine::with_table_lock`] over several tables at once, acquired
+    /// in the caller's (sorted) order so concurrent batches cannot
+    /// deadlock.
+    fn with_table_locks<R>(&self, tables: &[String], f: impl FnOnce() -> R) -> R {
+        let mut f = Some(f);
+        loop {
+            let locks: Vec<_> = tables.iter().map(|t| self.write_lock(t)).collect();
+            let guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
+            let all_current = {
+                let registered = self.shared.write_locks.lock();
+                tables
+                    .iter()
+                    .zip(&locks)
+                    .all(|(t, l)| registered.get(t).is_some_and(|cur| Arc::ptr_eq(cur, l)))
+            };
+            if all_current {
+                let result = (f.take().expect("validated locks run f exactly once"))();
+                drop(guards);
+                return result;
+            }
+        }
+    }
+
+    /// Tier 2: drain this thread's recorded score changes and refresh the
+    /// affected indexes. Called after the tier-1 lock is released — each
+    /// index groups its documents by shard and re-reads the authoritative
+    /// view score under the shard's writer lock, so refreshes of documents
+    /// in different shards proceed in parallel and stale captured values
+    /// cannot win (see the [module docs](self)).
+    ///
+    /// Every affected index is refreshed even if an earlier one fails; the
+    /// first error is returned.
+    fn refresh_touched(&self) -> Result<()> {
+        let raw = TOUCHED_SCORES.with(|t| std::mem::take(&mut *t.borrow_mut()));
+        if raw.is_empty() {
+            return Ok(());
+        }
+        let mut by_view: HashMap<Arc<str>, Vec<i64>> = HashMap::new();
+        for (view, pk) in raw {
+            by_view.entry(view).or_default().push(pk);
+        }
+        let mut first_error: Option<SvrError> = None;
+        for (view, mut pks) in by_view {
+            let Some(ti) = self.shared.indexes.read().get(&*view).cloned() else {
+                // Index dropped between the mutation and this refresh.
+                continue;
+            };
+            pks.sort_unstable();
+            pks.dedup();
+            // Refresh every convertible key even when one is out of the
+            // document-id range — the bad key is reported, the rest must
+            // not go stale over it.
+            let mut docs = Vec::with_capacity(pks.len());
+            for pk in pks {
+                match doc_id(pk) {
+                    Ok(doc) => docs.push(doc),
+                    Err(e) => {
+                        first_error.get_or_insert(SvrError::Engine(format!(
+                            "score propagation failed: index '{}': {e}",
+                            ti.view
+                        )));
+                    }
+                }
+            }
+            let db = &self.shared.db;
+            let read = |doc: DocId| -> svr_core::Result<Option<f64>> {
+                // The row (or the whole view) may have vanished between the
+                // commit and this refresh; that is a skip, not an error.
+                Ok(db.score_of(&ti.view, i64::from(doc.0)).ok())
+            };
+            if let Err(e) = ti.index.refresh_scores(&docs, &read) {
+                first_error.get_or_insert(SvrError::Engine(format!(
+                    "score propagation failed: index '{}': {e}",
+                    ti.view
+                )));
+            }
+        }
+        match first_error {
+            None => Ok(()),
+            Some(e) => Err(e),
         }
     }
 
@@ -242,9 +380,17 @@ impl SvrEngine {
                  (DROP TEXT INDEX {index} first)"
             )));
         }
-        let write_lock = self.write_lock(table);
-        let _write = write_lock.lock();
-        Ok(self.shared.db.drop_table(table)?)
+        self.with_table_lock(table, || -> Result<()> {
+            self.shared.db.drop_table(table)?;
+            // Retire the writer-lock entry *while still holding the lock*:
+            // the map may not grow unbounded across create/drop cycles, and
+            // a writer still queued on the old Arc wakes to find it
+            // unregistered and re-acquires the current one (see
+            // `with_table_lock`), so a re-created table can never be
+            // mutated under the retired lock.
+            self.shared.write_locks.lock().remove(table);
+            Ok(())
+        })
     }
 
     /// Create a text index with SVR ranking on `table.text_col`.
@@ -274,9 +420,33 @@ impl SvrEngine {
 
         // Block writers of the indexed table while the view + index are
         // built and wired, so no row slips between the scan and the wiring.
-        let write_lock = self.write_lock(table);
-        let _write = write_lock.lock();
+        self.with_table_lock(table, || {
+            self.create_text_index_locked(
+                name,
+                table_ref.as_ref(),
+                text_idx,
+                pk_idx,
+                spec,
+                method,
+                config,
+            )
+        })
+    }
 
+    /// [`SvrEngine::create_text_index`] body, with the caller holding the
+    /// indexed table's writer lock.
+    #[allow(clippy::too_many_arguments)]
+    fn create_text_index_locked(
+        &self,
+        name: &str,
+        table_ref: &svr_relation::Table,
+        text_idx: usize,
+        pk_idx: usize,
+        spec: SvrSpec,
+        method: MethodKind,
+        config: IndexConfig,
+    ) -> Result<()> {
+        let table = &table_ref.schema().name;
         self.shared.db.create_score_view(name, table, spec)?;
 
         // Tokenize the existing rows.
@@ -302,29 +472,17 @@ impl SvrEngine {
 
         let index: Arc<dyn SearchIndex> = Arc::from(build_index(method, &docs, &scores, &config)?);
 
-        // Synchronous propagation: the view pushes each new score straight
-        // into the (internally locked) index. A row mid-insert is not in
-        // the index yet — the UnknownDocument case — and gets its score
-        // from the insert path instead. Anything else is a real fault and
-        // is surfaced through the listener error sink.
-        let listener_index = index.clone();
-        let errors = self.shared.listener_errors.clone();
-        let index_name = name.to_string();
+        // Tier-1 recording: the view listener only notes *which* target key
+        // changed, in the mutating thread's local capture (listeners run
+        // synchronously on that thread). The mutating call drains its own
+        // capture after commit and refreshes the index under shard locks,
+        // re-reading the view for the authoritative score (see the module
+        // docs).
+        let view_tag: Arc<str> = Arc::from(name);
         self.shared.db.set_score_listener(
             name,
-            Box::new(move |pk, score| {
-                let push = || -> std::result::Result<(), String> {
-                    let doc = u32::try_from(pk)
-                        .map(DocId)
-                        .map_err(|_| format!("primary key {pk} out of document-id range"))?;
-                    match listener_index.update_score(doc, score) {
-                        Ok(()) | Err(svr_core::CoreError::UnknownDocument(_)) => Ok(()),
-                        Err(e) => Err(e.to_string()),
-                    }
-                };
-                if let Err(msg) = push() {
-                    errors.lock().push(format!("index '{index_name}': {msg}"));
-                }
+            Box::new(move |pk, _score| {
+                TOUCHED_SCORES.with(|t| t.borrow_mut().push((view_tag.clone(), pk)));
             }),
         )?;
 
@@ -356,10 +514,9 @@ impl SvrEngine {
             .write()
             .remove(name)
             .ok_or_else(|| SvrError::Engine(format!("unknown text index '{name}'")))?;
-        let write_lock = self.write_lock(&removed.table);
-        let _write = write_lock.lock();
-        self.shared.db.drop_score_view(&removed.view)?;
-        Ok(())
+        self.with_table_lock(&removed.table, || {
+            Ok(self.shared.db.drop_score_view(&removed.view)?)
+        })
     }
 
     /// Look up a text index entry.
@@ -385,13 +542,17 @@ impl SvrEngine {
 
     /// Insert a row, maintaining views and text indexes.
     pub fn insert_row(&self, table: &str, row: Vec<Value>) -> Result<()> {
-        let write_lock = self.write_lock(table);
-        let _write = write_lock.lock();
-        self.insert_row_locked(table, row)
+        let mutated = self.with_table_lock(table, || self.insert_row_locked(table, row));
+        // Refresh even after a failed mutation: notifications already fired
+        // for whatever part committed. The mutation's error wins.
+        let refreshed = self.refresh_touched();
+        mutated?;
+        refreshed
     }
 
-    /// [`SvrEngine::insert_row`] body, with the caller holding the table's
-    /// writer lock.
+    /// [`SvrEngine::insert_row`] tier-1 body, with the caller holding the
+    /// table's writer lock: row + view mutation and the structural
+    /// `insert_document`. The caller drains and applies score refreshes.
     fn insert_row_locked(&self, table: &str, row: Vec<Value>) -> Result<()> {
         // Extract what the text indexes need *before* the row moves into
         // the database — no full-row clone.
@@ -415,58 +576,80 @@ impl SvrEngine {
             let score = self.shared.db.score_of(&ti.view, pk).unwrap_or(0.0);
             ti.index.insert_document(&doc, score)?;
         }
-        self.check_listener_errors()
+        Ok(())
     }
 
     /// Insert many rows into one table under a single writer-lock
     /// acquisition, with coalesced score propagation — the bulk-load path.
     pub fn insert_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
         let inserted = rows.len();
-        let write_lock = self.write_lock(table);
-        let _write = write_lock.lock();
-        let bracket = self.shared.db.buffer_score_notifications();
-        for row in rows {
-            self.insert_row_locked(table, row)?;
-        }
-        drop(bracket);
-        self.check_listener_errors()?;
+        let mutated = self.with_table_lock(table, || {
+            let bracket = self.shared.db.buffer_score_notifications();
+            let mut mutated = Ok(());
+            for row in rows {
+                mutated = self.insert_row_locked(table, row);
+                if mutated.is_err() {
+                    break;
+                }
+            }
+            // Dropping the bracket flushes the coalesced notifications (one
+            // per touched key, final score) into this thread's capture.
+            drop(bracket);
+            mutated
+        });
+        let refreshed = self.refresh_touched();
+        mutated?;
+        refreshed?;
         Ok(inserted)
     }
 
     /// Apply a [`WriteBatch`]: one writer-lock acquisition per involved
     /// table (taken in sorted order, so concurrent batches cannot
-    /// deadlock), coalesced view notifications, and one score update per
-    /// touched document. Returns the number of operations applied.
+    /// deadlock), coalesced view notifications, and one score refresh per
+    /// touched document — grouped by index shard and applied with the
+    /// shards in parallel after the table locks are released. Returns the
+    /// number of operations applied.
     ///
     /// The batch is *not* atomic: an error aborts the remaining
     /// operations, but operations already applied stay applied.
     pub fn apply(&self, batch: WriteBatch) -> Result<usize> {
-        let mut tables: Vec<&str> = batch.ops.iter().map(WriteOp::table).collect();
+        let mut tables: Vec<String> = batch.ops.iter().map(|op| op.table().to_string()).collect();
         tables.sort_unstable();
         tables.dedup();
-        let locks: Vec<_> = tables.iter().map(|t| self.write_lock(t)).collect();
-        let _guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
-
-        let bracket = self.shared.db.buffer_score_notifications();
         let applied = batch.ops.len();
-        for op in batch.ops {
-            match op {
-                WriteOp::Insert { table, row } => self.insert_row_locked(&table, row)?,
-                WriteOp::Update { table, pk, sets } => self.update_row_locked(&table, pk, &sets)?,
-                WriteOp::Delete { table, pk } => self.delete_row_locked(&table, pk)?,
+        let mutated = self.with_table_locks(&tables, || {
+            let bracket = self.shared.db.buffer_score_notifications();
+            let mut mutated = Ok(());
+            for op in batch.ops {
+                mutated = match op {
+                    WriteOp::Insert { table, row } => self.insert_row_locked(&table, row),
+                    WriteOp::Update { table, pk, sets } => {
+                        self.update_row_locked(&table, pk, &sets)
+                    }
+                    WriteOp::Delete { table, pk } => self.delete_row_locked(&table, pk),
+                };
+                if mutated.is_err() {
+                    break;
+                }
             }
-        }
-        drop(bracket);
-        self.check_listener_errors()?;
+            drop(bracket);
+            mutated
+        });
+        let refreshed = self.refresh_touched();
+        mutated?;
+        refreshed?;
         Ok(applied)
     }
 
     /// Update a row, maintaining views and text indexes (text-column changes
-    /// become Appendix-A content updates).
+    /// become Appendix-A content updates). Pure score updates — the
+    /// update-intensive hot path — hold the table lock only for the
+    /// row/view mutation; the index refresh runs under shard locks.
     pub fn update_row(&self, table: &str, pk: Value, updates: &[(String, Value)]) -> Result<()> {
-        let write_lock = self.write_lock(table);
-        let _write = write_lock.lock();
-        self.update_row_locked(table, pk, updates)
+        let mutated = self.with_table_lock(table, || self.update_row_locked(table, pk, updates));
+        let refreshed = self.refresh_touched();
+        mutated?;
+        refreshed
     }
 
     fn update_row_locked(&self, table: &str, pk: Value, updates: &[(String, Value)]) -> Result<()> {
@@ -485,18 +668,21 @@ impl SvrEngine {
                         new_text.as_text().unwrap_or(""),
                         &mut self.shared.vocab.write(),
                     );
+                    // Structural: stays in tier 1 so concurrent content
+                    // updates of one document cannot apply out of order.
                     ti.index.update_content(&doc)?;
                 }
             }
         }
-        self.check_listener_errors()
+        Ok(())
     }
 
     /// Delete a row, maintaining views and text indexes.
     pub fn delete_row(&self, table: &str, pk: Value) -> Result<()> {
-        let write_lock = self.write_lock(table);
-        let _write = write_lock.lock();
-        self.delete_row_locked(table, pk)
+        let mutated = self.with_table_lock(table, || self.delete_row_locked(table, pk));
+        let refreshed = self.refresh_touched();
+        mutated?;
+        refreshed
     }
 
     fn delete_row_locked(&self, table: &str, pk: Value) -> Result<()> {
@@ -507,7 +693,7 @@ impl SvrEngine {
                 .ok_or_else(|| SvrError::Engine("integer key required".into()))?;
             ti.index.delete_document(doc_id(pk_int)?)?;
         }
-        self.check_listener_errors()
+        Ok(())
     }
 
     /// Keyword-search the indexed text column, returning the top-k rows
@@ -577,14 +763,28 @@ impl SvrEngine {
         Ok(self.entry(name)?.index.clone())
     }
 
-    /// Run the offline short-list merge on an index. Serializes with the
-    /// indexed table's writers (merge restructures the lists the content
-    /// operations append to).
+    /// Run the offline short-list merge on an index, shard by shard. No
+    /// table lock is taken: each shard's merge holds that shard's writer
+    /// lock only, so writers of documents in other shards keep running
+    /// while the merge restructures this one (sharded indexes merge their
+    /// shards in parallel).
     pub fn run_maintenance(&self, name: &str) -> Result<()> {
-        let ti = self.entry(name)?;
-        let write_lock = self.write_lock(&ti.table);
-        let _write = write_lock.lock();
-        Ok(ti.index.merge_short_lists()?)
+        Ok(self.entry(name)?.index.merge_short_lists()?)
+    }
+
+    /// Merge a single shard of an index — the scheduling granule for
+    /// incremental maintenance under sustained write load: a maintainer can
+    /// walk the shards round-robin, never stalling more than `1/num_shards`
+    /// of the table's writers at a time.
+    pub fn run_shard_maintenance(&self, name: &str, shard: usize) -> Result<()> {
+        Ok(self.entry(name)?.index.merge_shard(shard)?)
+    }
+
+    /// Per-shard list statistics of an index (shard count, long-list bytes,
+    /// parked short-list postings) — surfaced by `EXPLAIN` in the SQL
+    /// layer.
+    pub fn index_shard_stats(&self, name: &str) -> Result<Vec<ShardStats>> {
+        Ok(self.entry(name)?.index.shard_stats())
     }
 
     /// The materialized view's score for a row (for assertions and demos).
@@ -598,4 +798,35 @@ fn doc_id(pk: i64) -> Result<DocId> {
     u32::try_from(pk)
         .map(DocId)
         .map_err(|_| SvrError::Engine(format!("primary key {pk} out of document-id range")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svr_relation::schema::ColumnType;
+
+    fn schema(name: &str) -> Schema {
+        Schema::new(name, &[("id", ColumnType::Int), ("v", ColumnType::Int)], 0)
+    }
+
+    /// `DROP TABLE` must retire the table's writer-lock entry: the map may
+    /// not grow across create/drop cycles, and a re-created table gets a
+    /// fresh lock.
+    #[test]
+    fn drop_table_retires_writer_lock_entry() {
+        let engine = SvrEngine::new();
+        for round in 0..5 {
+            engine.create_table(schema("churn")).unwrap();
+            engine
+                .insert_row("churn", vec![Value::Int(round), Value::Int(1)])
+                .unwrap();
+            assert!(engine.shared.write_locks.lock().contains_key("churn"));
+            engine.drop_table("churn").unwrap();
+            assert!(
+                !engine.shared.write_locks.lock().contains_key("churn"),
+                "stale writer-lock entry after drop (round {round})"
+            );
+        }
+        assert_eq!(engine.shared.write_locks.lock().len(), 0);
+    }
 }

@@ -14,10 +14,14 @@
 //! The engine is built for the paper's deployment shape — scores churn
 //! constantly while queries keep coming — so it is **shareable**: a
 //! [`SvrEngine`] handle is a cheap clone over internally synchronized
-//! state, reads take `&self` and scale across threads, and writes
-//! serialize through per-table writer locks. Bulk mutations go through
-//! [`WriteBatch`] / [`SvrEngine::apply`] with coalesced score
-//! propagation.
+//! state, reads take `&self` and scale across threads, and writes go
+//! through two lock tiers (a short per-table lock for the row/view
+//! mutation, then per-shard index locks for score maintenance) so that
+//! same-table writers overlap when the index is sharded
+//! (`IndexConfig::num_shards`). Bulk mutations go through [`WriteBatch`] /
+//! [`SvrEngine::apply`] with coalesced score propagation applied shard by
+//! shard in parallel. The full locking rules live in the module docs of
+//! `engine.rs`.
 //!
 //! ```
 //! use svr_engine::SvrEngine;

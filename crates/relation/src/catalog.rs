@@ -82,8 +82,9 @@ impl Database {
         Ok(())
     }
 
-    /// Drop a table. Fails while any score view targets or sources it
-    /// (drop the dependent view — in the engine, the text index — first).
+    /// Drop a table, freeing its backing store. Fails while any score view
+    /// targets or sources it (drop the dependent view — in the engine, the
+    /// text index — first).
     pub fn drop_table(&self, name: &str) -> Result<()> {
         for (view_name, view) in self.views.read().iter() {
             let view = view.lock();
@@ -103,8 +104,12 @@ impl Database {
         self.tables
             .write()
             .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| RelationError::UnknownTable(name.to_string()))
+            .ok_or_else(|| RelationError::UnknownTable(name.to_string()))?;
+        // Free the dropped table's pages: without this the environment
+        // retains every store ever created, and re-creating the table would
+        // silently reattach to the old one.
+        self.env.remove_store(&format!("table:{name}"));
+        Ok(())
     }
 
     fn slot(&self, name: &str) -> Result<Arc<TableSlot>> {
@@ -261,15 +266,19 @@ impl Database {
         self.route_change(&slot.table, &change)
     }
 
-    /// Enter coalesced-notification mode on every view (see
-    /// [`ScoreView::begin_buffering`]); the returned guard restores
-    /// immediate notifications (flushing final scores) when dropped.
+    /// Enter coalesced-notification mode on every view **for the calling
+    /// thread** (see [`ScoreView::begin_buffering`]); the returned guard
+    /// restores immediate notifications (flushing final scores) when
+    /// dropped. Other threads' mutations keep notifying immediately, so a
+    /// bracket never absorbs a concurrent writer's notifications. Drop the
+    /// guard on the thread that created it.
     pub fn buffer_score_notifications(&self) -> BufferBracket {
         BufferBracket::enter(self)
     }
 }
 
-/// RAII bracket for coalesced view notifications across a write batch.
+/// RAII bracket for coalesced view notifications across one thread's write
+/// batch.
 pub struct BufferBracket {
     /// The views bracketed at entry (a view created mid-batch notifies
     /// immediately, which is correct: it has no stale index yet).
@@ -495,6 +504,33 @@ mod tests {
         assert!(db.table("reviews").is_err());
         assert!(db.drop_table("reviews").is_err(), "double drop");
         assert!(db.drop_score_view("scores").is_err(), "double view drop");
+    }
+
+    #[test]
+    fn drop_table_frees_backing_store() {
+        let db = paper_db();
+        db.drop_score_view("scores").unwrap();
+        for i in 0..32 {
+            db.insert_row(
+                "reviews",
+                vec![Value::Int(i), Value::Int(i), Value::Float(1.0)],
+            )
+            .unwrap();
+        }
+        assert!(db.env().store("table:reviews").is_some());
+        db.drop_table("reviews").unwrap();
+        assert!(
+            db.env().store("table:reviews").is_none(),
+            "dropped table's store must be freed"
+        );
+        // Re-creating the table starts from an empty store.
+        db.create_table(Schema::new(
+            "reviews",
+            &[("rid", ColumnType::Int), ("rating", ColumnType::Float)],
+            0,
+        ))
+        .unwrap();
+        assert!(db.table("reviews").unwrap().scan().unwrap().is_empty());
     }
 
     #[test]

@@ -64,12 +64,16 @@ pub struct ScoreView {
     /// Materialized scores.
     scores: HashMap<i64, f64>,
     listener: Option<ScoreListener>,
-    /// While > 0 (inside [`ScoreView::begin_buffering`] /
-    /// [`ScoreView::end_buffering`] brackets), notifications are coalesced
-    /// per key instead of fired per change.
-    buffer_depth: u32,
-    /// Keys with buffered (unfired) score changes.
-    buffered: HashSet<i64>,
+    /// Per-thread bracket depth (see [`ScoreView::begin_buffering`]).
+    /// Buffering is **thread-scoped**: only notifications raised by the
+    /// bracket-holding thread are coalesced; a concurrent writer on
+    /// another thread keeps notifying immediately, so its listener calls
+    /// still run synchronously inside *its* mutating call (the engine's
+    /// thread-local capture depends on this).
+    buffering: HashMap<std::thread::ThreadId, u32>,
+    /// Keys with buffered (unfired) score changes, per bracket-holding
+    /// thread.
+    buffered: HashMap<std::thread::ThreadId, HashSet<i64>>,
 }
 
 impl ScoreView {
@@ -83,8 +87,8 @@ impl ScoreView {
             target_pks: HashSet::new(),
             scores: HashMap::new(),
             listener: None,
-            buffer_depth: 0,
-            buffered: HashSet::new(),
+            buffering: HashMap::new(),
+            buffered: HashMap::new(),
         }
     }
 
@@ -98,24 +102,41 @@ impl ScoreView {
         self.listener = None;
     }
 
-    /// Enter buffered-notification mode: until the matching
-    /// [`ScoreView::end_buffering`], score changes are recorded per key and
-    /// the listener stays quiet. Brackets nest (a depth counter), so
-    /// overlapping write batches compose.
+    /// Enter buffered-notification mode **for the calling thread**: until
+    /// the matching [`ScoreView::end_buffering`] on the same thread, score
+    /// changes raised by this thread are recorded per key and the listener
+    /// stays quiet; changes raised by other threads keep notifying
+    /// immediately. Brackets nest (a per-thread depth counter), so write
+    /// batches compose, and `end_buffering` must run on the thread that
+    /// opened the bracket.
     pub fn begin_buffering(&mut self) {
-        self.buffer_depth += 1;
+        *self
+            .buffering
+            .entry(std::thread::current().id())
+            .or_insert(0) += 1;
     }
 
-    /// Leave buffered-notification mode. When the last bracket closes, the
-    /// listener is fired **once per touched key** with the key's *final*
-    /// score — a batch that updates one document's score 50 times costs one
-    /// index update instead of 50.
+    /// Leave buffered-notification mode. When the calling thread's last
+    /// bracket closes, the listener is fired **once per key this thread
+    /// touched** with the key's *final* score — a batch that updates one
+    /// document's score 50 times costs one index update instead of 50.
     pub fn end_buffering(&mut self) {
-        self.buffer_depth = self.buffer_depth.saturating_sub(1);
-        if self.buffer_depth > 0 {
-            return;
+        let me = std::thread::current().id();
+        match self.buffering.get_mut(&me) {
+            Some(depth) if *depth > 1 => {
+                *depth -= 1;
+                return;
+            }
+            Some(_) => {
+                self.buffering.remove(&me);
+            }
+            None => return,
         }
-        let keys: Vec<i64> = self.buffered.drain().collect();
+        let keys: Vec<i64> = self
+            .buffered
+            .remove(&me)
+            .map(|set| set.into_iter().collect())
+            .unwrap_or_default();
         if let Some(listener) = &self.listener {
             for pk in keys {
                 if let Some(&score) = self.scores.get(&pk) {
@@ -164,8 +185,9 @@ impl ScoreView {
         let score = self.spec.agg.eval(&values).max(0.0);
         let changed = self.scores.insert(pk, score) != Some(score);
         if changed {
-            if self.buffer_depth > 0 {
-                self.buffered.insert(pk);
+            let me = std::thread::current().id();
+            if self.buffering.get(&me).is_some_and(|&depth| depth > 0) {
+                self.buffered.entry(me).or_default().insert(pk);
             } else if let Some(listener) = &self.listener {
                 listener(pk, score);
             }

@@ -275,6 +275,18 @@ pub fn apply_options(config: &mut IndexConfig, options: &[(String, f64)]) -> Res
             "page_size" => config.page_size = *value as usize,
             "long_cache_pages" => config.long_cache_pages = *value as usize,
             "small_cache_pages" => config.small_cache_pages = *value as usize,
+            // Write sharding: `OPTIONS (shards = 8)` partitions the index
+            // by document so same-table writers proceed in parallel. Each
+            // shard is a complete method instance, so an absurd count would
+            // let one statement allocate unbounded stores — cap it.
+            "shards" => {
+                if *value < 1.0 || *value > 1024.0 || value.fract() != 0.0 {
+                    return Err(SqlError::Plan(format!(
+                        "shards must be an integer in 1..=1024, got {value}"
+                    )));
+                }
+                config.num_shards = *value as usize;
+            }
             other => return Err(SqlError::Plan(format!("unknown index option '{other}'"))),
         }
     }

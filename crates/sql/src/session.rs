@@ -302,6 +302,17 @@ impl SqlSession {
                 path.keywords, sel.table, path.column
             ));
             lines.push("  scores: latest SVR scores from the materialized Score view".into());
+            let shards = self.engine().index_shard_stats(&index)?;
+            lines.push(format!(
+                "  shards: {} (document-partitioned write path)",
+                shards.len()
+            ));
+            for s in &shards {
+                lines.push(format!(
+                    "    shard {}: docs={} long_list_bytes={} short_postings={}",
+                    s.shard, s.docs, s.long_list_bytes, s.short_postings
+                ));
+            }
         } else {
             match &sel.predicate {
                 Some(Predicate::Equals { column, .. })

@@ -319,6 +319,68 @@ fn update_requires_pk_predicate() {
     assert!(err.to_string().contains("primary-key"), "{err}");
 }
 
+/// `OPTIONS (shards = N)` partitions the write path without changing any
+/// ranking: the Figure 1 example must behave identically, and `EXPLAIN`
+/// must report the shard layout.
+#[test]
+fn sharded_index_ranks_identically_and_explains_shards() {
+    let session = SqlSession::new();
+    session
+        .execute_script(
+            r#"
+            CREATE TABLE movies (mid INT PRIMARY KEY, name TEXT, description TEXT);
+            CREATE TABLE statistics (mid INT PRIMARY KEY, nvisit INT, ndownload INT);
+            CREATE FUNCTION S2 (id INTEGER) RETURNS FLOAT
+                RETURN SELECT S.nvisit FROM statistics S WHERE S.mid = id;
+            CREATE TEXT INDEX movie_search ON movies(description)
+                SCORE WITH (S2)
+                USING METHOD CHUNK
+                OPTIONS (min_chunk_docs = 2, chunk_ratio = 2.0, shards = 4);
+            INSERT INTO movies VALUES
+                (1, 'American Thrift', 'a classic production about golden gate thrift'),
+                (2, 'Amateur Film',    'amateur footage of the golden gate bridge'),
+                (3, 'City Symphony',   'a film about city life and bridges');
+            INSERT INTO statistics VALUES (1, 5000, 120), (2, 40, 3), (3, 900, 50);
+            "#,
+        )
+        .unwrap();
+    let result = session.execute(FIGURE1_QUERY).unwrap();
+    assert_eq!(
+        top_names(&result),
+        vec!["American Thrift", "Amateur Film"],
+        "sharded ranking must match the unsharded one"
+    );
+
+    // A score update routed through the sharded write path reorders.
+    session
+        .execute("UPDATE statistics SET nvisit = 1000000 WHERE mid = 2")
+        .unwrap();
+    let result = session.execute(FIGURE1_QUERY).unwrap();
+    assert_eq!(top_names(&result), vec!["Amateur Film", "American Thrift"]);
+
+    let plan = session
+        .execute(&format!("EXPLAIN {FIGURE1_QUERY}"))
+        .unwrap();
+    let SqlResult::Plan(lines) = &plan else {
+        panic!("expected plan, got {plan:?}")
+    };
+    let text = lines.join("\n");
+    assert!(text.contains("shards: 4"), "{text}");
+    for shard in 0..4 {
+        assert!(text.contains(&format!("shard {shard}: docs=")), "{text}");
+    }
+
+    // Bogus shard counts are rejected at planning time.
+    for bad in ["shards = 0", "shards = 2.5"] {
+        let err = session
+            .execute(&format!(
+                "CREATE TEXT INDEX bad ON movies(name) SCORE WITH (S2) OPTIONS ({bad})"
+            ))
+            .unwrap_err();
+        assert!(err.to_string().contains("shards"), "{err}");
+    }
+}
+
 #[test]
 fn result_display_renders_tables() {
     let session = setup("CHUNK");
@@ -342,6 +404,8 @@ fn explain_describes_access_paths() {
     assert!(text.contains("method=Chunk"), "{text}");
     assert!(text.contains("k=10"), "{text}");
     assert!(text.contains("golden gate"), "{text}");
+    assert!(text.contains("shards: 1"), "{text}");
+    assert!(text.contains("shard 0: docs=3"), "{text}");
 
     let plan = session
         .execute("EXPLAIN SELECT name FROM movies WHERE mid = 1")

@@ -108,6 +108,23 @@ impl StorageEnv {
         self.stores.lock().get(name).cloned()
     }
 
+    /// Remove a store from the environment, freeing its pages and buffer
+    /// pool once the last outstanding handle drops. Returns `true` if a
+    /// store with that name existed.
+    ///
+    /// Dropping a table or view must call this: a removed name no longer
+    /// counts towards [`StorageEnv::total_io`] / disk totals, and
+    /// re-creating it yields a **fresh, empty** store instead of resurrecting
+    /// the dropped one's pages.
+    pub fn remove_store(&self, name: &str) -> bool {
+        self.stores.lock().remove(name).is_some()
+    }
+
+    /// Names of all live stores (unordered; diagnostics).
+    pub fn store_names(&self) -> Vec<String> {
+        self.stores.lock().keys().cloned().collect()
+    }
+
     /// Aggregate I/O statistics across every store in the environment.
     pub fn total_io(&self) -> IoStats {
         let stores = self.stores.lock();
@@ -163,5 +180,23 @@ mod tests {
     #[should_panic(expected = "page size")]
     fn tiny_page_size_rejected() {
         let _ = StorageEnv::new(16);
+    }
+
+    #[test]
+    fn remove_store_frees_and_forgets() {
+        let env = StorageEnv::default();
+        let s = env.create_store("gone", 4);
+        let id = s.allocate().unwrap();
+        s.write_page(id, vec![7u8; env.page_size()].into()).unwrap();
+        s.flush().unwrap();
+        drop(s);
+        assert!(env.total_disk_bytes() > 0);
+        assert!(env.remove_store("gone"));
+        assert!(!env.remove_store("gone"), "second removal is a no-op");
+        assert!(env.store("gone").is_none());
+        assert_eq!(env.total_disk_bytes(), 0, "dropped pages no longer counted");
+        // Re-creating the name yields a fresh store, not the old pages.
+        let fresh = env.create_store("gone", 4);
+        assert_eq!(fresh.disk().num_pages(), 0);
     }
 }

@@ -44,6 +44,10 @@ fn description(mid: i64, generation: u64) -> String {
 }
 
 fn build_engine(method: MethodKind) -> SvrEngine {
+    build_engine_sharded(method, 1)
+}
+
+fn build_engine_sharded(method: MethodKind, num_shards: usize) -> SvrEngine {
     let engine = SvrEngine::new();
     engine.create_table(movies_schema()).unwrap();
     engine.create_table(stats_schema()).unwrap();
@@ -73,6 +77,7 @@ fn build_engine(method: MethodKind) -> SvrEngine {
             IndexConfig {
                 chunk_ratio: 2.0,
                 min_chunk_docs: 8,
+                num_shards,
                 ..IndexConfig::default()
             },
         )
@@ -225,6 +230,134 @@ fn four_readers_one_writer_score_threshold() {
 #[test]
 fn four_readers_one_writer_id() {
     run_stress(MethodKind::Id, 4);
+}
+
+/// The tentpole scenario: several writers storm the *same* table of one
+/// engine with score updates through the two-tier (table lock → shard
+/// lock) write path, while readers search and maintenance merges shards
+/// mid-storm. Each writer owns a disjoint set of rows, so the expected
+/// final state is a deterministic serial replay; after quiescing, both
+/// `score_of` (the view) and the index ranking must agree with it exactly.
+fn run_multi_writer_stress(method: MethodKind, writers: i64, num_shards: usize) {
+    const ROUNDS: i64 = 250;
+    assert_eq!(DOCS % writers, 0, "row partition must be exact");
+    let engine = build_engine_sharded(method, num_shards);
+    let stop = AtomicBool::new(false);
+    let searches = AtomicUsize::new(0);
+
+    // Deterministic per-writer scripts over disjoint rows.
+    let script = |writer: i64| -> Vec<(i64, i64)> {
+        let mut state = 0xACE5_u64.wrapping_add(writer as u64);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        (0..ROUNDS)
+            .map(|_| {
+                let mid = (next() % (DOCS / writers) as u64) as i64 * writers + writer;
+                let visits = (next() % 1_000_000) as i64;
+                (mid, visits)
+            })
+            .collect()
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..3usize {
+            let reader = engine.clone();
+            let stop = &stop;
+            let searches = &searches;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let hits = reader
+                        .search("idx", "golden gate", 10, QueryMode::Conjunctive)
+                        .unwrap();
+                    for w in hits.windows(2) {
+                        assert!(w[0].score >= w[1].score, "{method}: sorted output");
+                    }
+                    searches.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // A maintainer walking the shards mid-storm: merges must not lose
+        // updates or deadlock against the two-tier writers.
+        let maintainer = engine.clone();
+        let stop_m = &stop;
+        scope.spawn(move || {
+            let mut shard = 0usize;
+            while !stop_m.load(Ordering::Relaxed) {
+                maintainer.run_shard_maintenance("idx", shard).unwrap();
+                shard = (shard + 1) % num_shards;
+                std::thread::yield_now();
+            }
+        });
+
+        let writer_handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let writer = engine.clone();
+                let ops = script(w);
+                scope.spawn(move || {
+                    for (mid, visits) in ops {
+                        writer
+                            .update_row(
+                                "stats",
+                                Value::Int(mid),
+                                &[("nvisit".into(), Value::Int(visits))],
+                            )
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for handle in writer_handles {
+            handle.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(searches.load(Ordering::Relaxed) > 0);
+
+    // Serial replay: last write per row wins (rows are writer-disjoint).
+    let mut expected: std::collections::HashMap<i64, i64> =
+        (0..DOCS).map(|mid| (mid, mid * 10)).collect();
+    for w in 0..writers {
+        for (mid, visits) in script(w) {
+            expected.insert(mid, visits);
+        }
+    }
+    for (mid, visits) in &expected {
+        assert_eq!(
+            engine.score_of("idx", *mid).unwrap(),
+            *visits as f64,
+            "{method}: view diverged on row {mid}"
+        );
+    }
+    let hits = engine
+        .search("idx", "golden gate", 10, QueryMode::Conjunctive)
+        .unwrap();
+    let oracle = oracle_top(&engine, 10);
+    assert_eq!(hits.len(), oracle.len());
+    for (hit, (mid, score)) in hits.iter().zip(&oracle) {
+        assert_eq!(hit.score, *score, "{method}: stale score after quiesce");
+        assert_eq!(hit.row[0], Value::Int(*mid), "{method}: wrong ranking");
+    }
+}
+
+#[test]
+fn four_writers_one_table_chunk_sharded() {
+    run_multi_writer_stress(MethodKind::Chunk, 4, 8);
+}
+
+#[test]
+fn four_writers_one_table_score_threshold_sharded() {
+    run_multi_writer_stress(MethodKind::ScoreThreshold, 4, 4);
+}
+
+#[test]
+fn six_writers_one_table_chunk_single_shard() {
+    // Degenerate shard count: writers fully serialize at tier 2 but must
+    // still lose nothing.
+    run_multi_writer_stress(MethodKind::Chunk, 6, 1);
 }
 
 /// Writers of different tables proceed in parallel while readers search;
