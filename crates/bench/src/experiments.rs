@@ -14,6 +14,7 @@
 //! | table3   | Table 3 — varying number of insertions   |
 //! | archive  | §5.3.7 — Internet-Archive-like data set  |
 //! | concurrent | beyond the paper — reader scaling (1/2/4/8 readers under an update storm) and same-table writer scaling (1/2/4/8 writers over the sharded write path) |
+//! | pagination | beyond the paper — deepening-k pagination: one resumable cursor per query vs a re-run one-shot query per page |
 
 use std::collections::HashMap;
 
@@ -860,6 +861,86 @@ impl Bench {
         }
     }
 
+    /// Beyond the paper: the deepening-k pagination workload behind the
+    /// cursor API ([`svr_core::SearchIndex::open_cursor`]).
+    ///
+    /// A client walks a ranked result list page by page (`page` results at
+    /// a time, `pages` pages deep — infinite scroll, result browsing).
+    /// Two plans serve it:
+    ///
+    /// * **re-query** — the one-shot API's only option: page `i` re-runs a
+    ///   top-`(i+1)·page` query and keeps the last `page` rows, re-paying
+    ///   every list traversal for the whole prefix each time;
+    /// * **cursor** — open once, `next_batch(page)` per page: each page
+    ///   costs only the incremental traversal past the previous one.
+    ///
+    /// Short lists are populated by an update storm first, so the
+    /// traversal being saved is the real merged short∪long scan.
+    pub fn pagination(&self) -> ExperimentReport {
+        let page = 10usize;
+        let pages = 8usize;
+        let n_queries = self.scale.pick(30, 120);
+        let kinds = [
+            MethodKind::Id,
+            MethodKind::ScoreThreshold,
+            MethodKind::Chunk,
+            MethodKind::ChunkTermScore,
+        ];
+        let mut rows = Vec::new();
+        for kind in kinds {
+            let index = self.build(kind);
+            for (doc, score) in self.updates(self.scale.pick(1_000, 4_000), 100.0) {
+                index.update_score(doc, score).expect("update");
+            }
+            let queries = self.queries(n_queries, page, QueryMode::Conjunctive, QueryClass::Medium);
+
+            let started = std::time::Instant::now();
+            for query in &queries {
+                let mut cursor = index.open_cursor(query).expect("open");
+                for _ in 0..pages {
+                    index.next_batch(&mut cursor, page).expect("batch");
+                }
+            }
+            let cursor_ms = started.elapsed().as_secs_f64() * 1e3 / n_queries as f64;
+
+            let started = std::time::Instant::now();
+            for query in &queries {
+                for p in 1..=pages {
+                    let deep = Query::new(query.terms.clone(), p * page, query.mode);
+                    index.query(&deep).expect("query");
+                }
+            }
+            let requery_ms = started.elapsed().as_secs_f64() * 1e3 / n_queries as f64;
+
+            rows.push(vec![
+                kind.name().into(),
+                format!("{pages}x{page}"),
+                Self::fmt_ms(cursor_ms),
+                Self::fmt_ms(requery_ms),
+                format!("{:.1}x", requery_ms / cursor_ms.max(1e-9)),
+            ]);
+        }
+        ExperimentReport {
+            id: "pagination".into(),
+            title: "deepening-k pagination: resumable cursor vs repeated one-shot queries".into(),
+            columns: vec![
+                "method".into(),
+                "pages".into(),
+                "cursor ms".into(),
+                "re-query ms".into(),
+                "speedup".into(),
+            ],
+            rows,
+            notes: "walks 8 pages of 10 results per query. 're-query' reruns a deepening \
+                    top-k per page (the one-shot API's only pagination); 'cursor' opens \
+                    one enumeration and resumes it per page, paying only the incremental \
+                    merged short∪long traversal — the early-terminating methods keep \
+                    their suspended list positions, and the full-scan ID method pays its \
+                    single scan once instead of once per page"
+                .into(),
+        }
+    }
+
     /// Run every experiment in paper order.
     pub fn run_all(&self) -> Vec<ExperimentReport> {
         vec![
@@ -873,6 +954,7 @@ impl Bench {
             self.table3(),
             self.archive(),
             self.concurrent(),
+            self.pagination(),
         ]
     }
 
@@ -889,6 +971,7 @@ impl Bench {
             "table3" => Some(self.table3()),
             "archive" => Some(self.archive()),
             "concurrent" => Some(self.concurrent()),
+            "pagination" => Some(self.pagination()),
             _ => None,
         }
     }
@@ -906,6 +989,7 @@ impl Bench {
             "table3",
             "archive",
             "concurrent",
+            "pagination",
         ]
     }
 }

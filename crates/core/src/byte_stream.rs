@@ -6,15 +6,27 @@
 //! query that terminates early never touches the rest of the list.
 
 use bytes::Bytes;
-use svr_storage::{BlobReader, StorageError};
+use svr_storage::{BlobReader, BlobStore, PageId, StorageError};
 
 use crate::error::{CoreError, Result};
+
+/// A suspension point inside a page-chained blob: the page holding the next
+/// unread byte plus the byte's offset within that page's payload. `page ==
+/// None` means the stream is exhausted. Captured with
+/// [`ByteStream::position`], reopened with [`ByteStream::resume`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamPos {
+    pub page: Option<PageId>,
+    pub offset: usize,
+}
 
 /// Lazily-buffered reader over a blob.
 pub struct ByteStream<'a> {
     reader: BlobReader<'a>,
     buf: Bytes,
     pos: usize,
+    /// Page that produced `buf` (None before the first refill).
+    buf_page: Option<PageId>,
 }
 
 impl<'a> ByteStream<'a> {
@@ -24,16 +36,52 @@ impl<'a> ByteStream<'a> {
             reader,
             buf: Bytes::new(),
             pos: 0,
+            buf_page: None,
+        }
+    }
+
+    /// Continue a suspended stream: start at `pos.page`, skipping
+    /// `pos.offset` payload bytes of it. The caller must guarantee the page
+    /// still belongs to the same blob (see `LongListStore`'s epoch check).
+    pub fn resume(blobs: &'a BlobStore, pos: StreamPos) -> Result<ByteStream<'a>> {
+        let mut stream = ByteStream::new(blobs.reader_from(pos.page));
+        if pos.offset > 0 {
+            if !stream.refill()? || pos.offset > stream.buf.len() {
+                return Err(CoreError::Storage(StorageError::Corrupt(
+                    "stale stream resume offset",
+                )));
+            }
+            stream.pos = pos.offset;
+        }
+        Ok(stream)
+    }
+
+    /// The stream's current suspension point: where the next unread byte
+    /// lives. When the current page is fully consumed this is the head of
+    /// the next page (offset 0).
+    pub fn position(&self) -> StreamPos {
+        if self.pos < self.buf.len() {
+            StreamPos {
+                page: self.buf_page,
+                offset: self.pos,
+            }
+        } else {
+            StreamPos {
+                page: self.reader.next_page_id(),
+                offset: 0,
+            }
         }
     }
 
     /// Ensure at least one unread byte is buffered; false at end of blob.
     fn refill(&mut self) -> Result<bool> {
         while self.pos >= self.buf.len() {
+            let page = self.reader.next_page_id();
             match self.reader.next_chunk()? {
                 Some(chunk) => {
                     self.buf = chunk;
                     self.pos = 0;
+                    self.buf_page = page;
                 }
                 None => return Ok(false),
             }
@@ -160,6 +208,27 @@ mod tests {
             assert_eq!(stream.read_u16_le().unwrap(), i as u16);
         }
         assert!(stream.is_eof().unwrap());
+    }
+
+    #[test]
+    fn position_roundtrip_resumes_exactly() {
+        let bs = blob_store();
+        let values: Vec<u64> = (0..400).map(|i| i * 91 + 7).collect();
+        let mut data = Vec::new();
+        for &v in &values {
+            write_varint(&mut data, v);
+        }
+        let handle = bs.put(&data).unwrap();
+        // Suspend after every read and resume from the captured position.
+        let mut pos = ByteStream::new(bs.reader(handle)).position();
+        for &v in &values {
+            let mut stream = ByteStream::resume(&bs, pos).unwrap();
+            assert_eq!(stream.read_varint().unwrap(), v);
+            pos = stream.position();
+        }
+        let mut stream = ByteStream::resume(&bs, pos).unwrap();
+        assert!(stream.is_eof().unwrap());
+        assert_eq!(stream.position().page, None);
     }
 
     #[test]

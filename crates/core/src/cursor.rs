@@ -1,0 +1,400 @@
+//! Resumable ranked enumeration — the any-k cursor behind every method.
+//!
+//! The paper's query procedures (Algorithms 2 and 3) are one-shot top-k
+//! algorithms: they scan the merged lists until the heap of k results is
+//! secure, then discard all traversal state. This module suspends that
+//! state instead, turning each method into a *ranked enumerator* in the
+//! style of Tziavelis et al. ("Ranked Enumeration for Database Queries"):
+//! [`SearchIndex::open_cursor`](crate::SearchIndex::open_cursor) returns a
+//! [`MethodCursor`] and
+//! [`SearchIndex::next_batch`](crate::SearchIndex::next_batch) emits the
+//! next `n` results in exact rank order, resuming the merge where the
+//! previous batch stopped — fetching ranks `k+1..k+n` costs only the
+//! incremental list traversal, not a re-run of the whole query.
+//!
+//! ## How it works
+//!
+//! A suspended cursor owns, with no borrow of the index:
+//!
+//! * **per-term stream positions** ([`UnionResume`]): the long-list blob
+//!   page + byte offset + decoder state, the short-list B+-tree key, and
+//!   the buffered union/merge heads;
+//! * a **candidate pool**: every document already resolved to its exact
+//!   ranking score but not yet emitted, ordered best-first;
+//! * the method's **threshold state**: for the fancy-list methods, the
+//!   `remainList` and phase-1 results of Algorithm 3.
+//!
+//! Each `next_batch` call rebuilds live cursors from the saved positions,
+//! then alternates between *emitting* and *scanning*: a pooled candidate is
+//! emitted once its score strictly beats the method's upper bound on every
+//! not-yet-resolved document (the same bound that drives the paper's
+//! stopping rules — `thresholdValueOf(listScore)`, the chunk boundary, or
+//! the fancy-list term-score bound); otherwise the merge advances one
+//! candidate. Emission therefore never needs to know `k` in advance, and
+//! the emitted sequence is exactly the ranking a one-shot query of any
+//! depth would produce — `query()` is nothing but `open_cursor` + one
+//! drain.
+//!
+//! ## Consistency and staleness
+//!
+//! Within one `next_batch` call the index is read under the shard's read
+//! lock (see [`LockedIndex`](crate::methods::LockedIndex)), so each batch
+//! is consistent with a single snapshot. *Between* batches writers may
+//! update scores, insert, delete, or merge short lists; the cursor then
+//! degrades gracefully rather than failing:
+//!
+//! * score churn: candidates already pooled keep the score observed when
+//!   they were resolved; later batches observe current scores. The emitted
+//!   sequence remains duplicate-free, but may interleave old and new
+//!   rankings — callers can detect this through the engine's staleness
+//!   epoch and re-open.
+//! * structural churn (offline merge): long-list page chains are rebuilt,
+//!   so a positional resume would chase freed pages. The
+//!   [`LongListStore`](crate::long_list::LongListStore) epoch detects this
+//!   and the stream falls back to re-scanning the new list, skipping
+//!   everything at or before the last consumed merge key; re-delivered
+//!   documents are deduplicated by the cursor's seen-set.
+//!
+//! Memory: the pool holds resolved-but-unemitted candidates. For the
+//! early-terminating methods that is a small working set proportional to
+//! how far the bound forced the scan ahead of the emission point; for the
+//! full-scan ID methods the first batch resolves every match (as a
+//! one-shot query always did) and later batches emit from the pool for
+//! free.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+use crate::error::{CoreError, Result};
+use crate::heap::ranks_above;
+use crate::merge::{Candidate, MultiMerge, UnionCursor, UnionEvent, UnionResume};
+use crate::methods::MethodKind;
+use crate::short_list::PostingPos;
+use crate::types::{DocId, Query, QueryMode, Score, SearchHit, TermId};
+
+/// Pool element ordered *best-first* (max-heap): higher score, then lower
+/// doc id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Best(SearchHit);
+
+impl Eq for Best {}
+
+impl Ord for Best {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if ranks_above(&self.0, &other.0) {
+            Ordering::Greater
+        } else if ranks_above(&other.0, &self.0) {
+            Ordering::Less
+        } else {
+            Ordering::Equal
+        }
+    }
+}
+
+impl PartialOrd for Best {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A suspended ranked enumeration over one index. Create with
+/// [`SearchIndex::open_cursor`](crate::SearchIndex::open_cursor), advance
+/// with [`SearchIndex::next_batch`](crate::SearchIndex::next_batch) *on the
+/// same index* — a cursor is bound to the index that opened it and fails on
+/// any other.
+pub struct MethodCursor {
+    pub(crate) kind: MethodKind,
+    pub(crate) query: Query,
+    pub(crate) state: CursorState,
+}
+
+impl MethodCursor {
+    /// The query this cursor enumerates.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The method that opened this cursor.
+    pub fn kind(&self) -> MethodKind {
+        self.kind
+    }
+
+    /// True once every result has been emitted: further batches are empty.
+    pub fn is_exhausted(&self) -> bool {
+        match &self.state {
+            CursorState::Merge(s) => s.exhausted && s.pool.is_empty(),
+            CursorState::Sharded(slots) => slots.iter().all(|s| s.done && s.buf.is_empty()),
+        }
+    }
+
+    pub(crate) fn merge(kind: MethodKind, query: Query, state: MergeState) -> MethodCursor {
+        MethodCursor {
+            kind,
+            query,
+            state: CursorState::Merge(Box::new(state)),
+        }
+    }
+
+    pub(crate) fn sharded(kind: MethodKind, query: Query, slots: Vec<ShardSlot>) -> MethodCursor {
+        MethodCursor {
+            kind,
+            query,
+            state: CursorState::Sharded(slots),
+        }
+    }
+}
+
+pub(crate) enum CursorState {
+    /// A single method instance's merge enumeration.
+    Merge(Box<MergeState>),
+    /// k-way merge over per-shard cursors ([`crate::methods::ShardedIndex`]).
+    Sharded(Vec<ShardSlot>),
+}
+
+/// One shard's slice of a sharded cursor: its own method cursor plus a
+/// buffer of pulled-but-unemitted hits.
+pub(crate) struct ShardSlot {
+    pub(crate) cursor: MethodCursor,
+    pub(crate) buf: VecDeque<SearchHit>,
+    pub(crate) done: bool,
+}
+
+/// The owned state of one method instance's suspended enumeration.
+pub(crate) struct MergeState {
+    /// Per-term stream suspension (aligned with `query.terms`).
+    streams: Vec<UnionResume>,
+    /// Buffered m-way merge heads.
+    heads: Vec<Option<UnionEvent>>,
+    primed: bool,
+    /// Resolved candidates awaiting emission, best-first.
+    pool: BinaryHeap<Best>,
+    /// Documents already resolved (pooled or emitted) — never re-scored.
+    seen: HashSet<DocId>,
+    /// All streams exhausted; only the pool remains.
+    exhausted: bool,
+    /// Per-term IDF weights (empty for the SVR-only methods).
+    pub(crate) idfs: Vec<f64>,
+    /// Algorithm 3 `remainList`: docs found in *some* fancy lists with
+    /// their known `idf·ts` contributions, not yet met in phase 2.
+    pub(crate) remain: HashMap<DocId, Vec<Option<f64>>>,
+}
+
+impl MergeState {
+    pub(crate) fn new(num_terms: usize, idfs: Vec<f64>) -> MergeState {
+        MergeState {
+            streams: vec![UnionResume::fresh(); num_terms],
+            heads: vec![None; num_terms],
+            primed: false,
+            pool: BinaryHeap::new(),
+            seen: HashSet::new(),
+            exhausted: false,
+            idfs,
+            remain: HashMap::new(),
+        }
+    }
+
+    /// Admit an exactly-scored result (phase 1 of Algorithm 3).
+    pub(crate) fn admit(&mut self, doc: DocId, score: Score) {
+        if self.seen.insert(doc) {
+            self.pool.push(Best(SearchHit { doc, score }));
+        }
+    }
+}
+
+/// What a method must provide for the generic enumeration executor. The
+/// seven methods implement this; everything position- and pool-related is
+/// shared in [`merge_next_batch`].
+pub(crate) trait CursorBackend {
+    /// Method identity (cursor/index mismatch detection).
+    fn cursor_kind(&self) -> MethodKind;
+
+    /// Structural epoch of the long-list store (0 when the method keeps no
+    /// blob long lists).
+    fn long_epoch(&self) -> u64;
+
+    /// Build (fresh `UnionResume`) or resume one term's union stream.
+    fn stream(&self, term: TermId, resume: &UnionResume) -> Result<UnionCursor<'_>>;
+
+    /// Tombstone check.
+    fn is_deleted(&self, doc: DocId) -> bool;
+
+    /// Exact current ranking score of a candidate, or `None` when this
+    /// occurrence must be skipped (superseded by a short-list posting, or
+    /// the document vanished). Mirrors the per-candidate resolution of the
+    /// one-shot algorithms.
+    fn resolve(&self, candidate: &Candidate, idfs: &[f64]) -> Result<Option<Score>>;
+
+    /// Upper bound on the *SVR part* of any not-yet-resolved document when
+    /// the merge's next event sits at `pos` (`None` = streams exhausted).
+    /// This is the method's stopping bound: `+inf` for the full-scan ID
+    /// methods, the list score for Score, `thresholdValueOf(listScore)` for
+    /// the threshold methods, the chunk drift bound for the chunk methods.
+    fn svr_bound(&self, pos: Option<PostingPos>) -> Score;
+
+    /// Upper bound on the raw (un-weighted, un-IDF'd) term score of any
+    /// unresolved document for `term` — the fancy-list bound; 0 for
+    /// methods without term scores.
+    fn term_fancy_bound(&self, term: TermId) -> f64 {
+        let _ = term;
+        0.0
+    }
+
+    /// The combination function `f(svr, Σ idf·ts)`; identity in the second
+    /// argument for SVR-only methods.
+    fn combine(&self, svr: Score, ts_sum: f64) -> Score {
+        let _ = ts_sum;
+        svr
+    }
+}
+
+/// Open a cursor with no phase-1 state (every method except the fancy-list
+/// ones, which pre-fill the pool and remainList themselves).
+pub(crate) fn open_merge(kind: MethodKind, query: &Query, idfs: Vec<f64>) -> MethodCursor {
+    let state = MergeState::new(query.terms.len(), idfs);
+    MethodCursor::merge(kind, query.clone(), state)
+}
+
+/// Validate cursor/backend pairing and run the executor.
+pub(crate) fn merge_next_batch<B: CursorBackend>(
+    backend: &B,
+    cursor: &mut MethodCursor,
+    n: usize,
+) -> Result<Vec<SearchHit>> {
+    if cursor.kind != backend.cursor_kind() {
+        return Err(CoreError::Unsupported(
+            "cursor was opened by a different index method",
+        ));
+    }
+    let CursorState::Merge(state) = &mut cursor.state else {
+        return Err(CoreError::Unsupported(
+            "sharded cursor used on an unsharded index",
+        ));
+    };
+    run(backend, &cursor.query, state, n)
+}
+
+/// The enumeration loop: emit pooled candidates while they provably beat
+/// everything unresolved; otherwise advance the merge by one candidate.
+fn run<B: CursorBackend>(
+    backend: &B,
+    query: &Query,
+    state: &mut MergeState,
+    n: usize,
+) -> Result<Vec<SearchHit>> {
+    let mut out = Vec::with_capacity(n.min(64));
+    if n == 0 || (state.exhausted && state.pool.is_empty()) {
+        return Ok(out);
+    }
+    let required = match query.mode {
+        QueryMode::Conjunctive => query.terms.len(),
+        QueryMode::Disjunctive => 1,
+    };
+
+    // Rebuild live streams from the suspended positions.
+    let streams: Vec<UnionCursor<'_>> = query
+        .terms
+        .iter()
+        .zip(&state.streams)
+        .map(|(&t, r)| backend.stream(t, r))
+        .collect::<Result<_>>()?;
+    let mut merge = MultiMerge::resume(streams, std::mem::take(&mut state.heads), state.primed);
+
+    // Per-term `idf·fancy_bound` contributions, re-read each batch so
+    // bounds widened by concurrent insertions are honored.
+    let term_bounds: Vec<f64> = query
+        .terms
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| state.idfs.get(i).copied().unwrap_or(0.0) * backend.term_fancy_bound(t))
+        .collect();
+    let global_ts_bound: f64 = term_bounds.iter().sum();
+
+    let result: Result<()> = (|| {
+        while out.len() < n {
+            let head = if state.exhausted {
+                None
+            } else {
+                merge.peek_pos()?
+            };
+            if head.is_none() {
+                state.exhausted = true;
+                // Unmet remainList docs can no longer be resolved: their
+                // live postings were consumed (or cancelled) — they do not
+                // constrain emission.
+                state.remain.clear();
+            }
+
+            // Upper bound on anything not yet resolved: unseen docs plus
+            // the partially-known remainList entries.
+            let svr_ub = backend.svr_bound(head);
+            let mut bound = backend.combine(svr_ub, global_ts_bound);
+            for known in state.remain.values() {
+                let ts_ub: f64 = known
+                    .iter()
+                    .enumerate()
+                    .map(|(i, k)| k.unwrap_or(term_bounds[i]))
+                    .sum();
+                bound = bound.max(backend.combine(svr_ub, ts_ub));
+            }
+
+            if let Some(best) = state.pool.peek() {
+                // Strict comparison: on a tie an unresolved doc with a
+                // smaller id could still outrank the pooled one.
+                if best.0.score > bound {
+                    out.push(state.pool.pop().expect("peeked").0);
+                    continue;
+                }
+            } else if state.exhausted {
+                break;
+            }
+
+            // The pool cannot be emitted from yet: scan one candidate.
+            let Some(candidate) = merge.next_candidate()? else {
+                continue; // exhaustion handled at the top of the loop
+            };
+            state.remain.remove(&candidate.doc);
+            if candidate.match_count() < required
+                || backend.is_deleted(candidate.doc)
+                || state.seen.contains(&candidate.doc)
+            {
+                continue;
+            }
+            if let Some(score) = backend.resolve(&candidate, &state.idfs)? {
+                state.seen.insert(candidate.doc);
+                state.pool.push(Best(SearchHit {
+                    doc: candidate.doc,
+                    score,
+                }));
+            }
+        }
+        Ok(())
+    })();
+
+    // Suspend the merge back into the owned state even on error, so a
+    // failed batch does not corrupt the cursor.
+    let (streams, heads, primed) = merge.suspend(backend.long_epoch());
+    state.streams = streams;
+    state.heads = heads;
+    state.primed = primed;
+    result?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_orders_by_score_then_doc() {
+        let mut pool = BinaryHeap::new();
+        for (doc, score) in [(5u32, 10.0), (1, 10.0), (2, 30.0)] {
+            pool.push(Best(SearchHit {
+                doc: DocId(doc),
+                score,
+            }));
+        }
+        assert_eq!(pool.pop().unwrap().0.doc, DocId(2));
+        assert_eq!(pool.pop().unwrap().0.doc, DocId(1), "ties: lower doc first");
+        assert_eq!(pool.pop().unwrap().0.doc, DocId(5));
+    }
+}

@@ -45,6 +45,7 @@ pub mod aux_table;
 pub mod byte_stream;
 pub mod chunk_map;
 pub mod config;
+pub mod cursor;
 pub mod doc_store;
 pub mod error;
 pub mod heap;
@@ -59,6 +60,7 @@ pub mod types;
 
 pub use chunk_map::ChunkMap;
 pub use config::IndexConfig;
+pub use cursor::MethodCursor;
 pub use error::{CoreError, Result};
 pub use methods::{
     build_index, shard_of_doc, store_names, MethodKind, ScoreMap, ScoreRead, SearchIndex,

@@ -14,8 +14,9 @@ use svr_storage::{BlobHandle, BlobStore, Store};
 use svr_text::postings::TermScoredPosting;
 use svr_text::{normalized_tf, quantize_term_score};
 
-use crate::byte_stream::ByteStream;
+use crate::byte_stream::{ByteStream, StreamPos};
 use crate::error::Result;
+use crate::merge::MergeKey;
 use crate::short_list::PostingPos;
 use crate::types::{DocId, Document, TermId};
 
@@ -49,6 +50,11 @@ pub struct LongListStore {
     format: ListFormat,
     directory: RwLock<HashMap<TermId, BlobHandle>>,
     total_bytes: AtomicU64,
+    /// Structural epoch: bumped whenever a list is replaced (offline merge).
+    /// A suspended cursor whose recorded epoch no longer matches must not
+    /// chase stale page chains; it falls back to a key-skip re-scan (see
+    /// [`LongListStore::resume_cursor`]).
+    epoch: AtomicU64,
 }
 
 impl LongListStore {
@@ -59,12 +65,19 @@ impl LongListStore {
             format,
             directory: RwLock::new(HashMap::new()),
             total_bytes: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
         }
     }
 
     /// Layout of the stored lists.
     pub fn format(&self) -> ListFormat {
         self.format
+    }
+
+    /// Structural epoch of the store. Page-level cursor resume is only
+    /// valid while this is unchanged.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Store (replacing any previous) the encoded list for `term`.
@@ -77,6 +90,7 @@ impl LongListStore {
         }
         self.total_bytes
             .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -93,29 +107,103 @@ impl LongListStore {
     pub fn cursor(&self, term: TermId) -> LongCursor<'_> {
         let handle = self.directory.read().get(&term).copied();
         match handle {
-            None => LongCursor::Empty,
-            Some(h) => {
-                let stream = ByteStream::new(self.blobs.reader(h));
-                match self.format {
-                    ListFormat::Id { with_scores } => LongCursor::Id(IdCursorState {
-                        stream,
-                        with_scores,
-                        prev: None,
-                    }),
-                    ListFormat::Chunked { with_scores } => LongCursor::Chunked(ChunkCursorState {
-                        stream,
-                        with_scores,
-                        current_cid: 0,
-                        remaining: 0,
-                        prev: None,
-                    }),
-                    ListFormat::Score { with_scores } => LongCursor::Score(ScoreCursorState {
-                        stream,
-                        with_scores,
-                    }),
+            None => LongCursor::empty(),
+            Some(h) => self.cursor_from(ByteStream::new(self.blobs.reader(h)), None),
+        }
+    }
+
+    fn cursor_from<'a>(
+        &self,
+        stream: ByteStream<'a>,
+        decode: Option<DecodeState>,
+    ) -> LongCursor<'a> {
+        let inner = match self.format {
+            ListFormat::Id { with_scores } => {
+                let prev = match decode {
+                    Some(DecodeState::Id { prev }) => prev,
+                    _ => None,
+                };
+                CursorInner::Id(IdCursorState {
+                    stream,
+                    with_scores,
+                    prev,
+                })
+            }
+            ListFormat::Chunked { with_scores } => {
+                let (current_cid, remaining, prev) = match decode {
+                    Some(DecodeState::Chunked {
+                        cid,
+                        remaining,
+                        prev,
+                    }) => (cid, remaining, prev),
+                    _ => (0, 0, None),
+                };
+                CursorInner::Chunked(ChunkCursorState {
+                    stream,
+                    with_scores,
+                    current_cid,
+                    remaining,
+                    prev,
+                })
+            }
+            ListFormat::Score { with_scores } => CursorInner::Score(ScoreCursorState {
+                stream,
+                with_scores,
+            }),
+        };
+        LongCursor {
+            inner,
+            pending: None,
+        }
+    }
+
+    /// Reopen a suspended cursor.
+    ///
+    /// While the store's structural [`epoch`](LongListStore::epoch) still
+    /// matches the one captured at suspension, this resumes exactly where
+    /// the cursor stopped — the incremental cost is at most re-fetching one
+    /// (usually cached) page. If the lists were rebuilt in between (offline
+    /// merge), the saved page chain is gone; the cursor then degrades
+    /// gracefully by re-opening the term's current list and skipping every
+    /// posting at or before the last consumed merge position. Positions in
+    /// the rebuilt list reflect *current* scores, so a document may be
+    /// re-delivered (deduplicated downstream by the executor's seen-set) or
+    /// skipped — the documented staleness semantics of suspended cursors.
+    pub fn resume_cursor(&self, term: TermId, resume: &LongResume) -> Result<LongCursor<'_>> {
+        match &resume.state {
+            LongResumeState::Fresh => Ok(self.cursor(term)),
+            LongResumeState::Done => {
+                if resume.epoch == self.epoch() {
+                    Ok(LongCursor::empty())
+                } else {
+                    self.skip_cursor(term, resume.after)
                 }
             }
+            LongResumeState::At { pos, decode } => {
+                if resume.epoch == self.epoch() {
+                    let stream = ByteStream::resume(&self.blobs, *pos)?;
+                    Ok(self.cursor_from(stream, Some(*decode)))
+                } else {
+                    self.skip_cursor(term, resume.after)
+                }
+            }
+            LongResumeState::Skip => self.skip_cursor(term, resume.after),
         }
+    }
+
+    /// Fallback resume: fresh scan skipping keys `<= after`.
+    fn skip_cursor(&self, term: TermId, after: Option<MergeKey>) -> Result<LongCursor<'_>> {
+        let mut cursor = self.cursor(term);
+        let Some(after) = after else {
+            return Ok(cursor);
+        };
+        while let Some(p) = cursor.next_posting()? {
+            if (p.pos.rank(), p.doc.0) > after {
+                cursor.pending = Some(p);
+                break;
+            }
+        }
+        Ok(cursor)
     }
 
     /// Total encoded bytes across every term (the paper's Table 1 metric).
@@ -139,8 +227,69 @@ impl LongListStore {
     }
 }
 
+/// Decoder-internal state captured when a cursor suspends, sufficient to
+/// continue delta/group decoding mid-list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecodeState {
+    Id {
+        prev: Option<u32>,
+    },
+    Chunked {
+        cid: u32,
+        remaining: u64,
+        prev: Option<u32>,
+    },
+    Score,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LongResumeState {
+    /// Never opened: resume = plain [`LongListStore::cursor`].
+    Fresh,
+    /// The scan reached the end of the list.
+    Done,
+    /// Mid-list: byte position + decoder state.
+    At { pos: StreamPos, decode: DecodeState },
+    /// Position unknown (e.g. suspended mid-fallback): re-scan the current
+    /// list and skip keys `<= after` regardless of epoch.
+    Skip,
+}
+
+/// Owned suspension state of a [`LongCursor`] — everything needed to
+/// continue the scan in a later call without holding any borrow of the
+/// store. Produced by [`LongCursor::suspend`], consumed by
+/// [`LongListStore::resume_cursor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LongResume {
+    /// Store epoch at suspension; a mismatch at resume means the lists were
+    /// rebuilt and triggers the key-skip fallback.
+    epoch: u64,
+    state: LongResumeState,
+    /// Merge key of the last posting this cursor delivered (fallback skip
+    /// boundary).
+    after: Option<MergeKey>,
+}
+
+impl LongResume {
+    /// Resume state for a cursor that was never opened.
+    pub fn fresh() -> LongResume {
+        LongResume {
+            epoch: 0,
+            state: LongResumeState::Fresh,
+            after: None,
+        }
+    }
+}
+
 /// Streaming decoder over one term's long list.
-pub enum LongCursor<'a> {
+pub struct LongCursor<'a> {
+    inner: CursorInner<'a>,
+    /// One decoded posting pushed back by the key-skip fallback; delivered
+    /// before the stream continues.
+    pending: Option<LongPosting>,
+}
+
+enum CursorInner<'a> {
     Empty,
     Id(IdCursorState<'a>),
     Chunked(ChunkCursorState<'a>),
@@ -167,11 +316,62 @@ pub struct ScoreCursorState<'a> {
 }
 
 impl LongCursor<'_> {
+    /// A cursor over nothing (unknown terms; methods without long lists).
+    pub fn empty() -> LongCursor<'static> {
+        LongCursor {
+            inner: CursorInner::Empty,
+            pending: None,
+        }
+    }
+
+    /// Capture this cursor's suspension state. `epoch` is the owning
+    /// store's structural epoch ([`LongListStore::epoch`]; 0 for detached
+    /// empty cursors) and `after` the merge key of the last posting the
+    /// cursor delivered.
+    pub fn suspend(&self, epoch: u64, after: Option<MergeKey>) -> LongResume {
+        // A pending pushback means the fallback skip already decoded one
+        // posting ahead; re-running the skip from `after` reproduces it.
+        if self.pending.is_some() {
+            return LongResume {
+                epoch,
+                state: LongResumeState::Skip,
+                after,
+            };
+        }
+        let state = match &self.inner {
+            CursorInner::Empty => LongResumeState::Done,
+            CursorInner::Id(s) => LongResumeState::At {
+                pos: s.stream.position(),
+                decode: DecodeState::Id { prev: s.prev },
+            },
+            CursorInner::Chunked(s) => LongResumeState::At {
+                pos: s.stream.position(),
+                decode: DecodeState::Chunked {
+                    cid: s.current_cid,
+                    remaining: s.remaining,
+                    prev: s.prev,
+                },
+            },
+            CursorInner::Score(s) => LongResumeState::At {
+                pos: s.stream.position(),
+                decode: DecodeState::Score,
+            },
+        };
+        LongResume {
+            epoch,
+            state,
+            after,
+        }
+    }
+
     /// Next posting in list order, or `None` at the end.
     pub fn next_posting(&mut self) -> Result<Option<LongPosting>> {
-        match self {
-            LongCursor::Empty => Ok(None),
-            LongCursor::Id(state) => {
+        if let Some(p) = self.pending.take() {
+            return Ok(Some(p));
+        }
+        match &mut self.inner {
+            CursorInner::Empty => Ok(None),
+            CursorInner::Id(state) => {
                 if state.stream.is_eof()? {
                     return Ok(None);
                 }
@@ -192,7 +392,7 @@ impl LongCursor<'_> {
                     tscore,
                 }))
             }
-            LongCursor::Chunked(state) => {
+            CursorInner::Chunked(state) => {
                 while state.remaining == 0 {
                     if state.stream.is_eof()? {
                         return Ok(None);
@@ -219,7 +419,7 @@ impl LongCursor<'_> {
                     tscore,
                 }))
             }
-            LongCursor::Score(state) => {
+            CursorInner::Score(state) => {
                 if state.stream.is_eof()? {
                     return Ok(None);
                 }

@@ -13,7 +13,7 @@
 //! stopping rules of Algorithms 2 and 3 rely on.
 
 use crate::error::Result;
-use crate::long_list::{LongCursor, LongPosting};
+use crate::long_list::{LongCursor, LongPosting, LongResume};
 use crate::short_list::{Op, PostingPos, ShortCursor, ShortPosting};
 use crate::types::DocId;
 
@@ -49,6 +49,51 @@ impl UnionEvent {
     }
 }
 
+/// Owned suspension state of a [`UnionCursor`]: the buffered heads plus the
+/// two underlying cursor positions, with no borrow of any store. Captured
+/// by [`UnionCursor::suspend`]; a method's cursor backend turns it back
+/// into a live [`UnionCursor`] (see `methods::cursor`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnionResume {
+    pub(crate) primed: bool,
+    pub(crate) long_head: Option<LongPosting>,
+    pub(crate) short_head: Option<ShortPosting>,
+    /// Long-cursor position *after* `long_head`.
+    pub(crate) long: LongResume,
+    /// Merge key of the last posting pulled from the long cursor — carried
+    /// explicitly so the epoch-mismatch fallback keeps its skip boundary
+    /// even across suspensions where the long side is exhausted
+    /// (`long_head == None`).
+    pub(crate) long_after: Option<MergeKey>,
+    /// Key of the last posting pulled from the short cursor (`short_head`'s
+    /// key while a head is buffered): resume seeks its successor.
+    pub(crate) short_after: Option<(PostingPos, DocId)>,
+}
+
+impl UnionResume {
+    /// State for a stream that has not been opened yet.
+    pub fn fresh() -> UnionResume {
+        UnionResume {
+            primed: false,
+            long_head: None,
+            short_head: None,
+            long: LongResume::fresh(),
+            long_after: None,
+            short_after: None,
+        }
+    }
+
+    /// The short-side resume key (for rebuilding the short cursor).
+    pub fn short_resume_key(&self) -> Option<(PostingPos, DocId)> {
+        self.short_after
+    }
+
+    /// The long-side resume state (for rebuilding the long cursor).
+    pub fn long_resume(&self) -> &LongResume {
+        &self.long
+    }
+}
+
 /// Union of one term's short and long lists in list order.
 pub struct UnionCursor<'a> {
     long: LongCursor<'a>,
@@ -56,6 +101,10 @@ pub struct UnionCursor<'a> {
     long_head: Option<LongPosting>,
     short_head: Option<ShortPosting>,
     primed: bool,
+    /// Merge key of the last posting pulled from the long cursor.
+    long_after: Option<MergeKey>,
+    /// Key of the last posting pulled from the short cursor.
+    short_after: Option<(PostingPos, DocId)>,
 }
 
 impl<'a> UnionCursor<'a> {
@@ -67,13 +116,49 @@ impl<'a> UnionCursor<'a> {
             long_head: None,
             short_head: None,
             primed: false,
+            long_after: None,
+            short_after: None,
+        }
+    }
+
+    /// Rebuild a previously suspended union stream. `long` and `short` must
+    /// be cursors positioned according to `resume` (via
+    /// [`crate::long_list::LongListStore::resume_cursor`] and
+    /// [`crate::short_list::ShortLists::cursor_after`]); the buffered heads
+    /// are restored verbatim.
+    pub fn resume(
+        long: LongCursor<'a>,
+        short: ShortCursor<'a>,
+        resume: &UnionResume,
+    ) -> UnionCursor<'a> {
+        UnionCursor {
+            long,
+            short,
+            long_head: resume.long_head,
+            short_head: resume.short_head,
+            primed: resume.primed,
+            long_after: resume.long_after,
+            short_after: resume.short_after,
+        }
+    }
+
+    /// Capture this stream's suspension state. `long_epoch` is the long
+    /// store's structural epoch (0 when the method has no long store).
+    pub fn suspend(&self, long_epoch: u64) -> UnionResume {
+        UnionResume {
+            primed: self.primed,
+            long_head: self.long_head,
+            short_head: self.short_head,
+            long: self.long.suspend(long_epoch, self.long_after),
+            long_after: self.long_after,
+            short_after: self.short_after,
         }
     }
 
     fn prime(&mut self) -> Result<()> {
         if !self.primed {
-            self.long_head = self.long.next_posting()?;
-            self.short_head = self.short.next_posting()?;
+            self.advance_long()?;
+            self.advance_short()?;
             self.primed = true;
         }
         Ok(())
@@ -81,11 +166,17 @@ impl<'a> UnionCursor<'a> {
 
     fn advance_long(&mut self) -> Result<()> {
         self.long_head = self.long.next_posting()?;
+        if let Some(p) = self.long_head {
+            self.long_after = Some((p.pos.rank(), p.doc.0));
+        }
         Ok(())
     }
 
     fn advance_short(&mut self) -> Result<()> {
         self.short_head = self.short.next_posting()?;
+        if let Some(p) = self.short_head {
+            self.short_after = Some((p.pos, p.doc));
+        }
         Ok(())
     }
 
@@ -219,6 +310,44 @@ impl<'a> MultiMerge<'a> {
             heads: vec![None; n],
             primed: false,
         }
+    }
+
+    /// Rebuild a suspended merge: `streams` resumed per term, plus the
+    /// buffered merge heads captured by [`MultiMerge::suspend`].
+    pub fn resume(
+        streams: Vec<UnionCursor<'a>>,
+        heads: Vec<Option<UnionEvent>>,
+        primed: bool,
+    ) -> MultiMerge<'a> {
+        debug_assert_eq!(streams.len(), heads.len());
+        MultiMerge {
+            streams,
+            heads,
+            primed,
+        }
+    }
+
+    /// Capture the merge-level suspension state: per-stream union resumes
+    /// plus the buffered heads. `long_epoch` as in [`UnionCursor::suspend`].
+    pub fn suspend(&self, long_epoch: u64) -> (Vec<UnionResume>, Vec<Option<UnionEvent>>, bool) {
+        (
+            self.streams.iter().map(|s| s.suspend(long_epoch)).collect(),
+            self.heads.clone(),
+            self.primed,
+        )
+    }
+
+    /// Merge position of the next candidate (its [`PostingPos`]), or `None`
+    /// when every stream is exhausted. This is what the query algorithms'
+    /// stopping bounds are computed from.
+    pub fn peek_pos(&mut self) -> Result<Option<PostingPos>> {
+        self.prime()?;
+        Ok(self
+            .heads
+            .iter()
+            .flatten()
+            .min_by_key(|e| e.key())
+            .map(|e| e.pos))
     }
 
     fn prime(&mut self) -> Result<()> {

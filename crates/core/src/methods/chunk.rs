@@ -17,14 +17,14 @@ use svr_text::postings::{ChunkGroup, PostingsBuilder, TermScoredPosting};
 use crate::aux_table::{ListChunkEntry, ListChunkTable};
 use crate::chunk_map::ChunkMap;
 use crate::config::IndexConfig;
+use crate::cursor::{merge_next_batch, open_merge, CursorBackend, MethodCursor};
 use crate::error::Result;
-use crate::heap::TopKHeap;
 use crate::long_list::{invert_corpus, ListFormat, LongListStore};
-use crate::merge::{MultiMerge, UnionCursor};
+use crate::merge::{Candidate, UnionCursor, UnionResume};
 use crate::methods::base::{MethodBase, ShardContext};
 use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex, ShardStats};
 use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
-use crate::types::{ChunkId, DocId, Document, Query, QueryMode, Score, SearchHit, TermId};
+use crate::types::{ChunkId, DocId, Document, Query, Score, SearchHit, TermId};
 
 /// The Chunk method.
 pub struct ChunkMethod {
@@ -133,6 +133,52 @@ impl ChunkMethod {
     }
 }
 
+impl CursorBackend for ChunkMethod {
+    fn cursor_kind(&self) -> MethodKind {
+        MethodKind::Chunk
+    }
+
+    fn long_epoch(&self) -> u64 {
+        self.long.epoch()
+    }
+
+    fn stream(&self, term: TermId, resume: &UnionResume) -> Result<UnionCursor<'_>> {
+        Ok(UnionCursor::resume(
+            self.long.resume_cursor(term, resume.long_resume())?,
+            self.short.cursor_after(term, resume.short_resume_key())?,
+            resume,
+        ))
+    }
+
+    fn is_deleted(&self, doc: DocId) -> bool {
+        self.base.is_deleted(doc)
+    }
+
+    fn resolve(&self, candidate: &Candidate, _idfs: &[f64]) -> Result<Option<Score>> {
+        if candidate.all_short() {
+            return Ok(Some(self.base.score_table.score_of(candidate.doc)?));
+        }
+        match self.list_chunk.get(candidate.doc)? {
+            // Superseded by the short-list occurrence.
+            Some(entry) if entry.in_short_list => Ok(None),
+            // Long lists carry no scores: always consult the Score table
+            // (it is small and stays cached).
+            _ => Ok(Some(self.base.score_table.score_of(candidate.doc)?)),
+        }
+    }
+
+    /// A document whose posting sits in chunk `<= c` moved to the short
+    /// lists only after crossing *two* boundaries, so its current score is
+    /// below the lower bound of chunk `c + 2`.
+    fn svr_bound(&self, pos: Option<PostingPos>) -> Score {
+        match pos {
+            Some(PostingPos::ByChunk(c)) => self.chunk_map.read().max_possible_score(c),
+            Some(_) => f64::INFINITY,
+            None => f64::NEG_INFINITY,
+        }
+    }
+}
+
 impl SearchIndex for ChunkMethod {
     fn kind(&self) -> MethodKind {
         MethodKind::Chunk
@@ -176,69 +222,16 @@ impl SearchIndex for ChunkMethod {
         Ok(())
     }
 
-    /// Algorithm 2 adapted to chunks: scan chunks in descending order and
-    /// stop at a chunk boundary once no upcoming document can beat the
-    /// secured top-k. A document listed in chunk `c` can have drifted up to
-    /// (but not into) chunk `c + 2`, hence the "one extra chunk" scan.
-    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
-        let required = match query.mode {
-            QueryMode::Conjunctive => query.terms.len(),
-            QueryMode::Disjunctive => 1,
-        };
-        let chunk_map = self.chunk_map.read();
-        let streams: Vec<UnionCursor<'_>> = query
-            .terms
-            .iter()
-            .map(|&t| Ok(UnionCursor::new(self.long.cursor(t), self.short.cursor(t)?)))
-            .collect::<Result<_>>()?;
-        let mut merge = MultiMerge::new(streams);
-        let mut heap = TopKHeap::new(query.k);
-        let mut seen: HashSet<DocId> = HashSet::new();
-        let mut prev_cid: Option<ChunkId> = None;
+    /// Algorithm 2 adapted to chunks, as an any-k enumeration (see
+    /// [`crate::cursor`]): a document listed in chunk `c` can have drifted
+    /// up to (but not into) chunk `c + 2`, which is the executor's
+    /// emission bound.
+    fn open_cursor(&self, query: &Query) -> Result<MethodCursor> {
+        Ok(open_merge(MethodKind::Chunk, query, Vec::new()))
+    }
 
-        while let Some(candidate) = merge.next_candidate()? {
-            let PostingPos::ByChunk(cid) = candidate.pos else {
-                unreachable!("chunk method produces chunk-ordered candidates");
-            };
-            if let Some(prev) = prev_cid {
-                if cid < prev {
-                    // Chunk `prev` is complete: any upcoming doc's current
-                    // score is below the upper boundary of chunk `prev`.
-                    if let Some(min) = heap.min_score() {
-                        if min >= chunk_map.upper_bound(prev) {
-                            break;
-                        }
-                    }
-                }
-            }
-            prev_cid = Some(cid);
-
-            if candidate.match_count() < required
-                || self.base.is_deleted(candidate.doc)
-                || seen.contains(&candidate.doc)
-            {
-                continue;
-            }
-            if candidate.all_short() {
-                let current = self.base.score_table.score_of(candidate.doc)?;
-                heap.add(candidate.doc, current);
-                seen.insert(candidate.doc);
-            } else {
-                match self.list_chunk.get(candidate.doc)? {
-                    Some(entry) if entry.in_short_list => {
-                        // Superseded by the short-list occurrence.
-                    }
-                    _ => {
-                        // Long lists carry no scores: always consult the
-                        // Score table (it is small and stays cached).
-                        let current = self.base.score_table.score_of(candidate.doc)?;
-                        heap.add(candidate.doc, current);
-                        seen.insert(candidate.doc);
-                    }
-                }
-            }
-        }
-        Ok(heap.into_ranked())
+    fn next_batch(&self, cursor: &mut MethodCursor, n: usize) -> Result<Vec<SearchHit>> {
+        merge_next_batch(self, cursor, n)
     }
 
     /// Appendix A.2: an insertion is short-list ADD postings at the score's

@@ -24,15 +24,15 @@ use svr_text::unquantize_term_score;
 use crate::aux_table::{ListChunkEntry, ListChunkTable};
 use crate::chunk_map::ChunkMap;
 use crate::config::IndexConfig;
+use crate::cursor::{merge_next_batch, CursorBackend, MergeState, MethodCursor};
 use crate::error::Result;
-use crate::heap::TopKHeap;
 use crate::long_list::{invert_corpus, posting_term_score, ListFormat, LongListStore};
-use crate::merge::{MultiMerge, UnionCursor};
+use crate::merge::{Candidate, UnionCursor, UnionResume};
 use crate::methods::base::{MethodBase, ShardContext};
 use crate::methods::chunk::group_by_chunk;
 use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex, ShardStats};
 use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
-use crate::types::{ChunkId, DocId, Document, Query, QueryMode, Score, SearchHit, TermId};
+use crate::types::{DocId, Document, Query, Score, SearchHit, TermId};
 
 /// Per-term fancy-list metadata.
 #[derive(Debug, Clone, Copy, Default)]
@@ -185,10 +185,62 @@ impl ChunkTermMethod {
     }
 }
 
-/// Phase-1 bookkeeping for a doc found in some (not all) fancy lists.
-struct RemainEntry {
-    /// `tscore * idf` per query-term index, where known from fancy lists.
-    known: Vec<Option<f64>>,
+impl CursorBackend for ChunkTermMethod {
+    fn cursor_kind(&self) -> MethodKind {
+        MethodKind::ChunkTermScore
+    }
+
+    fn long_epoch(&self) -> u64 {
+        self.long.epoch()
+    }
+
+    fn stream(&self, term: TermId, resume: &UnionResume) -> Result<UnionCursor<'_>> {
+        Ok(UnionCursor::resume(
+            self.long.resume_cursor(term, resume.long_resume())?,
+            self.short.cursor_after(term, resume.short_resume_key())?,
+            resume,
+        ))
+    }
+
+    fn is_deleted(&self, doc: DocId) -> bool {
+        self.base.is_deleted(doc)
+    }
+
+    /// Phase-2 scoring of Algorithm 3: SVR resolution as in the Chunk
+    /// method plus the matched term-score contributions.
+    fn resolve(&self, candidate: &Candidate, idfs: &[f64]) -> Result<Option<Score>> {
+        let svr = if candidate.all_short() {
+            self.base.score_table.score_of(candidate.doc)?
+        } else {
+            match self.list_chunk.get(candidate.doc)? {
+                Some(entry) if entry.in_short_list => return Ok(None), // superseded
+                _ => self.base.score_table.score_of(candidate.doc)?,
+            }
+        };
+        let mut ts_sum = 0.0;
+        for (i, matched) in candidate.matches.iter().enumerate() {
+            if let Some(mt) = matched {
+                ts_sum += idfs[i] * unquantize_term_score(mt.tscore);
+            }
+        }
+        Ok(Some(self.base.combine(svr, ts_sum)))
+    }
+
+    fn svr_bound(&self, pos: Option<PostingPos>) -> Score {
+        match pos {
+            Some(PostingPos::ByChunk(c)) => self.chunk_map.read().max_possible_score(c),
+            Some(_) => f64::INFINITY,
+            None => f64::NEG_INFINITY,
+        }
+    }
+
+    fn term_fancy_bound(&self, term: TermId) -> f64 {
+        self.fancy_bound(term)
+    }
+
+    fn combine(&self, svr: Score, ts_sum: f64) -> Score {
+        self.base.combine(svr, ts_sum)
+    }
 }
 
 impl SearchIndex for ChunkTermMethod {
@@ -236,28 +288,23 @@ impl SearchIndex for ChunkTermMethod {
         Ok(())
     }
 
-    /// Algorithm 3.
-    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
+    /// Algorithm 3 as an any-k enumeration: phase 1 (fancy-list merge,
+    /// lines 8-9) runs at open time and pre-fills the cursor's pool and
+    /// `remainList`; phase 2 is the suspendable chunk-by-chunk merge driven
+    /// by [`crate::cursor`].
+    fn open_cursor(&self, query: &Query) -> Result<MethodCursor> {
         let m = query.terms.len();
-        let required = match query.mode {
-            QueryMode::Conjunctive => m,
-            QueryMode::Disjunctive => 1,
-        };
         let idfs: Vec<f64> = query.terms.iter().map(|&t| self.base.idf(t)).collect();
-        let chunk_map = self.chunk_map.read();
-        let mut heap = TopKHeap::new(query.k);
-        let mut seen: HashSet<DocId> = HashSet::new();
+        let mut state = MergeState::new(m, idfs);
 
-        // ---- Phase 1: merge the fancy lists (line 8-9). -------------------
         let mut fancy_docs: HashMap<DocId, Vec<Option<f64>>> = HashMap::new();
         for (i, &term) in query.terms.iter().enumerate() {
             let mut cursor = self.fancy.cursor(term);
             while let Some(p) = cursor.next_posting()? {
                 fancy_docs.entry(p.doc).or_insert_with(|| vec![None; m])[i] =
-                    Some(idfs[i] * unquantize_term_score(p.tscore));
+                    Some(state.idfs[i] * unquantize_term_score(p.tscore));
             }
         }
-        let mut remain: HashMap<DocId, RemainEntry> = HashMap::new();
         let content_dirty = self.content_dirty.read();
         for (doc, known) in fancy_docs {
             if self.base.is_deleted(doc) || content_dirty.contains(&doc) {
@@ -268,100 +315,21 @@ impl SearchIndex for ChunkTermMethod {
                 // term scores from the fancy postings) result.
                 let svr = self.base.score_table.score_of(doc)?;
                 let ts_sum: f64 = known.iter().flatten().sum();
-                heap.add(doc, self.base.combine(svr, ts_sum));
-                seen.insert(doc);
+                state.admit(doc, self.base.combine(svr, ts_sum));
             } else {
-                remain.insert(doc, RemainEntry { known });
+                state.remain.insert(doc, known);
             }
         }
         drop(content_dirty);
+        Ok(MethodCursor::merge(
+            MethodKind::ChunkTermScore,
+            query.clone(),
+            state,
+        ))
+    }
 
-        // Σ_t bound(t)·idf(t): term-score bound for docs outside all fancy
-        // lists (line 30).
-        let global_ts_bound: f64 = query
-            .terms
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| idfs[i] * self.fancy_bound(t))
-            .sum();
-
-        // ---- Phase 2: merge short ∪ long lists chunk by chunk. ------------
-        let streams: Vec<UnionCursor<'_>> = query
-            .terms
-            .iter()
-            .map(|&t| Ok(UnionCursor::new(self.long.cursor(t), self.short.cursor(t)?)))
-            .collect::<Result<_>>()?;
-        let mut merge = MultiMerge::new(streams);
-        let mut prev_cid: Option<ChunkId> = None;
-
-        loop {
-            let candidate = merge.next_candidate()?;
-            // Chunk-boundary housekeeping (lines 26-34).
-            let cid = candidate.as_ref().map(|c| match c.pos {
-                PostingPos::ByChunk(c) => c,
-                _ => unreachable!("chunk-term candidates are chunk-ordered"),
-            });
-            let boundary_completed = match (prev_cid, cid) {
-                (Some(prev), Some(c)) if c < prev => Some(prev),
-                (Some(prev), None) => Some(prev),
-                _ => None,
-            };
-            if let Some(completed) = boundary_completed {
-                // Upper bound on any unseen doc's current SVR score.
-                let svr_ub = chunk_map.upper_bound(completed);
-                if let Some(min) = heap.min_score() {
-                    // Prune remainList entries that can no longer qualify.
-                    remain.retain(|_, e| {
-                        let ts_ub: f64 = e
-                            .known
-                            .iter()
-                            .enumerate()
-                            .map(|(i, k)| {
-                                k.unwrap_or_else(|| idfs[i] * self.fancy_bound(query.terms[i]))
-                            })
-                            .sum();
-                        self.base.combine(svr_ub, ts_ub) > min
-                    });
-                    // Stop once nothing outside the heap can qualify.
-                    if remain.is_empty() && self.base.combine(svr_ub, global_ts_bound) <= min {
-                        break;
-                    }
-                }
-            }
-            let Some(candidate) = candidate else {
-                break;
-            };
-            prev_cid = cid;
-
-            // Every encountered doc leaves the remainList (line 12).
-            remain.remove(&candidate.doc);
-
-            if candidate.match_count() < required
-                || self.base.is_deleted(candidate.doc)
-                || seen.contains(&candidate.doc)
-            {
-                continue;
-            }
-            let svr = if candidate.all_short() {
-                Some(self.base.score_table.score_of(candidate.doc)?)
-            } else {
-                match self.list_chunk.get(candidate.doc)? {
-                    Some(entry) if entry.in_short_list => None, // superseded
-                    _ => Some(self.base.score_table.score_of(candidate.doc)?),
-                }
-            };
-            if let Some(svr) = svr {
-                let mut ts_sum = 0.0;
-                for (i, matched) in candidate.matches.iter().enumerate() {
-                    if let Some(mt) = matched {
-                        ts_sum += idfs[i] * unquantize_term_score(mt.tscore);
-                    }
-                }
-                heap.add(candidate.doc, self.base.combine(svr, ts_sum));
-                seen.insert(candidate.doc);
-            }
-        }
-        Ok(heap.into_ranked())
+    fn next_batch(&self, cursor: &mut MethodCursor, n: usize) -> Result<Vec<SearchHit>> {
+        merge_next_batch(self, cursor, n)
     }
 
     fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {

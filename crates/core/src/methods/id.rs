@@ -13,14 +13,14 @@ use svr_storage::StorageEnv;
 use svr_text::postings::PostingsBuilder;
 
 use crate::config::IndexConfig;
+use crate::cursor::{merge_next_batch, open_merge, CursorBackend, MethodCursor};
 use crate::error::Result;
-use crate::heap::TopKHeap;
 use crate::long_list::{invert_corpus, ListFormat, LongListStore};
-use crate::merge::{MultiMerge, UnionCursor};
+use crate::merge::{Candidate, UnionCursor, UnionResume};
 use crate::methods::base::{MethodBase, ShardContext};
 use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex, ShardStats};
 use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
-use crate::types::{DocId, Document, Query, QueryMode, Score, SearchHit, TermId};
+use crate::types::{DocId, Document, Query, Score, SearchHit, TermId};
 
 /// The ID method.
 pub struct IdMethod {
@@ -57,13 +57,47 @@ impl IdMethod {
         }
         Ok(IdMethod { base, long, short })
     }
+}
 
-    fn streams(&self, query: &Query) -> Result<Vec<UnionCursor<'_>>> {
-        query
-            .terms
-            .iter()
-            .map(|&t| Ok(UnionCursor::new(self.long.cursor(t), self.short.cursor(t)?)))
-            .collect()
+impl CursorBackend for IdMethod {
+    fn cursor_kind(&self) -> MethodKind {
+        MethodKind::Id
+    }
+
+    fn long_epoch(&self) -> u64 {
+        self.long.epoch()
+    }
+
+    fn stream(&self, term: TermId, resume: &UnionResume) -> Result<UnionCursor<'_>> {
+        Ok(UnionCursor::resume(
+            self.long.resume_cursor(term, resume.long_resume())?,
+            self.short.cursor_after(term, resume.short_resume_key())?,
+            resume,
+        ))
+    }
+
+    fn is_deleted(&self, doc: DocId) -> bool {
+        self.base.is_deleted(doc)
+    }
+
+    fn resolve(&self, candidate: &Candidate, _idfs: &[f64]) -> Result<Option<Score>> {
+        // Score table probe for every candidate — the ID method's cost.
+        let Some(entry) = self.base.score_table.get(candidate.doc)? else {
+            return Ok(None);
+        };
+        if entry.deleted {
+            return Ok(None);
+        }
+        Ok(Some(entry.score))
+    }
+
+    fn svr_bound(&self, pos: Option<PostingPos>) -> Score {
+        // ID lists are unordered by score: nothing can be emitted until the
+        // scan completes ("we need to scan all the postings").
+        match pos {
+            Some(_) => f64::INFINITY,
+            None => f64::NEG_INFINITY,
+        }
     }
 }
 
@@ -79,30 +113,12 @@ impl SearchIndex for IdMethod {
         Ok(())
     }
 
-    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
-        let required = match query.mode {
-            QueryMode::Conjunctive => query.terms.len(),
-            QueryMode::Disjunctive => 1,
-        };
-        let mut merge = MultiMerge::new(self.streams(query)?);
-        let mut heap = TopKHeap::new(query.k);
-        while let Some(candidate) = merge.next_candidate()? {
-            if candidate.match_count() < required {
-                continue;
-            }
-            if self.base.is_deleted(candidate.doc) {
-                continue;
-            }
-            // Score table probe for every candidate — the ID method's cost.
-            let Some(entry) = self.base.score_table.get(candidate.doc)? else {
-                continue;
-            };
-            if entry.deleted {
-                continue;
-            }
-            heap.add(candidate.doc, entry.score);
-        }
-        Ok(heap.into_ranked())
+    fn open_cursor(&self, query: &Query) -> Result<MethodCursor> {
+        Ok(open_merge(MethodKind::Id, query, Vec::new()))
+    }
+
+    fn next_batch(&self, cursor: &mut MethodCursor, n: usize) -> Result<Vec<SearchHit>> {
+        merge_next_batch(self, cursor, n)
     }
 
     fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {

@@ -14,14 +14,14 @@ use svr_text::postings::PostingsBuilder;
 use svr_text::unquantize_term_score;
 
 use crate::config::IndexConfig;
+use crate::cursor::{merge_next_batch, open_merge, CursorBackend, MethodCursor};
 use crate::error::Result;
-use crate::heap::TopKHeap;
 use crate::long_list::{invert_corpus, posting_term_score, ListFormat, LongListStore};
-use crate::merge::{MultiMerge, UnionCursor};
+use crate::merge::{Candidate, UnionCursor, UnionResume};
 use crate::methods::base::{MethodBase, ShardContext};
 use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex, ShardStats};
 use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
-use crate::types::{DocId, Document, Query, QueryMode, Score, SearchHit, TermId};
+use crate::types::{DocId, Document, Query, Score, SearchHit, TermId};
 
 /// The ID-TermScore baseline.
 pub struct IdTermMethod {
@@ -63,6 +63,57 @@ impl IdTermMethod {
     }
 }
 
+impl CursorBackend for IdTermMethod {
+    fn cursor_kind(&self) -> MethodKind {
+        MethodKind::IdTermScore
+    }
+
+    fn long_epoch(&self) -> u64 {
+        self.long.epoch()
+    }
+
+    fn stream(&self, term: TermId, resume: &UnionResume) -> Result<UnionCursor<'_>> {
+        Ok(UnionCursor::resume(
+            self.long.resume_cursor(term, resume.long_resume())?,
+            self.short.cursor_after(term, resume.short_resume_key())?,
+            resume,
+        ))
+    }
+
+    fn is_deleted(&self, doc: DocId) -> bool {
+        self.base.is_deleted(doc)
+    }
+
+    fn resolve(&self, candidate: &Candidate, idfs: &[f64]) -> Result<Option<Score>> {
+        let Some(entry) = self.base.score_table.get(candidate.doc)? else {
+            return Ok(None);
+        };
+        if entry.deleted {
+            return Ok(None);
+        }
+        let mut ts_sum = 0.0;
+        for (i, m) in candidate.matches.iter().enumerate() {
+            if let Some(m) = m {
+                ts_sum += idfs[i] * unquantize_term_score(m.tscore);
+            }
+        }
+        Ok(Some(self.base.combine(entry.score, ts_sum)))
+    }
+
+    fn svr_bound(&self, pos: Option<PostingPos>) -> Score {
+        // Like the ID method: no term-score-only early termination is
+        // sound, so nothing is emitted until the scan completes.
+        match pos {
+            Some(_) => f64::INFINITY,
+            None => f64::NEG_INFINITY,
+        }
+    }
+
+    fn combine(&self, svr: Score, ts_sum: f64) -> Score {
+        self.base.combine(svr, ts_sum)
+    }
+}
+
 impl SearchIndex for IdTermMethod {
     fn kind(&self) -> MethodKind {
         MethodKind::IdTermScore
@@ -74,41 +125,13 @@ impl SearchIndex for IdTermMethod {
         Ok(())
     }
 
-    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
-        let required = match query.mode {
-            QueryMode::Conjunctive => query.terms.len(),
-            QueryMode::Disjunctive => 1,
-        };
+    fn open_cursor(&self, query: &Query) -> Result<MethodCursor> {
         let idfs: Vec<f64> = query.terms.iter().map(|&t| self.base.idf(t)).collect();
-        let streams: Vec<UnionCursor<'_>> = query
-            .terms
-            .iter()
-            .map(|&t| Ok(UnionCursor::new(self.long.cursor(t), self.short.cursor(t)?)))
-            .collect::<Result<_>>()?;
-        let mut merge = MultiMerge::new(streams);
-        let mut heap = TopKHeap::new(query.k);
-        while let Some(candidate) = merge.next_candidate()? {
-            if candidate.match_count() < required {
-                continue;
-            }
-            if self.base.is_deleted(candidate.doc) {
-                continue;
-            }
-            let Some(entry) = self.base.score_table.get(candidate.doc)? else {
-                continue;
-            };
-            if entry.deleted {
-                continue;
-            }
-            let mut ts_sum = 0.0;
-            for (i, m) in candidate.matches.iter().enumerate() {
-                if let Some(m) = m {
-                    ts_sum += idfs[i] * unquantize_term_score(m.tscore);
-                }
-            }
-            heap.add(candidate.doc, self.base.combine(entry.score, ts_sum));
-        }
-        Ok(heap.into_ranked())
+        Ok(open_merge(MethodKind::IdTermScore, query, idfs))
+    }
+
+    fn next_batch(&self, cursor: &mut MethodCursor, n: usize) -> Result<Vec<SearchHit>> {
+        merge_next_batch(self, cursor, n)
     }
 
     fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {

@@ -38,6 +38,7 @@ use std::sync::Arc;
 use svr_storage::StorageEnv;
 
 use crate::config::IndexConfig;
+use crate::cursor::MethodCursor;
 use crate::error::Result;
 use crate::types::{DocId, Document, Query, Score, SearchHit};
 
@@ -189,8 +190,23 @@ pub trait SearchIndex: Send + Sync {
         Ok(())
     }
 
+    /// Open a resumable ranked enumeration for `query` (see
+    /// [`crate::cursor`]). The cursor is bound to this index: feed it back
+    /// through [`SearchIndex::next_batch`] on the same instance.
+    fn open_cursor(&self, query: &Query) -> Result<MethodCursor>;
+
+    /// Emit the next `n` results in exact rank order, resuming the
+    /// suspended traversal. Returns fewer than `n` hits only when the
+    /// enumeration is exhausted.
+    fn next_batch(&self, cursor: &mut MethodCursor, n: usize) -> Result<Vec<SearchHit>>;
+
     /// Evaluate a top-k query against the *latest* scores (Algorithms 2/3).
-    fn query(&self, query: &Query) -> Result<Vec<SearchHit>>;
+    /// One-shot queries are nothing but an opened cursor drained once for
+    /// `query.k` results.
+    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
+        let mut cursor = self.open_cursor(query)?;
+        self.next_batch(&mut cursor, query.k)
+    }
 
     /// Insert a new document with its initial score (Appendix A.2).
     fn insert_document(&self, doc: &Document, score: Score) -> Result<()>;
@@ -295,7 +311,22 @@ impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
         Ok(())
     }
 
+    fn open_cursor(&self, query: &Query) -> Result<MethodCursor> {
+        let _guard = self.lock.read();
+        self.inner.open_cursor(query)
+    }
+
+    fn next_batch(&self, cursor: &mut MethodCursor, n: usize) -> Result<Vec<SearchHit>> {
+        // Each batch runs under one read-lock acquisition: batches are
+        // individually snapshot-consistent, and the lock is *not* held
+        // while the cursor is suspended between batches.
+        let _guard = self.lock.read();
+        self.inner.next_batch(cursor, n)
+    }
+
     fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
+        // One lock acquisition for open + drain, as the one-shot path
+        // always had.
         let _guard = self.lock.read();
         self.inner.query(query)
     }

@@ -14,14 +14,14 @@ use std::sync::Arc;
 use svr_storage::StorageEnv;
 
 use crate::config::IndexConfig;
+use crate::cursor::{merge_next_batch, open_merge, CursorBackend, MethodCursor};
 use crate::error::Result;
-use crate::heap::TopKHeap;
 use crate::long_list::{invert_corpus, LongCursor};
-use crate::merge::{MultiMerge, UnionCursor};
+use crate::merge::{Candidate, UnionCursor, UnionResume};
 use crate::methods::base::{MethodBase, ShardContext};
 use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex, ShardStats};
 use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
-use crate::types::{DocId, Document, Query, QueryMode, Score, SearchHit};
+use crate::types::{DocId, Document, Query, Score, SearchHit, TermId};
 
 /// The Score method.
 pub struct ScoreMethod {
@@ -64,6 +64,47 @@ impl ScoreMethod {
     }
 }
 
+impl CursorBackend for ScoreMethod {
+    fn cursor_kind(&self) -> MethodKind {
+        MethodKind::Score
+    }
+
+    fn long_epoch(&self) -> u64 {
+        // The clustered list is a B+-tree resumed by key; there is no page
+        // chain to invalidate.
+        0
+    }
+
+    fn stream(&self, term: TermId, resume: &UnionResume) -> Result<UnionCursor<'_>> {
+        Ok(UnionCursor::resume(
+            LongCursor::empty(),
+            self.list.cursor_after(term, resume.short_resume_key())?,
+            resume,
+        ))
+    }
+
+    fn is_deleted(&self, doc: DocId) -> bool {
+        self.base.is_deleted(doc)
+    }
+
+    fn resolve(&self, candidate: &Candidate, _idfs: &[f64]) -> Result<Option<Score>> {
+        let PostingPos::ByScore(score) = candidate.pos else {
+            unreachable!("score method produces score-ordered candidates");
+        };
+        // The list scores are always current: the position is the score.
+        Ok(Some(score))
+    }
+
+    fn svr_bound(&self, pos: Option<PostingPos>) -> Score {
+        // Candidates arrive in descending current-score order.
+        match pos {
+            Some(PostingPos::ByScore(s)) => s,
+            Some(_) => f64::INFINITY,
+            None => f64::NEG_INFINITY,
+        }
+    }
+}
+
 impl SearchIndex for ScoreMethod {
     fn kind(&self) -> MethodKind {
         MethodKind::Score
@@ -87,38 +128,12 @@ impl SearchIndex for ScoreMethod {
         Ok(())
     }
 
-    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
-        let required = match query.mode {
-            QueryMode::Conjunctive => query.terms.len(),
-            QueryMode::Disjunctive => 1,
-        };
-        let streams: Vec<UnionCursor<'_>> = query
-            .terms
-            .iter()
-            .map(|&t| Ok(UnionCursor::new(LongCursor::Empty, self.list.cursor(t)?)))
-            .collect::<Result<_>>()?;
-        let mut merge = MultiMerge::new(streams);
-        let mut heap = TopKHeap::new(query.k);
-        while let Some(candidate) = merge.next_candidate()? {
-            let PostingPos::ByScore(score) = candidate.pos else {
-                unreachable!("score method produces score-ordered candidates");
-            };
-            // Early termination: candidates arrive in descending score
-            // order and the list scores are always current.
-            if let Some(min) = heap.min_score() {
-                if score < min {
-                    break;
-                }
-            }
-            if candidate.match_count() < required {
-                continue;
-            }
-            if self.base.is_deleted(candidate.doc) {
-                continue;
-            }
-            heap.add(candidate.doc, score);
-        }
-        Ok(heap.into_ranked())
+    fn open_cursor(&self, query: &Query) -> Result<MethodCursor> {
+        Ok(open_merge(MethodKind::Score, query, Vec::new()))
+    }
+
+    fn next_batch(&self, cursor: &mut MethodCursor, n: usize) -> Result<Vec<SearchHit>> {
+        merge_next_batch(self, cursor, n)
     }
 
     fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {

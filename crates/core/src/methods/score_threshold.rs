@@ -15,14 +15,14 @@ use svr_text::postings::PostingsBuilder;
 
 use crate::aux_table::{ListScoreEntry, ListScoreTable};
 use crate::config::IndexConfig;
+use crate::cursor::{merge_next_batch, open_merge, CursorBackend, MethodCursor};
 use crate::error::Result;
-use crate::heap::TopKHeap;
 use crate::long_list::{invert_corpus, ListFormat, LongListStore};
-use crate::merge::{MultiMerge, UnionCursor};
+use crate::merge::{Candidate, UnionCursor, UnionResume};
 use crate::methods::base::{MethodBase, ShardContext};
 use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex, ShardStats};
 use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
-use crate::types::{DocId, Document, Query, QueryMode, Score, SearchHit, TermId};
+use crate::types::{DocId, Document, Query, Score, SearchHit, TermId};
 
 /// The Score-Threshold method.
 pub struct ScoreThresholdMethod {
@@ -93,6 +93,61 @@ impl ScoreThresholdMethod {
     }
 }
 
+impl CursorBackend for ScoreThresholdMethod {
+    fn cursor_kind(&self) -> MethodKind {
+        MethodKind::ScoreThreshold
+    }
+
+    fn long_epoch(&self) -> u64 {
+        self.long.epoch()
+    }
+
+    fn stream(&self, term: TermId, resume: &UnionResume) -> Result<UnionCursor<'_>> {
+        Ok(UnionCursor::resume(
+            self.long.resume_cursor(term, resume.long_resume())?,
+            self.short.cursor_after(term, resume.short_resume_key())?,
+            resume,
+        ))
+    }
+
+    fn is_deleted(&self, doc: DocId) -> bool {
+        self.base.is_deleted(doc)
+    }
+
+    /// Algorithm 2 lines 12-21: score resolution per occurrence.
+    fn resolve(&self, candidate: &Candidate, _idfs: &[f64]) -> Result<Option<Score>> {
+        let PostingPos::ByScore(list_score) = candidate.pos else {
+            unreachable!("score-threshold candidates are score-ordered");
+        };
+        if candidate.all_short() {
+            // Short-list result; scores in the short list may lag the
+            // Score table.
+            return Ok(Some(self.base.score_table.score_of(candidate.doc)?));
+        }
+        // Long-list (or mixed) result.
+        match self.list_score.get(candidate.doc)? {
+            // Never updated: the list score is current.
+            None => Ok(Some(list_score)),
+            Some(entry) if !entry.in_short_list => {
+                Ok(Some(self.base.score_table.score_of(candidate.doc)?))
+            }
+            // In the short list: this (stale) long posting is superseded by
+            // the short occurrence.
+            Some(_) => Ok(None),
+        }
+    }
+
+    /// Lemma 1.2: no document at or past list position `s` can currently
+    /// score above `thresholdValueOf(s)`.
+    fn svr_bound(&self, pos: Option<PostingPos>) -> Score {
+        match pos {
+            Some(PostingPos::ByScore(s)) => self.config.threshold_value_of(s),
+            Some(_) => f64::INFINITY,
+            None => f64::NEG_INFINITY,
+        }
+    }
+}
+
 impl SearchIndex for ScoreThresholdMethod {
     fn kind(&self) -> MethodKind {
         MethodKind::ScoreThreshold
@@ -135,76 +190,13 @@ impl SearchIndex for ScoreThresholdMethod {
         Ok(())
     }
 
-    /// Algorithm 2.
-    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
-        let required = match query.mode {
-            QueryMode::Conjunctive => query.terms.len(),
-            QueryMode::Disjunctive => 1,
-        };
-        let streams: Vec<UnionCursor<'_>> = query
-            .terms
-            .iter()
-            .map(|&t| Ok(UnionCursor::new(self.long.cursor(t), self.short.cursor(t)?)))
-            .collect::<Result<_>>()?;
-        let mut merge = MultiMerge::new(streams);
-        let mut heap = TopKHeap::new(query.k);
-        let mut seen: HashSet<DocId> = HashSet::new();
-        // The stopping threshold: set once we have k results whose current
-        // scores are at least the current list score (lines 22-24).
-        let mut threshold: Option<Score> = None;
+    /// Algorithm 2, as an any-k enumeration (see [`crate::cursor`]).
+    fn open_cursor(&self, query: &Query) -> Result<MethodCursor> {
+        Ok(open_merge(MethodKind::ScoreThreshold, query, Vec::new()))
+    }
 
-        while let Some(candidate) = merge.next_candidate()? {
-            let PostingPos::ByScore(list_score) = candidate.pos else {
-                unreachable!("score-threshold candidates are score-ordered");
-            };
-            // Line 9-11: no upcoming current score can exceed
-            // thresholdValueOf(listScore); stop when that bound cannot beat
-            // the secured top-k.
-            if let Some(threshold) = threshold {
-                if self.config.threshold_value_of(list_score) <= threshold {
-                    break;
-                }
-            }
-            if candidate.match_count() >= required
-                && !self.base.is_deleted(candidate.doc)
-                && !seen.contains(&candidate.doc)
-            {
-                if candidate.all_short() {
-                    // Lines 12-14: short-list result; scores in the short
-                    // list may lag the Score table.
-                    let current = self.base.score_table.score_of(candidate.doc)?;
-                    heap.add(candidate.doc, current);
-                    seen.insert(candidate.doc);
-                } else {
-                    // Lines 15-21: long-list (or mixed) result.
-                    match self.list_score.get(candidate.doc)? {
-                        None => {
-                            // Never updated: the list score is current.
-                            heap.add(candidate.doc, list_score);
-                            seen.insert(candidate.doc);
-                        }
-                        Some(entry) if !entry.in_short_list => {
-                            let current = self.base.score_table.score_of(candidate.doc)?;
-                            heap.add(candidate.doc, current);
-                            seen.insert(candidate.doc);
-                        }
-                        Some(_) => {
-                            // In the short list: this (stale) long posting is
-                            // superseded by the short occurrence.
-                        }
-                    }
-                }
-            }
-            // Lines 22-24: arm the stopping threshold.
-            if threshold.is_none() {
-                if let Some(min) = heap.min_score() {
-                    if min >= list_score {
-                        threshold = Some(list_score);
-                    }
-                }
-            }
-        }
-        Ok(heap.into_ranked())
+    fn next_batch(&self, cursor: &mut MethodCursor, n: usize) -> Result<Vec<SearchHit>> {
+        merge_next_batch(self, cursor, n)
     }
 
     fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {

@@ -25,14 +25,14 @@ use svr_text::unquantize_term_score;
 
 use crate::aux_table::{ListScoreEntry, ListScoreTable};
 use crate::config::IndexConfig;
+use crate::cursor::{merge_next_batch, CursorBackend, MergeState, MethodCursor};
 use crate::error::Result;
-use crate::heap::TopKHeap;
 use crate::long_list::{invert_corpus, posting_term_score, ListFormat, LongListStore};
-use crate::merge::{MultiMerge, UnionCursor};
+use crate::merge::{Candidate, UnionCursor, UnionResume};
 use crate::methods::base::{MethodBase, ShardContext};
 use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex, ShardStats};
 use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
-use crate::types::{DocId, Document, Query, QueryMode, Score, SearchHit, TermId};
+use crate::types::{DocId, Document, Query, Score, SearchHit, TermId};
 
 /// Per-term fancy-list metadata (same role as in Chunk-TermScore).
 #[derive(Debug, Clone, Copy, Default)]
@@ -169,9 +169,70 @@ impl ScoreThresholdTermMethod {
     }
 }
 
-/// Phase-1 bookkeeping for a doc found in some (not all) fancy lists.
-struct RemainEntry {
-    known: Vec<Option<f64>>,
+impl CursorBackend for ScoreThresholdTermMethod {
+    fn cursor_kind(&self) -> MethodKind {
+        MethodKind::ScoreThresholdTermScore
+    }
+
+    fn long_epoch(&self) -> u64 {
+        self.long.epoch()
+    }
+
+    fn stream(&self, term: TermId, resume: &UnionResume) -> Result<UnionCursor<'_>> {
+        Ok(UnionCursor::resume(
+            self.long.resume_cursor(term, resume.long_resume())?,
+            self.short.cursor_after(term, resume.short_resume_key())?,
+            resume,
+        ))
+    }
+
+    fn is_deleted(&self, doc: DocId) -> bool {
+        self.base.is_deleted(doc)
+    }
+
+    /// SVR score resolution exactly as in Score-Threshold, plus the
+    /// matched term-score contributions.
+    fn resolve(&self, candidate: &Candidate, idfs: &[f64]) -> Result<Option<Score>> {
+        let PostingPos::ByScore(list_score) = candidate.pos else {
+            unreachable!("score-threshold-term candidates are score-ordered");
+        };
+        let svr = if candidate.all_short() {
+            self.base.score_table.score_of(candidate.doc)?
+        } else {
+            match self.list_score.get(candidate.doc)? {
+                None => list_score,
+                Some(entry) if !entry.in_short_list => {
+                    self.base.score_table.score_of(candidate.doc)?
+                }
+                Some(_) => return Ok(None), // superseded by a short occurrence
+            }
+        };
+        let mut ts_sum = 0.0;
+        for (i, matched) in candidate.matches.iter().enumerate() {
+            if let Some(mt) = matched {
+                ts_sum += idfs[i] * unquantize_term_score(mt.tscore);
+            }
+        }
+        Ok(Some(self.base.combine(svr, ts_sum)))
+    }
+
+    /// Lemma 1.2: `thresholdValueOf(listScore)` bounds any unresolved
+    /// doc's current SVR score.
+    fn svr_bound(&self, pos: Option<PostingPos>) -> Score {
+        match pos {
+            Some(PostingPos::ByScore(s)) => self.config.threshold_value_of(s),
+            Some(_) => f64::INFINITY,
+            None => f64::NEG_INFINITY,
+        }
+    }
+
+    fn term_fancy_bound(&self, term: TermId) -> f64 {
+        self.fancy_bound(term)
+    }
+
+    fn combine(&self, svr: Score, ts_sum: f64) -> Score {
+        self.base.combine(svr, ts_sum)
+    }
 }
 
 impl SearchIndex for ScoreThresholdTermMethod {
@@ -217,121 +278,45 @@ impl SearchIndex for ScoreThresholdTermMethod {
         Ok(())
     }
 
-    /// Algorithm 3 over score-ordered lists.
-    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
+    /// Algorithm 3 over score-ordered lists, as an any-k enumeration:
+    /// phase 1 (fancy-list merge) runs at open time; phase 2 is the
+    /// suspendable score-ordered merge driven by [`crate::cursor`].
+    fn open_cursor(&self, query: &Query) -> Result<MethodCursor> {
         let m = query.terms.len();
-        let required = match query.mode {
-            QueryMode::Conjunctive => m,
-            QueryMode::Disjunctive => 1,
-        };
         let idfs: Vec<f64> = query.terms.iter().map(|&t| self.base.idf(t)).collect();
-        let mut heap = TopKHeap::new(query.k);
-        let mut seen: HashSet<DocId> = HashSet::new();
+        let mut state = MergeState::new(m, idfs);
 
-        // ---- Phase 1: merge the fancy lists (Algorithm 3 lines 8-9). ------
         let mut fancy_docs: HashMap<DocId, Vec<Option<f64>>> = HashMap::new();
         for (i, &term) in query.terms.iter().enumerate() {
             let mut cursor = self.fancy.cursor(term);
             while let Some(p) = cursor.next_posting()? {
                 fancy_docs.entry(p.doc).or_insert_with(|| vec![None; m])[i] =
-                    Some(idfs[i] * unquantize_term_score(p.tscore));
+                    Some(state.idfs[i] * unquantize_term_score(p.tscore));
             }
         }
-        let mut remain: HashMap<DocId, RemainEntry> = HashMap::new();
-        {
-            let content_dirty = self.content_dirty.read();
-            for (doc, known) in fancy_docs {
-                if self.base.is_deleted(doc) || content_dirty.contains(&doc) {
-                    continue;
-                }
-                if known.iter().all(Option::is_some) {
-                    let svr = self.base.score_table.score_of(doc)?;
-                    let ts_sum: f64 = known.iter().flatten().sum();
-                    heap.add(doc, self.base.combine(svr, ts_sum));
-                    seen.insert(doc);
-                } else {
-                    remain.insert(doc, RemainEntry { known });
-                }
-            }
-        }
-
-        // Σ_t bound(t)·idf(t): term-score bound for docs outside all fancy
-        // lists.
-        let global_ts_bound: f64 = query
-            .terms
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| idfs[i] * self.fancy_bound(t))
-            .sum();
-
-        // ---- Phase 2: merge short ∪ long lists in score order. ------------
-        let streams: Vec<UnionCursor<'_>> = query
-            .terms
-            .iter()
-            .map(|&t| Ok(UnionCursor::new(self.long.cursor(t), self.short.cursor(t)?)))
-            .collect::<Result<_>>()?;
-        let mut merge = MultiMerge::new(streams);
-
-        while let Some(candidate) = merge.next_candidate()? {
-            let PostingPos::ByScore(list_score) = candidate.pos else {
-                unreachable!("score-threshold-term candidates are score-ordered");
-            };
-            // Stopping rule: thresholdValueOf(listScore) bounds any unseen
-            // doc's current SVR score (Lemma 1.2); the fancy bounds cover
-            // its term scores. The SVR bound shrinks as the merge descends,
-            // so the remainList is re-pruned at every position (it holds at
-            // most m × fancy_size entries).
-            if let Some(min) = heap.min_score() {
-                let svr_ub = self.config.threshold_value_of(list_score);
-                remain.retain(|_, e| {
-                    let ts_ub: f64 = e
-                        .known
-                        .iter()
-                        .enumerate()
-                        .map(|(i, k)| {
-                            k.unwrap_or_else(|| idfs[i] * self.fancy_bound(query.terms[i]))
-                        })
-                        .sum();
-                    self.base.combine(svr_ub, ts_ub) > min
-                });
-                if remain.is_empty() && self.base.combine(svr_ub, global_ts_bound) <= min {
-                    break;
-                }
-            }
-
-            // Every encountered doc leaves the remainList (line 12).
-            remain.remove(&candidate.doc);
-
-            if candidate.match_count() < required
-                || self.base.is_deleted(candidate.doc)
-                || seen.contains(&candidate.doc)
-            {
+        let content_dirty = self.content_dirty.read();
+        for (doc, known) in fancy_docs {
+            if self.base.is_deleted(doc) || content_dirty.contains(&doc) {
                 continue;
             }
-            // SVR score resolution exactly as in Score-Threshold.
-            let svr = if candidate.all_short() {
-                Some(self.base.score_table.score_of(candidate.doc)?)
+            if known.iter().all(Option::is_some) {
+                let svr = self.base.score_table.score_of(doc)?;
+                let ts_sum: f64 = known.iter().flatten().sum();
+                state.admit(doc, self.base.combine(svr, ts_sum));
             } else {
-                match self.list_score.get(candidate.doc)? {
-                    None => Some(list_score),
-                    Some(entry) if !entry.in_short_list => {
-                        Some(self.base.score_table.score_of(candidate.doc)?)
-                    }
-                    Some(_) => None, // superseded by a short occurrence
-                }
-            };
-            if let Some(svr) = svr {
-                let mut ts_sum = 0.0;
-                for (i, matched) in candidate.matches.iter().enumerate() {
-                    if let Some(mt) = matched {
-                        ts_sum += idfs[i] * unquantize_term_score(mt.tscore);
-                    }
-                }
-                heap.add(candidate.doc, self.base.combine(svr, ts_sum));
-                seen.insert(candidate.doc);
+                state.remain.insert(doc, known);
             }
         }
-        Ok(heap.into_ranked())
+        drop(content_dirty);
+        Ok(MethodCursor::merge(
+            MethodKind::ScoreThresholdTermScore,
+            query.clone(),
+            state,
+        ))
+    }
+
+    fn next_batch(&self, cursor: &mut MethodCursor, n: usize) -> Result<Vec<SearchHit>> {
+        merge_next_batch(self, cursor, n)
     }
 
     fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {

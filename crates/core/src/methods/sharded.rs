@@ -29,13 +29,15 @@
 //! prefixes, so I/O accounting and the cold-cache query protocol keep
 //! working unchanged.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use svr_storage::StorageEnv;
 
 use crate::config::IndexConfig;
+use crate::cursor::{CursorState, MethodCursor, ShardSlot};
 use crate::error::{CoreError, Result};
-use crate::heap::TopKHeap;
+use crate::heap::{ranks_above, TopKHeap};
 use crate::methods::base::{CorpusStats, ShardContext};
 use crate::methods::{LockedIndex, MethodKind, ScoreMap, ScoreRead, SearchIndex, ShardStats};
 use crate::types::{DocId, Document, Query, Score, SearchHit};
@@ -146,6 +148,63 @@ impl<I: SearchIndex> SearchIndex for ShardedIndex<I> {
             }
             Ok(())
         })
+    }
+
+    /// Open one enumeration per shard; batches k-way-merge them lazily.
+    fn open_cursor(&self, query: &Query) -> Result<MethodCursor> {
+        let slots = self
+            .shards
+            .iter()
+            .map(|shard| {
+                Ok(ShardSlot {
+                    cursor: shard.open_cursor(query)?,
+                    buf: VecDeque::new(),
+                    done: false,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(MethodCursor::sharded(self.kind(), query.clone(), slots))
+    }
+
+    /// k-way merge over the per-shard cursors: each emission takes the
+    /// best buffered head across shards, and a shard is pulled (under its
+    /// own read lock, in request-sized batches) only when its buffer runs
+    /// dry — the merge never pays for ranks a shard is not asked for.
+    fn next_batch(&self, cursor: &mut MethodCursor, n: usize) -> Result<Vec<SearchHit>> {
+        let CursorState::Sharded(slots) = &mut cursor.state else {
+            return Err(CoreError::Unsupported(
+                "unsharded cursor used on a sharded index",
+            ));
+        };
+        if slots.len() != self.shards.len() {
+            return Err(CoreError::Unsupported(
+                "cursor was opened by an index with a different shard count",
+            ));
+        }
+        let mut out = Vec::with_capacity(n.min(64));
+        while out.len() < n {
+            for (shard, slot) in self.shards.iter().zip(slots.iter_mut()) {
+                if slot.buf.is_empty() && !slot.done {
+                    let pulled = shard.next_batch(&mut slot.cursor, n - out.len())?;
+                    if pulled.is_empty() {
+                        slot.done = true;
+                    }
+                    slot.buf.extend(pulled);
+                }
+            }
+            let best = slots
+                .iter_mut()
+                .filter_map(|slot| slot.buf.front().copied().map(|hit| (hit, slot)))
+                .reduce(|a, b| if ranks_above(&b.0, &a.0) { b } else { a });
+            match best {
+                None => break,
+                Some((hit, slot)) => {
+                    slot.buf.pop_front();
+                    out.push(hit);
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Fan out to every shard and merge the per-shard top-k sets. Each

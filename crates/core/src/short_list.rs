@@ -169,9 +169,35 @@ impl ShortLists {
 
     /// Streaming cursor over one term's short list, in merge order.
     pub fn cursor(&self, term: TermId) -> Result<ShortCursor<'_>> {
-        let mut prefix = Vec::with_capacity(4);
-        push_u32_be(&mut prefix, term.0);
-        let cursor = self.tree.cursor(&prefix)?;
+        self.cursor_after(term, None)
+    }
+
+    /// Cursor over one term's short list starting strictly *after* the
+    /// posting at `(pos, doc)` — how a suspended scan resumes. Because the
+    /// tree is seeked by key (not by page), this stays correct under
+    /// arbitrary concurrent inserts/deletes between suspension and resume:
+    /// the scan continues from the first surviving posting past the
+    /// recorded position.
+    pub fn cursor_after(
+        &self,
+        term: TermId,
+        after: Option<(PostingPos, DocId)>,
+    ) -> Result<ShortCursor<'_>> {
+        let start = match after {
+            None => {
+                let mut prefix = Vec::with_capacity(4);
+                push_u32_be(&mut prefix, term.0);
+                prefix
+            }
+            Some((pos, doc)) => {
+                // The successor of a fixed-length key under bytewise order:
+                // the key extended by one zero byte.
+                let mut key = self.key(term, pos, doc);
+                key.push(0);
+                key
+            }
+        };
+        let cursor = self.tree.cursor(&start)?;
         Ok(ShortCursor {
             lists_order: self.order,
             term,
@@ -334,6 +360,37 @@ mod tests {
             })
             .collect();
         assert_eq!(order, vec![(9, 1), (9, 7), (2, 5)]);
+    }
+
+    #[test]
+    fn cursor_after_resumes_past_key() {
+        let s = lists(ShortOrder::ByScoreDesc);
+        for (score, doc) in [(90.0, 1u32), (80.0, 2), (80.0, 5), (70.0, 9)] {
+            s.put(
+                TermId(3),
+                PostingPos::ByScore(score),
+                DocId(doc),
+                Op::Add,
+                0,
+            )
+            .unwrap();
+        }
+        let mut c = s
+            .cursor_after(TermId(3), Some((PostingPos::ByScore(80.0), DocId(2))))
+            .unwrap();
+        let mut docs = Vec::new();
+        while let Some(p) = c.next_posting().unwrap() {
+            docs.push(p.doc.0);
+        }
+        assert_eq!(docs, vec![5, 9]);
+        // Resume past the last key of the term: empty, even when a later
+        // term has postings.
+        s.put(TermId(4), PostingPos::ByScore(99.0), DocId(1), Op::Add, 0)
+            .unwrap();
+        let mut c = s
+            .cursor_after(TermId(3), Some((PostingPos::ByScore(70.0), DocId(9))))
+            .unwrap();
+        assert!(c.next_posting().unwrap().is_none());
     }
 
     #[test]

@@ -33,10 +33,18 @@
 //!
 //! Consequences:
 //!
-//! * **reads scale** — [`SvrEngine::search`], [`SvrEngine::score_of`],
-//!   [`SvrEngine::index`], [`SvrEngine::text_index_on`] and the plain
-//!   relational reads all take `&self` and run concurrently from any
-//!   number of threads;
+//! * **reads scale** — [`SvrEngine::search`], [`SvrEngine::open_query`],
+//!   [`SvrEngine::score_of`], [`SvrEngine::index`],
+//!   [`SvrEngine::text_index_on`] and the plain relational reads all take
+//!   `&self` and run concurrently from any number of threads;
+//! * **reads resume** — the read path is cursor-based:
+//!   [`SvrEngine::open_query`] returns a [`SearchCursor`] whose batches
+//!   each run under one shard read lock and whose suspended state holds no
+//!   lock at all, so a paginating client never blocks writers between
+//!   pages and never re-pays the traversal of earlier pages
+//!   ([`SvrEngine::search`] is an opened cursor drained once). Each index
+//!   keeps a write epoch; a cursor compares it against the value captured
+//!   at open to report cross-batch staleness ([`SearchCursor::staleness`]);
 //! * **same-table writers overlap** — two [`SvrEngine::update_row`] calls
 //!   on one table serialize only through the short tier-1 section; their
 //!   index score maintenance (the hot part under the paper's
@@ -69,11 +77,12 @@
 //! table).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use svr_core::types::{DocId, Document, Query, QueryMode};
-use svr_core::{build_index, IndexConfig, MethodKind, SearchIndex, ShardStats};
+use svr_core::types::{DocId, Document, Query, QueryMode, SearchHit, TermId};
+use svr_core::{build_index, IndexConfig, MethodCursor, MethodKind, SearchIndex, ShardStats};
 use svr_relation::{Database, Schema, SvrSpec, Value};
 use svr_text::Vocabulary;
 
@@ -183,6 +192,174 @@ struct TextIndex {
     pk_col: usize,
     view: String,
     index: Arc<dyn SearchIndex>,
+    /// Write epoch: bumped on every mutation that can shift this index's
+    /// ranking (score refreshes, document inserts/deletes/content updates,
+    /// offline merges). Open cursors compare it against the value they
+    /// captured to report staleness ([`SearchCursor::staleness`]).
+    epoch: AtomicU64,
+}
+
+impl TextIndex {
+    fn bump(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+/// A keyword query against one text index, built fluently and handed to
+/// [`SvrEngine::open_query`] (resumable cursor) or [`SvrEngine::query`]
+/// (one-shot top-k).
+///
+/// ```
+/// # use svr_engine::QueryRequest;
+/// let req = QueryRequest::new("movie_idx", "golden gate").k(25).disjunctive();
+/// assert_eq!(req.index(), "movie_idx");
+/// assert_eq!(req.fetch_k(), 25);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRequest {
+    index: String,
+    keywords: String,
+    k: usize,
+    mode: QueryMode,
+}
+
+impl QueryRequest {
+    /// A conjunctive top-10 request (override with the builder methods).
+    pub fn new(index: impl Into<String>, keywords: impl Into<String>) -> QueryRequest {
+        QueryRequest {
+            index: index.into(),
+            keywords: keywords.into(),
+            k: 10,
+            mode: QueryMode::Conjunctive,
+        }
+    }
+
+    /// Number of results a one-shot [`SvrEngine::query`] returns (cursors
+    /// may be drained past it).
+    pub fn k(mut self, k: usize) -> QueryRequest {
+        self.k = k;
+        self
+    }
+
+    /// Set the keyword-combination mode.
+    pub fn mode(mut self, mode: QueryMode) -> QueryRequest {
+        self.mode = mode;
+        self
+    }
+
+    /// Match documents containing *any* keyword.
+    pub fn disjunctive(self) -> QueryRequest {
+        self.mode(QueryMode::Disjunctive)
+    }
+
+    /// Match documents containing *all* keywords (the default).
+    pub fn conjunctive(self) -> QueryRequest {
+        self.mode(QueryMode::Conjunctive)
+    }
+
+    /// Target index name.
+    pub fn index(&self) -> &str {
+        &self.index
+    }
+
+    /// Raw keywords.
+    pub fn keywords(&self) -> &str {
+        &self.keywords
+    }
+
+    /// The one-shot result count.
+    pub fn fetch_k(&self) -> usize {
+        self.k
+    }
+
+    /// The keyword-combination mode.
+    pub fn query_mode(&self) -> QueryMode {
+        self.mode
+    }
+}
+
+/// A resumable ranked search over one text index, opened with
+/// [`SvrEngine::open_query`]: each [`SearchCursor::next_batch`] call emits
+/// the next batch of rows in rank order, paying only the incremental list
+/// traversal — fetching ranks `k+1..2k` does *not* re-run the first k.
+///
+/// ## Consistency semantics
+///
+/// Every batch reads the index under the owning shard's read lock, so one
+/// batch is internally consistent. Between batches writers proceed;
+/// concurrent score churn never corrupts or aborts the cursor, it only
+/// makes the *cross-batch* ordering best-effort: results already buffered
+/// keep the score observed when they were resolved, later batches observe
+/// current scores, and no row is emitted twice. [`SearchCursor::staleness`]
+/// counts the index write epochs since the cursor opened — callers that
+/// need a fresh total order re-open the query when it grows.
+///
+/// Rows deleted between scoring and fetching are skipped silently (a fresh
+/// query would not return them); use [`SearchCursor::is_exhausted`] rather
+/// than a short batch to detect the end of the enumeration.
+pub struct SearchCursor {
+    engine: SvrEngine,
+    entry: Arc<TextIndex>,
+    /// `None` when the request can match nothing (unknown conjunctive
+    /// keyword or an empty term list): the cursor is born exhausted.
+    cursor: Option<MethodCursor>,
+    opened_epoch: u64,
+}
+
+impl SearchCursor {
+    /// Next `n` ranked hits (doc id + score), resuming where the previous
+    /// batch stopped. Returns fewer than `n` only at exhaustion.
+    pub fn next_hits(&mut self, n: usize) -> Result<Vec<SearchHit>> {
+        match &mut self.cursor {
+            None => Ok(Vec::new()),
+            Some(cursor) => Ok(self.entry.index.next_batch(cursor, n)?),
+        }
+    }
+
+    /// Next `n` ranked rows. Rows whose base-table entry vanished since
+    /// scoring are skipped, so a shorter batch does not imply exhaustion.
+    pub fn next_batch(&mut self, n: usize) -> Result<Vec<RankedRow>> {
+        let hits = self.next_hits(n)?;
+        let table = self.engine.shared.db.table(&self.entry.table)?;
+        let mut rows = Vec::with_capacity(hits.len());
+        let mut key = Vec::with_capacity(9);
+        for hit in hits {
+            Value::Int(hit.doc.0 as i64).encode_key_into(&mut key);
+            if let Some(row) = table.get_raw(&key)? {
+                rows.push(RankedRow {
+                    row,
+                    score: hit.score,
+                });
+            }
+        }
+        Ok(rows)
+    }
+
+    /// True once every result has been emitted.
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor.as_ref().is_none_or(|c| c.is_exhausted())
+    }
+
+    /// Index write epochs since this cursor opened: 0 means every batch so
+    /// far observed the same index the cursor started from; a growing value
+    /// means concurrent churn and best-effort cross-batch ordering.
+    pub fn staleness(&self) -> u64 {
+        self.entry.epoch().saturating_sub(self.opened_epoch)
+    }
+
+    /// Convenience: `staleness() > 0`.
+    pub fn is_stale(&self) -> bool {
+        self.staleness() > 0
+    }
+
+    /// The index this cursor enumerates.
+    pub fn index_name(&self) -> &str {
+        &self.entry.view
+    }
 }
 
 std::thread_local! {
@@ -353,6 +530,7 @@ impl SvrEngine {
                     ti.view
                 )));
             }
+            ti.bump();
         }
         match first_error {
             None => Ok(()),
@@ -501,6 +679,7 @@ impl SvrEngine {
                 pk_col: pk_idx,
                 view: name.to_string(),
                 index,
+                epoch: AtomicU64::new(0),
             }),
         );
         Ok(())
@@ -575,6 +754,7 @@ impl SvrEngine {
             let doc = Document::from_text(doc_id(pk)?, &text, &mut self.shared.vocab.write());
             let score = self.shared.db.score_of(&ti.view, pk).unwrap_or(0.0);
             ti.index.insert_document(&doc, score)?;
+            ti.bump();
         }
         Ok(())
     }
@@ -671,6 +851,7 @@ impl SvrEngine {
                     // Structural: stays in tier 1 so concurrent content
                     // updates of one document cannot apply out of order.
                     ti.index.update_content(&doc)?;
+                    ti.bump();
                 }
             }
         }
@@ -692,15 +873,79 @@ impl SvrEngine {
                 .as_i64()
                 .ok_or_else(|| SvrError::Engine("integer key required".into()))?;
             ti.index.delete_document(doc_id(pk_int)?)?;
+            ti.bump();
         }
         Ok(())
+    }
+
+    /// Resolve raw keywords against the shared vocabulary: the interned
+    /// term ids plus the number of tokens the vocabulary does not know.
+    /// This is the single tokenize-and-resolve step behind
+    /// [`SvrEngine::search`], [`SvrEngine::open_query`] and the SQL layer's
+    /// `EXPLAIN` (which surfaces the counts without running the query).
+    pub fn resolve_keywords(&self, keywords: &str) -> (Vec<TermId>, usize) {
+        let vocab = self.shared.vocab.read();
+        let mut terms = Vec::new();
+        let mut unknown = 0usize;
+        for token in svr_text::tokenize(keywords) {
+            match vocab.get(&token) {
+                Some(t) => terms.push(t),
+                None => unknown += 1,
+            }
+        }
+        (terms, unknown)
+    }
+
+    /// The index-layer [`Query`] for a request, or `None` when it can match
+    /// nothing (a vocabulary-unknown keyword under conjunctive semantics —
+    /// disjunctive queries simply ignore unknown keywords — or no usable
+    /// keywords at all).
+    fn plan_query(&self, keywords: &str, k: usize, mode: QueryMode) -> Option<Query> {
+        let (terms, unknown) = self.resolve_keywords(keywords);
+        if (unknown > 0 && mode == QueryMode::Conjunctive) || terms.is_empty() {
+            return None;
+        }
+        Some(Query::new(terms, k, mode))
+    }
+
+    /// Open a resumable ranked search — see [`SearchCursor`] for batch and
+    /// staleness semantics. Takes `&self`: cursors can be opened and
+    /// advanced from any number of threads while writers run.
+    pub fn open_query(&self, request: &QueryRequest) -> Result<SearchCursor> {
+        let ti = self.entry(&request.index)?;
+        // Capture the epoch *before* opening: a write landing while the
+        // cursor opens (phase-1 fancy merges resolve scores right here)
+        // must surface as staleness, not be silently folded in.
+        let opened_epoch = ti.epoch();
+        let cursor = match self.plan_query(&request.keywords, request.k, request.mode) {
+            None => None,
+            Some(query) => Some(ti.index.open_cursor(&query)?),
+        };
+        Ok(SearchCursor {
+            engine: self.clone(),
+            opened_epoch,
+            entry: ti,
+            cursor,
+        })
+    }
+
+    /// One-shot form of [`SvrEngine::open_query`]: the top
+    /// [`QueryRequest::fetch_k`] rows.
+    pub fn query(&self, request: &QueryRequest) -> Result<Vec<RankedRow>> {
+        self.search(&request.index, &request.keywords, request.k, request.mode)
     }
 
     /// Keyword-search the indexed text column, returning the top-k rows
     /// ranked by the *latest* SVR scores — the engine form of the paper's
     /// `SELECT * FROM Movies ORDER BY score(desc, "golden gate") FETCH TOP
-    /// k`. Takes `&self`: any number of threads can search one shared
-    /// engine while writers run.
+    /// k`. Implemented as an opened cursor drained once. Unlike cursor
+    /// batches, a hit whose base row is missing is an error here: the
+    /// one-shot API keeps its historical strict behavior so index/table
+    /// wiring bugs surface loudly — though the same benign race cursor
+    /// batches absorb (a row deleted between the index drain and the row
+    /// fetch below) also trips it; callers racing deletes should prefer
+    /// [`SvrEngine::open_query`]. Takes `&self`: any number of threads can
+    /// search one shared engine while writers run.
     pub fn search(
         &self,
         index: &str,
@@ -709,23 +954,10 @@ impl SvrEngine {
         mode: QueryMode,
     ) -> Result<Vec<RankedRow>> {
         let ti = self.entry(index)?;
-        let mut terms = Vec::new();
-        {
-            let vocab = self.shared.vocab.read();
-            for token in svr_text::tokenize(keywords) {
-                match vocab.get(&token) {
-                    Some(t) => terms.push(t),
-                    // A keyword that appears nowhere: conjunctive queries
-                    // can return nothing; disjunctive queries ignore it.
-                    None if mode == QueryMode::Conjunctive => return Ok(Vec::new()),
-                    None => {}
-                }
-            }
-        }
-        if terms.is_empty() {
+        let Some(query) = self.plan_query(keywords, k, mode) else {
             return Ok(Vec::new());
-        }
-        let hits = ti.index.query(&Query::new(terms, k, mode))?;
+        };
+        let hits = ti.index.query(&query)?;
         let table = self.shared.db.table(&ti.table)?;
         let mut rows = Vec::with_capacity(hits.len());
         let mut key = Vec::with_capacity(9);
@@ -747,10 +979,14 @@ impl SvrEngine {
     /// This is how a `SELECT ... ORDER BY score(m.desc, "...")` query finds
     /// the index to use.
     pub fn text_index_on(&self, table: &str, text_col: &str) -> Option<String> {
-        let schema = self.shared.db.table(table).ok()?.schema().clone();
-        self.shared.indexes.read().iter().find_map(|(name, ti)| {
-            (ti.table == table && schema.columns[ti.text_col].0 == text_col).then(|| name.clone())
-        })
+        // Resolve the column to its index once — no schema clone per call.
+        let table_ref = self.shared.db.table(table).ok()?;
+        let col = table_ref.schema().column_index(text_col).ok()?;
+        self.shared
+            .indexes
+            .read()
+            .iter()
+            .find_map(|(name, ti)| (ti.table == table && ti.text_col == col).then(|| name.clone()))
     }
 
     /// Names of all text indexes (unordered).
@@ -769,7 +1005,10 @@ impl SvrEngine {
     /// while the merge restructures this one (sharded indexes merge their
     /// shards in parallel).
     pub fn run_maintenance(&self, name: &str) -> Result<()> {
-        Ok(self.entry(name)?.index.merge_short_lists()?)
+        let ti = self.entry(name)?;
+        ti.index.merge_short_lists()?;
+        ti.bump();
+        Ok(())
     }
 
     /// Merge a single shard of an index — the scheduling granule for
@@ -777,7 +1016,10 @@ impl SvrEngine {
     /// walk the shards round-robin, never stalling more than `1/num_shards`
     /// of the table's writers at a time.
     pub fn run_shard_maintenance(&self, name: &str, shard: usize) -> Result<()> {
-        Ok(self.entry(name)?.index.merge_shard(shard)?)
+        let ti = self.entry(name)?;
+        ti.index.merge_shard(shard)?;
+        ti.bump();
+        Ok(())
     }
 
     /// Per-shard list statistics of an index (shard count, long-list bytes,

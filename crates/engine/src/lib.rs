@@ -55,5 +55,5 @@
 mod engine;
 mod error;
 
-pub use engine::{RankedRow, SvrEngine, WriteBatch, WriteOp};
+pub use engine::{QueryRequest, RankedRow, SearchCursor, SvrEngine, WriteBatch, WriteOp};
 pub use error::{Result, SvrError};

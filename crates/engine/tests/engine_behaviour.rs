@@ -417,3 +417,58 @@ fn mutations_after_a_dropped_index_stop_feeding_it() {
         .unwrap();
     assert_eq!(engine.db().table("docs").unwrap().len(), 2);
 }
+
+/// The QueryRequest builder + SearchCursor pagination contract: top-k then
+/// k more equals one-shot top-2k, for every method; unknown keywords yield
+/// an exhausted cursor; `query(req)` equals `search(...)`.
+#[test]
+fn open_query_pagination_matches_one_shot() {
+    use svr_engine::QueryRequest;
+
+    for method in MethodKind::ALL_EXTENDED {
+        let engine = engine_with_index(method);
+        for i in 0..30i64 {
+            engine
+                .insert_row(
+                    "docs",
+                    vec![Value::Int(i), Value::Text(format!("shared words tag{i}"))],
+                )
+                .unwrap();
+            engine
+                .insert_row("pop", vec![Value::Int(i), Value::Int((i * 37) % 100)])
+                .unwrap();
+        }
+
+        let one_shot = engine
+            .search("idx", "shared words", 20, QueryMode::Conjunctive)
+            .unwrap();
+        assert_eq!(one_shot.len(), 20);
+
+        let request = QueryRequest::new("idx", "shared words").k(20);
+        assert_eq!(engine.query(&request).unwrap(), one_shot, "{method}");
+
+        let mut cursor = engine.open_query(&request).unwrap();
+        let mut paged = cursor.next_batch(10).unwrap();
+        paged.extend(cursor.next_batch(10).unwrap());
+        assert_eq!(paged, one_shot, "{method}: paged != one-shot");
+        assert!(!cursor.is_exhausted(), "{method}: 10 docs remain");
+
+        // Drain the rest: exactly the 30 distinct docs in total.
+        let rest = cursor.next_batch(100).unwrap();
+        assert_eq!(rest.len(), 10, "{method}");
+        assert!(cursor.is_exhausted(), "{method}");
+        assert!(cursor.next_batch(5).unwrap().is_empty(), "{method}");
+
+        // Unknown conjunctive keyword: born exhausted, not an error.
+        let mut empty = engine
+            .open_query(&QueryRequest::new("idx", "shared nosuchword"))
+            .unwrap();
+        assert!(empty.is_exhausted());
+        assert!(empty.next_batch(3).unwrap().is_empty());
+        // Disjunctive: unknown words are ignored.
+        let mut disj = engine
+            .open_query(&QueryRequest::new("idx", "shared nosuchword").disjunctive())
+            .unwrap();
+        assert_eq!(disj.next_batch(5).unwrap().len(), 5);
+    }
+}

@@ -29,6 +29,19 @@ pub enum Statement {
     DropTextIndex(String),
     /// `DROP TABLE name` — drop a table (fails while indexed).
     DropTable(String),
+    /// `DECLARE name CURSOR FOR SELECT ...` — open a named resumable
+    /// ranked-search cursor in the session.
+    DeclareCursor {
+        name: String,
+        select: Select,
+    },
+    /// `FETCH [NEXT] n FROM name` — the next `n` rows of a named cursor.
+    FetchCursor {
+        name: String,
+        n: usize,
+    },
+    /// `CLOSE name` — discard a named cursor.
+    CloseCursor(String),
 }
 
 /// `CREATE TABLE name (col TYPE [PRIMARY KEY], ...)`
@@ -167,7 +180,7 @@ pub struct OrderByScore {
 }
 
 /// `SELECT projection FROM table [alias] [WHERE p] [ORDER BY score(...)]
-///  [FETCH TOP k RESULTS ONLY]`
+///  [OFFSET m ROWS] [FETCH TOP k RESULTS ONLY | LIMIT k [OFFSET m]]`
 #[derive(Debug, Clone, PartialEq)]
 pub struct Select {
     /// `None` means `*`.
@@ -176,6 +189,11 @@ pub struct Select {
     pub alias: Option<String>,
     pub predicate: Option<Predicate>,
     pub order_by_score: Option<OrderByScore>,
-    /// `FETCH TOP k RESULTS ONLY` / `FETCH FIRST k ROWS ONLY` / `LIMIT k`.
+    /// `FETCH TOP k RESULTS ONLY` / `FETCH FIRST|NEXT k ROWS ONLY` /
+    /// `LIMIT k`.
     pub fetch: Option<usize>,
+    /// `OFFSET m [ROWS]` (before FETCH, SQL standard) or `LIMIT k OFFSET m`
+    /// — ranked queries plan it as a cursor skip, so the prefix is
+    /// traversed once, not recomputed per page.
+    pub offset: Option<usize>,
 }

@@ -17,6 +17,12 @@
 //! * `SELECT * FROM movies m [WHERE CONTAINS(desc, 'kw', ANY)] ORDER BY
 //!   SCORE(m.desc, "golden gate") FETCH TOP 10 RESULTS ONLY` — ranked
 //!   keyword search over the latest structured-data scores;
+//! * pagination over the ranked path: `LIMIT k OFFSET m`, `OFFSET m ROWS
+//!   FETCH NEXT k ROWS ONLY` (the offset plans onto a resumable cursor —
+//!   the prefix is traversed once, not recomputed), and named cursors
+//!   `DECLARE c CURSOR FOR SELECT ... ORDER BY SCORE(...)` /
+//!   `FETCH [NEXT] n FROM c` / `CLOSE c` whose suspended state lives in
+//!   the session, so consecutive fetches never re-pay earlier pages;
 //! * `MERGE TEXT INDEX idx` — the offline short-list merge.
 //!
 //! ```

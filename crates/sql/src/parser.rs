@@ -188,6 +188,12 @@ impl Parser {
             "DELETE" => self.delete(),
             "SELECT" => self.select(),
             "MERGE" => self.merge(),
+            "DECLARE" => self.declare_cursor(),
+            "FETCH" => self.fetch_cursor(),
+            "CLOSE" => {
+                self.pos += 1;
+                Ok(Statement::CloseCursor(self.identifier()?))
+            }
             "EXPLAIN" => {
                 self.pos += 1;
                 Ok(Statement::Explain(Box::new(self.statement()?)))
@@ -571,7 +577,12 @@ impl Parser {
         let table = self.identifier()?;
         // Optional alias — any identifier that is not a clause keyword.
         let alias = match self.peek().and_then(|t| t.kind.keyword()) {
-            Some(kw) if !matches!(kw.as_str(), "WHERE" | "ORDER" | "FETCH" | "LIMIT") => {
+            Some(kw)
+                if !matches!(
+                    kw.as_str(),
+                    "WHERE" | "ORDER" | "FETCH" | "LIMIT" | "OFFSET"
+                ) =>
+            {
                 Some(self.identifier()?)
             }
             _ => None,
@@ -595,9 +606,17 @@ impl Parser {
             order_by_score = Some(OrderByScore { column, keywords });
         }
         let mut fetch = None;
+        let mut offset = None;
+        // SQL-standard position: OFFSET m [ROWS] before the FETCH clause.
+        if self.eat_keyword("OFFSET") {
+            offset = Some(self.count()?);
+            if !self.eat_keyword("ROWS") {
+                let _ = self.eat_keyword("ROW");
+            }
+        }
         if self.eat_keyword("FETCH") {
-            // FETCH TOP k RESULTS ONLY (the paper) or FETCH FIRST k ROWS ONLY
-            // (SQL standard).
+            // FETCH TOP k RESULTS ONLY (the paper) or FETCH FIRST|NEXT k
+            // ROWS ONLY (SQL standard — NEXT pairs with OFFSET pagination).
             let style = self
                 .peek()
                 .and_then(|t| t.kind.keyword())
@@ -617,10 +636,14 @@ impl Parser {
                     }
                     self.expect_keyword("ONLY")?;
                 }
-                _ => return Err(self.error("expected TOP or FIRST after FETCH")),
+                _ => return Err(self.error("expected TOP, FIRST or NEXT after FETCH")),
             }
         } else if self.eat_keyword("LIMIT") {
             fetch = Some(self.count()?);
+            // MySQL/PostgreSQL style: LIMIT k OFFSET m.
+            if offset.is_none() && self.eat_keyword("OFFSET") {
+                offset = Some(self.count()?);
+            }
         }
         Ok(Statement::Select(Select {
             projection,
@@ -629,6 +652,7 @@ impl Parser {
             predicate,
             order_by_score,
             fetch,
+            offset,
         }))
     }
 
@@ -679,6 +703,30 @@ impl Parser {
         self.expect_keyword("TEXT")?;
         self.expect_keyword("INDEX")?;
         Ok(Statement::MergeTextIndex(self.identifier()?))
+    }
+
+    // -- cursors --------------------------------------------------------------
+
+    /// `DECLARE name CURSOR FOR SELECT ...`
+    fn declare_cursor(&mut self) -> Result<Statement> {
+        self.expect_keyword("DECLARE")?;
+        let name = self.identifier()?;
+        self.expect_keyword("CURSOR")?;
+        self.expect_keyword("FOR")?;
+        let Statement::Select(select) = self.select()? else {
+            unreachable!("select() parses a SELECT");
+        };
+        Ok(Statement::DeclareCursor { name, select })
+    }
+
+    /// `FETCH [NEXT] n FROM name`
+    fn fetch_cursor(&mut self) -> Result<Statement> {
+        self.expect_keyword("FETCH")?;
+        let _ = self.eat_keyword("NEXT");
+        let n = self.count()?;
+        self.expect_keyword("FROM")?;
+        let name = self.identifier()?;
+        Ok(Statement::FetchCursor { name, n })
     }
 }
 
@@ -894,6 +942,70 @@ mod tests {
             panic!()
         };
         assert_eq!(sel.fetch, Some(3));
+    }
+
+    #[test]
+    fn parses_limit_offset_and_fetch_next() {
+        let Statement::Select(sel) =
+            parse_statement("SELECT * FROM t ORDER BY SCORE(c, 'x') LIMIT 10 OFFSET 30").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(sel.fetch, Some(10));
+        assert_eq!(sel.offset, Some(30));
+        let Statement::Select(sel) = parse_statement(
+            "SELECT * FROM t ORDER BY SCORE(c, 'x') OFFSET 5 ROWS FETCH NEXT 20 ROWS ONLY",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(sel.fetch, Some(20));
+        assert_eq!(sel.offset, Some(5));
+        // OFFSET alone, and no offset at all.
+        let Statement::Select(sel) =
+            parse_statement("SELECT * FROM t ORDER BY SCORE(c, 'x') OFFSET 7").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(sel.fetch, None);
+        assert_eq!(sel.offset, Some(7));
+        let Statement::Select(sel) = parse_statement("SELECT * FROM t LIMIT 3").unwrap() else {
+            panic!()
+        };
+        assert_eq!(sel.offset, None);
+    }
+
+    #[test]
+    fn parses_cursor_statements() {
+        let Statement::DeclareCursor { name, select } = parse_statement(
+            r#"DECLARE page CURSOR FOR SELECT name FROM movies
+               ORDER BY SCORE(description, "golden gate")"#,
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(name, "page");
+        assert!(select.order_by_score.is_some());
+        assert_eq!(
+            parse_statement("FETCH 10 FROM page").unwrap(),
+            Statement::FetchCursor {
+                name: "page".into(),
+                n: 10
+            }
+        );
+        assert_eq!(
+            parse_statement("FETCH NEXT 5 FROM page").unwrap(),
+            Statement::FetchCursor {
+                name: "page".into(),
+                n: 5
+            }
+        );
+        assert_eq!(
+            parse_statement("CLOSE page").unwrap(),
+            Statement::CloseCursor("page".into())
+        );
+        assert!(parse_statement("DECLARE page FOR SELECT * FROM t").is_err());
+        assert!(parse_statement("FETCH FROM page").is_err());
     }
 
     #[test]

@@ -415,6 +415,7 @@ mod tests {
                 keywords: k.into(),
             }),
             fetch: None,
+            offset: None,
         }
     }
 

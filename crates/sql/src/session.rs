@@ -3,9 +3,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use svr_core::IndexConfig;
-use svr_engine::{RankedRow, SvrEngine};
+use svr_engine::{QueryRequest, RankedRow, SearchCursor, SvrEngine};
 use svr_relation::schema::Schema;
 use svr_relation::{AggExpr, ScoreComponent, SvrSpec, Value};
 
@@ -136,12 +136,27 @@ impl std::fmt::Display for SqlResult {
     }
 }
 
+/// A named cursor opened by `DECLARE ... CURSOR FOR SELECT ...`: the
+/// engine-level search cursor plus the projection resolved at declare
+/// time, so every `FETCH` renders the same shape.
+struct NamedCursor {
+    cursor: SearchCursor,
+    columns: Vec<String>,
+    projection: Option<Vec<usize>>,
+}
+
 /// State shared by every clone of a session: the engine handle plus the
 /// function registry (`CREATE FUNCTION` definitions are session-cluster
-/// scoped, like the engine's catalog).
+/// scoped, like the engine's catalog) and the named-cursor registry
+/// (`DECLARE` / `FETCH` / `CLOSE` — paginated SQL that never recomputes a
+/// prefix).
 struct SessionShared {
     engine: SvrEngine,
     functions: RwLock<HashMap<String, FunctionDef>>,
+    /// Each cursor behind its own lock: the registry mutex is held only to
+    /// look entries up, never across a fetch's list traversal, so fetches
+    /// on different cursors (from any session clone) run in parallel.
+    cursors: Mutex<HashMap<String, Arc<Mutex<NamedCursor>>>>,
 }
 
 /// A SQL session over an [`SvrEngine`].
@@ -201,6 +216,7 @@ impl SqlSession {
             shared: Arc::new(SessionShared {
                 engine,
                 functions: RwLock::new(HashMap::new()),
+                cursors: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -271,7 +287,96 @@ impl SqlSession {
                 self.engine().drop_table(&name)?;
                 Ok(SqlResult::None)
             }
+            Statement::DeclareCursor { name, select } => self.declare_cursor(name, select),
+            Statement::FetchCursor { name, n } => self.fetch_cursor(&name, n),
+            Statement::CloseCursor(name) => {
+                if self.shared.cursors.lock().remove(&name).is_none() {
+                    return Err(SqlError::Plan(format!("unknown cursor '{name}'")));
+                }
+                Ok(SqlResult::None)
+            }
         }
+    }
+
+    /// `DECLARE name CURSOR FOR SELECT ...`: open a resumable ranked
+    /// enumeration. Only ranked selects (ORDER BY SCORE / CONTAINS) are
+    /// cursorable — plain scans have no ranking to resume. A `FETCH`/`LIMIT`
+    /// clause in the declaration is rejected (the page size belongs to the
+    /// `FETCH n FROM name` calls); an `OFFSET` skips that many leading
+    /// ranks once, at declare time.
+    fn declare_cursor(&self, name: String, select: Select) -> Result<SqlResult> {
+        if select.fetch.is_some() {
+            return Err(SqlError::Plan(
+                "a cursor SELECT takes no FETCH/LIMIT clause; pass the page size to \
+                 FETCH n FROM <cursor>"
+                    .into(),
+            ));
+        }
+        let path = resolve_ranked_path(&select)?.ok_or_else(|| {
+            SqlError::Plan(
+                "DECLARE CURSOR requires a ranked SELECT (ORDER BY SCORE(...) or CONTAINS)".into(),
+            )
+        })?;
+        let schema = self.engine().db().table(&select.table)?.schema().clone();
+        let projection = self.resolve_projection(&schema, &select.projection)?;
+        let index = self
+            .engine()
+            .text_index_on(&select.table, &path.column)
+            .ok_or_else(|| {
+                SqlError::Plan(format!(
+                    "no text index on {}.{}; CREATE TEXT INDEX first",
+                    select.table, path.column
+                ))
+            })?;
+        let request = QueryRequest::new(index, &path.keywords).mode(path.query_mode());
+        let mut cursor = self.engine().open_query(&request)?;
+        if let Some(skip) = select.offset {
+            cursor.next_hits(skip)?;
+        }
+        let columns = column_names(&schema, &projection);
+        let mut cursors = self.shared.cursors.lock();
+        if cursors.contains_key(&name) {
+            return Err(SqlError::Plan(format!("cursor '{name}' already exists")));
+        }
+        cursors.insert(
+            name,
+            Arc::new(Mutex::new(NamedCursor {
+                cursor,
+                columns,
+                projection,
+            })),
+        );
+        Ok(SqlResult::None)
+    }
+
+    /// `FETCH [NEXT] n FROM name`: the next page, resuming exactly where
+    /// the previous fetch stopped — no prefix recomputation. Only this
+    /// cursor's lock is held across the traversal; the registry lock is
+    /// released first, so other cursors keep serving.
+    fn fetch_cursor(&self, name: &str, n: usize) -> Result<SqlResult> {
+        let entry = self
+            .shared
+            .cursors
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SqlError::Plan(format!("unknown cursor '{name}'")))?;
+        let mut named = entry.lock();
+        let hits = named.cursor.next_batch(n)?;
+        let rows = match &named.projection {
+            None => hits,
+            Some(indices) => hits
+                .into_iter()
+                .map(|hit| RankedRow {
+                    row: indices.iter().map(|&i| hit.row[i].clone()).collect(),
+                    score: hit.score,
+                })
+                .collect(),
+        };
+        Ok(SqlResult::Ranked {
+            columns: named.columns.clone(),
+            rows,
+        })
     }
 
     /// Describe the access path of a statement without executing it.
@@ -301,6 +406,23 @@ impl SqlSession {
                 "  keywords: '{}' over {}.{}",
                 path.keywords, sel.table, path.column
             ));
+            // Same tokenize-and-resolve step the execution path uses.
+            let (terms, unknown) = self.engine().resolve_keywords(&path.keywords);
+            lines.push(format!(
+                "  terms: {} resolved, {} unknown{}",
+                terms.len(),
+                unknown,
+                if unknown > 0 && path.mode == MatchMode::All {
+                    " (conjunctive: matches nothing)"
+                } else {
+                    ""
+                }
+            ));
+            if let Some(skip) = sel.offset {
+                lines.push(format!(
+                    "  offset: {skip} (cursor skip — prefix traversed once, then the page)"
+                ));
+            }
             lines.push("  scores: latest SVR scores from the materialized Score view".into());
             let shards = self.engine().index_shard_stats(&index)?;
             lines.push(format!(
@@ -532,9 +654,22 @@ impl SqlSession {
                     ))
                 })?;
             let k = sel.fetch.unwrap_or(10);
-            let hits = self
-                .engine()
-                .search(&index, &path.keywords, k, path.query_mode())?;
+            let hits = match sel.offset.unwrap_or(0) {
+                0 => self
+                    .engine()
+                    .search(&index, &path.keywords, k, path.query_mode())?,
+                // OFFSET plans onto a cursor: ranks 1..=m are traversed
+                // once to position the enumeration, then the page is
+                // emitted — not a top-(m+k) recomputation in disguise at
+                // the index layer, and the same path DECLARE CURSOR uses.
+                skip => {
+                    let request =
+                        QueryRequest::new(index.clone(), &path.keywords).mode(path.query_mode());
+                    let mut cursor = self.engine().open_query(&request)?;
+                    cursor.next_hits(skip)?;
+                    cursor.next_batch(k)?
+                }
+            };
             let (columns, rows) = project_ranked(&schema, &projection, hits);
             return Ok(SqlResult::Ranked { columns, rows });
         }
@@ -563,6 +698,9 @@ impl SqlSession {
             Some(Predicate::Contains { .. }) => unreachable!("handled in ranked path"),
             None => self.engine().db().table(&sel.table)?.scan()?,
         };
+        if let Some(m) = sel.offset {
+            rows.drain(..m.min(rows.len()));
+        }
         if let Some(k) = sel.fetch {
             rows.truncate(k);
         }

@@ -552,3 +552,165 @@ fn cloned_sessions_share_engine_and_functions() {
     clone.execute("DROP FUNCTION S3").unwrap();
     assert!(session.execute("DROP FUNCTION S3").is_err());
 }
+
+/// `LIMIT k OFFSET m` / `OFFSET ... FETCH NEXT` paginate the ranked path:
+/// every page equals the matching slice of a deep one-shot query.
+#[test]
+fn ranked_offset_pagination_matches_one_shot_slices() {
+    let session = setup("CHUNK");
+    // More movies so there are several pages.
+    session
+        .execute(
+            "INSERT INTO movies VALUES
+                (4, 'Gate Repairs', 'the golden gate maintenance crew'),
+                (5, 'Fog City',     'fog rolling over the golden gate at dawn'),
+                (6, 'Bridge Walk',  'walking the golden gate span')",
+        )
+        .unwrap();
+    session
+        .execute("INSERT INTO statistics VALUES (4, 700, 9), (5, 80, 2), (6, 3000, 77)")
+        .unwrap();
+
+    let all = top_names(
+        &session
+            .execute(
+                r#"SELECT name FROM movies ORDER BY SCORE(description, "golden gate") LIMIT 6"#,
+            )
+            .unwrap(),
+    );
+    // Movies 1, 2, 4, 5, 6 contain both keywords; movie 3 contains neither.
+    assert_eq!(all.len(), 5);
+    for (page, offset) in [(2usize, 0usize), (2, 2), (1, 4)] {
+        let rows = top_names(
+            &session
+                .execute(&format!(
+                    r#"SELECT name FROM movies ORDER BY SCORE(description, "golden gate")
+                       LIMIT {page} OFFSET {offset}"#
+                ))
+                .unwrap(),
+        );
+        assert_eq!(rows, all[offset..offset + page].to_vec(), "offset {offset}");
+    }
+    // SQL-standard spelling: OFFSET m ROWS FETCH NEXT k ROWS ONLY.
+    let rows = top_names(
+        &session
+            .execute(
+                r#"SELECT name FROM movies ORDER BY SCORE(description, "golden gate")
+                   OFFSET 3 ROWS FETCH NEXT 2 ROWS ONLY"#,
+            )
+            .unwrap(),
+    );
+    assert_eq!(rows, all[3..5].to_vec());
+    // Past the end: empty page, not an error.
+    let rows = top_names(
+        &session
+            .execute(
+                r#"SELECT name FROM movies ORDER BY SCORE(description, "golden gate")
+                   LIMIT 5 OFFSET 40"#,
+            )
+            .unwrap(),
+    );
+    assert!(rows.is_empty());
+}
+
+/// OFFSET also applies to plain (unranked) scans.
+#[test]
+fn plain_scan_offset() {
+    let session = setup("ID");
+    let SqlResult::Rows { rows, .. } = session
+        .execute("SELECT mid FROM movies LIMIT 2 OFFSET 1")
+        .unwrap()
+    else {
+        panic!("expected rows");
+    };
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0][0], Value::Int(2));
+}
+
+/// DECLARE / FETCH / CLOSE: paginated SQL that never recomputes a prefix,
+/// with the cursor surviving (and reflecting) interleaved score updates.
+#[test]
+fn named_cursor_lifecycle() {
+    let session = setup("SCORE_THRESHOLD");
+    session
+        .execute(
+            r#"DECLARE page CURSOR FOR SELECT name FROM movies
+               ORDER BY SCORE(description, "golden gate")"#,
+        )
+        .unwrap();
+    let first = top_names(&session.execute("FETCH 1 FROM page").unwrap());
+    assert_eq!(first, vec!["American Thrift".to_string()]);
+    let second = top_names(&session.execute("FETCH NEXT 1 FROM page").unwrap());
+    assert_eq!(second, vec!["Amateur Film".to_string()]);
+    // Exhausted: conjunctive "golden gate" matches only movies 1 and 2.
+    assert_eq!(session.execute("FETCH 5 FROM page").unwrap().row_count(), 0);
+    session.execute("CLOSE page").unwrap();
+    assert!(session.execute("FETCH 1 FROM page").is_err(), "closed");
+    assert!(session.execute("CLOSE page").is_err(), "already closed");
+
+    // Duplicate names and non-ranked declarations are rejected.
+    session
+        .execute(
+            r#"DECLARE c2 CURSOR FOR SELECT * FROM movies WHERE CONTAINS(description, 'golden')"#,
+        )
+        .unwrap();
+    assert!(session
+        .execute(
+            r#"DECLARE c2 CURSOR FOR SELECT * FROM movies WHERE CONTAINS(description, 'golden')"#
+        )
+        .is_err());
+    assert!(
+        session
+            .execute("DECLARE c3 CURSOR FOR SELECT * FROM movies")
+            .is_err(),
+        "plain scans are not cursorable"
+    );
+    assert!(
+        session
+            .execute(
+                r#"DECLARE c4 CURSOR FOR SELECT * FROM movies
+                        ORDER BY SCORE(description, "golden") LIMIT 3"#
+            )
+            .is_err(),
+        "page size belongs to FETCH, not the declaration"
+    );
+    session.execute("CLOSE c2").unwrap();
+}
+
+/// A declared cursor with OFFSET starts at that rank; clones of the
+/// session share the cursor registry (it is session-cluster state).
+#[test]
+fn named_cursor_offset_via_clone() {
+    let session = setup("CHUNK");
+    session
+        .execute(
+            r#"DECLARE deep CURSOR FOR SELECT name FROM movies
+               ORDER BY SCORE(description, "golden gate") OFFSET 1"#,
+        )
+        .unwrap();
+    // Fetch through a *clone* of the session: shared registry.
+    let clone = session.clone();
+    let rows = top_names(&clone.execute("FETCH 2 FROM deep").unwrap());
+    assert_eq!(rows, vec!["Amateur Film".to_string()]);
+    session.execute("CLOSE deep").unwrap();
+}
+
+/// EXPLAIN surfaces the shared keyword-resolution step and the cursor
+/// plan for OFFSET queries.
+#[test]
+fn explain_shows_terms_and_cursor_skip() {
+    let session = setup("CHUNK");
+    let SqlResult::Plan(lines) = session
+        .execute(
+            r#"EXPLAIN SELECT name FROM movies
+               ORDER BY SCORE(description, "golden gate unknownword") LIMIT 3 OFFSET 7"#,
+        )
+        .unwrap()
+    else {
+        panic!("expected plan");
+    };
+    let text = lines.join("\n");
+    assert!(text.contains("terms: 2 resolved, 1 unknown"), "{text}");
+    assert!(text.contains("matches nothing"), "{text}");
+    assert!(text.contains("offset: 7"), "{text}");
+}

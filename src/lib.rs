@@ -45,7 +45,9 @@
 //! # let _ = AggExpr::parse("s1"); // silence unused import in doctest
 //! ```
 
-pub use svr_engine::{RankedRow, Result, SvrEngine, SvrError, WriteBatch};
+pub use svr_engine::{
+    QueryRequest, RankedRow, Result, SearchCursor, SvrEngine, SvrError, WriteBatch,
+};
 pub use svr_sql::{SqlResult, SqlSession};
 
 // Re-export the sub-crates so downstream users need only one dependency.

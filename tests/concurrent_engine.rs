@@ -447,3 +447,138 @@ fn shared_sql_sessions_serve_concurrent_queries() {
         .unwrap();
     assert_eq!(top.row_count(), 1);
 }
+
+/// Cursors open *during* a writer storm: each reader pages one
+/// [`svr::QueryRequest`] cursor to exhaustion while score/content churn
+/// and shard maintenance run underneath. Asserts graceful degradation —
+/// no duplicates, no panics, valid rows, staleness visible — and exact
+/// cursor/one-shot agreement once quiesced.
+#[test]
+fn cursors_paginate_during_writer_storm() {
+    use svr::QueryRequest;
+
+    let engine = build_engine_sharded(MethodKind::Chunk, 4);
+    let stop = AtomicBool::new(false);
+    let pages = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for seed in 0..3usize {
+            let reader = engine.clone();
+            let stop = &stop;
+            let pages = &pages;
+            scope.spawn(move || {
+                let mut round = seed;
+                while !stop.load(Ordering::Relaxed) {
+                    let request = QueryRequest::new("idx", "golden gate");
+                    let mut cursor = reader.open_query(&request).unwrap();
+                    let mut emitted = std::collections::HashSet::new();
+                    loop {
+                        let batch = cursor.next_batch(2 + round % 3).unwrap();
+                        for row in &batch {
+                            let mid = row.row[0].as_i64().unwrap();
+                            assert!(
+                                emitted.insert(mid),
+                                "cursor emitted row {mid} twice under churn"
+                            );
+                            assert!(row.score.is_finite() && row.score >= 0.0);
+                        }
+                        pages.fetch_add(1, Ordering::Relaxed);
+                        if cursor.is_exhausted() {
+                            break;
+                        }
+                    }
+                    // Staleness is observable, never an error.
+                    let _ = cursor.staleness();
+                    round += 1;
+                }
+            });
+        }
+
+        let writer = engine.clone();
+        let stop_writer = &stop;
+        scope.spawn(move || {
+            let mut state = 0xABCDu64;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            for round in 0..300u64 {
+                let mid = (next() % DOCS as u64) as i64;
+                match round % 5 {
+                    4 => {
+                        if round % 60 == 4 {
+                            writer.run_maintenance("idx").unwrap();
+                        }
+                    }
+                    3 => writer
+                        .update_row(
+                            "movies",
+                            Value::Int(mid),
+                            &[("desc".into(), Value::Text(description(mid, round)))],
+                        )
+                        .unwrap(),
+                    _ => writer
+                        .update_row(
+                            "stats",
+                            Value::Int(mid),
+                            &[("nvisit".into(), Value::Int((next() % 90_000) as i64))],
+                        )
+                        .unwrap(),
+                }
+            }
+            stop_writer.store(true, Ordering::Relaxed);
+        });
+    });
+    assert!(pages.load(Ordering::Relaxed) > 0);
+
+    // Quiesced: pagination must agree exactly with one-shot queries.
+    let one_shot = engine
+        .search("idx", "golden gate", 20, QueryMode::Conjunctive)
+        .unwrap();
+    let mut cursor = engine
+        .open_query(&svr::QueryRequest::new("idx", "golden gate"))
+        .unwrap();
+    assert!(!cursor.is_stale());
+    let mut paged = Vec::new();
+    for _ in 0..5 {
+        paged.extend(cursor.next_batch(4).unwrap());
+    }
+    assert_eq!(one_shot.len(), paged.len());
+    for (a, b) in one_shot.iter().zip(&paged) {
+        assert_eq!(a.row[0], b.row[0], "quiesced cursor order != one-shot");
+        assert_eq!(a.score, b.score);
+    }
+}
+
+/// The staleness epoch: a cursor notices concurrent writes to its index
+/// and keeps serving batches per the documented degraded semantics.
+#[test]
+fn cursor_staleness_epoch_reports_churn() {
+    let engine = build_engine(MethodKind::ScoreThreshold);
+    let mut cursor = engine
+        .open_query(&svr::QueryRequest::new("idx", "golden gate"))
+        .unwrap();
+    let first = cursor.next_batch(3).unwrap();
+    assert_eq!(first.len(), 3);
+    assert!(!cursor.is_stale(), "no writes yet");
+
+    engine
+        .update_row(
+            "stats",
+            Value::Int(1),
+            &[("nvisit".into(), Value::Int(999_999))],
+        )
+        .unwrap();
+    assert!(cursor.is_stale(), "score churn must bump the epoch");
+    assert!(cursor.staleness() >= 1);
+
+    // Batches keep flowing; a fresh cursor sees the new top.
+    let rest = cursor.next_batch(200).unwrap();
+    assert!(!rest.is_empty());
+    let fresh = engine
+        .search("idx", "golden gate", 1, QueryMode::Conjunctive)
+        .unwrap();
+    assert_eq!(fresh[0].row[0], Value::Int(1), "updated row ranks first");
+}
