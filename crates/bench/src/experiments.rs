@@ -818,6 +818,7 @@ impl Bench {
         for readers in [1usize, 2, 4, 8] {
             let (qps, ups) = run_point(readers, 1);
             rows.push(vec![
+                "storm".into(),
                 readers.to_string(),
                 "1".into(),
                 format!("{qps:.0}"),
@@ -831,6 +832,7 @@ impl Bench {
         for writers in [1usize, 2, 4, 8] {
             let (qps, ups) = run_point(3, writers);
             rows.push(vec![
+                "storm".into(),
                 "3".into(),
                 writers.to_string(),
                 format!("{qps:.0}"),
@@ -838,10 +840,71 @@ impl Bench {
                 format!("{ups:.0}"),
             ]);
         }
+
+        // Transactions point: the all-or-nothing write path's undo-capture
+        // + WAL-bracket overhead on the hot score-update path, per-op
+        // writes vs batched-atomic WriteBatches (no concurrent load, so
+        // the two rows isolate the write path itself).
+        let txn_updates = self.scale.pick(2_000, 8_000) as u64;
+        let txn_point = |batch_size: u64| -> f64 {
+            engine.run_maintenance("idx").expect("maintenance");
+            let mut rng = rand_pcg(0x7A0 ^ batch_size);
+            use rand::RngCore;
+            let started = std::time::Instant::now();
+            let mut applied = 0u64;
+            while applied < txn_updates {
+                let n = batch_size.min(txn_updates - applied);
+                if n == 1 {
+                    let mid = (rng.next_u64() % num_docs as u64) as i64;
+                    engine
+                        .update_row(
+                            "stats",
+                            Value::Int(mid),
+                            &[(
+                                "nvisit".into(),
+                                Value::Int((rng.next_u64() % 1_000_000) as i64),
+                            )],
+                        )
+                        .expect("update");
+                } else {
+                    let mut batch = svr_engine::WriteBatch::new();
+                    for _ in 0..n {
+                        let mid = (rng.next_u64() % num_docs as u64) as i64;
+                        batch.update(
+                            "stats",
+                            Value::Int(mid),
+                            vec![(
+                                "nvisit".into(),
+                                Value::Int((rng.next_u64() % 1_000_000) as i64),
+                            )],
+                        );
+                    }
+                    engine.apply(batch).expect("apply");
+                }
+                applied += n;
+            }
+            txn_updates as f64 / started.elapsed().as_secs_f64()
+        };
+        let per_op = txn_point(1);
+        let batched = txn_point(64);
+        for (mode, ups) in [("txn-per-op", per_op), ("txn-batch-64", batched)] {
+            rows.push(vec![
+                mode.into(),
+                "0".into(),
+                "1".into(),
+                "-".into(),
+                "-".into(),
+                format!("{ups:.0}"),
+            ]);
+        }
+
         ExperimentReport {
             id: "concurrent".into(),
-            title: "shared-engine throughput: reader scaling and same-table writer scaling".into(),
+            title: "shared-engine throughput: reader scaling, same-table writer scaling, and \
+                    atomic-transaction overhead"
+                .into(),
             columns: vec![
+                "mode".into(),
                 "readers".into(),
                 "writers".into(),
                 "queries/s".into(),
@@ -849,14 +912,19 @@ impl Bench {
                 "updates/s".into(),
             ],
             rows,
-            notes: "rows 1-4: reader scaling under one background writer (PR 1). rows 5-8: \
-                    same-table writer scaling under a constant background query load of 3 \
-                    readers — the two-tier write path (short table lock, then per-shard \
-                    index locks over the 8-way sharded index) lets same-table writers \
-                    overlap: per-shard locks keep writer queues short instead of piling \
-                    every writer onto one reader-held lock, and on multi-core hosts the \
-                    shard refreshes of different writers also run in parallel. With a \
-                    single shard the same sweep plateaus near its 1-writer rate"
+            notes: "storm rows 1-4: reader scaling under one background writer (PR 1). storm \
+                    rows 5-8: same-table writer scaling under a constant background query \
+                    load of 3 readers — the two-tier write path (short table lock, then \
+                    per-shard index locks over the 8-way sharded index) lets same-table \
+                    writers overlap: per-shard locks keep writer queues short instead of \
+                    piling every writer onto one reader-held lock, and on multi-core hosts \
+                    the shard refreshes of different writers also run in parallel. With a \
+                    single shard the same sweep plateaus near its 1-writer rate. txn rows: \
+                    every write is now an atomic transaction (undo capture + one WAL commit \
+                    marker per batch); txn-per-op pays that machinery per update, \
+                    txn-batch-64 amortizes it over 64-op WriteBatches and coalesces the \
+                    score refreshes — the ratio tracks the undo-capture overhead on the \
+                    update-intensive hot path (run in the CI bench smoke)"
                 .into(),
         }
     }

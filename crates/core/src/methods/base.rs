@@ -222,6 +222,97 @@ impl MethodBase {
         Ok(())
     }
 
+    /// Exact inverse of [`MethodBase::register_delete`] for batch rollback:
+    /// revive a tombstoned document. Tombstoning keeps the Score-table row
+    /// (with its last live score), the forward entry and — for the
+    /// tombstone-based methods — the postings, so reviving is pure
+    /// bookkeeping: clear the flag and re-count the document. Returns the
+    /// revived score.
+    pub fn register_undelete(&self, doc: DocId) -> Result<Score> {
+        if !self.is_deleted(doc) {
+            return Err(CoreError::UnknownDocument(doc));
+        }
+        let entry = self
+            .score_table
+            .get(doc)?
+            .ok_or(CoreError::UnknownDocument(doc))?;
+        // `set` stores the row live (deleted flag cleared).
+        self.score_table.set(doc, entry.score)?;
+        let terms = self.doc_store.term_ids(doc)?;
+        {
+            let mut df = self.stats.df.write();
+            for term in terms {
+                *df.entry(term).or_insert(0) += 1;
+            }
+        }
+        self.stats.num_docs.fetch_add(1, Ordering::Relaxed);
+        self.local_docs.fetch_add(1, Ordering::Relaxed);
+        self.deleted.write().remove(&doc);
+        Ok(entry.score)
+    }
+
+    /// Exact inverse of [`MethodBase::register_insert`] for batch rollback:
+    /// remove the document's bookkeeping entirely (unlike a deletion, which
+    /// tombstones and keeps the id reserved — a rolled-back insert must
+    /// leave the id free for re-use). Returns the stored `(term, tf)` rows
+    /// so the caller can remove the postings its insertion added. Only
+    /// sound while those postings are exactly the ones `insert_document`
+    /// added; the engine's reverse-order undo replay guarantees that.
+    pub fn unregister_insert(&self, doc: DocId) -> Result<Vec<(TermId, u32)>> {
+        if self.is_deleted(doc) {
+            return Err(CoreError::UnknownDocument(doc));
+        }
+        let terms = self
+            .doc_store
+            .get(doc)?
+            .ok_or(CoreError::UnknownDocument(doc))?;
+        self.score_table.remove(doc)?;
+        self.doc_store.delete(doc)?;
+        {
+            let mut df = self.stats.df.write();
+            for &(term, _) in &terms {
+                if let Some(count) = df.get_mut(&term) {
+                    *count = count.saturating_sub(1);
+                }
+            }
+        }
+        self.stats.num_docs.fetch_sub(1, Ordering::Relaxed);
+        self.local_docs.fetch_sub(1, Ordering::Relaxed);
+        Ok(terms)
+    }
+
+    /// Shared body of `SearchIndex::uninsert_document` for the short-list
+    /// methods: remove the document's bookkeeping and the short postings
+    /// its insertion added at `pos`. Returns `true` when fully uninserted
+    /// (the caller should drop its list-state entry for the doc).
+    ///
+    /// When `in_short_list` is false the insert's postings were already
+    /// merged into the long lists by concurrent maintenance (the offline
+    /// merge deliberately takes no table lock, so it can land between an
+    /// in-flight transaction's insert and its rollback). Long postings
+    /// cannot be surgically removed, so the rollback degrades to the
+    /// tombstoning delete — queries still see no trace of the document,
+    /// only the id stays reserved like any deleted id — and returns
+    /// `false` (the caller must keep its list-state entry: the tombstoned
+    /// doc's long postings still resolve through it).
+    pub fn uninsert_postings_at(
+        &self,
+        short: &crate::short_list::ShortLists,
+        doc: DocId,
+        pos: crate::short_list::PostingPos,
+        in_short_list: bool,
+    ) -> Result<bool> {
+        if !in_short_list {
+            self.register_delete(doc)?;
+            return Ok(false);
+        }
+        let terms = self.unregister_insert(doc)?;
+        for (term, _) in terms {
+            short.delete(term, pos, doc)?;
+        }
+        Ok(true)
+    }
+
     /// Replace a document's stored content; returns `(old_terms, new_terms)`
     /// as `(term, tf)` lists for the caller's posting maintenance.
     #[allow(clippy::type_complexity)]

@@ -257,6 +257,30 @@ impl SearchIndex for ChunkMethod {
         self.base.register_delete(doc)
     }
 
+    fn uninsert_document(&self, doc: DocId) -> Result<()> {
+        // No ListChunk entry means the offline merge already folded the
+        // insert's postings into the long lists (merges clear ListChunk):
+        // the helper's merged-document fallback handles both that and an
+        // entry relocated off the short lists.
+        let (pos, in_short_list) = match self.list_chunk.get(doc)? {
+            Some(entry) => (PostingPos::ByChunk(entry.l_chunk), entry.in_short_list),
+            None => (PostingPos::ByChunk(0), false),
+        };
+        if self
+            .base
+            .uninsert_postings_at(&self.short, doc, pos, in_short_list)?
+        {
+            self.list_chunk.delete(doc)?;
+        }
+        Ok(())
+    }
+
+    fn undelete_document(&self, doc: DocId) -> Result<()> {
+        // Tombstoning kept the postings: reviving is pure bookkeeping.
+        self.base.register_undelete(doc)?;
+        Ok(())
+    }
+
     /// Appendix A.1: ADD/REM postings co-located with the document's live
     /// postings.
     fn update_content(&self, doc: &Document) -> Result<()> {

@@ -356,6 +356,30 @@ impl SearchIndex for ChunkTermMethod {
         self.base.register_delete(doc)
     }
 
+    fn uninsert_document(&self, doc: DocId) -> Result<()> {
+        // Fancy bounds widened by the insertion stay widened: they are
+        // upper bounds, looser but never wrong. A missing ListChunk entry
+        // means a concurrent merge folded the insert away (merges clear
+        // ListChunk) — the helper's fallback covers it.
+        let (pos, in_short_list) = match self.list_chunk.get(doc)? {
+            Some(entry) => (PostingPos::ByChunk(entry.l_chunk), entry.in_short_list),
+            None => (PostingPos::ByChunk(0), false),
+        };
+        if self
+            .base
+            .uninsert_postings_at(&self.short, doc, pos, in_short_list)?
+        {
+            self.list_chunk.delete(doc)?;
+        }
+        Ok(())
+    }
+
+    fn undelete_document(&self, doc: DocId) -> Result<()> {
+        // Tombstoning kept the postings: reviving is pure bookkeeping.
+        self.base.register_undelete(doc)?;
+        Ok(())
+    }
+
     fn update_content(&self, doc: &Document) -> Result<()> {
         let current = self.base.current_score(doc.id)?;
         let entry = self.list_state(doc.id, current)?;

@@ -133,6 +133,21 @@ impl SearchIndex for IdMethod {
         self.base.register_delete(doc)
     }
 
+    fn uninsert_document(&self, doc: DocId) -> Result<()> {
+        // ID lists keep no per-doc list state; postings a concurrent merge
+        // moved to the long lists dangle harmlessly (resolve skips docs
+        // with no Score-table row) and vanish at the next merge.
+        self.base
+            .uninsert_postings_at(&self.short, doc, PostingPos::Id, true)?;
+        Ok(())
+    }
+
+    fn undelete_document(&self, doc: DocId) -> Result<()> {
+        // Tombstoning kept the postings: reviving is pure bookkeeping.
+        self.base.register_undelete(doc)?;
+        Ok(())
+    }
+
     fn update_content(&self, doc: &Document) -> Result<()> {
         let (old, new) = self.base.register_content(doc)?;
         let old_terms: std::collections::HashSet<TermId> = old.iter().map(|&(t, _)| t).collect();

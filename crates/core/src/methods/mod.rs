@@ -214,6 +214,34 @@ pub trait SearchIndex: Send + Sync {
     /// Delete a document (Appendix A.2).
     fn delete_document(&self, doc: DocId) -> Result<()>;
 
+    /// Batch-rollback inverse of [`SearchIndex::insert_document`]: remove
+    /// the document's bookkeeping *and* the postings the insertion added,
+    /// leaving the id free for re-use (unlike [`delete_document`], which
+    /// tombstones and reserves it).
+    ///
+    /// Only sound while the document's postings are exactly the ones its
+    /// insertion added — i.e. when every later operation on the document
+    /// has already been undone. An undo log replayed in reverse order
+    /// guarantees that; this is not a general-purpose "hard delete".
+    /// Term-score fancy bounds widened by the insertion may stay widened
+    /// (they are upper bounds: looser, never wrong).
+    ///
+    /// If concurrent offline maintenance merged the fresh postings into
+    /// the long lists before the rollback ran (merges take no table lock),
+    /// the uninsert degrades to the tombstoning [`delete_document`]
+    /// semantics: the document stays invisible to every query, only its id
+    /// remains reserved (see `MethodBase::uninsert_postings_at`).
+    ///
+    /// [`delete_document`]: SearchIndex::delete_document
+    fn uninsert_document(&self, doc: DocId) -> Result<()>;
+
+    /// Batch-rollback inverse of [`SearchIndex::delete_document`]: revive
+    /// the tombstoned document with the score it carried when deleted.
+    /// Methods that tombstone (everything except Score) kept the postings,
+    /// so reviving is pure bookkeeping; the Score method re-adds the
+    /// postings its deletion removed.
+    fn undelete_document(&self, doc: DocId) -> Result<()>;
+
     /// Replace a document's content, keeping its score (Appendix A.1).
     fn update_content(&self, doc: &Document) -> Result<()>;
 
@@ -339,6 +367,16 @@ impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
     fn delete_document(&self, doc: DocId) -> Result<()> {
         let _guard = self.lock.write();
         self.inner.delete_document(doc)
+    }
+
+    fn uninsert_document(&self, doc: DocId) -> Result<()> {
+        let _guard = self.lock.write();
+        self.inner.uninsert_document(doc)
+    }
+
+    fn undelete_document(&self, doc: DocId) -> Result<()> {
+        let _guard = self.lock.write();
+        self.inner.undelete_document(doc)
     }
 
     fn update_content(&self, doc: &Document) -> Result<()> {

@@ -158,6 +158,29 @@ impl SearchIndex for ScoreMethod {
         self.base.register_delete(doc)
     }
 
+    fn uninsert_document(&self, doc: DocId) -> Result<()> {
+        let score = self.base.current_score(doc)?;
+        let terms = self.base.unregister_insert(doc)?;
+        for (term, _) in terms {
+            self.list.delete(term, PostingPos::ByScore(score), doc)?;
+        }
+        Ok(())
+    }
+
+    fn undelete_document(&self, doc: DocId) -> Result<()> {
+        // Deletion removed the postings eagerly: re-add them at the revived
+        // score, exactly as the insertion path lays them out.
+        let score = self.base.register_undelete(doc)?;
+        let terms = self.base.doc_store.get(doc)?.unwrap_or_default();
+        let max_tf = terms.iter().map(|&(_, tf)| tf).max().unwrap_or(1);
+        for &(term, tf) in &terms {
+            let ts = crate::long_list::posting_term_score(tf, max_tf);
+            self.list
+                .put(term, PostingPos::ByScore(score), doc, Op::Add, ts)?;
+        }
+        Ok(())
+    }
+
     fn update_content(&self, doc: &Document) -> Result<()> {
         let score = self.base.current_score(doc.id)?;
         let (old, new) = self.base.register_content(doc)?;

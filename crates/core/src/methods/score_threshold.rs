@@ -219,6 +219,29 @@ impl SearchIndex for ScoreThresholdMethod {
         self.base.register_delete(doc)
     }
 
+    fn uninsert_document(&self, doc: DocId) -> Result<()> {
+        // No ListScore entry means the offline merge already folded the
+        // insert's postings into the long lists (merges clear ListScore) —
+        // the helper's merged-document fallback covers it.
+        let (pos, in_short_list) = match self.list_score.get(doc)? {
+            Some(entry) => (PostingPos::ByScore(entry.l_score), entry.in_short_list),
+            None => (PostingPos::ByScore(0.0), false),
+        };
+        if self
+            .base
+            .uninsert_postings_at(&self.short, doc, pos, in_short_list)?
+        {
+            self.list_score.delete(doc)?;
+        }
+        Ok(())
+    }
+
+    fn undelete_document(&self, doc: DocId) -> Result<()> {
+        // Tombstoning kept the postings: reviving is pure bookkeeping.
+        self.base.register_undelete(doc)?;
+        Ok(())
+    }
+
     fn update_content(&self, doc: &Document) -> Result<()> {
         let current = self.base.current_score(doc.id)?;
         let entry = self.list_state(doc.id, current)?;

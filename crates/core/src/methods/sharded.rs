@@ -229,6 +229,14 @@ impl<I: SearchIndex> SearchIndex for ShardedIndex<I> {
         self.shard(doc).delete_document(doc)
     }
 
+    fn uninsert_document(&self, doc: DocId) -> Result<()> {
+        self.shard(doc).uninsert_document(doc)
+    }
+
+    fn undelete_document(&self, doc: DocId) -> Result<()> {
+        self.shard(doc).undelete_document(doc)
+    }
+
     fn update_content(&self, doc: &Document) -> Result<()> {
         self.shard(doc.id).update_content(doc)
     }

@@ -91,6 +91,15 @@ impl ScoreTable {
         Ok(())
     }
 
+    /// Remove a row entirely — the batch-rollback inverse of the insert
+    /// path. Regular deletion *tombstones* via
+    /// [`ScoreTable::mark_deleted`] so the id stays reserved; removal is
+    /// only sound when undoing an insert that the same batch performed.
+    pub fn remove(&self, doc: DocId) -> Result<()> {
+        self.tree.delete(&Self::key(doc))?;
+        Ok(())
+    }
+
     /// Number of rows (live + deleted).
     pub fn len(&self) -> u64 {
         self.tree.len()

@@ -1,0 +1,218 @@
+//! Batch-rollback inverses: `uninsert_document` after `insert_document`
+//! and `undelete_document` after `delete_document` must leave the index
+//! query-equivalent to one that never saw the operation — for every
+//! method, at 1 and 4 shards. These are the core entry points the engine's
+//! transactional undo log replays.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use svr_core::types::{DocId, Document, Query, QueryMode, TermId};
+use svr_core::{build_index, IndexConfig, MethodKind, ScoreMap, SearchIndex};
+
+const VOCAB: u32 = 12;
+const NUM_DOCS: u32 = 60;
+
+fn corpus(seed: u64) -> (Vec<Document>, ScoreMap) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut docs = Vec::new();
+    let mut scores = ScoreMap::new();
+    for id in 0..NUM_DOCS {
+        let n_terms = rng.gen_range(2..6);
+        let terms = (0..n_terms).map(|_| (TermId(rng.gen_range(0..VOCAB)), rng.gen_range(1..5u32)));
+        docs.push(Document::from_term_freqs(DocId(id), terms));
+        scores.insert(DocId(id), rng.gen_range(0..50_000) as f64);
+    }
+    (docs, scores)
+}
+
+fn config_for(kind: MethodKind, shards: usize) -> IndexConfig {
+    IndexConfig {
+        chunk_ratio: 2.0,
+        threshold_ratio: 1.5,
+        min_chunk_docs: 4,
+        fancy_size: 8,
+        term_weight: if kind.uses_term_scores() {
+            10_000.0
+        } else {
+            0.0
+        },
+        num_shards: shards,
+        ..IndexConfig::default()
+    }
+}
+
+/// Top-k over every vocabulary term, conjunctive and disjunctive pairs —
+/// a ranking fingerprint of the whole index.
+fn fingerprint(index: &dyn SearchIndex) -> Vec<Vec<(DocId, f64)>> {
+    let mut out = Vec::new();
+    for t in 0..VOCAB {
+        for mode in [QueryMode::Conjunctive, QueryMode::Disjunctive] {
+            let query = Query::new(vec![TermId(t), TermId((t + 1) % VOCAB)], 20, mode);
+            let hits = index.query(&query).unwrap();
+            out.push(hits.into_iter().map(|h| (h.doc, h.score)).collect());
+        }
+    }
+    out
+}
+
+fn live_doc_counts(index: &dyn SearchIndex) -> Vec<u64> {
+    index.shard_stats().iter().map(|s| s.docs).collect()
+}
+
+#[test]
+fn uninsert_restores_query_equivalence() {
+    for kind in MethodKind::ALL_EXTENDED {
+        for shards in [1usize, 4] {
+            let (docs, scores) = corpus(7);
+            let config = config_for(kind, shards);
+            let index = build_index(kind, &docs, &scores, &config).unwrap();
+            let before = fingerprint(index.as_ref());
+            let docs_before = live_doc_counts(index.as_ref());
+
+            // Insert a batch of new documents, then undo them in reverse.
+            let fresh: Vec<Document> = (0..8)
+                .map(|i| {
+                    Document::from_term_freqs(
+                        DocId(NUM_DOCS + i),
+                        (0..3).map(|j| (TermId((i + j) % VOCAB), 2u32)),
+                    )
+                })
+                .collect();
+            for (i, doc) in fresh.iter().enumerate() {
+                index.insert_document(doc, 90_000.0 + i as f64).unwrap();
+            }
+            assert_ne!(
+                fingerprint(index.as_ref()),
+                before,
+                "{kind} x{shards}: inserts must be visible before the undo"
+            );
+            for doc in fresh.iter().rev() {
+                index.uninsert_document(doc.id).unwrap();
+            }
+
+            assert_eq!(
+                fingerprint(index.as_ref()),
+                before,
+                "{kind} x{shards}: rankings must match the never-inserted index"
+            );
+            assert_eq!(
+                live_doc_counts(index.as_ref()),
+                docs_before,
+                "{kind} x{shards}: live doc counts must be restored"
+            );
+            // The ids are free again — unlike after a tombstoning delete.
+            index
+                .insert_document(&fresh[0], 123.0)
+                .unwrap_or_else(|e| panic!("{kind} x{shards}: id must be reusable: {e}"));
+        }
+    }
+}
+
+#[test]
+fn undelete_restores_query_equivalence() {
+    for kind in MethodKind::ALL_EXTENDED {
+        for shards in [1usize, 4] {
+            let (docs, scores) = corpus(11);
+            let config = config_for(kind, shards);
+            let index = build_index(kind, &docs, &scores, &config).unwrap();
+            let before = fingerprint(index.as_ref());
+            let docs_before = live_doc_counts(index.as_ref());
+
+            let victims = [DocId(3), DocId(17), DocId(42)];
+            for &doc in &victims {
+                index.delete_document(doc).unwrap();
+            }
+            assert_ne!(
+                fingerprint(index.as_ref()),
+                before,
+                "{kind} x{shards}: deletes must be visible before the undo"
+            );
+            for &doc in victims.iter().rev() {
+                index.undelete_document(doc).unwrap();
+            }
+
+            assert_eq!(
+                fingerprint(index.as_ref()),
+                before,
+                "{kind} x{shards}: rankings must match the never-deleted index"
+            );
+            assert_eq!(
+                live_doc_counts(index.as_ref()),
+                docs_before,
+                "{kind} x{shards}: live doc counts must be restored"
+            );
+            // The revived documents take score updates like any live doc.
+            index.update_score(DocId(3), 77_777.0).unwrap();
+        }
+    }
+}
+
+#[test]
+fn uninsert_after_concurrent_merge_degrades_to_tombstone() {
+    // The offline merge takes no table lock, so it can move a fresh
+    // insert's postings into the long lists before the transaction that
+    // inserted them rolls back. The uninsert must then degrade to the
+    // tombstoning delete — invisible to queries, id reserved — instead of
+    // failing and leaving the rollback incomplete.
+    for kind in MethodKind::ALL_EXTENDED {
+        let (docs, scores) = corpus(31);
+        let config = config_for(kind, 1);
+        let index = build_index(kind, &docs, &scores, &config).unwrap();
+
+        let fresh = Document::from_term_freqs(DocId(300), [(TermId(2), 2u32), (TermId(5), 1)]);
+        index.insert_document(&fresh, 70_000.0).unwrap();
+        index.merge_short_lists().unwrap(); // the racing maintenance
+        index
+            .uninsert_document(DocId(300))
+            .unwrap_or_else(|e| panic!("{kind}: uninsert after merge must degrade, not fail: {e}"));
+
+        // Invisible to every query, like a deleted doc.
+        for mode in [QueryMode::Conjunctive, QueryMode::Disjunctive] {
+            let hits = index
+                .query(&Query::new(vec![TermId(2), TermId(5)], 50, mode))
+                .unwrap();
+            assert!(
+                hits.iter().all(|h| h.doc != DocId(300)),
+                "{kind}: merged-then-uninserted doc must not rank"
+            );
+        }
+        assert!(
+            index.current_score(DocId(300)).is_err(),
+            "{kind}: doc is not live"
+        );
+    }
+}
+
+#[test]
+fn undo_of_mixed_structural_batch_roundtrips() {
+    // insert → update_content → delete, undone in exact reverse order —
+    // the shape the engine's undo log replays.
+    for kind in MethodKind::ALL_EXTENDED {
+        let (docs, scores) = corpus(23);
+        let config = config_for(kind, 1);
+        let index = build_index(kind, &docs, &scores, &config).unwrap();
+        let before = fingerprint(index.as_ref());
+
+        let new_doc = Document::from_term_freqs(DocId(200), [(TermId(1), 3u32), (TermId(4), 1)]);
+        let rewritten = Document::from_term_freqs(DocId(200), [(TermId(2), 2u32)]);
+        let old_content_of_7 = docs[7].clone();
+        let rewritten_7 = Document::from_term_freqs(DocId(7), [(TermId(9), 4u32)]);
+
+        index.insert_document(&new_doc, 55_000.0).unwrap();
+        index.update_content(&rewritten).unwrap();
+        index.update_content(&rewritten_7).unwrap();
+        index.delete_document(DocId(31)).unwrap();
+
+        // Reverse replay: undelete, restore old contents, uninsert.
+        index.undelete_document(DocId(31)).unwrap();
+        index.update_content(&old_content_of_7).unwrap();
+        index.update_content(&new_doc).unwrap();
+        index.uninsert_document(DocId(200)).unwrap();
+
+        assert_eq!(
+            fingerprint(index.as_ref()),
+            before,
+            "{kind}: mixed structural batch must roundtrip"
+        );
+    }
+}

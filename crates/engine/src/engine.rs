@@ -58,6 +58,16 @@
 //!   [`SvrEngine::insert_rows`] buffer view notifications, record one
 //!   refresh per touched document, and apply the refreshes grouped by
 //!   shard in parallel;
+//! * **writes are all-or-nothing** — every write path runs as a
+//!   transaction: each applied piece records its inverse (captured
+//!   pre-image row for updates/deletes, primary key for inserts, old
+//!   content / revival entries for the index structural ops) into an undo
+//!   log, and an error replays the log in reverse under the still-held
+//!   table locks while the score views restore their captured pre-batch
+//!   state — a failed [`SvrEngine::apply`] leaves no observable trace in
+//!   tables, views or rankings. The WAL commits of the involved table
+//!   stores are bracketed into one recoverable batch per transaction, so
+//!   a *crash* mid-batch also recovers to the pre-batch state;
 //! * **maintenance is per shard** — [`SvrEngine::run_maintenance`] no
 //!   longer takes the table lock at all: each shard's merge excludes only
 //!   that shard's writers ([`SvrEngine::run_shard_maintenance`] merges a
@@ -83,7 +93,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 use svr_core::types::{DocId, Document, Query, QueryMode, SearchHit, TermId};
 use svr_core::{build_index, IndexConfig, MethodCursor, MethodKind, SearchIndex, ShardStats};
-use svr_relation::{Database, Schema, SvrSpec, Value};
+use svr_relation::{Database, RowChange, Schema, SvrSpec, Value};
 use svr_text::Vocabulary;
 
 use crate::error::{Result, SvrError};
@@ -360,6 +370,26 @@ impl SearchCursor {
     pub fn index_name(&self) -> &str {
         &self.entry.view
     }
+}
+
+/// One recorded inverse in a write transaction's undo log. Entries are
+/// pushed as each forward operation commits its piece and replayed in
+/// **reverse** on error, under the still-held table locks — so by the time
+/// an entry runs, every later operation on the same row/document has
+/// already been undone (the soundness condition of the core
+/// `uninsert_document` entry point).
+enum UndoEntry {
+    /// Inverse of a row insert: remove the row (no view routing — view
+    /// state rolls back from its own captured pre-images).
+    RetractRow { table: String, pk: Value },
+    /// Inverse of a row update or delete: put the captured pre-image back.
+    RestoreRow { table: String, row: Vec<Value> },
+    /// Inverse of `insert_document`.
+    Uninsert { ti: Arc<TextIndex>, doc: DocId },
+    /// Inverse of `delete_document`: revive the tombstoned document.
+    Undelete { ti: Arc<TextIndex>, doc: DocId },
+    /// Inverse of `update_content`: replay the captured old content.
+    RestoreContent { ti: Arc<TextIndex>, old: Document },
 }
 
 std::thread_local! {
@@ -719,20 +749,124 @@ impl SvrEngine {
             .collect()
     }
 
-    /// Insert a row, maintaining views and text indexes.
-    pub fn insert_row(&self, table: &str, row: Vec<Value>) -> Result<()> {
-        let mutated = self.with_table_lock(table, || self.insert_row_locked(table, row));
-        // Refresh even after a failed mutation: notifications already fired
-        // for whatever part committed. The mutation's error wins.
+    /// Run `f` as an **all-or-nothing write transaction** over `tables`
+    /// (sorted, deduped): table locks are taken, the WAL commits of the
+    /// involved stores are bracketed into one recoverable batch, view
+    /// notifications are buffered, and view undo capture is armed. `f`
+    /// appends the inverse of everything it applies to the undo log it is
+    /// handed; on error the log replays in reverse under the still-held
+    /// locks and the views roll back to their captured pre-images, so no
+    /// observable trace of the transaction remains. Score refreshes run
+    /// after the locks are released, as always — including after a
+    /// rollback, where they converge the indexes to the rolled-back truth.
+    fn with_write_txn(
+        &self,
+        tables: &[String],
+        f: impl FnOnce(&mut Vec<UndoEntry>) -> Result<()>,
+    ) -> Result<()> {
+        let mutated = self.with_table_locks(tables, || {
+            // One commit-marker bracket per involved store: a crash
+            // mid-transaction recovers every table to its pre-transaction
+            // state (the closing marker seals mutations + undo images).
+            let wal_batch = self.shared.db.wal_batch(tables)?;
+            // Both brackets are scoped to the views this transaction's
+            // tables can reach — the hot path (one-table score update)
+            // touches one view's mutex, not every view in the engine.
+            let bracket = self.shared.db.buffer_score_notifications_for(tables);
+            let view_undo = self.shared.db.begin_view_undo(tables);
+            let mut undo = Vec::new();
+            let result = match f(&mut undo) {
+                Ok(()) => {
+                    view_undo.commit();
+                    Ok(())
+                }
+                Err(e) => {
+                    let rolled_back = self.rollback_ops(undo);
+                    view_undo.rollback();
+                    match rolled_back {
+                        Ok(()) => Err(e),
+                        Err(re) => Err(SvrError::Engine(format!(
+                            "write transaction failed ({e}); rollback incomplete: {re}"
+                        ))),
+                    }
+                }
+            };
+            // Flush coalesced notifications into this thread's capture,
+            // then seal the WAL batch (in that order: the capture is
+            // in-memory, the marker makes the storage state recoverable).
+            drop(bracket);
+            drop(wal_batch);
+            result
+        });
+        // Refresh even after a failed transaction: the rollback's view
+        // notifications re-point the indexes at the restored scores. The
+        // mutation's error wins.
         let refreshed = self.refresh_touched();
         mutated?;
         refreshed
     }
 
+    /// Replay a transaction's undo log in reverse. Keeps going past an
+    /// entry that fails (restoring as much as possible) and reports the
+    /// first error.
+    fn rollback_ops(&self, undo: Vec<UndoEntry>) -> Result<()> {
+        let mut first_error: Option<SvrError> = None;
+        for entry in undo.into_iter().rev() {
+            let result: Result<()> = match entry {
+                UndoEntry::RetractRow { table, pk } => self
+                    .shared
+                    .db
+                    .retract_row(&table, &pk)
+                    .map_err(SvrError::from),
+                UndoEntry::RestoreRow { table, row } => self
+                    .shared
+                    .db
+                    .restore_row(&table, row)
+                    .map_err(SvrError::from),
+                UndoEntry::Uninsert { ti, doc } => {
+                    let result = ti.index.uninsert_document(doc);
+                    ti.bump();
+                    result.map_err(SvrError::from)
+                }
+                UndoEntry::Undelete { ti, doc } => {
+                    let result = ti.index.undelete_document(doc);
+                    ti.bump();
+                    result.map_err(SvrError::from)
+                }
+                UndoEntry::RestoreContent { ti, old } => {
+                    let result = ti.index.update_content(&old);
+                    ti.bump();
+                    result.map_err(SvrError::from)
+                }
+            };
+            if let Err(e) = result {
+                first_error.get_or_insert(e);
+            }
+        }
+        match first_error {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Insert a row, maintaining views and text indexes. All-or-nothing:
+    /// on error the row, views and index postings are rolled back.
+    pub fn insert_row(&self, table: &str, row: Vec<Value>) -> Result<()> {
+        self.with_write_txn(std::slice::from_ref(&table.to_string()), |undo| {
+            self.insert_row_locked(table, row, undo)
+        })
+    }
+
     /// [`SvrEngine::insert_row`] tier-1 body, with the caller holding the
     /// table's writer lock: row + view mutation and the structural
-    /// `insert_document`. The caller drains and applies score refreshes.
-    fn insert_row_locked(&self, table: &str, row: Vec<Value>) -> Result<()> {
+    /// `insert_document`, each pushing its inverse onto `undo`. The caller
+    /// drains and applies score refreshes.
+    fn insert_row_locked(
+        &self,
+        table: &str,
+        row: Vec<Value>,
+        undo: &mut Vec<UndoEntry>,
+    ) -> Result<()> {
         // Extract what the text indexes need *before* the row moves into
         // the database — no full-row clone.
         let entries = self.entries_on(table);
@@ -749,75 +883,70 @@ impl SvrEngine {
                 .to_string();
             inserts.push((ti.clone(), pk, text));
         }
-        self.shared.db.insert_row(table, row)?;
+        let pk_idx = self.shared.db.table(table)?.schema().pk;
+        let change = self.shared.db.insert_row(table, row)?;
+        if let RowChange::Inserted { new } = &change {
+            undo.push(UndoEntry::RetractRow {
+                table: table.to_string(),
+                pk: new[pk_idx].clone(),
+            });
+        }
         for (ti, pk, text) in inserts {
             let doc = Document::from_text(doc_id(pk)?, &text, &mut self.shared.vocab.write());
             let score = self.shared.db.score_of(&ti.view, pk).unwrap_or(0.0);
             ti.index.insert_document(&doc, score)?;
             ti.bump();
+            undo.push(UndoEntry::Uninsert { ti, doc: doc.id });
         }
         Ok(())
     }
 
     /// Insert many rows into one table under a single writer-lock
     /// acquisition, with coalesced score propagation — the bulk-load path.
+    /// All-or-nothing: a failing row rolls back every earlier row of the
+    /// call.
     pub fn insert_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
         let inserted = rows.len();
-        let mutated = self.with_table_lock(table, || {
-            let bracket = self.shared.db.buffer_score_notifications();
-            let mut mutated = Ok(());
+        self.with_write_txn(std::slice::from_ref(&table.to_string()), |undo| {
             for row in rows {
-                mutated = self.insert_row_locked(table, row);
-                if mutated.is_err() {
-                    break;
-                }
+                self.insert_row_locked(table, row, undo)?;
             }
-            // Dropping the bracket flushes the coalesced notifications (one
-            // per touched key, final score) into this thread's capture.
-            drop(bracket);
-            mutated
-        });
-        let refreshed = self.refresh_touched();
-        mutated?;
-        refreshed?;
+            Ok(())
+        })?;
         Ok(inserted)
     }
 
-    /// Apply a [`WriteBatch`]: one writer-lock acquisition per involved
-    /// table (taken in sorted order, so concurrent batches cannot
-    /// deadlock), coalesced view notifications, and one score refresh per
-    /// touched document — grouped by index shard and applied with the
-    /// shards in parallel after the table locks are released. Returns the
-    /// number of operations applied.
+    /// Apply a [`WriteBatch`] **atomically**: one writer-lock acquisition
+    /// per involved table (taken in sorted order, so concurrent batches
+    /// cannot deadlock), coalesced view notifications, one WAL commit
+    /// marker per involved store, and one score refresh per touched
+    /// document — grouped by index shard and applied with the shards in
+    /// parallel after the table locks are released. Returns the number of
+    /// operations the batch applied.
     ///
-    /// The batch is *not* atomic: an error aborts the remaining
-    /// operations, but operations already applied stay applied.
+    /// The batch is **all-or-nothing**: if any operation fails, every
+    /// operation already applied is rolled back — tables, views, index
+    /// postings and rankings are left as if the batch had never run — and
+    /// the error is returned. A crash mid-batch likewise recovers the
+    /// table stores to the pre-batch state (the WAL marker that seals the
+    /// batch is only appended when it completes or finishes rolling back).
     pub fn apply(&self, batch: WriteBatch) -> Result<usize> {
         let mut tables: Vec<String> = batch.ops.iter().map(|op| op.table().to_string()).collect();
         tables.sort_unstable();
         tables.dedup();
         let applied = batch.ops.len();
-        let mutated = self.with_table_locks(&tables, || {
-            let bracket = self.shared.db.buffer_score_notifications();
-            let mut mutated = Ok(());
+        self.with_write_txn(&tables, |undo| {
             for op in batch.ops {
-                mutated = match op {
-                    WriteOp::Insert { table, row } => self.insert_row_locked(&table, row),
+                match op {
+                    WriteOp::Insert { table, row } => self.insert_row_locked(&table, row, undo)?,
                     WriteOp::Update { table, pk, sets } => {
-                        self.update_row_locked(&table, pk, &sets)
+                        self.update_row_locked(&table, pk, &sets, undo)?
                     }
-                    WriteOp::Delete { table, pk } => self.delete_row_locked(&table, pk),
-                };
-                if mutated.is_err() {
-                    break;
+                    WriteOp::Delete { table, pk } => self.delete_row_locked(&table, pk, undo)?,
                 }
             }
-            drop(bracket);
-            mutated
-        });
-        let refreshed = self.refresh_touched();
-        mutated?;
-        refreshed?;
+            Ok(())
+        })?;
         Ok(applied)
     }
 
@@ -825,15 +954,30 @@ impl SvrEngine {
     /// become Appendix-A content updates). Pure score updates — the
     /// update-intensive hot path — hold the table lock only for the
     /// row/view mutation; the index refresh runs under shard locks.
+    /// All-or-nothing: on error the row, views and content are rolled back.
     pub fn update_row(&self, table: &str, pk: Value, updates: &[(String, Value)]) -> Result<()> {
-        let mutated = self.with_table_lock(table, || self.update_row_locked(table, pk, updates));
-        let refreshed = self.refresh_touched();
-        mutated?;
-        refreshed
+        self.with_write_txn(std::slice::from_ref(&table.to_string()), |undo| {
+            self.update_row_locked(table, pk, updates, undo)
+        })
     }
 
-    fn update_row_locked(&self, table: &str, pk: Value, updates: &[(String, Value)]) -> Result<()> {
-        self.shared.db.update_row(table, pk.clone(), updates)?;
+    fn update_row_locked(
+        &self,
+        table: &str,
+        pk: Value,
+        updates: &[(String, Value)],
+        undo: &mut Vec<UndoEntry>,
+    ) -> Result<()> {
+        let change = self.shared.db.update_row(table, pk.clone(), updates)?;
+        let RowChange::Updated { old, .. } = &change else {
+            return Err(SvrError::Engine(
+                "update reported a non-update change".into(),
+            ));
+        };
+        undo.push(UndoEntry::RestoreRow {
+            table: table.to_string(),
+            row: old.clone(),
+        });
         let entries = self.entries_on(table);
         if !entries.is_empty() {
             let schema = self.shared.db.table(table)?.schema().clone();
@@ -843,37 +987,56 @@ impl SvrEngine {
                     let pk_int = pk
                         .as_i64()
                         .ok_or_else(|| SvrError::Engine("integer key required".into()))?;
-                    let doc = Document::from_text(
-                        doc_id(pk_int)?,
-                        new_text.as_text().unwrap_or(""),
-                        &mut self.shared.vocab.write(),
-                    );
+                    let old_text = old.get(ti.text_col).and_then(|v| v.as_text()).unwrap_or("");
+                    let (doc, old_doc) = {
+                        let mut vocab = self.shared.vocab.write();
+                        (
+                            Document::from_text(
+                                doc_id(pk_int)?,
+                                new_text.as_text().unwrap_or(""),
+                                &mut vocab,
+                            ),
+                            Document::from_text(doc_id(pk_int)?, old_text, &mut vocab),
+                        )
+                    };
                     // Structural: stays in tier 1 so concurrent content
                     // updates of one document cannot apply out of order.
                     ti.index.update_content(&doc)?;
                     ti.bump();
+                    undo.push(UndoEntry::RestoreContent { ti, old: old_doc });
                 }
             }
         }
         Ok(())
     }
 
-    /// Delete a row, maintaining views and text indexes.
+    /// Delete a row, maintaining views and text indexes. All-or-nothing:
+    /// on error the row, views and index state are rolled back.
     pub fn delete_row(&self, table: &str, pk: Value) -> Result<()> {
-        let mutated = self.with_table_lock(table, || self.delete_row_locked(table, pk));
-        let refreshed = self.refresh_touched();
-        mutated?;
-        refreshed
+        self.with_write_txn(std::slice::from_ref(&table.to_string()), |undo| {
+            self.delete_row_locked(table, pk, undo)
+        })
     }
 
-    fn delete_row_locked(&self, table: &str, pk: Value) -> Result<()> {
-        self.shared.db.delete_row(table, pk.clone())?;
+    fn delete_row_locked(&self, table: &str, pk: Value, undo: &mut Vec<UndoEntry>) -> Result<()> {
+        let change = self.shared.db.delete_row(table, pk.clone())?;
+        let RowChange::Deleted { old } = &change else {
+            return Err(SvrError::Engine(
+                "delete reported a non-delete change".into(),
+            ));
+        };
+        undo.push(UndoEntry::RestoreRow {
+            table: table.to_string(),
+            row: old.clone(),
+        });
         for ti in self.entries_on(table) {
             let pk_int = pk
                 .as_i64()
                 .ok_or_else(|| SvrError::Engine("integer key required".into()))?;
-            ti.index.delete_document(doc_id(pk_int)?)?;
+            let doc = doc_id(pk_int)?;
+            ti.index.delete_document(doc)?;
             ti.bump();
+            undo.push(UndoEntry::Undelete { ti, doc });
         }
         Ok(())
     }

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use svr_storage::StorageEnv;
+use svr_storage::{StorageEnv, Store};
 
 use crate::error::{RelationError, Result};
 use crate::schema::Schema;
@@ -64,7 +64,10 @@ impl Database {
         &self.env
     }
 
-    /// Create a table.
+    /// Create a table. Table stores are **write-ahead-logged**: every page
+    /// write is logged before buffering, and the engine brackets each write
+    /// transaction's commits into one recoverable batch (see
+    /// [`Database::wal_batch`]).
     pub fn create_table(&self, schema: Schema) -> Result<()> {
         let mut tables = self.tables.write();
         if tables.contains_key(&schema.name) {
@@ -72,7 +75,7 @@ impl Database {
         }
         let store = self
             .env
-            .create_store(&format!("table:{}", schema.name), 1024);
+            .create_logged_store(&format!("table:{}", schema.name), 1024);
         let name = schema.name.clone();
         let slot = TableSlot {
             table: Arc::new(Table::create(schema, store)?),
@@ -226,12 +229,16 @@ impl Database {
         Ok(())
     }
 
-    /// Insert a row, maintaining every dependent view.
-    pub fn insert_row(&self, table: &str, row: Vec<Value>) -> Result<()> {
+    /// Insert a row, maintaining every dependent view. Returns the change
+    /// with the inserted row — the pre-image capture hook transactional
+    /// callers build their undo log from.
+    pub fn insert_row(&self, table: &str, row: Vec<Value>) -> Result<RowChange> {
         let slot = self.slot(table)?;
         let _write = slot.write_lock.lock();
         let change = slot.table.insert(row)?;
-        self.route_change(&slot.table, &change)
+        self.route_change(&slot.table, &change)?;
+        Self::maybe_checkpoint(&slot.table);
+        Ok(change)
     }
 
     /// Insert many rows under one writer-lock acquisition with coalesced
@@ -240,30 +247,62 @@ impl Database {
     pub fn insert_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
         let slot = self.slot(table)?;
         let _write = slot.write_lock.lock();
-        let _buffered = BufferBracket::enter(self);
+        let _buffered = BufferBracket::enter(
+            self.views_touching(std::slice::from_ref(&slot.table.schema().name)),
+        );
         let mut inserted = 0;
         for row in rows {
             let change = slot.table.insert(row)?;
             self.route_change(&slot.table, &change)?;
             inserted += 1;
         }
+        Self::maybe_checkpoint(&slot.table);
         Ok(inserted)
     }
 
     /// Update named columns of a row, maintaining every dependent view.
-    pub fn update_row(&self, table: &str, pk: Value, updates: &[(String, Value)]) -> Result<()> {
+    /// Returns the change carrying the captured pre-image row.
+    pub fn update_row(
+        &self,
+        table: &str,
+        pk: Value,
+        updates: &[(String, Value)],
+    ) -> Result<RowChange> {
         let slot = self.slot(table)?;
         let _write = slot.write_lock.lock();
         let change = slot.table.update(&pk, updates)?;
-        self.route_change(&slot.table, &change)
+        self.route_change(&slot.table, &change)?;
+        Self::maybe_checkpoint(&slot.table);
+        Ok(change)
     }
 
-    /// Delete a row, maintaining every dependent view.
-    pub fn delete_row(&self, table: &str, pk: Value) -> Result<()> {
+    /// Delete a row, maintaining every dependent view. Returns the change
+    /// carrying the captured pre-image row.
+    pub fn delete_row(&self, table: &str, pk: Value) -> Result<RowChange> {
         let slot = self.slot(table)?;
         let _write = slot.write_lock.lock();
         let change = slot.table.delete(&pk)?;
-        self.route_change(&slot.table, &change)
+        self.route_change(&slot.table, &change)?;
+        Self::maybe_checkpoint(&slot.table);
+        Ok(change)
+    }
+
+    /// Batch-rollback restore of a captured pre-image row: the inverse of
+    /// an update or delete. Bypasses view routing — view state rolls back
+    /// from its own captured pre-images ([`Database::begin_view_undo`]),
+    /// so routing the restore would double-apply it.
+    pub fn restore_row(&self, table: &str, row: Vec<Value>) -> Result<()> {
+        let slot = self.slot(table)?;
+        let _write = slot.write_lock.lock();
+        slot.table.restore(row)
+    }
+
+    /// Batch-rollback inverse of an insert: remove the inserted row without
+    /// view routing (see [`Database::restore_row`]).
+    pub fn retract_row(&self, table: &str, pk: &Value) -> Result<()> {
+        let slot = self.slot(table)?;
+        let _write = slot.write_lock.lock();
+        slot.table.retract(pk)
     }
 
     /// Enter coalesced-notification mode on every view **for the calling
@@ -273,7 +312,142 @@ impl Database {
     /// bracket never absorbs a concurrent writer's notifications. Drop the
     /// guard on the thread that created it.
     pub fn buffer_score_notifications(&self) -> BufferBracket {
-        BufferBracket::enter(self)
+        BufferBracket::enter(self.all_views())
+    }
+
+    /// [`Database::buffer_score_notifications`] scoped to the views a
+    /// write over `tables` can actually reach — the hot-path form: a
+    /// single-table update brackets one view's mutex, not every view in
+    /// the database.
+    pub fn buffer_score_notifications_for(&self, tables: &[String]) -> BufferBracket {
+        BufferBracket::enter(self.views_touching(tables))
+    }
+
+    /// Begin undo capture **for the calling thread** on every view a write
+    /// over `tables` can reach (see [`ScoreView::begin_undo`]). Call
+    /// [`ViewUndoBracket::rollback`] to restore those views to their
+    /// captured pre-batch state, or [`ViewUndoBracket::commit`] (or just
+    /// drop the bracket) to discard the capture. Consume the bracket on
+    /// the thread that created it.
+    pub fn begin_view_undo(&self, tables: &[String]) -> ViewUndoBracket {
+        let views = self.views_touching(tables);
+        for view in &views {
+            view.lock().begin_undo();
+        }
+        ViewUndoBracket { views }
+    }
+
+    fn all_views(&self) -> Vec<Arc<Mutex<ScoreView>>> {
+        self.views.read().values().cloned().collect()
+    }
+
+    /// The views whose state a change to any of `tables` can move — the
+    /// same target/source dependency test [`Database::route_change`]
+    /// applies per change.
+    fn views_touching(&self, tables: &[String]) -> Vec<Arc<Mutex<ScoreView>>> {
+        self.views
+            .read()
+            .values()
+            .filter(|v| v.lock().depends_on_any(tables))
+            .cloned()
+            .collect()
+    }
+
+    /// Bracket the write-ahead-log commits of `tables`' stores: until the
+    /// returned guard drops, every structure-level `Wal::commit` of those
+    /// stores is suppressed, and the drop seals all of it — mutations *and*
+    /// any undo images a rollback appended — under one commit marker per
+    /// store. A crash anywhere inside the bracket therefore recovers every
+    /// store to its pre-bracket state; after a clean close, to the
+    /// post-batch state. (The markers of different stores are appended one
+    /// after another at close; the cross-store boundary is atomic under
+    /// this repository's whole-process crash model, not against a failure
+    /// between the individual appends.)
+    ///
+    /// The guard also checkpoints any store whose log outgrew the
+    /// checkpoint threshold — never mid-bracket, which would split the
+    /// batch.
+    pub fn wal_batch(&self, tables: &[String]) -> Result<WalBatch> {
+        let mut stores = Vec::with_capacity(tables.len());
+        for name in tables {
+            let store = self.slot(name)?.table.store().clone();
+            if store.wal().is_some() {
+                stores.push(store);
+            }
+        }
+        for store in &stores {
+            if let Some(wal) = store.wal() {
+                wal.begin_batch();
+            }
+        }
+        Ok(WalBatch { stores })
+    }
+
+    /// Flush + truncate a table store whose log outgrew the threshold.
+    /// Skipped inside a [`Database::wal_batch`] bracket — truncating
+    /// mid-bracket would tear the recoverable batch apart.
+    fn maybe_checkpoint(table: &Table) {
+        let store = table.store();
+        if let Some(wal) = store.wal() {
+            if !wal.in_batch() && wal.stats().bytes > WAL_CHECKPOINT_BYTES {
+                // A failed checkpoint only leaves an older recovery
+                // baseline; the committed log still replays on top of it.
+                let _ = store.checkpoint();
+            }
+        }
+    }
+}
+
+/// Log bytes past which a table store is checkpointed at the next
+/// opportunity (per-op boundary or transaction close).
+const WAL_CHECKPOINT_BYTES: u64 = 1 << 20;
+
+/// RAII bracket for one write transaction's WAL commit markers (see
+/// [`Database::wal_batch`]).
+pub struct WalBatch {
+    stores: Vec<Arc<Store>>,
+}
+
+impl Drop for WalBatch {
+    fn drop(&mut self) {
+        for store in &self.stores {
+            if let Some(wal) = store.wal() {
+                wal.end_batch();
+                if wal.stats().bytes > WAL_CHECKPOINT_BYTES {
+                    let _ = store.checkpoint();
+                }
+            }
+        }
+    }
+}
+
+/// Undo capture across every view of a database for one thread's write
+/// batch (see [`Database::begin_view_undo`]). Dropping without calling
+/// [`ViewUndoBracket::rollback`] commits (discards the capture).
+pub struct ViewUndoBracket {
+    views: Vec<Arc<Mutex<ScoreView>>>,
+}
+
+impl ViewUndoBracket {
+    /// Discard the capture — the batch committed. (Equivalent to dropping
+    /// the bracket; spelled out so call sites read transactionally.)
+    pub fn commit(self) {}
+
+    /// Restore every bracketed view to its captured pre-batch state (see
+    /// [`ScoreView::rollback_undo`] for the exactness and concurrency
+    /// semantics).
+    pub fn rollback(mut self) {
+        for view in std::mem::take(&mut self.views) {
+            view.lock().rollback_undo();
+        }
+    }
+}
+
+impl Drop for ViewUndoBracket {
+    fn drop(&mut self) {
+        for view in &self.views {
+            view.lock().commit_undo();
+        }
     }
 }
 
@@ -286,8 +460,7 @@ pub struct BufferBracket {
 }
 
 impl BufferBracket {
-    fn enter(db: &Database) -> BufferBracket {
-        let views: Vec<_> = db.views.read().values().cloned().collect();
+    fn enter(views: Vec<Arc<Mutex<ScoreView>>>) -> BufferBracket {
         for view in &views {
             view.lock().begin_buffering();
         }
@@ -603,6 +776,140 @@ mod tests {
                 vec![vec![Value::Int(0), Value::Text("dup".into())]]
             )
             .is_err());
+    }
+
+    #[test]
+    fn restore_and_retract_bypass_views() {
+        let db = paper_db();
+        db.insert_row("movies", vec![Value::Int(1), Value::Text("m".into())])
+            .unwrap();
+        db.insert_row(
+            "statistics",
+            vec![Value::Int(1), Value::Int(100), Value::Int(0)],
+        )
+        .unwrap();
+        let score = db.score_of("scores", 1).unwrap();
+
+        // Retract the statistics row directly: the table loses it but the
+        // view keeps its state (view rollback is a separate mechanism).
+        db.retract_row("statistics", &Value::Int(1)).unwrap();
+        assert!(db
+            .table("statistics")
+            .unwrap()
+            .get(&Value::Int(1))
+            .unwrap()
+            .is_none());
+        assert_eq!(db.score_of("scores", 1).unwrap(), score);
+
+        // Restore puts the pre-image back, again without view routing.
+        db.restore_row(
+            "statistics",
+            vec![Value::Int(1), Value::Int(100), Value::Int(0)],
+        )
+        .unwrap();
+        assert_eq!(
+            db.table("statistics").unwrap().get(&Value::Int(1)).unwrap(),
+            Some(vec![Value::Int(1), Value::Int(100), Value::Int(0)])
+        );
+    }
+
+    #[test]
+    fn view_undo_bracket_rolls_back_all_views() {
+        let db = paper_db();
+        db.insert_row("movies", vec![Value::Int(1), Value::Text("m".into())])
+            .unwrap();
+        db.insert_row(
+            "statistics",
+            vec![Value::Int(1), Value::Int(100), Value::Int(0)],
+        )
+        .unwrap();
+        assert_eq!(db.score_of("scores", 1).unwrap(), 50.0);
+
+        let undo = db.begin_view_undo(&["statistics".to_string()]);
+        db.update_row(
+            "statistics",
+            Value::Int(1),
+            &[("nvisit".to_string(), Value::Int(9_000))],
+        )
+        .unwrap();
+        assert_eq!(db.score_of("scores", 1).unwrap(), 4_500.0);
+        undo.rollback();
+        assert_eq!(db.score_of("scores", 1).unwrap(), 50.0);
+        // But the *table* still holds the new row: view rollback restores
+        // view state only; callers pair it with restore_row/retract_row.
+        assert_eq!(
+            db.table("statistics").unwrap().get(&Value::Int(1)).unwrap(),
+            Some(vec![Value::Int(1), Value::Int(9_000), Value::Int(0)])
+        );
+    }
+
+    #[test]
+    fn view_undo_brackets_scope_to_dependent_views() {
+        let db = paper_db();
+        db.insert_row("movies", vec![Value::Int(1), Value::Text("m".into())])
+            .unwrap();
+        db.insert_row(
+            "statistics",
+            vec![Value::Int(1), Value::Int(100), Value::Int(0)],
+        )
+        .unwrap();
+        // A table no existing view depends on: a bracket scoped to it must
+        // not capture (and so not roll back) the "scores" view.
+        db.create_table(Schema::new(
+            "other",
+            &[("id", ColumnType::Int), ("v", ColumnType::Int)],
+            0,
+        ))
+        .unwrap();
+        let unrelated = db.begin_view_undo(&["other".to_string()]);
+        db.update_row(
+            "statistics",
+            Value::Int(1),
+            &[("nvisit".to_string(), Value::Int(9_000))],
+        )
+        .unwrap();
+        unrelated.rollback();
+        assert_eq!(
+            db.score_of("scores", 1).unwrap(),
+            4_500.0,
+            "the scores view is outside the bracket's scope"
+        );
+        // A *source* table of the view is in scope, like its target.
+        let sourced = db.begin_view_undo(&["statistics".to_string()]);
+        db.update_row(
+            "statistics",
+            Value::Int(1),
+            &[("nvisit".to_string(), Value::Int(100))],
+        )
+        .unwrap();
+        sourced.rollback();
+        assert_eq!(db.score_of("scores", 1).unwrap(), 4_500.0, "rolled back");
+    }
+
+    #[test]
+    fn wal_batch_groups_table_commits() {
+        let db = paper_db();
+        let movies = db.table("movies").unwrap();
+        let wal = movies.store().wal().expect("table stores are logged");
+        let sealed_before = wal.committed_pages().len();
+        {
+            let _batch = db.wal_batch(&["movies".to_string()]).unwrap();
+            db.insert_row("movies", vec![Value::Int(1), Value::Text("a".into())])
+                .unwrap();
+            db.insert_row("movies", vec![Value::Int(2), Value::Text("b".into())])
+                .unwrap();
+            assert!(wal.in_batch());
+            assert_eq!(
+                wal.committed_pages().len(),
+                sealed_before,
+                "nothing new is sealed mid-bracket"
+            );
+        }
+        assert!(!wal.in_batch());
+        assert!(
+            wal.committed_pages().len() > sealed_before,
+            "closing the bracket seals the batch"
+        );
     }
 
     #[test]

@@ -41,10 +41,10 @@ pub mod value;
 pub mod view;
 
 pub use aggexpr::AggExpr;
-pub use catalog::Database;
+pub use catalog::{Database, ViewUndoBracket, WalBatch};
 pub use error::{RelationError, Result};
 pub use functions::ScoreComponent;
 pub use schema::Schema;
-pub use table::Table;
+pub use table::{RowChange, Table};
 pub use value::Value;
 pub use view::{ScoreListener, SvrSpec};

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use svr_storage::{BTree, Store};
+use svr_storage::{BTree, PageId, Store};
 
 use crate::error::{RelationError, Result};
 use crate::schema::Schema;
@@ -31,11 +31,18 @@ pub enum RowChange {
 }
 
 impl Table {
-    /// Create an empty table.
+    /// Create an empty table. On a write-ahead-logged store the backing
+    /// B+-tree is created *durable* (root pointer on a metadata page), so
+    /// crash-recovery tests can replay the log and reopen the tree.
     pub fn create(schema: Schema, store: Arc<Store>) -> Result<Table> {
+        let tree = if store.wal().is_some() {
+            BTree::create_durable(store)?
+        } else {
+            BTree::create(store)?
+        };
         Ok(Table {
             schema,
-            tree: BTree::create(store)?,
+            tree,
             latch: RwLock::new(()),
         })
     }
@@ -43,6 +50,17 @@ impl Table {
     /// The table's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// The backing store (WAL access for transactional batch boundaries).
+    pub fn store(&self) -> &Arc<Store> {
+        self.tree.store()
+    }
+
+    /// Metadata page of the backing B+-tree when it is durable (tables on
+    /// logged stores) — what `BTree::reopen` needs after crash recovery.
+    pub fn meta_page(&self) -> Option<PageId> {
+        self.tree.meta_page()
     }
 
     /// Number of rows.
@@ -124,6 +142,26 @@ impl Table {
             .ok_or_else(|| RelationError::MissingRow(pk.to_string()))?;
         self.tree.delete(&key)?;
         Ok(RowChange::Deleted { old })
+    }
+
+    /// Batch-rollback restore: put `row` back unconditionally (the inverse
+    /// of an update or delete replays the captured pre-image). Emits no
+    /// [`RowChange`] — view state is rolled back separately from its own
+    /// captured pre-images, so routing the restore would double-apply.
+    pub fn restore(&self, row: Vec<Value>) -> Result<()> {
+        let key = self.pk_of(&row).encode_key();
+        let _latch = self.latch.write();
+        self.tree.put(&key, &encode_row(&row))?;
+        Ok(())
+    }
+
+    /// Batch-rollback retract: remove the row a rolled-back insert added.
+    /// Emits no [`RowChange`] (see [`Table::restore`]).
+    pub fn retract(&self, pk: &Value) -> Result<()> {
+        let key = pk.encode_key();
+        let _latch = self.latch.write();
+        self.tree.delete(&key)?;
+        Ok(())
     }
 
     /// All rows in primary-key order.

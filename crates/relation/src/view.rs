@@ -74,6 +74,24 @@ pub struct ScoreView {
     /// Keys with buffered (unfired) score changes, per bracket-holding
     /// thread.
     buffered: HashMap<std::thread::ThreadId, HashSet<i64>>,
+    /// Per-thread undo capture (see [`ScoreView::begin_undo`]): the
+    /// first-touched pre-image of every state entry this thread's batch
+    /// modifies, so a rollback restores the view **bit-exactly** —
+    /// replaying logical inverses through floating-point aggregate state
+    /// could drift by an ulp, a captured pre-image cannot.
+    undo: HashMap<std::thread::ThreadId, ViewUndo>,
+}
+
+/// Pre-images captured for one thread's batch (first write wins).
+#[derive(Default)]
+struct ViewUndo {
+    /// Per component: pk -> pre-batch `(sum, count)` entry (`None` =
+    /// absent).
+    state: Vec<HashMap<i64, Option<(f64, u64)>>>,
+    /// pk -> was the key a live target before the batch?
+    targets: HashMap<i64, bool>,
+    /// Keys whose materialized score (or presence) the batch changed.
+    scores: HashMap<i64, Option<f64>>,
 }
 
 impl ScoreView {
@@ -89,7 +107,19 @@ impl ScoreView {
             listener: None,
             buffering: HashMap::new(),
             buffered: HashMap::new(),
+            undo: HashMap::new(),
         }
+    }
+
+    /// True when a change to any of `tables` can reach this view — the
+    /// same target/source test change routing applies, used to scope
+    /// write-transaction brackets to the views that can actually move.
+    pub fn depends_on_any(&self, tables: &[String]) -> bool {
+        tables.contains(&self.target_table)
+            || self.spec.components.iter().any(|c| {
+                c.source_table()
+                    .is_some_and(|s| tables.iter().any(|t| t == s))
+            })
     }
 
     /// Register the score-change listener (the text index).
@@ -146,6 +176,107 @@ impl ScoreView {
         }
     }
 
+    /// Start capturing undo pre-images **for the calling thread**: until
+    /// [`ScoreView::commit_undo`] or [`ScoreView::rollback_undo`] on the
+    /// same thread, the first modification of each state entry, target
+    /// membership and materialized score by this thread records its
+    /// pre-image. Capture is thread-scoped for the same reason buffering
+    /// is: a concurrent writer of an *unlocked* source table must neither
+    /// pollute this batch's capture nor be clobbered by its rollback.
+    pub fn begin_undo(&mut self) {
+        let n = self.spec.components.len();
+        self.undo
+            .entry(std::thread::current().id())
+            .or_insert_with(|| ViewUndo {
+                state: vec![HashMap::new(); n],
+                ..ViewUndo::default()
+            });
+    }
+
+    /// Discard the calling thread's undo capture (the batch committed).
+    pub fn commit_undo(&mut self) {
+        self.undo.remove(&std::thread::current().id());
+    }
+
+    /// Restore every entry the calling thread's batch touched to its
+    /// captured pre-image, then re-derive the touched materialized scores
+    /// from the restored component state. Re-deriving (rather than
+    /// restoring score bytes) is what makes rollback correct under
+    /// concurrency: a concurrent writer may have legitimately changed
+    /// *another* component of the same key mid-batch, and the recomputed
+    /// score folds that in; absent concurrent writers the same
+    /// deterministic aggregate over the same restored state reproduces the
+    /// pre-batch score bit-exactly. Changed scores notify the listener as
+    /// usual (buffered while a notification bracket is open), so deferred
+    /// index refreshes converge to the rolled-back truth.
+    pub fn rollback_undo(&mut self) {
+        let me = std::thread::current().id();
+        let Some(undo) = self.undo.remove(&me) else {
+            return;
+        };
+        for (i, entries) in undo.state.into_iter().enumerate() {
+            for (pk, old) in entries {
+                match old {
+                    Some(entry) => {
+                        self.state[i].insert(pk, entry);
+                    }
+                    None => {
+                        self.state[i].remove(&pk);
+                    }
+                }
+            }
+        }
+        for (&pk, &was_live) in &undo.targets {
+            if was_live {
+                self.target_pks.insert(pk);
+            } else {
+                self.target_pks.remove(&pk);
+            }
+        }
+        for &pk in undo.scores.keys() {
+            if self.target_pks.contains(&pk) {
+                // The capture for `me` is gone: recompute restores without
+                // re-capturing, and notifies if the mid-batch value differs.
+                self.recompute(pk);
+            } else {
+                self.scores.remove(&pk);
+            }
+        }
+    }
+
+    fn capture_state(&mut self, comp_idx: usize, pk: i64) {
+        let me = std::thread::current().id();
+        if !self.undo.contains_key(&me) {
+            return;
+        }
+        let old = self.state[comp_idx].get(&pk).copied();
+        if let Some(undo) = self.undo.get_mut(&me) {
+            undo.state[comp_idx].entry(pk).or_insert(old);
+        }
+    }
+
+    fn capture_target(&mut self, pk: i64) {
+        let me = std::thread::current().id();
+        if !self.undo.contains_key(&me) {
+            return;
+        }
+        let was_live = self.target_pks.contains(&pk);
+        if let Some(undo) = self.undo.get_mut(&me) {
+            undo.targets.entry(pk).or_insert(was_live);
+        }
+    }
+
+    fn capture_score(&mut self, pk: i64) {
+        let me = std::thread::current().id();
+        if !self.undo.contains_key(&me) {
+            return;
+        }
+        let old = self.scores.get(&pk).copied();
+        if let Some(undo) = self.undo.get_mut(&me) {
+            undo.scores.entry(pk).or_insert(old);
+        }
+    }
+
     /// Current score of a target key.
     pub fn score_of(&self, pk: i64) -> Option<f64> {
         self.scores.get(&pk).copied()
@@ -183,6 +314,7 @@ impl ScoreView {
             })
             .collect();
         let score = self.spec.agg.eval(&values).max(0.0);
+        self.capture_score(pk);
         let changed = self.scores.insert(pk, score) != Some(score);
         if changed {
             let me = std::thread::current().id();
@@ -201,12 +333,15 @@ impl ScoreView {
         match change {
             RowChange::Inserted { new } => {
                 if let Some(pk) = pk_of(new) {
+                    self.capture_target(pk);
                     self.target_pks.insert(pk);
                     self.recompute(pk);
                 }
             }
             RowChange::Deleted { old } => {
                 if let Some(pk) = pk_of(old) {
+                    self.capture_target(pk);
+                    self.capture_score(pk);
                     self.target_pks.remove(&pk);
                     self.scores.remove(&pk);
                 }
@@ -236,12 +371,14 @@ impl ScoreView {
         };
         let mut touched = Vec::new();
         if let Some((pk, val)) = removed {
+            self.capture_state(comp_idx, pk);
             let entry = self.state[comp_idx].entry(pk).or_insert((0.0, 0));
             entry.0 -= val;
             entry.1 = entry.1.saturating_sub(1);
             touched.push(pk);
         }
         if let Some((pk, val)) = added {
+            self.capture_state(comp_idx, pk);
             let entry = self.state[comp_idx].entry(pk).or_insert((0.0, 0));
             entry.0 += val;
             entry.1 += 1;
@@ -414,6 +551,120 @@ mod tests {
         );
         assert_eq!(view.score_of(1), None);
         assert!(view.is_empty());
+    }
+
+    #[test]
+    fn undo_rollback_restores_exact_state() {
+        let mut view = ScoreView::new("movies", avg_spec());
+        let (ms, rs) = (movies_schema(), reviews_schema());
+        view.apply_target_change(&ms, &movie_row(1));
+        view.apply_source_change(
+            0,
+            &rs,
+            &RowChange::Inserted {
+                new: review_row(10, 1, 4.0),
+            },
+        )
+        .unwrap();
+        assert_eq!(view.score_of(1), Some(400.0));
+
+        view.begin_undo();
+        // A batch that touches existing state, adds a target, and deletes
+        // one — then rolls back.
+        view.apply_source_change(
+            0,
+            &rs,
+            &RowChange::Updated {
+                old: review_row(10, 1, 4.0),
+                new: review_row(10, 1, 1.0),
+            },
+        )
+        .unwrap();
+        view.apply_target_change(&ms, &movie_row(2));
+        view.apply_source_change(
+            0,
+            &rs,
+            &RowChange::Inserted {
+                new: review_row(11, 2, 3.0),
+            },
+        )
+        .unwrap();
+        view.apply_target_change(
+            &ms,
+            &RowChange::Deleted {
+                old: vec![Value::Int(1), Value::Text("d".into())],
+            },
+        );
+        assert_eq!(view.score_of(1), None);
+        assert_eq!(view.score_of(2), Some(300.0));
+        view.rollback_undo();
+
+        assert_eq!(view.score_of(1), Some(400.0), "movie 1 restored exactly");
+        assert_eq!(view.score_of(2), None, "movie 2 never existed");
+        assert_eq!(view.len(), 1);
+        // Rolled-back state keeps evolving correctly.
+        view.apply_source_change(
+            0,
+            &rs,
+            &RowChange::Inserted {
+                new: review_row(12, 1, 2.0),
+            },
+        )
+        .unwrap();
+        assert_eq!(view.score_of(1), Some(300.0));
+    }
+
+    #[test]
+    fn undo_commit_discards_capture() {
+        let mut view = ScoreView::new("movies", avg_spec());
+        view.apply_target_change(&movies_schema(), &movie_row(1));
+        view.begin_undo();
+        view.apply_source_change(
+            0,
+            &reviews_schema(),
+            &RowChange::Inserted {
+                new: review_row(10, 1, 5.0),
+            },
+        )
+        .unwrap();
+        view.commit_undo();
+        // A rollback after commit is a no-op: the batch stays applied.
+        view.rollback_undo();
+        assert_eq!(view.score_of(1), Some(500.0));
+    }
+
+    #[test]
+    fn rollback_recompute_notifies_changed_keys() {
+        let last = Arc::new(std::sync::atomic::AtomicI64::new(-1));
+        let l2 = last.clone();
+        let mut view = ScoreView::new("movies", avg_spec());
+        view.apply_target_change(&movies_schema(), &movie_row(1));
+        view.apply_source_change(
+            0,
+            &reviews_schema(),
+            &RowChange::Inserted {
+                new: review_row(10, 1, 4.0),
+            },
+        )
+        .unwrap();
+        view.set_listener(Box::new(move |_pk, score| {
+            l2.store(score as i64, Ordering::SeqCst);
+        }));
+        view.begin_undo();
+        view.apply_source_change(
+            0,
+            &reviews_schema(),
+            &RowChange::Updated {
+                old: review_row(10, 1, 4.0),
+                new: review_row(10, 1, 1.0),
+            },
+        )
+        .unwrap();
+        assert_eq!(last.load(Ordering::SeqCst), 100);
+        view.rollback_undo();
+        // The rollback's recompute re-notified with the restored score, so
+        // a deferred index refresh converges to the rolled-back truth.
+        assert_eq!(last.load(Ordering::SeqCst), 400);
     }
 
     #[test]

@@ -42,6 +42,16 @@ pub enum Statement {
     },
     /// `CLOSE name` — discard a named cursor.
     CloseCursor(String),
+    /// `CLOSE ALL` — discard every named cursor of the session.
+    CloseAllCursors,
+    /// `BEGIN [TRANSACTION | WORK]` — start accumulating DML into a
+    /// session write transaction.
+    Begin,
+    /// `COMMIT [TRANSACTION | WORK]` — apply the accumulated DML as one
+    /// atomic [`svr_engine::WriteBatch`].
+    Commit,
+    /// `ROLLBACK [TRANSACTION | WORK]` — discard the accumulated DML.
+    Rollback,
 }
 
 /// `CREATE TABLE name (col TYPE [PRIMARY KEY], ...)`

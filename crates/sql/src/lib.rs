@@ -23,7 +23,17 @@
 //!   `DECLARE c CURSOR FOR SELECT ... ORDER BY SCORE(...)` /
 //!   `FETCH [NEXT] n FROM c` / `CLOSE c` whose suspended state lives in
 //!   the session, so consecutive fetches never re-pay earlier pages;
-//! * `MERGE TEXT INDEX idx` — the offline short-list merge.
+//! * `MERGE TEXT INDEX idx` — the offline short-list merge;
+//! * transactions: `BEGIN [TRANSACTION]` accumulates the session's
+//!   `INSERT`/`UPDATE`/`DELETE` statements, `COMMIT` applies them as one
+//!   **atomic** engine [`WriteBatch`](svr_engine::WriteBatch) (a failing
+//!   operation rolls the whole batch back, leaving no observable trace),
+//!   and `ROLLBACK` discards them. Visibility is *deferred*: queued DML is
+//!   invisible to every read — including this session's own — until
+//!   `COMMIT` (no reads-your-own-writes). DDL inside a transaction is
+//!   rejected. Named cursors are capped per session
+//!   ([`session::DEFAULT_CURSOR_LIMIT`], see
+//!   [`SqlSession::set_cursor_limit`]); `CLOSE ALL` drops every cursor.
 //!
 //! ```
 //! use svr_sql::SqlSession;
@@ -62,4 +72,4 @@ pub mod session;
 
 pub use error::{Result, SqlError};
 pub use parser::{parse_script, parse_statement};
-pub use session::{SqlResult, SqlSession};
+pub use session::{SqlResult, SqlSession, DEFAULT_CURSOR_LIMIT};

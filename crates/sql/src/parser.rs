@@ -81,6 +81,12 @@ impl Parser {
         }
     }
 
+    /// Consume an optional `TRANSACTION` / `WORK` after BEGIN / COMMIT /
+    /// ROLLBACK (both standard spellings, both meaningless here).
+    fn eat_transaction_noise(&mut self) {
+        let _ = self.eat_keyword("TRANSACTION") || self.eat_keyword("WORK");
+    }
+
     /// Consume the next token if it is the given (case-insensitive) keyword.
     fn eat_keyword(&mut self, kw: &str) -> bool {
         if self
@@ -192,7 +198,26 @@ impl Parser {
             "FETCH" => self.fetch_cursor(),
             "CLOSE" => {
                 self.pos += 1;
-                Ok(Statement::CloseCursor(self.identifier()?))
+                if self.eat_keyword("ALL") {
+                    Ok(Statement::CloseAllCursors)
+                } else {
+                    Ok(Statement::CloseCursor(self.identifier()?))
+                }
+            }
+            "BEGIN" => {
+                self.pos += 1;
+                self.eat_transaction_noise();
+                Ok(Statement::Begin)
+            }
+            "COMMIT" => {
+                self.pos += 1;
+                self.eat_transaction_noise();
+                Ok(Statement::Commit)
+            }
+            "ROLLBACK" => {
+                self.pos += 1;
+                self.eat_transaction_noise();
+                Ok(Statement::Rollback)
             }
             "EXPLAIN" => {
                 self.pos += 1;

@@ -1,11 +1,12 @@
 //! The SQL session: parse → plan → execute against an [`SvrEngine`].
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use svr_core::IndexConfig;
-use svr_engine::{QueryRequest, RankedRow, SearchCursor, SvrEngine};
+use svr_engine::{QueryRequest, RankedRow, SearchCursor, SvrEngine, WriteBatch};
 use svr_relation::schema::Schema;
 use svr_relation::{AggExpr, ScoreComponent, SvrSpec, Value};
 
@@ -38,6 +39,8 @@ pub enum SqlResult {
     },
     /// An `EXPLAIN` plan description, one line per step.
     Plan(Vec<String>),
+    /// `COMMIT`: the transaction's operations were applied atomically.
+    Committed(usize),
 }
 
 impl SqlResult {
@@ -49,6 +52,7 @@ impl SqlResult {
             SqlResult::Rows { rows, .. } => rows.len(),
             SqlResult::Ranked { rows, .. } => rows.len(),
             SqlResult::Plan(lines) => lines.len(),
+            SqlResult::Committed(n) => *n,
         }
     }
 }
@@ -104,6 +108,7 @@ impl std::fmt::Display for SqlResult {
         match self {
             SqlResult::None => writeln!(f, "ok"),
             SqlResult::Inserted(n) => writeln!(f, "{n} row(s) inserted"),
+            SqlResult::Committed(n) => writeln!(f, "transaction committed ({n} operation(s))"),
             SqlResult::Updated(n) => writeln!(f, "{n} row(s) updated"),
             SqlResult::Deleted(n) => writeln!(f, "{n} row(s) deleted"),
             SqlResult::Rows { columns, rows } => {
@@ -157,7 +162,19 @@ struct SessionShared {
     /// look entries up, never across a fetch's list traversal, so fetches
     /// on different cursors (from any session clone) run in parallel.
     cursors: Mutex<HashMap<String, Arc<Mutex<NamedCursor>>>>,
+    /// Max named cursors alive at once: a client loop that forgets `CLOSE`
+    /// hits a clean error instead of growing the registry without bound.
+    cursor_limit: AtomicUsize,
+    /// The open write transaction, if any (`BEGIN` .. `COMMIT`/`ROLLBACK`):
+    /// DML statements queue here and apply as one atomic
+    /// [`WriteBatch`] at `COMMIT`. Shared by every clone of the session,
+    /// like the cursor registry.
+    txn: Mutex<Option<WriteBatch>>,
 }
+
+/// Default per-session cap on named cursors (override with
+/// [`SqlSession::set_cursor_limit`]).
+pub const DEFAULT_CURSOR_LIMIT: usize = 64;
 
 /// A SQL session over an [`SvrEngine`].
 ///
@@ -217,6 +234,8 @@ impl SqlSession {
                 engine,
                 functions: RwLock::new(HashMap::new()),
                 cursors: Mutex::new(HashMap::new()),
+                cursor_limit: AtomicUsize::new(DEFAULT_CURSOR_LIMIT),
+                txn: Mutex::new(None),
             }),
         }
     }
@@ -231,6 +250,18 @@ impl SqlSession {
     /// The underlying engine handle.
     pub fn engine(&self) -> &SvrEngine {
         &self.shared.engine
+    }
+
+    /// Override the per-session cap on simultaneously open named cursors
+    /// (default [`DEFAULT_CURSOR_LIMIT`]). `DECLARE` past the cap errors;
+    /// `CLOSE` / `CLOSE ALL` frees slots. A cap of 0 disables `DECLARE`.
+    pub fn set_cursor_limit(&self, limit: usize) {
+        self.shared.cursor_limit.store(limit, Ordering::Relaxed);
+    }
+
+    /// True while a `BEGIN` transaction is open on this session cluster.
+    pub fn in_transaction(&self) -> bool {
+        self.shared.txn.lock().is_some()
     }
 
     fn function(&self, name: &str) -> Option<FunctionDef> {
@@ -253,21 +284,44 @@ impl SqlSession {
         statements.into_iter().map(|s| self.run(s)).collect()
     }
 
+    /// Error for DDL attempted inside an open transaction: the write batch
+    /// holds row DML only, and deferring catalog changes would let queued
+    /// rows target tables/indexes that do not exist yet at `COMMIT`.
+    fn reject_in_txn(&self, what: &str) -> Result<()> {
+        if self.shared.txn.lock().is_some() {
+            return Err(SqlError::Plan(format!(
+                "{what} is not allowed inside a transaction; COMMIT or ROLLBACK first"
+            )));
+        }
+        Ok(())
+    }
+
     fn run(&self, statement: Statement) -> Result<SqlResult> {
         match statement {
-            Statement::CreateTable(ct) => self.create_table(ct),
+            Statement::CreateTable(ct) => {
+                self.reject_in_txn("CREATE TABLE")?;
+                self.create_table(ct)
+            }
             Statement::Insert(ins) => self.insert(ins),
             Statement::Update(u) => self.update(u),
             Statement::Delete(d) => self.delete(d),
-            Statement::CreateFunction(cf) => self.create_function(cf),
-            Statement::CreateTextIndex(ix) => self.create_text_index(ix),
+            Statement::CreateFunction(cf) => {
+                self.reject_in_txn("CREATE FUNCTION")?;
+                self.create_function(cf)
+            }
+            Statement::CreateTextIndex(ix) => {
+                self.reject_in_txn("CREATE TEXT INDEX")?;
+                self.create_text_index(ix)
+            }
             Statement::Select(sel) => self.select(sel),
             Statement::MergeTextIndex(name) => {
+                self.reject_in_txn("MERGE TEXT INDEX")?;
                 self.engine().run_maintenance(&name)?;
                 Ok(SqlResult::None)
             }
             Statement::Explain(inner) => self.explain(*inner),
             Statement::DropFunction(name) => {
+                self.reject_in_txn("DROP FUNCTION")?;
                 if self
                     .shared
                     .functions
@@ -280,10 +334,12 @@ impl SqlSession {
                 Ok(SqlResult::None)
             }
             Statement::DropTextIndex(name) => {
+                self.reject_in_txn("DROP TEXT INDEX")?;
                 self.engine().drop_text_index(&name)?;
                 Ok(SqlResult::None)
             }
             Statement::DropTable(name) => {
+                self.reject_in_txn("DROP TABLE")?;
                 self.engine().drop_table(&name)?;
                 Ok(SqlResult::None)
             }
@@ -293,6 +349,40 @@ impl SqlSession {
                 if self.shared.cursors.lock().remove(&name).is_none() {
                     return Err(SqlError::Plan(format!("unknown cursor '{name}'")));
                 }
+                Ok(SqlResult::None)
+            }
+            Statement::CloseAllCursors => {
+                self.shared.cursors.lock().clear();
+                Ok(SqlResult::None)
+            }
+            Statement::Begin => {
+                let mut txn = self.shared.txn.lock();
+                if txn.is_some() {
+                    return Err(SqlError::Plan(
+                        "a transaction is already in progress (transactions do not nest)".into(),
+                    ));
+                }
+                *txn = Some(WriteBatch::new());
+                Ok(SqlResult::None)
+            }
+            Statement::Commit => {
+                let batch = self
+                    .shared
+                    .txn
+                    .lock()
+                    .take()
+                    .ok_or_else(|| SqlError::Plan("COMMIT outside a transaction".into()))?;
+                // Applied outside the txn lock: the batch is owned now, and
+                // the engine's own locking serializes the write.
+                let n = self.engine().apply(batch)?;
+                Ok(SqlResult::Committed(n))
+            }
+            Statement::Rollback => {
+                self.shared
+                    .txn
+                    .lock()
+                    .take()
+                    .ok_or_else(|| SqlError::Plan("ROLLBACK outside a transaction".into()))?;
                 Ok(SqlResult::None)
             }
         }
@@ -337,6 +427,13 @@ impl SqlSession {
         let mut cursors = self.shared.cursors.lock();
         if cursors.contains_key(&name) {
             return Err(SqlError::Plan(format!("cursor '{name}' already exists")));
+        }
+        let limit = self.shared.cursor_limit.load(Ordering::Relaxed);
+        if cursors.len() >= limit {
+            return Err(SqlError::Plan(format!(
+                "session cursor limit reached ({limit} open cursors); CLOSE one (or CLOSE ALL) \
+                 before declaring '{name}'"
+            )));
         }
         cursors.insert(
             name,
@@ -466,16 +563,31 @@ impl SqlSession {
     }
 
     fn insert(&self, ins: Insert) -> Result<SqlResult> {
+        let n = ins.rows.len();
+        // Inside a transaction DML queues into the session write batch and
+        // applies atomically at COMMIT (deferred visibility: reads — even
+        // this session's own — do not see queued rows until then).
+        {
+            let mut txn = self.shared.txn.lock();
+            if let Some(batch) = txn.as_mut() {
+                for row in ins.rows {
+                    batch.insert(&ins.table, row);
+                }
+                return Ok(SqlResult::Inserted(n));
+            }
+        }
         // Multi-row inserts go through the engine's batched path: one
-        // writer-lock acquisition, coalesced score propagation.
-        let n = match ins.rows.len() {
+        // writer-lock acquisition, coalesced score propagation — and, like
+        // every engine write, all-or-nothing.
+        match ins.rows.len() {
             1 => {
                 let mut rows = ins.rows;
                 self.engine()
                     .insert_row(&ins.table, rows.pop().expect("one row"))?;
-                1
             }
-            _ => self.engine().insert_rows(&ins.table, ins.rows)?,
+            _ => {
+                self.engine().insert_rows(&ins.table, ins.rows)?;
+            }
         };
         Ok(SqlResult::Inserted(n))
     }
@@ -488,6 +600,13 @@ impl SqlSession {
                 "UPDATE requires a primary-key predicate (WHERE {pk_name} = ...)"
             )));
         }
+        {
+            let mut txn = self.shared.txn.lock();
+            if let Some(batch) = txn.as_mut() {
+                batch.update(&u.table, u.key, u.sets);
+                return Ok(SqlResult::Updated(1));
+            }
+        }
         self.engine().update_row(&u.table, u.key, &u.sets)?;
         Ok(SqlResult::Updated(1))
     }
@@ -499,6 +618,13 @@ impl SqlSession {
             return Err(SqlError::Plan(format!(
                 "DELETE requires a primary-key predicate (WHERE {pk_name} = ...)"
             )));
+        }
+        {
+            let mut txn = self.shared.txn.lock();
+            if let Some(batch) = txn.as_mut() {
+                batch.delete(&d.table, d.key);
+                return Ok(SqlResult::Deleted(1));
+            }
         }
         self.engine().delete_row(&d.table, d.key)?;
         Ok(SqlResult::Deleted(1))

@@ -714,3 +714,154 @@ fn explain_shows_terms_and_cursor_skip() {
     assert!(text.contains("matches nothing"), "{text}");
     assert!(text.contains("offset: 7"), "{text}");
 }
+
+/// BEGIN/COMMIT: DML queues invisibly (deferred visibility) and applies
+/// atomically at COMMIT, reordering rankings in one step.
+#[test]
+fn transaction_commit_applies_atomically() {
+    let session = setup("CHUNK");
+    session.execute("BEGIN").unwrap();
+    assert!(session.in_transaction());
+    session
+        .execute("UPDATE statistics SET nvisit = 200000 WHERE mid = 2")
+        .unwrap();
+    session
+        .execute("INSERT INTO movies VALUES (4, 'Gate Redux', 'golden gate again')")
+        .unwrap();
+    // Deferred visibility: reads (even our own) see none of it yet.
+    let names = top_names(&session.execute(FIGURE1_QUERY).unwrap());
+    assert_eq!(
+        names[0], "American Thrift",
+        "queued DML invisible pre-COMMIT"
+    );
+    assert_eq!(
+        session
+            .execute("SELECT * FROM movies WHERE mid = 4")
+            .unwrap()
+            .row_count(),
+        0
+    );
+
+    let result = session.execute("COMMIT TRANSACTION").unwrap();
+    assert_eq!(result, SqlResult::Committed(2));
+    assert!(!session.in_transaction());
+    let names = top_names(&session.execute(FIGURE1_QUERY).unwrap());
+    assert_eq!(
+        names[0], "Amateur Film",
+        "the visit spike ranks movie 2 first"
+    );
+    assert_eq!(
+        session
+            .execute("SELECT * FROM movies WHERE mid = 4")
+            .unwrap()
+            .row_count(),
+        1
+    );
+}
+
+/// ROLLBACK discards the queued batch; a failing COMMIT leaves no trace.
+#[test]
+fn transaction_rollback_and_failed_commit_leave_no_trace() {
+    let session = setup("CHUNK");
+    let before = top_names(&session.execute(FIGURE1_QUERY).unwrap());
+
+    session.execute("BEGIN WORK").unwrap();
+    session
+        .execute("UPDATE statistics SET nvisit = 999999 WHERE mid = 3")
+        .unwrap();
+    session.execute("ROLLBACK").unwrap();
+    assert_eq!(top_names(&session.execute(FIGURE1_QUERY).unwrap()), before);
+
+    // A transaction whose LAST op fails (duplicate key) must roll the
+    // earlier ops back too — no partial application.
+    session.execute("BEGIN").unwrap();
+    session
+        .execute("UPDATE statistics SET nvisit = 999999 WHERE mid = 3")
+        .unwrap();
+    session
+        .execute("INSERT INTO movies VALUES (1, 'Dup', 'golden gate dup')")
+        .unwrap();
+    let err = session.execute("COMMIT").unwrap_err();
+    assert!(err.to_string().contains("duplicate"), "{err}");
+    assert!(
+        !session.in_transaction(),
+        "a failed COMMIT ends the transaction"
+    );
+    assert_eq!(
+        top_names(&session.execute(FIGURE1_QUERY).unwrap()),
+        before,
+        "the rolled-back update must not leak into rankings"
+    );
+    assert_eq!(
+        session.engine().score_of("movie_search", 3).unwrap(),
+        3.0 * 100.0 + 900.0 / 2.0 + 50.0,
+        "view score of movie 3 untouched"
+    );
+    // And the transaction is retryable without the poison op.
+    session.execute("BEGIN").unwrap();
+    session
+        .execute("UPDATE statistics SET nvisit = 999999 WHERE mid = 3")
+        .unwrap();
+    assert_eq!(session.execute("COMMIT").unwrap(), SqlResult::Committed(1));
+    assert_eq!(
+        session.engine().score_of("movie_search", 3).unwrap(),
+        3.0 * 100.0 + 999_999.0 / 2.0 + 50.0,
+        "the retried transaction applied"
+    );
+}
+
+/// Transaction statement misuse and DDL rejection.
+#[test]
+fn transaction_statement_rules() {
+    let session = setup("CHUNK");
+    assert!(session.execute("COMMIT").is_err(), "COMMIT outside txn");
+    assert!(session.execute("ROLLBACK").is_err(), "ROLLBACK outside txn");
+    session.execute("BEGIN").unwrap();
+    assert!(session.execute("BEGIN").is_err(), "no nesting");
+    assert!(
+        session
+            .execute("CREATE TABLE t2 (a INT PRIMARY KEY)")
+            .is_err(),
+        "DDL rejected inside a transaction"
+    );
+    assert!(session.execute("DROP TABLE movies").is_err());
+    // Clones share the transaction (session-cluster state).
+    let clone = session.clone();
+    assert!(clone.in_transaction());
+    clone.execute("ROLLBACK").unwrap();
+    assert!(!session.in_transaction());
+}
+
+/// The per-session cursor cap errors cleanly and CLOSE ALL frees it.
+#[test]
+fn cursor_cap_and_close_all() {
+    let session = setup("CHUNK");
+    session.set_cursor_limit(2);
+    for name in ["c1", "c2"] {
+        session
+            .execute(&format!(
+                r#"DECLARE {name} CURSOR FOR SELECT name FROM movies
+                   ORDER BY SCORE(description, "golden gate")"#
+            ))
+            .unwrap();
+    }
+    let err = session
+        .execute(
+            r#"DECLARE c3 CURSOR FOR SELECT name FROM movies
+               ORDER BY SCORE(description, "golden gate")"#,
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("cursor limit"), "{err}");
+    session.execute("CLOSE ALL").unwrap();
+    session
+        .execute(
+            r#"DECLARE c3 CURSOR FOR SELECT name FROM movies
+               ORDER BY SCORE(description, "golden gate")"#,
+        )
+        .unwrap();
+    assert_eq!(session.execute("FETCH 1 FROM c3").unwrap().row_count(), 1);
+    assert!(
+        session.execute("FETCH 1 FROM c1").is_err(),
+        "closed by CLOSE ALL"
+    );
+}

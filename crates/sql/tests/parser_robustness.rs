@@ -74,3 +74,26 @@ fn deeply_nested_expressions_do_not_overflow() {
     let sql = format!("CREATE FUNCTION f (s1 FLOAT) RETURNS FLOAT RETURN {body}");
     let _ = parse_statement(&sql);
 }
+
+#[test]
+fn transaction_and_close_all_forms_parse() {
+    use svr_sql::ast::Statement;
+    use svr_sql::parse_statement;
+    for (sql, expected) in [
+        ("BEGIN", Statement::Begin),
+        ("begin transaction", Statement::Begin),
+        ("BEGIN WORK", Statement::Begin),
+        ("COMMIT", Statement::Commit),
+        ("commit work;", Statement::Commit),
+        ("ROLLBACK TRANSACTION", Statement::Rollback),
+        ("CLOSE ALL", Statement::CloseAllCursors),
+    ] {
+        assert_eq!(parse_statement(sql).unwrap(), expected, "{sql}");
+    }
+    // CLOSE still takes a name; ALL is not a valid cursor name here.
+    assert!(matches!(
+        parse_statement("CLOSE mycursor").unwrap(),
+        Statement::CloseCursor(name) if name == "mycursor"
+    ));
+    assert!(parse_statement("BEGIN COMMIT").is_err(), "junk after BEGIN");
+}

@@ -19,6 +19,9 @@ pub enum StorageError {
     Corrupt(&'static str),
     /// A blob handle referenced data that does not exist.
     BadBlobHandle,
+    /// A byte offset past the end of a write-ahead log was referenced
+    /// (failure injection on a shorter log than the caller assumed).
+    WalOffsetOutOfBounds { offset: usize, len: usize },
     /// An operating-system I/O failure (file-backed disks).
     Io(String),
 }
@@ -37,6 +40,9 @@ impl fmt::Display for StorageError {
             ),
             StorageError::Corrupt(what) => write!(f, "corrupt page: {what}"),
             StorageError::BadBlobHandle => write!(f, "invalid blob handle"),
+            StorageError::WalOffsetOutOfBounds { offset, len } => {
+                write!(f, "wal offset {offset} out of bounds (log is {len} bytes)")
+            }
             StorageError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }

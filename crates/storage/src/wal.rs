@@ -57,6 +57,10 @@ struct WalInner {
     open_batch: u64,
     /// Total records in the log since the last truncation.
     records: u64,
+    /// Nesting depth of [`Wal::begin_batch`] brackets. While positive,
+    /// [`Wal::commit`] calls are suppressed so the whole bracket seals as
+    /// one atomically recoverable batch at the final [`Wal::end_batch`].
+    batch_depth: u32,
 }
 
 /// Counters describing the current log.
@@ -90,6 +94,7 @@ impl Wal {
                 next_lsn: 0,
                 open_batch: 0,
                 records: 0,
+                batch_depth: 0,
             }),
         }
     }
@@ -116,8 +121,21 @@ impl Wal {
 
     /// Append a commit marker, sealing every record since the previous
     /// marker into an atomically recoverable batch.
+    ///
+    /// Inside a [`Wal::begin_batch`] bracket the marker is *suppressed*:
+    /// the structure-level commits of the bracketed mutations coalesce into
+    /// the single marker [`Wal::end_batch`] appends, so a crash anywhere
+    /// inside the bracket recovers to the pre-bracket state. Returns the
+    /// LSN the marker got (or would get, when suppressed).
     pub fn commit(&self) -> Lsn {
         let mut inner = self.inner.lock();
+        if inner.batch_depth > 0 {
+            return inner.next_lsn;
+        }
+        Self::append_commit(&mut inner)
+    }
+
+    fn append_commit(inner: &mut WalInner) -> Lsn {
         let lsn = inner.next_lsn;
         inner.next_lsn += 1;
         inner.open_batch = 0;
@@ -129,6 +147,41 @@ impl Wal {
         record.extend_from_slice(&crc.to_le_bytes());
         inner.log.extend_from_slice(&record);
         lsn
+    }
+
+    /// Open a commit-marker bracket: until the matching [`Wal::end_batch`],
+    /// [`Wal::commit`] calls append nothing, so every page image of the
+    /// bracketed mutations belongs to one atomically recoverable batch.
+    /// Brackets nest; the single marker is appended when the outermost one
+    /// closes. The engine wraps each multi-op write transaction in one
+    /// bracket per involved store — an aborted transaction appends its undo
+    /// images *before* closing the bracket, so the sealed batch replays to
+    /// the pre-transaction state.
+    pub fn begin_batch(&self) {
+        self.inner.lock().batch_depth += 1;
+    }
+
+    /// Close a [`Wal::begin_batch`] bracket, appending the batch's single
+    /// commit marker when the outermost bracket closes.
+    pub fn end_batch(&self) -> Lsn {
+        let mut inner = self.inner.lock();
+        match inner.batch_depth {
+            0 => inner.next_lsn, // unmatched end: nothing to seal
+            1 => {
+                inner.batch_depth = 0;
+                Self::append_commit(&mut inner)
+            }
+            _ => {
+                inner.batch_depth -= 1;
+                inner.next_lsn
+            }
+        }
+    }
+
+    /// True while a [`Wal::begin_batch`] bracket is open (checkpointing
+    /// mid-bracket would break the bracket's atomicity).
+    pub fn in_batch(&self) -> bool {
+        self.inner.lock().batch_depth > 0
     }
 
     /// Drop the whole log (the disk image is the new recovery baseline).
@@ -175,7 +228,7 @@ impl Wal {
         let byte = inner
             .log
             .get_mut(offset)
-            .ok_or(StorageError::PageOutOfBounds(len as PageId))?;
+            .ok_or(StorageError::WalOffsetOutOfBounds { offset, len })?;
         *byte ^= 0xFF;
         Ok(())
     }
@@ -183,11 +236,24 @@ impl Wal {
 
 /// Parse the log into committed batches. Returns `(batches, clean)` where
 /// `clean` is false when a torn/corrupt tail was skipped.
+///
+/// Besides the per-record CRC, replay accepts only a **contiguous,
+/// monotonically increasing LSN sequence**: the first record anchors the
+/// expectation and every following record must carry exactly the next LSN.
+/// A gap or repeat — the signature of a truncate/append race splicing a
+/// stale log segment behind a fresh one — stops replay at the last sealed
+/// batch before the break, exactly like a torn tail.
 #[allow(clippy::type_complexity)]
 fn parse_log(log: &[u8]) -> (Vec<Vec<(PageId, Bytes)>>, bool) {
     let mut batches = Vec::new();
     let mut current: Vec<(PageId, Bytes)> = Vec::new();
     let mut pos = 0usize;
+    let mut expected_lsn: Option<Lsn> = None;
+    let mut check_lsn = |lsn: Lsn| -> bool {
+        let ok = expected_lsn.is_none_or(|expected| lsn == expected);
+        expected_lsn = Some(lsn.wrapping_add(1));
+        ok
+    };
     while pos < log.len() {
         let kind = log[pos];
         match kind {
@@ -209,6 +275,10 @@ fn parse_log(log: &[u8]) -> (Vec<Vec<(PageId, Bytes)>>, bool) {
                 if crc32(&log[pos..data_end]) != crc_stored {
                     return (batches, false);
                 }
+                let lsn = u64::from_le_bytes(log[pos + 1..pos + 9].try_into().expect("8 bytes"));
+                if !check_lsn(lsn) {
+                    return (batches, false);
+                }
                 let page_id =
                     u64::from_le_bytes(log[pos + 9..pos + 17].try_into().expect("8 bytes"));
                 current.push((page_id, Bytes::copy_from_slice(&log[header_end..data_end])));
@@ -222,6 +292,10 @@ fn parse_log(log: &[u8]) -> (Vec<Vec<(PageId, Bytes)>>, bool) {
                 let crc_stored =
                     u32::from_le_bytes(log[rec_end - 4..rec_end].try_into().expect("4 bytes"));
                 if crc32(&log[pos..rec_end - 4]) != crc_stored {
+                    return (batches, false);
+                }
+                let lsn = u64::from_le_bytes(log[pos + 1..pos + 9].try_into().expect("8 bytes"));
+                if !check_lsn(lsn) {
                     return (batches, false);
                 }
                 batches.push(std::mem::take(&mut current));
@@ -314,5 +388,132 @@ mod tests {
         wal.commit();
         wal.commit();
         assert!(wal.committed_pages().is_empty());
+    }
+
+    #[test]
+    fn batch_bracket_coalesces_commit_markers() {
+        let wal = Wal::new();
+        wal.begin_batch();
+        wal.append_page(1, b"a");
+        wal.commit(); // suppressed
+        wal.append_page(2, b"b");
+        wal.commit(); // suppressed
+        assert!(wal.in_batch());
+        // Nothing is recoverable until the bracket closes.
+        assert!(wal.committed_pages().is_empty());
+        wal.end_batch();
+        assert!(!wal.in_batch());
+        let pages = wal.committed_pages();
+        assert_eq!(pages.len(), 2, "one marker seals the whole bracket");
+        // Exactly one commit record was appended for the two suppressed ones.
+        assert_eq!(wal.stats().records, 3);
+    }
+
+    #[test]
+    fn nested_batch_brackets_seal_once() {
+        let wal = Wal::new();
+        wal.begin_batch();
+        wal.append_page(1, b"outer");
+        wal.begin_batch();
+        wal.append_page(2, b"inner");
+        wal.end_batch();
+        assert!(wal.committed_pages().is_empty(), "inner end seals nothing");
+        wal.end_batch();
+        assert_eq!(wal.committed_pages().len(), 2);
+    }
+
+    #[test]
+    fn unmatched_end_batch_is_a_noop() {
+        let wal = Wal::new();
+        wal.append_page(1, b"x");
+        let records_before = wal.stats().records;
+        wal.end_batch();
+        assert_eq!(wal.stats().records, records_before, "no marker appended");
+        assert!(wal.committed_pages().is_empty());
+    }
+
+    /// Hand-encode a page record with an arbitrary LSN (valid CRC), for the
+    /// LSN-sequence tests below.
+    fn raw_page_record(lsn: Lsn, page: PageId, data: &[u8]) -> Vec<u8> {
+        let mut record = Vec::new();
+        record.push(REC_PAGE);
+        record.extend_from_slice(&lsn.to_le_bytes());
+        record.extend_from_slice(&page.to_le_bytes());
+        record.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        record.extend_from_slice(data);
+        let crc = crc32(&record);
+        record.extend_from_slice(&crc.to_le_bytes());
+        record
+    }
+
+    fn raw_commit_record(lsn: Lsn) -> Vec<u8> {
+        let mut record = Vec::new();
+        record.push(REC_COMMIT);
+        record.extend_from_slice(&lsn.to_le_bytes());
+        let crc = crc32(&record);
+        record.extend_from_slice(&crc.to_le_bytes());
+        record
+    }
+
+    #[test]
+    fn lsn_gap_stops_replay() {
+        // Batch 0 (lsn 0..=2) is intact; a truncate/append race spliced a
+        // record with lsn 9 behind it. Replay keeps the sealed batch and
+        // reports the log unclean.
+        let mut log = Vec::new();
+        log.extend(raw_page_record(0, 1, b"good"));
+        log.extend(raw_page_record(1, 2, b"good"));
+        log.extend(raw_commit_record(2));
+        log.extend(raw_page_record(9, 3, b"stale"));
+        log.extend(raw_commit_record(10));
+        let (batches, clean) = parse_log(&log);
+        assert!(!clean, "an lsn gap must mark the log unclean");
+        assert_eq!(batches.len(), 1, "only the contiguous prefix replays");
+        assert_eq!(batches[0].len(), 2);
+    }
+
+    #[test]
+    fn lsn_repeat_stops_replay() {
+        // A stale segment replaying an already-seen LSN must not replay its
+        // (older) page images over the newer committed state.
+        let mut log = Vec::new();
+        log.extend(raw_page_record(0, 1, b"new"));
+        log.extend(raw_commit_record(1));
+        log.extend(raw_page_record(1, 1, b"stale"));
+        log.extend(raw_commit_record(2));
+        let (batches, clean) = parse_log(&log);
+        assert!(!clean);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0][0].1, Bytes::from_static(b"new"));
+    }
+
+    #[test]
+    fn contiguous_lsns_starting_past_zero_replay() {
+        // After a checkpoint the log restarts at a nonzero LSN: the first
+        // record anchors the sequence, contiguity is all that matters.
+        let mut log = Vec::new();
+        log.extend(raw_page_record(7, 1, b"a"));
+        log.extend(raw_page_record(8, 2, b"b"));
+        log.extend(raw_commit_record(9));
+        let (batches, clean) = parse_log(&log);
+        assert!(clean);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 2);
+    }
+
+    #[test]
+    fn corruption_offset_out_of_bounds_is_a_wal_error() {
+        let wal = Wal::new();
+        wal.append_page(1, b"xyz");
+        let len = wal.stats().bytes as usize;
+        assert_eq!(
+            wal.simulate_corruption(len + 5),
+            Err(StorageError::WalOffsetOutOfBounds {
+                offset: len + 5,
+                len
+            })
+        );
+        // In-bounds flips still work.
+        wal.simulate_corruption(len - 1).unwrap();
     }
 }

@@ -95,6 +95,53 @@ fn main() {
            FETCH FIRST 10 ROWS ONLY"#,
     );
 
+    // Transactions: BEGIN queues DML invisibly; COMMIT applies it as one
+    // atomic WriteBatch — and a failing operation rolls the whole batch
+    // back, leaving no trace in tables, views or rankings.
+    run(&mut session, "BEGIN");
+    run(
+        &mut session,
+        "INSERT INTO movies VALUES (4, 'Bridge Builders', 'building the golden gate')",
+    );
+    run(
+        &mut session,
+        "UPDATE statistics SET nvisit = 4000000 WHERE mid = 1",
+    );
+    println!("-- queued DML is invisible until COMMIT (deferred visibility) --");
+    run(
+        &mut session,
+        r#"SELECT name FROM movies m
+           ORDER BY score(m.description, "golden gate")
+           FETCH TOP 10 RESULTS ONLY"#,
+    );
+    run(&mut session, "COMMIT");
+    run(
+        &mut session,
+        r#"SELECT name FROM movies m
+           ORDER BY score(m.description, "golden gate")
+           FETCH TOP 10 RESULTS ONLY"#,
+    );
+
+    // A transaction that would half-apply instead applies not at all: the
+    // duplicate key aborts the COMMIT and the visit-count update rolls
+    // back with it.
+    run(&mut session, "BEGIN");
+    run(
+        &mut session,
+        "UPDATE statistics SET nvisit = 1 WHERE mid = 1",
+    );
+    run(
+        &mut session,
+        "INSERT INTO movies VALUES (4, 'Duplicate', 'golden gate again')",
+    );
+    run(&mut session, "COMMIT"); // errors: duplicate key 4, batch rolled back
+    run(
+        &mut session,
+        r#"SELECT name FROM movies m
+           ORDER BY score(m.description, "golden gate")
+           FETCH TOP 1 RESULTS ONLY"#, // American Thrift keeps its spike
+    );
+
     // Offline maintenance folds the short lists back into the long lists.
     run(&mut session, "MERGE TEXT INDEX movie_search");
     run(

@@ -8,7 +8,7 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use svr::{IndexConfig, MethodKind, QueryMode, SqlSession, SvrEngine, WriteBatch};
+use svr::{IndexConfig, MethodKind, QueryMode, QueryRequest, SqlSession, SvrEngine, WriteBatch};
 use svr_relation::schema::{ColumnType, Schema};
 use svr_relation::{ScoreComponent, SvrSpec, Value};
 
@@ -581,4 +581,109 @@ fn cursor_staleness_epoch_reports_churn() {
         .search("idx", "golden gate", 1, QueryMode::Conjunctive)
         .unwrap();
     assert_eq!(fresh[0].row[0], Value::Int(1), "updated row ranks first");
+}
+
+/// Atomicity under concurrency: a writer applies batches — each inserting
+/// a *generation* of documents tagged with a unique keyword, some batches
+/// poisoned so they fail and roll back — while readers continuously query.
+/// Readers must never error, never observe more documents of a generation
+/// than its batch holds, and once the storm settles every generation is
+/// either fully visible (its batch committed) or completely absent (its
+/// batch rolled back) — the none-or-all property per settled index epoch.
+#[test]
+fn concurrent_readers_see_none_or_all_of_each_batch() {
+    const GENERATIONS: u64 = 24;
+    const PER_BATCH: i64 = 5;
+
+    let engine = build_engine_sharded(MethodKind::Chunk, 4);
+    let stop = AtomicBool::new(false);
+    let committed: Vec<AtomicBool> = (0..GENERATIONS).map(|_| AtomicBool::new(false)).collect();
+
+    std::thread::scope(|scope| {
+        for seed in 0..3usize {
+            let reader = engine.clone();
+            let (stop, committed) = (&stop, &committed);
+            scope.spawn(move || {
+                let mut g = seed as u64;
+                while !stop.load(Ordering::Relaxed) {
+                    g = (g + 1) % GENERATIONS;
+                    // Sample the flag *before* searching: a generation
+                    // committed before the query began stays fully visible
+                    // (checking after would race with a mid-search commit).
+                    let was_committed = committed[g as usize].load(Ordering::Acquire);
+                    // Cursor path, not one-shot `search`: a reader racing a
+                    // rollback can catch an index hit whose row was already
+                    // retracted, which the strict one-shot API turns into
+                    // an error while cursor batches absorb it silently.
+                    let request = QueryRequest::new("idx", format!("batchgen{g}")).k(32);
+                    let hits = reader.open_query(&request).unwrap().next_batch(32).unwrap();
+                    assert!(
+                        hits.len() <= PER_BATCH as usize,
+                        "generation {g}: more hits than its batch inserted"
+                    );
+                    if was_committed {
+                        assert_eq!(
+                            hits.len(),
+                            PER_BATCH as usize,
+                            "generation {g} committed but partially visible"
+                        );
+                    }
+                }
+            });
+        }
+
+        let writer = engine.clone();
+        let (stop, committed) = (&stop, &committed);
+        scope.spawn(move || {
+            for g in 0..GENERATIONS {
+                let poisoned = g % 3 == 2;
+                let mut batch = WriteBatch::new();
+                let base = DOCS + (g as i64) * PER_BATCH;
+                for i in 0..PER_BATCH {
+                    let mid = base + i;
+                    batch.insert(
+                        "movies",
+                        vec![
+                            Value::Int(mid),
+                            Value::Text(format!("batchgen{g} golden entry e{mid}")),
+                        ],
+                    );
+                    batch.insert("stats", vec![Value::Int(mid), Value::Int(mid * 3)]);
+                }
+                if poisoned {
+                    // Fails at the end: every insert above must roll back.
+                    batch.delete("movies", Value::Int(999_999));
+                }
+                let result = writer.apply(batch);
+                assert_eq!(result.is_err(), poisoned, "generation {g}");
+                if !poisoned {
+                    committed[g as usize].store(true, Ordering::Release);
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+
+    // Settled: none-or-all per generation, exactly as the batch outcomes
+    // dictate — and the rolled-back generations left no rows behind.
+    for g in 0..GENERATIONS {
+        let hits = engine
+            .search("idx", &format!("batchgen{g}"), 32, QueryMode::Conjunctive)
+            .unwrap();
+        if g % 3 == 2 {
+            assert!(hits.is_empty(), "rolled-back generation {g} left a trace");
+            let base = DOCS + (g as i64) * PER_BATCH;
+            for i in 0..PER_BATCH {
+                assert!(engine
+                    .db()
+                    .table("movies")
+                    .unwrap()
+                    .get(&Value::Int(base + i))
+                    .unwrap()
+                    .is_none());
+            }
+        } else {
+            assert_eq!(hits.len(), PER_BATCH as usize, "generation {g} incomplete");
+        }
+    }
 }
