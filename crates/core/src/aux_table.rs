@@ -30,8 +30,20 @@ pub struct ListScoreTable {
 
 impl ListScoreTable {
     pub fn create(store: Arc<Store>) -> Result<ListScoreTable> {
+        ListScoreTable::create_in(store, false)
+    }
+
+    /// Create, durable (reopenable) when requested.
+    pub fn create_in(store: Arc<Store>, durable: bool) -> Result<ListScoreTable> {
         Ok(ListScoreTable {
-            tree: BTree::create(store)?,
+            tree: crate::durable::create_tree(store, durable)?,
+        })
+    }
+
+    /// Reattach a durable table.
+    pub fn open(store: Arc<Store>) -> Result<ListScoreTable> {
+        Ok(ListScoreTable {
+            tree: crate::durable::open_tree(store)?,
         })
     }
 
@@ -100,8 +112,20 @@ pub struct ListChunkTable {
 
 impl ListChunkTable {
     pub fn create(store: Arc<Store>) -> Result<ListChunkTable> {
+        ListChunkTable::create_in(store, false)
+    }
+
+    /// Create, durable (reopenable) when requested.
+    pub fn create_in(store: Arc<Store>, durable: bool) -> Result<ListChunkTable> {
         Ok(ListChunkTable {
-            tree: BTree::create(store)?,
+            tree: crate::durable::create_tree(store, durable)?,
+        })
+    }
+
+    /// Reattach a durable table.
+    pub fn open(store: Arc<Store>) -> Result<ListChunkTable> {
+        Ok(ListChunkTable {
+            tree: crate::durable::open_tree(store)?,
         })
     }
 

@@ -81,6 +81,27 @@ impl ChunkMap {
         ChunkMap { lower }
     }
 
+    /// The raw ascending boundary list (`boundaries()[0] == 0.0`) — what a
+    /// durable index persists so a reopen sees the exact map its long lists
+    /// were laid out by.
+    pub fn boundaries(&self) -> &[Score] {
+        &self.lower
+    }
+
+    /// Rebuild from a persisted boundary list (inverse of
+    /// [`ChunkMap::boundaries`]). Returns `None` for a list no
+    /// [`ChunkMap`] could have produced (empty, non-ascending, not
+    /// starting at 0, or non-finite) — a reopen must surface such
+    /// corruption rather than silently run a map misaligned with the
+    /// chunk-grouped long lists it laid out.
+    pub fn from_boundaries(lower: Vec<Score>) -> Option<ChunkMap> {
+        let valid = !lower.is_empty()
+            && lower[0] == 0.0
+            && lower.windows(2).all(|w| w[0] < w[1])
+            && lower.iter().all(|b| b.is_finite());
+        valid.then_some(ChunkMap { lower })
+    }
+
     /// Number of chunks (>= 1).
     pub fn num_chunks(&self) -> ChunkId {
         self.lower.len() as ChunkId

@@ -21,8 +21,21 @@ pub struct DocStore {
 impl DocStore {
     /// Create an empty store.
     pub fn create(store: Arc<Store>) -> Result<DocStore> {
+        DocStore::create_in(store, false)
+    }
+
+    /// Create an empty store, durable (reopenable via [`DocStore::open`])
+    /// when requested.
+    pub fn create_in(store: Arc<Store>, durable: bool) -> Result<DocStore> {
         Ok(DocStore {
-            tree: BTree::create(store)?,
+            tree: crate::durable::create_tree(store, durable)?,
+        })
+    }
+
+    /// Reattach a durable store.
+    pub fn open(store: Arc<Store>) -> Result<DocStore> {
+        Ok(DocStore {
+            tree: crate::durable::open_tree(store)?,
         })
     }
 

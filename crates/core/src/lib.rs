@@ -47,6 +47,7 @@ pub mod chunk_map;
 pub mod config;
 pub mod cursor;
 pub mod doc_store;
+pub(crate) mod durable;
 pub mod error;
 pub mod heap;
 pub mod long_list;
@@ -63,8 +64,8 @@ pub use config::IndexConfig;
 pub use cursor::MethodCursor;
 pub use error::{CoreError, Result};
 pub use methods::{
-    build_index, shard_of_doc, store_names, MethodKind, ScoreMap, ScoreRead, SearchIndex,
-    ShardStats, ShardedIndex,
+    build_index, build_index_at, open_index_at, shard_of_doc, store_names, IndexLocation,
+    MethodKind, ScoreMap, ScoreRead, SearchIndex, ShardStats, ShardedIndex,
 };
 pub use oracle::Oracle;
 pub use types::{Query, QueryMode, SearchHit};

@@ -41,20 +41,47 @@ pub struct LongPosting {
 
 /// Immutable per-term lists in one blob store with an in-memory directory.
 ///
-/// A production deployment would keep the directory (term -> blob handle) in
-/// a small B+-tree; it is a few entries per term and always cached, so we
-/// hold it in memory to keep the I/O counters focused on what the paper
-/// measures (the lists themselves).
+/// The hot directory (term -> blob handle) is held in memory to keep the
+/// I/O counters focused on what the paper measures (the lists themselves);
+/// a **durable** list store additionally mirrors the directory into a small
+/// B+-tree in the same store (written only when lists are replaced — build
+/// and offline-merge time, never on the query or score-update path), so a
+/// reopened store finds its page chains again.
 pub struct LongListStore {
     blobs: BlobStore,
     format: ListFormat,
     directory: RwLock<HashMap<TermId, BlobHandle>>,
+    /// Durable mirror of `directory` (None for in-memory stores).
+    dir_tree: Option<svr_storage::BTree>,
     total_bytes: AtomicU64,
     /// Structural epoch: bumped whenever a list is replaced (offline merge).
     /// A suspended cursor whose recorded epoch no longer matches must not
     /// chase stale page chains; it falls back to a key-skip re-scan (see
     /// [`LongListStore::resume_cursor`]).
     epoch: AtomicU64,
+}
+
+/// Encode a directory row: `first_page + 1` (0 = empty blob), len, pages.
+fn encode_handle(h: &BlobHandle) -> [u8; 24] {
+    let mut v = [0u8; 24];
+    v[..8].copy_from_slice(&h.first_page.map_or(0, |p| p + 1).to_le_bytes());
+    v[8..16].copy_from_slice(&h.len.to_le_bytes());
+    v[16..24].copy_from_slice(&h.pages.to_le_bytes());
+    v
+}
+
+fn decode_handle(raw: &[u8]) -> Result<BlobHandle> {
+    if raw.len() < 24 {
+        return Err(crate::error::CoreError::Storage(
+            svr_storage::StorageError::Corrupt("long-list directory row"),
+        ));
+    }
+    let first = u64::from_le_bytes(raw[..8].try_into().expect("8 bytes"));
+    Ok(BlobHandle {
+        first_page: first.checked_sub(1),
+        len: u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes")),
+        pages: u64::from_le_bytes(raw[16..24].try_into().expect("8 bytes")),
+    })
 }
 
 impl LongListStore {
@@ -64,9 +91,68 @@ impl LongListStore {
             blobs: BlobStore::new(store),
             format,
             directory: RwLock::new(HashMap::new()),
+            dir_tree: None,
             total_bytes: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
         }
+    }
+
+    /// [`LongListStore::new`] or [`LongListStore::create_durable`] by flag.
+    pub fn create_in(
+        store: Arc<Store>,
+        format: ListFormat,
+        durable: bool,
+    ) -> Result<LongListStore> {
+        if durable {
+            LongListStore::create_durable(store, format)
+        } else {
+            Ok(LongListStore::new(store, format))
+        }
+    }
+
+    /// Create an empty **durable** list store: the directory tree's
+    /// metadata occupies the store's first pages, so
+    /// [`LongListStore::open`] can reattach from nothing but the store.
+    pub fn create_durable(store: Arc<Store>, format: ListFormat) -> Result<LongListStore> {
+        let dir_tree = crate::durable::create_tree(store.clone(), true)?;
+        Ok(LongListStore {
+            blobs: BlobStore::new(store),
+            format,
+            directory: RwLock::new(HashMap::new()),
+            dir_tree: Some(dir_tree),
+            total_bytes: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+        })
+    }
+
+    /// Reattach a durable list store, reloading the directory (and the
+    /// total-bytes gauge) from its persisted mirror.
+    pub fn open(store: Arc<Store>, format: ListFormat) -> Result<LongListStore> {
+        let dir_tree = crate::durable::open_tree(store.clone())?;
+        let mut directory = HashMap::new();
+        let mut total = 0u64;
+        {
+            let mut cursor = dir_tree.cursor(&[])?;
+            while let Some((k, v)) = cursor.next_entry()? {
+                if k.len() < 4 {
+                    return Err(crate::error::CoreError::Storage(
+                        svr_storage::StorageError::Corrupt("long-list directory key"),
+                    ));
+                }
+                let term = TermId(u32::from_be_bytes(k[..4].try_into().expect("4 bytes")));
+                let handle = decode_handle(&v)?;
+                total += handle.len;
+                directory.insert(term, handle);
+            }
+        }
+        Ok(LongListStore {
+            blobs: BlobStore::new(store),
+            format,
+            directory: RwLock::new(directory),
+            dir_tree: Some(dir_tree),
+            total_bytes: AtomicU64::new(total),
+            epoch: AtomicU64::new(0),
+        })
     }
 
     /// Layout of the stored lists.
@@ -83,6 +169,9 @@ impl LongListStore {
     /// Store (replacing any previous) the encoded list for `term`.
     pub fn set_list(&self, term: TermId, encoded: &[u8]) -> Result<()> {
         let handle = self.blobs.put(encoded)?;
+        if let Some(tree) = &self.dir_tree {
+            tree.put(&term.0.to_be_bytes(), &encode_handle(&handle))?;
+        }
         let mut dir = self.directory.write();
         if let Some(old) = dir.insert(term, handle) {
             self.blobs.free(old)?;

@@ -37,12 +37,14 @@ pub(crate) struct CorpusStats {
 }
 
 /// Where a method instance lives: its storage environment, the shared
-/// corpus statistics, and the store-name prefix carving out this shard's
-/// region of the environment.
+/// corpus statistics, the store-name prefix carving out this shard's
+/// region of the environment, and whether its structures are **durable**
+/// (reopenable after a crash or restart via the method's `open_in` path).
 pub(crate) struct ShardContext {
     pub env: Arc<StorageEnv>,
     pub stats: Arc<CorpusStats>,
     pub prefix: String,
+    pub durable: bool,
 }
 
 impl ShardContext {
@@ -53,16 +55,41 @@ impl ShardContext {
             env: Arc::new(StorageEnv::new(config.page_size)),
             stats: Arc::new(CorpusStats::default()),
             prefix: String::new(),
+            durable: false,
         }
     }
 
     /// Context for shard `shard` of a partitioned index sharing `env` and
-    /// `stats`.
-    pub fn shard(env: Arc<StorageEnv>, stats: Arc<CorpusStats>, shard: usize) -> ShardContext {
+    /// `stats`, rooted at `base_prefix` inside the environment.
+    pub fn shard(
+        env: Arc<StorageEnv>,
+        stats: Arc<CorpusStats>,
+        base_prefix: &str,
+        shard: usize,
+        durable: bool,
+    ) -> ShardContext {
         ShardContext {
             env,
             stats,
-            prefix: format!("{}{shard}/", store_names::SHARD_PREFIX),
+            prefix: format!("{base_prefix}{}{shard}/", store_names::SHARD_PREFIX),
+            durable,
+        }
+    }
+
+    /// Context rooted at an explicit prefix of a caller-owned environment
+    /// (the engine's durable lifecycle: every index lives in the engine's
+    /// environment under `idx/<name>/...`).
+    pub fn rooted(
+        env: Arc<StorageEnv>,
+        stats: Arc<CorpusStats>,
+        prefix: String,
+        durable: bool,
+    ) -> ShardContext {
+        ShardContext {
+            env,
+            stats,
+            prefix,
+            durable,
         }
     }
 }
@@ -73,6 +100,9 @@ pub(crate) struct MethodBase {
     /// Store-name prefix of this shard's region in `env` (empty when
     /// standalone).
     prefix: String,
+    /// True when this shard's structures are reopenable (created through
+    /// the durable create paths; see [`crate::durable`]).
+    pub durable: bool,
     pub score_table: ScoreTable,
     pub doc_store: DocStore,
     /// In-memory tombstones mirroring the Score table's deleted flags, so
@@ -90,7 +120,12 @@ impl MethodBase {
     /// Create the shared structures inside an existing context (one shard
     /// of a partitioned index, or a standalone root).
     pub fn with_context(ctx: ShardContext, config: &IndexConfig) -> Result<MethodBase> {
-        let ShardContext { env, stats, prefix } = ctx;
+        let ShardContext {
+            env,
+            stats,
+            prefix,
+            durable,
+        } = ctx;
         let score_store = env.create_store(
             &format!("{prefix}{}", store_names::SCORE),
             config.small_cache_pages,
@@ -102,13 +137,105 @@ impl MethodBase {
         Ok(MethodBase {
             env,
             prefix,
-            score_table: ScoreTable::create(score_store)?,
-            doc_store: DocStore::create(docs_store)?,
+            durable,
+            score_table: ScoreTable::create_in(score_store, durable)?,
+            doc_store: DocStore::create_in(docs_store, durable)?,
             deleted: RwLock::new(HashSet::new()),
             stats,
             local_docs: AtomicU64::new(0),
             term_weight: config.term_weight,
         })
+    }
+
+    /// Reattach a durable shard: reopen the Score table and forward index
+    /// from their recovered stores and rebuild every in-memory mirror from
+    /// them — the tombstone set from the Score table's deleted flags, the
+    /// live-document count, and the shard's contribution to the shared
+    /// collection-wide df / num_docs statistics from the forward index.
+    /// No base row is touched and nothing is re-tokenized.
+    pub fn open_with_context(ctx: ShardContext, config: &IndexConfig) -> Result<MethodBase> {
+        let ShardContext {
+            env,
+            stats,
+            prefix,
+            durable: _,
+        } = ctx;
+        let score_store = env.create_store(
+            &format!("{prefix}{}", store_names::SCORE),
+            config.small_cache_pages,
+        );
+        let docs_store = env.create_store(
+            &format!("{prefix}{}", store_names::DOCS),
+            config.small_cache_pages,
+        );
+        let score_table = ScoreTable::open(score_store)?;
+        let doc_store = DocStore::open(docs_store)?;
+        let mut deleted = HashSet::new();
+        let mut live = 0u64;
+        {
+            let mut df = stats.df.write();
+            for (doc, entry) in score_table.all_entries()? {
+                if entry.deleted {
+                    deleted.insert(doc);
+                    continue;
+                }
+                live += 1;
+                if let Some(terms) = doc_store.get(doc)? {
+                    for (term, _) in terms {
+                        *df.entry(term).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        stats.num_docs.fetch_add(live, Ordering::Relaxed);
+        Ok(MethodBase {
+            env,
+            prefix,
+            durable: true,
+            score_table,
+            doc_store,
+            deleted: RwLock::new(deleted),
+            stats,
+            local_docs: AtomicU64::new(live),
+            term_weight: config.term_weight,
+        })
+    }
+
+    /// Snapshot of the shared collection-wide `(term, df)` statistics.
+    pub fn term_dfs(&self) -> Vec<(TermId, u64)> {
+        let df = self.stats.df.read();
+        let mut out: Vec<(TermId, u64)> = df.iter().map(|(&t, &c)| (t, c)).collect();
+        out.sort_unstable_by_key(|&(t, _)| t);
+        out
+    }
+
+    /// The shared collection-wide live document count.
+    pub fn corpus_num_docs(&self) -> u64 {
+        self.stats.num_docs.load(Ordering::Relaxed)
+    }
+
+    /// Lock-free check: does any named store's log exceed `threshold`?
+    /// The cheap gate in front of [`MethodBase::maybe_checkpoint`], safe
+    /// on the hot path without the shard's writer lock.
+    pub fn logs_over(&self, names: &[&str], threshold: u64) -> bool {
+        names
+            .iter()
+            .any(|name| self.store(name).is_some_and(|s| s.log_over(threshold)))
+    }
+
+    /// Checkpoint (flush + truncate log) every named store of this shard
+    /// whose write-ahead log outgrew `threshold` bytes. Call while holding
+    /// the shard's writer lock — a checkpoint racing a mutation could
+    /// truncate records whose pages were not yet flushed.
+    pub fn maybe_checkpoint(&self, names: &[&str], threshold: u64) -> Result<()> {
+        for name in names {
+            if let Some(store) = self.store(name) {
+                store
+                    .maybe_checkpoint(threshold)
+                    .map_err(crate::error::CoreError::Storage)?;
+            }
+        }
+        Ok(())
     }
 
     /// Create (or fetch) a store in this shard's region of the environment.

@@ -35,6 +35,11 @@ pub struct ChunkMethod {
     list_chunk: ListChunkTable,
     /// Rebuilt by the offline merge; immutable between merges.
     chunk_map: RwLock<ChunkMap>,
+    /// Durable shard metadata: the chunk boundaries are persisted here at
+    /// build and merge time, so a reopen sees the exact map the long lists
+    /// were laid out by (re-deriving it from the *current* scores would
+    /// misalign it against the stored chunk groups).
+    meta: crate::durable::MetaTable,
 }
 
 /// Group per-term postings by a chunk map, descending chunk, ascending doc.
@@ -81,9 +86,15 @@ impl ChunkMethod {
         let long_store = base.create_store(store_names::LONG, config.long_cache_pages);
         let short_store = base.create_store(store_names::SHORT, config.small_cache_pages);
         let aux_store = base.create_store(store_names::AUX, config.small_cache_pages);
-        let long = LongListStore::new(long_store, ListFormat::Chunked { with_scores: false });
-        let short = ShortLists::create(short_store, ShortOrder::ByChunkDesc)?;
-        let list_chunk = ListChunkTable::create(aux_store)?;
+        let meta_store = base.create_store(store_names::META, config.small_cache_pages);
+        let long = LongListStore::create_in(
+            long_store,
+            ListFormat::Chunked { with_scores: false },
+            base.durable,
+        )?;
+        let short = ShortLists::create_in(short_store, ShortOrder::ByChunkDesc, base.durable)?;
+        let list_chunk = ListChunkTable::create_in(aux_store, base.durable)?;
+        let meta = crate::durable::MetaTable::create(meta_store, base.durable)?;
 
         let all_scores: Vec<Score> = docs
             .iter()
@@ -91,6 +102,7 @@ impl ChunkMethod {
             .collect();
         let chunk_map =
             ChunkMap::from_scores(&all_scores, config.chunk_ratio, config.min_chunk_docs);
+        meta.put_chunk_map(chunk_map.boundaries())?;
         for (term, postings) in invert_corpus(docs) {
             let groups = group_by_chunk(&postings, |doc| {
                 chunk_map.chunk_of(MethodBase::initial_score(scores, doc))
@@ -106,6 +118,42 @@ impl ChunkMethod {
             short,
             list_chunk,
             chunk_map: RwLock::new(chunk_map),
+            meta,
+        })
+    }
+
+    /// Reattach a durable shard from its recovered stores (see
+    /// [`crate::open_index_at`]): structures reopen, the chunk map reloads
+    /// from the shard metadata.
+    pub(crate) fn open_in(ctx: ShardContext, config: &IndexConfig) -> Result<ChunkMethod> {
+        let base = MethodBase::open_with_context(ctx, config)?;
+        let long = LongListStore::open(
+            base.create_store(store_names::LONG, config.long_cache_pages),
+            ListFormat::Chunked { with_scores: false },
+        )?;
+        let short = ShortLists::open(
+            base.create_store(store_names::SHORT, config.small_cache_pages),
+            ShortOrder::ByChunkDesc,
+        )?;
+        let list_chunk =
+            ListChunkTable::open(base.create_store(store_names::AUX, config.small_cache_pages))?;
+        let meta = crate::durable::MetaTable::open(
+            base.create_store(store_names::META, config.small_cache_pages),
+        )?;
+        let chunk_map = meta
+            .chunk_map()?
+            .and_then(ChunkMap::from_boundaries)
+            .ok_or(crate::error::CoreError::Storage(
+                svr_storage::StorageError::Corrupt("missing or invalid persisted chunk map"),
+            ))?;
+        Ok(ChunkMethod {
+            base,
+            config: config.clone(),
+            long,
+            short,
+            list_chunk,
+            chunk_map: RwLock::new(chunk_map),
+            meta,
         })
     }
 
@@ -314,6 +362,7 @@ impl SearchIndex for ChunkMethod {
             self.config.min_chunk_docs,
             self.chunk_map.read().clone(),
         )?;
+        self.meta.put_chunk_map(new_map.boundaries())?;
         *self.chunk_map.write() = new_map;
         self.short.clear()?;
         self.list_chunk.clear()
@@ -341,5 +390,41 @@ impl SearchIndex for ChunkMethod {
 
     fn current_score(&self, doc: DocId) -> Result<Score> {
         self.base.current_score(doc)
+    }
+
+    fn logs_over(&self, threshold: u64) -> bool {
+        self.base.logs_over(
+            &[
+                store_names::SCORE,
+                store_names::DOCS,
+                store_names::LONG,
+                store_names::SHORT,
+                store_names::AUX,
+                store_names::META,
+            ],
+            threshold,
+        )
+    }
+
+    fn maybe_checkpoint(&self, threshold: u64) -> Result<()> {
+        self.base.maybe_checkpoint(
+            &[
+                store_names::SCORE,
+                store_names::DOCS,
+                store_names::LONG,
+                store_names::SHORT,
+                store_names::AUX,
+                store_names::META,
+            ],
+            threshold,
+        )
+    }
+
+    fn term_dfs(&self) -> Vec<(TermId, u64)> {
+        self.base.term_dfs()
+    }
+
+    fn corpus_num_docs(&self) -> u64 {
+        self.base.corpus_num_docs()
     }
 }

@@ -73,6 +73,12 @@ pub struct ChunkTermMethod {
     /// found in phase 2, and `widen_fancy_bound` keeps the stopping bound
     /// sound for their new term scores.
     content_dirty: RwLock<HashSet<DocId>>,
+    /// Durable shard metadata: chunk boundaries + per-term `(min_ts,
+    /// complete)` (build/merge time) and content-dirty markers (content
+    /// updates), so a reopen reconstructs the exact query behavior. The
+    /// insert-time `inserted_max` widening is re-derived from the short
+    /// lists at open instead of being written per insert.
+    meta: crate::durable::MetaTable,
 }
 
 /// Select the fancy list: the `fancy_size` postings with the highest term
@@ -121,10 +127,20 @@ impl ChunkTermMethod {
         let short_store = base.create_store(store_names::SHORT, config.small_cache_pages);
         let aux_store = base.create_store(store_names::AUX, config.small_cache_pages);
         let fancy_store = base.create_store(store_names::FANCY, config.small_cache_pages);
-        let long = LongListStore::new(long_store, ListFormat::Chunked { with_scores: true });
-        let short = ShortLists::create(short_store, ShortOrder::ByChunkDesc)?;
-        let fancy = LongListStore::new(fancy_store, ListFormat::Id { with_scores: true });
-        let list_chunk = ListChunkTable::create(aux_store)?;
+        let meta_store = base.create_store(store_names::META, config.small_cache_pages);
+        let long = LongListStore::create_in(
+            long_store,
+            ListFormat::Chunked { with_scores: true },
+            base.durable,
+        )?;
+        let short = ShortLists::create_in(short_store, ShortOrder::ByChunkDesc, base.durable)?;
+        let fancy = LongListStore::create_in(
+            fancy_store,
+            ListFormat::Id { with_scores: true },
+            base.durable,
+        )?;
+        let list_chunk = ListChunkTable::create_in(aux_store, base.durable)?;
+        let meta_table = crate::durable::MetaTable::create(meta_store, base.durable)?;
 
         let all_scores: Vec<Score> = docs
             .iter()
@@ -147,6 +163,8 @@ impl ChunkTermMethod {
             fancy.set_list(term, &fbuf)?;
             fancy_meta.insert(term, meta);
         }
+        meta_table.put_chunk_map(chunk_map.boundaries())?;
+        meta_table.put_fancy_meta(fancy_meta.iter().map(|(&t, m)| (t, (m.min_ts, m.complete))))?;
         Ok(ChunkTermMethod {
             base,
             config: config.clone(),
@@ -157,6 +175,71 @@ impl ChunkTermMethod {
             chunk_map: RwLock::new(chunk_map),
             fancy_meta: RwLock::new(fancy_meta),
             content_dirty: RwLock::new(HashSet::new()),
+            meta: meta_table,
+        })
+    }
+
+    /// Reattach a durable shard from its recovered stores (see
+    /// [`crate::open_index_at`]): structures reopen; the chunk map, fancy
+    /// metadata and content-dirty set reload from the shard metadata; the
+    /// fancy bounds' insert-time widening is re-derived from the short
+    /// lists' surviving `Add` postings (an over-approximation is sound —
+    /// bounds only get looser).
+    pub(crate) fn open_in(ctx: ShardContext, config: &IndexConfig) -> Result<ChunkTermMethod> {
+        let base = MethodBase::open_with_context(ctx, config)?;
+        let long = LongListStore::open(
+            base.create_store(store_names::LONG, config.long_cache_pages),
+            ListFormat::Chunked { with_scores: true },
+        )?;
+        let short = ShortLists::open(
+            base.create_store(store_names::SHORT, config.small_cache_pages),
+            ShortOrder::ByChunkDesc,
+        )?;
+        let fancy = LongListStore::open(
+            base.create_store(store_names::FANCY, config.small_cache_pages),
+            ListFormat::Id { with_scores: true },
+        )?;
+        let list_chunk =
+            ListChunkTable::open(base.create_store(store_names::AUX, config.small_cache_pages))?;
+        let meta_table = crate::durable::MetaTable::open(
+            base.create_store(store_names::META, config.small_cache_pages),
+        )?;
+        let chunk_map = meta_table
+            .chunk_map()?
+            .and_then(ChunkMap::from_boundaries)
+            .ok_or(crate::error::CoreError::Storage(
+                svr_storage::StorageError::Corrupt("missing or invalid persisted chunk map"),
+            ))?;
+        let mut fancy_meta: HashMap<TermId, FancyMeta> = meta_table
+            .fancy_meta()?
+            .into_iter()
+            .map(|(t, (min_ts, complete))| {
+                (
+                    t,
+                    FancyMeta {
+                        min_ts,
+                        complete,
+                        inserted_max: 0,
+                    },
+                )
+            })
+            .collect();
+        for (term, max_ts) in short.max_add_tscores()? {
+            let m = fancy_meta.entry(term).or_default();
+            m.inserted_max = m.inserted_max.max(max_ts);
+        }
+        let content_dirty = meta_table.dirty_docs()?;
+        Ok(ChunkTermMethod {
+            base,
+            config: config.clone(),
+            long,
+            short,
+            fancy,
+            list_chunk,
+            chunk_map: RwLock::new(chunk_map),
+            fancy_meta: RwLock::new(fancy_meta),
+            content_dirty: RwLock::new(content_dirty),
+            meta: meta_table,
         })
     }
 
@@ -401,6 +484,7 @@ impl SearchIndex for ChunkTermMethod {
                 self.short.put(term, pos, doc.id, Op::Rem, 0)?;
             }
         }
+        self.meta.mark_dirty(doc.id)?;
         self.content_dirty.write().insert(doc.id);
         Ok(())
     }
@@ -415,6 +499,10 @@ impl SearchIndex for ChunkTermMethod {
             self.config.min_chunk_docs,
             self.chunk_map.read().clone(),
         )?;
+        self.meta.put_chunk_map(new_map.boundaries())?;
+        self.meta
+            .put_fancy_meta(new_meta.iter().map(|(&t, &m)| (t, m)))?;
+        self.meta.clear_dirty()?;
         *self.chunk_map.write() = new_map;
         *self.fancy_meta.write() = new_meta
             .into_iter()
@@ -458,5 +546,43 @@ impl SearchIndex for ChunkTermMethod {
 
     fn current_score(&self, doc: DocId) -> Result<Score> {
         self.base.current_score(doc)
+    }
+
+    fn logs_over(&self, threshold: u64) -> bool {
+        self.base.logs_over(
+            &[
+                store_names::SCORE,
+                store_names::DOCS,
+                store_names::LONG,
+                store_names::SHORT,
+                store_names::AUX,
+                store_names::FANCY,
+                store_names::META,
+            ],
+            threshold,
+        )
+    }
+
+    fn maybe_checkpoint(&self, threshold: u64) -> Result<()> {
+        self.base.maybe_checkpoint(
+            &[
+                store_names::SCORE,
+                store_names::DOCS,
+                store_names::LONG,
+                store_names::SHORT,
+                store_names::AUX,
+                store_names::FANCY,
+                store_names::META,
+            ],
+            threshold,
+        )
+    }
+
+    fn term_dfs(&self) -> Vec<(TermId, u64)> {
+        self.base.term_dfs()
+    }
+
+    fn corpus_num_docs(&self) -> u64 {
+        self.base.corpus_num_docs()
     }
 }

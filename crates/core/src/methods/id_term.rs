@@ -52,13 +52,32 @@ impl IdTermMethod {
         base.bulk_load(docs, scores)?;
         let long_store = base.create_store(store_names::LONG, config.long_cache_pages);
         let short_store = base.create_store(store_names::SHORT, config.small_cache_pages);
-        let long = LongListStore::new(long_store, ListFormat::Id { with_scores: true });
-        let short = ShortLists::create(short_store, ShortOrder::ById)?;
+        let long = LongListStore::create_in(
+            long_store,
+            ListFormat::Id { with_scores: true },
+            base.durable,
+        )?;
+        let short = ShortLists::create_in(short_store, ShortOrder::ById, base.durable)?;
         for (term, postings) in invert_corpus(docs) {
             let mut buf = Vec::new();
             PostingsBuilder::encode_id_term_list(&postings, &mut buf);
             long.set_list(term, &buf)?;
         }
+        Ok(IdTermMethod { base, long, short })
+    }
+
+    /// Reattach a durable shard from its recovered stores (see
+    /// [`crate::open_index_at`]).
+    pub(crate) fn open_in(ctx: ShardContext, config: &IndexConfig) -> Result<IdTermMethod> {
+        let base = MethodBase::open_with_context(ctx, config)?;
+        let long = LongListStore::open(
+            base.create_store(store_names::LONG, config.long_cache_pages),
+            ListFormat::Id { with_scores: true },
+        )?;
+        let short = ShortLists::open(
+            base.create_store(store_names::SHORT, config.small_cache_pages),
+            ShortOrder::ById,
+        )?;
         Ok(IdTermMethod { base, long, short })
     }
 }
@@ -212,5 +231,37 @@ impl SearchIndex for IdTermMethod {
 
     fn current_score(&self, doc: DocId) -> Result<Score> {
         self.base.current_score(doc)
+    }
+
+    fn logs_over(&self, threshold: u64) -> bool {
+        self.base.logs_over(
+            &[
+                store_names::SCORE,
+                store_names::DOCS,
+                store_names::LONG,
+                store_names::SHORT,
+            ],
+            threshold,
+        )
+    }
+
+    fn maybe_checkpoint(&self, threshold: u64) -> Result<()> {
+        self.base.maybe_checkpoint(
+            &[
+                store_names::SCORE,
+                store_names::DOCS,
+                store_names::LONG,
+                store_names::SHORT,
+            ],
+            threshold,
+        )
+    }
+
+    fn term_dfs(&self) -> Vec<(TermId, u64)> {
+        self.base.term_dfs()
+    }
+
+    fn corpus_num_docs(&self) -> u64 {
+        self.base.corpus_num_docs()
     }
 }

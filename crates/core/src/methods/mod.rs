@@ -40,7 +40,7 @@ use svr_storage::StorageEnv;
 use crate::config::IndexConfig;
 use crate::cursor::MethodCursor;
 use crate::error::Result;
-use crate::types::{DocId, Document, Query, Score, SearchHit};
+use crate::types::{DocId, Document, Query, Score, SearchHit, TermId};
 
 /// Store names used by every method inside its [`StorageEnv`], so benchmarks
 /// can inspect / cold-start individual components.
@@ -57,6 +57,9 @@ pub mod store_names {
     pub const AUX: &str = "aux";
     /// Fancy lists (Chunk-TermScore).
     pub const FANCY: &str = "fancy";
+    /// Per-shard durable metadata (chunk boundaries, fancy-list metadata,
+    /// content-dirty markers) — what a reopen reads instead of rebuilding.
+    pub const META: &str = "meta";
     /// Prefix of a write shard's region: shard `s` of a partitioned index
     /// names its stores `shard-<s>/<name>` inside the shared environment.
     pub const SHARD_PREFIX: &str = "shard-";
@@ -289,6 +292,34 @@ pub trait SearchIndex: Send + Sync {
 
     /// Current score of a live document.
     fn current_score(&self, doc: DocId) -> Result<Score>;
+
+    /// Lock-free check: does any of the index's write-ahead logs exceed
+    /// `threshold` bytes? The cheap hot-path gate in front of
+    /// [`SearchIndex::maybe_checkpoint`] — reads counters only, takes no
+    /// writer lock.
+    fn logs_over(&self, _threshold: u64) -> bool {
+        false
+    }
+
+    /// Checkpoint any of the index's stores whose write-ahead log outgrew
+    /// `threshold` bytes (flush dirty pages, truncate the log). A no-op for
+    /// non-logged stores. Implementations serialize against their writers,
+    /// so this is safe to call from a maintenance sweep at any time.
+    fn maybe_checkpoint(&self, _threshold: u64) -> Result<()> {
+        Ok(())
+    }
+
+    /// Snapshot of the collection-wide live document frequencies (sorted by
+    /// term id) — shared across every shard of one index, exposed for
+    /// restart-equivalence checks and diagnostics.
+    fn term_dfs(&self) -> Vec<(TermId, u64)> {
+        Vec::new()
+    }
+
+    /// The collection-wide live document count backing IDF.
+    fn corpus_num_docs(&self) -> u64 {
+        self.shard_stats().iter().map(|s| s.docs).sum()
+    }
 }
 
 /// Concurrency decorator: one writer at a time, queries share a read lock.
@@ -416,6 +447,30 @@ impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
         let _guard = self.lock.read();
         self.inner.current_score(doc)
     }
+
+    fn logs_over(&self, threshold: u64) -> bool {
+        self.inner.logs_over(threshold)
+    }
+
+    fn maybe_checkpoint(&self, threshold: u64) -> Result<()> {
+        // Cheap lock-free gate first: mutation hot paths call this on every
+        // refresh, and below threshold it must not touch the writer lock.
+        if !self.inner.logs_over(threshold) {
+            return Ok(());
+        }
+        // Exclusive: a checkpoint must not truncate log records whose pages
+        // a concurrent mutation has not flushed.
+        let _guard = self.lock.write();
+        self.inner.maybe_checkpoint(threshold)
+    }
+
+    fn term_dfs(&self) -> Vec<(TermId, u64)> {
+        self.inner.term_dfs()
+    }
+
+    fn corpus_num_docs(&self) -> u64 {
+        self.inner.corpus_num_docs()
+    }
 }
 
 /// Build an index of the requested kind over `docs` with initial `scores`.
@@ -494,6 +549,223 @@ pub fn build_index(
         )?)),
         MethodKind::ScoreThresholdTermScore => Box::new(LockedIndex::new(
             ScoreThresholdTermMethod::build(docs, scores, &config)?,
+        )),
+    })
+}
+
+/// Where an index's stores live inside a caller-owned [`StorageEnv`]: the
+/// environment plus a store-name prefix (e.g. `idx/movie_idx/`) carving out
+/// the index's region. Durability follows the environment: indexes located
+/// in a durable environment create reopenable structures and can be
+/// reattached with [`open_index_at`].
+#[derive(Clone)]
+pub struct IndexLocation {
+    pub env: Arc<StorageEnv>,
+    pub prefix: String,
+}
+
+impl IndexLocation {
+    /// Locate an index at `prefix` inside `env`.
+    pub fn new(env: Arc<StorageEnv>, prefix: impl Into<String>) -> IndexLocation {
+        IndexLocation {
+            env,
+            prefix: prefix.into(),
+        }
+    }
+}
+
+/// [`build_index`] into a caller-owned environment at a store-name prefix —
+/// the engine's durable build path. Identical semantics otherwise.
+pub fn build_index_at(
+    loc: &IndexLocation,
+    kind: MethodKind,
+    docs: &[Document],
+    scores: &ScoreMap,
+    config: &IndexConfig,
+) -> Result<Box<dyn SearchIndex>> {
+    use crate::methods::base::{CorpusStats, ShardContext};
+    let config = config.clone().validated();
+    let durable = loc.env.is_durable();
+    let stats = Arc::new(CorpusStats::default());
+    if config.num_shards > 1 {
+        return Ok(match kind {
+            MethodKind::Id => Box::new(ShardedIndex::build_rooted(
+                loc,
+                stats,
+                docs,
+                scores,
+                &config,
+                IdMethod::build_in,
+            )?),
+            MethodKind::Score => Box::new(ShardedIndex::build_rooted(
+                loc,
+                stats,
+                docs,
+                scores,
+                &config,
+                ScoreMethod::build_in,
+            )?),
+            MethodKind::ScoreThreshold => Box::new(ShardedIndex::build_rooted(
+                loc,
+                stats,
+                docs,
+                scores,
+                &config,
+                ScoreThresholdMethod::build_in,
+            )?),
+            MethodKind::Chunk => Box::new(ShardedIndex::build_rooted(
+                loc,
+                stats,
+                docs,
+                scores,
+                &config,
+                ChunkMethod::build_in,
+            )?),
+            MethodKind::IdTermScore => Box::new(ShardedIndex::build_rooted(
+                loc,
+                stats,
+                docs,
+                scores,
+                &config,
+                IdTermMethod::build_in,
+            )?),
+            MethodKind::ChunkTermScore => Box::new(ShardedIndex::build_rooted(
+                loc,
+                stats,
+                docs,
+                scores,
+                &config,
+                ChunkTermMethod::build_in,
+            )?),
+            MethodKind::ScoreThresholdTermScore => Box::new(ShardedIndex::build_rooted(
+                loc,
+                stats,
+                docs,
+                scores,
+                &config,
+                ScoreThresholdTermMethod::build_in,
+            )?),
+        });
+    }
+    let ctx = || ShardContext::rooted(loc.env.clone(), stats.clone(), loc.prefix.clone(), durable);
+    Ok(match kind {
+        MethodKind::Id => Box::new(LockedIndex::new(IdMethod::build_in(
+            ctx(),
+            docs,
+            scores,
+            &config,
+        )?)),
+        MethodKind::Score => Box::new(LockedIndex::new(ScoreMethod::build_in(
+            ctx(),
+            docs,
+            scores,
+            &config,
+        )?)),
+        MethodKind::ScoreThreshold => Box::new(LockedIndex::new(ScoreThresholdMethod::build_in(
+            ctx(),
+            docs,
+            scores,
+            &config,
+        )?)),
+        MethodKind::Chunk => Box::new(LockedIndex::new(ChunkMethod::build_in(
+            ctx(),
+            docs,
+            scores,
+            &config,
+        )?)),
+        MethodKind::IdTermScore => Box::new(LockedIndex::new(IdTermMethod::build_in(
+            ctx(),
+            docs,
+            scores,
+            &config,
+        )?)),
+        MethodKind::ChunkTermScore => Box::new(LockedIndex::new(ChunkTermMethod::build_in(
+            ctx(),
+            docs,
+            scores,
+            &config,
+        )?)),
+        MethodKind::ScoreThresholdTermScore => Box::new(LockedIndex::new(
+            ScoreThresholdTermMethod::build_in(ctx(), docs, scores, &config)?,
+        )),
+    })
+}
+
+/// Reattach an index previously built with [`build_index_at`] in a durable
+/// environment: every shard's structures reopen from their recovered
+/// stores, the in-memory mirrors (tombstones, chunk maps, fancy bounds,
+/// corpus df / num_docs statistics) are rebuilt from the index's own
+/// durable state, and **no base row is read or re-tokenized**. The caller
+/// supplies the same `kind` and `config` the index was built with (the
+/// engine persists both in its catalog).
+pub fn open_index_at(
+    loc: &IndexLocation,
+    kind: MethodKind,
+    config: &IndexConfig,
+) -> Result<Box<dyn SearchIndex>> {
+    use crate::methods::base::{CorpusStats, ShardContext};
+    let config = config.clone().validated();
+    let stats = Arc::new(CorpusStats::default());
+    if config.num_shards > 1 {
+        return Ok(match kind {
+            MethodKind::Id => Box::new(ShardedIndex::open_rooted(
+                loc,
+                stats,
+                &config,
+                IdMethod::open_in,
+            )?),
+            MethodKind::Score => Box::new(ShardedIndex::open_rooted(
+                loc,
+                stats,
+                &config,
+                ScoreMethod::open_in,
+            )?),
+            MethodKind::ScoreThreshold => Box::new(ShardedIndex::open_rooted(
+                loc,
+                stats,
+                &config,
+                ScoreThresholdMethod::open_in,
+            )?),
+            MethodKind::Chunk => Box::new(ShardedIndex::open_rooted(
+                loc,
+                stats,
+                &config,
+                ChunkMethod::open_in,
+            )?),
+            MethodKind::IdTermScore => Box::new(ShardedIndex::open_rooted(
+                loc,
+                stats,
+                &config,
+                IdTermMethod::open_in,
+            )?),
+            MethodKind::ChunkTermScore => Box::new(ShardedIndex::open_rooted(
+                loc,
+                stats,
+                &config,
+                ChunkTermMethod::open_in,
+            )?),
+            MethodKind::ScoreThresholdTermScore => Box::new(ShardedIndex::open_rooted(
+                loc,
+                stats,
+                &config,
+                ScoreThresholdTermMethod::open_in,
+            )?),
+        });
+    }
+    let ctx = ShardContext::rooted(loc.env.clone(), stats, loc.prefix.clone(), true);
+    Ok(match kind {
+        MethodKind::Id => Box::new(LockedIndex::new(IdMethod::open_in(ctx, &config)?)),
+        MethodKind::Score => Box::new(LockedIndex::new(ScoreMethod::open_in(ctx, &config)?)),
+        MethodKind::ScoreThreshold => Box::new(LockedIndex::new(ScoreThresholdMethod::open_in(
+            ctx, &config,
+        )?)),
+        MethodKind::Chunk => Box::new(LockedIndex::new(ChunkMethod::open_in(ctx, &config)?)),
+        MethodKind::IdTermScore => Box::new(LockedIndex::new(IdTermMethod::open_in(ctx, &config)?)),
+        MethodKind::ChunkTermScore => {
+            Box::new(LockedIndex::new(ChunkTermMethod::open_in(ctx, &config)?))
+        }
+        MethodKind::ScoreThresholdTermScore => Box::new(LockedIndex::new(
+            ScoreThresholdTermMethod::open_in(ctx, &config)?,
         )),
     })
 }

@@ -53,13 +53,25 @@ impl ScoreMethod {
         let base = MethodBase::with_context(ctx, config)?;
         base.bulk_load(docs, scores)?;
         let long_store = base.create_store(store_names::LONG, config.long_cache_pages);
-        let list = ShortLists::create(long_store, ShortOrder::ByScoreDesc)?;
+        let list = ShortLists::create_in(long_store, ShortOrder::ByScoreDesc, base.durable)?;
         for (term, postings) in invert_corpus(docs) {
             for p in postings {
                 let score = MethodBase::initial_score(scores, p.doc);
                 list.put(term, PostingPos::ByScore(score), p.doc, Op::Add, p.tscore)?;
             }
         }
+        Ok(ScoreMethod { base, list })
+    }
+
+    /// Reattach a durable shard from its recovered stores (see
+    /// [`crate::open_index_at`]). The clustered list is a single B+-tree,
+    /// so reopening it is the whole job.
+    pub(crate) fn open_in(ctx: ShardContext, config: &IndexConfig) -> Result<ScoreMethod> {
+        let base = MethodBase::open_with_context(ctx, config)?;
+        let list = ShortLists::open(
+            base.create_store(store_names::LONG, config.long_cache_pages),
+            ShortOrder::ByScoreDesc,
+        )?;
         Ok(ScoreMethod { base, list })
     }
 }
@@ -228,5 +240,27 @@ impl SearchIndex for ScoreMethod {
 
     fn current_score(&self, doc: DocId) -> Result<Score> {
         self.base.current_score(doc)
+    }
+
+    fn logs_over(&self, threshold: u64) -> bool {
+        self.base.logs_over(
+            &[store_names::SCORE, store_names::DOCS, store_names::LONG],
+            threshold,
+        )
+    }
+
+    fn maybe_checkpoint(&self, threshold: u64) -> Result<()> {
+        self.base.maybe_checkpoint(
+            &[store_names::SCORE, store_names::DOCS, store_names::LONG],
+            threshold,
+        )
+    }
+
+    fn term_dfs(&self) -> Vec<(TermId, u64)> {
+        self.base.term_dfs()
+    }
+
+    fn corpus_num_docs(&self) -> u64 {
+        self.base.corpus_num_docs()
     }
 }

@@ -56,9 +56,13 @@ impl ScoreThresholdMethod {
         let long_store = base.create_store(store_names::LONG, config.long_cache_pages);
         let short_store = base.create_store(store_names::SHORT, config.small_cache_pages);
         let aux_store = base.create_store(store_names::AUX, config.small_cache_pages);
-        let long = LongListStore::new(long_store, ListFormat::Score { with_scores: false });
-        let short = ShortLists::create(short_store, ShortOrder::ByScoreDesc)?;
-        let list_score = ListScoreTable::create(aux_store)?;
+        let long = LongListStore::create_in(
+            long_store,
+            ListFormat::Score { with_scores: false },
+            base.durable,
+        )?;
+        let short = ShortLists::create_in(short_store, ShortOrder::ByScoreDesc, base.durable)?;
+        let list_score = ListScoreTable::create_in(aux_store, base.durable)?;
 
         for (term, mut postings) in invert_corpus(docs) {
             // (score desc, doc asc) order.
@@ -71,6 +75,29 @@ impl ScoreThresholdMethod {
             PostingsBuilder::encode_score_list(&rows, false, &mut buf);
             long.set_list(term, &buf)?;
         }
+        Ok(ScoreThresholdMethod {
+            base,
+            config: config.clone(),
+            long,
+            short,
+            list_score,
+        })
+    }
+
+    /// Reattach a durable shard from its recovered stores (see
+    /// [`crate::open_index_at`]).
+    pub(crate) fn open_in(ctx: ShardContext, config: &IndexConfig) -> Result<ScoreThresholdMethod> {
+        let base = MethodBase::open_with_context(ctx, config)?;
+        let long = LongListStore::open(
+            base.create_store(store_names::LONG, config.long_cache_pages),
+            ListFormat::Score { with_scores: false },
+        )?;
+        let short = ShortLists::open(
+            base.create_store(store_names::SHORT, config.small_cache_pages),
+            ShortOrder::ByScoreDesc,
+        )?;
+        let list_score =
+            ListScoreTable::open(base.create_store(store_names::AUX, config.small_cache_pages))?;
         Ok(ScoreThresholdMethod {
             base,
             config: config.clone(),
@@ -292,5 +319,39 @@ impl SearchIndex for ScoreThresholdMethod {
 
     fn current_score(&self, doc: DocId) -> Result<Score> {
         self.base.current_score(doc)
+    }
+
+    fn logs_over(&self, threshold: u64) -> bool {
+        self.base.logs_over(
+            &[
+                store_names::SCORE,
+                store_names::DOCS,
+                store_names::LONG,
+                store_names::SHORT,
+                store_names::AUX,
+            ],
+            threshold,
+        )
+    }
+
+    fn maybe_checkpoint(&self, threshold: u64) -> Result<()> {
+        self.base.maybe_checkpoint(
+            &[
+                store_names::SCORE,
+                store_names::DOCS,
+                store_names::LONG,
+                store_names::SHORT,
+                store_names::AUX,
+            ],
+            threshold,
+        )
+    }
+
+    fn term_dfs(&self) -> Vec<(TermId, u64)> {
+        self.base.term_dfs()
+    }
+
+    fn corpus_num_docs(&self) -> u64 {
+        self.base.corpus_num_docs()
     }
 }

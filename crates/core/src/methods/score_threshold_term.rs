@@ -61,6 +61,9 @@ pub struct ScoreThresholdTermMethod {
     /// Docs whose content changed since the last offline merge; their fancy
     /// postings cannot be trusted in phase 1 (see Chunk-TermScore).
     content_dirty: RwLock<HashSet<DocId>>,
+    /// Durable shard metadata: per-term `(min_ts, complete)` at build/merge
+    /// time and content-dirty markers, mirroring Chunk-TermScore.
+    meta: crate::durable::MetaTable,
 }
 
 /// Select the fancy list exactly as Chunk-TermScore does.
@@ -108,10 +111,20 @@ impl ScoreThresholdTermMethod {
         let short_store = base.create_store(store_names::SHORT, config.small_cache_pages);
         let aux_store = base.create_store(store_names::AUX, config.small_cache_pages);
         let fancy_store = base.create_store(store_names::FANCY, config.small_cache_pages);
-        let long = LongListStore::new(long_store, ListFormat::Score { with_scores: true });
-        let short = ShortLists::create(short_store, ShortOrder::ByScoreDesc)?;
-        let fancy = LongListStore::new(fancy_store, ListFormat::Id { with_scores: true });
-        let list_score = ListScoreTable::create(aux_store)?;
+        let meta_store = base.create_store(store_names::META, config.small_cache_pages);
+        let long = LongListStore::create_in(
+            long_store,
+            ListFormat::Score { with_scores: true },
+            base.durable,
+        )?;
+        let short = ShortLists::create_in(short_store, ShortOrder::ByScoreDesc, base.durable)?;
+        let fancy = LongListStore::create_in(
+            fancy_store,
+            ListFormat::Id { with_scores: true },
+            base.durable,
+        )?;
+        let list_score = ListScoreTable::create_in(aux_store, base.durable)?;
+        let meta_table = crate::durable::MetaTable::create(meta_store, base.durable)?;
 
         let mut fancy_meta = HashMap::new();
         for (term, postings) in invert_corpus(docs) {
@@ -130,6 +143,7 @@ impl ScoreThresholdTermMethod {
             fancy.set_list(term, &fbuf)?;
             fancy_meta.insert(term, meta);
         }
+        meta_table.put_fancy_meta(fancy_meta.iter().map(|(&t, m)| (t, (m.min_ts, m.complete))))?;
         Ok(ScoreThresholdTermMethod {
             base,
             config: config.clone(),
@@ -139,6 +153,65 @@ impl ScoreThresholdTermMethod {
             list_score,
             fancy_meta: RwLock::new(fancy_meta),
             content_dirty: RwLock::new(HashSet::new()),
+            meta: meta_table,
+        })
+    }
+
+    /// Reattach a durable shard from its recovered stores (see
+    /// [`crate::open_index_at`]) — structures reopen, fancy metadata and
+    /// content-dirty markers reload, and the insert-time bound widening is
+    /// re-derived from the short lists (soundly looser, never wrong).
+    pub(crate) fn open_in(
+        ctx: ShardContext,
+        config: &IndexConfig,
+    ) -> Result<ScoreThresholdTermMethod> {
+        let base = MethodBase::open_with_context(ctx, config)?;
+        let long = LongListStore::open(
+            base.create_store(store_names::LONG, config.long_cache_pages),
+            ListFormat::Score { with_scores: true },
+        )?;
+        let short = ShortLists::open(
+            base.create_store(store_names::SHORT, config.small_cache_pages),
+            ShortOrder::ByScoreDesc,
+        )?;
+        let fancy = LongListStore::open(
+            base.create_store(store_names::FANCY, config.small_cache_pages),
+            ListFormat::Id { with_scores: true },
+        )?;
+        let list_score =
+            ListScoreTable::open(base.create_store(store_names::AUX, config.small_cache_pages))?;
+        let meta_table = crate::durable::MetaTable::open(
+            base.create_store(store_names::META, config.small_cache_pages),
+        )?;
+        let mut fancy_meta: HashMap<TermId, FancyMeta> = meta_table
+            .fancy_meta()?
+            .into_iter()
+            .map(|(t, (min_ts, complete))| {
+                (
+                    t,
+                    FancyMeta {
+                        min_ts,
+                        complete,
+                        inserted_max: 0,
+                    },
+                )
+            })
+            .collect();
+        for (term, max_ts) in short.max_add_tscores()? {
+            let m = fancy_meta.entry(term).or_default();
+            m.inserted_max = m.inserted_max.max(max_ts);
+        }
+        let content_dirty = meta_table.dirty_docs()?;
+        Ok(ScoreThresholdTermMethod {
+            base,
+            config: config.clone(),
+            long,
+            short,
+            fancy,
+            list_score,
+            fancy_meta: RwLock::new(fancy_meta),
+            content_dirty: RwLock::new(content_dirty),
+            meta: meta_table,
         })
     }
 
@@ -387,6 +460,7 @@ impl SearchIndex for ScoreThresholdTermMethod {
                 self.short.put(term, pos, doc.id, Op::Rem, 0)?;
             }
         }
+        self.meta.mark_dirty(doc.id)?;
         self.content_dirty.write().insert(doc.id);
         Ok(())
     }
@@ -398,6 +472,9 @@ impl SearchIndex for ScoreThresholdTermMethod {
             &self.fancy,
             self.config.fancy_size,
         )?;
+        self.meta
+            .put_fancy_meta(new_meta.iter().map(|(&t, &m)| (t, m)))?;
+        self.meta.clear_dirty()?;
         *self.fancy_meta.write() = new_meta
             .into_iter()
             .map(|(t, (min_ts, complete))| {
@@ -440,5 +517,43 @@ impl SearchIndex for ScoreThresholdTermMethod {
 
     fn current_score(&self, doc: DocId) -> Result<Score> {
         self.base.current_score(doc)
+    }
+
+    fn logs_over(&self, threshold: u64) -> bool {
+        self.base.logs_over(
+            &[
+                store_names::SCORE,
+                store_names::DOCS,
+                store_names::LONG,
+                store_names::SHORT,
+                store_names::AUX,
+                store_names::FANCY,
+                store_names::META,
+            ],
+            threshold,
+        )
+    }
+
+    fn maybe_checkpoint(&self, threshold: u64) -> Result<()> {
+        self.base.maybe_checkpoint(
+            &[
+                store_names::SCORE,
+                store_names::DOCS,
+                store_names::LONG,
+                store_names::SHORT,
+                store_names::AUX,
+                store_names::FANCY,
+                store_names::META,
+            ],
+            threshold,
+        )
+    }
+
+    fn term_dfs(&self) -> Vec<(TermId, u64)> {
+        self.base.term_dfs()
+    }
+
+    fn corpus_num_docs(&self) -> u64 {
+        self.base.corpus_num_docs()
     }
 }

@@ -69,9 +69,34 @@ impl<I: SearchIndex> ShardedIndex<I> {
         config: &IndexConfig,
         build: impl Fn(ShardContext, &[Document], &ScoreMap, &IndexConfig) -> Result<I>,
     ) -> Result<ShardedIndex<I>> {
+        let loc = crate::methods::IndexLocation::new(
+            Arc::new(StorageEnv::new(config.page_size)),
+            String::new(),
+        );
+        ShardedIndex::build_rooted(
+            &loc,
+            Arc::new(CorpusStats::default()),
+            docs,
+            scores,
+            config,
+            build,
+        )
+    }
+
+    /// [`ShardedIndex::build_with`] into a caller-owned environment rooted
+    /// at `loc.prefix` (durable when the environment is) with caller-owned
+    /// shared statistics.
+    pub(crate) fn build_rooted(
+        loc: &crate::methods::IndexLocation,
+        stats: Arc<CorpusStats>,
+        docs: &[Document],
+        scores: &ScoreMap,
+        config: &IndexConfig,
+        build: impl Fn(ShardContext, &[Document], &ScoreMap, &IndexConfig) -> Result<I>,
+    ) -> Result<ShardedIndex<I>> {
         let n = config.num_shards.max(1);
-        let env = Arc::new(StorageEnv::new(config.page_size));
-        let stats = Arc::new(CorpusStats::default());
+        let env = loc.env.clone();
+        let durable = env.is_durable();
         // One pass over the corpus, not one per shard.
         let mut partitions: Vec<(Vec<Document>, ScoreMap)> =
             (0..n).map(|_| Default::default()).collect();
@@ -84,13 +109,33 @@ impl<I: SearchIndex> ShardedIndex<I> {
         }
         let mut shards = Vec::with_capacity(n);
         for (s, (shard_docs, shard_scores)) in partitions.into_iter().enumerate() {
-            let ctx = ShardContext::shard(env.clone(), stats.clone(), s);
+            let ctx = ShardContext::shard(env.clone(), stats.clone(), &loc.prefix, s, durable);
             shards.push(LockedIndex::new(build(
                 ctx,
                 &shard_docs,
                 &shard_scores,
                 config,
             )?));
+        }
+        Ok(ShardedIndex { env, shards })
+    }
+
+    /// Reattach a sharded index previously built durably at `loc`: every
+    /// shard reopens from its recovered stores and repopulates the shared
+    /// corpus statistics from its own forward index. Shard count comes
+    /// from `config` (the engine persists the build configuration).
+    pub(crate) fn open_rooted(
+        loc: &crate::methods::IndexLocation,
+        stats: Arc<CorpusStats>,
+        config: &IndexConfig,
+        open: impl Fn(ShardContext, &IndexConfig) -> Result<I>,
+    ) -> Result<ShardedIndex<I>> {
+        let n = config.num_shards.max(1);
+        let env = loc.env.clone();
+        let mut shards = Vec::with_capacity(n);
+        for s in 0..n {
+            let ctx = ShardContext::shard(env.clone(), stats.clone(), &loc.prefix, s, true);
+            shards.push(LockedIndex::new(open(ctx, config)?));
         }
         Ok(ShardedIndex { env, shards })
     }
@@ -305,6 +350,28 @@ impl<I: SearchIndex> SearchIndex for ShardedIndex<I> {
 
     fn current_score(&self, doc: DocId) -> Result<Score> {
         self.shard(doc).current_score(doc)
+    }
+
+    fn logs_over(&self, threshold: u64) -> bool {
+        self.shards.iter().any(|s| s.logs_over(threshold))
+    }
+
+    fn maybe_checkpoint(&self, threshold: u64) -> Result<()> {
+        // Each shard gates lock-free and checkpoints under its own writer
+        // lock only when its own logs are past threshold.
+        for shard in &self.shards {
+            shard.maybe_checkpoint(threshold)?;
+        }
+        Ok(())
+    }
+
+    fn term_dfs(&self) -> Vec<(crate::types::TermId, u64)> {
+        // Statistics are shared across shards; any shard reports them all.
+        self.shards[0].term_dfs()
+    }
+
+    fn corpus_num_docs(&self) -> u64 {
+        self.shards[0].corpus_num_docs()
     }
 }
 

@@ -28,8 +28,21 @@ pub struct ScoreTable {
 impl ScoreTable {
     /// Create an empty table in `store`.
     pub fn create(store: Arc<Store>) -> Result<ScoreTable> {
+        ScoreTable::create_in(store, false)
+    }
+
+    /// Create an empty table, durable (reopenable via [`ScoreTable::open`])
+    /// when requested.
+    pub fn create_in(store: Arc<Store>, durable: bool) -> Result<ScoreTable> {
         Ok(ScoreTable {
-            tree: BTree::create(store)?,
+            tree: crate::durable::create_tree(store, durable)?,
+        })
+    }
+
+    /// Reattach a durable table from its store.
+    pub fn open(store: Arc<Store>) -> Result<ScoreTable> {
+        Ok(ScoreTable {
+            tree: crate::durable::open_tree(store)?,
         })
     }
 
@@ -108,6 +121,19 @@ impl ScoreTable {
     /// True when the table has no rows.
     pub fn is_empty(&self) -> bool {
         self.tree.is_empty()
+    }
+
+    /// Every row — live and tombstoned — in doc-id order: the scan a
+    /// reopened shard rebuilds its in-memory tombstone set and live count
+    /// from.
+    pub fn all_entries(&self) -> Result<Vec<(DocId, ScoreEntry)>> {
+        let mut cursor = self.tree.cursor(&[])?;
+        let mut out = Vec::new();
+        while let Some((k, v)) = cursor.next_entry()? {
+            let doc = DocId(u32::from_be_bytes(k[..4].try_into().expect("short key")));
+            out.push((doc, Self::decode(&v)));
+        }
+        Ok(out)
     }
 
     /// All live `(doc, score)` rows in doc-id order (used when (re)building

@@ -83,10 +83,43 @@ pub struct ShortLists {
 impl ShortLists {
     /// Create an empty short-list tree.
     pub fn create(store: Arc<Store>, order: ShortOrder) -> Result<ShortLists> {
+        ShortLists::create_in(store, order, false)
+    }
+
+    /// Create an empty tree, durable (reopenable via [`ShortLists::open`])
+    /// when requested.
+    pub fn create_in(store: Arc<Store>, order: ShortOrder, durable: bool) -> Result<ShortLists> {
         Ok(ShortLists {
-            tree: BTree::create(store)?,
+            tree: crate::durable::create_tree(store, durable)?,
             order,
         })
+    }
+
+    /// Reattach a durable tree (the key layout is not stored — the caller
+    /// supplies the same `order` the tree was created with).
+    pub fn open(store: Arc<Store>, order: ShortOrder) -> Result<ShortLists> {
+        Ok(ShortLists {
+            tree: crate::durable::open_tree(store)?,
+            order,
+        })
+    }
+
+    /// Per-term maximum `tscore` over the live `Add` postings — how a
+    /// reopened term-score shard re-derives the `inserted_max` widening of
+    /// its fancy bounds. (Score-update moves are included; that can only
+    /// make the bound looser, never unsound.)
+    pub fn max_add_tscores(&self) -> Result<std::collections::HashMap<TermId, u16>> {
+        let mut out = std::collections::HashMap::new();
+        let mut cursor = self.tree.cursor(&[])?;
+        while let Some((k, v)) = cursor.next_entry()? {
+            let (op, tscore) = Self::decode_value(&v)?;
+            if op == Op::Add {
+                let term = TermId(read_u32_be(&k, 0));
+                let entry = out.entry(term).or_insert(0u16);
+                *entry = (*entry).max(tscore);
+            }
+        }
+        Ok(out)
     }
 
     /// Number of postings across all terms.

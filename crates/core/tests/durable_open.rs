@@ -1,0 +1,127 @@
+//! Build-at / crash / open-at equivalence at the index layer: a durable
+//! index reattached with `open_index_at` must serve the exact rankings,
+//! statistics and EXPLAIN numbers the crashed instance would have — with
+//! zero re-indexing (the open path never sees the documents).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use svr_core::types::{DocId, Document, Query, TermId};
+use svr_core::{
+    build_index_at, open_index_at, IndexConfig, IndexLocation, MethodKind, SearchIndex,
+};
+use svr_storage::StorageEnv;
+
+fn corpus(n: u32) -> (Vec<Document>, HashMap<DocId, f64>) {
+    let mut docs = Vec::new();
+    let mut scores = HashMap::new();
+    for i in 1..=n {
+        // 3 terms per doc from a pool of 10, deterministic.
+        let terms = [
+            (TermId(i % 10), 1 + i % 3),
+            (TermId((i * 3 + 1) % 10), 1),
+            (TermId((i * 7 + 2) % 10), 2),
+        ];
+        docs.push(Document::from_term_freqs(DocId(i), terms));
+        scores.insert(DocId(i), f64::from(i % 97) * 4.0 + 1.0);
+    }
+    (docs, scores)
+}
+
+fn churn(index: &dyn SearchIndex, n: u32) {
+    // Score updates, an insert, a delete, a content update — the full
+    // Appendix-A surface, so every durable structure carries post-build
+    // state when the crash hits.
+    for i in (1..=n).step_by(3) {
+        index
+            .update_score(DocId(i), f64::from((i * 13) % 211) * 5.0 + 2.0)
+            .unwrap();
+    }
+    let fresh = Document::from_term_freqs(DocId(n + 7), [(TermId(1), 4), (TermId(9), 1)]);
+    index.insert_document(&fresh, 321.0).unwrap();
+    index.delete_document(DocId(2)).unwrap();
+    let edited = Document::from_term_freqs(DocId(5), [(TermId(0), 1), (TermId(4), 6)]);
+    index.update_content(&edited).unwrap();
+}
+
+type IndexSnapshot = (Vec<Vec<(DocId, f64)>>, Vec<(TermId, u64)>, u64, String);
+
+fn snapshot(index: &dyn SearchIndex) -> IndexSnapshot {
+    let mut rankings = Vec::new();
+    for t in 0..10u32 {
+        let hits = index
+            .query(&Query::disjunctive([TermId(t)], 25))
+            .unwrap()
+            .into_iter()
+            .map(|h| (h.doc, h.score))
+            .collect();
+        rankings.push(hits);
+    }
+    let conj = index
+        .query(&Query::conjunctive([TermId(1), TermId(9)], 10))
+        .unwrap()
+        .into_iter()
+        .map(|h| (h.doc, h.score))
+        .collect();
+    rankings.push(conj);
+    let stats = format!("{:?}", index.shard_stats());
+    (rankings, index.term_dfs(), index.corpus_num_docs(), stats)
+}
+
+fn roundtrip(kind: MethodKind, num_shards: usize, merge_before_crash: bool) {
+    let env = Arc::new(StorageEnv::new_durable(4096));
+    let loc = IndexLocation::new(env.clone(), "idx/t/");
+    let config = IndexConfig {
+        num_shards,
+        min_chunk_docs: 4,
+        ..IndexConfig::default()
+    };
+    let (docs, scores) = corpus(60);
+    let built = build_index_at(&loc, kind, &docs, &scores, &config).unwrap();
+    if merge_before_crash {
+        built.merge_short_lists().unwrap();
+    }
+    churn(built.as_ref(), 60);
+    let expected = snapshot(built.as_ref());
+    drop(built);
+
+    env.crash();
+    env.recover_all().unwrap();
+    let reopened = open_index_at(&loc, kind, &config).unwrap();
+    let got = snapshot(reopened.as_ref());
+    assert_eq!(expected.0, got.0, "{kind} x{num_shards}: rankings");
+    assert_eq!(expected.1, got.1, "{kind} x{num_shards}: term dfs");
+    assert_eq!(expected.2, got.2, "{kind} x{num_shards}: num_docs");
+    assert_eq!(expected.3, got.3, "{kind} x{num_shards}: shard stats");
+
+    // The reopened index keeps serving writes.
+    reopened.update_score(DocId(3), 9_999.0).unwrap();
+    let top = reopened.query(&Query::disjunctive([TermId(3)], 1)).unwrap();
+    assert_eq!(
+        top[0].doc,
+        DocId(3),
+        "{kind} x{num_shards}: post-open write"
+    );
+}
+
+#[test]
+fn all_methods_roundtrip_unsharded() {
+    for kind in MethodKind::ALL_EXTENDED {
+        roundtrip(kind, 1, false);
+    }
+}
+
+#[test]
+fn all_methods_roundtrip_sharded() {
+    for kind in MethodKind::ALL_EXTENDED {
+        roundtrip(kind, 4, false);
+    }
+}
+
+#[test]
+fn all_methods_roundtrip_after_merge() {
+    for kind in MethodKind::ALL_EXTENDED {
+        roundtrip(kind, 1, true);
+        roundtrip(kind, 4, true);
+    }
+}

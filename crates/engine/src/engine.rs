@@ -85,6 +85,61 @@
 //! drop + re-create can never mutate the new incarnation under the old
 //! lock (it re-acquires the current lock, or errors on the missing
 //! table).
+//!
+//! ## Durability & recovery
+//!
+//! An engine has two lifecycles. [`SvrEngine::new`] is the in-memory
+//! special case: nothing survives the process. [`SvrEngine::create`]
+//! bootstraps a **durable** engine inside a durable
+//! [`StorageEnv`] (`StorageEnv::new_durable` under the repository's
+//! whole-process crash model, `StorageEnv::open_dir` /
+//! [`SvrEngine::open_path`] over real files), and [`SvrEngine::open`]
+//! recovers the complete engine from that environment after a crash or
+//! restart:
+//!
+//! * **every store is write-ahead logged** — tables (since PR 4) *and* the
+//!   per-shard index stores, system catalogs and vocabulary. A crash loses
+//!   exactly the buffer pools; recovery replays each log's committed
+//!   batches.
+//! * **catalog mutations write through**: `create_table` /
+//!   `create_text_index` / the drops persist versioned records into
+//!   `sys/catalog` (schemas, score-view definitions — owned by the
+//!   relational layer) and [`SYS_INDEXES_STORE`] (text-index wiring:
+//!   table, analyzed column, method, full [`IndexConfig`] including the
+//!   shard count). Records land *after* the object they describe, so a
+//!   crash mid-DDL recovers to "object absent" (orphaned stores are
+//!   reclaimed on the next create of the name) — never to a cataloged
+//!   object with half-built structures; `open` also garbage-collects
+//!   score views whose index record never landed.
+//! * **vocabulary growth is logged incrementally**: interning a new term
+//!   appends one `(id, term)` record to [`SYS_VOCAB_STORE`] (term ids are
+//!   dense, so the persisted high-water mark identifies the increment —
+//!   no rewrite per term). `open` re-interns the records in id order and
+//!   restores every id.
+//! * **indexes reattach, they do not rebuild**: `open` reopens each
+//!   shard's Score table, forward index, long/short lists, aux tables and
+//!   shard metadata (chunk boundaries, fancy-list bounds, content-dirty
+//!   markers) from the recovered stores, and re-derives only the
+//!   in-memory mirrors (tombstone sets, shared df / num_docs statistics)
+//!   by scanning the index's *own* durable state — zero base rows are
+//!   read for indexing and nothing is re-tokenized.
+//! * **score views re-materialize** from the recovered base rows (the
+//!   deterministic fold of view creation), and listeners are rewired, so
+//!   the first post-recovery mutation propagates exactly like any other.
+//! * **logs stay bounded**: any store whose log outgrows
+//!   [`EngineConfig::wal_checkpoint_bytes`] (default 1 MiB) is
+//!   checkpointed at the next safe opportunity — tables at op/transaction
+//!   boundaries, index shards after score refreshes and merges (under the
+//!   shard lock) — and `open` finishes with a full checkpoint so recovery
+//!   cost does not compound across restarts.
+//!
+//! Reopened state is **bit-identical** where it matters: rankings,
+//! `score_of`, df / num_docs and per-shard EXPLAIN stats are proptested to
+//! match the crashed instance exactly (`tests/restart_equivalence.rs`).
+//! The one caveat is float view aggregates: a re-fold can differ from the
+//! incrementally maintained sum by an ulp when the aggregate arithmetic is
+//! inexact; integer-valued inputs (and every ranking, which lives in the
+//! index's own durable scores) are exact.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -92,11 +147,48 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use svr_core::types::{DocId, Document, Query, QueryMode, SearchHit, TermId};
-use svr_core::{build_index, IndexConfig, MethodCursor, MethodKind, SearchIndex, ShardStats};
+use svr_core::{
+    build_index, build_index_at, open_index_at, IndexConfig, IndexLocation, MethodCursor,
+    MethodKind, SearchIndex, ShardStats,
+};
 use svr_relation::{Database, RowChange, Schema, SvrSpec, Value};
+use svr_storage::codec::{
+    begin_record, read_string, read_varint, record_version, write_string, write_varint,
+};
+use svr_storage::{BTree, StorageEnv};
 use svr_text::Vocabulary;
 
 use crate::error::{Result, SvrError};
+
+/// Name of the engine's text-index catalog store inside a durable
+/// environment (the relational catalog is `sys/catalog`, owned by
+/// [`Database`]).
+pub const SYS_INDEXES_STORE: &str = "sys/indexes";
+/// Name of the durable vocabulary store: one `(term id, term)` record per
+/// interned term, appended incrementally as the vocabulary grows.
+pub const SYS_VOCAB_STORE: &str = "sys/vocab";
+
+/// Store-name prefix of one text index's region in the engine environment.
+fn index_prefix(name: &str) -> String {
+    format!("idx/{name}/")
+}
+
+/// Engine-lifecycle tunables (see [`SvrEngine::create_with`]).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Log bytes past which any store (table, index shard, system catalog)
+    /// is checkpointed at the next safe opportunity. Default 1 MiB;
+    /// `u64::MAX` disables automatic checkpointing.
+    pub wal_checkpoint_bytes: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            wal_checkpoint_bytes: 1 << 20,
+        }
+    }
+}
 
 /// A ranked search result: the matching row and its latest SVR score.
 #[derive(Debug, Clone, PartialEq)]
@@ -403,6 +495,22 @@ std::thread_local! {
         const { std::cell::RefCell::new(Vec::new()) };
 }
 
+/// Durable-lifecycle state of an engine created with [`SvrEngine::create`]
+/// or recovered with [`SvrEngine::open`].
+struct DurableEngine {
+    env: Arc<StorageEnv>,
+    /// Text-index catalog: `name -> versioned index record`.
+    indexes_tree: BTree,
+    /// Vocabulary log: `term id (BE) -> term string`, appended per newly
+    /// interned term.
+    vocab_tree: BTree,
+    /// Terms already persisted (ids are dense, so this is a high-water
+    /// mark; everything past it is the increment to log).
+    persisted_terms: Mutex<usize>,
+    /// Auto-checkpoint threshold (see [`EngineConfig`]).
+    checkpoint_bytes: u64,
+}
+
 /// The shared, internally synchronized engine state.
 struct EngineShared {
     db: Database,
@@ -415,6 +523,8 @@ struct EngineShared {
     /// Writers of different tables run in parallel; entries are removed
     /// when their table is dropped.
     write_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    /// `Some` for durable engines; `None` for plain in-memory ones.
+    durable: Option<DurableEngine>,
 }
 
 /// The integrated engine. Cloning is cheap (`Arc` bump) and every clone
@@ -434,7 +544,10 @@ impl Default for SvrEngine {
 }
 
 impl SvrEngine {
-    /// Create an empty engine.
+    /// Create an empty **in-memory** engine: the process-lifetime special
+    /// case of the durable lifecycle. Nothing survives a restart; use
+    /// [`SvrEngine::create`] / [`SvrEngine::open`] for an engine that
+    /// does.
     pub fn new() -> SvrEngine {
         SvrEngine {
             shared: Arc::new(EngineShared {
@@ -442,8 +555,288 @@ impl SvrEngine {
                 vocab: RwLock::new(Vocabulary::new()),
                 indexes: RwLock::new(HashMap::new()),
                 write_locks: Mutex::new(HashMap::new()),
+                durable: None,
             }),
         }
+    }
+
+    /// Bootstrap an empty **durable** engine inside `env` (from
+    /// [`StorageEnv::new_durable`] for crash-model durability, or
+    /// [`StorageEnv::open_dir`] for file-backed durability): system stores
+    /// are created and every catalog mutation — `create_table`,
+    /// `create_text_index`, drops, vocabulary growth — writes through to
+    /// them, so [`SvrEngine::open`] on the same environment recovers the
+    /// complete engine.
+    pub fn create(env: Arc<StorageEnv>) -> Result<SvrEngine> {
+        SvrEngine::create_with(env, EngineConfig::default())
+    }
+
+    /// [`SvrEngine::create`] with explicit [`EngineConfig`] tunables.
+    pub fn create_with(env: Arc<StorageEnv>, config: EngineConfig) -> Result<SvrEngine> {
+        if !env.is_durable() {
+            return Err(SvrError::Engine(
+                "SvrEngine::create requires a durable environment \
+                 (StorageEnv::new_durable or StorageEnv::open_dir)"
+                    .into(),
+            ));
+        }
+        if env.store_exists(svr_relation::SYS_CATALOG_STORE) {
+            return Err(SvrError::Engine(
+                "environment already holds an engine (use SvrEngine::open)".into(),
+            ));
+        }
+        let db = Database::with_env(env.clone())?;
+        db.set_wal_checkpoint_bytes(config.wal_checkpoint_bytes);
+        let indexes_tree = BTree::create_durable(env.create_logged_store(SYS_INDEXES_STORE, 64))
+            .map_err(|e| SvrError::Engine(format!("index catalog: {e}")))?;
+        let vocab_tree = BTree::create_durable(env.create_logged_store(SYS_VOCAB_STORE, 64))
+            .map_err(|e| SvrError::Engine(format!("vocabulary store: {e}")))?;
+        Ok(SvrEngine {
+            shared: Arc::new(EngineShared {
+                db,
+                vocab: RwLock::new(Vocabulary::new()),
+                indexes: RwLock::new(HashMap::new()),
+                write_locks: Mutex::new(HashMap::new()),
+                durable: Some(DurableEngine {
+                    env,
+                    indexes_tree,
+                    vocab_tree,
+                    persisted_terms: Mutex::new(0),
+                    checkpoint_bytes: config.wal_checkpoint_bytes,
+                }),
+            }),
+        })
+    }
+
+    /// Recover a complete engine from a durable environment: replay every
+    /// store's write-ahead log, read the system catalogs (table schemas,
+    /// score-view definitions, text-index configurations, vocabulary),
+    /// reattach each table and index shard to its recovered store, and
+    /// re-materialize the score views — all **without touching a single
+    /// base row for indexing**: postings, document contents, scores, chunk
+    /// maps and fancy metadata reopen from the index's own durable
+    /// structures. Finishes with a checkpoint, so the cost of this
+    /// recovery is not paid again at the next open.
+    pub fn open(env: Arc<StorageEnv>) -> Result<SvrEngine> {
+        SvrEngine::open_with(env, EngineConfig::default())
+    }
+
+    /// [`SvrEngine::open`] with explicit [`EngineConfig`] tunables.
+    pub fn open_with(env: Arc<StorageEnv>, config: EngineConfig) -> Result<SvrEngine> {
+        env.recover_all()
+            .map_err(|e| SvrError::Engine(format!("recovery failed: {e}")))?;
+        let db = Database::open_env(env.clone())?;
+        db.set_wal_checkpoint_bytes(config.wal_checkpoint_bytes);
+
+        // Vocabulary: records are keyed by term id (big-endian), so the
+        // scan yields terms in id order and re-interning restores every id.
+        let vocab_store = env.create_logged_store(SYS_VOCAB_STORE, 64);
+        vocab_store
+            .recover()
+            .map_err(|e| SvrError::Engine(format!("vocabulary recovery: {e}")))?;
+        let vocab_tree = BTree::reopen(vocab_store, 0)
+            .map_err(|e| SvrError::Engine(format!("vocabulary store: {e}")))?;
+        let mut terms = Vec::new();
+        {
+            let mut cursor = vocab_tree
+                .cursor(&[])
+                .map_err(|e| SvrError::Engine(format!("vocabulary scan: {e}")))?;
+            while let Some((_, v)) = cursor
+                .next_entry()
+                .map_err(|e| SvrError::Engine(format!("vocabulary scan: {e}")))?
+            {
+                terms.push(String::from_utf8(v).map_err(|_| {
+                    SvrError::Engine("vocabulary store holds a non-UTF-8 term".into())
+                })?);
+            }
+        }
+        let persisted = terms.len();
+        let mut vocab = Vocabulary::from_terms(terms)
+            .ok_or_else(|| SvrError::Engine("vocabulary store holds duplicate terms".into()))?;
+
+        // Text indexes: open each cataloged index from its recovered
+        // stores and rewire its view listener.
+        let indexes_store = env.create_logged_store(SYS_INDEXES_STORE, 64);
+        indexes_store
+            .recover()
+            .map_err(|e| SvrError::Engine(format!("index catalog recovery: {e}")))?;
+        let indexes_tree = BTree::reopen(indexes_store, 0)
+            .map_err(|e| SvrError::Engine(format!("index catalog: {e}")))?;
+        let mut records = Vec::new();
+        {
+            let mut cursor = indexes_tree
+                .cursor(&[])
+                .map_err(|e| SvrError::Engine(format!("index catalog scan: {e}")))?;
+            while let Some((k, v)) = cursor
+                .next_entry()
+                .map_err(|e| SvrError::Engine(format!("index catalog scan: {e}")))?
+            {
+                let name = String::from_utf8(k)
+                    .map_err(|_| SvrError::Engine("index catalog key is not UTF-8".into()))?;
+                records.push((name, decode_index_record(&v)?));
+            }
+        }
+
+        let engine = SvrEngine {
+            shared: Arc::new(EngineShared {
+                db,
+                vocab: RwLock::new(Vocabulary::new()), // installed below
+                indexes: RwLock::new(HashMap::new()),
+                write_locks: Mutex::new(HashMap::new()),
+                durable: Some(DurableEngine {
+                    env: env.clone(),
+                    indexes_tree,
+                    vocab_tree,
+                    persisted_terms: Mutex::new(persisted),
+                    checkpoint_bytes: config.wal_checkpoint_bytes,
+                }),
+            }),
+        };
+
+        // Garbage-collect views orphaned by a crash mid-`create_text_index`
+        // (the view record lands before the index record; recovery must see
+        // either both or neither, and "neither" keeps the name reusable).
+        let cataloged: std::collections::HashSet<&str> =
+            records.iter().map(|(n, _)| n.as_str()).collect();
+        for view in engine.shared.db.view_names() {
+            if !cataloged.contains(view.as_str()) {
+                let _ = engine.shared.db.drop_score_view(&view);
+            }
+        }
+
+        for (name, record) in records {
+            let table_ref = engine.shared.db.table(&record.table)?;
+            let schema = table_ref.schema();
+            let text_idx = schema.column_index(&record.text_col)?;
+            let pk_idx = schema.pk;
+            let loc = IndexLocation::new(env.clone(), index_prefix(&name));
+            let index: Arc<dyn SearchIndex> =
+                Arc::from(open_index_at(&loc, record.method, &record.config)?);
+            // The vocabulary's frequency gauge is re-derived from the
+            // reopened corpus statistics (it only feeds workload
+            // generators, not ranking, and was never exact to begin with).
+            for (term, df) in index.term_dfs() {
+                vocab.add_doc_freq(term, df);
+            }
+            engine.install_index_entry(&name, &record.table, text_idx, pk_idx, index)?;
+        }
+        *engine.shared.vocab.write() = vocab;
+
+        // Recovery replayed logs onto the disks; checkpoint so the next
+        // open starts from the replayed baseline instead of replaying the
+        // same log again on top of it.
+        env.checkpoint_all()
+            .map_err(|e| SvrError::Engine(format!("post-recovery checkpoint: {e}")))?;
+        Ok(engine)
+    }
+
+    /// Convenience: open (or bootstrap, when the directory holds no
+    /// engine) a **file-backed** engine at `path` — real durability across
+    /// process restarts, every store in `<path>/<name>.pages` with its log
+    /// mirrored to `<path>/<name>.wal`.
+    pub fn open_path(path: impl Into<std::path::PathBuf>) -> Result<SvrEngine> {
+        let env = Arc::new(
+            StorageEnv::open_dir(path, svr_storage::DEFAULT_PAGE_SIZE)
+                .map_err(|e| SvrError::Engine(format!("open environment: {e}")))?,
+        );
+        if env.store_exists(svr_relation::SYS_CATALOG_STORE) {
+            SvrEngine::open(env)
+        } else {
+            SvrEngine::create(env)
+        }
+    }
+
+    /// The engine's durable environment, when it has one.
+    pub fn env(&self) -> Option<&Arc<StorageEnv>> {
+        self.shared.durable.as_ref().map(|d| &d.env)
+    }
+
+    /// True when this engine persists its state ([`SvrEngine::create`] /
+    /// [`SvrEngine::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.shared.durable.is_some()
+    }
+
+    /// Flush every store and truncate every log — an explicit full
+    /// checkpoint (automatic checkpointing is governed by
+    /// [`EngineConfig::wal_checkpoint_bytes`]).
+    pub fn checkpoint(&self) -> Result<()> {
+        if let Some(durable) = &self.shared.durable {
+            durable
+                .env
+                .checkpoint_all()
+                .map_err(|e| SvrError::Engine(format!("checkpoint: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Persist vocabulary growth: append one record per term interned past
+    /// the persisted high-water mark. Called right after every interning
+    /// site, so a crash can lose at most terms whose postings were not yet
+    /// committed either.
+    fn persist_new_terms(&self) -> Result<()> {
+        let Some(durable) = &self.shared.durable else {
+            return Ok(());
+        };
+        let vocab = self.shared.vocab.read();
+        let mut persisted = durable.persisted_terms.lock();
+        if vocab.len() <= *persisted {
+            return Ok(());
+        }
+        for (offset, term) in vocab.terms_since(*persisted).iter().enumerate() {
+            let id = (*persisted + offset) as u32;
+            durable
+                .vocab_tree
+                .put(&id.to_be_bytes(), term.as_bytes())
+                .map_err(|e| SvrError::Engine(format!("vocabulary persist: {e}")))?;
+        }
+        *persisted = vocab.len();
+        let _ = durable
+            .vocab_tree
+            .store()
+            .maybe_checkpoint(durable.checkpoint_bytes);
+        Ok(())
+    }
+
+    /// Write (or replace) a text index's catalog record.
+    fn persist_index_record(&self, name: &str, record: &IndexRecord) -> Result<()> {
+        if let Some(durable) = &self.shared.durable {
+            durable
+                .indexes_tree
+                .put(name.as_bytes(), &encode_index_record(record))
+                .map_err(|e| SvrError::Engine(format!("index catalog persist: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Register an opened/built index in the in-memory registry.
+    fn install_index_entry(
+        &self,
+        name: &str,
+        table: &str,
+        text_idx: usize,
+        pk_idx: usize,
+        index: Arc<dyn SearchIndex>,
+    ) -> Result<()> {
+        let view_tag: Arc<str> = Arc::from(name);
+        self.shared.db.set_score_listener(
+            name,
+            Box::new(move |pk, _score| {
+                TOUCHED_SCORES.with(|t| t.borrow_mut().push((view_tag.clone(), pk)));
+            }),
+        )?;
+        self.shared.indexes.write().insert(
+            name.to_string(),
+            Arc::new(TextIndex {
+                table: table.to_string(),
+                text_col: text_idx,
+                pk_col: pk_idx,
+                view: name.to_string(),
+                index,
+                epoch: AtomicU64::new(0),
+            }),
+        );
+        Ok(())
     }
 
     /// The underlying relational database (read access).
@@ -561,6 +954,17 @@ impl SvrEngine {
                 )));
             }
             ti.bump();
+            // Durable index stores log every page write; bound the logs at
+            // the same threshold the table stores use. (O(1) log-size
+            // checks per store; an actual checkpoint only past threshold.)
+            if let Some(durable) = &self.shared.durable {
+                if let Err(e) = ti.index.maybe_checkpoint(durable.checkpoint_bytes) {
+                    first_error.get_or_insert(SvrError::Engine(format!(
+                        "index checkpoint failed: index '{}': {e}",
+                        ti.view
+                    )));
+                }
+            }
         }
         match first_error {
             None => Ok(()),
@@ -655,6 +1059,7 @@ impl SvrEngine {
         config: IndexConfig,
     ) -> Result<()> {
         let table = &table_ref.schema().name;
+        let text_col = table_ref.schema().columns[text_idx].0.clone();
         self.shared.db.create_score_view(name, table, spec)?;
 
         // Tokenize the existing rows.
@@ -670,6 +1075,8 @@ impl SvrEngine {
                 docs.push(Document::from_text(doc_id(pk)?, text, &mut vocab));
             }
         }
+        // Log the vocabulary growth before the postings referencing it.
+        self.persist_new_terms()?;
         let scores: svr_core::ScoreMap = self
             .shared
             .db
@@ -678,44 +1085,70 @@ impl SvrEngine {
             .map(|(pk, s)| Ok((doc_id(pk)?, s)))
             .collect::<Result<_>>()?;
 
-        let index: Arc<dyn SearchIndex> = Arc::from(build_index(method, &docs, &scores, &config)?);
+        let index: Arc<dyn SearchIndex> = match &self.shared.durable {
+            None => Arc::from(build_index(method, &docs, &scores, &config)?),
+            Some(durable) => {
+                // A crash between a drop's catalog delete and its store
+                // removal (or mid-build) can leave orphaned index stores;
+                // clear them so the build starts from empty stores with
+                // the metadata pages where `open` expects them.
+                durable.env.remove_prefix(&index_prefix(name));
+                let loc = IndexLocation::new(durable.env.clone(), index_prefix(name));
+                Arc::from(build_index_at(&loc, method, &docs, &scores, &config)?)
+            }
+        };
 
-        // Tier-1 recording: the view listener only notes *which* target key
-        // changed, in the mutating thread's local capture (listeners run
-        // synchronously on that thread). The mutating call drains its own
-        // capture after commit and refreshes the index under shard locks,
-        // re-reading the view for the authoritative score (see the module
-        // docs).
-        let view_tag: Arc<str> = Arc::from(name);
-        self.shared.db.set_score_listener(
-            name,
-            Box::new(move |pk, _score| {
-                TOUCHED_SCORES.with(|t| t.borrow_mut().push((view_tag.clone(), pk)));
-            }),
-        )?;
-
-        let mut indexes = self.shared.indexes.write();
-        if indexes.contains_key(name) {
-            let _ = self.shared.db.drop_score_view(name);
-            return Err(SvrError::Engine(format!(
-                "text index '{name}' already exists"
-            )));
+        {
+            let mut indexes = self.shared.indexes.write();
+            if indexes.contains_key(name) {
+                let _ = self.shared.db.drop_score_view(name);
+                return Err(SvrError::Engine(format!(
+                    "text index '{name}' already exists"
+                )));
+            }
+            // Tier-1 recording: the view listener only notes *which* target
+            // key changed, in the mutating thread's local capture (listeners
+            // run synchronously on that thread). The mutating call drains
+            // its own capture after commit and refreshes the index under
+            // shard locks, re-reading the view for the authoritative score
+            // (see the module docs).
+            let view_tag: Arc<str> = Arc::from(name);
+            self.shared.db.set_score_listener(
+                name,
+                Box::new(move |pk, _score| {
+                    TOUCHED_SCORES.with(|t| t.borrow_mut().push((view_tag.clone(), pk)));
+                }),
+            )?;
+            indexes.insert(
+                name.to_string(),
+                Arc::new(TextIndex {
+                    table: table.to_string(),
+                    text_col: text_idx,
+                    pk_col: pk_idx,
+                    view: name.to_string(),
+                    index,
+                    epoch: AtomicU64::new(0),
+                }),
+            );
         }
-        indexes.insert(
-            name.to_string(),
-            Arc::new(TextIndex {
-                table: table.to_string(),
-                text_col: text_idx,
-                pk_col: pk_idx,
-                view: name.to_string(),
-                index,
-                epoch: AtomicU64::new(0),
-            }),
-        );
+        // Catalog record last: a crash anywhere above recovers to "no
+        // index" (plus reclaimable orphan stores) — never to a cataloged
+        // index with half-built structures.
+        self.persist_index_record(
+            name,
+            &IndexRecord {
+                table: table.clone(),
+                text_col,
+                method,
+                config,
+            },
+        )?;
         Ok(())
     }
 
-    /// Drop a text index and its backing score view.
+    /// Drop a text index: its backing score view, its catalog record and
+    /// its backing stores — a reopen cannot resurrect it, and re-creating
+    /// the name starts from empty stores.
     pub fn drop_text_index(&self, name: &str) -> Result<()> {
         let removed = self
             .shared
@@ -723,8 +1156,22 @@ impl SvrEngine {
             .write()
             .remove(name)
             .ok_or_else(|| SvrError::Engine(format!("unknown text index '{name}'")))?;
-        self.with_table_lock(&removed.table, || {
-            Ok(self.shared.db.drop_score_view(&removed.view)?)
+        self.with_table_lock(&removed.table, || -> Result<()> {
+            if let Some(durable) = &self.shared.durable {
+                // The index catalog record goes first: a crash anywhere
+                // after it leaves at worst orphaned stores (reclaimed by
+                // the next create of this name) and a view without an
+                // index record (garbage-collected by `open`). The reverse
+                // order could leave an index record whose view is gone —
+                // a state `open` cannot recover from.
+                durable
+                    .indexes_tree
+                    .delete(name.as_bytes())
+                    .map_err(|e| SvrError::Engine(format!("index catalog delete: {e}")))?;
+                durable.env.remove_prefix(&index_prefix(name));
+            }
+            self.shared.db.drop_score_view(&removed.view)?;
+            Ok(())
         })
     }
 
@@ -893,6 +1340,9 @@ impl SvrEngine {
         }
         for (ti, pk, text) in inserts {
             let doc = Document::from_text(doc_id(pk)?, &text, &mut self.shared.vocab.write());
+            // Vocabulary growth is logged incrementally, before the
+            // postings that reference the new ids.
+            self.persist_new_terms()?;
             let score = self.shared.db.score_of(&ti.view, pk).unwrap_or(0.0);
             ti.index.insert_document(&doc, score)?;
             ti.bump();
@@ -999,6 +1449,7 @@ impl SvrEngine {
                             Document::from_text(doc_id(pk_int)?, old_text, &mut vocab),
                         )
                     };
+                    self.persist_new_terms()?;
                     // Structural: stays in tier 1 so concurrent content
                     // updates of one document cannot apply out of order.
                     ti.index.update_content(&doc)?;
@@ -1171,6 +1622,9 @@ impl SvrEngine {
         let ti = self.entry(name)?;
         ti.index.merge_short_lists()?;
         ti.bump();
+        if let Some(durable) = &self.shared.durable {
+            ti.index.maybe_checkpoint(durable.checkpoint_bytes)?;
+        }
         Ok(())
     }
 
@@ -1182,6 +1636,9 @@ impl SvrEngine {
         let ti = self.entry(name)?;
         ti.index.merge_shard(shard)?;
         ti.bump();
+        if let Some(durable) = &self.shared.durable {
+            ti.index.maybe_checkpoint(durable.checkpoint_bytes)?;
+        }
         Ok(())
     }
 
@@ -1197,6 +1654,107 @@ impl SvrEngine {
         let ti = self.entry(index)?;
         Ok(self.shared.db.score_of(&ti.view, pk)?)
     }
+}
+
+/// One text index's persisted configuration: everything `open` needs to
+/// reattach the index — where it is wired (table, analyzed column), which
+/// method it runs, and the full build configuration (shard count included,
+/// which determines the per-shard store layout).
+struct IndexRecord {
+    table: String,
+    text_col: String,
+    method: MethodKind,
+    config: IndexConfig,
+}
+
+const INDEX_RECORD_V1: u8 = 1;
+
+fn method_tag(kind: MethodKind) -> u8 {
+    match kind {
+        MethodKind::Id => 0,
+        MethodKind::Score => 1,
+        MethodKind::ScoreThreshold => 2,
+        MethodKind::Chunk => 3,
+        MethodKind::IdTermScore => 4,
+        MethodKind::ChunkTermScore => 5,
+        MethodKind::ScoreThresholdTermScore => 6,
+    }
+}
+
+fn method_from_tag(tag: u8) -> Result<MethodKind> {
+    Ok(match tag {
+        0 => MethodKind::Id,
+        1 => MethodKind::Score,
+        2 => MethodKind::ScoreThreshold,
+        3 => MethodKind::Chunk,
+        4 => MethodKind::IdTermScore,
+        5 => MethodKind::ChunkTermScore,
+        6 => MethodKind::ScoreThresholdTermScore,
+        _ => return Err(SvrError::Engine("unknown method tag in catalog".into())),
+    })
+}
+
+fn encode_index_record(record: &IndexRecord) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    begin_record(&mut buf, INDEX_RECORD_V1);
+    write_string(&mut buf, &record.table);
+    write_string(&mut buf, &record.text_col);
+    buf.push(method_tag(record.method));
+    let c = &record.config;
+    buf.extend_from_slice(&c.threshold_ratio.to_le_bytes());
+    buf.extend_from_slice(&c.chunk_ratio.to_le_bytes());
+    write_varint(&mut buf, c.min_chunk_docs as u64);
+    write_varint(&mut buf, c.fancy_size as u64);
+    buf.extend_from_slice(&c.term_weight.to_le_bytes());
+    write_varint(&mut buf, c.page_size as u64);
+    write_varint(&mut buf, c.long_cache_pages as u64);
+    write_varint(&mut buf, c.small_cache_pages as u64);
+    write_varint(&mut buf, c.num_shards as u64);
+    buf
+}
+
+fn decode_index_record(raw: &[u8]) -> Result<IndexRecord> {
+    let corrupt = || SvrError::Engine("corrupt index catalog record".into());
+    let mut pos = 0;
+    match record_version(raw, &mut pos) {
+        Some(INDEX_RECORD_V1) => {}
+        _ => return Err(corrupt()),
+    }
+    let table = read_string(raw, &mut pos).ok_or_else(corrupt)?;
+    let text_col = read_string(raw, &mut pos).ok_or_else(corrupt)?;
+    let method = method_from_tag(*raw.get(pos).ok_or_else(corrupt)?)?;
+    pos += 1;
+    let f64_at = |pos: &mut usize| -> Result<f64> {
+        let end = *pos + 8;
+        let bytes = raw.get(*pos..end).ok_or_else(corrupt)?;
+        *pos = end;
+        Ok(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    };
+    let threshold_ratio = f64_at(&mut pos)?;
+    let chunk_ratio = f64_at(&mut pos)?;
+    let min_chunk_docs = read_varint(raw, &mut pos).ok_or_else(corrupt)? as usize;
+    let fancy_size = read_varint(raw, &mut pos).ok_or_else(corrupt)? as usize;
+    let term_weight = f64_at(&mut pos)?;
+    let page_size = read_varint(raw, &mut pos).ok_or_else(corrupt)? as usize;
+    let long_cache_pages = read_varint(raw, &mut pos).ok_or_else(corrupt)? as usize;
+    let small_cache_pages = read_varint(raw, &mut pos).ok_or_else(corrupt)? as usize;
+    let num_shards = read_varint(raw, &mut pos).ok_or_else(corrupt)? as usize;
+    Ok(IndexRecord {
+        table,
+        text_col,
+        method,
+        config: IndexConfig {
+            threshold_ratio,
+            chunk_ratio,
+            min_chunk_docs,
+            fancy_size,
+            term_weight,
+            page_size,
+            long_cache_pages,
+            small_cache_pages,
+            num_shards,
+        },
+    })
 }
 
 fn doc_id(pk: i64) -> Result<DocId> {

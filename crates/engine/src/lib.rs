@@ -55,5 +55,8 @@
 mod engine;
 mod error;
 
-pub use engine::{QueryRequest, RankedRow, SearchCursor, SvrEngine, WriteBatch, WriteOp};
+pub use engine::{
+    EngineConfig, QueryRequest, RankedRow, SearchCursor, SvrEngine, WriteBatch, WriteOp,
+    SYS_INDEXES_STORE, SYS_VOCAB_STORE,
+};
 pub use error::{Result, SvrError};

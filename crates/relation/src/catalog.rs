@@ -19,16 +19,33 @@
 //! each other and with writers.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use svr_storage::{StorageEnv, Store};
+use svr_storage::{BTree, StorageEnv, Store};
 
+use crate::codec;
 use crate::error::{RelationError, Result};
 use crate::schema::Schema;
 use crate::table::{RowChange, Table};
 use crate::value::Value;
 use crate::view::{ScoreListener, ScoreView, SvrSpec};
+
+/// Name of the system catalog store inside a durable environment.
+pub const SYS_CATALOG_STORE: &str = "sys/catalog";
+
+/// Catalog-key prefixes: table schemas and score-view definitions.
+const KEY_TABLE: u8 = b't';
+const KEY_VIEW: u8 = b'v';
+
+fn catalog_key(prefix: u8, name: &str) -> Vec<u8> {
+    let mut k = Vec::with_capacity(2 + name.len());
+    k.push(prefix);
+    k.push(b'/');
+    k.extend_from_slice(name.as_bytes());
+    k
+}
 
 /// One table plus the writer lock serializing its mutations.
 struct TableSlot {
@@ -37,10 +54,23 @@ struct TableSlot {
 }
 
 /// A small relational database with materialized SVR score views.
+///
+/// A database can be **durable**: created with [`Database::with_env`] over
+/// a durable [`StorageEnv`], it writes every DDL change (table schemas,
+/// score-view definitions) through to a versioned system catalog in the
+/// same environment, and [`Database::open_env`] recovers the complete
+/// relational state — tables reattach to their recovered stores, views are
+/// re-materialized from the recovered base rows — after a crash or
+/// process restart.
 pub struct Database {
     env: Arc<StorageEnv>,
     tables: RwLock<HashMap<String, Arc<TableSlot>>>,
     views: RwLock<HashMap<String, Arc<Mutex<ScoreView>>>>,
+    /// The system catalog tree (None for a plain in-memory database).
+    catalog: Option<BTree>,
+    /// Log bytes past which a store is checkpointed at the next
+    /// opportunity (per-op boundary or transaction close).
+    wal_checkpoint_bytes: AtomicU64,
 }
 
 impl Default for Database {
@@ -56,7 +86,121 @@ impl Database {
             env: Arc::new(StorageEnv::default()),
             tables: RwLock::new(HashMap::new()),
             views: RwLock::new(HashMap::new()),
+            catalog: None,
+            wal_checkpoint_bytes: AtomicU64::new(WAL_CHECKPOINT_BYTES),
         }
+    }
+
+    /// Bootstrap an empty **durable** database inside `env` (which should
+    /// come from [`StorageEnv::new_durable`] or [`StorageEnv::open_dir`]):
+    /// the system catalog store is created and every later DDL change
+    /// writes through to it.
+    pub fn with_env(env: Arc<StorageEnv>) -> Result<Database> {
+        let store = env.create_logged_store(SYS_CATALOG_STORE, 64);
+        let catalog = BTree::create_durable(store)?;
+        Ok(Database {
+            env,
+            tables: RwLock::new(HashMap::new()),
+            views: RwLock::new(HashMap::new()),
+            catalog: Some(catalog),
+            wal_checkpoint_bytes: AtomicU64::new(WAL_CHECKPOINT_BYTES),
+        })
+    }
+
+    /// Recover a durable database from `env`: replay the catalog store's
+    /// log, reattach every cataloged table to its recovered store, and
+    /// re-materialize every cataloged score view from the recovered base
+    /// rows (the view fold is deterministic, so recomputed aggregates
+    /// match the crashed instance whenever their arithmetic is exact).
+    pub fn open_env(env: Arc<StorageEnv>) -> Result<Database> {
+        if !env.store_exists(SYS_CATALOG_STORE) {
+            return Err(RelationError::Storage(svr_storage::StorageError::Corrupt(
+                "no system catalog in environment (not created with Database::with_env?)",
+            )));
+        }
+        let store = env.create_logged_store(SYS_CATALOG_STORE, 64);
+        store.recover()?;
+        let catalog = BTree::reopen(store, 0)?;
+
+        let db = Database {
+            env,
+            tables: RwLock::new(HashMap::new()),
+            views: RwLock::new(HashMap::new()),
+            catalog: Some(catalog),
+            wal_checkpoint_bytes: AtomicU64::new(WAL_CHECKPOINT_BYTES),
+        };
+        // Tables first (views validate their tables).
+        let table_records = db
+            .catalog
+            .as_ref()
+            .expect("just set")
+            .scan_prefix(&[KEY_TABLE, b'/'])?;
+        for (_, raw) in table_records {
+            let schema = codec::decode_schema(&raw)?;
+            let store = db
+                .env
+                .create_logged_store(&format!("table:{}", schema.name), 1024);
+            store.recover()?;
+            let name = schema.name.clone();
+            let slot = TableSlot {
+                table: Arc::new(Table::open(schema, store)?),
+                write_lock: Mutex::new(()),
+            };
+            db.tables.write().insert(name, Arc::new(slot));
+        }
+        let view_records = db
+            .catalog
+            .as_ref()
+            .expect("just set")
+            .scan_prefix(&[KEY_VIEW, b'/'])?;
+        for (key, raw) in view_records {
+            let name = std::str::from_utf8(&key[2..])
+                .map_err(|_| {
+                    RelationError::Storage(svr_storage::StorageError::Corrupt("view key"))
+                })?
+                .to_string();
+            let (target, spec) = codec::decode_view(&raw)?;
+            db.materialize_view(&name, &target, spec)?;
+        }
+        Ok(db)
+    }
+
+    /// True when this database persists its catalog (built by
+    /// [`Database::with_env`] / [`Database::open_env`]).
+    pub fn is_durable(&self) -> bool {
+        self.catalog.is_some()
+    }
+
+    /// Override the log-size threshold past which stores are checkpointed
+    /// (default 1 MiB). Smaller values bound recovery time and memory at
+    /// the cost of more frequent page flushing; `u64::MAX` disables
+    /// automatic checkpointing.
+    pub fn set_wal_checkpoint_bytes(&self, bytes: u64) {
+        self.wal_checkpoint_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// The current auto-checkpoint threshold in log bytes.
+    pub fn wal_checkpoint_bytes(&self) -> u64 {
+        self.wal_checkpoint_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Write a catalog record (no-op for in-memory databases). Each put is
+    /// sealed by its own commit marker, so a crash mid-DDL leaves either
+    /// the old record set or the new one — never a torn record.
+    fn persist_catalog(&self, key: Vec<u8>, value: &[u8]) -> Result<()> {
+        if let Some(catalog) = &self.catalog {
+            catalog.put(&key, value)?;
+            self.maybe_checkpoint_store(catalog.store());
+        }
+        Ok(())
+    }
+
+    fn remove_catalog(&self, key: Vec<u8>) -> Result<()> {
+        if let Some(catalog) = &self.catalog {
+            catalog.delete(&key)?;
+            self.maybe_checkpoint_store(catalog.store());
+        }
+        Ok(())
     }
 
     /// Storage environment (I/O statistics).
@@ -73,15 +217,24 @@ impl Database {
         if tables.contains_key(&schema.name) {
             return Err(RelationError::DuplicateTable(schema.name));
         }
+        // A crash between a drop's catalog delete and its store removal can
+        // leave an orphaned store; creating over it would mislocate the new
+        // table's metadata page. The catalog has no record, so it is dead
+        // weight — clear it.
+        self.env.remove_store(&format!("table:{}", schema.name));
         let store = self
             .env
             .create_logged_store(&format!("table:{}", schema.name), 1024);
         let name = schema.name.clone();
+        let record = codec::encode_schema(&schema);
         let slot = TableSlot {
             table: Arc::new(Table::create(schema, store)?),
             write_lock: Mutex::new(()),
         };
-        tables.insert(name, Arc::new(slot));
+        tables.insert(name.clone(), Arc::new(slot));
+        // Record last: a crash mid-create recovers to "no table" (the
+        // orphaned store is reclaimed by a later create of the same name).
+        self.persist_catalog(catalog_key(KEY_TABLE, &name), &record)?;
         Ok(())
     }
 
@@ -108,6 +261,11 @@ impl Database {
             .write()
             .remove(name)
             .ok_or_else(|| RelationError::UnknownTable(name.to_string()))?;
+        // Delete the catalog record first: if we crash between the two
+        // steps, recovery sees no record and ignores the orphaned store
+        // (which a later create of the same name truncates) — the reverse
+        // order could resurrect a dropped table from its surviving store.
+        self.remove_catalog(catalog_key(KEY_TABLE, name))?;
         // Free the dropped table's pages: without this the environment
         // retains every store ever created, and re-creating the table would
         // silently reattach to the old one.
@@ -139,6 +297,17 @@ impl Database {
         if self.views.read().contains_key(name) {
             return Err(RelationError::DuplicateView(name.to_string()));
         }
+        let record = codec::encode_view(target_table, &spec);
+        self.materialize_view(name, target_table, spec)?;
+        // Record last: a crash mid-create recovers to "no view".
+        self.persist_catalog(catalog_key(KEY_VIEW, name), &record)?;
+        Ok(())
+    }
+
+    /// Validate, populate and register a view — the shared body of
+    /// [`Database::create_score_view`] and catalog recovery (which must
+    /// not re-persist the record it just read).
+    fn materialize_view(&self, name: &str, target_table: &str, spec: SvrSpec) -> Result<()> {
         // Validate all referenced tables up front.
         self.table(target_table)?;
         for comp in &spec.components {
@@ -174,7 +343,14 @@ impl Database {
             .write()
             .remove(name)
             .map(|_| ())
-            .ok_or_else(|| RelationError::UnknownView(name.to_string()))
+            .ok_or_else(|| RelationError::UnknownView(name.to_string()))?;
+        self.remove_catalog(catalog_key(KEY_VIEW, name))?;
+        Ok(())
+    }
+
+    /// Names of all score views (unordered).
+    pub fn view_names(&self) -> Vec<String> {
+        self.views.read().keys().cloned().collect()
     }
 
     fn view(&self, name: &str) -> Result<Arc<Mutex<ScoreView>>> {
@@ -237,7 +413,7 @@ impl Database {
         let _write = slot.write_lock.lock();
         let change = slot.table.insert(row)?;
         self.route_change(&slot.table, &change)?;
-        Self::maybe_checkpoint(&slot.table);
+        self.maybe_checkpoint(&slot.table);
         Ok(change)
     }
 
@@ -256,7 +432,7 @@ impl Database {
             self.route_change(&slot.table, &change)?;
             inserted += 1;
         }
-        Self::maybe_checkpoint(&slot.table);
+        self.maybe_checkpoint(&slot.table);
         Ok(inserted)
     }
 
@@ -272,7 +448,7 @@ impl Database {
         let _write = slot.write_lock.lock();
         let change = slot.table.update(&pk, updates)?;
         self.route_change(&slot.table, &change)?;
-        Self::maybe_checkpoint(&slot.table);
+        self.maybe_checkpoint(&slot.table);
         Ok(change)
     }
 
@@ -283,7 +459,7 @@ impl Database {
         let _write = slot.write_lock.lock();
         let change = slot.table.delete(&pk)?;
         self.route_change(&slot.table, &change)?;
-        Self::maybe_checkpoint(&slot.table);
+        self.maybe_checkpoint(&slot.table);
         Ok(change)
     }
 
@@ -380,32 +556,38 @@ impl Database {
                 wal.begin_batch();
             }
         }
-        Ok(WalBatch { stores })
+        Ok(WalBatch {
+            stores,
+            checkpoint_bytes: self.wal_checkpoint_bytes(),
+        })
     }
 
-    /// Flush + truncate a table store whose log outgrew the threshold.
-    /// Skipped inside a [`Database::wal_batch`] bracket — truncating
-    /// mid-bracket would tear the recoverable batch apart.
-    fn maybe_checkpoint(table: &Table) {
-        let store = table.store();
-        if let Some(wal) = store.wal() {
-            if !wal.in_batch() && wal.stats().bytes > WAL_CHECKPOINT_BYTES {
-                // A failed checkpoint only leaves an older recovery
-                // baseline; the committed log still replays on top of it.
-                let _ = store.checkpoint();
-            }
-        }
+    /// Flush + truncate a table store whose log outgrew the configured
+    /// threshold. Skipped inside a [`Database::wal_batch`] bracket —
+    /// truncating mid-bracket would tear the recoverable batch apart.
+    fn maybe_checkpoint(&self, table: &Table) {
+        self.maybe_checkpoint_store(table.store());
+    }
+
+    fn maybe_checkpoint_store(&self, store: &Arc<Store>) {
+        // A failed checkpoint only leaves an older recovery baseline; the
+        // committed log still replays on top of it.
+        let _ = store.maybe_checkpoint(self.wal_checkpoint_bytes());
     }
 }
 
-/// Log bytes past which a table store is checkpointed at the next
-/// opportunity (per-op boundary or transaction close).
+/// Default log bytes past which a table store is checkpointed at the next
+/// opportunity (per-op boundary or transaction close); override with
+/// [`Database::set_wal_checkpoint_bytes`].
 const WAL_CHECKPOINT_BYTES: u64 = 1 << 20;
 
 /// RAII bracket for one write transaction's WAL commit markers (see
 /// [`Database::wal_batch`]).
 pub struct WalBatch {
     stores: Vec<Arc<Store>>,
+    /// Threshold captured at bracket open, so the close-time checkpoint
+    /// check honors the database's configured value.
+    checkpoint_bytes: u64,
 }
 
 impl Drop for WalBatch {
@@ -413,9 +595,7 @@ impl Drop for WalBatch {
         for store in &self.stores {
             if let Some(wal) = store.wal() {
                 wal.end_batch();
-                if wal.stats().bytes > WAL_CHECKPOINT_BYTES {
-                    let _ = store.checkpoint();
-                }
+                let _ = store.maybe_checkpoint(self.checkpoint_bytes);
             }
         }
     }
@@ -910,6 +1090,92 @@ mod tests {
             wal.committed_pages().len() > sealed_before,
             "closing the bracket seals the batch"
         );
+    }
+
+    #[test]
+    fn durable_database_recovers_catalog_tables_and_views() {
+        let env = Arc::new(StorageEnv::new_durable(svr_storage::DEFAULT_PAGE_SIZE));
+        {
+            let db = Database::with_env(env.clone()).unwrap();
+            db.create_table(Schema::new(
+                "movies",
+                &[("mid", ColumnType::Int), ("desc", ColumnType::Text)],
+                0,
+            ))
+            .unwrap();
+            db.create_table(Schema::new(
+                "statistics",
+                &[("mid", ColumnType::Int), ("nvisit", ColumnType::Int)],
+                0,
+            ))
+            .unwrap();
+            db.create_score_view(
+                "scores",
+                "movies",
+                SvrSpec::new(
+                    vec![ScoreComponent::ColumnOf {
+                        table: "statistics".into(),
+                        key_col: "mid".into(),
+                        val_col: "nvisit".into(),
+                    }],
+                    AggExpr::parse("s1/2").unwrap(),
+                ),
+            )
+            .unwrap();
+            db.insert_row("movies", vec![Value::Int(1), Value::Text("m".into())])
+                .unwrap();
+            db.insert_row("statistics", vec![Value::Int(1), Value::Int(500)])
+                .unwrap();
+            assert_eq!(db.score_of("scores", 1).unwrap(), 250.0);
+        }
+        env.crash();
+        let db = Database::open_env(env.clone()).unwrap();
+        let mut names = db.table_names();
+        names.sort();
+        assert_eq!(names, vec!["movies", "statistics"]);
+        assert_eq!(
+            db.table("movies").unwrap().get(&Value::Int(1)).unwrap(),
+            Some(vec![Value::Int(1), Value::Text("m".into())])
+        );
+        // The view re-materialized from the recovered rows.
+        assert_eq!(db.score_of("scores", 1).unwrap(), 250.0);
+        // And keeps maintaining itself.
+        db.update_row(
+            "statistics",
+            Value::Int(1),
+            &[("nvisit".to_string(), Value::Int(900))],
+        )
+        .unwrap();
+        assert_eq!(db.score_of("scores", 1).unwrap(), 450.0);
+        // Dropped objects stay dropped across another crash + reopen.
+        db.drop_score_view("scores").unwrap();
+        db.drop_table("statistics").unwrap();
+        env.crash();
+        let db = Database::open_env(env).unwrap();
+        assert_eq!(db.table_names(), vec!["movies"]);
+        assert!(db.score_of("scores", 1).is_err());
+        // Re-creating the dropped table starts empty.
+        db.create_table(Schema::new(
+            "statistics",
+            &[("mid", ColumnType::Int), ("nvisit", ColumnType::Int)],
+            0,
+        ))
+        .unwrap();
+        assert!(db.table("statistics").unwrap().scan().unwrap().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_threshold_is_configurable() {
+        let db = paper_db();
+        assert_eq!(db.wal_checkpoint_bytes(), 1 << 20);
+        db.set_wal_checkpoint_bytes(1);
+        let movies = db.table("movies").unwrap();
+        let wal = movies.store().wal().unwrap().clone();
+        db.insert_row("movies", vec![Value::Int(1), Value::Text("a".into())])
+            .unwrap();
+        // With a 1-byte threshold every op boundary checkpoints: the log is
+        // truncated right after the insert committed.
+        assert_eq!(wal.stats().bytes, 0, "checkpointed at op boundary");
     }
 
     #[test]

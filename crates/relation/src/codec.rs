@@ -1,0 +1,304 @@
+//! Versioned catalog-record codecs: table schemas and score-view
+//! definitions serialized into the system catalog store, so a durable
+//! database can recover its full relational shape by reading records
+//! instead of replaying DDL.
+//!
+//! Every record starts with a version byte; readers dispatch on it, so the
+//! layouts can evolve without invalidating catalogs written by earlier
+//! sessions.
+
+use svr_storage::codec::{
+    begin_record, read_f64, read_string, read_varint, record_version, write_f64, write_string,
+    write_varint,
+};
+
+use crate::aggexpr::AggExpr;
+use crate::error::{RelationError, Result};
+use crate::functions::ScoreComponent;
+use crate::schema::{ColumnType, Schema};
+use crate::view::SvrSpec;
+
+const SCHEMA_V1: u8 = 1;
+const SPEC_V1: u8 = 1;
+
+fn corrupt(what: &'static str) -> RelationError {
+    RelationError::Storage(svr_storage::StorageError::Corrupt(what))
+}
+
+// ---------------------------------------------------------------- schemas
+
+fn column_type_tag(ty: ColumnType) -> u8 {
+    match ty {
+        ColumnType::Int => 0,
+        ColumnType::Float => 1,
+        ColumnType::Text => 2,
+    }
+}
+
+fn column_type_from(tag: u8) -> Result<ColumnType> {
+    match tag {
+        0 => Ok(ColumnType::Int),
+        1 => Ok(ColumnType::Float),
+        2 => Ok(ColumnType::Text),
+        _ => Err(corrupt("column type tag")),
+    }
+}
+
+/// Encode a table schema record.
+pub fn encode_schema(schema: &Schema) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    begin_record(&mut buf, SCHEMA_V1);
+    write_string(&mut buf, &schema.name);
+    write_varint(&mut buf, schema.columns.len() as u64);
+    for (name, ty) in &schema.columns {
+        write_string(&mut buf, name);
+        buf.push(column_type_tag(*ty));
+    }
+    write_varint(&mut buf, schema.pk as u64);
+    buf
+}
+
+/// Decode a table schema record.
+pub fn decode_schema(raw: &[u8]) -> Result<Schema> {
+    let mut pos = 0;
+    match record_version(raw, &mut pos) {
+        Some(SCHEMA_V1) => {}
+        _ => return Err(corrupt("schema record version")),
+    }
+    let name = read_string(raw, &mut pos).ok_or_else(|| corrupt("schema name"))?;
+    let ncols = read_varint(raw, &mut pos).ok_or_else(|| corrupt("schema columns"))? as usize;
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let col = read_string(raw, &mut pos).ok_or_else(|| corrupt("column name"))?;
+        let tag = *raw.get(pos).ok_or_else(|| corrupt("column type"))?;
+        pos += 1;
+        columns.push((col, column_type_from(tag)?));
+    }
+    let pk = read_varint(raw, &mut pos).ok_or_else(|| corrupt("schema pk"))? as usize;
+    if pk >= columns.len() {
+        return Err(corrupt("schema pk out of range"));
+    }
+    Ok(Schema { name, columns, pk })
+}
+
+// ---------------------------------------------------- score-view records
+
+fn encode_component(buf: &mut Vec<u8>, comp: &ScoreComponent) {
+    match comp {
+        ScoreComponent::AvgOf {
+            table,
+            fk_col,
+            val_col,
+        } => {
+            buf.push(0);
+            write_string(buf, table);
+            write_string(buf, fk_col);
+            write_string(buf, val_col);
+        }
+        ScoreComponent::SumOf {
+            table,
+            fk_col,
+            val_col,
+        } => {
+            buf.push(1);
+            write_string(buf, table);
+            write_string(buf, fk_col);
+            write_string(buf, val_col);
+        }
+        ScoreComponent::CountOf { table, fk_col } => {
+            buf.push(2);
+            write_string(buf, table);
+            write_string(buf, fk_col);
+        }
+        ScoreComponent::ColumnOf {
+            table,
+            key_col,
+            val_col,
+        } => {
+            buf.push(3);
+            write_string(buf, table);
+            write_string(buf, key_col);
+            write_string(buf, val_col);
+        }
+        ScoreComponent::Const(v) => {
+            buf.push(4);
+            write_f64(buf, *v);
+        }
+    }
+}
+
+fn decode_component(raw: &[u8], pos: &mut usize) -> Result<ScoreComponent> {
+    let tag = *raw.get(*pos).ok_or_else(|| corrupt("component tag"))?;
+    *pos += 1;
+    let mut s = |what| read_string(raw, pos).ok_or_else(|| corrupt(what));
+    Ok(match tag {
+        0 => ScoreComponent::AvgOf {
+            table: s("avg table")?,
+            fk_col: s("avg fk")?,
+            val_col: s("avg val")?,
+        },
+        1 => ScoreComponent::SumOf {
+            table: s("sum table")?,
+            fk_col: s("sum fk")?,
+            val_col: s("sum val")?,
+        },
+        2 => ScoreComponent::CountOf {
+            table: s("count table")?,
+            fk_col: s("count fk")?,
+        },
+        3 => ScoreComponent::ColumnOf {
+            table: s("col table")?,
+            key_col: s("col key")?,
+            val_col: s("col val")?,
+        },
+        4 => ScoreComponent::Const(read_f64(raw, pos).ok_or_else(|| corrupt("const value"))?),
+        _ => return Err(corrupt("component tag value")),
+    })
+}
+
+fn encode_agg(buf: &mut Vec<u8>, agg: &AggExpr) {
+    match agg {
+        AggExpr::Component(i) => {
+            buf.push(0);
+            write_varint(buf, *i as u64);
+        }
+        AggExpr::Literal(v) => {
+            buf.push(1);
+            write_f64(buf, *v);
+        }
+        AggExpr::Neg(e) => {
+            buf.push(2);
+            encode_agg(buf, e);
+        }
+        AggExpr::Add(a, b) => {
+            buf.push(3);
+            encode_agg(buf, a);
+            encode_agg(buf, b);
+        }
+        AggExpr::Sub(a, b) => {
+            buf.push(4);
+            encode_agg(buf, a);
+            encode_agg(buf, b);
+        }
+        AggExpr::Mul(a, b) => {
+            buf.push(5);
+            encode_agg(buf, a);
+            encode_agg(buf, b);
+        }
+        AggExpr::Div(a, b) => {
+            buf.push(6);
+            encode_agg(buf, a);
+            encode_agg(buf, b);
+        }
+    }
+}
+
+fn decode_agg(raw: &[u8], pos: &mut usize, depth: usize) -> Result<AggExpr> {
+    if depth > 256 {
+        return Err(corrupt("agg expression too deep"));
+    }
+    let tag = *raw.get(*pos).ok_or_else(|| corrupt("agg tag"))?;
+    *pos += 1;
+    Ok(match tag {
+        0 => AggExpr::Component(
+            read_varint(raw, pos).ok_or_else(|| corrupt("agg component"))? as usize,
+        ),
+        1 => AggExpr::Literal(read_f64(raw, pos).ok_or_else(|| corrupt("agg literal"))?),
+        2 => AggExpr::Neg(Box::new(decode_agg(raw, pos, depth + 1)?)),
+        3 => AggExpr::Add(
+            Box::new(decode_agg(raw, pos, depth + 1)?),
+            Box::new(decode_agg(raw, pos, depth + 1)?),
+        ),
+        4 => AggExpr::Sub(
+            Box::new(decode_agg(raw, pos, depth + 1)?),
+            Box::new(decode_agg(raw, pos, depth + 1)?),
+        ),
+        5 => AggExpr::Mul(
+            Box::new(decode_agg(raw, pos, depth + 1)?),
+            Box::new(decode_agg(raw, pos, depth + 1)?),
+        ),
+        6 => AggExpr::Div(
+            Box::new(decode_agg(raw, pos, depth + 1)?),
+            Box::new(decode_agg(raw, pos, depth + 1)?),
+        ),
+        _ => return Err(corrupt("agg tag value")),
+    })
+}
+
+/// Encode a score-view record: the target table plus the full [`SvrSpec`].
+pub fn encode_view(target_table: &str, spec: &SvrSpec) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    begin_record(&mut buf, SPEC_V1);
+    write_string(&mut buf, target_table);
+    write_varint(&mut buf, spec.components.len() as u64);
+    for comp in &spec.components {
+        encode_component(&mut buf, comp);
+    }
+    encode_agg(&mut buf, &spec.agg);
+    buf
+}
+
+/// Decode a score-view record into `(target_table, spec)`.
+pub fn decode_view(raw: &[u8]) -> Result<(String, SvrSpec)> {
+    let mut pos = 0;
+    match record_version(raw, &mut pos) {
+        Some(SPEC_V1) => {}
+        _ => return Err(corrupt("view record version")),
+    }
+    let target = read_string(raw, &mut pos).ok_or_else(|| corrupt("view target"))?;
+    let ncomps = read_varint(raw, &mut pos).ok_or_else(|| corrupt("view components"))? as usize;
+    let mut components = Vec::with_capacity(ncomps);
+    for _ in 0..ncomps {
+        components.push(decode_component(raw, &mut pos)?);
+    }
+    let agg = decode_agg(raw, &mut pos, 0)?;
+    Ok((target, SvrSpec { components, agg }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_roundtrip() {
+        let schema = Schema::new(
+            "movies",
+            &[
+                ("mid", ColumnType::Int),
+                ("title", ColumnType::Text),
+                ("len", ColumnType::Float),
+            ],
+            0,
+        );
+        let decoded = decode_schema(&encode_schema(&schema)).unwrap();
+        assert_eq!(decoded.name, "movies");
+        assert_eq!(decoded.columns, schema.columns);
+        assert_eq!(decoded.pk, 0);
+        assert!(decode_schema(&[]).is_err());
+        assert!(decode_schema(&[99]).is_err(), "unknown version rejected");
+    }
+
+    #[test]
+    fn view_roundtrip() {
+        let spec = SvrSpec::new(
+            vec![
+                ScoreComponent::AvgOf {
+                    table: "reviews".into(),
+                    fk_col: "mid".into(),
+                    val_col: "rating".into(),
+                },
+                ScoreComponent::ColumnOf {
+                    table: "stats".into(),
+                    key_col: "mid".into(),
+                    val_col: "nvisit".into(),
+                },
+                ScoreComponent::Const(3.5),
+            ],
+            AggExpr::parse("s1*100 + s2/2 - -s3").unwrap(),
+        );
+        let raw = encode_view("movies", &spec);
+        let (target, decoded) = decode_view(&raw).unwrap();
+        assert_eq!(target, "movies");
+        assert_eq!(decoded, spec);
+    }
+}

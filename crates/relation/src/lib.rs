@@ -33,6 +33,7 @@
 
 pub mod aggexpr;
 pub mod catalog;
+pub mod codec;
 pub mod error;
 pub mod functions;
 pub mod schema;
@@ -41,7 +42,7 @@ pub mod value;
 pub mod view;
 
 pub use aggexpr::AggExpr;
-pub use catalog::{Database, ViewUndoBracket, WalBatch};
+pub use catalog::{Database, ViewUndoBracket, WalBatch, SYS_CATALOG_STORE};
 pub use error::{RelationError, Result};
 pub use functions::ScoreComponent;
 pub use schema::Schema;

@@ -47,6 +47,19 @@ impl Table {
         })
     }
 
+    /// Reattach a table to its recovered store: the backing durable
+    /// B+-tree reopens from its metadata page (the store's first page, per
+    /// the durable-structure convention) and the rows are exactly those of
+    /// the last committed write. The schema comes from the system catalog —
+    /// it is not stored in the table's own store.
+    pub fn open(schema: Schema, store: Arc<Store>) -> Result<Table> {
+        Ok(Table {
+            schema,
+            tree: BTree::reopen(store, 0)?,
+            latch: RwLock::new(()),
+        })
+    }
+
     /// The table's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

@@ -33,7 +33,27 @@
 //!   `COMMIT` (no reads-your-own-writes). DDL inside a transaction is
 //!   rejected. Named cursors are capped per session
 //!   ([`session::DEFAULT_CURSOR_LIMIT`], see
-//!   [`SqlSession::set_cursor_limit`]); `CLOSE ALL` drops every cursor.
+//!   [`SqlSession::set_cursor_limit`]); `CLOSE ALL` drops every cursor,
+//!   and an optional idle TTL ([`SqlSession::set_cursor_ttl`], off by
+//!   default) expires cursors a client forgot: expired cursors are swept
+//!   on session activity and a later `FETCH` reports a clean expiry error
+//!   instead of "unknown cursor".
+//!
+//! ## Durability
+//!
+//! A session is a front end over whatever engine it wraps. Wrap a
+//! **durable** engine (`SvrEngine::create` / `SvrEngine::open` /
+//! `SvrEngine::open_path`) and every DDL statement above writes through to
+//! the engine's system catalogs: after a crash, `SvrEngine::open` recovers
+//! tables, scoring functions' effects (the score views), text indexes and
+//! the vocabulary, and a fresh `SqlSession::with_engine` attaches to the
+//! recovered engine unchanged — same rankings, same `score_of`, no
+//! re-indexing. `DROP TABLE` / `DROP TEXT INDEX` also delete the persisted
+//! records and backing stores, so a reopen cannot resurrect dropped
+//! objects. (Session-scoped state — `CREATE FUNCTION` definitions, named
+//! cursors, open transactions — lives with the session, not the engine:
+//! re-issue `CREATE FUNCTION`s in new sessions; indexes already built from
+//! them are self-contained.)
 //!
 //! ```
 //! use svr_sql::SqlSession;

@@ -148,6 +148,8 @@ struct NamedCursor {
     cursor: SearchCursor,
     columns: Vec<String>,
     projection: Option<Vec<usize>>,
+    /// Last `DECLARE`/`FETCH` touch, for idle-TTL expiry.
+    last_used: std::time::Instant,
 }
 
 /// State shared by every clone of a session: the engine handle plus the
@@ -165,6 +167,14 @@ struct SessionShared {
     /// Max named cursors alive at once: a client loop that forgets `CLOSE`
     /// hits a clean error instead of growing the registry without bound.
     cursor_limit: AtomicUsize,
+    /// Idle time after which a named cursor expires (`None` = never, the
+    /// default). Expired cursors are swept on session activity; a `FETCH`
+    /// of one reports a clean expiry error instead of "unknown cursor".
+    cursor_ttl: Mutex<Option<std::time::Duration>>,
+    /// Names of cursors the TTL sweep removed, so a later `FETCH`/`CLOSE`
+    /// can say *why* the cursor is gone. Cleared when the name is
+    /// re-`DECLARE`d.
+    expired_cursors: Mutex<std::collections::HashSet<String>>,
     /// The open write transaction, if any (`BEGIN` .. `COMMIT`/`ROLLBACK`):
     /// DML statements queue here and apply as one atomic
     /// [`WriteBatch`] at `COMMIT`. Shared by every clone of the session,
@@ -175,6 +185,10 @@ struct SessionShared {
 /// Default per-session cap on named cursors (override with
 /// [`SqlSession::set_cursor_limit`]).
 pub const DEFAULT_CURSOR_LIMIT: usize = 64;
+
+/// Max names remembered as "expired" for clean `FETCH` diagnostics (see
+/// [`SqlSession::sweep_expired_cursors`]).
+const EXPIRED_TOMBSTONE_CAP: usize = 1024;
 
 /// A SQL session over an [`SvrEngine`].
 ///
@@ -235,6 +249,8 @@ impl SqlSession {
                 functions: RwLock::new(HashMap::new()),
                 cursors: Mutex::new(HashMap::new()),
                 cursor_limit: AtomicUsize::new(DEFAULT_CURSOR_LIMIT),
+                cursor_ttl: Mutex::new(None),
+                expired_cursors: Mutex::new(std::collections::HashSet::new()),
                 txn: Mutex::new(None),
             }),
         }
@@ -259,6 +275,51 @@ impl SqlSession {
         self.shared.cursor_limit.store(limit, Ordering::Relaxed);
     }
 
+    /// Set (or, with `None`, disable — the default) the idle TTL of named
+    /// cursors: a cursor not touched by `DECLARE`/`FETCH` for longer than
+    /// the TTL is swept on the next session activity, and a later `FETCH`
+    /// of it reports a clean expiry error. Applies to every clone of this
+    /// session (the registry is shared).
+    pub fn set_cursor_ttl(&self, ttl: Option<std::time::Duration>) {
+        *self.shared.cursor_ttl.lock() = ttl;
+    }
+
+    /// Drop every named cursor idle past the configured TTL. Runs at the
+    /// top of [`SqlSession::execute`]; callers managing very long-lived
+    /// sessions can also invoke it directly. Returns the number of
+    /// cursors expired.
+    pub fn sweep_expired_cursors(&self) -> usize {
+        let Some(ttl) = *self.shared.cursor_ttl.lock() else {
+            return 0;
+        };
+        let now = std::time::Instant::now();
+        let mut cursors = self.shared.cursors.lock();
+        let stale: Vec<String> = cursors
+            .iter()
+            .filter(|(_, c)| {
+                // A cursor mid-FETCH on another thread is in use by
+                // definition: skip it rather than block the sweep.
+                c.try_lock()
+                    .is_some_and(|c| now.duration_since(c.last_used) > ttl)
+            })
+            .map(|(name, _)| name.clone())
+            .collect();
+        let mut expired = self.shared.expired_cursors.lock();
+        for name in &stale {
+            cursors.remove(name);
+            // The tombstone set only improves error messages; it must not
+            // grow without bound for clients that mint unique cursor names
+            // and let them all expire. Past the cap, forget the oldest
+            // tombstones wholesale — their FETCH error degrades from
+            // "expired" to "unknown cursor", nothing else changes.
+            if expired.len() >= EXPIRED_TOMBSTONE_CAP {
+                expired.clear();
+            }
+            expired.insert(name.clone());
+        }
+        stale.len()
+    }
+
     /// True while a `BEGIN` transaction is open on this session cluster.
     pub fn in_transaction(&self) -> bool {
         self.shared.txn.lock().is_some()
@@ -274,12 +335,14 @@ impl SqlSession {
 
     /// Execute one statement.
     pub fn execute(&self, sql: &str) -> Result<SqlResult> {
+        self.sweep_expired_cursors();
         let statement = parse_statement(sql)?;
         self.run(statement)
     }
 
     /// Execute a `;`-separated script, returning one result per statement.
     pub fn execute_script(&self, sql: &str) -> Result<Vec<SqlResult>> {
+        self.sweep_expired_cursors();
         let statements = parse_script(sql)?;
         statements.into_iter().map(|s| self.run(s)).collect()
     }
@@ -347,12 +410,15 @@ impl SqlSession {
             Statement::FetchCursor { name, n } => self.fetch_cursor(&name, n),
             Statement::CloseCursor(name) => {
                 if self.shared.cursors.lock().remove(&name).is_none() {
-                    return Err(SqlError::Plan(format!("unknown cursor '{name}'")));
+                    return Err(self.missing_cursor_error(&name));
                 }
+                // A closed name is deliberately gone, not expired.
+                self.shared.expired_cursors.lock().remove(&name);
                 Ok(SqlResult::None)
             }
             Statement::CloseAllCursors => {
                 self.shared.cursors.lock().clear();
+                self.shared.expired_cursors.lock().clear();
                 Ok(SqlResult::None)
             }
             Statement::Begin => {
@@ -435,15 +501,32 @@ impl SqlSession {
                  before declaring '{name}'"
             )));
         }
+        self.shared.expired_cursors.lock().remove(&name);
         cursors.insert(
             name,
             Arc::new(Mutex::new(NamedCursor {
                 cursor,
                 columns,
                 projection,
+                last_used: std::time::Instant::now(),
             })),
         );
         Ok(SqlResult::None)
+    }
+
+    /// The error for a cursor name that is not in the registry: an expiry
+    /// message when the TTL sweep removed it, "unknown" otherwise.
+    fn missing_cursor_error(&self, name: &str) -> SqlError {
+        if self.shared.expired_cursors.lock().contains(name) {
+            let ttl = self.shared.cursor_ttl.lock().unwrap_or_default();
+            SqlError::Plan(format!(
+                "cursor '{name}' expired after {:.0?} idle (session cursor TTL); \
+                 DECLARE it again to restart the enumeration",
+                ttl
+            ))
+        } else {
+            SqlError::Plan(format!("unknown cursor '{name}'"))
+        }
     }
 
     /// `FETCH [NEXT] n FROM name`: the next page, resuming exactly where
@@ -457,8 +540,9 @@ impl SqlSession {
             .lock()
             .get(name)
             .cloned()
-            .ok_or_else(|| SqlError::Plan(format!("unknown cursor '{name}'")))?;
+            .ok_or_else(|| self.missing_cursor_error(name))?;
         let mut named = entry.lock();
+        named.last_used = std::time::Instant::now();
         let hits = named.cursor.next_batch(n)?;
         let rows = match &named.projection {
             None => hits,

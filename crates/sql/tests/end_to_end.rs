@@ -865,3 +865,66 @@ fn cursor_cap_and_close_all() {
         "closed by CLOSE ALL"
     );
 }
+
+#[test]
+fn cursor_idle_ttl_expires_and_reports_cleanly() {
+    let session = setup("CHUNK");
+    // TTL off by default: an idle cursor lives until CLOSE.
+    session
+        .execute(
+            r#"DECLARE forever CURSOR FOR SELECT name FROM movies
+               ORDER BY SCORE(description, "golden gate")"#,
+        )
+        .unwrap();
+    assert_eq!(session.sweep_expired_cursors(), 0, "TTL off: no sweep");
+
+    session.set_cursor_ttl(Some(std::time::Duration::from_millis(20)));
+    session
+        .execute(
+            r#"DECLARE ephemeral CURSOR FOR SELECT name FROM movies
+               ORDER BY SCORE(description, "golden gate")"#,
+        )
+        .unwrap();
+    // Touching a cursor resets its idle clock.
+    std::thread::sleep(std::time::Duration::from_millis(12));
+    assert_eq!(
+        session
+            .execute("FETCH 1 FROM ephemeral")
+            .unwrap()
+            .row_count(),
+        1
+    );
+    std::thread::sleep(std::time::Duration::from_millis(12));
+    // Still under TTL since the fetch: survives this session activity...
+    assert_eq!(
+        session
+            .execute("FETCH 1 FROM ephemeral")
+            .unwrap()
+            .row_count(),
+        1
+    );
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    // ...but past it, any session activity sweeps, and FETCH reports a
+    // clean expiry (not "unknown cursor").
+    let err = session.execute("FETCH 1 FROM ephemeral").unwrap_err();
+    assert!(err.to_string().contains("expired"), "{err}");
+    let err = session.execute("FETCH 1 FROM forever").unwrap_err();
+    assert!(err.to_string().contains("expired"), "{err}");
+    // Re-declaring the name restarts the enumeration from rank 1.
+    session
+        .execute(
+            r#"DECLARE ephemeral CURSOR FOR SELECT name FROM movies
+               ORDER BY SCORE(description, "golden gate")"#,
+        )
+        .unwrap();
+    assert_eq!(
+        session
+            .execute("FETCH 2 FROM ephemeral")
+            .unwrap()
+            .row_count(),
+        2
+    );
+    // A name never declared still reports "unknown", not "expired".
+    let err = session.execute("FETCH 1 FROM nothere").unwrap_err();
+    assert!(err.to_string().contains("unknown cursor"), "{err}");
+}

@@ -154,6 +154,49 @@ pub fn varint_len(v: u64) -> usize {
     }
 }
 
+/// Append a length-prefixed UTF-8 string (varint length + bytes) — the
+/// building block of the versioned catalog records.
+pub fn write_string(buf: &mut Vec<u8>, s: &str) {
+    write_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Read a [`write_string`] value. `None` on truncation or invalid UTF-8.
+pub fn read_string(buf: &[u8], pos: &mut usize) -> Option<String> {
+    let len = read_varint(buf, pos)? as usize;
+    let end = pos.checked_add(len)?;
+    let bytes = buf.get(*pos..end)?;
+    *pos = end;
+    String::from_utf8(bytes.to_vec()).ok()
+}
+
+/// Append an f64 by bit pattern (exact round-trip).
+pub fn write_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a [`write_f64`] value.
+pub fn read_f64(buf: &[u8], pos: &mut usize) -> Option<f64> {
+    let end = pos.checked_add(8)?;
+    let bytes = buf.get(*pos..end)?;
+    *pos = end;
+    Some(f64::from_le_bytes(bytes.try_into().ok()?))
+}
+
+/// Start a versioned record: one leading version byte. Readers dispatch on
+/// it ([`record_version`]), so record layouts can evolve without breaking
+/// catalogs written by earlier sessions.
+pub fn begin_record(buf: &mut Vec<u8>, version: u8) {
+    buf.push(version);
+}
+
+/// The version byte of a record, advancing `pos` past it.
+pub fn record_version(buf: &[u8], pos: &mut usize) -> Option<u8> {
+    let v = buf.get(*pos).copied()?;
+    *pos += 1;
+    Some(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

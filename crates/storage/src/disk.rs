@@ -62,6 +62,10 @@ pub trait DiskBackend: Send + Sync {
     fn page_size(&self) -> usize;
     /// Current I/O counters.
     fn stats(&self) -> IoStats;
+    /// Flush to stable storage (no-op for memory-backed disks).
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// In-memory [`DiskBackend`].
@@ -303,6 +307,10 @@ impl DiskBackend for FileDisk {
             pages_written: self.writes.load(Ordering::Relaxed),
             pages_allocated: self.num_pages(),
         }
+    }
+
+    fn sync(&self) -> Result<()> {
+        FileDisk::sync(self)
     }
 }
 

@@ -305,6 +305,27 @@ impl Store {
         Ok(())
     }
 
+    /// True when the log has outgrown `threshold` bytes outside a commit
+    /// bracket — the **lock-free** pre-check of [`Store::maybe_checkpoint`]
+    /// (reads two counters; safe to call from any hot path).
+    pub fn log_over(&self, threshold: u64) -> bool {
+        self.wal
+            .as_ref()
+            .is_some_and(|wal| !wal.in_batch() && wal.stats().bytes > threshold)
+    }
+
+    /// The one auto-checkpoint policy every layer shares: checkpoint iff
+    /// [`Store::log_over`]. Callers must exclude concurrent writers of this
+    /// store (their page images could be truncated before their pages are
+    /// flushed). Returns whether a checkpoint ran.
+    pub fn maybe_checkpoint(&self, threshold: u64) -> Result<bool> {
+        if !self.log_over(threshold) {
+            return Ok(false);
+        }
+        self.checkpoint()?;
+        Ok(true)
+    }
+
     /// Simulate a crash: every page that was only in the buffer pool is
     /// lost; the disk and the log survive.
     pub fn crash(&self) {

@@ -22,7 +22,11 @@
 //! The log medium is an in-memory byte buffer (the crash model of this
 //! repository keeps "disk" and "log" as the surviving state and the buffer
 //! pool as the volatile state); [`Wal::simulate_torn_tail`] chops bytes off
-//! the end for failure-injection tests.
+//! the end for failure-injection tests. A log can additionally be
+//! **mirrored to a file** ([`Wal::open_file`]): every append goes to the
+//! file as well and a reopen reads the surviving bytes back, which is what
+//! makes `FileDisk`-backed storage environments recoverable across real
+//! process restarts, not just simulated crashes.
 
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -52,6 +56,10 @@ pub fn crc32(data: &[u8]) -> u32 {
 
 struct WalInner {
     log: Vec<u8>,
+    /// File mirror of the log, when the store lives on a real disk: bytes
+    /// are appended as they are logged and the file is truncated with the
+    /// log, so the on-disk log always equals `log` at rest.
+    file: Option<std::fs::File>,
     next_lsn: Lsn,
     /// Records appended since the last commit marker.
     open_batch: u64,
@@ -91,11 +99,55 @@ impl Wal {
         Wal {
             inner: Mutex::new(WalInner {
                 log: Vec::new(),
+                file: None,
                 next_lsn: 0,
                 open_batch: 0,
                 records: 0,
                 batch_depth: 0,
             }),
+        }
+    }
+
+    /// Open a file-mirrored log at `path`, loading any bytes a previous
+    /// session left behind (they become replayable exactly as if the
+    /// process had never exited). Appends write through to the file;
+    /// [`Wal::truncate`] truncates it.
+    pub fn open_file(path: &std::path::Path) -> Result<Wal> {
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| StorageError::Io(e.to_string()))?;
+        let mut log = Vec::new();
+        use std::io::{Read, Seek};
+        file.read_to_end(&mut log)
+            .map_err(|e| StorageError::Io(e.to_string()))?;
+        file.seek(std::io::SeekFrom::End(0))
+            .map_err(|e| StorageError::Io(e.to_string()))?;
+        // Rebuild the counters from the surviving bytes. `next_lsn` must
+        // continue the on-disk sequence, or post-reopen appends would trip
+        // the contiguity check during a later recovery.
+        let (records, uncommitted, next_lsn) = summarize_log(&log);
+        Ok(Wal {
+            inner: Mutex::new(WalInner {
+                log,
+                file: Some(file),
+                next_lsn,
+                open_batch: uncommitted,
+                records,
+                batch_depth: 0,
+            }),
+        })
+    }
+
+    fn mirror_append(inner: &mut WalInner, from: usize) {
+        if let Some(file) = &mut inner.file {
+            use std::io::Write;
+            // A failed mirror write narrows durability to the in-memory
+            // crash model; the in-memory log stays authoritative.
+            let _ = file.write_all(&inner.log[from..]);
         }
     }
 
@@ -116,6 +168,8 @@ impl Wal {
         let crc = crc32(&record);
         record.extend_from_slice(&crc.to_le_bytes());
         inner.log.extend_from_slice(&record);
+        let from = inner.log.len() - record.len();
+        Self::mirror_append(&mut inner, from);
         lsn
     }
 
@@ -146,6 +200,8 @@ impl Wal {
         let crc = crc32(&record);
         record.extend_from_slice(&crc.to_le_bytes());
         inner.log.extend_from_slice(&record);
+        let from = inner.log.len() - record.len();
+        Self::mirror_append(inner, from);
         lsn
     }
 
@@ -191,6 +247,22 @@ impl Wal {
         inner.log.clear();
         inner.open_batch = 0;
         inner.records = 0;
+        if let Some(file) = &mut inner.file {
+            use std::io::{Seek, Write};
+            let _ = file.set_len(0);
+            let _ = file.seek(std::io::SeekFrom::Start(0));
+            let _ = file.flush();
+        }
+    }
+
+    /// Flush the file mirror (if any) to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        let inner = self.inner.lock();
+        if let Some(file) = &inner.file {
+            file.sync_data()
+                .map_err(|e| StorageError::Io(e.to_string()))?;
+        }
+        Ok(())
     }
 
     /// Current log statistics (O(1): counters, no log parse).
@@ -232,6 +304,49 @@ impl Wal {
         *byte ^= 0xFF;
         Ok(())
     }
+}
+
+/// Walk a log's record structure, returning `(records, uncommitted, next_lsn)`
+/// — the counters [`Wal::open_file`] must rebuild when it adopts surviving
+/// bytes. Stops at the first torn or corrupt record, like replay; the
+/// LSN-contiguity validation lives in [`parse_log`] only (a counter
+/// summary past a splice is harmless — replay itself will stop there).
+fn summarize_log(log: &[u8]) -> (u64, u64, Lsn) {
+    let mut records = 0u64;
+    let mut uncommitted = 0u64;
+    let mut next_lsn = 0u64;
+    let mut pos = 0usize;
+    while pos < log.len() {
+        let (rec_end, is_commit) = match log[pos] {
+            REC_PAGE => {
+                let header_end = pos + 1 + 8 + 8 + 4;
+                if header_end > log.len() {
+                    break;
+                }
+                let len = u32::from_le_bytes(log[pos + 17..pos + 21].try_into().expect("4 bytes"))
+                    as usize;
+                (header_end + len + 4, false)
+            }
+            REC_COMMIT => (pos + 1 + 8 + 4, true),
+            _ => break,
+        };
+        if rec_end > log.len()
+            || crc32(&log[pos..rec_end - 4])
+                != u32::from_le_bytes(log[rec_end - 4..rec_end].try_into().expect("4 bytes"))
+        {
+            break;
+        }
+        let lsn = u64::from_le_bytes(log[pos + 1..pos + 9].try_into().expect("8 bytes"));
+        next_lsn = lsn + 1;
+        records += 1;
+        if is_commit {
+            uncommitted = 0;
+        } else {
+            uncommitted += 1;
+        }
+        pos = rec_end;
+    }
+    (records, uncommitted, next_lsn)
 }
 
 /// Parse the log into committed batches. Returns `(batches, clean)` where

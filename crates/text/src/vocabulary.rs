@@ -28,6 +28,33 @@ impl Vocabulary {
         Vocabulary::default()
     }
 
+    /// Rebuild a vocabulary from its persisted terms, **in id order**
+    /// (term id `i` is the `i`-th string): the recovery half of a durable
+    /// vocabulary whose growth is logged one `(id, term)` record per
+    /// *newly interned* term. Document frequencies start at zero; callers
+    /// that need them re-derive from their forward stores.
+    ///
+    /// Returns `None` if the terms are not dense (a duplicate string would
+    /// make two ids collide on re-interning).
+    pub fn from_terms(terms: impl IntoIterator<Item = String>) -> Option<Vocabulary> {
+        let mut vocab = Vocabulary::new();
+        for (i, term) in terms.into_iter().enumerate() {
+            let id = vocab.intern(&term);
+            if id.as_usize() != i {
+                return None; // duplicate term: ids would not be dense
+            }
+        }
+        Some(vocab)
+    }
+
+    /// Number of terms a durable vocabulary has persisted so far is tracked
+    /// by the caller; this returns the terms interned past that high-water
+    /// mark, i.e. the increment to log. Ids are dense, so the increment is
+    /// exactly `persisted..len`.
+    pub fn terms_since(&self, persisted: usize) -> &[String] {
+        &self.terms[persisted.min(self.terms.len())..]
+    }
+
     /// Intern `term`, returning its id (existing or fresh).
     pub fn intern(&mut self, term: &str) -> TermId {
         if let Some(&id) = self.by_term.get(term) {
@@ -64,6 +91,14 @@ impl Vocabulary {
     /// per document).
     pub fn bump_doc_freq(&mut self, id: TermId) {
         self.doc_freq[id.as_usize()] += 1;
+    }
+
+    /// Add `delta` to a term's document frequency in one step (bulk df
+    /// restoration when a durable engine reopens).
+    pub fn add_doc_freq(&mut self, id: TermId, delta: u64) {
+        if let Some(df) = self.doc_freq.get_mut(id.as_usize()) {
+            *df += delta;
+        }
     }
 
     /// Decrement document frequency (document deletion / content update).
@@ -115,6 +150,33 @@ mod tests {
         v.drop_doc_freq(b);
         v.drop_doc_freq(b);
         assert_eq!(v.doc_freq(b), 0, "doc freq must saturate at zero");
+    }
+
+    #[test]
+    fn from_terms_restores_ids_densely() {
+        let mut v = Vocabulary::new();
+        for t in ["golden", "gate", "bridge"] {
+            v.intern(t);
+        }
+        let restored =
+            Vocabulary::from_terms((0..v.len() as u32).map(|i| v.term(TermId(i)).unwrap().into()))
+                .unwrap();
+        assert_eq!(restored.len(), 3);
+        for t in ["golden", "gate", "bridge"] {
+            assert_eq!(restored.get(t), v.get(t), "{t}");
+        }
+        // Duplicates cannot restore densely.
+        assert!(Vocabulary::from_terms(["a".into(), "a".into()]).is_none());
+    }
+
+    #[test]
+    fn terms_since_reports_increment() {
+        let mut v = Vocabulary::new();
+        v.intern("a");
+        v.intern("b");
+        assert_eq!(v.terms_since(1), &["b".to_string()]);
+        assert!(v.terms_since(2).is_empty());
+        assert!(v.terms_since(99).is_empty());
     }
 
     #[test]

@@ -46,7 +46,7 @@
 //! ```
 
 pub use svr_engine::{
-    QueryRequest, RankedRow, Result, SearchCursor, SvrEngine, SvrError, WriteBatch,
+    EngineConfig, QueryRequest, RankedRow, Result, SearchCursor, SvrEngine, SvrError, WriteBatch,
 };
 pub use svr_sql::{SqlResult, SqlSession};
 
