@@ -36,6 +36,13 @@ pub struct IndexConfig {
     /// ListScore/ListChunk, doc store). These are "easily maintained in the
     /// database cache" (§5.3.1), so the default is generous.
     pub small_cache_pages: usize,
+    /// Cap on a suspended cursor's candidate pool (resolved-but-unemitted
+    /// results). `0` = unbounded (the library default). Long-lived network
+    /// cursors should set a cap: a full-scan method's first batch resolves
+    /// every match into the pool, and an abandoned cursor would pin that
+    /// memory until swept. Exceeding the cap evicts the cursor with
+    /// [`CoreError::CursorEvicted`](crate::CoreError::CursorEvicted).
+    pub cursor_pool_cap: usize,
     /// Number of write shards the index is partitioned into (beyond the
     /// paper, which is single-writer). Documents are hash-partitioned by
     /// doc id; each shard owns its own Score-table region, short/long list
@@ -59,6 +66,7 @@ impl Default for IndexConfig {
             page_size: svr_storage::DEFAULT_PAGE_SIZE,
             long_cache_pages: 4096,
             small_cache_pages: 16384,
+            cursor_pool_cap: 0,
             num_shards: 1,
         }
     }

@@ -245,6 +245,13 @@ pub(crate) trait CursorBackend {
         let _ = ts_sum;
         svr
     }
+
+    /// Candidate-pool cap (`IndexConfig::cursor_pool_cap`): scanning a
+    /// candidate into a pool already holding this many entries evicts the
+    /// cursor with [`CoreError::CursorEvicted`]. `0` = unbounded.
+    fn pool_cap(&self) -> usize {
+        0
+    }
 }
 
 /// Open a cursor with no phase-1 state (every method except the fancy-list
@@ -360,6 +367,10 @@ fn run<B: CursorBackend>(
                 continue;
             }
             if let Some(score) = backend.resolve(&candidate, &state.idfs)? {
+                let cap = backend.pool_cap();
+                if cap > 0 && state.pool.len() >= cap {
+                    return Err(CoreError::CursorEvicted { cap });
+                }
                 state.seen.insert(candidate.doc);
                 state.pool.push(Best(SearchHit {
                     doc: candidate.doc,

@@ -65,7 +65,7 @@ pub use cursor::MethodCursor;
 pub use error::{CoreError, Result};
 pub use methods::{
     build_index, build_index_at, open_index_at, shard_of_doc, store_names, IndexLocation,
-    MethodKind, ScoreMap, ScoreRead, SearchIndex, ShardStats, ShardedIndex,
+    MethodKind, RefreshGroupStats, ScoreMap, ScoreRead, SearchIndex, ShardStats, ShardedIndex,
 };
 pub use oracle::Oracle;
 pub use types::{Query, QueryMode, SearchHit};

@@ -114,6 +114,9 @@ pub(crate) struct MethodBase {
     /// the shared collection-wide count).
     local_docs: AtomicU64,
     pub term_weight: f64,
+    /// Candidate-pool cap for cursors opened on this shard
+    /// (`IndexConfig::cursor_pool_cap`; 0 = unbounded).
+    pub pool_cap: usize,
 }
 
 impl MethodBase {
@@ -144,6 +147,7 @@ impl MethodBase {
             stats,
             local_docs: AtomicU64::new(0),
             term_weight: config.term_weight,
+            pool_cap: config.cursor_pool_cap,
         })
     }
 
@@ -198,6 +202,7 @@ impl MethodBase {
             stats,
             local_docs: AtomicU64::new(live),
             term_weight: config.term_weight,
+            pool_cap: config.cursor_pool_cap,
         })
     }
 

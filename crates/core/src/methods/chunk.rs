@@ -186,6 +186,10 @@ impl CursorBackend for ChunkMethod {
         MethodKind::Chunk
     }
 
+    fn pool_cap(&self) -> usize {
+        self.base.pool_cap
+    }
+
     fn long_epoch(&self) -> u64 {
         self.long.epoch()
     }

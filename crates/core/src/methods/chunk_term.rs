@@ -273,6 +273,10 @@ impl CursorBackend for ChunkTermMethod {
         MethodKind::ChunkTermScore
     }
 
+    fn pool_cap(&self) -> usize {
+        self.base.pool_cap
+    }
+
     fn long_epoch(&self) -> u64 {
         self.long.epoch()
     }

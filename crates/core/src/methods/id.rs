@@ -83,6 +83,10 @@ impl CursorBackend for IdMethod {
         MethodKind::Id
     }
 
+    fn pool_cap(&self) -> usize {
+        self.base.pool_cap
+    }
+
     fn long_epoch(&self) -> u64 {
         self.long.epoch()
     }

@@ -87,6 +87,10 @@ impl CursorBackend for IdTermMethod {
         MethodKind::IdTermScore
     }
 
+    fn pool_cap(&self) -> usize {
+        self.base.pool_cap
+    }
+
     fn long_epoch(&self) -> u64 {
         self.long.epoch()
     }

@@ -157,6 +157,35 @@ pub struct ShardStats {
 /// "no current score" (the row is gone) and skips the document.
 pub type ScoreRead<'a> = &'a (dyn Fn(DocId) -> Result<Option<Score>> + Sync);
 
+/// Contention counters of a shard's group-commit refresh queue (summed
+/// across shards by [`ShardedIndex`]). All zeros while group-commit
+/// draining is off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefreshGroupStats {
+    /// Refresh batches that went through the queue.
+    pub enqueued: u64,
+    /// Refresh batches applied under some lock hold (own + piggybacked).
+    pub applied: u64,
+    /// Write-lock holds that drained at least one batch. `applied -
+    /// drain_holds` batches rode along on another writer's lock hold.
+    pub drain_holds: u64,
+    /// Deepest the queue ever got.
+    pub max_depth: u64,
+    /// Batches queued right now.
+    pub depth: u64,
+}
+
+impl RefreshGroupStats {
+    /// Element-wise sum (shard aggregation).
+    pub fn merge(&mut self, other: &RefreshGroupStats) {
+        self.enqueued += other.enqueued;
+        self.applied += other.applied;
+        self.drain_holds += other.drain_holds;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.depth += other.depth;
+    }
+}
+
 /// The common interface of all six index methods.
 ///
 /// All operations take `&self`: the structures use interior mutability
@@ -320,6 +349,31 @@ pub trait SearchIndex: Send + Sync {
     fn corpus_num_docs(&self) -> u64 {
         self.shard_stats().iter().map(|s| s.docs).sum()
     }
+
+    /// Toggle group-commit draining of deferred score refreshes: when on,
+    /// a [`SearchIndex::refresh_scores`] caller that wins the shard's
+    /// writer lock applies the refresh batches *other* writers queued
+    /// while they waited, before releasing — under write skew one lock
+    /// hold retires many writers' propagation work. Only the locking
+    /// decorators ([`LockedIndex`], [`ShardedIndex`]) have a queue; plain
+    /// method instances ignore the toggle.
+    ///
+    /// Requires every concurrent `refresh_scores` caller of this index to
+    /// supply a semantically equivalent authoritative [`ScoreRead`] (the
+    /// engine always does): a drainer re-reads peers' documents through
+    /// its own callback.
+    fn set_group_refresh(&self, _enabled: bool) {}
+
+    /// True when group-commit refresh draining is on.
+    fn group_refresh_enabled(&self) -> bool {
+        false
+    }
+
+    /// Contention counters of the group-commit refresh queue (all zeros
+    /// when the index has no queue or draining was never enabled).
+    fn refresh_group_stats(&self) -> RefreshGroupStats {
+        RefreshGroupStats::default()
+    }
 }
 
 /// Concurrency decorator: one writer at a time, queries share a read lock.
@@ -333,7 +387,32 @@ pub trait SearchIndex: Send + Sync {
 pub struct LockedIndex<I> {
     inner: I,
     lock: parking_lot::RwLock<()>,
+    group: GroupQueue,
 }
+
+/// One queued refresh batch: the documents plus a slot its owner blocks on
+/// until some lock holder (the owner itself, or a peer draining the queue)
+/// deposits the batch's result.
+struct RefreshTicket {
+    docs: Vec<DocId>,
+    result: std::sync::Mutex<Option<Result<()>>>,
+    done: std::sync::Condvar,
+}
+
+/// The group-commit refresh queue of one [`LockedIndex`] shard.
+struct GroupQueue {
+    enabled: std::sync::atomic::AtomicBool,
+    queue: std::sync::Mutex<std::collections::VecDeque<Arc<RefreshTicket>>>,
+    enqueued: std::sync::atomic::AtomicU64,
+    applied: std::sync::atomic::AtomicU64,
+    drain_holds: std::sync::atomic::AtomicU64,
+    max_depth: std::sync::atomic::AtomicU64,
+}
+
+/// Cap on batches one lock hold may drain, so a single writer cannot be
+/// conscripted into applying the whole fleet's refreshes indefinitely
+/// under sustained load.
+const MAX_DRAIN_PER_HOLD: u64 = 128;
 
 impl<I: SearchIndex> LockedIndex<I> {
     /// Wrap an index.
@@ -341,6 +420,89 @@ impl<I: SearchIndex> LockedIndex<I> {
         LockedIndex {
             inner,
             lock: parking_lot::RwLock::new(()),
+            group: GroupQueue {
+                enabled: std::sync::atomic::AtomicBool::new(false),
+                queue: std::sync::Mutex::new(std::collections::VecDeque::new()),
+                enqueued: std::sync::atomic::AtomicU64::new(0),
+                applied: std::sync::atomic::AtomicU64::new(0),
+                drain_holds: std::sync::atomic::AtomicU64::new(0),
+                max_depth: std::sync::atomic::AtomicU64::new(0),
+            },
+        }
+    }
+
+    /// Apply one refresh batch; the caller holds the write lock.
+    fn apply_refresh(&self, docs: &[DocId], read: ScoreRead) -> Result<()> {
+        for &doc in docs {
+            let Some(score) = read(doc)? else { continue };
+            match self.inner.update_score(doc, score) {
+                Ok(()) | Err(crate::error::CoreError::UnknownDocument(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// The group-commit refresh path: queue the batch, then either win the
+    /// writer lock and drain every queued batch under the one hold, or
+    /// wait for a winning peer to deposit this batch's result.
+    fn refresh_grouped(&self, docs: &[DocId], read: ScoreRead) -> Result<()> {
+        let ticket = Arc::new(RefreshTicket {
+            docs: docs.to_vec(),
+            result: std::sync::Mutex::new(None),
+            done: std::sync::Condvar::new(),
+        });
+        {
+            let mut queue = self.group.queue.lock().expect("refresh queue poisoned");
+            queue.push_back(ticket.clone());
+            self.group
+                .enqueued
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.group
+                .max_depth
+                .fetch_max(queue.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        }
+        loop {
+            if let Some(result) = ticket.result.lock().expect("ticket poisoned").take() {
+                return result;
+            }
+            if let Some(_guard) = self.lock.try_write() {
+                let mut applied = 0u64;
+                while applied < MAX_DRAIN_PER_HOLD {
+                    let next = self
+                        .group
+                        .queue
+                        .lock()
+                        .expect("refresh queue poisoned")
+                        .pop_front();
+                    let Some(t) = next else { break };
+                    let result = self.apply_refresh(&t.docs, read);
+                    *t.result.lock().expect("ticket poisoned") = Some(result);
+                    t.done.notify_all();
+                    applied += 1;
+                }
+                if applied > 0 {
+                    self.group
+                        .drain_holds
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.group
+                        .applied
+                        .fetch_add(applied, std::sync::atomic::Ordering::Relaxed);
+                }
+                // Own ticket was normally among the drained; if a peer beat
+                // us to it (or the per-hold cap left it queued), loop.
+            } else {
+                let slot = ticket.result.lock().expect("ticket poisoned");
+                if slot.is_none() {
+                    // Bounded wait: a racing holder may resolve the ticket
+                    // between the check and the wait; the timeout self-heals
+                    // a missed notification.
+                    let _ = ticket
+                        .done
+                        .wait_timeout(slot, std::time::Duration::from_millis(1))
+                        .expect("ticket poisoned");
+                }
+            }
         }
     }
 }
@@ -356,18 +518,18 @@ impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
     }
 
     fn refresh_scores(&self, docs: &[DocId], read: ScoreRead) -> Result<()> {
+        if self
+            .group
+            .enabled
+            .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            return self.refresh_grouped(docs, read);
+        }
         // One write-lock acquisition for the whole batch; `read` runs under
         // it, which is what makes deferred propagation stale-proof (see the
         // trait docs).
         let _guard = self.lock.write();
-        for &doc in docs {
-            let Some(score) = read(doc)? else { continue };
-            match self.inner.update_score(doc, score) {
-                Ok(()) | Err(crate::error::CoreError::UnknownDocument(_)) => {}
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(())
+        self.apply_refresh(docs, read)
     }
 
     fn open_cursor(&self, query: &Query) -> Result<MethodCursor> {
@@ -470,6 +632,34 @@ impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
 
     fn corpus_num_docs(&self) -> u64 {
         self.inner.corpus_num_docs()
+    }
+
+    fn set_group_refresh(&self, enabled: bool) {
+        self.group
+            .enabled
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn group_refresh_enabled(&self) -> bool {
+        self.group
+            .enabled
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn refresh_group_stats(&self) -> RefreshGroupStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        RefreshGroupStats {
+            enqueued: self.group.enqueued.load(Relaxed),
+            applied: self.group.applied.load(Relaxed),
+            drain_holds: self.group.drain_holds.load(Relaxed),
+            max_depth: self.group.max_depth.load(Relaxed),
+            depth: self
+                .group
+                .queue
+                .lock()
+                .expect("refresh queue poisoned")
+                .len() as u64,
+        }
     }
 }
 

@@ -81,6 +81,10 @@ impl CursorBackend for ScoreMethod {
         MethodKind::Score
     }
 
+    fn pool_cap(&self) -> usize {
+        self.base.pool_cap
+    }
+
     fn long_epoch(&self) -> u64 {
         // The clustered list is a B+-tree resumed by key; there is no page
         // chain to invalidate.

@@ -125,6 +125,10 @@ impl CursorBackend for ScoreThresholdMethod {
         MethodKind::ScoreThreshold
     }
 
+    fn pool_cap(&self) -> usize {
+        self.base.pool_cap
+    }
+
     fn long_epoch(&self) -> u64 {
         self.long.epoch()
     }

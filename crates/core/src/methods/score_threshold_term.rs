@@ -247,6 +247,10 @@ impl CursorBackend for ScoreThresholdTermMethod {
         MethodKind::ScoreThresholdTermScore
     }
 
+    fn pool_cap(&self) -> usize {
+        self.base.pool_cap
+    }
+
     fn long_epoch(&self) -> u64 {
         self.long.epoch()
     }

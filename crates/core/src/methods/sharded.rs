@@ -373,6 +373,24 @@ impl<I: SearchIndex> SearchIndex for ShardedIndex<I> {
     fn corpus_num_docs(&self) -> u64 {
         self.shards[0].corpus_num_docs()
     }
+
+    fn set_group_refresh(&self, enabled: bool) {
+        for shard in &self.shards {
+            shard.set_group_refresh(enabled);
+        }
+    }
+
+    fn group_refresh_enabled(&self) -> bool {
+        self.shards.iter().any(|s| s.group_refresh_enabled())
+    }
+
+    fn refresh_group_stats(&self) -> crate::methods::RefreshGroupStats {
+        let mut total = crate::methods::RefreshGroupStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.refresh_group_stats());
+        }
+        total
+    }
 }
 
 #[cfg(test)]

@@ -180,14 +180,39 @@ pub struct EngineConfig {
     /// is checkpointed at the next safe opportunity. Default 1 MiB;
     /// `u64::MAX` disables automatic checkpointing.
     pub wal_checkpoint_bytes: u64,
+    /// WAL group-sync interval: `0` (the default) fsyncs every commit
+    /// marker of a file-backed engine; a positive value fsyncs at most
+    /// once per this many milliseconds, amortizing the fsync across the
+    /// commits of the interval. A crash can then lose up to one
+    /// interval's worth of *acknowledged* transactions, but recovery
+    /// still lands on a clean prefix of them (the log is append-only).
+    pub wal_sync_interval_ms: u64,
+    /// Group-commit drain of deferred score refreshes: a writer winning a
+    /// shard's refresh lock applies the batches other writers queued
+    /// while they waited, before releasing (see
+    /// [`SearchIndex::set_group_refresh`]). Off by default.
+    pub group_refresh: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             wal_checkpoint_bytes: 1 << 20,
+            wal_sync_interval_ms: 0,
+            group_refresh: false,
         }
     }
+}
+
+/// Engine-wide serving/contention counters (see
+/// [`SvrEngine::contention_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContentionStats {
+    /// Aggregate WAL counters across every store (commit-sync policy
+    /// counters included).
+    pub wal: svr_storage::WalStats,
+    /// Group-commit refresh-queue counters summed over every index.
+    pub refresh: svr_core::RefreshGroupStats,
 }
 
 /// A ranked search result: the matching row and its latest SVR score.
@@ -525,6 +550,10 @@ struct EngineShared {
     write_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     /// `Some` for durable engines; `None` for plain in-memory ones.
     durable: Option<DurableEngine>,
+    /// Group-commit refresh draining, applied to every index at
+    /// creation/open and toggled engine-wide at runtime
+    /// ([`SvrEngine::set_group_refresh`]).
+    group_refresh: std::sync::atomic::AtomicBool,
 }
 
 /// The integrated engine. Cloning is cheap (`Arc` bump) and every clone
@@ -556,6 +585,7 @@ impl SvrEngine {
                 indexes: RwLock::new(HashMap::new()),
                 write_locks: Mutex::new(HashMap::new()),
                 durable: None,
+                group_refresh: std::sync::atomic::AtomicBool::new(false),
             }),
         }
     }
@@ -585,6 +615,7 @@ impl SvrEngine {
                 "environment already holds an engine (use SvrEngine::open)".into(),
             ));
         }
+        env.set_wal_sync_interval_ms(config.wal_sync_interval_ms);
         let db = Database::with_env(env.clone())?;
         db.set_wal_checkpoint_bytes(config.wal_checkpoint_bytes);
         let indexes_tree = BTree::create_durable(env.create_logged_store(SYS_INDEXES_STORE, 64))
@@ -604,6 +635,7 @@ impl SvrEngine {
                     persisted_terms: Mutex::new(0),
                     checkpoint_bytes: config.wal_checkpoint_bytes,
                 }),
+                group_refresh: std::sync::atomic::AtomicBool::new(config.group_refresh),
             }),
         })
     }
@@ -625,6 +657,7 @@ impl SvrEngine {
     pub fn open_with(env: Arc<StorageEnv>, config: EngineConfig) -> Result<SvrEngine> {
         env.recover_all()
             .map_err(|e| SvrError::Engine(format!("recovery failed: {e}")))?;
+        env.set_wal_sync_interval_ms(config.wal_sync_interval_ms);
         let db = Database::open_env(env.clone())?;
         db.set_wal_checkpoint_bytes(config.wal_checkpoint_bytes);
 
@@ -690,6 +723,7 @@ impl SvrEngine {
                     persisted_terms: Mutex::new(persisted),
                     checkpoint_bytes: config.wal_checkpoint_bytes,
                 }),
+                group_refresh: std::sync::atomic::AtomicBool::new(config.group_refresh),
             }),
         };
 
@@ -712,6 +746,7 @@ impl SvrEngine {
             let loc = IndexLocation::new(env.clone(), index_prefix(&name));
             let index: Arc<dyn SearchIndex> =
                 Arc::from(open_index_at(&loc, record.method, &record.config)?);
+            index.set_group_refresh(config.group_refresh);
             // The vocabulary's frequency gauge is re-derived from the
             // reopened corpus statistics (it only feeds workload
             // generators, not ranking, and was never exact to begin with).
@@ -735,15 +770,69 @@ impl SvrEngine {
     /// process restarts, every store in `<path>/<name>.pages` with its log
     /// mirrored to `<path>/<name>.wal`.
     pub fn open_path(path: impl Into<std::path::PathBuf>) -> Result<SvrEngine> {
+        SvrEngine::open_path_with(path, EngineConfig::default())
+    }
+
+    /// [`SvrEngine::open_path`] with explicit [`EngineConfig`] tunables —
+    /// how a serving deployment opts into the group-commit amortizations
+    /// (`wal_sync_interval_ms`, `group_refresh`).
+    pub fn open_path_with(
+        path: impl Into<std::path::PathBuf>,
+        config: EngineConfig,
+    ) -> Result<SvrEngine> {
         let env = Arc::new(
             StorageEnv::open_dir(path, svr_storage::DEFAULT_PAGE_SIZE)
                 .map_err(|e| SvrError::Engine(format!("open environment: {e}")))?,
         );
         if env.store_exists(svr_relation::SYS_CATALOG_STORE) {
-            SvrEngine::open(env)
+            SvrEngine::open_with(env, config)
         } else {
-            SvrEngine::create(env)
+            SvrEngine::create_with(env, config)
         }
+    }
+
+    /// Toggle group-commit refresh draining engine-wide, on every live
+    /// index and every index created later (see
+    /// [`EngineConfig::group_refresh`]).
+    pub fn set_group_refresh(&self, enabled: bool) {
+        self.shared
+            .group_refresh
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+        for entry in self.shared.indexes.read().values() {
+            entry.index.set_group_refresh(enabled);
+        }
+    }
+
+    /// True when group-commit refresh draining is on.
+    pub fn group_refresh_enabled(&self) -> bool {
+        self.shared
+            .group_refresh
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Set the WAL group-sync interval of a durable engine at runtime
+    /// (`0` = fsync every commit; see [`EngineConfig::wal_sync_interval_ms`]).
+    /// No-op for in-memory engines.
+    pub fn set_wal_sync_interval_ms(&self, ms: u64) {
+        if let Some(durable) = &self.shared.durable {
+            durable.env.set_wal_sync_interval_ms(ms);
+        }
+    }
+
+    /// Engine-wide contention counters: aggregate WAL statistics (commit
+    /// syncs and group-sync deferrals included) plus the group-commit
+    /// refresh-queue counters summed over every index — the payload of the
+    /// serving front end's `Info` command.
+    pub fn contention_stats(&self) -> ContentionStats {
+        let wal = match &self.shared.durable {
+            Some(durable) => durable.env.total_wal_stats(),
+            None => svr_storage::WalStats::default(),
+        };
+        let mut refresh = svr_core::RefreshGroupStats::default();
+        for entry in self.shared.indexes.read().values() {
+            refresh.merge(&entry.index.refresh_group_stats());
+        }
+        ContentionStats { wal, refresh }
     }
 
     /// The engine's durable environment, when it has one.
@@ -1097,6 +1186,11 @@ impl SvrEngine {
                 Arc::from(build_index_at(&loc, method, &docs, &scores, &config)?)
             }
         };
+        index.set_group_refresh(
+            self.shared
+                .group_refresh
+                .load(std::sync::atomic::Ordering::Relaxed),
+        );
 
         {
             let mut indexes = self.shared.indexes.write();
@@ -1710,6 +1804,7 @@ fn encode_index_record(record: &IndexRecord) -> Vec<u8> {
     write_varint(&mut buf, c.long_cache_pages as u64);
     write_varint(&mut buf, c.small_cache_pages as u64);
     write_varint(&mut buf, c.num_shards as u64);
+    write_varint(&mut buf, c.cursor_pool_cap as u64);
     buf
 }
 
@@ -1739,6 +1834,7 @@ fn decode_index_record(raw: &[u8]) -> Result<IndexRecord> {
     let long_cache_pages = read_varint(raw, &mut pos).ok_or_else(corrupt)? as usize;
     let small_cache_pages = read_varint(raw, &mut pos).ok_or_else(corrupt)? as usize;
     let num_shards = read_varint(raw, &mut pos).ok_or_else(corrupt)? as usize;
+    let cursor_pool_cap = read_varint(raw, &mut pos).ok_or_else(corrupt)? as usize;
     Ok(IndexRecord {
         table,
         text_col,
@@ -1752,6 +1848,7 @@ fn decode_index_record(raw: &[u8]) -> Result<IndexRecord> {
             page_size,
             long_cache_pages,
             small_cache_pages,
+            cursor_pool_cap,
             num_shards,
         },
     })

@@ -51,12 +51,41 @@
 //! }).join().unwrap();
 //! assert_eq!(hits[0].score, 50.0);
 //! ```
+//!
+//! # Serving
+//!
+//! Under a network front end (the `svr_server` crate) the engine is one
+//! shared handle facing many concurrent writers, and the per-write
+//! durability and maintenance costs dominate. Two [`EngineConfig`]
+//! knobs amortize them, both group-commit shaped:
+//!
+//! * [`EngineConfig::wal_sync_interval_ms`] — **interval group-sync of
+//!   WAL commit markers.** `0` (the default) fsyncs every commit marker:
+//!   an acknowledged transaction is on disk. A positive interval fsyncs
+//!   at most once per interval; the markers in between are acknowledged
+//!   once *logged*, so one fsync absorbs every commit in the window.
+//!   The durability window this opens is bounded and well-formed: the
+//!   log is append-only, so a crash loses at most the last interval's
+//!   acknowledged transactions and recovery always lands on a *prefix*
+//!   of the acknowledged sequence — never a torn or reordered state
+//!   (proptested in `tests/group_sync_crash.rs`).
+//! * [`EngineConfig::group_refresh`] — **group-commit drain of queued
+//!   score refreshes.** Concurrent writers queue their index refresh
+//!   batches; whichever writer wins the shard's writer lock drains the
+//!   whole queue under that one hold before releasing. Writers block
+//!   until their batch is applied (acknowledged writes are always
+//!   visible), but N writers pay one lock hold instead of N.
+//!
+//! [`SvrEngine::contention_stats`] exposes the counters behind both
+//! (fsyncs paid vs skipped, refresh batches drained); the server's
+//! `Info` command forwards them over the wire, and the bench suite's
+//! `serving` experiment reports the throughput they buy.
 
 mod engine;
 mod error;
 
 pub use engine::{
-    EngineConfig, QueryRequest, RankedRow, SearchCursor, SvrEngine, WriteBatch, WriteOp,
-    SYS_INDEXES_STORE, SYS_VOCAB_STORE,
+    ContentionStats, EngineConfig, QueryRequest, RankedRow, SearchCursor, SvrEngine, WriteBatch,
+    WriteOp, SYS_INDEXES_STORE, SYS_VOCAB_STORE,
 };
 pub use error::{Result, SvrError};

@@ -1,0 +1,313 @@
+//! Crash recovery inside the group-sync durability window.
+//!
+//! With a positive `wal_sync_interval_ms` a transaction is *acknowledged*
+//! when its commit markers are in the log, not when they reach the disk.
+//! The contract is: a crash loses at most the acknowledged-but-unsynced
+//! tail, and recovery lands exactly on the last synced prefix of the
+//! transaction sequence — never a torn mid-transaction state, never a
+//! reordering. These tests drive random transaction sequences through a
+//! durable engine, sync at a random cut point, crash away the unsynced
+//! tail with [`StorageEnv::crash_unsynced`], reopen, and compare both the
+//! table contents and the ranked-retrieval results against a serial
+//! oracle that replayed only the synced prefix.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use svr_core::types::QueryMode;
+use svr_core::{IndexConfig, MethodKind};
+use svr_engine::{EngineConfig, SvrEngine, WriteBatch};
+use svr_relation::schema::{ColumnType, Schema};
+use svr_relation::{ScoreComponent, SvrSpec, Value};
+use svr_storage::StorageEnv;
+
+/// Movie pk universe; stats rows exist for every pk so score updates are
+/// always valid, while `Toggle` inserts/deletes the movies row.
+const PKS: i64 = 8;
+
+const TEXTS: [&str; 6] = [
+    "golden gate bridge at dawn",
+    "golden retriever at the gate",
+    "bridge engineering documentary",
+    "gate repair and golden paint",
+    "sunset over the golden gate",
+    "cooking show without keywords",
+];
+
+#[derive(Debug, Clone)]
+enum TxnOp {
+    /// Update the stats row driving the structured score.
+    SetScore { pk: i64, score: i64 },
+    /// Rewrite the indexed text column (skipped when the movie is absent).
+    SetText { pk: i64, text: usize },
+    /// Delete the movie when present, insert it when never yet seen.
+    /// (Deleted pks stay dead: the index tombstones a deleted document's
+    /// id until maintenance, so re-inserting the same pk is rejected.)
+    Toggle { pk: i64, text: usize },
+}
+
+/// Deterministic world state the transaction generator evolves; the
+/// oracle replays the identical evolution.
+#[derive(Default)]
+struct World {
+    present: BTreeSet<i64>,
+    dead: BTreeSet<i64>,
+}
+
+fn op_strategy() -> impl Strategy<Value = TxnOp> {
+    prop_oneof![
+        (1..=PKS, 0i64..10_000).prop_map(|(pk, score)| TxnOp::SetScore { pk, score }),
+        (1..=PKS, 0..TEXTS.len()).prop_map(|(pk, text)| TxnOp::SetText { pk, text }),
+        (1..=PKS, 0..TEXTS.len()).prop_map(|(pk, text)| TxnOp::Toggle { pk, text }),
+    ]
+}
+
+fn txn_strategy() -> impl Strategy<Value = Vec<TxnOp>> {
+    proptest::collection::vec(op_strategy(), 1..4)
+}
+
+/// Create the schema, seed rows and the text index. Movies 1..=5 start
+/// present; stats rows exist for the whole pk universe with distinct
+/// scores (`pk * 8 + jitter`) so rankings never tie.
+fn build_schema(engine: &SvrEngine) -> World {
+    engine
+        .create_table(Schema::new(
+            "movies",
+            &[("mid", ColumnType::Int), ("desc", ColumnType::Text)],
+            0,
+        ))
+        .unwrap();
+    engine
+        .create_table(Schema::new(
+            "stats",
+            &[("mid", ColumnType::Int), ("nvisit", ColumnType::Int)],
+            0,
+        ))
+        .unwrap();
+    let mut world = World::default();
+    for pk in 1..=5 {
+        engine
+            .insert_row(
+                "movies",
+                vec![
+                    Value::Int(pk),
+                    Value::Text(TEXTS[(pk as usize - 1) % TEXTS.len()].into()),
+                ],
+            )
+            .unwrap();
+        world.present.insert(pk);
+    }
+    for pk in 1..=PKS {
+        engine
+            .insert_row("stats", vec![Value::Int(pk), Value::Int(100 * 8 + pk)])
+            .unwrap();
+    }
+    let spec = SvrSpec::single(ScoreComponent::ColumnOf {
+        table: "stats".into(),
+        key_col: "mid".into(),
+        val_col: "nvisit".into(),
+    });
+    engine
+        .create_text_index(
+            "movie_idx",
+            "movies",
+            "desc",
+            spec,
+            MethodKind::Chunk,
+            IndexConfig {
+                min_chunk_docs: 2,
+                ..IndexConfig::default()
+            },
+        )
+        .unwrap();
+    world
+}
+
+/// Apply one transaction as a single atomic [`WriteBatch`]. Ops that are
+/// invalid in the current state are skipped *deterministically*, so the
+/// oracle replay evolves the identical way. Returns true when the batch
+/// had at least one op and was applied.
+fn apply_txn(engine: &SvrEngine, world: &mut World, txn: &[TxnOp]) -> bool {
+    let mut batch = WriteBatch::new();
+    for op in txn {
+        match *op {
+            TxnOp::SetScore { pk, score } => {
+                // pk-unique score keeps rankings tie-free.
+                batch.update(
+                    "stats",
+                    Value::Int(pk),
+                    vec![("nvisit".to_string(), Value::Int(score * 8 + pk))],
+                );
+            }
+            TxnOp::SetText { pk, text } => {
+                if world.present.contains(&pk) {
+                    batch.update(
+                        "movies",
+                        Value::Int(pk),
+                        vec![("desc".to_string(), Value::Text(TEXTS[text].into()))],
+                    );
+                }
+            }
+            TxnOp::Toggle { pk, text } => {
+                if world.present.remove(&pk) {
+                    world.dead.insert(pk);
+                    batch.delete("movies", Value::Int(pk));
+                } else if !world.dead.contains(&pk) {
+                    batch.insert(
+                        "movies",
+                        vec![Value::Int(pk), Value::Text(TEXTS[text].into())],
+                    );
+                    world.present.insert(pk);
+                }
+            }
+        }
+    }
+    if batch.is_empty() {
+        return false;
+    }
+    engine.apply(batch).unwrap();
+    true
+}
+
+/// `(pk, score)` pairs: a ranking, or the per-document score table.
+type Scored = Vec<(i64, f64)>;
+
+/// Ranked results plus per-document scores: the full observable state the
+/// recovered engine must share with the serial oracle.
+fn observe(engine: &SvrEngine, present: &BTreeSet<i64>) -> (Scored, Scored) {
+    let hits = engine
+        .search("movie_idx", "golden gate", 20, QueryMode::Disjunctive)
+        .unwrap()
+        .into_iter()
+        .map(|r| (r.row[0].as_i64().unwrap(), r.score))
+        .collect();
+    let scores = present
+        .iter()
+        .map(|&pk| (pk, engine.score_of("movie_idx", pk).unwrap()))
+        .collect();
+    (hits, scores)
+}
+
+/// Replay the synced prefix on a fresh in-memory engine: the serial
+/// oracle for what recovery must reproduce.
+fn oracle_after(txns: &[Vec<TxnOp>]) -> (SvrEngine, World) {
+    let engine = SvrEngine::new();
+    let mut world = build_schema(&engine);
+    for txn in txns {
+        apply_txn(&engine, &mut world, txn);
+    }
+    (engine, world)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Crash inside the group-sync window: recovery lands exactly on the
+    /// synced prefix of acknowledged transactions, and the recovered
+    /// rankings match a serial oracle that replayed only that prefix.
+    #[test]
+    fn crash_in_group_sync_window_recovers_synced_prefix(
+        txns in proptest::collection::vec(txn_strategy(), 1..10),
+        cut_raw in 0usize..10,
+    ) {
+        let cut = cut_raw.min(txns.len());
+        let env = Arc::new(StorageEnv::new_durable(svr_storage::DEFAULT_PAGE_SIZE));
+        // Interval far beyond the test's runtime: after the first commit
+        // per store, every further marker is acknowledged unsynced.
+        let engine = SvrEngine::create_with(
+            env.clone(),
+            EngineConfig {
+                wal_sync_interval_ms: 1_000_000,
+                group_refresh: true,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let mut world = build_schema(&engine);
+
+        for txn in &txns[..cut] {
+            apply_txn(&engine, &mut world, txn);
+        }
+        // The coordinated sync point: everything up to here survives.
+        env.sync_all_wals().unwrap();
+        let mut applied_after_cut = 0usize;
+        for txn in &txns[cut..] {
+            if apply_txn(&engine, &mut world, txn) {
+                applied_after_cut += 1;
+            }
+        }
+        if applied_after_cut > 0 {
+            let stats = engine.contention_stats();
+            prop_assert!(
+                stats.wal.sync_skips > 0,
+                "acknowledged-unsynced commits must show up as sync skips: {stats:?}"
+            );
+        }
+        drop(engine);
+
+        let lost = env.crash_unsynced();
+        prop_assert!(
+            applied_after_cut == 0 || lost > 0,
+            "unsynced transactions must have bytes at risk (applied {applied_after_cut})"
+        );
+
+        let recovered = SvrEngine::open(env).unwrap();
+        let (oracle, oracle_world) = oracle_after(&txns[..cut]);
+        prop_assert_eq!(
+            observe(&recovered, &oracle_world.present),
+            observe(&oracle, &oracle_world.present),
+            "recovered state must equal the synced prefix (cut {} of {})",
+            cut,
+            txns.len()
+        );
+        // The unsynced tail is gone, not half-applied: every pk the prefix
+        // deleted is gone, every pk it never inserted errors.
+        for pk in 1..=PKS {
+            prop_assert_eq!(
+                recovered.score_of("movie_idx", pk).is_ok(),
+                oracle_world.present.contains(&pk)
+            );
+        }
+
+        // The recovered engine keeps serving acknowledged-durable writes.
+        recovered
+            .update_row(
+                "stats",
+                Value::Int(1),
+                &[("nvisit".to_string(), Value::Int(1_000_000))],
+            )
+            .unwrap();
+        if oracle_world.present.contains(&1) {
+            let top = recovered
+                .search("movie_idx", "golden gate", 1, QueryMode::Disjunctive)
+                .unwrap();
+            prop_assert_eq!(top[0].row[0].clone(), Value::Int(1));
+        }
+    }
+
+    /// The degenerate window: with the default sync-every-commit policy a
+    /// crash loses nothing — every acknowledged transaction survives.
+    #[test]
+    fn sync_every_commit_loses_nothing(
+        txns in proptest::collection::vec(txn_strategy(), 1..6),
+    ) {
+        let env = Arc::new(StorageEnv::new_durable(svr_storage::DEFAULT_PAGE_SIZE));
+        let engine = SvrEngine::create(env.clone()).unwrap();
+        let mut world = build_schema(&engine);
+        for txn in &txns {
+            apply_txn(&engine, &mut world, txn);
+        }
+        drop(engine);
+
+        let lost = env.crash_unsynced();
+        prop_assert_eq!(lost, 0, "interval 0 syncs every commit marker");
+
+        let recovered = SvrEngine::open(env).unwrap();
+        let (oracle, oracle_world) = oracle_after(&txns);
+        prop_assert_eq!(
+            observe(&recovered, &oracle_world.present),
+            observe(&oracle, &oracle_world.present)
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! `svr-serve`: stand up a serving front end over an SVR engine.
+//!
+//! ```text
+//! svr-serve [--addr HOST:PORT] [--path DIR] [--sync-interval-ms N]
+//!           [--group-refresh] [--workers N] [--cursor-ttl-secs N]
+//! ```
+//!
+//! Without `--path` the engine is in-memory (useful for protocol
+//! experiments); with it, a durable engine is opened (or created) at the
+//! directory and the group-commit flags take effect on its WAL. The
+//! server runs until stdin reaches EOF (Ctrl-D, or the parent closing
+//! the pipe), then shuts down cleanly.
+
+use std::io::Read;
+
+use svr_engine::{EngineConfig, SvrEngine};
+use svr_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: svr-serve [--addr HOST:PORT] [--path DIR] [--sync-interval-ms N] \
+         [--group-refresh] [--workers N] [--cursor-ttl-secs N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut path: Option<String> = None;
+    let mut engine_config = EngineConfig::default();
+    let mut server_config = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--path" => path = Some(value("--path")),
+            "--sync-interval-ms" => {
+                engine_config.wal_sync_interval_ms = value("--sync-interval-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--group-refresh" => engine_config.group_refresh = true,
+            "--workers" => {
+                server_config.workers = value("--workers").parse().unwrap_or_else(|_| usage())
+            }
+            "--cursor-ttl-secs" => {
+                let secs: u64 = value("--cursor-ttl-secs")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                server_config.cursor_ttl = Some(std::time::Duration::from_secs(secs));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    server_config.addr = addr;
+
+    let engine = match &path {
+        Some(dir) => match SvrEngine::open_path_with(dir, engine_config.clone()) {
+            Ok(engine) => engine,
+            Err(e) => {
+                eprintln!("svr-serve: cannot open engine at {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            let engine = SvrEngine::new();
+            engine.set_group_refresh(engine_config.group_refresh);
+            engine
+        }
+    };
+
+    let mut handle = match Server::start(engine, server_config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("svr-serve: cannot bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("svr-serve listening on {}", handle.addr());
+    println!(
+        "engine: {}, wal_sync_interval_ms={}, group_refresh={}",
+        path.as_deref().unwrap_or("in-memory"),
+        engine_config.wal_sync_interval_ms,
+        engine_config.group_refresh,
+    );
+    println!("press Ctrl-D (EOF on stdin) to stop");
+
+    // Block until stdin closes, then exit cleanly.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    let stats = handle.stats();
+    handle.shutdown();
+    println!(
+        "svr-serve: {} connections, {} requests, {} shed",
+        stats.accepted, stats.requests, stats.shed
+    );
+}

@@ -1,0 +1,200 @@
+//! A blocking line-protocol client for the serving front end.
+//!
+//! Speaks the frame protocol over one TCP connection. The synchronous
+//! `request` helpers send one frame and wait for its response; `send` /
+//! `recv` split the two halves for pipelining (the server answers a
+//! connection's requests in order, so `k` sends followed by `k` recvs
+//! pair up positionally — `Busy` sheds and inline `Ping` replies being
+//! the documented exceptions).
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::error::{Result, ServerError};
+use crate::frame;
+use crate::json::Json;
+use crate::protocol::{encode_request, Request, Response};
+
+/// A connected protocol client.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+/// A decoded result set (`kind: "rows"` responses).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Json>>,
+    /// Parallel to `rows` for ranked (keyword search) results; empty
+    /// otherwise.
+    pub scores: Vec<f64>,
+}
+
+impl Client {
+    /// Connect to a serving front end.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Send a request without waiting (pipelining half; pair with
+    /// [`Client::recv`]).
+    pub fn send(&mut self, request: &Request) -> Result<()> {
+        let bytes = encode_request(request).encode();
+        self.stream.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Receive the next response frame, blocking until complete.
+    pub fn recv(&mut self) -> Result<Response> {
+        loop {
+            if let Some((frame, used)) = frame::decode(&self.buf)? {
+                self.buf.drain(..used);
+                return Ok(Response::decode(&frame)?);
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ServerError::ConnectionClosed);
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Send one request and wait for its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Round-trip liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Ok(_) => Ok(()),
+            other => Err(other_into_error(other)),
+        }
+    }
+
+    /// Execute a statement, expecting success; returns the result body.
+    pub fn exec(&mut self, sql: &str) -> Result<Json> {
+        let request = Request::Exec {
+            sql: sql.to_string(),
+        };
+        match self.request(&request)? {
+            Response::Ok(body) => Ok(body),
+            other => Err(other_into_error(other)),
+        }
+    }
+
+    /// Run a query and decode its result set.
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet> {
+        let request = Request::Query {
+            sql: sql.to_string(),
+        };
+        match self.request(&request)? {
+            Response::Ok(body) => decode_result_set(&body),
+            other => Err(other_into_error(other)),
+        }
+    }
+
+    /// Resume a named server-side cursor.
+    pub fn fetch(&mut self, cursor: &str, count: u64) -> Result<ResultSet> {
+        let request = Request::Fetch {
+            cursor: cursor.to_string(),
+            count,
+        };
+        match self.request(&request)? {
+            Response::Ok(body) => decode_result_set(&body),
+            other => Err(other_into_error(other)),
+        }
+    }
+
+    pub fn begin(&mut self) -> Result<()> {
+        self.expect_ok(&Request::Begin)
+    }
+
+    pub fn commit(&mut self) -> Result<()> {
+        self.expect_ok(&Request::Commit)
+    }
+
+    pub fn rollback(&mut self) -> Result<()> {
+        self.expect_ok(&Request::Rollback)
+    }
+
+    /// Server + engine contention counters (the `Info` command).
+    pub fn info(&mut self) -> Result<Json> {
+        match self.request(&Request::Info)? {
+            Response::Ok(body) => Ok(body),
+            other => Err(other_into_error(other)),
+        }
+    }
+
+    /// Graceful goodbye: the server flushes pending responses and closes.
+    pub fn close(mut self) -> Result<()> {
+        match self.request(&Request::Close)? {
+            Response::Ok(_) => Ok(()),
+            other => Err(other_into_error(other)),
+        }
+    }
+
+    fn expect_ok(&mut self, request: &Request) -> Result<()> {
+        match self.request(request)? {
+            Response::Ok(_) => Ok(()),
+            other => Err(other_into_error(other)),
+        }
+    }
+}
+
+fn other_into_error(response: Response) -> ServerError {
+    match response {
+        Response::Ok(_) => unreachable!("callers match Ok first"),
+        Response::Error { code, message } => ServerError::Remote { code, message },
+        Response::Busy { message } => ServerError::Busy(message),
+    }
+}
+
+/// Decode a `kind: "rows"` (or `"count"`/`"none"`, yielding empty) body.
+fn decode_result_set(body: &Json) -> Result<ResultSet> {
+    match body.get("kind").and_then(Json::as_str) {
+        Some("rows") => {}
+        Some("none" | "count" | "plan") => return Ok(ResultSet::default()),
+        _ => {
+            return Err(ServerError::Protocol(format!(
+                "unexpected result body: {body}"
+            )))
+        }
+    }
+    let columns = body
+        .get("columns")
+        .and_then(Json::as_array)
+        .map(|cols| {
+            cols.iter()
+                .filter_map(|c| c.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    let rows = body
+        .get("rows")
+        .and_then(Json::as_array)
+        .map(|rows| {
+            rows.iter()
+                .map(|row| row.as_array().unwrap_or_default().to_vec())
+                .collect()
+        })
+        .unwrap_or_default();
+    let scores = body
+        .get("scores")
+        .and_then(Json::as_array)
+        .map(|scores| scores.iter().filter_map(Json::as_f64).collect())
+        .unwrap_or_default();
+    Ok(ResultSet {
+        columns,
+        rows,
+        scores,
+    })
+}

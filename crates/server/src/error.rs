@@ -1,0 +1,61 @@
+//! Client-side and server-side error types.
+
+use std::fmt;
+
+use crate::frame::FrameError;
+use crate::protocol::ProtocolError;
+
+/// Anything that can go wrong talking to (or running) a serving front
+/// end.
+#[derive(Debug)]
+pub enum ServerError {
+    Io(std::io::Error),
+    /// A framing violation on the stream (fatal for the connection).
+    Frame(FrameError),
+    /// A malformed body or unexpected response shape.
+    Protocol(String),
+    /// The server reported an error executing the request.
+    Remote {
+        code: String,
+        message: String,
+    },
+    /// The server shed the request under load; retry later.
+    Busy(String),
+    /// The peer closed the connection mid-response.
+    ConnectionClosed,
+}
+
+pub type Result<T> = std::result::Result<T, ServerError>;
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "i/o error: {e}"),
+            ServerError::Frame(e) => write!(f, "framing error: {e}"),
+            ServerError::Protocol(message) => write!(f, "protocol error: {message}"),
+            ServerError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
+            ServerError::Busy(message) => write!(f, "server busy: {message}"),
+            ServerError::ConnectionClosed => write!(f, "connection closed by peer"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<FrameError> for ServerError {
+    fn from(e: FrameError) -> Self {
+        ServerError::Frame(e)
+    }
+}
+
+impl From<ProtocolError> for ServerError {
+    fn from(e: ProtocolError) -> Self {
+        ServerError::Protocol(e.0)
+    }
+}

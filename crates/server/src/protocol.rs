@@ -1,0 +1,350 @@
+//! The request/response protocol carried in frame bodies.
+//!
+//! Requests and responses are JSON objects; the frame opcode selects the
+//! command (requests) or outcome (responses), so a client can dispatch
+//! without parsing the body.
+//!
+//! | opcode | request | body |
+//! |--------|---------|------|
+//! | `0x01` | `Ping` | — |
+//! | `0x02` | `Query` | `{"sql": "SELECT ..."}` |
+//! | `0x03` | `Exec` | `{"sql": "INSERT ..."}` |
+//! | `0x04` | `Fetch` | `{"cursor": "c1", "count": 10}` |
+//! | `0x05` | `Begin` | — |
+//! | `0x06` | `Commit` | — |
+//! | `0x07` | `Rollback` | — |
+//! | `0x08` | `Info` | — |
+//! | `0x09` | `Close` | — |
+//!
+//! | opcode | response | body |
+//! |--------|----------|------|
+//! | `0x80` | `Ok` | result object (shape depends on the request) |
+//! | `0x81` | `Error` | `{"code": "...", "message": "..."}` |
+//! | `0x82` | `Busy` | `{"message": "..."}` — load shed, retry later |
+//!
+//! `Query` and `Exec` both run one SQL statement; they differ only in
+//! intent (`Query` for result sets, `Exec` for DML/DDL) and both return
+//! whatever the statement produced. `Fetch` resumes a named server-side
+//! cursor previously opened with `DECLARE ... CURSOR FOR SELECT ...`.
+
+use crate::frame::Frame;
+use crate::json::{self, Json};
+use svr_relation::Value;
+use svr_sql::SqlResult;
+
+/// Request opcodes.
+pub mod op {
+    pub const PING: u8 = 0x01;
+    pub const QUERY: u8 = 0x02;
+    pub const EXEC: u8 = 0x03;
+    pub const FETCH: u8 = 0x04;
+    pub const BEGIN: u8 = 0x05;
+    pub const COMMIT: u8 = 0x06;
+    pub const ROLLBACK: u8 = 0x07;
+    pub const INFO: u8 = 0x08;
+    pub const CLOSE: u8 = 0x09;
+
+    pub const RESP_OK: u8 = 0x80;
+    pub const RESP_ERR: u8 = 0x81;
+    pub const RESP_BUSY: u8 = 0x82;
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Ping,
+    Query { sql: String },
+    Exec { sql: String },
+    Fetch { cursor: String, count: u64 },
+    Begin,
+    Commit,
+    Rollback,
+    Info,
+    Close,
+}
+
+/// A server response, ready to encode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Ok(Json),
+    Error { code: String, message: String },
+    Busy { message: String },
+}
+
+impl Response {
+    pub fn error(code: &str, message: impl Into<String>) -> Response {
+        Response::Error {
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+
+    pub fn encode(&self) -> Frame {
+        match self {
+            Response::Ok(body) => Frame::new(op::RESP_OK, body.to_string().into_bytes()),
+            Response::Error { code, message } => Frame::new(
+                op::RESP_ERR,
+                Json::obj([
+                    ("code", Json::from(code.as_str())),
+                    ("message", Json::from(message.as_str())),
+                ])
+                .to_string()
+                .into_bytes(),
+            ),
+            Response::Busy { message } => Frame::new(
+                op::RESP_BUSY,
+                Json::obj([("message", Json::from(message.as_str()))])
+                    .to_string()
+                    .into_bytes(),
+            ),
+        }
+    }
+
+    /// Decode a response frame (the client side of [`Response::encode`]).
+    pub fn decode(frame: &Frame) -> Result<Response, ProtocolError> {
+        let body = parse_body(&frame.body)?;
+        match frame.opcode {
+            op::RESP_OK => Ok(Response::Ok(body)),
+            op::RESP_ERR => Ok(Response::Error {
+                code: require_str(&body, "code")?,
+                message: require_str(&body, "message")?,
+            }),
+            op::RESP_BUSY => Ok(Response::Busy {
+                message: require_str(&body, "message")?,
+            }),
+            other => Err(ProtocolError(format!(
+                "unknown response opcode 0x{other:02x}"
+            ))),
+        }
+    }
+}
+
+/// A malformed (but correctly framed) request or response body. Unlike a
+/// framing error this is recoverable: the stream position is still known,
+/// so the server answers with an `Error` frame and keeps the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, ProtocolError> {
+    if body.is_empty() {
+        // No-argument commands may omit the body entirely.
+        return Ok(Json::Obj(Vec::new()));
+    }
+    json::parse(body).map_err(|e| ProtocolError(e.to_string()))
+}
+
+fn require_str(body: &Json, key: &str) -> Result<String, ProtocolError> {
+    body.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ProtocolError(format!("missing string field \"{key}\"")))
+}
+
+/// Parse a request frame.
+pub fn parse_request(frame: &Frame) -> Result<Request, ProtocolError> {
+    let body = parse_body(&frame.body)?;
+    match frame.opcode {
+        op::PING => Ok(Request::Ping),
+        op::QUERY => Ok(Request::Query {
+            sql: require_str(&body, "sql")?,
+        }),
+        op::EXEC => Ok(Request::Exec {
+            sql: require_str(&body, "sql")?,
+        }),
+        op::FETCH => Ok(Request::Fetch {
+            cursor: require_str(&body, "cursor")?,
+            count: body
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ProtocolError("missing numeric field \"count\"".into()))?,
+        }),
+        op::BEGIN => Ok(Request::Begin),
+        op::COMMIT => Ok(Request::Commit),
+        op::ROLLBACK => Ok(Request::Rollback),
+        op::INFO => Ok(Request::Info),
+        op::CLOSE => Ok(Request::Close),
+        other => Err(ProtocolError(format!(
+            "unknown request opcode 0x{other:02x}"
+        ))),
+    }
+}
+
+/// Encode a request (the client side of [`parse_request`]).
+pub fn encode_request(request: &Request) -> Frame {
+    match request {
+        Request::Ping => Frame::new(op::PING, Vec::new()),
+        Request::Query { sql } => Frame::new(
+            op::QUERY,
+            Json::obj([("sql", Json::from(sql.as_str()))])
+                .to_string()
+                .into_bytes(),
+        ),
+        Request::Exec { sql } => Frame::new(
+            op::EXEC,
+            Json::obj([("sql", Json::from(sql.as_str()))])
+                .to_string()
+                .into_bytes(),
+        ),
+        Request::Fetch { cursor, count } => Frame::new(
+            op::FETCH,
+            Json::obj([
+                ("cursor", Json::from(cursor.as_str())),
+                ("count", Json::from(*count)),
+            ])
+            .to_string()
+            .into_bytes(),
+        ),
+        Request::Begin => Frame::new(op::BEGIN, Vec::new()),
+        Request::Commit => Frame::new(op::COMMIT, Vec::new()),
+        Request::Rollback => Frame::new(op::ROLLBACK, Vec::new()),
+        Request::Info => Frame::new(op::INFO, Vec::new()),
+        Request::Close => Frame::new(op::CLOSE, Vec::new()),
+    }
+}
+
+fn value_to_json(value: &Value) -> Json {
+    match value {
+        Value::Null => Json::Null,
+        Value::Int(i) => Json::Num(*i as f64),
+        Value::Float(f) => Json::Num(*f),
+        Value::Text(s) => Json::Str(s.clone()),
+    }
+}
+
+/// Render a statement result as an `Ok` response body.
+///
+/// Shapes: `{"kind":"none"}`, `{"kind":"count","op":"inserted","n":3}`,
+/// `{"kind":"rows","columns":[...],"rows":[[...],...]}` — ranked result
+/// sets additionally carry a parallel `"scores"` array — and
+/// `{"kind":"plan","lines":[...]}`.
+pub fn result_to_json(result: &SqlResult) -> Json {
+    match result {
+        SqlResult::None => Json::obj([("kind", Json::from("none"))]),
+        SqlResult::Inserted(n) => count_body("inserted", *n),
+        SqlResult::Updated(n) => count_body("updated", *n),
+        SqlResult::Deleted(n) => count_body("deleted", *n),
+        SqlResult::Committed(n) => count_body("committed", *n),
+        SqlResult::Rows { columns, rows } => Json::obj([
+            ("kind", Json::from("rows")),
+            (
+                "columns",
+                Json::Arr(columns.iter().map(|c| Json::from(c.as_str())).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    rows.iter()
+                        .map(|row| Json::Arr(row.iter().map(value_to_json).collect()))
+                        .collect(),
+                ),
+            ),
+        ]),
+        SqlResult::Ranked { columns, rows } => Json::obj([
+            ("kind", Json::from("rows")),
+            (
+                "columns",
+                Json::Arr(columns.iter().map(|c| Json::from(c.as_str())).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| Json::Arr(r.row.iter().map(value_to_json).collect()))
+                        .collect(),
+                ),
+            ),
+            (
+                "scores",
+                Json::Arr(rows.iter().map(|r| Json::Num(r.score)).collect()),
+            ),
+        ]),
+        SqlResult::Plan(lines) => Json::obj([
+            ("kind", Json::from("plan")),
+            (
+                "lines",
+                Json::Arr(lines.iter().map(|l| Json::from(l.as_str())).collect()),
+            ),
+        ]),
+    }
+}
+
+fn count_body(operation: &'static str, n: usize) -> Json {
+    Json::obj([
+        ("kind", Json::from("count")),
+        ("op", Json::from(operation)),
+        ("n", Json::from(n)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        for request in [
+            Request::Ping,
+            Request::Query {
+                sql: "SELECT 1".into(),
+            },
+            Request::Exec {
+                sql: "INSERT INTO t VALUES (1, 'x')".into(),
+            },
+            Request::Fetch {
+                cursor: "c1".into(),
+                count: 25,
+            },
+            Request::Begin,
+            Request::Commit,
+            Request::Rollback,
+            Request::Info,
+            Request::Close,
+        ] {
+            let frame = encode_request(&request);
+            assert_eq!(parse_request(&frame).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for response in [
+            Response::Ok(Json::obj([("kind", Json::from("none"))])),
+            Response::error("sql", "no such table"),
+            Response::Busy {
+                message: "pipeline full".into(),
+            },
+        ] {
+            let frame = response.encode();
+            assert_eq!(Response::decode(&frame).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_protocol_errors() {
+        assert!(parse_request(&Frame::new(op::QUERY, b"{".to_vec())).is_err());
+        assert!(parse_request(&Frame::new(op::QUERY, b"{}".to_vec())).is_err());
+        assert!(parse_request(&Frame::new(op::FETCH, br#"{"cursor":"c"}"#.to_vec())).is_err());
+        assert!(parse_request(&Frame::new(0x7f, Vec::new())).is_err());
+    }
+
+    #[test]
+    fn ranked_results_carry_scores() {
+        let body = result_to_json(&SqlResult::Ranked {
+            columns: vec!["id".into()],
+            rows: vec![svr_engine::RankedRow {
+                row: vec![Value::Int(4)],
+                score: 2.5,
+            }],
+        });
+        assert_eq!(
+            body.to_string(),
+            r#"{"kind":"rows","columns":["id"],"rows":[[4]],"scores":[2.5]}"#
+        );
+    }
+}

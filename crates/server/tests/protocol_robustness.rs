@@ -1,0 +1,104 @@
+//! Wire-protocol robustness: the frame codec and body parsers face raw
+//! socket bytes, so arbitrary garbage, truncations and hostile length
+//! prefixes must come back as errors (or "need more"), never panics.
+
+use proptest::prelude::*;
+use svr_server::frame::{self, Frame, MAX_FRAME_BODY};
+use svr_server::json;
+use svr_server::protocol::{encode_request, parse_request, Request, Response};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Any frame round-trips through encode/decode byte-identically.
+    #[test]
+    fn frame_roundtrip(opcode in 0u8..=255, body in proptest::collection::vec(0u8..=255, 0..512)) {
+        let frame = Frame::new(opcode, body);
+        let wire = frame.encode();
+        let (decoded, consumed) = frame::decode(&wire).unwrap().unwrap();
+        prop_assert_eq!(&decoded, &frame);
+        prop_assert_eq!(consumed, wire.len());
+    }
+
+    /// Every truncation of a valid frame asks for more bytes — never an
+    /// error, never a partial decode.
+    #[test]
+    fn truncated_frames_ask_for_more(body in proptest::collection::vec(0u8..=255, 0..256), cut_frac in 0.0f64..1.0) {
+        let wire = Frame::new(2, body).encode();
+        let cut = ((wire.len() as f64) * cut_frac) as usize;
+        prop_assert!(cut < wire.len());
+        prop_assert_eq!(frame::decode(&wire[..cut]).unwrap(), None);
+    }
+
+    /// Arbitrary byte soup never panics the decoder; oversized length
+    /// prefixes are rejected without allocating the declared size.
+    #[test]
+    fn garbage_never_panics_decoder(bytes in proptest::collection::vec(0u8..=255, 0..64)) {
+        if let Ok(Some((frame, consumed))) = frame::decode(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+            prop_assert!(frame.body.len() <= MAX_FRAME_BODY);
+        }
+    }
+
+    /// A hostile length prefix (up to u32::MAX) errors out before any
+    /// body bytes arrive.
+    #[test]
+    fn oversized_length_is_rejected(declared in (MAX_FRAME_BODY as u32 + 2)..=u32::MAX) {
+        let mut wire = declared.to_be_bytes().to_vec();
+        wire.push(1);
+        prop_assert!(matches!(
+            frame::decode(&wire),
+            Err(frame::FrameError::TooLarge { .. })
+        ));
+    }
+
+    /// Arbitrary bytes never panic the JSON body parser.
+    #[test]
+    fn garbage_never_panics_json(bytes in proptest::collection::vec(0u8..=255, 0..128)) {
+        let _ = json::parse(&bytes);
+    }
+
+    /// Arbitrary strings survive a JSON serialize/parse round trip.
+    #[test]
+    fn json_string_roundtrip(s in ".{0,80}") {
+        let value = json::Json::Str(s.clone());
+        let parsed = json::parse(value.to_string().as_bytes()).unwrap();
+        prop_assert_eq!(parsed, value);
+    }
+
+    /// Request frames with arbitrary (even invalid) opcodes and garbage
+    /// bodies never panic the request parser.
+    #[test]
+    fn garbage_request_frames_never_panic(
+        opcode in 0u8..=255,
+        body in proptest::collection::vec(0u8..=255, 0..96),
+    ) {
+        let _ = parse_request(&Frame::new(opcode, body));
+    }
+
+    /// Well-formed requests round-trip through the codec.
+    #[test]
+    fn request_roundtrip(sql in ".{0,60}", cursor in "[a-z_][a-z0-9_]{0,12}", count in 0u64..10_000) {
+        for request in [
+            Request::Query { sql: sql.clone() },
+            Request::Exec { sql: sql.clone() },
+            Request::Fetch { cursor: cursor.clone(), count },
+        ] {
+            let frame = encode_request(&request);
+            prop_assert_eq!(parse_request(&frame).unwrap(), request);
+        }
+    }
+
+    /// Response frames round-trip, including messages with exotic
+    /// characters that must survive JSON escaping.
+    #[test]
+    fn response_roundtrip(code in "[a-z]{1,8}", message in ".{0,60}") {
+        for response in [
+            Response::Error { code: code.clone(), message: message.clone() },
+            Response::Busy { message: message.clone() },
+        ] {
+            let frame = response.encode();
+            prop_assert_eq!(Response::decode(&frame).unwrap(), response);
+        }
+    }
+}

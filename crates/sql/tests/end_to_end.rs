@@ -878,7 +878,7 @@ fn cursor_idle_ttl_expires_and_reports_cleanly() {
         .unwrap();
     assert_eq!(session.sweep_expired_cursors(), 0, "TTL off: no sweep");
 
-    session.set_cursor_ttl(Some(std::time::Duration::from_millis(20)));
+    session.set_cursor_ttl(Some(std::time::Duration::from_millis(60)));
     session
         .execute(
             r#"DECLARE ephemeral CURSOR FOR SELECT name FROM movies
@@ -886,7 +886,7 @@ fn cursor_idle_ttl_expires_and_reports_cleanly() {
         )
         .unwrap();
     // Touching a cursor resets its idle clock.
-    std::thread::sleep(std::time::Duration::from_millis(12));
+    std::thread::sleep(std::time::Duration::from_millis(25));
     assert_eq!(
         session
             .execute("FETCH 1 FROM ephemeral")
@@ -894,7 +894,7 @@ fn cursor_idle_ttl_expires_and_reports_cleanly() {
             .row_count(),
         1
     );
-    std::thread::sleep(std::time::Duration::from_millis(12));
+    std::thread::sleep(std::time::Duration::from_millis(25));
     // Still under TTL since the fetch: survives this session activity...
     assert_eq!(
         session
@@ -903,7 +903,7 @@ fn cursor_idle_ttl_expires_and_reports_cleanly() {
             .row_count(),
         1
     );
-    std::thread::sleep(std::time::Duration::from_millis(30));
+    std::thread::sleep(std::time::Duration::from_millis(100));
     // ...but past it, any session activity sweeps, and FETCH reports a
     // clean expiry (not "unknown cursor").
     let err = session.execute("FETCH 1 FROM ephemeral").unwrap_err();

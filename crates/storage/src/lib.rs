@@ -79,6 +79,9 @@ pub struct StorageEnv {
     /// When set, `create_store` creates logged stores too — the whole
     /// environment is recoverable, not just the explicitly logged parts.
     default_logged: bool,
+    /// Group-sync interval applied to every store's write-ahead log (see
+    /// [`Wal::set_sync_interval_ms`]); `0` = fsync on every commit marker.
+    wal_sync_interval_ms: std::sync::atomic::AtomicU64,
     stores: Mutex<HashMap<String, Arc<Store>>>,
 }
 
@@ -91,6 +94,7 @@ impl StorageEnv {
             page_size,
             backend: EnvBackend::Mem,
             default_logged: false,
+            wal_sync_interval_ms: std::sync::atomic::AtomicU64::new(0),
             stores: Mutex::new(HashMap::new()),
         }
     }
@@ -120,6 +124,7 @@ impl StorageEnv {
             page_size,
             backend: EnvBackend::File { dir },
             default_logged: true,
+            wal_sync_interval_ms: std::sync::atomic::AtomicU64::new(0),
             stores: Mutex::new(HashMap::new()),
         })
     }
@@ -150,8 +155,8 @@ impl StorageEnv {
 
     /// Build (or attach, for file backends) the backing store for `name`.
     fn make_store(&self, name: &str, cache_pages: usize, logged: bool) -> Result<Arc<Store>> {
-        match &self.backend {
-            EnvBackend::Mem => Ok(Arc::new(if logged {
+        let store = match &self.backend {
+            EnvBackend::Mem => Arc::new(if logged {
                 Store::new_logged(
                     Arc::new(MemDisk::new(self.page_size)),
                     cache_pages,
@@ -159,7 +164,7 @@ impl StorageEnv {
                 )
             } else {
                 Store::new(Arc::new(MemDisk::new(self.page_size)), cache_pages)
-            })),
+            }),
             EnvBackend::File { dir } => {
                 let (pages, walfile) = Self::file_paths(dir, name);
                 let existed = pages.exists();
@@ -183,9 +188,16 @@ impl StorageEnv {
                     // no-op) so the first read sees consistent pages.
                     store.recover()?;
                 }
-                Ok(Arc::new(store))
+                Arc::new(store)
             }
+        };
+        if let Some(wal) = store.wal() {
+            wal.set_sync_interval_ms(
+                self.wal_sync_interval_ms
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            );
         }
+        Ok(store)
     }
 
     /// Create (or fetch, if it already exists) a store with a buffer pool of
@@ -312,6 +324,36 @@ impl StorageEnv {
         }
     }
 
+    /// Simulate a whole-process crash under the group-sync durability
+    /// model: like [`StorageEnv::crash`], but every log additionally loses
+    /// the bytes appended since its last commit-path sync (the tail the OS
+    /// page cache had not yet flushed — see
+    /// [`Wal::simulate_crash_unsynced_tail`](crate::wal::Wal::simulate_crash_unsynced_tail)).
+    /// With a zero sync interval this is identical to `crash`. Returns the
+    /// total log bytes lost.
+    pub fn crash_unsynced(&self) -> usize {
+        let mut lost = 0;
+        for store in self.stores.lock().values() {
+            if let Some(wal) = store.wal() {
+                lost += wal.simulate_crash_unsynced_tail();
+            }
+            store.crash();
+        }
+        lost
+    }
+
+    /// Sync every attached store's log to stable storage, closing the
+    /// group-sync durability window: after this returns, everything
+    /// committed so far survives [`StorageEnv::crash_unsynced`].
+    pub fn sync_all_wals(&self) -> Result<()> {
+        for store in self.stores.lock().values() {
+            if let Some(wal) = store.wal() {
+                wal.sync()?;
+            }
+        }
+        Ok(())
+    }
+
     /// Replay every attached store's committed log batches onto its disk —
     /// the recovery half of [`StorageEnv::crash`]. Idempotent.
     pub fn recover_all(&self) -> Result<()> {
@@ -330,6 +372,46 @@ impl StorageEnv {
             store.disk().sync()?;
         }
         Ok(())
+    }
+
+    /// Set the WAL group-sync interval for **every** store of this
+    /// environment — the ones already attached and the ones created later.
+    /// `0` (the default) fsyncs the file-mirrored log on every commit
+    /// marker; a positive interval fsyncs at most once per that many
+    /// milliseconds, trading a bounded durability window for commit
+    /// throughput (see [`Wal::set_sync_interval_ms`]).
+    pub fn set_wal_sync_interval_ms(&self, ms: u64) {
+        self.wal_sync_interval_ms
+            .store(ms, std::sync::atomic::Ordering::Relaxed);
+        for store in self.stores.lock().values() {
+            if let Some(wal) = store.wal() {
+                wal.set_sync_interval_ms(ms);
+            }
+        }
+    }
+
+    /// The environment-wide WAL group-sync interval in milliseconds.
+    pub fn wal_sync_interval_ms(&self) -> u64 {
+        self.wal_sync_interval_ms
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Aggregate write-ahead-log statistics across every logged store —
+    /// commit-sync counters included (serving-side contention telemetry).
+    pub fn total_wal_stats(&self) -> WalStats {
+        let stores = self.stores.lock();
+        let mut total = WalStats::default();
+        for store in stores.values() {
+            if let Some(wal) = store.wal() {
+                let s = wal.stats();
+                total.bytes += s.bytes;
+                total.records += s.records;
+                total.uncommitted += s.uncommitted;
+                total.syncs += s.syncs;
+                total.sync_skips += s.sync_skips;
+            }
+        }
+        total
     }
 
     /// Names of all live stores (unordered; diagnostics).
@@ -484,6 +566,21 @@ mod tests {
             assert!(!env.store_exists("table:x"));
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_sync_interval_applies_to_existing_and_new_stores() {
+        let env = StorageEnv::new_durable(512);
+        let a = env.create_store("a", 4);
+        env.set_wal_sync_interval_ms(25);
+        let b = env.create_store("b", 4);
+        assert_eq!(a.wal().unwrap().sync_interval_ms(), 25);
+        assert_eq!(b.wal().unwrap().sync_interval_ms(), 25);
+        assert_eq!(env.wal_sync_interval_ms(), 25);
+        let tree = BTree::create_durable(a).unwrap();
+        tree.put(b"k", b"v").unwrap();
+        let stats = env.total_wal_stats();
+        assert!(stats.syncs + stats.sync_skips > 0, "commit ran the policy");
     }
 
     #[test]

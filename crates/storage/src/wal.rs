@@ -69,6 +69,20 @@ struct WalInner {
     /// [`Wal::commit`] calls are suppressed so the whole bracket seals as
     /// one atomically recoverable batch at the final [`Wal::end_batch`].
     batch_depth: u32,
+    /// Group-sync interval: `0` = fsync the file mirror on every commit
+    /// marker; `> 0` = fsync at most once per this many milliseconds
+    /// (commits in between are acknowledged from the OS page cache).
+    sync_interval_ms: u64,
+    /// When the last commit-path sync ran (interval bookkeeping).
+    last_sync: Option<std::time::Instant>,
+    /// Commit markers that triggered a sync.
+    syncs: u64,
+    /// Commit markers whose sync was deferred to the interval.
+    sync_skips: u64,
+    /// Log length at the last commit-path (or explicit) sync: the bytes
+    /// guaranteed to survive a crash under the group-sync durability
+    /// model. [`Wal::simulate_crash_unsynced_tail`] truncates here.
+    synced_len: usize,
 }
 
 /// Counters describing the current log.
@@ -80,6 +94,10 @@ pub struct WalStats {
     pub records: u64,
     /// Page-image records not yet covered by a commit marker.
     pub uncommitted: u64,
+    /// Commit markers whose append ran the sync policy's fsync.
+    pub syncs: u64,
+    /// Commit markers whose fsync was deferred by the group-sync interval.
+    pub sync_skips: u64,
 }
 
 /// The write-ahead log for one store.
@@ -104,6 +122,11 @@ impl Wal {
                 open_batch: 0,
                 records: 0,
                 batch_depth: 0,
+                sync_interval_ms: 0,
+                last_sync: None,
+                syncs: 0,
+                sync_skips: 0,
+                synced_len: 0,
             }),
         }
     }
@@ -130,6 +153,7 @@ impl Wal {
         // continue the on-disk sequence, or post-reopen appends would trip
         // the contiguity check during a later recovery.
         let (records, uncommitted, next_lsn) = summarize_log(&log);
+        let log_len = log.len();
         Ok(Wal {
             inner: Mutex::new(WalInner {
                 log,
@@ -138,6 +162,13 @@ impl Wal {
                 open_batch: uncommitted,
                 records,
                 batch_depth: 0,
+                sync_interval_ms: 0,
+                last_sync: None,
+                syncs: 0,
+                sync_skips: 0,
+                // The surviving bytes were read back from the disk: all
+                // of them are, by construction, synced.
+                synced_len: log_len,
             }),
         })
     }
@@ -202,7 +233,45 @@ impl Wal {
         inner.log.extend_from_slice(&record);
         let from = inner.log.len() - record.len();
         Self::mirror_append(inner, from);
+        Self::apply_sync_policy(inner);
         lsn
+    }
+
+    /// Commit-path sync policy: with a zero interval every marker fsyncs
+    /// the file mirror (the durable default); with a positive interval at
+    /// most one marker per interval pays the fsync and the rest are
+    /// acknowledged unsynced — a crash then loses at most the last
+    /// interval's worth of *acknowledged* transactions, but recovery still
+    /// lands on a sealed-batch prefix (the log is append-only, so whatever
+    /// bytes reached the disk are a prefix of the acknowledged sequence).
+    fn apply_sync_policy(inner: &mut WalInner) {
+        let due = match (inner.sync_interval_ms, inner.last_sync) {
+            (0, _) | (_, None) => true,
+            (ms, Some(at)) => at.elapsed() >= std::time::Duration::from_millis(ms),
+        };
+        if due {
+            inner.syncs += 1;
+            inner.last_sync = Some(std::time::Instant::now());
+            inner.synced_len = inner.log.len();
+            if let Some(file) = &inner.file {
+                // Failure narrows durability to the in-memory crash model,
+                // same as a failed mirror write.
+                let _ = file.sync_data();
+            }
+        } else {
+            inner.sync_skips += 1;
+        }
+    }
+
+    /// Set the group-sync interval (see [`Wal::apply_sync_policy`]'s note on
+    /// the durability window). `0` restores sync-every-commit.
+    pub fn set_sync_interval_ms(&self, ms: u64) {
+        self.inner.lock().sync_interval_ms = ms;
+    }
+
+    /// Current group-sync interval in milliseconds (`0` = every commit).
+    pub fn sync_interval_ms(&self) -> u64 {
+        self.inner.lock().sync_interval_ms
     }
 
     /// Open a commit-marker bracket: until the matching [`Wal::end_batch`],
@@ -247,6 +316,7 @@ impl Wal {
         inner.log.clear();
         inner.open_batch = 0;
         inner.records = 0;
+        inner.synced_len = 0;
         if let Some(file) = &mut inner.file {
             use std::io::{Seek, Write};
             let _ = file.set_len(0);
@@ -257,7 +327,8 @@ impl Wal {
 
     /// Flush the file mirror (if any) to stable storage.
     pub fn sync(&self) -> Result<()> {
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
+        inner.synced_len = inner.log.len();
         if let Some(file) = &inner.file {
             file.sync_data()
                 .map_err(|e| StorageError::Io(e.to_string()))?;
@@ -272,6 +343,8 @@ impl Wal {
             bytes: inner.log.len() as u64,
             records: inner.records,
             uncommitted: inner.open_batch,
+            syncs: inner.syncs,
+            sync_skips: inner.sync_skips,
         }
     }
 
@@ -282,6 +355,26 @@ impl Wal {
         let inner = self.inner.lock();
         let (batches, _) = parse_log(&inner.log);
         batches.into_iter().flatten().collect()
+    }
+
+    /// Failure injection for the group-sync window: lose every log byte
+    /// appended since the last commit-path (or explicit) sync, as if the
+    /// OS page cache perished with the process. With a zero interval this
+    /// is a no-op — every commit synced — and with a positive interval it
+    /// chops the acknowledged-but-unsynced tail, which recovery treats
+    /// exactly like a torn tail (the surviving prefix of sealed batches
+    /// replays). Counters are rebuilt from the surviving bytes so the log
+    /// keeps working after recovery. Returns the bytes lost.
+    pub fn simulate_crash_unsynced_tail(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let keep = inner.synced_len.min(inner.log.len());
+        let lost = inner.log.len() - keep;
+        inner.log.truncate(keep);
+        let (records, uncommitted, next_lsn) = summarize_log(&inner.log);
+        inner.records = records;
+        inner.open_batch = uncommitted;
+        inner.next_lsn = next_lsn;
+        lost
     }
 
     /// Failure injection: lose the last `bytes` of the log, as if the final
@@ -614,6 +707,26 @@ mod tests {
         assert!(clean);
         assert_eq!(batches.len(), 1);
         assert_eq!(batches[0].len(), 2);
+    }
+
+    #[test]
+    fn sync_policy_counts_syncs_and_skips() {
+        let wal = Wal::new();
+        wal.append_page(1, b"a");
+        wal.commit();
+        assert_eq!(wal.stats().syncs, 1, "interval 0 syncs every commit");
+        assert_eq!(wal.stats().sync_skips, 0);
+        // A long interval with a sync just recorded: commits defer.
+        wal.set_sync_interval_ms(60_000);
+        wal.append_page(2, b"b");
+        wal.commit();
+        assert_eq!(wal.stats().syncs, 1);
+        assert_eq!(wal.stats().sync_skips, 1);
+        // Back to sync-every-commit.
+        wal.set_sync_interval_ms(0);
+        wal.commit();
+        assert_eq!(wal.stats().syncs, 2);
+        assert_eq!(wal.sync_interval_ms(), 0);
     }
 
     #[test]

@@ -44,6 +44,18 @@
 //! assert_eq!(hits[0].row[0], Value::Int(2)); // the popular one wins
 //! # let _ = AggExpr::parse("s1"); // silence unused import in doctest
 //! ```
+//!
+//! ## Serving
+//!
+//! [`server`] (`svr_server`) puts a network front end over a shared
+//! engine: a non-blocking TCP server speaking a length-prefixed frame
+//! protocol (`Query`/`Exec`/`Fetch`/transactions/`Info`) that multiplexes
+//! connections onto per-connection SQL sessions with named-cursor state,
+//! admission control and `Busy` load shedding. The serving deployment
+//! pairs it with the engine's group-commit amortizations
+//! ([`EngineConfig::wal_sync_interval_ms`] and
+//! [`EngineConfig::group_refresh`]); see `examples/serving.rs` and the
+//! `svr-serve` binary.
 
 pub use svr_engine::{
     EngineConfig, QueryRequest, RankedRow, Result, SearchCursor, SvrEngine, SvrError, WriteBatch,
@@ -56,6 +68,7 @@ pub use svr_core::{
 };
 pub use svr_engine as engine;
 pub use svr_relation as relation;
+pub use svr_server as server;
 pub use svr_sql as sql;
 pub use svr_storage as storage;
 pub use svr_text as text;
