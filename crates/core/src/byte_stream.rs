@@ -123,8 +123,44 @@ impl<'a> ByteStream<'a> {
         Ok(())
     }
 
+    /// Skip exactly `n` bytes; errors if the stream ends first. Skipped
+    /// pages still have to be walked (blob pages are chained), but their
+    /// payload is never copied or decoded — this is what block-level
+    /// skipping buys.
+    pub fn skip(&mut self, mut n: usize) -> Result<()> {
+        while n > 0 {
+            if !self.refill()? {
+                return Err(CoreError::Storage(StorageError::Corrupt(
+                    "unexpected end of list",
+                )));
+            }
+            let take = n.min(self.buf.len() - self.pos);
+            self.pos += take;
+            n -= take;
+        }
+        Ok(())
+    }
+
+    /// Read exactly `n` bytes into `out`, reusing its capacity. Block
+    /// cursors call this with one long-lived buffer per cursor so decoding
+    /// never allocates per block.
+    pub fn read_into(&mut self, n: usize, out: &mut Vec<u8>) -> Result<()> {
+        out.clear();
+        out.resize(n, 0);
+        self.read_exact(&mut out[..])
+    }
+
     /// LEB128 varint, possibly spanning page boundaries.
     pub fn read_varint(&mut self) -> Result<u64> {
+        // Fast path: the whole varint sits in the buffered page — decode it
+        // straight off the slice instead of byte-at-a-time refill checks.
+        if self.pos < self.buf.len() {
+            let mut p = self.pos;
+            if let Some(v) = svr_storage::codec::read_varint(&self.buf, &mut p) {
+                self.pos = p;
+                return Ok(v);
+            }
+        }
         let mut result = 0u64;
         let mut shift = 0u32;
         loop {

@@ -1,5 +1,7 @@
 //! Configuration knobs for the index methods.
 
+use crate::codec::CodecKind;
+
 /// Tunable parameters shared by the index builders.
 ///
 /// The two knobs the paper's evaluation revolves around are
@@ -53,6 +55,14 @@ pub struct IndexConfig {
     /// complete postings of its documents and answers the query locally,
     /// and the per-shard top-k results are merged.
     pub num_shards: usize,
+    /// On-disk codec of the long posting lists (SQL `OPTIONS (codec =
+    /// ...)`). `Legacy` — the flat pre-block formats — is the default and
+    /// keeps the paper's Table 1 byte counts; the block codecs
+    /// (`uncompressed` / `varint` / `bitpacked`) add per-block skip
+    /// metadata and, for the compressed two, shrink the lists. Fixed at
+    /// build time and persisted in the index catalog. See
+    /// [`crate::codec`].
+    pub codec: CodecKind,
 }
 
 impl Default for IndexConfig {
@@ -68,6 +78,7 @@ impl Default for IndexConfig {
             small_cache_pages: 16384,
             cursor_pool_cap: 0,
             num_shards: 1,
+            codec: CodecKind::Legacy,
         }
     }
 }

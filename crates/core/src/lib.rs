@@ -40,10 +40,22 @@
 //! let hits = index.query(&Query::conjunctive([TermId(1)], 1)).unwrap();
 //! assert_eq!(hits[0].doc, DocId(1));
 //! ```
+//!
+//! ## Storage format
+//!
+//! Long inverted lists are stored per-index in one of four codecs
+//! ([`CodecKind`], selected via `IndexConfig::codec` / SQL
+//! `OPTIONS (codec = ...)`): the flat `legacy` layout, or the
+//! block-structured `uncompressed` / `varint` / `bitpacked` codecs, which
+//! group postings into fixed-size blocks carrying skip metadata (max doc
+//! id, max term score, max SVR score, posting count). See the [`codec`]
+//! module docs for the byte-level layout, the skip-metadata contract, and
+//! the codec-versioning rules.
 
 pub mod aux_table;
 pub mod byte_stream;
 pub mod chunk_map;
+pub mod codec;
 pub mod config;
 pub mod cursor;
 pub mod doc_store;
@@ -60,6 +72,7 @@ pub mod short_list;
 pub mod types;
 
 pub use chunk_map::ChunkMap;
+pub use codec::CodecKind;
 pub use config::IndexConfig;
 pub use cursor::MethodCursor;
 pub use error::{CoreError, Result};

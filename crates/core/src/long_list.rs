@@ -1,9 +1,12 @@
 //! Long (immutable) inverted lists in the blob store, plus streaming
 //! cursors and corpus inversion helpers.
 //!
-//! Formats are the ones defined in [`svr_text::postings`]; here they are
-//! decoded *incrementally*, page by page, so early-terminating queries only
-//! pay for the prefix of the list they actually visit.
+//! Lists are stored in the codec configured per store ([`CodecKind`]): the
+//! flat legacy `svr_text::postings` layouts, or the block-structured codecs
+//! of [`crate::codec`] whose per-block skip metadata lets cursors skip
+//! whole blocks without decoding them. Either way they are decoded
+//! *incrementally*, page by page, so early-terminating queries only pay for
+//! the prefix of the list they actually visit.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -11,23 +14,28 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use svr_storage::{BlobHandle, BlobStore, Store};
-use svr_text::postings::TermScoredPosting;
+use svr_text::postings::{ChunkGroup, TermScoredPosting};
 use svr_text::{normalized_tf, quantize_term_score};
 
 use crate::byte_stream::{ByteStream, StreamPos};
-use crate::error::Result;
+use crate::codec::{self, BlockMeta, CodecKind};
+use crate::error::{CoreError, Result};
 use crate::merge::MergeKey;
 use crate::short_list::PostingPos;
 use crate::types::{DocId, Document, TermId};
 
+fn corrupt(msg: &'static str) -> CoreError {
+    CoreError::Storage(svr_storage::StorageError::Corrupt(msg))
+}
+
 /// Long-list layout used by a method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ListFormat {
-    /// Doc-id order, delta+varint (ID, ID-TermScore; also fancy lists).
+    /// Doc-id order (ID, ID-TermScore; also fancy lists).
     Id { with_scores: bool },
     /// Chunk groups descending, doc ids ascending within (Chunk, Chunk-TS).
     Chunked { with_scores: bool },
-    /// `(score, doc)` fixed width, score descending (Score-Threshold).
+    /// `(score, doc)` pairs, score descending (Score-Threshold).
     Score { with_scores: bool },
 }
 
@@ -37,6 +45,14 @@ pub struct LongPosting {
     pub pos: PostingPos,
     pub doc: DocId,
     pub tscore: u16,
+}
+
+/// Directory entry of one stored list.
+#[derive(Debug, Clone, Copy)]
+struct DirEntry {
+    handle: BlobHandle,
+    /// Postings in the list (drives the bytes-per-posting diagnostics).
+    postings: u64,
 }
 
 /// Immutable per-term lists in one blob store with an in-memory directory.
@@ -50,10 +66,12 @@ pub struct LongPosting {
 pub struct LongListStore {
     blobs: BlobStore,
     format: ListFormat,
-    directory: RwLock<HashMap<TermId, BlobHandle>>,
+    codec: CodecKind,
+    directory: RwLock<HashMap<TermId, DirEntry>>,
     /// Durable mirror of `directory` (None for in-memory stores).
     dir_tree: Option<svr_storage::BTree>,
     total_bytes: AtomicU64,
+    total_postings: AtomicU64,
     /// Structural epoch: bumped whenever a list is replaced (offline merge).
     /// A suspended cursor whose recorded epoch no longer matches must not
     /// chase stale page chains; it falls back to a key-skip re-scan (see
@@ -61,38 +79,51 @@ pub struct LongListStore {
     epoch: AtomicU64,
 }
 
-/// Encode a directory row: `first_page + 1` (0 = empty blob), len, pages.
-fn encode_handle(h: &BlobHandle) -> [u8; 24] {
-    let mut v = [0u8; 24];
-    v[..8].copy_from_slice(&h.first_page.map_or(0, |p| p + 1).to_le_bytes());
-    v[8..16].copy_from_slice(&h.len.to_le_bytes());
-    v[16..24].copy_from_slice(&h.pages.to_le_bytes());
+/// Encode a directory row: `first_page + 1` (0 = empty blob), len, pages,
+/// posting count.
+fn encode_entry(e: &DirEntry) -> [u8; 32] {
+    let mut v = [0u8; 32];
+    v[..8].copy_from_slice(&e.handle.first_page.map_or(0, |p| p + 1).to_le_bytes());
+    v[8..16].copy_from_slice(&e.handle.len.to_le_bytes());
+    v[16..24].copy_from_slice(&e.handle.pages.to_le_bytes());
+    v[24..32].copy_from_slice(&e.postings.to_le_bytes());
     v
 }
 
-fn decode_handle(raw: &[u8]) -> Result<BlobHandle> {
+/// Decode a directory row. Rows written before posting counts existed are
+/// 24 bytes; they decode with `postings == 0` (the gauge self-heals at the
+/// next offline merge).
+fn decode_entry(raw: &[u8]) -> Result<DirEntry> {
     if raw.len() < 24 {
-        return Err(crate::error::CoreError::Storage(
-            svr_storage::StorageError::Corrupt("long-list directory row"),
-        ));
+        return Err(corrupt("long-list directory row"));
     }
     let first = u64::from_le_bytes(raw[..8].try_into().expect("8 bytes"));
-    Ok(BlobHandle {
-        first_page: first.checked_sub(1),
-        len: u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes")),
-        pages: u64::from_le_bytes(raw[16..24].try_into().expect("8 bytes")),
+    let postings = if raw.len() >= 32 {
+        u64::from_le_bytes(raw[24..32].try_into().expect("8 bytes"))
+    } else {
+        0
+    };
+    Ok(DirEntry {
+        handle: BlobHandle {
+            first_page: first.checked_sub(1),
+            len: u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes")),
+            pages: u64::from_le_bytes(raw[16..24].try_into().expect("8 bytes")),
+        },
+        postings,
     })
 }
 
 impl LongListStore {
     /// Create an empty list store.
-    pub fn new(store: Arc<Store>, format: ListFormat) -> LongListStore {
+    pub fn new(store: Arc<Store>, format: ListFormat, codec: CodecKind) -> LongListStore {
         LongListStore {
             blobs: BlobStore::new(store),
             format,
+            codec,
             directory: RwLock::new(HashMap::new()),
             dir_tree: None,
             total_bytes: AtomicU64::new(0),
+            total_postings: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
         }
     }
@@ -101,56 +132,67 @@ impl LongListStore {
     pub fn create_in(
         store: Arc<Store>,
         format: ListFormat,
+        codec: CodecKind,
         durable: bool,
     ) -> Result<LongListStore> {
         if durable {
-            LongListStore::create_durable(store, format)
+            LongListStore::create_durable(store, format, codec)
         } else {
-            Ok(LongListStore::new(store, format))
+            Ok(LongListStore::new(store, format, codec))
         }
     }
 
     /// Create an empty **durable** list store: the directory tree's
     /// metadata occupies the store's first pages, so
     /// [`LongListStore::open`] can reattach from nothing but the store.
-    pub fn create_durable(store: Arc<Store>, format: ListFormat) -> Result<LongListStore> {
+    pub fn create_durable(
+        store: Arc<Store>,
+        format: ListFormat,
+        codec: CodecKind,
+    ) -> Result<LongListStore> {
         let dir_tree = crate::durable::create_tree(store.clone(), true)?;
         Ok(LongListStore {
             blobs: BlobStore::new(store),
             format,
+            codec,
             directory: RwLock::new(HashMap::new()),
             dir_tree: Some(dir_tree),
             total_bytes: AtomicU64::new(0),
+            total_postings: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
         })
     }
 
     /// Reattach a durable list store, reloading the directory (and the
-    /// total-bytes gauge) from its persisted mirror.
-    pub fn open(store: Arc<Store>, format: ListFormat) -> Result<LongListStore> {
+    /// size gauges) from its persisted mirror. `codec` must be the codec
+    /// the store was created with — it is recorded in the engine's index
+    /// catalog, never sniffed from list bytes.
+    pub fn open(store: Arc<Store>, format: ListFormat, codec: CodecKind) -> Result<LongListStore> {
         let dir_tree = crate::durable::open_tree(store.clone())?;
         let mut directory = HashMap::new();
         let mut total = 0u64;
+        let mut postings = 0u64;
         {
             let mut cursor = dir_tree.cursor(&[])?;
             while let Some((k, v)) = cursor.next_entry()? {
                 if k.len() < 4 {
-                    return Err(crate::error::CoreError::Storage(
-                        svr_storage::StorageError::Corrupt("long-list directory key"),
-                    ));
+                    return Err(corrupt("long-list directory key"));
                 }
                 let term = TermId(u32::from_be_bytes(k[..4].try_into().expect("4 bytes")));
-                let handle = decode_handle(&v)?;
-                total += handle.len;
-                directory.insert(term, handle);
+                let entry = decode_entry(&v)?;
+                total += entry.handle.len;
+                postings += entry.postings;
+                directory.insert(term, entry);
             }
         }
         Ok(LongListStore {
             blobs: BlobStore::new(store),
             format,
+            codec,
             directory: RwLock::new(directory),
             dir_tree: Some(dir_tree),
             total_bytes: AtomicU64::new(total),
+            total_postings: AtomicU64::new(postings),
             epoch: AtomicU64::new(0),
         })
     }
@@ -160,6 +202,11 @@ impl LongListStore {
         self.format
     }
 
+    /// Codec of the stored lists.
+    pub fn codec(&self) -> CodecKind {
+        self.codec
+    }
+
     /// Structural epoch of the store. Page-level cursor resume is only
     /// valid while this is unchanged.
     pub fn epoch(&self) -> u64 {
@@ -167,34 +214,86 @@ impl LongListStore {
     }
 
     /// Store (replacing any previous) the encoded list for `term`.
-    pub fn set_list(&self, term: TermId, encoded: &[u8]) -> Result<()> {
+    /// `postings` is the number of postings in `encoded`; callers should
+    /// prefer the typed `put_*_list` builders, which encode with the
+    /// store's codec and count for you.
+    pub fn set_list(&self, term: TermId, encoded: &[u8], postings: u64) -> Result<()> {
         let handle = self.blobs.put(encoded)?;
+        let entry = DirEntry { handle, postings };
         if let Some(tree) = &self.dir_tree {
-            tree.put(&term.0.to_be_bytes(), &encode_handle(&handle))?;
+            tree.put(&term.0.to_be_bytes(), &encode_entry(&entry))?;
         }
         let mut dir = self.directory.write();
-        if let Some(old) = dir.insert(term, handle) {
-            self.blobs.free(old)?;
-            self.total_bytes.fetch_sub(old.len, Ordering::Relaxed);
+        if let Some(old) = dir.insert(term, entry) {
+            self.blobs.free(old.handle)?;
+            self.total_bytes
+                .fetch_sub(old.handle.len, Ordering::Relaxed);
+            self.total_postings
+                .fetch_sub(old.postings, Ordering::Relaxed);
         }
         self.total_bytes
             .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+        self.total_postings.fetch_add(postings, Ordering::Relaxed);
         self.epoch.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
+    /// Encode and store an Id-format list with the store's codec.
+    pub fn put_id_list(&self, term: TermId, postings: &[TermScoredPosting]) -> Result<()> {
+        let ListFormat::Id { with_scores } = self.format else {
+            panic!("put_id_list on a {:?} store", self.format);
+        };
+        let mut buf = Vec::new();
+        codec::encode_id_list(self.codec, postings, with_scores, &mut buf);
+        self.set_list(term, &buf, postings.len() as u64)
+    }
+
+    /// Encode and store a chunked list with the store's codec.
+    pub fn put_chunked_list(&self, term: TermId, groups: &[ChunkGroup]) -> Result<()> {
+        let ListFormat::Chunked { with_scores } = self.format else {
+            panic!("put_chunked_list on a {:?} store", self.format);
+        };
+        let mut buf = Vec::new();
+        codec::encode_chunked_list(self.codec, groups, with_scores, &mut buf);
+        let count = groups.iter().map(|g| g.postings.len() as u64).sum();
+        self.set_list(term, &buf, count)
+    }
+
+    /// Encode and store a score-ordered list with the store's codec.
+    pub fn put_score_list(&self, term: TermId, rows: &[(f64, DocId, u16)]) -> Result<()> {
+        let ListFormat::Score { with_scores } = self.format else {
+            panic!("put_score_list on a {:?} store", self.format);
+        };
+        let mut buf = Vec::new();
+        codec::encode_score_list(self.codec, rows, with_scores, &mut buf);
+        self.set_list(term, &buf, rows.len() as u64)
+    }
+
+    /// Drop a term's list (stores an empty one).
+    pub fn clear_list(&self, term: TermId) -> Result<()> {
+        self.set_list(term, &[], 0)
+    }
+
     /// Raw bytes of a term's list (offline merge / tests).
     pub fn raw_list(&self, term: TermId) -> Result<Option<Vec<u8>>> {
-        let handle = self.directory.read().get(&term).copied();
+        let handle = self.directory.read().get(&term).map(|e| e.handle);
         match handle {
             Some(h) => Ok(Some(self.blobs.read_all(h)?)),
             None => Ok(None),
         }
     }
 
+    /// Decode a term's whole list (offline merge / tests).
+    pub fn decoded_list(&self, term: TermId) -> Result<Vec<LongPosting>> {
+        match self.raw_list(term)? {
+            None => Ok(Vec::new()),
+            Some(raw) => codec::decode_list(self.codec, self.format, &raw),
+        }
+    }
+
     /// Streaming cursor over a term's list (empty cursor for unknown terms).
     pub fn cursor(&self, term: TermId) -> LongCursor<'_> {
-        let handle = self.directory.read().get(&term).copied();
+        let handle = self.directory.read().get(&term).map(|e| e.handle);
         match handle {
             None => LongCursor::empty(),
             Some(h) => self.cursor_from(ByteStream::new(self.blobs.reader(h)), None),
@@ -206,6 +305,30 @@ impl LongListStore {
         stream: ByteStream<'a>,
         decode: Option<DecodeState>,
     ) -> LongCursor<'a> {
+        if self.codec != CodecKind::Legacy {
+            let (skip, header_read) = match decode {
+                Some(DecodeState::Block { skip, header_read }) => (skip as usize, header_read),
+                _ => (0, false),
+            };
+            let block_start = stream.position();
+            return LongCursor {
+                inner: CursorInner::Block(Box::new(BlockCursorState {
+                    stream,
+                    format: self.format,
+                    codec: self.codec,
+                    header_read,
+                    block_start,
+                    decoded: Vec::new(),
+                    idx: 0,
+                    pending_skip: skip,
+                    block_buf: Vec::new(),
+                    meta: None,
+                    expect_remaining: None,
+                    blocks_skipped: 0,
+                })),
+                pending: None,
+            };
+        }
         let inner = match self.format {
             ListFormat::Id { with_scores } => {
                 let prev = match decode {
@@ -251,13 +374,14 @@ impl LongListStore {
     /// While the store's structural [`epoch`](LongListStore::epoch) still
     /// matches the one captured at suspension, this resumes exactly where
     /// the cursor stopped — the incremental cost is at most re-fetching one
-    /// (usually cached) page. If the lists were rebuilt in between (offline
-    /// merge), the saved page chain is gone; the cursor then degrades
-    /// gracefully by re-opening the term's current list and skipping every
-    /// posting at or before the last consumed merge position. Positions in
-    /// the rebuilt list reflect *current* scores, so a document may be
-    /// re-delivered (deduplicated downstream by the executor's seen-set) or
-    /// skipped — the documented staleness semantics of suspended cursors.
+    /// (usually cached) page, plus re-decoding the current block for the
+    /// block codecs. If the lists were rebuilt in between (offline merge),
+    /// the saved page chain is gone; the cursor then degrades gracefully by
+    /// re-opening the term's current list and skipping every posting at or
+    /// before the last consumed merge position. Positions in the rebuilt
+    /// list reflect *current* scores, so a document may be re-delivered
+    /// (deduplicated downstream by the executor's seen-set) or skipped —
+    /// the documented staleness semantics of suspended cursors.
     pub fn resume_cursor(&self, term: TermId, resume: &LongResume) -> Result<LongCursor<'_>> {
         match &resume.state {
             LongResumeState::Fresh => Ok(self.cursor(term)),
@@ -295,9 +419,17 @@ impl LongListStore {
         Ok(cursor)
     }
 
-    /// Total encoded bytes across every term (the paper's Table 1 metric).
+    /// Total encoded (physical, post-compression) bytes across every term
+    /// (the paper's Table 1 metric).
     pub fn total_bytes(&self) -> u64 {
         self.total_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total postings across every term. Together with
+    /// [`total_bytes`](LongListStore::total_bytes) this gives the
+    /// bytes-per-posting / compression-ratio diagnostics.
+    pub fn total_postings(&self) -> u64 {
+        self.total_postings.load(Ordering::Relaxed)
     }
 
     /// Number of terms with lists.
@@ -310,14 +442,18 @@ impl LongListStore {
         self.directory.read().keys().copied().collect()
     }
 
-    /// Pages occupied by a term's list (I/O cost of a full scan).
+    /// Pages occupied by a term's list (I/O cost of a full scan). Physical
+    /// pages of the *encoded* list, so compression shows up directly here.
     pub fn pages_of(&self, term: TermId) -> u64 {
-        self.directory.read().get(&term).map_or(0, |h| h.pages)
+        self.directory
+            .read()
+            .get(&term)
+            .map_or(0, |e| e.handle.pages)
     }
 }
 
 /// Decoder-internal state captured when a cursor suspends, sufficient to
-/// continue delta/group decoding mid-list.
+/// continue decoding mid-list.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DecodeState {
     Id {
@@ -329,6 +465,13 @@ pub enum DecodeState {
         prev: Option<u32>,
     },
     Score,
+    /// Block codecs: `pos` points at a block header (or the list header when
+    /// `header_read` is false); `skip` postings of that block were already
+    /// delivered before suspension and are re-decoded and dropped on resume.
+    Block {
+        skip: u32,
+        header_read: bool,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -383,6 +526,7 @@ enum CursorInner<'a> {
     Id(IdCursorState<'a>),
     Chunked(ChunkCursorState<'a>),
     Score(ScoreCursorState<'a>),
+    Block(Box<BlockCursorState<'a>>),
 }
 
 pub struct IdCursorState<'a> {
@@ -402,6 +546,125 @@ pub struct ChunkCursorState<'a> {
 pub struct ScoreCursorState<'a> {
     stream: ByteStream<'a>,
     with_scores: bool,
+}
+
+/// Cursor state over a block-structured list: decodes one block at a time
+/// into a reused posting buffer, reading each payload through a reused byte
+/// buffer (no per-block allocation on the steady state).
+struct BlockCursorState<'a> {
+    stream: ByteStream<'a>,
+    format: ListFormat,
+    codec: CodecKind,
+    /// Whether the list header has been consumed from the stream.
+    header_read: bool,
+    /// Stream position of the current block's header (suspension anchor).
+    block_start: StreamPos,
+    /// Decoded postings of the current block.
+    decoded: Vec<LongPosting>,
+    /// Next undelivered posting in `decoded`.
+    idx: usize,
+    /// Postings of the *next decoded* block to drop (resume mid-block).
+    pending_skip: usize,
+    /// Reused payload read buffer.
+    block_buf: Vec<u8>,
+    /// Skip metadata of the current block.
+    meta: Option<BlockMeta>,
+    /// Postings still expected from the stream (fresh scans only) — lets a
+    /// full scan detect a truncated list instead of stopping silently.
+    expect_remaining: Option<u64>,
+    /// Blocks skipped undecoded via [`LongCursor::skip_to_doc`].
+    blocks_skipped: u64,
+}
+
+fn read_list_header_stream(
+    stream: &mut ByteStream<'_>,
+    codec: CodecKind,
+    format: ListFormat,
+) -> Result<u64> {
+    let magic = stream.read_u8()?;
+    let tag = stream.read_u8()?;
+    let flags = stream.read_u8()?;
+    codec::check_header(codec, format, magic, tag, flags)?;
+    stream.read_varint()
+}
+
+fn read_block_meta_stream(stream: &mut ByteStream<'_>, format: ListFormat) -> Result<BlockMeta> {
+    let count = stream.read_varint()?;
+    let payload_len = stream.read_varint()?;
+    let max_doc = stream.read_varint()?;
+    let max_tscore = stream.read_varint()?;
+    let max_score = if matches!(format, ListFormat::Score { .. }) {
+        stream.read_f64_le()?
+    } else {
+        0.0
+    };
+    let meta = BlockMeta {
+        count,
+        payload_len,
+        max_doc: u32::try_from(max_doc).map_err(|_| corrupt("block max doc out of range"))?,
+        max_tscore: u16::try_from(max_tscore)
+            .map_err(|_| corrupt("block max term score out of range"))?,
+        max_score,
+    };
+    codec::check_block_meta(&meta)?;
+    Ok(meta)
+}
+
+impl BlockCursorState<'_> {
+    /// Position the stream at the next block header, consuming the list
+    /// header first if needed. Returns false (cleanly) at end of list.
+    fn at_next_block(&mut self) -> Result<bool> {
+        if !self.header_read {
+            if self.stream.is_eof()? {
+                return Ok(false); // empty list: zero bytes
+            }
+            let total = read_list_header_stream(&mut self.stream, self.codec, self.format)?;
+            self.expect_remaining = Some(total);
+            self.header_read = true;
+        }
+        self.block_start = self.stream.position();
+        if self.stream.is_eof()? {
+            if self.expect_remaining.is_some_and(|rem| rem != 0) {
+                return Err(corrupt("long list truncated before header total"));
+            }
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// Decode the block at the stream position into `decoded`.
+    fn load_block(&mut self, meta: BlockMeta) -> Result<()> {
+        let payload_len =
+            usize::try_from(meta.payload_len).map_err(|_| corrupt("block payload length"))?;
+        self.stream.read_into(payload_len, &mut self.block_buf)?;
+        self.decoded.clear();
+        codec::decode_block(
+            self.codec,
+            self.format,
+            &meta,
+            &self.block_buf,
+            &mut self.decoded,
+        )?;
+        if let Some(rem) = &mut self.expect_remaining {
+            *rem = rem
+                .checked_sub(meta.count)
+                .ok_or_else(|| corrupt("long list holds more postings than header"))?;
+        }
+        self.idx = self.pending_skip.min(self.decoded.len());
+        self.pending_skip = 0;
+        self.meta = Some(meta);
+        Ok(())
+    }
+
+    /// Advance to the next decoded, undelivered block. False at end of list.
+    fn next_block(&mut self) -> Result<bool> {
+        if !self.at_next_block()? {
+            return Ok(false);
+        }
+        let meta = read_block_meta_stream(&mut self.stream, self.format)?;
+        self.load_block(meta)?;
+        Ok(true)
+    }
 }
 
 impl LongCursor<'_> {
@@ -445,12 +708,106 @@ impl LongCursor<'_> {
                 pos: s.stream.position(),
                 decode: DecodeState::Score,
             },
+            CursorInner::Block(s) => {
+                if s.idx < s.decoded.len() || s.pending_skip > 0 {
+                    // Mid-block: anchor at the block header and re-decode
+                    // the one block on resume, dropping what was delivered.
+                    LongResumeState::At {
+                        pos: s.block_start,
+                        decode: DecodeState::Block {
+                            skip: (s.idx + s.pending_skip) as u32,
+                            header_read: true,
+                        },
+                    }
+                } else {
+                    // Between blocks: the next unread byte is a block header
+                    // (or the list header / EOF).
+                    LongResumeState::At {
+                        pos: s.stream.position(),
+                        decode: DecodeState::Block {
+                            skip: 0,
+                            header_read: s.header_read,
+                        },
+                    }
+                }
+            }
         };
         LongResume {
             epoch,
             state,
             after,
         }
+    }
+
+    /// Skip metadata of the block the cursor is currently positioned in
+    /// (block codecs, after the first posting). This is the block-max hook
+    /// for WAND-style multi-term pruning.
+    pub fn block_meta(&self) -> Option<BlockMeta> {
+        match &self.inner {
+            CursorInner::Block(s) => s.meta,
+            _ => None,
+        }
+    }
+
+    /// Blocks this cursor skipped without decoding (diagnostics).
+    pub fn blocks_skipped(&self) -> u64 {
+        match &self.inner {
+            CursorInner::Block(s) => s.blocks_skipped,
+            _ => 0,
+        }
+    }
+
+    /// Advance so the next posting is the first with `doc >= target`.
+    ///
+    /// Only meaningful for doc-ordered (Id-format) lists. Block cursors use
+    /// the per-block max-doc metadata to *skip* whole blocks — their
+    /// payloads are never copied or decoded; legacy cursors (and non-Id
+    /// layouts, where doc ids are not globally ascending) degrade to a
+    /// linear scan.
+    pub fn skip_to_doc(&mut self, target: DocId) -> Result<()> {
+        if let Some(p) = &self.pending {
+            if p.doc >= target {
+                return Ok(());
+            }
+            self.pending = None;
+        }
+        if let CursorInner::Block(s) = &mut self.inner {
+            if matches!(s.format, ListFormat::Id { .. }) && s.pending_skip == 0 {
+                loop {
+                    while s.idx < s.decoded.len() {
+                        if s.decoded[s.idx].doc >= target {
+                            return Ok(());
+                        }
+                        s.idx += 1;
+                    }
+                    if !s.at_next_block()? {
+                        return Ok(());
+                    }
+                    let meta = read_block_meta_stream(&mut s.stream, s.format)?;
+                    if meta.max_doc < target.0 {
+                        let payload_len = usize::try_from(meta.payload_len)
+                            .map_err(|_| corrupt("block payload length"))?;
+                        s.stream.skip(payload_len)?;
+                        if let Some(rem) = &mut s.expect_remaining {
+                            *rem = rem.checked_sub(meta.count).ok_or_else(|| {
+                                corrupt("long list holds more postings than header")
+                            })?;
+                        }
+                        s.meta = Some(meta);
+                        s.blocks_skipped += 1;
+                        continue;
+                    }
+                    s.load_block(meta)?;
+                }
+            }
+        }
+        while let Some(p) = self.next_posting()? {
+            if p.doc >= target {
+                self.pending = Some(p);
+                return Ok(());
+            }
+        }
+        Ok(())
     }
 
     /// Next posting in list order, or `None` at the end.
@@ -525,6 +882,16 @@ impl LongCursor<'_> {
                     tscore,
                 }))
             }
+            CursorInner::Block(state) => loop {
+                if state.idx < state.decoded.len() {
+                    let p = state.decoded[state.idx];
+                    state.idx += 1;
+                    return Ok(Some(p));
+                }
+                if !state.next_block()? {
+                    return Ok(None);
+                }
+            },
         }
     }
 }
@@ -561,7 +928,7 @@ pub fn invert_corpus(docs: &[Document]) -> HashMap<TermId, Vec<TermScoredPosting
 mod tests {
     use super::*;
     use svr_storage::MemDisk;
-    use svr_text::postings::{ChunkGroup, PostingsBuilder};
+    use svr_text::postings::PostingsBuilder;
 
     fn store() -> Arc<Store> {
         Arc::new(Store::new(Arc::new(MemDisk::new(128)), 8))
@@ -569,11 +936,15 @@ mod tests {
 
     #[test]
     fn id_cursor_streams_pages() {
-        let lls = LongListStore::new(store(), ListFormat::Id { with_scores: false });
+        let lls = LongListStore::new(
+            store(),
+            ListFormat::Id { with_scores: false },
+            CodecKind::Legacy,
+        );
         let docs: Vec<DocId> = (0..500u32).map(|i| DocId(i * 3)).collect();
         let mut buf = Vec::new();
         PostingsBuilder::encode_id_list(&docs, &mut buf);
-        lls.set_list(TermId(1), &buf).unwrap();
+        lls.set_list(TermId(1), &buf, docs.len() as u64).unwrap();
         let mut cursor = lls.cursor(TermId(1));
         for &d in &docs {
             let p = cursor.next_posting().unwrap().unwrap();
@@ -586,7 +957,11 @@ mod tests {
 
     #[test]
     fn chunked_cursor_streams() {
-        let lls = LongListStore::new(store(), ListFormat::Chunked { with_scores: true });
+        let lls = LongListStore::new(
+            store(),
+            ListFormat::Chunked { with_scores: true },
+            CodecKind::Legacy,
+        );
         let groups = vec![
             ChunkGroup {
                 cid: 5,
@@ -605,9 +980,7 @@ mod tests {
                 }],
             },
         ];
-        let mut buf = Vec::new();
-        PostingsBuilder::encode_chunked_list(&groups, true, &mut buf);
-        lls.set_list(TermId(2), &buf).unwrap();
+        lls.put_chunked_list(TermId(2), &groups).unwrap();
         let mut cursor = lls.cursor(TermId(2));
         let mut seen = Vec::new();
         while let Some(p) = cursor.next_posting().unwrap() {
@@ -618,19 +991,22 @@ mod tests {
         assert_eq!(seen[100].pos, PostingPos::ByChunk(1));
         assert_eq!(seen[100].doc, DocId(7));
         assert_eq!(seen[100].tscore, 999);
+        assert_eq!(lls.total_postings(), 101);
     }
 
     #[test]
     fn score_cursor_streams() {
-        let lls = LongListStore::new(store(), ListFormat::Score { with_scores: false });
+        let lls = LongListStore::new(
+            store(),
+            ListFormat::Score { with_scores: false },
+            CodecKind::Legacy,
+        );
         let postings = vec![
             (124.2, DocId(9), 0u16),
             (87.13, DocId(2), 0),
             (3.0, DocId(5), 0),
         ];
-        let mut buf = Vec::new();
-        PostingsBuilder::encode_score_list(&postings, false, &mut buf);
-        lls.set_list(TermId(3), &buf).unwrap();
+        lls.put_score_list(TermId(3), &postings).unwrap();
         let mut cursor = lls.cursor(TermId(3));
         let p = cursor.next_posting().unwrap().unwrap();
         assert_eq!(p.pos, PostingPos::ByScore(124.2));
@@ -639,19 +1015,175 @@ mod tests {
 
     #[test]
     fn unknown_term_is_empty_cursor() {
-        let lls = LongListStore::new(store(), ListFormat::Id { with_scores: false });
+        let lls = LongListStore::new(
+            store(),
+            ListFormat::Id { with_scores: false },
+            CodecKind::Legacy,
+        );
         assert!(lls.cursor(TermId(99)).next_posting().unwrap().is_none());
         assert_eq!(lls.total_bytes(), 0);
     }
 
     #[test]
-    fn replacing_a_list_updates_bytes() {
-        let lls = LongListStore::new(store(), ListFormat::Id { with_scores: false });
-        lls.set_list(TermId(1), &[1, 2, 3, 4]).unwrap();
+    fn replacing_a_list_updates_bytes_and_postings() {
+        let lls = LongListStore::new(
+            store(),
+            ListFormat::Id { with_scores: false },
+            CodecKind::Legacy,
+        );
+        lls.set_list(TermId(1), &[1, 2, 3, 4], 4).unwrap();
         assert_eq!(lls.total_bytes(), 4);
-        lls.set_list(TermId(1), &[1, 2]).unwrap();
+        assert_eq!(lls.total_postings(), 4);
+        lls.set_list(TermId(1), &[1, 2], 2).unwrap();
         assert_eq!(lls.total_bytes(), 2);
+        assert_eq!(lls.total_postings(), 2);
         assert_eq!(lls.num_terms(), 1);
+    }
+
+    #[test]
+    fn directory_rows_without_posting_counts_still_decode() {
+        // Rows persisted before the codec upgrade are 24 bytes (no posting
+        // count); they must decode with postings == 0, not error.
+        let entry = DirEntry {
+            handle: BlobHandle {
+                first_page: Some(7),
+                len: 123,
+                pages: 2,
+            },
+            postings: 55,
+        };
+        let full = encode_entry(&entry);
+        let old = decode_entry(&full[..24]).unwrap();
+        assert_eq!(old.handle.first_page, Some(7));
+        assert_eq!(old.handle.len, 123);
+        assert_eq!(old.handle.pages, 2);
+        assert_eq!(old.postings, 0);
+        let new = decode_entry(&full).unwrap();
+        assert_eq!(new.postings, 55);
+        assert!(decode_entry(&full[..20]).is_err());
+    }
+
+    #[test]
+    fn block_cursor_streams_every_codec_and_format() {
+        // Strictly ascending docs with varying deltas (base step 5 dominates
+        // the ±2 jitter) so delta codecs see a non-uniform gap pattern.
+        let postings: Vec<TermScoredPosting> = (0..700u32)
+            .map(|i| TermScoredPosting {
+                doc: DocId(i * 5 + (i % 3)),
+                tscore: (i % 400) as u16,
+            })
+            .collect();
+        for codec in CodecKind::BLOCK_CODECS {
+            for with_scores in [false, true] {
+                let lls = LongListStore::new(store(), ListFormat::Id { with_scores }, codec);
+                lls.put_id_list(TermId(1), &postings).unwrap();
+                let mut cursor = lls.cursor(TermId(1));
+                for p in &postings {
+                    let got = cursor.next_posting().unwrap().unwrap();
+                    assert_eq!(got.doc, p.doc, "{codec:?}");
+                    assert_eq!(got.tscore, if with_scores { p.tscore } else { 0 });
+                }
+                assert!(cursor.next_posting().unwrap().is_none());
+                assert_eq!(lls.total_postings(), postings.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn block_cursor_suspends_and_resumes_at_every_posting() {
+        let postings: Vec<TermScoredPosting> = (0..300u32)
+            .map(|i| TermScoredPosting {
+                doc: DocId(i * 7),
+                tscore: i as u16,
+            })
+            .collect();
+        for codec in CodecKind::BLOCK_CODECS {
+            let lls = LongListStore::new(store(), ListFormat::Id { with_scores: true }, codec);
+            lls.put_id_list(TermId(1), &postings).unwrap();
+            let epoch = lls.epoch();
+            // Suspend after every single posting and resume.
+            let mut resume = LongResume::fresh();
+            for p in &postings {
+                let mut cursor = lls.resume_cursor(TermId(1), &resume).unwrap();
+                let got = cursor.next_posting().unwrap().unwrap();
+                assert_eq!(got.doc, p.doc, "{codec:?}");
+                assert_eq!(got.tscore, p.tscore, "{codec:?}");
+                resume = cursor.suspend(epoch, Some((got.pos.rank(), got.doc.0)));
+            }
+            let mut cursor = lls.resume_cursor(TermId(1), &resume).unwrap();
+            assert!(cursor.next_posting().unwrap().is_none(), "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn skip_to_doc_skips_whole_blocks_undecoded() {
+        let postings: Vec<TermScoredPosting> = (0..4000u32)
+            .map(|i| TermScoredPosting {
+                doc: DocId(i * 2),
+                tscore: 0,
+            })
+            .collect();
+        for codec in CodecKind::BLOCK_CODECS {
+            let lls = LongListStore::new(store(), ListFormat::Id { with_scores: false }, codec);
+            lls.put_id_list(TermId(1), &postings).unwrap();
+            let mut cursor = lls.cursor(TermId(1));
+            cursor.skip_to_doc(DocId(6000)).unwrap();
+            assert!(
+                cursor.blocks_skipped() >= 20,
+                "{codec:?}: skipped only {} blocks",
+                cursor.blocks_skipped()
+            );
+            let p = cursor.next_posting().unwrap().unwrap();
+            assert_eq!(p.doc, DocId(6000), "{codec:?}");
+            // Block metadata is exposed for block-max pruning.
+            let meta = cursor.block_meta().unwrap();
+            assert!(meta.max_doc >= 6000);
+            // Seeking past the end drains cleanly.
+            cursor.skip_to_doc(DocId(u32::MAX)).unwrap();
+            assert!(cursor.next_posting().unwrap().is_none());
+        }
+        // Legacy cursors answer the same question by linear scan.
+        let lls = LongListStore::new(
+            store(),
+            ListFormat::Id { with_scores: false },
+            CodecKind::Legacy,
+        );
+        lls.put_id_list(TermId(1), &postings).unwrap();
+        let mut cursor = lls.cursor(TermId(1));
+        cursor.skip_to_doc(DocId(6001)).unwrap();
+        assert_eq!(cursor.blocks_skipped(), 0);
+        assert_eq!(cursor.next_posting().unwrap().unwrap().doc, DocId(6002));
+    }
+
+    #[test]
+    fn truncated_block_list_errors_cleanly() {
+        let postings: Vec<TermScoredPosting> = (0..600u32)
+            .map(|i| TermScoredPosting {
+                doc: DocId(i),
+                tscore: 0,
+            })
+            .collect();
+        for codec in CodecKind::BLOCK_CODECS {
+            let mut buf = Vec::new();
+            codec::encode_id_list(codec, &postings, false, &mut buf);
+            // Cut at a block boundary: the stream ends cleanly but the list
+            // header promises more postings.
+            let lls = LongListStore::new(store(), ListFormat::Id { with_scores: false }, codec);
+            lls.set_list(TermId(1), &buf[..buf.len() / 2], 0).unwrap();
+            let mut cursor = lls.cursor(TermId(1));
+            let mut result = Ok(());
+            loop {
+                match cursor.next_posting() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+            assert!(result.is_err(), "{codec:?}: truncation must surface");
+        }
     }
 
     #[test]

@@ -6,11 +6,13 @@
 //! (§5.1); here it is implemented as a full regeneration of the long lists
 //! from the live forward index and Score table — the simplest correct
 //! policy, and the natural point to recompute chunk boundaries for the
-//! Chunk methods.
+//! Chunk methods. Lists are re-encoded with the store's **own** codec
+//! ([`LongListStore::codec`]): a merge never migrates an index between
+//! codecs, so a legacy-format index stays byte-compatible after upgrades.
 
 use std::collections::{HashMap, HashSet};
 
-use svr_text::postings::{PostingsBuilder, TermScoredPosting};
+use svr_text::postings::TermScoredPosting;
 
 use crate::chunk_map::ChunkMap;
 use crate::error::Result;
@@ -48,57 +50,41 @@ fn invert_live(
     Ok((inverted, scores))
 }
 
-/// Replace every list in `long`, clearing lists for terms that vanished.
-fn replace_lists(long: &LongListStore, new_lists: HashMap<TermId, Vec<u8>>) -> Result<()> {
-    let fresh: HashSet<TermId> = new_lists.keys().copied().collect();
+/// Clear lists for terms no longer present in the fresh inversion.
+fn clear_vanished<'a>(long: &LongListStore, fresh: impl Iterator<Item = &'a TermId>) -> Result<()> {
+    let fresh: HashSet<TermId> = fresh.copied().collect();
     for term in long.terms() {
         if !fresh.contains(&term) {
-            long.set_list(term, &[])?;
+            long.clear_list(term)?;
         }
-    }
-    for (term, buf) in new_lists {
-        long.set_list(term, &buf)?;
     }
     Ok(())
 }
 
 /// Rebuild ID-ordered long lists (ID / ID-TermScore methods).
-pub(crate) fn rebuild_id_lists(
-    base: &MethodBase,
-    long: &LongListStore,
-    with_scores: bool,
-) -> Result<()> {
+pub(crate) fn rebuild_id_lists(base: &MethodBase, long: &LongListStore) -> Result<()> {
     let (inverted, _) = invert_live(base)?;
-    let mut lists = HashMap::with_capacity(inverted.len());
+    clear_vanished(long, inverted.keys())?;
     for (term, postings) in inverted {
-        let mut buf = Vec::new();
-        if with_scores {
-            PostingsBuilder::encode_id_term_list(&postings, &mut buf);
-        } else {
-            let ids: Vec<DocId> = postings.iter().map(|p| p.doc).collect();
-            PostingsBuilder::encode_id_list(&ids, &mut buf);
-        }
-        lists.insert(term, buf);
+        long.put_id_list(term, &postings)?;
     }
-    replace_lists(long, lists)
+    Ok(())
 }
 
 /// Rebuild score-ordered long lists (Score-Threshold method) using the
 /// *current* scores — after the merge, list scores are exact again.
 pub(crate) fn rebuild_score_lists(base: &MethodBase, long: &LongListStore) -> Result<()> {
     let (inverted, scores) = invert_live(base)?;
-    let mut lists = HashMap::with_capacity(inverted.len());
+    clear_vanished(long, inverted.keys())?;
     for (term, postings) in inverted {
         let mut rows: Vec<(f64, DocId, u16)> = postings
             .iter()
             .map(|p| (scores.get(&p.doc).copied().unwrap_or(0.0), p.doc, p.tscore))
             .collect();
         rows.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
-        let mut buf = Vec::new();
-        PostingsBuilder::encode_score_list(&rows, false, &mut buf);
-        lists.insert(term, buf);
+        long.put_score_list(term, &rows)?;
     }
-    replace_lists(long, lists)
+    Ok(())
 }
 
 /// Rebuild chunked long lists (Chunk method); returns the new chunk map
@@ -106,7 +92,6 @@ pub(crate) fn rebuild_score_lists(base: &MethodBase, long: &LongListStore) -> Re
 pub(crate) fn rebuild_chunked_lists(
     base: &MethodBase,
     long: &LongListStore,
-    with_scores: bool,
     chunk_ratio: f64,
     min_chunk_docs: usize,
     old_map: ChunkMap,
@@ -118,16 +103,13 @@ pub(crate) fn rebuild_chunked_lists(
     } else {
         ChunkMap::from_scores(&all_scores, chunk_ratio, min_chunk_docs)
     };
-    let mut lists = HashMap::with_capacity(inverted.len());
+    clear_vanished(long, inverted.keys())?;
     for (term, postings) in inverted {
         let groups = group_by_chunk(&postings, |doc| {
             new_map.chunk_of(scores.get(&doc).copied().unwrap_or(0.0))
         });
-        let mut buf = Vec::new();
-        PostingsBuilder::encode_chunked_list(&groups, with_scores, &mut buf);
-        lists.insert(term, buf);
+        long.put_chunked_list(term, &groups)?;
     }
-    replace_lists(long, lists)?;
     Ok(new_map)
 }
 
@@ -141,18 +123,16 @@ pub(crate) fn rebuild_score_term_lists(
     fancy_size: usize,
 ) -> Result<HashMap<TermId, (u16, bool)>> {
     let (inverted, scores) = invert_live(base)?;
-    let mut lists = HashMap::with_capacity(inverted.len());
-    let mut fancy_lists = HashMap::with_capacity(inverted.len());
     let mut meta = HashMap::with_capacity(inverted.len());
+    clear_vanished(long, inverted.keys())?;
+    clear_vanished(fancy, inverted.keys())?;
     for (term, postings) in inverted {
         let mut rows: Vec<(f64, DocId, u16)> = postings
             .iter()
             .map(|p| (scores.get(&p.doc).copied().unwrap_or(0.0), p.doc, p.tscore))
             .collect();
         rows.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
-        let mut buf = Vec::new();
-        PostingsBuilder::encode_score_list(&rows, true, &mut buf);
-        lists.insert(term, buf);
+        long.put_score_list(term, &rows)?;
 
         let mut ranked = postings.clone();
         ranked.sort_by(|a, b| b.tscore.cmp(&a.tscore).then_with(|| a.doc.cmp(&b.doc)));
@@ -160,13 +140,9 @@ pub(crate) fn rebuild_score_term_lists(
         let complete = ranked.len() == postings.len();
         let min_ts = ranked.iter().map(|p| p.tscore).min().unwrap_or(0);
         ranked.sort_by_key(|p| p.doc);
-        let mut fbuf = Vec::new();
-        PostingsBuilder::encode_id_term_list(&ranked, &mut fbuf);
-        fancy_lists.insert(term, fbuf);
+        fancy.put_id_list(term, &ranked)?;
         meta.insert(term, (min_ts, complete));
     }
-    replace_lists(long, lists)?;
-    replace_lists(fancy, fancy_lists)?;
     Ok(meta)
 }
 
@@ -189,16 +165,14 @@ pub(crate) fn rebuild_chunk_term_lists(
     } else {
         ChunkMap::from_scores(&all_scores, chunk_ratio, min_chunk_docs)
     };
-    let mut lists = HashMap::with_capacity(inverted.len());
-    let mut fancy_lists = HashMap::with_capacity(inverted.len());
     let mut meta = HashMap::with_capacity(inverted.len());
+    clear_vanished(long, inverted.keys())?;
+    clear_vanished(fancy, inverted.keys())?;
     for (term, postings) in inverted {
         let groups = group_by_chunk(&postings, |doc| {
             new_map.chunk_of(scores.get(&doc).copied().unwrap_or(0.0))
         });
-        let mut buf = Vec::new();
-        PostingsBuilder::encode_chunked_list(&groups, true, &mut buf);
-        lists.insert(term, buf);
+        long.put_chunked_list(term, &groups)?;
 
         let mut ranked = postings.clone();
         ranked.sort_by(|a, b| b.tscore.cmp(&a.tscore).then_with(|| a.doc.cmp(&b.doc)));
@@ -206,12 +180,8 @@ pub(crate) fn rebuild_chunk_term_lists(
         let complete = ranked.len() == postings.len();
         let min_ts = ranked.iter().map(|p| p.tscore).min().unwrap_or(0);
         ranked.sort_by_key(|p| p.doc);
-        let mut fbuf = Vec::new();
-        PostingsBuilder::encode_id_term_list(&ranked, &mut fbuf);
-        fancy_lists.insert(term, fbuf);
+        fancy.put_id_list(term, &ranked)?;
         meta.insert(term, (min_ts, complete));
     }
-    replace_lists(long, lists)?;
-    replace_lists(fancy, fancy_lists)?;
     Ok((new_map, meta))
 }

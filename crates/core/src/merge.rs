@@ -393,13 +393,17 @@ mod tests {
     use crate::types::TermId;
     use std::sync::Arc;
     use svr_storage::{MemDisk, Store};
-    use svr_text::postings::{ChunkGroup, PostingsBuilder, TermScoredPosting};
+    use svr_text::postings::{ChunkGroup, TermScoredPosting};
 
     fn fixtures() -> (LongListStore, ShortLists) {
         let store = Arc::new(Store::new(Arc::new(MemDisk::new(4096)), 64));
         let store2 = Arc::new(Store::new(Arc::new(MemDisk::new(4096)), 64));
         (
-            LongListStore::new(store, ListFormat::Chunked { with_scores: false }),
+            LongListStore::new(
+                store,
+                ListFormat::Chunked { with_scores: false },
+                crate::codec::CodecKind::Legacy,
+            ),
             ShortLists::create(store2, ShortOrder::ByChunkDesc).unwrap(),
         )
     }
@@ -418,9 +422,7 @@ mod tests {
                     .collect(),
             })
             .collect();
-        let mut buf = Vec::new();
-        PostingsBuilder::encode_chunked_list(&groups, false, &mut buf);
-        lls.set_list(TermId(term), &buf).unwrap();
+        lls.put_chunked_list(TermId(term), &groups).unwrap();
     }
 
     fn drain(mut u: UnionCursor<'_>) -> Vec<(PostingPos, u32, Source)> {

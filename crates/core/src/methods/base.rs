@@ -295,12 +295,14 @@ impl MethodBase {
     pub fn single_shard_stats(
         &self,
         long_list_bytes: u64,
+        long_postings: u64,
         short_postings: u64,
     ) -> Vec<crate::methods::ShardStats> {
         vec![crate::methods::ShardStats {
             shard: 0,
             docs: self.live_docs(),
             long_list_bytes,
+            long_postings,
             short_postings,
         }]
     }

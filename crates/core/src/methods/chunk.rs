@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use svr_storage::StorageEnv;
-use svr_text::postings::{ChunkGroup, PostingsBuilder, TermScoredPosting};
+use svr_text::postings::{ChunkGroup, TermScoredPosting};
 
 use crate::aux_table::{ListChunkEntry, ListChunkTable};
 use crate::chunk_map::ChunkMap;
@@ -90,6 +90,7 @@ impl ChunkMethod {
         let long = LongListStore::create_in(
             long_store,
             ListFormat::Chunked { with_scores: false },
+            config.codec,
             base.durable,
         )?;
         let short = ShortLists::create_in(short_store, ShortOrder::ByChunkDesc, base.durable)?;
@@ -107,9 +108,7 @@ impl ChunkMethod {
             let groups = group_by_chunk(&postings, |doc| {
                 chunk_map.chunk_of(MethodBase::initial_score(scores, doc))
             });
-            let mut buf = Vec::new();
-            PostingsBuilder::encode_chunked_list(&groups, false, &mut buf);
-            long.set_list(term, &buf)?;
+            long.put_chunked_list(term, &groups)?;
         }
         Ok(ChunkMethod {
             base,
@@ -130,6 +129,7 @@ impl ChunkMethod {
         let long = LongListStore::open(
             base.create_store(store_names::LONG, config.long_cache_pages),
             ListFormat::Chunked { with_scores: false },
+            config.codec,
         )?;
         let short = ShortLists::open(
             base.create_store(store_names::SHORT, config.small_cache_pages),
@@ -361,7 +361,6 @@ impl SearchIndex for ChunkMethod {
         let new_map = crate::maintenance::rebuild_chunked_lists(
             &self.base,
             &self.long,
-            false,
             self.config.chunk_ratio,
             self.config.min_chunk_docs,
             self.chunk_map.read().clone(),
@@ -373,8 +372,11 @@ impl SearchIndex for ChunkMethod {
     }
 
     fn shard_stats(&self) -> Vec<ShardStats> {
-        self.base
-            .single_shard_stats(self.long.total_bytes(), self.short.len())
+        self.base.single_shard_stats(
+            self.long.total_bytes(),
+            self.long.total_postings(),
+            self.short.len(),
+        )
     }
 
     fn long_list_bytes(&self) -> u64 {

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use svr_storage::StorageEnv;
-use svr_text::postings::{PostingsBuilder, TermScoredPosting};
+use svr_text::postings::TermScoredPosting;
 use svr_text::unquantize_term_score;
 
 use crate::aux_table::{ListChunkEntry, ListChunkTable};
@@ -131,12 +131,14 @@ impl ChunkTermMethod {
         let long = LongListStore::create_in(
             long_store,
             ListFormat::Chunked { with_scores: true },
+            config.codec,
             base.durable,
         )?;
         let short = ShortLists::create_in(short_store, ShortOrder::ByChunkDesc, base.durable)?;
         let fancy = LongListStore::create_in(
             fancy_store,
             ListFormat::Id { with_scores: true },
+            config.codec,
             base.durable,
         )?;
         let list_chunk = ListChunkTable::create_in(aux_store, base.durable)?;
@@ -153,14 +155,10 @@ impl ChunkTermMethod {
             let groups = group_by_chunk(&postings, |doc| {
                 chunk_map.chunk_of(MethodBase::initial_score(scores, doc))
             });
-            let mut buf = Vec::new();
-            PostingsBuilder::encode_chunked_list(&groups, true, &mut buf);
-            long.set_list(term, &buf)?;
+            long.put_chunked_list(term, &groups)?;
 
             let (fancy_postings, meta) = build_fancy(&postings, config.fancy_size);
-            let mut fbuf = Vec::new();
-            PostingsBuilder::encode_id_term_list(&fancy_postings, &mut fbuf);
-            fancy.set_list(term, &fbuf)?;
+            fancy.put_id_list(term, &fancy_postings)?;
             fancy_meta.insert(term, meta);
         }
         meta_table.put_chunk_map(chunk_map.boundaries())?;
@@ -190,6 +188,7 @@ impl ChunkTermMethod {
         let long = LongListStore::open(
             base.create_store(store_names::LONG, config.long_cache_pages),
             ListFormat::Chunked { with_scores: true },
+            config.codec,
         )?;
         let short = ShortLists::open(
             base.create_store(store_names::SHORT, config.small_cache_pages),
@@ -198,6 +197,7 @@ impl ChunkTermMethod {
         let fancy = LongListStore::open(
             base.create_store(store_names::FANCY, config.small_cache_pages),
             ListFormat::Id { with_scores: true },
+            config.codec,
         )?;
         let list_chunk =
             ListChunkTable::open(base.create_store(store_names::AUX, config.small_cache_pages))?;
@@ -527,8 +527,11 @@ impl SearchIndex for ChunkTermMethod {
     }
 
     fn shard_stats(&self) -> Vec<ShardStats> {
-        self.base
-            .single_shard_stats(self.long.total_bytes(), self.short.len())
+        self.base.single_shard_stats(
+            self.long.total_bytes(),
+            self.long.total_postings(),
+            self.short.len(),
+        )
     }
 
     fn long_list_bytes(&self) -> u64 {

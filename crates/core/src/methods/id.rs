@@ -10,7 +10,6 @@
 use std::sync::Arc;
 
 use svr_storage::StorageEnv;
-use svr_text::postings::PostingsBuilder;
 
 use crate::config::IndexConfig;
 use crate::cursor::{merge_next_batch, open_merge, CursorBackend, MethodCursor};
@@ -50,14 +49,12 @@ impl IdMethod {
         let long = LongListStore::create_in(
             long_store,
             ListFormat::Id { with_scores: false },
+            config.codec,
             base.durable,
         )?;
         let short = ShortLists::create_in(short_store, ShortOrder::ById, base.durable)?;
         for (term, postings) in invert_corpus(docs) {
-            let ids: Vec<DocId> = postings.iter().map(|p| p.doc).collect();
-            let mut buf = Vec::new();
-            PostingsBuilder::encode_id_list(&ids, &mut buf);
-            long.set_list(term, &buf)?;
+            long.put_id_list(term, &postings)?;
         }
         Ok(IdMethod { base, long, short })
     }
@@ -69,6 +66,7 @@ impl IdMethod {
         let long = LongListStore::open(
             base.create_store(store_names::LONG, config.long_cache_pages),
             ListFormat::Id { with_scores: false },
+            config.codec,
         )?;
         let short = ShortLists::open(
             base.create_store(store_names::SHORT, config.small_cache_pages),
@@ -185,13 +183,16 @@ impl SearchIndex for IdMethod {
     }
 
     fn merge_short_lists(&self) -> Result<()> {
-        crate::maintenance::rebuild_id_lists(&self.base, &self.long, false)?;
+        crate::maintenance::rebuild_id_lists(&self.base, &self.long)?;
         self.short.clear()
     }
 
     fn shard_stats(&self) -> Vec<ShardStats> {
-        self.base
-            .single_shard_stats(self.long.total_bytes(), self.short.len())
+        self.base.single_shard_stats(
+            self.long.total_bytes(),
+            self.long.total_postings(),
+            self.short.len(),
+        )
     }
 
     fn long_list_bytes(&self) -> u64 {

@@ -10,7 +10,6 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use svr_storage::StorageEnv;
-use svr_text::postings::PostingsBuilder;
 use svr_text::unquantize_term_score;
 
 use crate::config::IndexConfig;
@@ -55,13 +54,12 @@ impl IdTermMethod {
         let long = LongListStore::create_in(
             long_store,
             ListFormat::Id { with_scores: true },
+            config.codec,
             base.durable,
         )?;
         let short = ShortLists::create_in(short_store, ShortOrder::ById, base.durable)?;
         for (term, postings) in invert_corpus(docs) {
-            let mut buf = Vec::new();
-            PostingsBuilder::encode_id_term_list(&postings, &mut buf);
-            long.set_list(term, &buf)?;
+            long.put_id_list(term, &postings)?;
         }
         Ok(IdTermMethod { base, long, short })
     }
@@ -73,6 +71,7 @@ impl IdTermMethod {
         let long = LongListStore::open(
             base.create_store(store_names::LONG, config.long_cache_pages),
             ListFormat::Id { with_scores: true },
+            config.codec,
         )?;
         let short = ShortLists::open(
             base.create_store(store_names::SHORT, config.small_cache_pages),
@@ -209,13 +208,16 @@ impl SearchIndex for IdTermMethod {
     }
 
     fn merge_short_lists(&self) -> Result<()> {
-        crate::maintenance::rebuild_id_lists(&self.base, &self.long, true)?;
+        crate::maintenance::rebuild_id_lists(&self.base, &self.long)?;
         self.short.clear()
     }
 
     fn shard_stats(&self) -> Vec<ShardStats> {
-        self.base
-            .single_shard_stats(self.long.total_bytes(), self.short.len())
+        self.base.single_shard_stats(
+            self.long.total_bytes(),
+            self.long.total_postings(),
+            self.short.len(),
+        )
     }
 
     fn long_list_bytes(&self) -> u64 {

@@ -146,6 +146,11 @@ pub struct ShardStats {
     pub docs: u64,
     /// Bytes of the shard's long inverted lists.
     pub long_list_bytes: u64,
+    /// Postings stored in the shard's long inverted lists (`0` for the
+    /// Score method, whose clustered tree is not posting-addressed) — with
+    /// `long_list_bytes`, yields bytes-per-posting and the compression
+    /// ratio `EXPLAIN` reports.
+    pub long_postings: u64,
     /// Postings currently parked in the shard's short lists (merged away by
     /// maintenance).
     pub short_postings: u64,

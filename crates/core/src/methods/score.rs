@@ -220,7 +220,7 @@ impl SearchIndex for ScoreMethod {
     }
 
     fn shard_stats(&self) -> Vec<ShardStats> {
-        self.base.single_shard_stats(self.long_list_bytes(), 0)
+        self.base.single_shard_stats(self.long_list_bytes(), 0, 0)
     }
 
     fn long_list_bytes(&self) -> u64 {

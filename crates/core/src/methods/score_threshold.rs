@@ -11,7 +11,6 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use svr_storage::StorageEnv;
-use svr_text::postings::PostingsBuilder;
 
 use crate::aux_table::{ListScoreEntry, ListScoreTable};
 use crate::config::IndexConfig;
@@ -59,6 +58,7 @@ impl ScoreThresholdMethod {
         let long = LongListStore::create_in(
             long_store,
             ListFormat::Score { with_scores: false },
+            config.codec,
             base.durable,
         )?;
         let short = ShortLists::create_in(short_store, ShortOrder::ByScoreDesc, base.durable)?;
@@ -71,9 +71,7 @@ impl ScoreThresholdMethod {
                 .map(|p| (MethodBase::initial_score(scores, p.doc), p.doc, p.tscore))
                 .collect();
             rows.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
-            let mut buf = Vec::new();
-            PostingsBuilder::encode_score_list(&rows, false, &mut buf);
-            long.set_list(term, &buf)?;
+            long.put_score_list(term, &rows)?;
         }
         Ok(ScoreThresholdMethod {
             base,
@@ -91,6 +89,7 @@ impl ScoreThresholdMethod {
         let long = LongListStore::open(
             base.create_store(store_names::LONG, config.long_cache_pages),
             ListFormat::Score { with_scores: false },
+            config.codec,
         )?;
         let short = ShortLists::open(
             base.create_store(store_names::SHORT, config.small_cache_pages),
@@ -302,8 +301,11 @@ impl SearchIndex for ScoreThresholdMethod {
     }
 
     fn shard_stats(&self) -> Vec<ShardStats> {
-        self.base
-            .single_shard_stats(self.long.total_bytes(), self.short.len())
+        self.base.single_shard_stats(
+            self.long.total_bytes(),
+            self.long.total_postings(),
+            self.short.len(),
+        )
     }
 
     fn long_list_bytes(&self) -> u64 {

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use svr_storage::StorageEnv;
-use svr_text::postings::{PostingsBuilder, TermScoredPosting};
+use svr_text::postings::TermScoredPosting;
 use svr_text::unquantize_term_score;
 
 use crate::aux_table::{ListScoreEntry, ListScoreTable};
@@ -115,12 +115,14 @@ impl ScoreThresholdTermMethod {
         let long = LongListStore::create_in(
             long_store,
             ListFormat::Score { with_scores: true },
+            config.codec,
             base.durable,
         )?;
         let short = ShortLists::create_in(short_store, ShortOrder::ByScoreDesc, base.durable)?;
         let fancy = LongListStore::create_in(
             fancy_store,
             ListFormat::Id { with_scores: true },
+            config.codec,
             base.durable,
         )?;
         let list_score = ListScoreTable::create_in(aux_store, base.durable)?;
@@ -133,14 +135,10 @@ impl ScoreThresholdTermMethod {
                 .map(|p| (MethodBase::initial_score(scores, p.doc), p.doc, p.tscore))
                 .collect();
             rows.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
-            let mut buf = Vec::new();
-            PostingsBuilder::encode_score_list(&rows, true, &mut buf);
-            long.set_list(term, &buf)?;
+            long.put_score_list(term, &rows)?;
 
             let (fancy_postings, meta) = build_fancy(&postings, config.fancy_size);
-            let mut fbuf = Vec::new();
-            PostingsBuilder::encode_id_term_list(&fancy_postings, &mut fbuf);
-            fancy.set_list(term, &fbuf)?;
+            fancy.put_id_list(term, &fancy_postings)?;
             fancy_meta.insert(term, meta);
         }
         meta_table.put_fancy_meta(fancy_meta.iter().map(|(&t, m)| (t, (m.min_ts, m.complete))))?;
@@ -169,6 +167,7 @@ impl ScoreThresholdTermMethod {
         let long = LongListStore::open(
             base.create_store(store_names::LONG, config.long_cache_pages),
             ListFormat::Score { with_scores: true },
+            config.codec,
         )?;
         let short = ShortLists::open(
             base.create_store(store_names::SHORT, config.small_cache_pages),
@@ -177,6 +176,7 @@ impl ScoreThresholdTermMethod {
         let fancy = LongListStore::open(
             base.create_store(store_names::FANCY, config.small_cache_pages),
             ListFormat::Id { with_scores: true },
+            config.codec,
         )?;
         let list_score =
             ListScoreTable::open(base.create_store(store_names::AUX, config.small_cache_pages))?;
@@ -498,8 +498,11 @@ impl SearchIndex for ScoreThresholdTermMethod {
     }
 
     fn shard_stats(&self) -> Vec<ShardStats> {
-        self.base
-            .single_shard_stats(self.long.total_bytes(), self.short.len())
+        self.base.single_shard_stats(
+            self.long.total_bytes(),
+            self.long.total_postings(),
+            self.short.len(),
+        )
     }
 
     fn long_list_bytes(&self) -> u64 {

@@ -1,0 +1,220 @@
+//! Codec round-trip properties: every block codec must decode exactly what
+//! it encoded for arbitrary lists in all three list formats — at the slice
+//! level ([`codec::decode_list`]) and through a [`LongListStore`] cursor —
+//! and hostile inputs (truncations, random garbage) must come back as clean
+//! errors, never panics or bogus postings.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use svr_core::codec::{self, CodecKind};
+use svr_core::long_list::{ListFormat, LongListStore, LongPosting};
+use svr_core::short_list::PostingPos;
+use svr_core::types::{DocId, TermId};
+use svr_storage::{MemDisk, Store};
+use svr_text::postings::{ChunkGroup, TermScoredPosting};
+
+fn store() -> Arc<Store> {
+    Arc::new(Store::new(Arc::new(MemDisk::new(512)), 64))
+}
+
+fn codec_strategy() -> impl Strategy<Value = CodecKind> {
+    prop_oneof![
+        Just(CodecKind::Uncompressed),
+        Just(CodecKind::Varint),
+        Just(CodecKind::Bitpacked),
+    ]
+}
+
+/// Ascending unique doc ids with arbitrary gaps, each with a term score.
+fn id_list_strategy() -> impl Strategy<Value = Vec<TermScoredPosting>> {
+    (
+        prop::collection::btree_set(0u32..2_000_000, 0..120),
+        any::<u16>(),
+    )
+        .prop_map(|(docs, seed)| {
+            docs.into_iter()
+                .enumerate()
+                .map(|(i, doc)| TermScoredPosting {
+                    doc: DocId(doc),
+                    tscore: seed.wrapping_mul(i as u16 + 1),
+                })
+                .collect()
+        })
+}
+
+/// Chunk groups in descending cid order, docs ascending within each group.
+fn chunked_strategy() -> impl Strategy<Value = Vec<ChunkGroup>> {
+    prop::collection::btree_map(
+        0u32..50,
+        prop::collection::btree_set(0u32..100_000, 1..40),
+        0..6,
+    )
+    .prop_map(|m: BTreeMap<u32, BTreeSet<u32>>| {
+        m.into_iter()
+            .rev()
+            .map(|(cid, docs)| ChunkGroup {
+                cid,
+                postings: docs
+                    .into_iter()
+                    .map(|doc| TermScoredPosting {
+                        doc: DocId(doc),
+                        tscore: (doc % 700) as u16,
+                    })
+                    .collect(),
+            })
+            .collect()
+    })
+}
+
+/// `(score, doc, tscore)` rows in (score desc, doc asc) order.
+fn score_rows_strategy() -> impl Strategy<Value = Vec<(f64, DocId, u16)>> {
+    prop::collection::vec((0u32..1_000_000, 0u32..100_000, any::<u16>()), 0..120).prop_map(
+        |mut rows| {
+            rows.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+            rows.dedup_by_key(|r| (r.0, r.1));
+            rows.into_iter()
+                .map(|(s, d, ts)| (f64::from(s) / 16.0, DocId(d), ts))
+                .collect()
+        },
+    )
+}
+
+fn drain(lls: &LongListStore, term: TermId) -> Vec<LongPosting> {
+    let mut cursor = lls.cursor(term);
+    let mut out = Vec::new();
+    while let Some(p) = cursor.next_posting().unwrap() {
+        out.push(p);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn id_lists_roundtrip(
+        postings in id_list_strategy(),
+        codec in codec_strategy(),
+        with_scores in any::<bool>(),
+    ) {
+        let format = ListFormat::Id { with_scores };
+        let mut buf = Vec::new();
+        codec::encode_id_list(codec, &postings, with_scores, &mut buf);
+        let decoded = codec::decode_list(codec, format, &buf).unwrap();
+        prop_assert_eq!(decoded.len(), postings.len());
+        for (got, want) in decoded.iter().zip(&postings) {
+            prop_assert_eq!(got.doc, want.doc);
+            prop_assert_eq!(got.tscore, if with_scores { want.tscore } else { 0 });
+            prop_assert_eq!(got.pos, PostingPos::Id);
+        }
+        // The same list through a store cursor (paged ByteStream decode).
+        let lls = LongListStore::new(store(), format, codec);
+        lls.put_id_list(TermId(9), &postings).unwrap();
+        prop_assert_eq!(drain(&lls, TermId(9)), decoded);
+    }
+
+    #[test]
+    fn chunked_lists_roundtrip(
+        groups in chunked_strategy(),
+        codec in codec_strategy(),
+        with_scores in any::<bool>(),
+    ) {
+        let format = ListFormat::Chunked { with_scores };
+        let mut buf = Vec::new();
+        codec::encode_chunked_list(codec, &groups, with_scores, &mut buf);
+        let decoded = codec::decode_list(codec, format, &buf).unwrap();
+        let want: Vec<(u32, DocId, u16)> = groups
+            .iter()
+            .flat_map(|g| {
+                g.postings.iter().map(|p| {
+                    (g.cid, p.doc, if with_scores { p.tscore } else { 0 })
+                })
+            })
+            .collect();
+        prop_assert_eq!(decoded.len(), want.len());
+        for (got, (cid, doc, ts)) in decoded.iter().zip(&want) {
+            prop_assert_eq!(got.pos, PostingPos::ByChunk(*cid));
+            prop_assert_eq!(got.doc, *doc);
+            prop_assert_eq!(got.tscore, *ts);
+        }
+        let lls = LongListStore::new(store(), format, codec);
+        lls.put_chunked_list(TermId(9), &groups).unwrap();
+        prop_assert_eq!(drain(&lls, TermId(9)), decoded);
+    }
+
+    #[test]
+    fn score_lists_roundtrip(
+        rows in score_rows_strategy(),
+        codec in codec_strategy(),
+        with_scores in any::<bool>(),
+    ) {
+        let format = ListFormat::Score { with_scores };
+        let mut buf = Vec::new();
+        codec::encode_score_list(codec, &rows, with_scores, &mut buf);
+        let decoded = codec::decode_list(codec, format, &buf).unwrap();
+        prop_assert_eq!(decoded.len(), rows.len());
+        for (got, (score, doc, ts)) in decoded.iter().zip(&rows) {
+            prop_assert_eq!(got.pos, PostingPos::ByScore(*score));
+            prop_assert_eq!(got.doc, *doc);
+            prop_assert_eq!(got.tscore, if with_scores { *ts } else { 0 });
+        }
+        let lls = LongListStore::new(store(), format, codec);
+        lls.put_score_list(TermId(9), &rows).unwrap();
+        prop_assert_eq!(drain(&lls, TermId(9)), decoded);
+    }
+
+    /// Every proper non-empty prefix of a valid encoding must surface a
+    /// clean error: the header's posting total makes truncation — even at a
+    /// block boundary, where the byte stream ends "cleanly" — detectable.
+    #[test]
+    fn truncated_encodings_error_cleanly(
+        postings in id_list_strategy().prop_filter("need a non-trivial list", |p| p.len() >= 3),
+        codec in codec_strategy(),
+    ) {
+        let format = ListFormat::Id { with_scores: true };
+        let mut buf = Vec::new();
+        codec::encode_id_list(codec, &postings, true, &mut buf);
+        for cut in 1..buf.len() {
+            prop_assert!(
+                codec::decode_list(codec, format, &buf[..cut]).is_err(),
+                "{codec:?}: prefix of {cut}/{} bytes decoded successfully",
+                buf.len(),
+            );
+        }
+    }
+
+    /// Arbitrary garbage must never panic the decoder (errors are fine,
+    /// and the header caps keep allocations bounded).
+    #[test]
+    fn garbage_never_panics(
+        garbage in prop::collection::vec(any::<u8>(), 0..600),
+        codec in codec_strategy(),
+        with_scores in any::<bool>(),
+    ) {
+        for format in [
+            ListFormat::Id { with_scores },
+            ListFormat::Chunked { with_scores },
+            ListFormat::Score { with_scores },
+        ] {
+            let _ = codec::decode_list(codec, format, &garbage);
+        }
+    }
+
+    /// Bit-flips inside a valid encoding must never panic either — they
+    /// either error or decode to *some* postings, but always terminate.
+    #[test]
+    fn bitflips_never_panic(
+        postings in id_list_strategy().prop_filter("need postings", |p| !p.is_empty()),
+        codec in codec_strategy(),
+        flip_byte in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut buf = Vec::new();
+        codec::encode_id_list(codec, &postings, false, &mut buf);
+        let i = flip_byte % buf.len();
+        buf[i] ^= 1 << flip_bit;
+        let _ = codec::decode_list(codec, ListFormat::Id { with_scores: false }, &buf);
+    }
+}

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use svr_core::types::{DocId, Document, Query, QueryMode, TermId};
-use svr_core::{build_index, IndexConfig, MethodKind, ScoreMap, SearchHit, SearchIndex};
+use svr_core::{build_index, CodecKind, IndexConfig, MethodKind, ScoreMap, SearchHit, SearchIndex};
 
 const VOCAB: u32 = 40;
 
@@ -30,6 +30,10 @@ fn corpus(rng: &mut StdRng, num_docs: u32) -> (Vec<Document>, ScoreMap) {
 }
 
 fn config_for(kind: MethodKind, shards: usize) -> IndexConfig {
+    config_with_codec(kind, shards, CodecKind::Legacy)
+}
+
+fn config_with_codec(kind: MethodKind, shards: usize, codec: CodecKind) -> IndexConfig {
     IndexConfig {
         chunk_ratio: 2.0,
         threshold_ratio: 1.5,
@@ -41,6 +45,7 @@ fn config_for(kind: MethodKind, shards: usize) -> IndexConfig {
             0.0
         },
         num_shards: shards,
+        codec,
         ..IndexConfig::default()
     }
 }
@@ -178,36 +183,104 @@ fn resume_equals_deeper_one_shot() {
 
 /// A cursor that outlives an offline merge keeps enumerating without
 /// panicking or duplicating documents (graceful degradation: the long-list
-/// epoch fallback re-scans and the seen-set dedupes).
+/// epoch fallback re-scans and the seen-set dedupes) — with block codecs,
+/// the merge also re-encodes every list, so the resumed cursor crosses a
+/// full physical rewrite.
 #[test]
 fn cursor_survives_offline_merge() {
     for kind in MethodKind::ALL_EXTENDED {
-        let mut rng = StdRng::seed_from_u64(0xDEAD);
-        let num_docs = 90;
-        let (docs, scores) = corpus(&mut rng, num_docs);
-        let config = config_for(kind, 1);
-        let index = build_index(kind, &docs, &scores, &config).unwrap();
-        storm(&mut rng, index.as_ref(), num_docs);
+        for codec in CodecKind::ALL {
+            let mut rng = StdRng::seed_from_u64(0xDEAD);
+            let num_docs = 90;
+            let (docs, scores) = corpus(&mut rng, num_docs);
+            let config = config_with_codec(kind, 1, codec);
+            let index = build_index(kind, &docs, &scores, &config).unwrap();
+            storm(&mut rng, index.as_ref(), num_docs);
 
-        let query = Query::disjunctive([TermId(0), TermId(1), TermId(2)], 10);
-        let mut cursor = index.open_cursor(&query).unwrap();
-        let first = index.next_batch(&mut cursor, 5).unwrap();
-        index.merge_short_lists().unwrap();
-        let mut rest = Vec::new();
-        loop {
-            let batch = index.next_batch(&mut cursor, 7).unwrap();
-            if batch.is_empty() {
-                break;
+            let query = Query::disjunctive([TermId(0), TermId(1), TermId(2)], 10);
+            let mut cursor = index.open_cursor(&query).unwrap();
+            let first = index.next_batch(&mut cursor, 5).unwrap();
+            index.merge_short_lists().unwrap();
+            let mut rest = Vec::new();
+            loop {
+                let batch = index.next_batch(&mut cursor, 7).unwrap();
+                if batch.is_empty() {
+                    break;
+                }
+                rest.extend(batch);
             }
-            rest.extend(batch);
+            let mut seen = std::collections::HashSet::new();
+            for hit in first.iter().chain(&rest) {
+                assert!(
+                    seen.insert(hit.doc),
+                    "{kind} {codec:?}: doc {} emitted twice across a maintenance merge",
+                    hit.doc
+                );
+            }
         }
-        let mut seen = std::collections::HashSet::new();
-        for hit in first.iter().chain(&rest) {
-            assert!(
-                seen.insert(hit.doc),
-                "{kind}: doc {} emitted twice across a maintenance merge",
-                hit.doc
-            );
+    }
+}
+
+/// The codec matrix: every method × every shard count × every block codec
+/// must reproduce the Legacy ranking exactly — compression may never change
+/// a result, only its size on disk.
+#[test]
+fn block_codecs_rank_identically_to_legacy() {
+    for kind in MethodKind::ALL_EXTENDED {
+        for shards in [1usize, 4, 8] {
+            let mut rng = StdRng::seed_from_u64(0x5EED ^ shards as u64);
+            let num_docs = 110;
+            let (docs, scores) = corpus(&mut rng, num_docs);
+            let queries: Vec<(Vec<TermId>, QueryMode, usize)> = (0..4)
+                .map(|_| {
+                    let terms: Vec<TermId> = (0..rng.gen_range(1..4))
+                        .map(|_| TermId(rng.gen_range(0..VOCAB / 2)))
+                        .collect();
+                    let mode = if rng.gen_bool(0.5) {
+                        QueryMode::Conjunctive
+                    } else {
+                        QueryMode::Disjunctive
+                    };
+                    (terms, mode, rng.gen_range(1..40usize))
+                })
+                .collect();
+
+            let mut baseline: Option<Vec<Vec<SearchHit>>> = None;
+            for codec in CodecKind::ALL {
+                // Same storm per codec: the RNG is re-seeded so every codec
+                // sees the identical update sequence.
+                let mut storm_rng = StdRng::seed_from_u64(0xAB1E ^ shards as u64);
+                let config = config_with_codec(kind, shards, codec);
+                let index = build_index(kind, &docs, &scores, &config).unwrap();
+                storm(&mut storm_rng, index.as_ref(), num_docs);
+                index.merge_short_lists().unwrap();
+
+                let results: Vec<Vec<SearchHit>> = queries
+                    .iter()
+                    .map(|(terms, mode, k)| {
+                        // Drain through a suspendable cursor in small
+                        // batches, not one-shot, so the block cursor's
+                        // suspend/resume path is the thing being compared.
+                        drain_in_batches(
+                            index.as_ref(),
+                            &Query::new(terms.clone(), *k, *mode),
+                            &vec![3; k.div_ceil(3)],
+                        )
+                    })
+                    .collect();
+                match &baseline {
+                    None => baseline = Some(results),
+                    Some(expected) => {
+                        for (q, (want, got)) in expected.iter().zip(&results).enumerate() {
+                            assert_same(
+                                &format!("{kind} shards={shards} {codec:?} query={q}"),
+                                want,
+                                got,
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -256,6 +329,11 @@ proptest! {
     fn arbitrary_batch_schedules_match(
         seed in 0u64..1_000,
         shards in prop_oneof![Just(1usize), Just(4)],
+        codec in prop_oneof![
+            Just(CodecKind::Legacy),
+            Just(CodecKind::Varint),
+            Just(CodecKind::Bitpacked),
+        ],
         batches in prop::collection::vec(1usize..9, 1..12),
         conjunctive in any::<bool>(),
     ) {
@@ -263,7 +341,8 @@ proptest! {
             let mut rng = StdRng::seed_from_u64(seed);
             let num_docs = 80;
             let (docs, scores) = corpus(&mut rng, num_docs);
-            let index = build_index(kind, &docs, &scores, &config_for(kind, shards)).unwrap();
+            let index =
+                build_index(kind, &docs, &scores, &config_with_codec(kind, shards, codec)).unwrap();
             storm(&mut rng, index.as_ref(), num_docs);
 
             let terms: Vec<TermId> = (0..rng.gen_range(1..3))

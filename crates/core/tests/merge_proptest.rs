@@ -6,12 +6,13 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use proptest::prelude::*;
+use svr_core::codec::CodecKind;
 use svr_core::long_list::{ListFormat, LongListStore};
 use svr_core::merge::{MultiMerge, Source, UnionCursor};
 use svr_core::short_list::{Op, PostingPos, ShortLists, ShortOrder};
 use svr_core::types::{DocId, TermId};
 use svr_storage::{MemDisk, Store};
-use svr_text::postings::{ChunkGroup, PostingsBuilder, TermScoredPosting};
+use svr_text::postings::{ChunkGroup, TermScoredPosting};
 
 /// A term's long list: chunk id -> ascending doc ids.
 type LongModel = BTreeMap<u32, Vec<u32>>;
@@ -57,7 +58,11 @@ fn model_union(long: &LongModel, short: &ShortModel) -> Vec<(u32, u32, Source)> 
 fn build_stores(terms: &[(LongModel, ShortModel)]) -> (LongListStore, ShortLists) {
     let long_store = Arc::new(Store::new(Arc::new(MemDisk::new(512)), 64));
     let short_store = Arc::new(Store::new(Arc::new(MemDisk::new(512)), 64));
-    let long = LongListStore::new(long_store, ListFormat::Chunked { with_scores: false });
+    let long = LongListStore::new(
+        long_store,
+        ListFormat::Chunked { with_scores: false },
+        CodecKind::Legacy,
+    );
     let short = ShortLists::create(short_store, ShortOrder::ByChunkDesc).unwrap();
     for (t, (long_model, short_model)) in terms.iter().enumerate() {
         let mut groups: Vec<ChunkGroup> = long_model
@@ -74,9 +79,7 @@ fn build_stores(terms: &[(LongModel, ShortModel)]) -> (LongListStore, ShortLists
             })
             .collect();
         groups.sort_by_key(|g| std::cmp::Reverse(g.cid));
-        let mut buf = Vec::new();
-        PostingsBuilder::encode_chunked_list(&groups, false, &mut buf);
-        long.set_list(TermId(t as u32), &buf).unwrap();
+        long.put_chunked_list(TermId(t as u32), &groups).unwrap();
         for (&(cid, doc), &is_rem) in short_model {
             short
                 .put(

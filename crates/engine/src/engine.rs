@@ -148,8 +148,8 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 use svr_core::types::{DocId, Document, Query, QueryMode, SearchHit, TermId};
 use svr_core::{
-    build_index, build_index_at, open_index_at, IndexConfig, IndexLocation, MethodCursor,
-    MethodKind, SearchIndex, ShardStats,
+    build_index, build_index_at, open_index_at, CodecKind, IndexConfig, IndexLocation,
+    MethodCursor, MethodKind, SearchIndex, ShardStats,
 };
 use svr_relation::{Database, RowChange, Schema, SvrSpec, Value};
 use svr_storage::codec::{
@@ -319,6 +319,9 @@ struct TextIndex {
     pk_col: usize,
     view: String,
     index: Arc<dyn SearchIndex>,
+    /// The build configuration the index runs under (from the catalog on
+    /// reopen) — `EXPLAIN` reports its codec alongside the list sizes.
+    config: IndexConfig,
     /// Write epoch: bumped on every mutation that can shift this index's
     /// ranking (score refreshes, document inserts/deletes/content updates,
     /// offline merges). Open cursors compare it against the value they
@@ -753,7 +756,14 @@ impl SvrEngine {
             for (term, df) in index.term_dfs() {
                 vocab.add_doc_freq(term, df);
             }
-            engine.install_index_entry(&name, &record.table, text_idx, pk_idx, index)?;
+            engine.install_index_entry(
+                &name,
+                &record.table,
+                text_idx,
+                pk_idx,
+                index,
+                record.config.clone(),
+            )?;
         }
         *engine.shared.vocab.write() = vocab;
 
@@ -906,6 +916,7 @@ impl SvrEngine {
         text_idx: usize,
         pk_idx: usize,
         index: Arc<dyn SearchIndex>,
+        config: IndexConfig,
     ) -> Result<()> {
         let view_tag: Arc<str> = Arc::from(name);
         self.shared.db.set_score_listener(
@@ -922,6 +933,7 @@ impl SvrEngine {
                 pk_col: pk_idx,
                 view: name.to_string(),
                 index,
+                config,
                 epoch: AtomicU64::new(0),
             }),
         );
@@ -1221,6 +1233,7 @@ impl SvrEngine {
                     pk_col: pk_idx,
                     view: name.to_string(),
                     index,
+                    config: config.clone(),
                     epoch: AtomicU64::new(0),
                 }),
             );
@@ -1743,6 +1756,11 @@ impl SvrEngine {
         Ok(self.entry(name)?.index.shard_stats())
     }
 
+    /// The build configuration a text index runs under (codec included).
+    pub fn index_config(&self, name: &str) -> Result<IndexConfig> {
+        Ok(self.entry(name)?.config.clone())
+    }
+
     /// The materialized view's score for a row (for assertions and demos).
     pub fn score_of(&self, index: &str, pk: i64) -> Result<f64> {
         let ti = self.entry(index)?;
@@ -1762,6 +1780,10 @@ struct IndexRecord {
 }
 
 const INDEX_RECORD_V1: u8 = 1;
+/// V2 appends the long-list codec tag; V1 records (written before codecs
+/// existed) decode with [`CodecKind::Legacy`], the format they were built
+/// with, so pre-upgrade stores reopen unchanged.
+const INDEX_RECORD_V2: u8 = 2;
 
 fn method_tag(kind: MethodKind) -> u8 {
     match kind {
@@ -1790,7 +1812,7 @@ fn method_from_tag(tag: u8) -> Result<MethodKind> {
 
 fn encode_index_record(record: &IndexRecord) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
-    begin_record(&mut buf, INDEX_RECORD_V1);
+    begin_record(&mut buf, INDEX_RECORD_V2);
     write_string(&mut buf, &record.table);
     write_string(&mut buf, &record.text_col);
     buf.push(method_tag(record.method));
@@ -1805,16 +1827,17 @@ fn encode_index_record(record: &IndexRecord) -> Vec<u8> {
     write_varint(&mut buf, c.small_cache_pages as u64);
     write_varint(&mut buf, c.num_shards as u64);
     write_varint(&mut buf, c.cursor_pool_cap as u64);
+    buf.push(c.codec.tag());
     buf
 }
 
 fn decode_index_record(raw: &[u8]) -> Result<IndexRecord> {
     let corrupt = || SvrError::Engine("corrupt index catalog record".into());
     let mut pos = 0;
-    match record_version(raw, &mut pos) {
-        Some(INDEX_RECORD_V1) => {}
+    let version = match record_version(raw, &mut pos) {
+        Some(v @ (INDEX_RECORD_V1 | INDEX_RECORD_V2)) => v,
         _ => return Err(corrupt()),
-    }
+    };
     let table = read_string(raw, &mut pos).ok_or_else(corrupt)?;
     let text_col = read_string(raw, &mut pos).ok_or_else(corrupt)?;
     let method = method_from_tag(*raw.get(pos).ok_or_else(corrupt)?)?;
@@ -1835,6 +1858,11 @@ fn decode_index_record(raw: &[u8]) -> Result<IndexRecord> {
     let small_cache_pages = read_varint(raw, &mut pos).ok_or_else(corrupt)? as usize;
     let num_shards = read_varint(raw, &mut pos).ok_or_else(corrupt)? as usize;
     let cursor_pool_cap = read_varint(raw, &mut pos).ok_or_else(corrupt)? as usize;
+    let codec = if version >= INDEX_RECORD_V2 {
+        CodecKind::from_tag(*raw.get(pos).ok_or_else(corrupt)?).ok_or_else(corrupt)?
+    } else {
+        CodecKind::Legacy
+    };
     Ok(IndexRecord {
         table,
         text_col,
@@ -1850,6 +1878,7 @@ fn decode_index_record(raw: &[u8]) -> Result<IndexRecord> {
             small_cache_pages,
             cursor_pool_cap,
             num_shards,
+            codec,
         },
     })
 }
@@ -1888,5 +1917,50 @@ mod tests {
             );
         }
         assert_eq!(engine.shared.write_locks.lock().len(), 0);
+    }
+
+    /// A V1 catalog record (written before list codecs existed) must decode
+    /// with the Legacy codec — the format those stores were built with.
+    #[test]
+    fn v1_index_record_decodes_with_legacy_codec() {
+        let config = IndexConfig::default();
+        let mut raw = Vec::new();
+        begin_record(&mut raw, INDEX_RECORD_V1);
+        write_string(&mut raw, "movies");
+        write_string(&mut raw, "title");
+        raw.push(method_tag(MethodKind::Chunk));
+        raw.extend_from_slice(&config.threshold_ratio.to_le_bytes());
+        raw.extend_from_slice(&config.chunk_ratio.to_le_bytes());
+        write_varint(&mut raw, config.min_chunk_docs as u64);
+        write_varint(&mut raw, config.fancy_size as u64);
+        raw.extend_from_slice(&config.term_weight.to_le_bytes());
+        write_varint(&mut raw, config.page_size as u64);
+        write_varint(&mut raw, config.long_cache_pages as u64);
+        write_varint(&mut raw, config.small_cache_pages as u64);
+        write_varint(&mut raw, config.num_shards as u64);
+        write_varint(&mut raw, config.cursor_pool_cap as u64);
+        // No codec byte: V1 records end here.
+        let record = decode_index_record(&raw).unwrap();
+        assert_eq!(record.table, "movies");
+        assert_eq!(record.method, MethodKind::Chunk);
+        assert_eq!(record.config.codec, CodecKind::Legacy);
+    }
+
+    /// The current encoder round-trips every codec through the V2 record.
+    #[test]
+    fn v2_index_record_roundtrips_codec() {
+        for codec in CodecKind::ALL {
+            let record = IndexRecord {
+                table: "movies".into(),
+                text_col: "title".into(),
+                method: MethodKind::Id,
+                config: IndexConfig {
+                    codec,
+                    ..IndexConfig::default()
+                },
+            };
+            let decoded = decode_index_record(&encode_index_record(&record)).unwrap();
+            assert_eq!(decoded.config.codec, codec);
+        }
     }
 }

@@ -1,0 +1,175 @@
+//! Backward compatibility: indexes built before the block-codec upgrade
+//! carry no codec byte in their catalog record and must keep working as
+//! `CodecKind::Legacy` stores — reopening, querying and offline-merging
+//! without being silently re-encoded into the block format.
+
+use std::sync::Arc;
+
+use svr_core::types::QueryMode;
+use svr_core::{CodecKind, IndexConfig, MethodKind};
+use svr_engine::SvrEngine;
+use svr_relation::schema::{ColumnType, Schema};
+use svr_relation::{ScoreComponent, SvrSpec, Value};
+use svr_storage::StorageEnv;
+
+fn populate(engine: &SvrEngine, method: MethodKind, codec: CodecKind) {
+    engine
+        .create_table(Schema::new(
+            "movies",
+            &[("mid", ColumnType::Int), ("desc", ColumnType::Text)],
+            0,
+        ))
+        .unwrap();
+    engine
+        .create_table(Schema::new(
+            "stats",
+            &[("mid", ColumnType::Int), ("nvisit", ColumnType::Int)],
+            0,
+        ))
+        .unwrap();
+    let spec = SvrSpec::single(ScoreComponent::ColumnOf {
+        table: "stats".into(),
+        key_col: "mid".into(),
+        val_col: "nvisit".into(),
+    });
+    engine
+        .create_text_index(
+            "movie_idx",
+            "movies",
+            "desc",
+            spec,
+            method,
+            IndexConfig {
+                codec,
+                min_chunk_docs: 2,
+                ..IndexConfig::default()
+            },
+        )
+        .unwrap();
+    let words = ["golden", "gate", "bridge", "sunset", "footage", "drone"];
+    for i in 0..40i64 {
+        let text = format!(
+            "{} {} clip",
+            words[i as usize % words.len()],
+            words[(i as usize / 2) % words.len()]
+        );
+        engine
+            .insert_row("movies", vec![Value::Int(i + 1), Value::Text(text)])
+            .unwrap();
+        engine
+            .insert_row("stats", vec![Value::Int(i + 1), Value::Int((i * 37) % 500)])
+            .unwrap();
+    }
+}
+
+fn snapshot(engine: &SvrEngine) -> Vec<(i64, f64)> {
+    engine
+        .search("movie_idx", "golden gate", 12, QueryMode::Disjunctive)
+        .unwrap()
+        .into_iter()
+        .map(|r| (r.row[0].as_i64().unwrap(), r.score))
+        .collect()
+}
+
+fn stats_fingerprint(engine: &SvrEngine) -> Vec<(u64, u64)> {
+    engine
+        .index_shard_stats("movie_idx")
+        .unwrap()
+        .into_iter()
+        .map(|s| (s.long_list_bytes, s.long_postings))
+        .collect()
+}
+
+/// A pre-upgrade index (default config = Legacy codec) must reopen, serve
+/// queries, and merge without its on-disk long lists changing shape — the
+/// twin engine pins `CodecKind::Legacy` explicitly and must stay
+/// byte-identical through the whole lifecycle.
+#[test]
+fn legacy_index_reopens_queries_and_merges_without_reencode() {
+    for method in [MethodKind::Chunk, MethodKind::IdTermScore] {
+        let env = Arc::new(StorageEnv::new_durable(svr_storage::DEFAULT_PAGE_SIZE));
+        let engine = SvrEngine::create(env.clone()).unwrap();
+        populate(&engine, method, CodecKind::Legacy);
+        engine.run_maintenance("movie_idx").unwrap();
+        let expected = snapshot(&engine);
+        let expected_stats = stats_fingerprint(&engine);
+        assert!(!expected.is_empty());
+        assert!(
+            expected_stats.iter().map(|s| s.1).sum::<u64>() > 0,
+            "{method}: merge must have produced long-list postings"
+        );
+        drop(engine);
+
+        // Twin pinned to Legacy explicitly: the default path must produce
+        // the exact same physical layout (nothing re-encoded it).
+        let twin_env = Arc::new(StorageEnv::new_durable(svr_storage::DEFAULT_PAGE_SIZE));
+        let twin = SvrEngine::create(twin_env).unwrap();
+        populate(&twin, method, CodecKind::Legacy);
+        twin.run_maintenance("movie_idx").unwrap();
+        assert_eq!(stats_fingerprint(&twin), expected_stats, "{method}");
+
+        env.crash();
+        let reopened = SvrEngine::open(env.clone()).unwrap();
+        assert_eq!(
+            reopened.index_config("movie_idx").unwrap().codec,
+            CodecKind::Legacy,
+            "{method}: codec must survive reopen"
+        );
+        assert_eq!(snapshot(&reopened), expected, "{method}");
+        assert_eq!(stats_fingerprint(&reopened), expected_stats, "{method}");
+
+        // Post-reopen churn + another offline merge must re-encode with the
+        // store's *own* codec (Legacy), never upgrade the format in place.
+        reopened
+            .update_row(
+                "stats",
+                Value::Int(7),
+                &[("nvisit".to_string(), Value::Int(9_000))],
+            )
+            .unwrap();
+        reopened.run_maintenance("movie_idx").unwrap();
+        assert_eq!(
+            reopened.index_config("movie_idx").unwrap().codec,
+            CodecKind::Legacy,
+            "{method}: merge must not migrate the codec"
+        );
+        let top = reopened
+            .search("movie_idx", "golden", 1, QueryMode::Conjunctive)
+            .unwrap();
+        assert_eq!(top[0].row[0], Value::Int(7), "{method}");
+
+        // And the merged state survives one more crash/reopen cycle.
+        let after_merge = snapshot(&reopened);
+        drop(reopened);
+        env.crash();
+        let again = SvrEngine::open(env).unwrap();
+        assert_eq!(snapshot(&again), after_merge, "{method}");
+        assert_eq!(
+            again.index_config("movie_idx").unwrap().codec,
+            CodecKind::Legacy,
+            "{method}"
+        );
+    }
+}
+
+/// Legacy and block-codec stores must rank identically — upgrading the
+/// codec of *new* indexes cannot change what queries return.
+#[test]
+fn legacy_and_block_codecs_rank_identically_end_to_end() {
+    let mut baseline: Option<Vec<(i64, f64)>> = None;
+    for codec in CodecKind::ALL {
+        let env = Arc::new(StorageEnv::new_durable(svr_storage::DEFAULT_PAGE_SIZE));
+        let engine = SvrEngine::create(env.clone()).unwrap();
+        populate(&engine, MethodKind::Chunk, codec);
+        engine.run_maintenance("movie_idx").unwrap();
+        drop(engine);
+        env.crash();
+        let reopened = SvrEngine::open(env).unwrap();
+        assert_eq!(reopened.index_config("movie_idx").unwrap().codec, codec);
+        let got = snapshot(&reopened);
+        match &baseline {
+            None => baseline = Some(got),
+            Some(want) => assert_eq!(&got, want, "{codec:?} diverged from Legacy"),
+        }
+    }
+}

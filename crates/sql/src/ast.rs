@@ -146,6 +146,14 @@ pub enum ScoreListEntry {
     Tfidf,
 }
 
+/// One `OPTIONS (...)` value: numeric knobs (`chunk_ratio = 6.12`) or named
+/// settings (`codec = varint`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptionValue {
+    Number(f64),
+    Name(String),
+}
+
 /// `CREATE TEXT INDEX name ON table(col) SCORE WITH (S1, ..., [TFIDF()])
 ///  AGGREGATE WITH agg [USING METHOD kind] [OPTIONS (k = v, ...)]`
 #[derive(Debug, Clone, PartialEq)]
@@ -158,8 +166,8 @@ pub struct CreateTextIndex {
     pub aggregate_with: Option<String>,
     /// Index method name (`CHUNK`, `SCORE_THRESHOLD`, ... ) if given.
     pub method: Option<String>,
-    /// `OPTIONS (chunk_ratio = 6.12, ...)` knob overrides.
-    pub options: Vec<(String, f64)>,
+    /// `OPTIONS (chunk_ratio = 6.12, codec = varint, ...)` knob overrides.
+    pub options: Vec<(String, OptionValue)>,
 }
 
 /// Keyword-match mode of a `CONTAINS` predicate.

@@ -497,7 +497,15 @@ impl Parser {
             loop {
                 let key = self.identifier()?;
                 self.expect_kind(&TokenKind::Eq)?;
-                let value = self.number()?;
+                let value = match self.next()?.kind {
+                    TokenKind::Number(n) => OptionValue::Number(n),
+                    TokenKind::Ident(s) => OptionValue::Name(s),
+                    other => {
+                        return Err(self.error(format!(
+                            "expected number or name as option value, found {other}"
+                        )))
+                    }
+                };
                 options.push((key.to_ascii_lowercase(), value));
                 if !self.eat_kind(&TokenKind::Comma) {
                     break;
@@ -892,7 +900,7 @@ mod tests {
              SCORE WITH (S1, S2, S3, TFIDF())
              AGGREGATE WITH Agg
              USING METHOD CHUNK_TERMSCORE
-             OPTIONS (chunk_ratio = 6.12, fancy_size = 64)",
+             OPTIONS (chunk_ratio = 6.12, fancy_size = 64, codec = varint)",
         )
         .unwrap() else {
             panic!()
@@ -901,7 +909,14 @@ mod tests {
         assert_eq!(ix.score_with[3], ScoreListEntry::Tfidf);
         assert_eq!(ix.aggregate_with.as_deref(), Some("Agg"));
         assert_eq!(ix.method.as_deref(), Some("CHUNK_TERMSCORE"));
-        assert_eq!(ix.options[0], ("chunk_ratio".into(), 6.12));
+        assert_eq!(
+            ix.options[0],
+            ("chunk_ratio".into(), OptionValue::Number(6.12))
+        );
+        assert_eq!(
+            ix.options[2],
+            ("codec".into(), OptionValue::Name("varint".into()))
+        );
     }
 
     #[test]

@@ -10,10 +10,10 @@
 //! * method names map to [`MethodKind`]s.
 
 use svr_core::types::QueryMode;
-use svr_core::{IndexConfig, MethodKind};
+use svr_core::{CodecKind, IndexConfig, MethodKind};
 use svr_relation::{AggExpr, ScoreComponent};
 
-use crate::ast::{Arith, ComponentAgg, FunctionBody, MatchMode, Predicate, Select};
+use crate::ast::{Arith, ComponentAgg, FunctionBody, MatchMode, OptionValue, Predicate, Select};
 use crate::error::{Result, SqlError};
 
 /// The resolved ranked access path of a `SELECT`: which text column to
@@ -264,8 +264,27 @@ pub fn parse_method(name: &str) -> Result<MethodKind> {
 }
 
 /// Apply `OPTIONS (...)` overrides to an [`IndexConfig`].
-pub fn apply_options(config: &mut IndexConfig, options: &[(String, f64)]) -> Result<()> {
+pub fn apply_options(config: &mut IndexConfig, options: &[(String, OptionValue)]) -> Result<()> {
     for (key, value) in options {
+        // `codec` is the one named option; everything else is numeric.
+        if key == "codec" {
+            let OptionValue::Name(name) = value else {
+                return Err(SqlError::Plan(
+                    "codec takes a name: legacy, uncompressed, varint or bitpacked".into(),
+                ));
+            };
+            config.codec = CodecKind::from_name(name).ok_or_else(|| {
+                SqlError::Plan(format!(
+                    "unknown codec '{name}'; expected legacy, uncompressed, varint or bitpacked"
+                ))
+            })?;
+            continue;
+        }
+        let OptionValue::Number(value) = value else {
+            return Err(SqlError::Plan(format!(
+                "option '{key}' takes a numeric value"
+            )));
+        };
         match key.as_str() {
             "chunk_ratio" => config.chunk_ratio = *value,
             "threshold_ratio" => config.threshold_ratio = *value,
@@ -460,11 +479,28 @@ mod tests {
         let mut config = IndexConfig::default();
         apply_options(
             &mut config,
-            &[("chunk_ratio".into(), 3.0), ("fancy_size".into(), 16.0)],
+            &[
+                ("chunk_ratio".into(), OptionValue::Number(3.0)),
+                ("fancy_size".into(), OptionValue::Number(16.0)),
+                ("codec".into(), OptionValue::Name("varint".into())),
+            ],
         )
         .unwrap();
         assert_eq!(config.chunk_ratio, 3.0);
         assert_eq!(config.fancy_size, 16);
-        assert!(apply_options(&mut config, &[("bogus".into(), 1.0)]).is_err());
+        assert_eq!(config.codec, CodecKind::Varint);
+        assert!(apply_options(&mut config, &[("bogus".into(), OptionValue::Number(1.0))]).is_err());
+        // Kind mismatches fail cleanly in both directions.
+        assert!(apply_options(&mut config, &[("codec".into(), OptionValue::Number(2.0))]).is_err());
+        assert!(apply_options(
+            &mut config,
+            &[("chunk_ratio".into(), OptionValue::Name("varint".into()))]
+        )
+        .is_err());
+        assert!(apply_options(
+            &mut config,
+            &[("codec".into(), OptionValue::Name("lz4".into()))]
+        )
+        .is_err());
     }
 }

@@ -612,10 +612,15 @@ impl SqlSession {
             ));
             for s in &shards {
                 lines.push(format!(
-                    "    shard {}: docs={} long_list_bytes={} short_postings={}",
-                    s.shard, s.docs, s.long_list_bytes, s.short_postings
+                    "    shard {}: docs={} long_list_bytes={} long_postings={} short_postings={}",
+                    s.shard, s.docs, s.long_list_bytes, s.long_postings, s.short_postings
                 ));
             }
+            lines.push(storage_line(
+                &self.engine().index_config(&index)?,
+                method,
+                &shards,
+            ));
         } else {
             match &sel.predicate {
                 Some(Predicate::Equals { column, .. })
@@ -933,6 +938,48 @@ impl SqlSession {
                 Ok(Some(indices))
             }
         }
+    }
+}
+
+/// The `EXPLAIN` storage summary: physical long-list bytes, bytes per
+/// posting, and the compression ratio against a codec-free fixed-width
+/// layout of the method's list format.
+fn storage_line(
+    config: &IndexConfig,
+    method: svr_core::MethodKind,
+    shards: &[svr_core::ShardStats],
+) -> String {
+    use svr_core::codec::fixed_posting_width;
+    use svr_core::long_list::ListFormat;
+    use svr_core::MethodKind;
+
+    let bytes: u64 = shards.iter().map(|s| s.long_list_bytes).sum();
+    let postings: u64 = shards.iter().map(|s| s.long_postings).sum();
+    let format = match method {
+        MethodKind::Id => Some(ListFormat::Id { with_scores: false }),
+        MethodKind::IdTermScore => Some(ListFormat::Id { with_scores: true }),
+        MethodKind::Chunk => Some(ListFormat::Chunked { with_scores: false }),
+        MethodKind::ChunkTermScore => Some(ListFormat::Chunked { with_scores: true }),
+        MethodKind::ScoreThreshold => Some(ListFormat::Score { with_scores: false }),
+        MethodKind::ScoreThresholdTermScore => Some(ListFormat::Score { with_scores: true }),
+        // The Score method's clustered tree is not posting-addressed.
+        MethodKind::Score => None,
+    };
+    match format {
+        Some(format) if postings > 0 => {
+            let per = bytes as f64 / postings as f64;
+            let fixed = fixed_posting_width(format) as f64;
+            format!(
+                "  storage: codec={} long_list_bytes={bytes} postings={postings} \
+                 ({per:.2} B/posting, {:.2}x vs {fixed:.0} B fixed-width)",
+                config.codec.name(),
+                fixed / per,
+            )
+        }
+        _ => format!(
+            "  storage: codec={} long_list_bytes={bytes}",
+            config.codec.name()
+        ),
     }
 }
 

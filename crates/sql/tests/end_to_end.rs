@@ -406,6 +406,7 @@ fn explain_describes_access_paths() {
     assert!(text.contains("golden gate"), "{text}");
     assert!(text.contains("shards: 1"), "{text}");
     assert!(text.contains("shard 0: docs=3"), "{text}");
+    assert!(text.contains("storage: codec=legacy"), "{text}");
 
     let plan = session
         .execute("EXPLAIN SELECT name FROM movies WHERE mid = 1")
@@ -435,6 +436,95 @@ fn explain_describes_access_paths() {
         1,
         "row must still exist"
     );
+}
+
+/// `OPTIONS (codec = ...)` selects the long-list block codec per index;
+/// rankings are codec-independent and EXPLAIN reports the physical
+/// storage (codec, bytes, bytes/posting) once the merge fills long lists.
+#[test]
+fn codec_option_selects_storage_and_preserves_rankings() {
+    let mut baseline: Option<Vec<String>> = None;
+    for codec in ["legacy", "uncompressed", "varint", "bitpacked"] {
+        let session = SqlSession::new();
+        session
+            .execute_script(&format!(
+                r#"
+                CREATE TABLE movies (mid INT PRIMARY KEY, description TEXT);
+                CREATE TABLE stats (mid INT PRIMARY KEY, nvisit INT);
+                CREATE FUNCTION S (id INTEGER) RETURNS FLOAT
+                    RETURN SELECT t.nvisit FROM stats t WHERE t.mid = id;
+                CREATE TEXT INDEX cx ON movies(description)
+                    SCORE WITH (S)
+                    USING METHOD CHUNK
+                    OPTIONS (min_chunk_docs = 2, codec = {codec});
+                "#,
+            ))
+            .unwrap();
+        for i in 0..30 {
+            let word = ["golden", "gate", "bridge"][i % 3];
+            session
+                .execute(&format!(
+                    "INSERT INTO movies VALUES ({i}, 'the {word} clip {i}')"
+                ))
+                .unwrap();
+            session
+                .execute(&format!("INSERT INTO stats VALUES ({i}, {})", i * 31 % 400))
+                .unwrap();
+        }
+        session.execute("MERGE TEXT INDEX cx").unwrap();
+        let result = session
+            .execute(
+                r#"SELECT mid FROM movies m
+                   ORDER BY score(m.description, "golden")
+                   FETCH TOP 10 RESULTS ONLY"#,
+            )
+            .unwrap();
+        let SqlResult::Ranked { rows, .. } = &result else {
+            panic!("expected ranked result, got {result:?}")
+        };
+        let got: Vec<String> = rows
+            .iter()
+            .map(|r| format!("{:?}@{}", r.row[0], r.score))
+            .collect();
+        match &baseline {
+            None => baseline = Some(got),
+            Some(want) => assert_eq!(&got, want, "codec {codec} changed the ranking"),
+        }
+
+        let plan = session
+            .execute(
+                r#"EXPLAIN SELECT mid FROM movies m
+                   ORDER BY score(m.description, "golden")
+                   FETCH TOP 10 RESULTS ONLY"#,
+            )
+            .unwrap();
+        let SqlResult::Plan(lines) = &plan else {
+            panic!()
+        };
+        let text = lines.join("\n");
+        assert!(text.contains(&format!("storage: codec={codec}")), "{text}");
+        assert!(text.contains("B/posting"), "{text}");
+    }
+
+    // Unknown codec names fail cleanly at CREATE time.
+    let session = SqlSession::new();
+    session
+        .execute_script(
+            r#"
+            CREATE TABLE t (id INT PRIMARY KEY, d TEXT);
+            CREATE TABLE s (id INT PRIMARY KEY, v INT);
+            CREATE FUNCTION SV (id INTEGER) RETURNS FLOAT
+                RETURN SELECT x.v FROM s x WHERE x.id = id;
+            "#,
+        )
+        .unwrap();
+    let err = session
+        .execute(
+            "CREATE TEXT INDEX bad ON t(d) SCORE WITH (SV) \
+             USING METHOD ID OPTIONS (codec = lz77)",
+        )
+        .unwrap_err();
+    assert!(format!("{err}").contains("codec"), "{err}");
 }
 
 #[test]
