@@ -69,6 +69,7 @@ use crate::error::{CoreError, Result};
 use crate::heap::ranks_above;
 use crate::merge::{Candidate, MultiMerge, UnionCursor, UnionEvent, UnionResume};
 use crate::methods::MethodKind;
+use crate::multiterm::SeekStats;
 use crate::short_list::PostingPos;
 use crate::types::{DocId, Query, QueryMode, Score, SearchHit, TermId};
 
@@ -127,6 +128,18 @@ impl MethodCursor {
         }
     }
 
+    /// Cumulative long-list block counters over every batch this cursor has
+    /// run (summed across shards for a sharded cursor).
+    pub fn stats(&self) -> SeekStats {
+        match &self.state {
+            CursorState::Merge(s) => s.stats,
+            CursorState::Sharded(slots) => slots
+                .iter()
+                .map(|s| s.cursor.stats())
+                .fold(SeekStats::default(), |acc, s| acc + s),
+        }
+    }
+
     pub(crate) fn merge(kind: MethodKind, query: Query, state: MergeState) -> MethodCursor {
         MethodCursor {
             kind,
@@ -177,6 +190,8 @@ pub(crate) struct MergeState {
     /// Algorithm 3 `remainList`: docs found in *some* fancy lists with
     /// their known `idf·ts` contributions, not yet met in phase 2.
     pub(crate) remain: HashMap<DocId, Vec<Option<f64>>>,
+    /// Cumulative block skip/decode counters across this cursor's batches.
+    pub(crate) stats: SeekStats,
 }
 
 impl MergeState {
@@ -190,6 +205,7 @@ impl MergeState {
             exhausted: false,
             idfs,
             remain: HashMap::new(),
+            stats: SeekStats::default(),
         }
     }
 
@@ -252,6 +268,21 @@ pub(crate) trait CursorBackend {
     fn pool_cap(&self) -> usize {
         0
     }
+
+    /// True when this method's streams are doc-ordered (Id-format long
+    /// lists, `ById` short lists) — the precondition for seeking. Enables
+    /// leapfrog intersection in the cursor executor and the block-max WAND
+    /// one-shot path ([`crate::multiterm::wand_topk`]).
+    fn doc_ordered(&self) -> bool {
+        false
+    }
+
+    /// Fold one query/batch's block counters into the method's cumulative
+    /// [`crate::multiterm::SeekCounters`] (no-op for methods without
+    /// block-structured long lists).
+    fn record_stats(&self, stats: SeekStats) {
+        let _ = stats;
+    }
 }
 
 /// Open a cursor with no phase-1 state (every method except the fancy-list
@@ -296,6 +327,14 @@ fn run<B: CursorBackend>(
         QueryMode::Conjunctive => query.terms.len(),
         QueryMode::Disjunctive => 1,
     };
+    // Doc-ordered conjunctions leapfrog: seek every stream to the largest
+    // buffered head doc instead of delivering the union event-by-event.
+    // Docs skipped over are missing from at least one stream, so they can
+    // never reach `required` matches — exact for any-k enumeration (score
+    // pruning, by contrast, is only sound with a fixed k; see
+    // `multiterm::wand_topk`).
+    let leapfrog =
+        backend.doc_ordered() && query.mode == QueryMode::Conjunctive && query.terms.len() > 1;
 
     // Rebuild live streams from the suspended positions.
     let streams: Vec<UnionCursor<'_>> = query
@@ -356,7 +395,12 @@ fn run<B: CursorBackend>(
             }
 
             // The pool cannot be emitted from yet: scan one candidate.
-            let Some(candidate) = merge.next_candidate()? else {
+            let next = if leapfrog {
+                merge.next_conjunctive_candidate()?
+            } else {
+                merge.next_candidate()?
+            };
+            let Some(candidate) = next else {
                 continue; // exhaustion handled at the top of the loop
             };
             state.remain.remove(&candidate.doc);
@@ -382,11 +426,16 @@ fn run<B: CursorBackend>(
     })();
 
     // Suspend the merge back into the owned state even on error, so a
-    // failed batch does not corrupt the cursor.
+    // failed batch does not corrupt the cursor. Block counters are
+    // per-batch (live cursors start at zero each rebuild), so the delta is
+    // simply this batch's totals.
+    let delta = merge.list_stats();
     let (streams, heads, primed) = merge.suspend(backend.long_epoch());
     state.streams = streams;
     state.heads = heads;
     state.primed = primed;
+    state.stats = state.stats + delta;
+    backend.record_stats(delta);
     result?;
     Ok(out)
 }

@@ -66,6 +66,7 @@ pub mod long_list;
 pub mod maintenance;
 pub mod merge;
 pub mod methods;
+pub mod multiterm;
 pub mod oracle;
 pub mod score_table;
 pub mod short_list;
@@ -80,5 +81,6 @@ pub use methods::{
     build_index, build_index_at, open_index_at, shard_of_doc, store_names, IndexLocation,
     MethodKind, RefreshGroupStats, ScoreMap, ScoreRead, SearchIndex, ShardStats, ShardedIndex,
 };
+pub use multiterm::{SeekStats, SeekingIterator};
 pub use oracle::Oracle;
 pub use types::{Query, QueryMode, SearchHit};

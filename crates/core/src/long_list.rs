@@ -325,6 +325,7 @@ impl LongListStore {
                     meta: None,
                     expect_remaining: None,
                     blocks_skipped: 0,
+                    blocks_decoded: 0,
                 })),
                 pending: None,
             };
@@ -574,6 +575,8 @@ struct BlockCursorState<'a> {
     expect_remaining: Option<u64>,
     /// Blocks skipped undecoded via [`LongCursor::skip_to_doc`].
     blocks_skipped: u64,
+    /// Blocks whose payload was decoded by this cursor.
+    blocks_decoded: u64,
 }
 
 fn read_list_header_stream(
@@ -653,6 +656,7 @@ impl BlockCursorState<'_> {
         self.idx = self.pending_skip.min(self.decoded.len());
         self.pending_skip = 0;
         self.meta = Some(meta);
+        self.blocks_decoded += 1;
         Ok(())
     }
 
@@ -753,6 +757,14 @@ impl LongCursor<'_> {
     pub fn blocks_skipped(&self) -> u64 {
         match &self.inner {
             CursorInner::Block(s) => s.blocks_skipped,
+            _ => 0,
+        }
+    }
+
+    /// Blocks this cursor decoded (diagnostics; 0 for non-block codecs).
+    pub fn blocks_decoded(&self) -> u64 {
+        match &self.inner {
+            CursorInner::Block(s) => s.blocks_decoded,
             _ => 0,
         }
     }

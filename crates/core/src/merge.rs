@@ -12,8 +12,10 @@
 //! order (score/chunk descending, then doc ascending), which is what the
 //! stopping rules of Algorithms 2 and 3 rely on.
 
+use crate::codec::BlockMeta;
 use crate::error::Result;
 use crate::long_list::{LongCursor, LongPosting, LongResume};
+use crate::multiterm::SeekStats;
 use crate::short_list::{Op, PostingPos, ShortCursor, ShortPosting};
 use crate::types::DocId;
 
@@ -164,6 +166,26 @@ impl<'a> UnionCursor<'a> {
         Ok(())
     }
 
+    /// The buffered long-list head, if any (`None` once the long side is
+    /// exhausted). Only meaningful after the first event was pulled.
+    pub fn long_head(&self) -> Option<LongPosting> {
+        self.long_head
+    }
+
+    /// Skip metadata of the long cursor's current block (block codecs only)
+    /// — the per-term upper-bound hook for block-max WAND pruning.
+    pub fn long_block_meta(&self) -> Option<BlockMeta> {
+        self.long.block_meta()
+    }
+
+    /// Blocks the long side skipped undecoded / decoded so far.
+    pub fn list_stats(&self) -> SeekStats {
+        SeekStats {
+            blocks_skipped: self.long.blocks_skipped(),
+            blocks_decoded: self.long.blocks_decoded(),
+        }
+    }
+
     fn advance_long(&mut self) -> Result<()> {
         self.long_head = self.long.next_posting()?;
         if let Some(p) = self.long_head {
@@ -262,6 +284,43 @@ impl<'a> UnionCursor<'a> {
                 }
             }
         }
+    }
+
+    /// Next union event with `doc >= target`, skipping everything before it
+    /// — the seeking counterpart of [`UnionCursor::next_event`], sound only
+    /// on doc-ordered (Id-position) streams.
+    ///
+    /// The long side skips whole undecoded blocks via
+    /// [`LongCursor::skip_to_doc`]; the short side advances linearly (short
+    /// lists are bounded small between merges by design). Skipping is
+    /// union-safe: `REM` tombstones are co-located with the long posting
+    /// they cancel, so a doc range skipped on both sides drops matched
+    /// pairs together, and orphan tombstones are silent anyway.
+    pub fn next_event_seek(&mut self, target: DocId) -> Result<Option<UnionEvent>> {
+        self.prime()?;
+        if self.long_head.is_some_and(|p| p.doc < target) {
+            self.long_head = None;
+            self.long.skip_to_doc(target)?;
+            self.advance_long()?;
+        }
+        while self.short_head.is_some_and(|p| p.doc < target) {
+            self.advance_short()?;
+        }
+        // Record the skipped-over range as consumed so an epoch-mismatch
+        // resume does not linearly re-deliver it.
+        if let Some(floor) = target.0.checked_sub(1) {
+            let key = (PostingPos::Id.rank(), floor);
+            if self.long_after.is_none_or(|after| after < key) {
+                self.long_after = Some(key);
+            }
+            let short_below = self
+                .short_after
+                .is_none_or(|(pos, doc)| (pos.rank(), doc.0) < key);
+            if short_below {
+                self.short_after = Some((PostingPos::Id, DocId(floor)));
+            }
+        }
+        self.next_event()
     }
 }
 
@@ -382,6 +441,54 @@ impl<'a> MultiMerge<'a> {
             }
         }
         Ok(Some(Candidate { pos, doc, matches }))
+    }
+
+    /// Next candidate matched by **every** stream, leapfrogging over docs
+    /// that provably cannot be full matches. Sound only on doc-ordered
+    /// (Id-position) streams of a conjunctive query: lagging streams are
+    /// seeked with [`UnionCursor::next_event_seek`] to the largest buffered
+    /// head doc, so whole undecoded blocks of the long lists are skipped.
+    ///
+    /// Returns `None` — and drains the buffered heads so
+    /// [`MultiMerge::peek_pos`] agrees — as soon as any stream exhausts:
+    /// once one term has no postings left, no further full match exists.
+    pub fn next_conjunctive_candidate(&mut self) -> Result<Option<Candidate>> {
+        self.prime()?;
+        loop {
+            if self.heads.iter().any(|h| h.is_none()) {
+                // Remaining buffered events cannot participate in a full
+                // match; drop them so exhaustion is visible to peek_pos.
+                self.heads.iter_mut().for_each(|h| *h = None);
+                return Ok(None);
+            }
+            let target = self
+                .heads
+                .iter()
+                .flatten()
+                .map(|e| e.doc)
+                .max()
+                .expect("all heads live");
+            let mut aligned = true;
+            for (stream, head) in self.streams.iter_mut().zip(self.heads.iter_mut()) {
+                if head.is_some_and(|e| e.doc < target) {
+                    *head = stream.next_event_seek(target)?;
+                    aligned = false;
+                }
+            }
+            if aligned {
+                // Every head sits at `target`: the regular merge pulls them
+                // all into one full-match candidate.
+                return self.next_candidate();
+            }
+        }
+    }
+
+    /// Aggregated long-list block skip/decode counters across every stream.
+    pub fn list_stats(&self) -> SeekStats {
+        self.streams
+            .iter()
+            .map(|s| s.list_stats())
+            .fold(SeekStats::default(), |acc, s| acc + s)
     }
 }
 

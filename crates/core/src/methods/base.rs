@@ -179,6 +179,9 @@ impl MethodBase {
         {
             let mut df = stats.df.write();
             for (doc, entry) in score_table.all_entries()? {
+                // Seed the monotone max-score bound from every row,
+                // tombstoned included — undelete revives the stored score.
+                score_table.note_score(entry.score);
                 if entry.deleted {
                     deleted.insert(doc);
                     continue;

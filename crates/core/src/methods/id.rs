@@ -18,6 +18,7 @@ use crate::long_list::{invert_corpus, ListFormat, LongListStore};
 use crate::merge::{Candidate, UnionCursor, UnionResume};
 use crate::methods::base::{MethodBase, ShardContext};
 use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex, ShardStats};
+use crate::multiterm::{wand_topk, SeekCounters, SeekStats};
 use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
 use crate::types::{DocId, Document, Query, Score, SearchHit, TermId};
 
@@ -26,6 +27,7 @@ pub struct IdMethod {
     base: MethodBase,
     long: LongListStore,
     short: ShortLists,
+    counters: SeekCounters,
 }
 
 impl IdMethod {
@@ -56,7 +58,12 @@ impl IdMethod {
         for (term, postings) in invert_corpus(docs) {
             long.put_id_list(term, &postings)?;
         }
-        Ok(IdMethod { base, long, short })
+        Ok(IdMethod {
+            base,
+            long,
+            short,
+            counters: SeekCounters::default(),
+        })
     }
 
     /// Reattach a durable shard from its recovered stores (see
@@ -72,7 +79,12 @@ impl IdMethod {
             base.create_store(store_names::SHORT, config.small_cache_pages),
             ShortOrder::ById,
         )?;
-        Ok(IdMethod { base, long, short })
+        Ok(IdMethod {
+            base,
+            long,
+            short,
+            counters: SeekCounters::default(),
+        })
     }
 }
 
@@ -120,6 +132,14 @@ impl CursorBackend for IdMethod {
             None => f64::NEG_INFINITY,
         }
     }
+
+    fn doc_ordered(&self) -> bool {
+        true
+    }
+
+    fn record_stats(&self, stats: SeekStats) {
+        self.counters.record(stats);
+    }
 }
 
 impl SearchIndex for IdMethod {
@@ -140,6 +160,26 @@ impl SearchIndex for IdMethod {
 
     fn next_batch(&self, cursor: &mut MethodCursor, n: usize) -> Result<Vec<SearchHit>> {
         merge_next_batch(self, cursor, n)
+    }
+
+    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
+        // One-shot queries know `k` up front, so they run the block-max
+        // WAND executor instead of a cursor drain. The ID method carries no
+        // term scores (IDF weights are zero), so score-based skipping never
+        // fires — but conjunctive leapfrogging still skips whole blocks via
+        // the max-doc skip metadata.
+        if query.terms.is_empty() {
+            return Ok(Vec::new());
+        }
+        let streams = query
+            .terms
+            .iter()
+            .map(|&t| self.stream(t, &UnionResume::fresh()))
+            .collect::<Result<Vec<_>>>()?;
+        let zeros = vec![0.0; query.terms.len()];
+        let svr_ub = self.base.score_table.max_score_bound();
+        let (hits, _) = wand_topk(self, streams, query, &zeros, &zeros, svr_ub)?;
+        Ok(hits)
     }
 
     fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {
@@ -244,5 +284,9 @@ impl SearchIndex for IdMethod {
 
     fn corpus_num_docs(&self) -> u64 {
         self.base.corpus_num_docs()
+    }
+
+    fn seek_stats(&self) -> SeekStats {
+        self.counters.snapshot()
     }
 }

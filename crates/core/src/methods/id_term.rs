@@ -19,6 +19,7 @@ use crate::long_list::{invert_corpus, posting_term_score, ListFormat, LongListSt
 use crate::merge::{Candidate, UnionCursor, UnionResume};
 use crate::methods::base::{MethodBase, ShardContext};
 use crate::methods::{store_names, MethodKind, ScoreMap, SearchIndex, ShardStats};
+use crate::multiterm::{wand_topk, SeekCounters, SeekStats};
 use crate::short_list::{Op, PostingPos, ShortLists, ShortOrder};
 use crate::types::{DocId, Document, Query, Score, SearchHit, TermId};
 
@@ -27,6 +28,7 @@ pub struct IdTermMethod {
     base: MethodBase,
     long: LongListStore,
     short: ShortLists,
+    counters: SeekCounters,
 }
 
 impl IdTermMethod {
@@ -61,7 +63,12 @@ impl IdTermMethod {
         for (term, postings) in invert_corpus(docs) {
             long.put_id_list(term, &postings)?;
         }
-        Ok(IdTermMethod { base, long, short })
+        Ok(IdTermMethod {
+            base,
+            long,
+            short,
+            counters: SeekCounters::default(),
+        })
     }
 
     /// Reattach a durable shard from its recovered stores (see
@@ -77,7 +84,12 @@ impl IdTermMethod {
             base.create_store(store_names::SHORT, config.small_cache_pages),
             ShortOrder::ById,
         )?;
-        Ok(IdTermMethod { base, long, short })
+        Ok(IdTermMethod {
+            base,
+            long,
+            short,
+            counters: SeekCounters::default(),
+        })
     }
 }
 
@@ -134,6 +146,14 @@ impl CursorBackend for IdTermMethod {
     fn combine(&self, svr: Score, ts_sum: f64) -> Score {
         self.base.combine(svr, ts_sum)
     }
+
+    fn doc_ordered(&self) -> bool {
+        true
+    }
+
+    fn record_stats(&self, stats: SeekStats) {
+        self.counters.record(stats);
+    }
 }
 
 impl SearchIndex for IdTermMethod {
@@ -154,6 +174,30 @@ impl SearchIndex for IdTermMethod {
 
     fn next_batch(&self, cursor: &mut MethodCursor, n: usize) -> Result<Vec<SearchHit>> {
         merge_next_batch(self, cursor, n)
+    }
+
+    fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
+        // One-shot queries run the block-max WAND executor: per-block
+        // `(max doc, max tscore)` metadata bounds the term-score part,
+        // the Score table's monotone maximum bounds the SVR part, and
+        // windows that cannot beat the k-th score are skipped undecoded.
+        if query.terms.is_empty() {
+            return Ok(Vec::new());
+        }
+        let idfs: Vec<f64> = query.terms.iter().map(|&t| self.base.idf(t)).collect();
+        let short_bounds: Vec<f64> = query
+            .terms
+            .iter()
+            .map(|&t| self.short.max_add_tscore(t).map(unquantize_term_score))
+            .collect::<Result<_>>()?;
+        let streams = query
+            .terms
+            .iter()
+            .map(|&t| self.stream(t, &UnionResume::fresh()))
+            .collect::<Result<Vec<_>>>()?;
+        let svr_ub = self.base.score_table.max_score_bound();
+        let (hits, _) = wand_topk(self, streams, query, &idfs, &short_bounds, svr_ub)?;
+        Ok(hits)
     }
 
     fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {
@@ -269,5 +313,9 @@ impl SearchIndex for IdTermMethod {
 
     fn corpus_num_docs(&self) -> u64 {
         self.base.corpus_num_docs()
+    }
+
+    fn seek_stats(&self) -> SeekStats {
+        self.counters.snapshot()
     }
 }

@@ -379,6 +379,13 @@ pub trait SearchIndex: Send + Sync {
     fn refresh_group_stats(&self) -> RefreshGroupStats {
         RefreshGroupStats::default()
     }
+
+    /// Cumulative long-list block skip/decode counters across every query
+    /// and cursor batch this index has served (summed over shards). All
+    /// zeros for methods without block-structured long lists.
+    fn seek_stats(&self) -> crate::multiterm::SeekStats {
+        crate::multiterm::SeekStats::default()
+    }
 }
 
 /// Concurrency decorator: one writer at a time, queries share a read lock.
@@ -649,6 +656,10 @@ impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
         self.group
             .enabled
             .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn seek_stats(&self) -> crate::multiterm::SeekStats {
+        self.inner.seek_stats()
     }
 
     fn refresh_group_stats(&self) -> RefreshGroupStats {

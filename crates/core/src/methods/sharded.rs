@@ -391,6 +391,13 @@ impl<I: SearchIndex> SearchIndex for ShardedIndex<I> {
         }
         total
     }
+
+    fn seek_stats(&self) -> crate::multiterm::SeekStats {
+        self.shards
+            .iter()
+            .map(|s| s.seek_stats())
+            .fold(crate::multiterm::SeekStats::default(), |acc, s| acc + s)
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! efficient" (§4.2.1). In this implementation the table *is* its B+-tree
 //! index, keyed by document id. Appendix A.2 adds the deleted flag.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use svr_storage::{BTree, Store};
@@ -23,6 +24,13 @@ pub struct ScoreEntry {
 /// B+-tree-backed Score table.
 pub struct ScoreTable {
     tree: BTree,
+    /// Monotone upper bound on every score ever written (f64 bits; valid
+    /// because [`check_score`] rejects negatives, so the IEEE-754 bit
+    /// pattern of a non-negative f64 orders like the value). Never lowered
+    /// on score decreases — loose but sound for WAND pruning. Reseeded by
+    /// the reopen scan ([`ScoreTable::all_entries`] callers) via
+    /// [`ScoreTable::note_score`].
+    max_bound: AtomicU64,
 }
 
 impl ScoreTable {
@@ -36,6 +44,7 @@ impl ScoreTable {
     pub fn create_in(store: Arc<Store>, durable: bool) -> Result<ScoreTable> {
         Ok(ScoreTable {
             tree: crate::durable::create_tree(store, durable)?,
+            max_bound: AtomicU64::new(0),
         })
     }
 
@@ -43,6 +52,7 @@ impl ScoreTable {
     pub fn open(store: Arc<Store>) -> Result<ScoreTable> {
         Ok(ScoreTable {
             tree: crate::durable::open_tree(store)?,
+            max_bound: AtomicU64::new(0),
         })
     }
 
@@ -77,9 +87,23 @@ impl ScoreTable {
         }
     }
 
+    /// Fold a score into the monotone upper bound without writing a row —
+    /// used by the reopen scan to reseed the bound from existing rows
+    /// (including tombstoned ones: undelete revives their score).
+    pub fn note_score(&self, score: Score) {
+        self.max_bound.fetch_max(score.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Monotone upper bound on every score ever written to this table
+    /// (never lowered when scores decrease; `0.0` for an empty table).
+    pub fn max_score_bound(&self) -> Score {
+        f64::from_bits(self.max_bound.load(Ordering::Relaxed))
+    }
+
     /// Insert or overwrite a row; validates the score.
     pub fn set(&self, doc: DocId, score: Score) -> Result<Option<ScoreEntry>> {
         let score = check_score(score)?;
+        self.note_score(score);
         let prev = self.tree.put(
             &Self::key(doc),
             &Self::value(ScoreEntry {
@@ -199,6 +223,20 @@ mod tests {
         let t = table();
         assert!(t.set(DocId(1), -3.0).is_err());
         assert!(t.set(DocId(1), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn max_score_bound_is_monotone() {
+        let t = table();
+        assert_eq!(t.max_score_bound(), 0.0);
+        t.set(DocId(1), 10.0).unwrap();
+        t.set(DocId(2), 90.0).unwrap();
+        assert_eq!(t.max_score_bound(), 90.0);
+        // Lowering a score never lowers the bound (loose but sound).
+        t.set(DocId(2), 5.0).unwrap();
+        assert_eq!(t.max_score_bound(), 90.0);
+        t.note_score(250.0);
+        assert_eq!(t.max_score_bound(), 250.0);
     }
 
     #[test]

@@ -122,6 +122,20 @@ impl ShortLists {
         Ok(out)
     }
 
+    /// Maximum `tscore` over one term's live `Add` postings — the short-
+    /// list side of a WAND term-score upper bound. Short lists are bounded
+    /// small between offline merges, so the per-term scan is cheap.
+    pub fn max_add_tscore(&self, term: TermId) -> Result<u16> {
+        let mut cursor = self.cursor(term)?;
+        let mut max = 0u16;
+        while let Some(p) = cursor.next_posting()? {
+            if p.op == Op::Add {
+                max = max.max(p.tscore);
+            }
+        }
+        Ok(max)
+    }
+
     /// Number of postings across all terms.
     pub fn len(&self) -> u64 {
         self.tree.len()

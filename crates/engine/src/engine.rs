@@ -486,6 +486,12 @@ impl SearchCursor {
         self.staleness() > 0
     }
 
+    /// Long-list block counters (skipped vs decoded) accumulated over every
+    /// batch this cursor has run — how EXPLAIN observes seek-based skipping.
+    pub fn stats(&self) -> svr_core::SeekStats {
+        self.cursor.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
     /// The index this cursor enumerates.
     pub fn index_name(&self) -> &str {
         &self.entry.view
@@ -843,6 +849,18 @@ impl SvrEngine {
             refresh.merge(&entry.index.refresh_group_stats());
         }
         ContentionStats { wal, refresh }
+    }
+
+    /// Long-list block skip/decode counters summed over every text index —
+    /// the WAND-pruning-effectiveness payload of the serving front end's
+    /// `Info` command.
+    pub fn seek_stats(&self) -> svr_core::SeekStats {
+        self.shared
+            .indexes
+            .read()
+            .values()
+            .map(|entry| entry.index.seek_stats())
+            .fold(svr_core::SeekStats::default(), |acc, s| acc + s)
     }
 
     /// The engine's durable environment, when it has one.

@@ -378,9 +378,12 @@ fn execute_request(
 }
 
 /// Body of the `Info` response: serving counters plus the engine's
-/// contention counters (WAL group-sync, refresh group-commit queue).
+/// contention counters (WAL group-sync, refresh group-commit queue) and
+/// cumulative block-max seek counters (long-list blocks skipped undecoded
+/// vs decoded across every ranked query).
 fn info_body(engine: &SvrEngine, counters: &Counters) -> Json {
     let contention = engine.contention_stats();
+    let seek = engine.seek_stats();
     Json::obj([
         ("kind", Json::from("info")),
         (
@@ -427,6 +430,13 @@ fn info_body(engine: &SvrEngine, counters: &Counters) -> Json {
                 ("drain_holds", Json::from(contention.refresh.drain_holds)),
                 ("max_depth", Json::from(contention.refresh.max_depth)),
                 ("depth", Json::from(contention.refresh.depth)),
+            ]),
+        ),
+        (
+            "seek",
+            Json::obj([
+                ("blocks_skipped", Json::from(seek.blocks_skipped)),
+                ("blocks_decoded", Json::from(seek.blocks_decoded)),
             ]),
         ),
         ("group_refresh", Json::from(engine.group_refresh_enabled())),

@@ -228,6 +228,83 @@ fn concurrent_writers_converge_to_serial_oracle_ranking() {
 }
 
 #[test]
+fn multiterm_contains_and_rank_by_over_the_wire() {
+    let handle = start_default(SvrEngine::new());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for stmt in schema_statements() {
+        client.exec(&stmt).unwrap();
+    }
+    for (mid, name, desc) in movie_rows(12) {
+        client
+            .exec(&format!(
+                "INSERT INTO movies VALUES ({mid}, '{name}', '{desc}')"
+            ))
+            .unwrap();
+        client
+            .exec(&format!(
+                "INSERT INTO statistics VALUES ({mid}, {})",
+                mid * 10
+            ))
+            .unwrap();
+    }
+
+    // Infix CONTAINS ALL with a multi-keyword RANK BY: conjunctive, so
+    // only documents containing both terms rank. CONTAINS mode wins over
+    // RANK BY's disjunctive default.
+    let all = client
+        .query(
+            "SELECT name FROM movies WHERE description CONTAINS ALL ('golden', 'gate') \
+             RANK BY description ('golden', 'gate') FETCH TOP 20 RESULTS ONLY",
+        )
+        .unwrap();
+    // The legacy spelling of the same query must agree exactly.
+    let legacy = client
+        .query(
+            "SELECT name FROM movies WHERE CONTAINS(description, 'golden gate', ALL) \
+             ORDER BY SCORE(description, 'golden gate') FETCH TOP 20 RESULTS ONLY",
+        )
+        .unwrap();
+    assert!(!all.rows.is_empty());
+    assert_eq!(all.rows, legacy.rows);
+    assert_eq!(all.scores, legacy.scores);
+
+    // CONTAINS ANY matches a superset of CONTAINS ALL.
+    let any = client
+        .query(
+            "SELECT name FROM movies WHERE description CONTAINS ANY ('golden', 'gate') \
+             FETCH TOP 20 RESULTS ONLY",
+        )
+        .unwrap();
+    assert!(any.rows.len() >= all.rows.len());
+
+    // RANK BY alone is disjunctive and drops unknown keywords instead of
+    // emptying the result.
+    let ranked = client
+        .query(
+            "SELECT name FROM movies RANK BY description ('golden', 'zzz_unknown') \
+             FETCH TOP 20 RESULTS ONLY",
+        )
+        .unwrap();
+    assert!(!ranked.rows.is_empty());
+    // ...while conjunctive CONTAINS ALL with an unknown keyword matches
+    // nothing, without error.
+    let empty = client
+        .query(
+            "SELECT name FROM movies WHERE description CONTAINS ALL ('golden', 'zzz_unknown') \
+             FETCH TOP 20 RESULTS ONLY",
+        )
+        .unwrap();
+    assert!(empty.rows.is_empty());
+
+    // The Info counters expose cumulative block-max seek stats.
+    let info = client.info().unwrap();
+    let seek = info.get("seek").expect("seek counters");
+    assert!(seek.get("blocks_skipped").and_then(Json::as_u64).is_some());
+    assert!(seek.get("blocks_decoded").and_then(Json::as_u64).is_some());
+    client.close().unwrap();
+}
+
+#[test]
 fn named_cursors_are_swept_after_ttl() {
     let engine = SvrEngine::new();
     let handle = Server::start(

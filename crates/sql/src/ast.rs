@@ -180,21 +180,29 @@ pub enum MatchMode {
 /// WHERE clause forms.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
-    /// `CONTAINS(col, 'keywords' [, ALL|ANY])`
+    /// `CONTAINS(col, 'keywords' [, ALL|ANY])` (one keyword string,
+    /// whitespace-tokenized) or the multi-term infix form
+    /// `col CONTAINS ALL|ANY ('kw1', 'kw2', ...)`.
     Contains {
         column: String,
-        keywords: String,
+        keywords: Vec<String>,
         mode: MatchMode,
     },
     /// `col = literal`
     Equals { column: String, value: Value },
 }
 
-/// `ORDER BY score(col, "keywords") [DESC]`
+/// `ORDER BY score(col, "keywords") [DESC]` or the multi-keyword ranking
+/// clause `RANK BY col ('kw1', 'kw2', ...)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OrderByScore {
     pub column: String,
-    pub keywords: String,
+    pub keywords: Vec<String>,
+    /// `None` for legacy `ORDER BY SCORE(...)` (defaults to ALL when it
+    /// stands alone); `Some(Any)` for `RANK BY`, which ranks documents
+    /// matching any keyword and drops unknown terms instead of returning
+    /// an empty set.
+    pub mode: Option<MatchMode>,
 }
 
 /// `SELECT projection FROM table [alias] [WHERE p] [ORDER BY score(...)]

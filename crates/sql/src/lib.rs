@@ -17,6 +17,16 @@
 //! * `SELECT * FROM movies m [WHERE CONTAINS(desc, 'kw', ANY)] ORDER BY
 //!   SCORE(m.desc, "golden gate") FETCH TOP 10 RESULTS ONLY` — ranked
 //!   keyword search over the latest structured-data scores;
+//! * multi-term predicates and ranking: infix `WHERE desc CONTAINS ALL
+//!   ('golden', 'gate')` / `CONTAINS ANY ('city', 'bridge')` and
+//!   multi-keyword `RANK BY desc ('golden', 'gate', 'bridge') [DESC]`
+//!   (disjunctive: unknown keywords are dropped; `CONTAINS ALL` with an
+//!   unknown keyword matches nothing, without error). Multi-term queries
+//!   run the block-max WAND executor on doc-ordered methods — whole
+//!   posting blocks are skipped undecoded when they cannot beat the
+//!   current top-k threshold (`EXPLAIN` shows `blocks: N skipped, M
+//!   decoded`) — and paginate through the same any-k cursors as
+//!   single-term queries;
 //! * pagination over the ranked path: `LIMIT k OFFSET m`, `OFFSET m ROWS
 //!   FETCH NEXT k ROWS ONLY` (the offset plans onto a resumable cursor —
 //!   the prefix is traversed once, not recomputed), and named cursors

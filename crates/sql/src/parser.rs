@@ -613,7 +613,7 @@ impl Parser {
             Some(kw)
                 if !matches!(
                     kw.as_str(),
-                    "WHERE" | "ORDER" | "FETCH" | "LIMIT" | "OFFSET"
+                    "WHERE" | "ORDER" | "RANK" | "FETCH" | "LIMIT" | "OFFSET"
                 ) =>
             {
                 Some(self.identifier()?)
@@ -631,12 +631,32 @@ impl Parser {
             self.expect_kind(&TokenKind::LParen)?;
             let column = self.column_ref()?;
             self.expect_kind(&TokenKind::Comma)?;
-            let keywords = self.string()?;
+            let keywords = vec![self.string()?];
             self.expect_kind(&TokenKind::RParen)?;
             // DESC is the only supported (and default) direction: ranking
             // is always best-first.
             let _ = self.eat_keyword("DESC");
-            order_by_score = Some(OrderByScore { column, keywords });
+            order_by_score = Some(OrderByScore {
+                column,
+                keywords,
+                mode: None,
+            });
+        } else if self.eat_keyword("RANK") {
+            // `RANK BY col ('kw1', 'kw2', ...)` — multi-keyword ranking.
+            // Disjunctive by default (a document matching any keyword
+            // ranks; unknown terms are dropped); combine with a
+            // `CONTAINS ALL` predicate for conjunctive semantics.
+            self.expect_keyword("BY")?;
+            let column = self.column_ref()?;
+            self.expect_kind(&TokenKind::LParen)?;
+            let keywords = self.string_list()?;
+            self.expect_kind(&TokenKind::RParen)?;
+            let _ = self.eat_keyword("DESC");
+            order_by_score = Some(OrderByScore {
+                column,
+                keywords,
+                mode: Some(MatchMode::Any),
+            });
         }
         let mut fetch = None;
         let mut offset = None;
@@ -697,12 +717,23 @@ impl Parser {
         Ok(n as usize)
     }
 
+    /// A parenthesized body's comma-separated string literals (at least
+    /// one): the keyword lists of `CONTAINS ALL|ANY (...)` and `RANK BY`.
+    fn string_list(&mut self) -> Result<Vec<String>> {
+        let mut strings = vec![self.string()?];
+        while self.eat_kind(&TokenKind::Comma) {
+            strings.push(self.string()?);
+        }
+        Ok(strings)
+    }
+
     fn predicate(&mut self) -> Result<Predicate> {
         if self.eat_keyword("CONTAINS") {
+            // Function form: `CONTAINS(col, 'keywords' [, ALL|ANY])`.
             self.expect_kind(&TokenKind::LParen)?;
             let column = self.column_ref()?;
             self.expect_kind(&TokenKind::Comma)?;
-            let keywords = self.string()?;
+            let keywords = vec![self.string()?];
             let mode = if self.eat_kind(&TokenKind::Comma) {
                 let kw = self.identifier()?.to_ascii_uppercase();
                 match kw.as_str() {
@@ -723,11 +754,30 @@ impl Parser {
             })
         } else {
             let column = self.column_ref()?;
-            self.expect_kind(&TokenKind::Eq)?;
-            Ok(Predicate::Equals {
-                column,
-                value: self.literal()?,
-            })
+            if self.eat_keyword("CONTAINS") {
+                // Infix form: `col CONTAINS ALL|ANY ('kw1', 'kw2', ...)`.
+                let mode = if self.eat_keyword("ALL") {
+                    MatchMode::All
+                } else if self.eat_keyword("ANY") {
+                    MatchMode::Any
+                } else {
+                    return Err(self.error("expected ALL or ANY after CONTAINS"));
+                };
+                self.expect_kind(&TokenKind::LParen)?;
+                let keywords = self.string_list()?;
+                self.expect_kind(&TokenKind::RParen)?;
+                Ok(Predicate::Contains {
+                    column,
+                    keywords,
+                    mode,
+                })
+            } else {
+                self.expect_kind(&TokenKind::Eq)?;
+                Ok(Predicate::Equals {
+                    column,
+                    value: self.literal()?,
+                })
+            }
         }
     }
 
@@ -932,8 +982,72 @@ mod tests {
         assert_eq!(sel.alias.as_deref(), Some("m"));
         let obs = sel.order_by_score.unwrap();
         assert_eq!(obs.column, "desc");
-        assert_eq!(obs.keywords, "golden gate");
+        assert_eq!(obs.keywords, vec!["golden gate".to_string()]);
+        assert_eq!(obs.mode, None);
         assert_eq!(sel.fetch, Some(10));
+    }
+
+    #[test]
+    fn parses_rank_by_multi_keyword() {
+        let Statement::Select(sel) = parse_statement(
+            "SELECT name FROM movies m RANK BY m.description ('golden', 'gate', 'bridge')
+             FETCH TOP 10 RESULTS ONLY",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(sel.alias.as_deref(), Some("m"));
+        let obs = sel.order_by_score.unwrap();
+        assert_eq!(obs.column, "description");
+        assert_eq!(
+            obs.keywords,
+            vec!["golden".to_string(), "gate".into(), "bridge".into()]
+        );
+        assert_eq!(obs.mode, Some(MatchMode::Any));
+        assert_eq!(sel.fetch, Some(10));
+        // RANK is a clause keyword, not an alias.
+        let Statement::Select(sel) =
+            parse_statement("SELECT * FROM movies RANK BY description ('x')").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(sel.alias, None);
+        assert!(sel.order_by_score.is_some());
+    }
+
+    #[test]
+    fn parses_infix_contains() {
+        let Statement::Select(sel) = parse_statement(
+            "SELECT name FROM movies WHERE description CONTAINS ALL ('golden', 'gate')
+             RANK BY description ('golden', 'gate') LIMIT 5",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            sel.predicate,
+            Some(Predicate::Contains {
+                column: "description".into(),
+                keywords: vec!["golden".to_string(), "gate".into()],
+                mode: MatchMode::All,
+            })
+        );
+        assert!(sel.order_by_score.is_some());
+        let Statement::Select(sel) =
+            parse_statement("SELECT * FROM t WHERE c CONTAINS ANY ('a', 'b', 'c')").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(
+            sel.predicate,
+            Some(Predicate::Contains {
+                column: "c".into(),
+                keywords: vec!["a".to_string(), "b".into(), "c".into()],
+                mode: MatchMode::Any,
+            })
+        );
+        // The mode is mandatory in the infix form.
+        assert!(parse_statement("SELECT * FROM t WHERE c CONTAINS ('a')").is_err());
     }
 
     #[test]
@@ -949,7 +1063,7 @@ mod tests {
             sel.predicate,
             Some(Predicate::Contains {
                 column: "description".into(),
-                keywords: "golden gate".into(),
+                keywords: vec!["golden gate".to_string()],
                 mode: MatchMode::Any,
             })
         );

@@ -40,45 +40,51 @@ impl RankedPath {
 
 /// Resolve a `SELECT`'s ranked path, if it has one.
 ///
-/// * `ORDER BY SCORE(col, kw)` alone ranks conjunctively;
-/// * `CONTAINS(col, kw [, mode])` alone ranks with the predicate's mode;
+/// * `ORDER BY SCORE(col, kw)` alone ranks conjunctively; `RANK BY
+///   col (kw, ...)` alone ranks disjunctively (its parsed mode);
+/// * `CONTAINS(...)` / `col CONTAINS ALL|ANY (...)` alone ranks with the
+///   predicate's mode;
 /// * both together must name the same column and keywords, and take the
 ///   `CONTAINS` mode.
+///
+/// Keyword lists are joined with spaces: the engine tokenizes on
+/// whitespace, so `('golden', 'gate')` and `('golden gate')` resolve to
+/// the same terms.
 pub fn resolve_ranked_path(sel: &Select) -> Result<Option<RankedPath>> {
     let contains = match &sel.predicate {
         Some(Predicate::Contains {
             column,
             keywords,
             mode,
-        }) => Some((column.as_str(), keywords.as_str(), *mode)),
+        }) => Some((column.as_str(), keywords.join(" "), *mode)),
         _ => None,
     };
     Ok(match (&sel.order_by_score, contains) {
         (Some(obs), Some((c_col, c_kw, c_mode))) => {
             if !obs.column.eq_ignore_ascii_case(c_col) {
                 return Err(SqlError::Plan(
-                    "CONTAINS and ORDER BY SCORE must reference the same column".into(),
+                    "CONTAINS and ORDER BY SCORE / RANK BY must reference the same column".into(),
                 ));
             }
-            if obs.keywords != c_kw {
+            if obs.keywords.join(" ") != c_kw {
                 return Err(SqlError::Plan(
-                    "CONTAINS and ORDER BY SCORE must use the same keywords".into(),
+                    "CONTAINS and ORDER BY SCORE / RANK BY must use the same keywords".into(),
                 ));
             }
             Some(RankedPath {
                 column: obs.column.clone(),
-                keywords: obs.keywords.clone(),
+                keywords: c_kw,
                 mode: c_mode,
             })
         }
         (Some(obs), None) => Some(RankedPath {
             column: obs.column.clone(),
-            keywords: obs.keywords.clone(),
-            mode: MatchMode::All,
+            keywords: obs.keywords.join(" "),
+            mode: obs.mode.unwrap_or(MatchMode::All),
         }),
         (None, Some((column, keywords, mode))) => Some(RankedPath {
             column: column.to_string(),
-            keywords: keywords.to_string(),
+            keywords,
             mode,
         }),
         (None, None) => None,
@@ -426,12 +432,13 @@ mod tests {
             alias: None,
             predicate: contains.map(|(c, k, m)| Predicate::Contains {
                 column: c.into(),
-                keywords: k.into(),
+                keywords: vec![k.to_string()],
                 mode: m,
             }),
             order_by_score: order_by.map(|(c, k)| crate::ast::OrderByScore {
                 column: c.into(),
-                keywords: k.into(),
+                keywords: vec![k.to_string()],
+                mode: None,
             }),
             fetch: None,
             offset: None,
@@ -472,6 +479,31 @@ mod tests {
             Some(("desc", "gate", MatchMode::All)),
         ))
         .is_err());
+    }
+
+    #[test]
+    fn ranked_path_joins_keyword_lists() {
+        // RANK BY parses with an explicit mode and a keyword vector.
+        let mut sel = select_with(None, None);
+        sel.order_by_score = Some(crate::ast::OrderByScore {
+            column: "desc".into(),
+            keywords: vec!["golden".to_string(), "gate".into(), "bridge".into()],
+            mode: Some(MatchMode::Any),
+        });
+        let p = resolve_ranked_path(&sel).unwrap().unwrap();
+        assert_eq!(p.keywords, "golden gate bridge");
+        assert_eq!(p.query_mode(), QueryMode::Disjunctive);
+        // A CONTAINS ALL predicate on the same keywords flips it
+        // conjunctive (CONTAINS mode wins) — split vs joined keyword
+        // lists reconcile through the joined form.
+        sel.predicate = Some(Predicate::Contains {
+            column: "desc".into(),
+            keywords: vec!["golden gate".to_string(), "bridge".into()],
+            mode: MatchMode::All,
+        });
+        let p = resolve_ranked_path(&sel).unwrap().unwrap();
+        assert_eq!(p.keywords, "golden gate bridge");
+        assert_eq!(p.query_mode(), QueryMode::Conjunctive);
     }
 
     #[test]

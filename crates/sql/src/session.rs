@@ -599,6 +599,19 @@ impl SqlSession {
                     ""
                 }
             ));
+            // Block-max seek effectiveness: run the ranked search once and
+            // report how many long-list blocks the executor skipped
+            // undecoded vs decoded (the search is read-only, so EXPLAIN
+            // stays side-effect free).
+            let before = self.engine().seek_stats();
+            self.engine()
+                .search(&index, &path.keywords, k, path.query_mode())?;
+            let after = self.engine().seek_stats();
+            lines.push(format!(
+                "  blocks: {} skipped, {} decoded (one bounded execution)",
+                after.blocks_skipped.saturating_sub(before.blocks_skipped),
+                after.blocks_decoded.saturating_sub(before.blocks_decoded),
+            ));
             if let Some(skip) = sel.offset {
                 lines.push(format!(
                     "  offset: {skip} (cursor skip — prefix traversed once, then the page)"

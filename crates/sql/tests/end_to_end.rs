@@ -803,6 +803,117 @@ fn explain_shows_terms_and_cursor_skip() {
     assert!(text.contains("terms: 2 resolved, 1 unknown"), "{text}");
     assert!(text.contains("matches nothing"), "{text}");
     assert!(text.contains("offset: 7"), "{text}");
+    assert!(text.contains("blocks:"), "{text}");
+}
+
+/// The multi-term surface: infix `CONTAINS ALL|ANY (...)` and
+/// `RANK BY col (...)` are exact spellings of the legacy function forms.
+#[test]
+fn infix_contains_and_rank_by_match_legacy_forms() {
+    for method in ["ID", "ID_TERMSCORE", "CHUNK"] {
+        let session = setup(method);
+        let legacy = top_names(
+            &session
+                .execute(
+                    r#"SELECT name FROM movies WHERE CONTAINS(description, 'golden gate', ALL)
+                       ORDER BY SCORE(description, 'golden gate') FETCH TOP 10 RESULTS ONLY"#,
+                )
+                .unwrap(),
+        );
+        let infix = top_names(
+            &session
+                .execute(
+                    r#"SELECT name FROM movies
+                       WHERE description CONTAINS ALL ('golden', 'gate')
+                       RANK BY description ('golden', 'gate') FETCH TOP 10 RESULTS ONLY"#,
+                )
+                .unwrap(),
+        );
+        assert_eq!(legacy, infix, "method {method}");
+        assert_eq!(
+            legacy,
+            vec!["American Thrift".to_string(), "Amateur Film".into()]
+        );
+
+        // ANY ranks every document matching either term.
+        let any = top_names(
+            &session
+                .execute(
+                    r#"SELECT name FROM movies
+                       WHERE description CONTAINS ANY ('city', 'gate')
+                       FETCH TOP 10 RESULTS ONLY"#,
+                )
+                .unwrap(),
+        );
+        assert_eq!(any.len(), 3, "method {method}");
+    }
+}
+
+/// Unknown-term semantics: conjunctive queries with an out-of-vocabulary
+/// keyword match nothing (without error); disjunctive forms drop the
+/// unknown term and rank on the rest.
+#[test]
+fn unknown_terms_empty_conjunctive_dropped_disjunctive() {
+    let session = setup("CHUNK");
+    let empty = top_names(
+        &session
+            .execute(
+                r#"SELECT name FROM movies
+                   WHERE description CONTAINS ALL ('golden', 'zzzoov')
+                   FETCH TOP 10 RESULTS ONLY"#,
+            )
+            .unwrap(),
+    );
+    assert!(empty.is_empty(), "conjunctive OOV matches nothing");
+
+    let any = top_names(
+        &session
+            .execute(
+                r#"SELECT name FROM movies
+                   WHERE description CONTAINS ANY ('golden', 'zzzoov')
+                   FETCH TOP 10 RESULTS ONLY"#,
+            )
+            .unwrap(),
+    );
+    assert_eq!(any.len(), 2, "ANY drops the unknown term");
+
+    let ranked = top_names(
+        &session
+            .execute(
+                r#"SELECT name FROM movies RANK BY description ('golden', 'zzzoov')
+                   FETCH TOP 10 RESULTS ONLY"#,
+            )
+            .unwrap(),
+    );
+    assert_eq!(ranked, any, "RANK BY drops the unknown term the same way");
+
+    // EXPLAIN keeps the resolved/unknown counts accurate for each form.
+    let SqlResult::Plan(lines) = session
+        .execute(
+            r#"EXPLAIN SELECT name FROM movies RANK BY description ('golden', 'zzzoov')
+               FETCH TOP 10 RESULTS ONLY"#,
+        )
+        .unwrap()
+    else {
+        panic!("expected plan");
+    };
+    let text = lines.join("\n");
+    assert!(text.contains("mode=disjunctive"), "{text}");
+    assert!(text.contains("terms: 1 resolved, 1 unknown"), "{text}");
+    assert!(!text.contains("matches nothing"), "{text}");
+    let SqlResult::Plan(lines) = session
+        .execute(
+            r#"EXPLAIN SELECT name FROM movies
+               WHERE description CONTAINS ALL ('golden', 'zzzoov')"#,
+        )
+        .unwrap()
+    else {
+        panic!("expected plan");
+    };
+    let text = lines.join("\n");
+    assert!(text.contains("mode=conjunctive"), "{text}");
+    assert!(text.contains("terms: 1 resolved, 1 unknown"), "{text}");
+    assert!(text.contains("matches nothing"), "{text}");
 }
 
 /// BEGIN/COMMIT: DML queues invisibly (deferred visibility) and applies
