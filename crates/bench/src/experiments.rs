@@ -132,6 +132,22 @@ impl Bench {
         .take(n)
     }
 
+    /// One `acq/cont/wait-us` cell per lock class, in rank order — the
+    /// lock-stats columns of the `concurrent` and `serving` artifacts.
+    fn lock_cells(delta: &svr_engine::LockStats) -> Vec<String> {
+        delta
+            .iter()
+            .map(|(_, c)| {
+                format!(
+                    "{}/{}/{}",
+                    c.acquisitions,
+                    c.contended,
+                    c.wait_nanos / 1_000
+                )
+            })
+            .collect()
+    }
+
     fn fmt_ms(ms: f64) -> String {
         if ms < 0.01 {
             format!("{:.4}", ms)
@@ -766,12 +782,13 @@ impl Bench {
 
         // One measurement point: `readers` query threads racing `writers`
         // same-table update threads for `window_ms`.
-        let run_point = |readers: usize, writers: usize| -> (f64, f64) {
+        let run_point = |readers: usize, writers: usize| -> (f64, f64, svr_engine::LockStats) {
             // Merge the short lists accumulated by the previous point's
             // storm so every point starts from a freshly maintained index —
             // otherwise later points would measure thread scaling *and*
             // index degradation at once.
             engine.run_maintenance("idx").expect("maintenance");
+            let locks_before = svr_engine::lock_stats();
             let stop = AtomicBool::new(false);
             let served = AtomicUsize::new(0);
             let updated = AtomicUsize::new(0);
@@ -819,34 +836,39 @@ impl Bench {
             (
                 served.load(Ordering::Relaxed) as f64 / secs,
                 updated.load(Ordering::Relaxed) as f64 / secs,
+                svr_engine::lock_stats().delta_since(&locks_before),
             )
         };
 
         let mut rows = Vec::new();
         for readers in [1usize, 2, 4, 8] {
-            let (qps, ups) = run_point(readers, 1);
-            rows.push(vec![
+            let (qps, ups, locks) = run_point(readers, 1);
+            let mut row = vec![
                 "storm".into(),
                 readers.to_string(),
                 "1".into(),
                 format!("{qps:.0}"),
                 format!("{:.0}", qps / readers as f64),
                 format!("{ups:.0}"),
-            ]);
+            ];
+            row.extend(Self::lock_cells(&locks));
+            rows.push(row);
         }
         // Writer sweep: constant background query load of 3 reader threads
         // (serving mixes are read-heavy), writers scaled 1→8 against one
         // table.
         for writers in [1usize, 2, 4, 8] {
-            let (qps, ups) = run_point(3, writers);
-            rows.push(vec![
+            let (qps, ups, locks) = run_point(3, writers);
+            let mut row = vec![
                 "storm".into(),
                 "3".into(),
                 writers.to_string(),
                 format!("{qps:.0}"),
                 format!("{:.0}", qps / 3.0),
                 format!("{ups:.0}"),
-            ]);
+            ];
+            row.extend(Self::lock_cells(&locks));
+            rows.push(row);
         }
 
         // Transactions point: the all-or-nothing write path's undo-capture
@@ -854,8 +876,9 @@ impl Bench {
         // writes vs batched-atomic WriteBatches (no concurrent load, so
         // the two rows isolate the write path itself).
         let txn_updates = self.scale.pick(2_000, 8_000) as u64;
-        let txn_point = |batch_size: u64| -> f64 {
+        let txn_point = |batch_size: u64| -> (f64, svr_engine::LockStats) {
             engine.run_maintenance("idx").expect("maintenance");
+            let locks_before = svr_engine::lock_stats();
             let mut rng = rand_pcg(0x7A0 ^ batch_size);
             use rand::RngCore;
             let started = std::time::Instant::now();
@@ -891,19 +914,24 @@ impl Bench {
                 }
                 applied += n;
             }
-            txn_updates as f64 / started.elapsed().as_secs_f64()
+            (
+                txn_updates as f64 / started.elapsed().as_secs_f64(),
+                svr_engine::lock_stats().delta_since(&locks_before),
+            )
         };
         let per_op = txn_point(1);
         let batched = txn_point(64);
-        for (mode, ups) in [("txn-per-op", per_op), ("txn-batch-64", batched)] {
-            rows.push(vec![
+        for (mode, (ups, locks)) in [("txn-per-op", per_op), ("txn-batch-64", batched)] {
+            let mut row = vec![
                 mode.into(),
                 "0".into(),
                 "1".into(),
                 "-".into(),
                 "-".into(),
                 format!("{ups:.0}"),
-            ]);
+            ];
+            row.extend(Self::lock_cells(&locks));
+            rows.push(row);
         }
 
         ExperimentReport {
@@ -918,6 +946,10 @@ impl Bench {
                 "queries/s".into(),
                 "queries/s/thread".into(),
                 "updates/s".into(),
+                "table locks a/c/wait-µs".into(),
+                "shard locks a/c/wait-µs".into(),
+                "ckpt locks a/c/wait-µs".into(),
+                "wal locks a/c/wait-µs".into(),
             ],
             rows,
             notes: "storm rows 1-4: reader scaling under one background writer (PR 1). storm \
@@ -932,7 +964,11 @@ impl Bench {
                     marker per batch); txn-per-op pays that machinery per update, \
                     txn-batch-64 amortizes it over 64-op WriteBatches and coalesces the \
                     score refreshes — the ratio tracks the undo-capture overhead on the \
-                    update-intensive hot path (run in the CI bench smoke)"
+                    update-intensive hot path (run in the CI bench smoke). Lock columns \
+                    are per-class acquisitions/contended/wait-µs over the point's window \
+                    (process-wide counters, delta per point); the shard class staying \
+                    below the table class in contended share is the sharded write path \
+                    doing its job"
                 .into(),
         }
     }
@@ -1096,7 +1132,7 @@ impl Bench {
                     let i = ((latencies_us.len() - 1) as f64 * p).round() as usize;
                     latencies_us[i] as f64 / 1e3
                 };
-                rows.push(vec![
+                let mut row = vec![
                     mode.into(),
                     conns.to_string(),
                     format!("{:.0}", latencies_us.len() as f64 / secs),
@@ -1107,7 +1143,9 @@ impl Bench {
                     (after.wal.syncs - before.wal.syncs).to_string(),
                     (after.wal.sync_skips - before.wal.sync_skips).to_string(),
                     (after.refresh.applied - before.refresh.applied).to_string(),
-                ]);
+                ];
+                row.extend(Self::lock_cells(&after.locks.delta_since(&before.locks)));
+                rows.push(row);
             }
             setup.close().ok();
             handle.shutdown();
@@ -1129,6 +1167,10 @@ impl Bench {
                 "fsyncs".into(),
                 "skips".into(),
                 "drained".into(),
+                "table locks a/c/wait-µs".into(),
+                "shard locks a/c/wait-µs".into(),
+                "ckpt locks a/c/wait-µs".into(),
+                "wal locks a/c/wait-µs".into(),
             ],
             rows,
             notes: "closed-loop clients over real TCP against one file-backed engine, \
@@ -1139,7 +1181,9 @@ impl Bench {
                     batches under shared lock holds ('drained'). The gap widens with \
                     connection count: at the multi-writer points the grouped mode \
                     sustains multiples of the per-commit update rate, which is the \
-                    point of the serving front end's write amortizations"
+                    point of the serving front end's write amortizations. Lock columns \
+                    are per-class acquisitions/contended/wait-µs over each point's \
+                    window (process-wide counters, delta per point)"
                 .into(),
         }
     }

@@ -69,7 +69,7 @@ impl ChunkMap {
             // The top chunk must also hold at least min_docs; drop boundaries
             // from the top until it does.
             while kept.len() > 1 {
-                let top_lb = *kept.last().expect("non-empty");
+                let Some(&top_lb) = kept.last() else { break };
                 let top_count = sorted.len() - sorted.partition_point(|&s| s < top_lb);
                 if top_count >= min_docs {
                     break;

@@ -387,7 +387,9 @@ fn run<B: CursorBackend>(
                 // Strict comparison: on a tie an unresolved doc with a
                 // smaller id could still outrank the pooled one.
                 if best.0.score > bound {
-                    out.push(state.pool.pop().expect("peeked").0);
+                    let resolved = best.0;
+                    let _ = state.pool.pop();
+                    out.push(resolved);
                     continue;
                 }
             } else if state.exhausted {

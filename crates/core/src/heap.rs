@@ -72,7 +72,12 @@ impl TopKHeap {
             self.heap.push(Worst(hit));
             return true;
         }
-        let worst = self.heap.peek().expect("non-empty full heap").0;
+        let Some(&Worst(worst)) = self.heap.peek() else {
+            // Unreachable (the heap holds k > 0 entries here); an empty
+            // heap trivially retains the hit.
+            self.heap.push(Worst(hit));
+            return true;
+        };
         if ranks_above(&hit, &worst) {
             self.heap.pop();
             self.heap.push(Worst(hit));

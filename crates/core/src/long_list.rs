@@ -241,7 +241,9 @@ impl LongListStore {
     /// Encode and store an Id-format list with the store's codec.
     pub fn put_id_list(&self, term: TermId, postings: &[TermScoredPosting]) -> Result<()> {
         let ListFormat::Id { with_scores } = self.format else {
-            panic!("put_id_list on a {:?} store", self.format);
+            return Err(CoreError::Unsupported(
+                "put_id_list on a non-id long-list store",
+            ));
         };
         let mut buf = Vec::new();
         codec::encode_id_list(self.codec, postings, with_scores, &mut buf);
@@ -251,7 +253,9 @@ impl LongListStore {
     /// Encode and store a chunked list with the store's codec.
     pub fn put_chunked_list(&self, term: TermId, groups: &[ChunkGroup]) -> Result<()> {
         let ListFormat::Chunked { with_scores } = self.format else {
-            panic!("put_chunked_list on a {:?} store", self.format);
+            return Err(CoreError::Unsupported(
+                "put_chunked_list on a non-chunked long-list store",
+            ));
         };
         let mut buf = Vec::new();
         codec::encode_chunked_list(self.codec, groups, with_scores, &mut buf);
@@ -262,7 +266,9 @@ impl LongListStore {
     /// Encode and store a score-ordered list with the store's codec.
     pub fn put_score_list(&self, term: TermId, rows: &[(f64, DocId, u16)]) -> Result<()> {
         let ListFormat::Score { with_scores } = self.format else {
-            panic!("put_score_list on a {:?} store", self.format);
+            return Err(CoreError::Unsupported(
+                "put_score_list on a non-score long-list store",
+            ));
         };
         let mut buf = Vec::new();
         codec::encode_score_list(self.codec, rows, with_scores, &mut buf);

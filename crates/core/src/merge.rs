@@ -461,13 +461,10 @@ impl<'a> MultiMerge<'a> {
                 self.heads.iter_mut().for_each(|h| *h = None);
                 return Ok(None);
             }
-            let target = self
-                .heads
-                .iter()
-                .flatten()
-                .map(|e| e.doc)
-                .max()
-                .expect("all heads live");
+            let Some(target) = self.heads.iter().flatten().map(|e| e.doc).max() else {
+                // No streams at all (empty conjunction): nothing to match.
+                return Ok(None);
+            };
             let mut aligned = true;
             for (stream, head) in self.streams.iter_mut().zip(self.heads.iter_mut()) {
                 if head.is_some_and(|e| e.doc < target) {

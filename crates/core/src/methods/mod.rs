@@ -398,7 +398,7 @@ pub trait SearchIndex: Send + Sync {
 /// returns wrapped indexes.
 pub struct LockedIndex<I> {
     inner: I,
-    lock: parking_lot::RwLock<()>,
+    lock: svr_storage::sync::OrderedRwLock<()>,
     group: GroupQueue,
 }
 
@@ -431,7 +431,7 @@ impl<I: SearchIndex> LockedIndex<I> {
     pub fn new(inner: I) -> LockedIndex<I> {
         LockedIndex {
             inner,
-            lock: parking_lot::RwLock::new(()),
+            lock: svr_storage::sync::OrderedRwLock::new(svr_storage::sync::LockClass::Shard, ()),
             group: GroupQueue {
                 enabled: std::sync::atomic::AtomicBool::new(false),
                 queue: std::sync::Mutex::new(std::collections::VecDeque::new()),
@@ -465,7 +465,7 @@ impl<I: SearchIndex> LockedIndex<I> {
             done: std::sync::Condvar::new(),
         });
         {
-            let mut queue = self.group.queue.lock().expect("refresh queue poisoned");
+            let mut queue = self.group.queue.lock().expect("refresh queue poisoned"); // svr-lint: allow(no-unwrap): poisoned = a peer panicked mid-update; dying is the safe response
             queue.push_back(ticket.clone());
             self.group
                 .enqueued
@@ -475,21 +475,22 @@ impl<I: SearchIndex> LockedIndex<I> {
                 .fetch_max(queue.len() as u64, std::sync::atomic::Ordering::Relaxed);
         }
         loop {
+            // svr-lint: allow(no-unwrap): poisoned = a peer panicked mid-update; dying is the safe response
             if let Some(result) = ticket.result.lock().expect("ticket poisoned").take() {
                 return result;
             }
-            if let Some(_guard) = self.lock.try_write() {
+            if let Some(_shard_guard) = self.lock.try_write() {
                 let mut applied = 0u64;
                 while applied < MAX_DRAIN_PER_HOLD {
                     let next = self
                         .group
                         .queue
                         .lock()
-                        .expect("refresh queue poisoned")
+                        .expect("refresh queue poisoned") // svr-lint: allow(no-unwrap): poisoned = a peer panicked mid-update; dying is the safe response
                         .pop_front();
                     let Some(t) = next else { break };
                     let result = self.apply_refresh(&t.docs, read);
-                    *t.result.lock().expect("ticket poisoned") = Some(result);
+                    *t.result.lock().expect("ticket poisoned") = Some(result); // svr-lint: allow(no-unwrap): poisoned = a peer panicked mid-update; dying is the safe response
                     t.done.notify_all();
                     applied += 1;
                 }
@@ -504,7 +505,7 @@ impl<I: SearchIndex> LockedIndex<I> {
                 // Own ticket was normally among the drained; if a peer beat
                 // us to it (or the per-hold cap left it queued), loop.
             } else {
-                let slot = ticket.result.lock().expect("ticket poisoned");
+                let slot = ticket.result.lock().expect("ticket poisoned"); // svr-lint: allow(no-unwrap): poisoned = a peer panicked mid-update; dying is the safe response
                 if slot.is_none() {
                     // Bounded wait: a racing holder may resolve the ticket
                     // between the check and the wait; the timeout self-heals
@@ -512,7 +513,7 @@ impl<I: SearchIndex> LockedIndex<I> {
                     let _ = ticket
                         .done
                         .wait_timeout(slot, std::time::Duration::from_millis(1))
-                        .expect("ticket poisoned");
+                        .expect("ticket poisoned"); // svr-lint: allow(no-unwrap): poisoned = a peer panicked mid-update; dying is the safe response
                 }
             }
         }
@@ -525,7 +526,7 @@ impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
     }
 
     fn update_score(&self, doc: DocId, new_score: Score) -> Result<()> {
-        let _guard = self.lock.write();
+        let _shard_guard = self.lock.write();
         self.inner.update_score(doc, new_score)
     }
 
@@ -540,12 +541,12 @@ impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
         // One write-lock acquisition for the whole batch; `read` runs under
         // it, which is what makes deferred propagation stale-proof (see the
         // trait docs).
-        let _guard = self.lock.write();
+        let _shard_guard = self.lock.write();
         self.apply_refresh(docs, read)
     }
 
     fn open_cursor(&self, query: &Query) -> Result<MethodCursor> {
-        let _guard = self.lock.read();
+        let _shard_guard = self.lock.read();
         self.inner.open_cursor(query)
     }
 
@@ -553,54 +554,54 @@ impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
         // Each batch runs under one read-lock acquisition: batches are
         // individually snapshot-consistent, and the lock is *not* held
         // while the cursor is suspended between batches.
-        let _guard = self.lock.read();
+        let _shard_guard = self.lock.read();
         self.inner.next_batch(cursor, n)
     }
 
     fn query(&self, query: &Query) -> Result<Vec<SearchHit>> {
         // One lock acquisition for open + drain, as the one-shot path
         // always had.
-        let _guard = self.lock.read();
+        let _shard_guard = self.lock.read();
         self.inner.query(query)
     }
 
     fn insert_document(&self, doc: &Document, score: Score) -> Result<()> {
-        let _guard = self.lock.write();
+        let _shard_guard = self.lock.write();
         self.inner.insert_document(doc, score)
     }
 
     fn delete_document(&self, doc: DocId) -> Result<()> {
-        let _guard = self.lock.write();
+        let _shard_guard = self.lock.write();
         self.inner.delete_document(doc)
     }
 
     fn uninsert_document(&self, doc: DocId) -> Result<()> {
-        let _guard = self.lock.write();
+        let _shard_guard = self.lock.write();
         self.inner.uninsert_document(doc)
     }
 
     fn undelete_document(&self, doc: DocId) -> Result<()> {
-        let _guard = self.lock.write();
+        let _shard_guard = self.lock.write();
         self.inner.undelete_document(doc)
     }
 
     fn update_content(&self, doc: &Document) -> Result<()> {
-        let _guard = self.lock.write();
+        let _shard_guard = self.lock.write();
         self.inner.update_content(doc)
     }
 
     fn merge_short_lists(&self) -> Result<()> {
-        let _guard = self.lock.write();
+        let _shard_guard = self.lock.write();
         self.inner.merge_short_lists()
     }
 
     fn merge_shard(&self, shard: usize) -> Result<()> {
-        let _guard = self.lock.write();
+        let _shard_guard = self.lock.write();
         self.inner.merge_shard(shard)
     }
 
     fn shard_stats(&self) -> Vec<ShardStats> {
-        let _guard = self.lock.read();
+        let _shard_guard = self.lock.read();
         self.inner.shard_stats()
     }
 
@@ -609,7 +610,7 @@ impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
     }
 
     fn clear_long_cache(&self) -> Result<()> {
-        let _guard = self.lock.write();
+        let _shard_guard = self.lock.write();
         self.inner.clear_long_cache()
     }
 
@@ -618,7 +619,7 @@ impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
     }
 
     fn current_score(&self, doc: DocId) -> Result<Score> {
-        let _guard = self.lock.read();
+        let _shard_guard = self.lock.read();
         self.inner.current_score(doc)
     }
 
@@ -634,7 +635,7 @@ impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
         }
         // Exclusive: a checkpoint must not truncate log records whose pages
         // a concurrent mutation has not flushed.
-        let _guard = self.lock.write();
+        let _shard_guard = self.lock.write();
         self.inner.maybe_checkpoint(threshold)
     }
 
@@ -673,7 +674,7 @@ impl<I: SearchIndex> SearchIndex for LockedIndex<I> {
                 .group
                 .queue
                 .lock()
-                .expect("refresh queue poisoned")
+                .expect("refresh queue poisoned") // svr-lint: allow(no-unwrap): poisoned = a peer panicked mid-update; dying is the safe response
                 .len() as u64,
         }
     }

@@ -40,7 +40,7 @@ impl Oracle {
             let score = scores.get(&doc.id).copied().unwrap_or(0.0);
             oracle
                 .insert_document(doc, score)
-                .expect("oracle build must not fail");
+                .expect("oracle build must not fail"); // svr-lint: allow(no-unwrap): the oracle's contract is to panic on divergence
         }
         oracle
     }
@@ -209,7 +209,7 @@ impl Oracle {
         for hit in hits {
             let want = self
                 .query_score(query, hit.doc)
-                .unwrap_or_else(|| panic!("doc {} does not qualify for {query:?}", hit.doc));
+                .unwrap_or_else(|| panic!("doc {} does not qualify for {query:?}", hit.doc)); // svr-lint: allow(no-unwrap): the oracle's contract is to panic on divergence
             assert!(
                 (hit.score - want).abs() <= eps,
                 "score mismatch for doc {}: got {}, want {want}",

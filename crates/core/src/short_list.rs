@@ -153,7 +153,7 @@ impl ShortLists {
             (ShortOrder::ById, PostingPos::Id) => {}
             (ShortOrder::ByScoreDesc, PostingPos::ByScore(s)) => push_f64_desc(&mut key, s),
             (ShortOrder::ByChunkDesc, PostingPos::ByChunk(c)) => push_u32_desc(&mut key, c),
-            _ => panic!("posting position does not match short-list order"),
+            _ => panic!("posting position does not match short-list order"), // svr-lint: allow(no-unwrap): type-state misuse by a caller, not a data error
         }
         push_u32_be(&mut key, doc.0);
         key
@@ -329,7 +329,10 @@ impl ShortCursor<'_> {
             Some(key) if read_u32_be(key, 0) == self.term.0 => {}
             _ => return Ok(None),
         }
-        let (key, value) = self.cursor.next_entry()?.expect("peeked entry must exist");
+        let Some((key, value)) = self.cursor.next_entry()? else {
+            // Unreachable: the peek above saw this entry.
+            return Ok(None);
+        };
         let (_, pos, doc) = decode_short_key(self.lists_order, &key);
         let (op, tscore) = ShortLists::decode_value(&value)?;
         Ok(Some(ShortPosting {

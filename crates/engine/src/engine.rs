@@ -6,12 +6,44 @@
 //! updates before the mutating call returns; text mutations flow through
 //! the Appendix-A content operations. Keyword queries return ranked rows.
 //!
-//! ## Concurrency model: two-tier locking
+//! ## Concurrency model: the lock-rank table
 //!
 //! The engine is a cheap cloneable handle (`Clone` = `Arc` bump) over
-//! shared, internally synchronized state. Writes go through **two lock
-//! tiers** so that same-table writers overlap on the expensive part of the
-//! write path:
+//! shared, internally synchronized state. Every lock the write path can
+//! hold belongs to a **ranked class** ([`svr_storage::sync::LockClass`]),
+//! and a thread may only acquire a lock whose rank is **≥** the highest
+//! rank it already holds:
+//!
+//! | rank | class        | guards                                         |
+//! |------|--------------|------------------------------------------------|
+//! | 0    | `Table`      | the per-table writer lock (tier 1)             |
+//! | 1    | `Shard`      | a shard's index refresh lock (tier 2)          |
+//! | 2    | `Checkpoint` | a store's checkpoint section                   |
+//! | 3    | `Wal`        | a WAL's append/commit mutex                    |
+//!
+//! Rank order `Table → Shard → Checkpoint → Wal` is *descending
+//! generality*: the coarse outer sections acquire the fine inner ones,
+//! never the reverse, so no cycle between classes can form. Equal-rank
+//! acquisitions are legal and ordered deterministically instead
+//! ([`SvrEngine::apply`] sorts its table locks by name; batch refreshes
+//! walk shards in ascending order).
+//!
+//! The table is **enforced three ways**, not promised in prose:
+//!
+//! 1. **at runtime in debug builds** — every guard pushes its rank onto a
+//!    thread-local stack and panics on an out-of-rank acquisition
+//!    (`cargo test` runs with `debug_assertions`, so the whole stress and
+//!    proptest suite doubles as a lock-order validator);
+//! 2. **statically** — `svr-lint`'s `lock-order` rule flags any source
+//!    line that takes a tier-1 table lock while a shard refresh guard is
+//!    live (see `crates/lint`);
+//! 3. **observably in release builds** — every class counts acquisitions,
+//!    contended acquisitions, wait and hold nanoseconds
+//!    ([`SvrEngine::contention_stats`], the server `Info` payload, the
+//!    `locks:` line of SQL `EXPLAIN`, and the bench artifacts).
+//!
+//! Writes go through **two of those lock tiers** so that same-table
+//! writers overlap on the expensive part of the write path:
 //!
 //! * **tier 1 — the per-table writer lock** is held only for the row/view
 //!   mutation: the base-table write, materialized-view maintenance, and
@@ -73,10 +105,11 @@
 //!   that shard's writers ([`SvrEngine::run_shard_maintenance`] merges a
 //!   single shard).
 //!
-//! Lock order is `table lock → shard lock`; the refresh tier takes shard
-//! locks only. Nothing acquires a table lock while holding a shard lock,
-//! so the two tiers cannot deadlock; [`SvrEngine::apply`] takes its table
-//! locks in sorted order for the same reason.
+//! The refresh tier takes shard locks only: nothing acquires a table lock
+//! (rank 0) while holding a shard lock (rank 1), which is exactly the
+//! rank rule above — a violation panics in debug builds and fails
+//! `svr-lint` statically. [`SvrEngine::apply`] takes its table locks in
+//! sorted order so equal-rank acquisitions cannot deadlock either.
 //!
 //! DDL is coarser: `create_text_index` blocks the indexed table's writers
 //! for the whole build. `DROP TABLE` retires the table's tier-1 lock
@@ -155,6 +188,7 @@ use svr_relation::{Database, RowChange, Schema, SvrSpec, Value};
 use svr_storage::codec::{
     begin_record, read_string, read_varint, record_version, write_string, write_varint,
 };
+use svr_storage::sync::{LockClass, OrderedMutex};
 use svr_storage::{BTree, StorageEnv};
 use svr_text::Vocabulary;
 
@@ -213,6 +247,11 @@ pub struct ContentionStats {
     pub wal: svr_storage::WalStats,
     /// Group-commit refresh-queue counters summed over every index.
     pub refresh: svr_core::RefreshGroupStats,
+    /// Per-lock-class acquisition/contention/wait/hold counters from the
+    /// instrumented sync layer ([`svr_storage::sync`]). Process-wide and
+    /// monotone: diff two snapshots ([`svr_storage::LockStats::delta_since`])
+    /// to attribute activity to a window.
+    pub locks: svr_storage::LockStats,
 }
 
 /// A ranked search result: the matching row and its latest SVR score.
@@ -556,7 +595,7 @@ struct EngineShared {
     /// Tier-1 per-table writer locks (see the [module docs](self)).
     /// Writers of different tables run in parallel; entries are removed
     /// when their table is dropped.
-    write_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    write_locks: Mutex<HashMap<String, Arc<OrderedMutex<()>>>>,
     /// `Some` for durable engines; `None` for plain in-memory ones.
     durable: Option<DurableEngine>,
     /// Group-commit refresh draining, applied to every index at
@@ -836,9 +875,10 @@ impl SvrEngine {
     }
 
     /// Engine-wide contention counters: aggregate WAL statistics (commit
-    /// syncs and group-sync deferrals included) plus the group-commit
-    /// refresh-queue counters summed over every index — the payload of the
-    /// serving front end's `Info` command.
+    /// syncs and group-sync deferrals included), the group-commit
+    /// refresh-queue counters summed over every index, and the per-class
+    /// lock acquisition/contention counters from the instrumented sync
+    /// layer — the payload of the serving front end's `Info` command.
     pub fn contention_stats(&self) -> ContentionStats {
         let wal = match &self.shared.durable {
             Some(durable) => durable.env.total_wal_stats(),
@@ -848,7 +888,11 @@ impl SvrEngine {
         for entry in self.shared.indexes.read().values() {
             refresh.merge(&entry.index.refresh_group_stats());
         }
-        ContentionStats { wal, refresh }
+        ContentionStats {
+            wal,
+            refresh,
+            locks: svr_storage::lock_stats(),
+        }
     }
 
     /// Long-list block skip/decode counters summed over every text index —
@@ -964,12 +1008,12 @@ impl SvrEngine {
     }
 
     /// The writer lock for `table` (created on first use).
-    fn write_lock(&self, table: &str) -> Arc<Mutex<()>> {
+    fn write_lock(&self, table: &str) -> Arc<OrderedMutex<()>> {
         self.shared
             .write_locks
             .lock()
             .entry(table.to_string())
-            .or_insert_with(|| Arc::new(Mutex::new(())))
+            .or_insert_with(|| Arc::new(OrderedMutex::new(LockClass::Table, ())))
             .clone()
     }
 
@@ -981,7 +1025,7 @@ impl SvrEngine {
         let mut f = Some(f);
         loop {
             let lock = self.write_lock(table);
-            let guard = lock.lock();
+            let table_guard = lock.lock();
             let current = self
                 .shared
                 .write_locks
@@ -989,8 +1033,8 @@ impl SvrEngine {
                 .get(table)
                 .is_some_and(|registered| Arc::ptr_eq(registered, &lock));
             if current {
-                let result = (f.take().expect("validated lock runs f exactly once"))();
-                drop(guard);
+                let result = (f.take().expect("validated lock runs f exactly once"))(); // svr-lint: allow(no-unwrap): `f` is consumed exactly once on the validated path
+                drop(table_guard);
                 return result;
             }
         }
@@ -1003,7 +1047,7 @@ impl SvrEngine {
         let mut f = Some(f);
         loop {
             let locks: Vec<_> = tables.iter().map(|t| self.write_lock(t)).collect();
-            let guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
+            let table_guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
             let all_current = {
                 let registered = self.shared.write_locks.lock();
                 tables
@@ -1012,8 +1056,8 @@ impl SvrEngine {
                     .all(|(t, l)| registered.get(t).is_some_and(|cur| Arc::ptr_eq(cur, l)))
             };
             if all_current {
-                let result = (f.take().expect("validated locks run f exactly once"))();
-                drop(guards);
+                let result = (f.take().expect("validated locks run f exactly once"))(); // svr-lint: allow(no-unwrap): `f` is consumed exactly once on the validated path
+                drop(table_guards);
                 return result;
             }
         }

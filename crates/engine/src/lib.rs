@@ -89,3 +89,4 @@ pub use engine::{
     WriteOp, SYS_INDEXES_STORE, SYS_VOCAB_STORE,
 };
 pub use error::{Result, SvrError};
+pub use svr_storage::{lock_stats, LockClass, LockClassStats, LockStats};

@@ -1,0 +1,51 @@
+//! `svr-lint` CLI: scan the workspace (or a given root) and report
+//! invariant violations. Exit status 1 when any finding survives
+//! suppression, so CI can gate on it.
+//!
+//! ```text
+//! svr-lint [ROOT] [--json]
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: svr-lint [ROOT] [--json]");
+                eprintln!("rules: {}", svr_lint::RULES.join(", "));
+                eprintln!("suppress a site: // svr-lint: allow(rule) on it or the line above");
+                return;
+            }
+            path => root = PathBuf::from(path),
+        }
+    }
+    let started = Instant::now();
+    let findings = match svr_lint::scan_root(&root) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("svr-lint: failed to scan {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    if json {
+        println!("{}", svr_lint::to_json(&findings));
+    } else {
+        for finding in &findings {
+            println!("{finding}");
+        }
+        eprintln!(
+            "svr-lint: {} finding{} in {:?}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            started.elapsed()
+        );
+    }
+    if !findings.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Seeded violation: the reader handles REC_V2 but forgets REC_V1.
+
+pub const REC_V1: u8 = 1;
+pub const REC_V2: u8 = 2;
+
+pub fn decode(buf: &[u8]) -> u8 {
+    match record_version(buf) {
+        REC_V2 => 2,
+        _ => 0,
+    }
+}

@@ -1,0 +1,12 @@
+//! Clean: the reader handles every member of the REC family.
+
+pub const REC_V1: u8 = 1;
+pub const REC_V2: u8 = 2;
+
+pub fn decode(buf: &[u8]) -> u8 {
+    match record_version(buf) {
+        REC_V1 => 1,
+        REC_V2 => 2,
+        _ => 0,
+    }
+}

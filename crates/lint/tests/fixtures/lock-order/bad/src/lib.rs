@@ -1,0 +1,6 @@
+//! Seeded violation: table lock acquired while a shard guard is live.
+
+pub fn refresh_then_write(engine: &Engine) {
+    let _shard_guard = engine.shard_lock.write();
+    engine.with_table_lock("docs", || {});
+}

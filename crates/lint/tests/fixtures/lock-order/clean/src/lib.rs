@@ -1,0 +1,15 @@
+//! Clean: the table lock is taken before the shard guard (table → shard),
+//! and guard *uses* (drop) are not bindings.
+
+pub fn write_then_refresh(engine: &Engine) {
+    engine.with_table_lock("docs", || {});
+    let _shard_guard = engine.shard_lock.write();
+}
+
+pub fn scoped(engine: &Engine) {
+    {
+        let _shard_guard = engine.shard_lock.write();
+    }
+    let table_guard = engine.write_lock("docs");
+    drop(table_guard);
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: a panic path in non-test library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,23 @@
+//! Clean: errors are returned; the idiomatic exemptions stay silent.
+
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn word(bytes: &[u8]) -> u32 {
+    u32::from_be_bytes(bytes[..4].try_into().unwrap())
+}
+
+pub fn justified(x: Option<u32>) -> u32 {
+    // svr-lint: allow(no-unwrap): seeded justification for the fixture
+    x.expect("unreachable by invariant")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

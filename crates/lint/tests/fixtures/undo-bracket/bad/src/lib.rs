@@ -1,0 +1,6 @@
+//! Seeded violation: view-undo opened with neither commit nor rollback.
+
+pub fn forgets_to_close(db: &Database, tables: &[String]) {
+    db.begin_view_undo(tables);
+    db.apply(tables);
+}

@@ -1,0 +1,16 @@
+//! Clean: commit path, rollback path, and a guard-bound begin.
+
+pub fn commits(db: &Database, tables: &[String]) {
+    db.begin_view_undo(tables);
+    db.commit_undo();
+}
+
+pub fn rolls_back(db: &Database, tables: &[String]) {
+    db.begin_view_undo(tables);
+    db.rollback_undo();
+}
+
+pub fn bound(db: &Database, tables: &[String]) {
+    let undo = db.begin_view_undo(tables);
+    drop(undo);
+}

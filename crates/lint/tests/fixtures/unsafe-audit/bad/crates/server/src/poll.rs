@@ -1,0 +1,5 @@
+//! Seeded violation: allowlisted file, but the block has no SAFETY note.
+
+pub fn wait(fds: *mut PollFd, n: usize) -> i32 {
+    unsafe { poll(fds, n as u64, 0) }
+}

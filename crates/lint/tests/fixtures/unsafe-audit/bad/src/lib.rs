@@ -1,0 +1,5 @@
+//! Seeded violation: `unsafe` outside the allowlisted modules.
+
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p }
+}

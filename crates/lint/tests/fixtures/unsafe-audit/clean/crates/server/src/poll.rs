@@ -1,0 +1,8 @@
+//! Clean: allowlisted file with a multi-line SAFETY justification.
+
+pub fn wait(fds: *mut PollFd, n: usize) -> i32 {
+    // SAFETY: the caller passes a live pointer to `n` contiguous PollFd
+    // values; the kernel only writes the `revents` fields within those
+    // bounds, and the pointer does not escape the call.
+    unsafe { poll(fds, n as u64, 0) }
+}

@@ -1,0 +1,5 @@
+//! Clean: no unsafe outside the allowlist.
+
+pub fn safe_only(x: u32) -> u32 {
+    x + 1
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: a batch opened and never closed in this function.
+
+pub fn unbalanced(wal: &Wal) {
+    wal.begin_batch();
+    wal.append(b"orphan");
+}

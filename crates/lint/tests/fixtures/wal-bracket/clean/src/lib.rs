@@ -1,0 +1,15 @@
+//! Clean: lexical pair, guard-bound begin, and a definition (not a call).
+
+pub fn balanced(wal: &Wal) {
+    wal.begin_batch();
+    wal.append(b"paired");
+    wal.end_batch();
+}
+
+pub fn bound(wal: &Wal) {
+    let _batch = wal.begin_batch();
+}
+
+pub fn begin_batch(noise: u32) -> u32 {
+    noise
+}

@@ -121,6 +121,10 @@ impl Database {
         let store = env.create_logged_store(SYS_CATALOG_STORE, 64);
         store.recover()?;
         let catalog = BTree::reopen(store, 0)?;
+        // Snapshot both record families before the catalog moves into the
+        // struct (the records are owned, so no borrow outlives the move).
+        let table_records = catalog.scan_prefix(&[KEY_TABLE, b'/'])?;
+        let view_records = catalog.scan_prefix(&[KEY_VIEW, b'/'])?;
 
         let db = Database {
             env,
@@ -130,11 +134,6 @@ impl Database {
             wal_checkpoint_bytes: AtomicU64::new(WAL_CHECKPOINT_BYTES),
         };
         // Tables first (views validate their tables).
-        let table_records = db
-            .catalog
-            .as_ref()
-            .expect("just set")
-            .scan_prefix(&[KEY_TABLE, b'/'])?;
         for (_, raw) in table_records {
             let schema = codec::decode_schema(&raw)?;
             let store = db
@@ -148,11 +147,6 @@ impl Database {
             };
             db.tables.write().insert(name, Arc::new(slot));
         }
-        let view_records = db
-            .catalog
-            .as_ref()
-            .expect("just set")
-            .scan_prefix(&[KEY_VIEW, b'/'])?;
         for (key, raw) in view_records {
             let name = std::str::from_utf8(&key[2..])
                 .map_err(|_| {
@@ -553,6 +547,10 @@ impl Database {
         }
         for store in &stores {
             if let Some(wal) = store.wal() {
+                // This is the bracket's guard constructor: the returned
+                // `WalBatch` calls `end_batch` on every store in its Drop,
+                // closing each bracket opened here on all paths.
+                // svr-lint: allow(wal-bracket)
                 wal.begin_batch();
             }
         }

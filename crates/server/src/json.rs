@@ -432,7 +432,8 @@ impl<'a> Parser<'a> {
                 return Err(self.error("expected exponent digits"));
             }
         }
-        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii");
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.error("invalid number bytes"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.error("number out of range"))

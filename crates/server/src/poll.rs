@@ -59,6 +59,11 @@ extern "C" {
 /// `0` means the timeout fired. `EINTR` is retried internally.
 pub fn wait(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
     loop {
+        // SAFETY: `fds` is a live, exclusively borrowed slice for the whole
+        // call, so the pointer is valid for `fds.len()` elements; `PollFd`
+        // is `#[repr(C)]` and layout-identical to the kernel's `struct
+        // pollfd`, and `poll(2)` only writes within the given bounds (the
+        // `revents` fields). No pointer escapes the call.
         let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
         if rc >= 0 {
             return Ok(rc as usize);

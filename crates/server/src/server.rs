@@ -309,7 +309,7 @@ fn worker_loop(
 ) {
     loop {
         let job = {
-            let mut jobs = shared.jobs.lock().expect("job queue poisoned");
+            let mut jobs = shared.jobs.lock().expect("job queue poisoned"); // svr-lint: allow(no-unwrap): poisoned = a peer panicked mid-update; dying is the safe response
             loop {
                 if let Some(job) = jobs.pop_front() {
                     break job;
@@ -320,7 +320,7 @@ fn worker_loop(
                 jobs = shared
                     .jobs_ready
                     .wait_timeout(jobs, Duration::from_millis(50))
-                    .expect("job queue poisoned")
+                    .expect("job queue poisoned") // svr-lint: allow(no-unwrap): poisoned = a peer panicked mid-update; dying is the safe response
                     .0;
             }
         };
@@ -329,7 +329,7 @@ fn worker_loop(
         shared
             .completions
             .lock()
-            .expect("completion queue poisoned")
+            .expect("completion queue poisoned") // svr-lint: allow(no-unwrap): poisoned = a peer panicked mid-update; dying is the safe response
             .push((job.conn, job.gen, bytes));
         shared.inflight.fetch_sub(1, Ordering::SeqCst);
         counters.requests.fetch_add(1, Ordering::Relaxed);
@@ -438,6 +438,20 @@ fn info_body(engine: &SvrEngine, counters: &Counters) -> Json {
                 ("blocks_skipped", Json::from(seek.blocks_skipped)),
                 ("blocks_decoded", Json::from(seek.blocks_decoded)),
             ]),
+        ),
+        (
+            "locks",
+            Json::obj(contention.locks.iter().map(|(class, stats)| {
+                (
+                    class.name(),
+                    Json::obj([
+                        ("acquisitions", Json::from(stats.acquisitions)),
+                        ("contended", Json::from(stats.contended)),
+                        ("wait_us", Json::from(stats.wait_nanos / 1_000)),
+                        ("hold_us", Json::from(stats.hold_nanos / 1_000)),
+                    ]),
+                )
+            })),
         ),
         ("group_refresh", Json::from(engine.group_refresh_enabled())),
     ])
@@ -585,7 +599,7 @@ fn event_loop(
             let mut queue = shared
                 .completions
                 .lock()
-                .expect("completion queue poisoned");
+                .expect("completion queue poisoned"); // svr-lint: allow(no-unwrap): poisoned = a peer panicked mid-update; dying is the safe response
             std::mem::take(&mut *queue)
         };
         for (idx, gen, bytes) in completions {
@@ -828,7 +842,7 @@ fn pump(conn: &mut Conn, idx: usize, config: &ServerConfig, shared: &WorkerShare
                 shared
                     .jobs
                     .lock()
-                    .expect("job queue poisoned")
+                    .expect("job queue poisoned") // svr-lint: allow(no-unwrap): poisoned = a peer panicked mid-update; dying is the safe response
                     .push_back(Job {
                         conn: idx,
                         gen: conn.gen,

@@ -301,6 +301,37 @@ fn multiterm_contains_and_rank_by_over_the_wire() {
     let seek = info.get("seek").expect("seek counters");
     assert!(seek.get("blocks_skipped").and_then(Json::as_u64).is_some());
     assert!(seek.get("blocks_decoded").and_then(Json::as_u64).is_some());
+    // ...and the per-class lock contention counters from the instrumented
+    // sync layer. Every class reports all four counters; the mutations and
+    // ranked queries above acquired table and shard locks.
+    let locks = info.get("locks").expect("lock counters");
+    for class in ["table", "shard", "checkpoint", "wal"] {
+        let c = locks.get(class).expect("per-class counters");
+        for counter in ["acquisitions", "contended", "wait_us", "hold_us"] {
+            assert!(
+                c.get(counter).and_then(Json::as_u64).is_some(),
+                "{class}.{counter}"
+            );
+        }
+    }
+    assert!(
+        locks
+            .get("table")
+            .unwrap()
+            .get("acquisitions")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    assert!(
+        locks
+            .get("shard")
+            .unwrap()
+            .get("acquisitions")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
     client.close().unwrap();
 }
 

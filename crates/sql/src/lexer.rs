@@ -220,7 +220,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                             // SQL strings are byte-oriented here; the input
                             // is UTF-8, so collect char-by-char.
                             let s = &input[i..];
-                            let ch = s.chars().next().expect("in-bounds char");
+                            let Some(ch) = s.chars().next() else { break };
                             out.push(ch);
                             i += ch.len_utf8();
                             let _ = c;

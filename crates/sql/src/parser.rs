@@ -13,10 +13,10 @@ use crate::lexer::{tokenize, Token, TokenKind};
 /// Parse a single statement (a trailing `;` is allowed).
 pub fn parse_statement(input: &str) -> Result<Statement> {
     let mut statements = parse_script(input)?;
-    match statements.len() {
-        0 => Err(SqlError::Parse(0, "empty statement".into())),
-        1 => Ok(statements.pop().expect("checked length")),
-        _ => Err(SqlError::Parse(
+    match statements.pop() {
+        None => Err(SqlError::Parse(0, "empty statement".into())),
+        Some(stmt) if statements.is_empty() => Ok(stmt),
+        Some(_) => Err(SqlError::Parse(
             0,
             "multiple statements given; use parse_script".into(),
         )),

@@ -604,13 +604,23 @@ impl SqlSession {
             // undecoded vs decoded (the search is read-only, so EXPLAIN
             // stays side-effect free).
             let before = self.engine().seek_stats();
+            let locks_before = svr_engine::lock_stats();
             self.engine()
                 .search(&index, &path.keywords, k, path.query_mode())?;
             let after = self.engine().seek_stats();
+            let locks = svr_engine::lock_stats().delta_since(&locks_before);
             lines.push(format!(
                 "  blocks: {} skipped, {} decoded (one bounded execution)",
                 after.blocks_skipped.saturating_sub(before.blocks_skipped),
                 after.blocks_decoded.saturating_sub(before.blocks_decoded),
+            ));
+            lines.push(format!(
+                "  locks: {} (per-class acquisitions/contended over the execution)",
+                locks
+                    .iter()
+                    .map(|(class, s)| format!("{class}={}/{}", s.acquisitions, s.contended))
+                    .collect::<Vec<_>>()
+                    .join(" ")
             ));
             if let Some(skip) = sel.offset {
                 lines.push(format!(
@@ -681,15 +691,16 @@ impl SqlSession {
         // Multi-row inserts go through the engine's batched path: one
         // writer-lock acquisition, coalesced score propagation — and, like
         // every engine write, all-or-nothing.
-        match ins.rows.len() {
-            1 => {
-                let mut rows = ins.rows;
-                self.engine()
-                    .insert_row(&ins.table, rows.pop().expect("one row"))?;
+        let mut rows = ins.rows;
+        match rows.pop() {
+            Some(row) if rows.is_empty() => {
+                self.engine().insert_row(&ins.table, row)?;
             }
-            _ => {
-                self.engine().insert_rows(&ins.table, ins.rows)?;
+            Some(row) => {
+                rows.push(row);
+                self.engine().insert_rows(&ins.table, rows)?;
             }
+            None => {}
         };
         Ok(SqlResult::Inserted(n))
     }

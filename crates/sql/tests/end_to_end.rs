@@ -407,6 +407,10 @@ fn explain_describes_access_paths() {
     assert!(text.contains("shards: 1"), "{text}");
     assert!(text.contains("shard 0: docs=3"), "{text}");
     assert!(text.contains("storage: codec=legacy"), "{text}");
+    // The bounded execution reports its lock activity per class; a ranked
+    // search takes at least one shard read lock.
+    assert!(text.contains("locks: "), "{text}");
+    assert!(text.contains("shard="), "{text}");
 
     let plan = session
         .execute("EXPLAIN SELECT name FROM movies WHERE mid = 1")
@@ -1128,4 +1132,16 @@ fn cursor_idle_ttl_expires_and_reports_cleanly() {
     // A name never declared still reports "unknown", not "expired".
     let err = session.execute("FETCH 1 FROM nothere").unwrap_err();
     assert!(err.to_string().contains("unknown cursor"), "{err}");
+}
+
+/// The single-statement entry point drives its arity check off `pop()`
+/// itself (no unwrap): empty input and multi-statement input are clean
+/// parse errors, one statement parses.
+#[test]
+fn parse_statement_arity_is_an_error_not_a_panic() {
+    use svr_sql::parser::parse_statement;
+    assert!(parse_statement("").is_err());
+    assert!(parse_statement("   ;  ;").is_err());
+    assert!(parse_statement("SELECT a FROM t; SELECT b FROM t").is_err());
+    assert!(parse_statement("SELECT a FROM t").is_ok());
 }

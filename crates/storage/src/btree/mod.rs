@@ -545,7 +545,8 @@ impl BTree {
                     le.push(re.remove(0));
                 }
                 while underfull(&re) && le.len() > 1 {
-                    re.insert(0, le.pop().expect("non-empty left leaf"));
+                    let Some(entry) = le.pop() else { break };
+                    re.insert(0, entry);
                 }
                 keys[left_idx] = re[0].0.clone();
                 self.write_node(
@@ -589,8 +590,11 @@ impl BTree {
                 }
                 while size(&rk, &rc) < self.page_size / 4 && lk.len() > 1 {
                     // Rotate right.
-                    rk.insert(0, std::mem::replace(&mut keys[left_idx], lk.pop().unwrap()));
-                    rc.insert(0, lc.pop().unwrap());
+                    let (Some(k), Some(c)) = (lk.pop(), lc.pop()) else {
+                        break;
+                    };
+                    rk.insert(0, std::mem::replace(&mut keys[left_idx], k));
+                    rc.insert(0, c);
                 }
                 self.write_node(
                     left_page,

@@ -31,6 +31,7 @@ pub mod disk;
 pub mod error;
 pub mod page;
 pub mod pool;
+pub mod sync;
 pub mod wal;
 
 pub use blob::{BlobHandle, BlobReader, BlobStore};
@@ -39,6 +40,7 @@ pub use disk::{DiskBackend, FileDisk, IoStats, MemDisk};
 pub use error::{Result, StorageError};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use pool::{BufferPool, Store};
+pub use sync::{lock_stats, LockClass, LockClassStats, LockStats, OrderedMutex, OrderedRwLock};
 pub use wal::{Lsn, Wal, WalStats};
 
 use std::collections::HashMap;
@@ -204,7 +206,7 @@ impl StorageEnv {
     /// `cache_pages` pages. In a durable environment the store is logged.
     pub fn create_store(&self, name: &str, cache_pages: usize) -> Arc<Store> {
         self.try_create_store(name, cache_pages)
-            .expect("store creation failed")
+            .expect("store creation failed") // svr-lint: allow(no-unwrap): documented panicking convenience; use try_create_store to handle
     }
 
     /// Fallible form of [`StorageEnv::create_store`] (file backends can hit
@@ -230,7 +232,7 @@ impl StorageEnv {
         }
         let store = self
             .make_store(name, cache_pages, true)
-            .expect("store creation failed");
+            .expect("store creation failed"); // svr-lint: allow(no-unwrap): documented panicking convenience; use try_create_store to handle
         stores.insert(name.to_string(), store.clone());
         store
     }

@@ -16,6 +16,7 @@ use parking_lot::Mutex;
 use crate::disk::{DiskBackend, IoStats};
 use crate::error::Result;
 use crate::page::PageId;
+use crate::sync::{LockClass, OrderedMutex};
 
 /// Cache hit/miss counters for one pool.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -229,6 +230,11 @@ pub struct Store {
     disk: Arc<dyn DiskBackend>,
     pool: BufferPool,
     wal: Option<Arc<crate::wal::Wal>>,
+    /// Serializes checkpointers against each other (flush + truncate must
+    /// be atomic with respect to other checkpoints). Class
+    /// [`LockClass::Checkpoint`]: taken under table/shard locks by the
+    /// auto-checkpoint paths, before the WAL's own state lock.
+    checkpoint_lock: OrderedMutex<()>,
 }
 
 impl Store {
@@ -238,6 +244,7 @@ impl Store {
             pool: BufferPool::new(disk.clone(), cache_pages),
             disk,
             wal: None,
+            checkpoint_lock: OrderedMutex::new(LockClass::Checkpoint, ()),
         }
     }
 
@@ -253,6 +260,7 @@ impl Store {
             pool: BufferPool::with_policy(disk.clone(), cache_pages, true),
             disk,
             wal: Some(wal),
+            checkpoint_lock: OrderedMutex::new(LockClass::Checkpoint, ()),
         }
     }
 
@@ -298,6 +306,7 @@ impl Store {
     /// Flush dirty pages and truncate the log: the disk image becomes the
     /// recovery baseline.
     pub fn checkpoint(&self) -> Result<()> {
+        let _checkpoint_guard = self.checkpoint_lock.lock();
         self.pool.flush()?;
         if let Some(wal) = &self.wal {
             wal.truncate();

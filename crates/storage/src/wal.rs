@@ -29,10 +29,10 @@
 //! process restarts, not just simulated crashes.
 
 use bytes::Bytes;
-use parking_lot::Mutex;
 
 use crate::error::{Result, StorageError};
 use crate::page::PageId;
+use crate::sync::{LockClass, OrderedMutex};
 
 /// Log sequence number: index of a record in the log since the last
 /// truncation.
@@ -102,7 +102,7 @@ pub struct WalStats {
 
 /// The write-ahead log for one store.
 pub struct Wal {
-    inner: Mutex<WalInner>,
+    inner: OrderedMutex<WalInner>,
 }
 
 impl Default for Wal {
@@ -115,19 +115,22 @@ impl Wal {
     /// Create an empty log.
     pub fn new() -> Wal {
         Wal {
-            inner: Mutex::new(WalInner {
-                log: Vec::new(),
-                file: None,
-                next_lsn: 0,
-                open_batch: 0,
-                records: 0,
-                batch_depth: 0,
-                sync_interval_ms: 0,
-                last_sync: None,
-                syncs: 0,
-                sync_skips: 0,
-                synced_len: 0,
-            }),
+            inner: OrderedMutex::new(
+                LockClass::Wal,
+                WalInner {
+                    log: Vec::new(),
+                    file: None,
+                    next_lsn: 0,
+                    open_batch: 0,
+                    records: 0,
+                    batch_depth: 0,
+                    sync_interval_ms: 0,
+                    last_sync: None,
+                    syncs: 0,
+                    sync_skips: 0,
+                    synced_len: 0,
+                },
+            ),
         }
     }
 
@@ -155,21 +158,24 @@ impl Wal {
         let (records, uncommitted, next_lsn) = summarize_log(&log);
         let log_len = log.len();
         Ok(Wal {
-            inner: Mutex::new(WalInner {
-                log,
-                file: Some(file),
-                next_lsn,
-                open_batch: uncommitted,
-                records,
-                batch_depth: 0,
-                sync_interval_ms: 0,
-                last_sync: None,
-                syncs: 0,
-                sync_skips: 0,
-                // The surviving bytes were read back from the disk: all
-                // of them are, by construction, synced.
-                synced_len: log_len,
-            }),
+            inner: OrderedMutex::new(
+                LockClass::Wal,
+                WalInner {
+                    log,
+                    file: Some(file),
+                    next_lsn,
+                    open_batch: uncommitted,
+                    records,
+                    batch_depth: 0,
+                    sync_interval_ms: 0,
+                    last_sync: None,
+                    syncs: 0,
+                    sync_skips: 0,
+                    // The surviving bytes were read back from the disk: all
+                    // of them are, by construction, synced.
+                    synced_len: log_len,
+                },
+            ),
         })
     }
 
